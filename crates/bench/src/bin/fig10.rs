@@ -1,0 +1,53 @@
+//! Figure 10: rising inference intensity (non-streaming → streaming).
+//!
+//! Repeats the Fig. 9 comparison on the Mi8Pro for both QoS regimes: the
+//! non-streaming 50 ms target and the streaming 33.3 ms (30 FPS) target.
+//! AutoScale's efficiency and QoS-violation ratio degrade under the
+//! tighter target but stay close to Opt.
+
+use autoscale::prelude::*;
+use autoscale::scheduler::{Scheduler, SchedulerKind};
+use autoscale_bench::{autoscale_for, build_baseline, reward_fn, SuiteAccumulator, RUNS, WARMUP};
+
+fn main() {
+    // Streaming only applies to the vision workloads.
+    let vision: Vec<Workload> = Workload::ALL
+        .iter()
+        .copied()
+        .filter(|w| w.task() != Task::Translation)
+        .collect();
+    let envs = EnvironmentId::STATIC;
+
+    for streaming in [false, true] {
+        let config = EngineConfig { streaming, ..EngineConfig::paper() };
+        let sim = Simulator::new(DeviceId::Mi8Pro);
+        let ev = Evaluator::new(sim, config);
+        let oracle = autoscale::scheduler::OracleScheduler::new(ev.sim(), reward_fn(config));
+        let mut rng = autoscale::seeded_rng(1000 + streaming as u64);
+        let mut acc = SuiteAccumulator::new();
+
+        for &w in &vision {
+            let mut autoscale_sched = autoscale_for(ev.sim(), w, &envs, config, 52);
+            let mut others: Vec<Box<dyn Scheduler>> = vec![
+                build_baseline(SchedulerKind::EdgeBest, ev.sim(), config),
+                build_baseline(SchedulerKind::Cloud, ev.sim(), config),
+                build_baseline(SchedulerKind::ConnectedEdge, ev.sim(), config),
+                build_baseline(SchedulerKind::Oracle, ev.sim(), config),
+            ];
+            for env in envs {
+                let mut base = build_baseline(SchedulerKind::EdgeCpuFp32, ev.sim(), config);
+                let baseline = ev.run(base.as_mut(), w, env, 0, RUNS, None, &mut rng);
+                acc.record(&baseline, &baseline);
+                let rep =
+                    ev.run(&mut autoscale_sched, w, env, WARMUP, RUNS, Some(&oracle), &mut rng);
+                acc.record(&rep, &baseline);
+                for s in others.iter_mut() {
+                    let rep = ev.run(s.as_mut(), w, env, 0, RUNS, None, &mut rng);
+                    acc.record(&rep, &baseline);
+                }
+            }
+        }
+        let label = if streaming { "streaming (33.3 ms QoS)" } else { "non-streaming (50 ms QoS)" };
+        acc.print(&format!("Fig. 10 (Mi8Pro, vision workloads): {label}"));
+    }
+}

@@ -1,0 +1,49 @@
+//! Figure 11: adaptability to stochastic variance — per-environment
+//! results across S1–S5 and D1–D4.
+//!
+//! For each Table IV environment on the Mi8Pro: AutoScale (leave-one-out
+//! trained, learning online) vs the four baselines and Opt, averaged
+//! over the ten workloads. Prints PPW normalized to `Edge (CPU FP32)`
+//! and the QoS-violation ratio per environment.
+
+use autoscale::prelude::*;
+use autoscale::scheduler::{Scheduler, SchedulerKind};
+use autoscale_bench::{autoscale_for, build_baseline, reward_fn, SuiteAccumulator, RUNS, WARMUP};
+
+fn main() {
+    let config = EngineConfig::paper();
+    let sim = Simulator::new(DeviceId::Mi8Pro);
+    let ev = Evaluator::new(sim, config);
+    let oracle = autoscale::scheduler::OracleScheduler::new(ev.sim(), reward_fn(config));
+    let mut grand = SuiteAccumulator::new();
+
+    for env in EnvironmentId::ALL {
+        let mut rng = autoscale::seeded_rng(1100 + env as u64);
+        let mut acc = SuiteAccumulator::new();
+        for w in Workload::ALL {
+            // Train on the other nine workloads across every environment so
+            // the engine has seen the variance states it will face.
+            let mut autoscale_sched = autoscale_for(ev.sim(), w, &EnvironmentId::ALL, config, 62);
+            let mut others: Vec<Box<dyn Scheduler>> = vec![
+                build_baseline(SchedulerKind::EdgeBest, ev.sim(), config),
+                build_baseline(SchedulerKind::Cloud, ev.sim(), config),
+                build_baseline(SchedulerKind::ConnectedEdge, ev.sim(), config),
+                build_baseline(SchedulerKind::Oracle, ev.sim(), config),
+            ];
+            let mut base = build_baseline(SchedulerKind::EdgeCpuFp32, ev.sim(), config);
+            let baseline = ev.run(base.as_mut(), w, env, 0, RUNS, None, &mut rng);
+            acc.record(&baseline, &baseline);
+            grand.record(&baseline, &baseline);
+            let rep = ev.run(&mut autoscale_sched, w, env, WARMUP, RUNS, Some(&oracle), &mut rng);
+            acc.record(&rep, &baseline);
+            grand.record(&rep, &baseline);
+            for s in others.iter_mut() {
+                let rep = ev.run(s.as_mut(), w, env, 0, RUNS, None, &mut rng);
+                acc.record(&rep, &baseline);
+                grand.record(&rep, &baseline);
+            }
+        }
+        acc.print(&format!("Fig. 11: {env} — {}", env.description()));
+    }
+    grand.print("Fig. 11: average across all nine environments");
+}

@@ -1,0 +1,39 @@
+//! Figure 12: adaptability to inference quality (accuracy) targets.
+//!
+//! Runs AutoScale on the Mi8Pro under accuracy targets of none, 50%, 65%
+//! and 70%. Tighter targets disqualify the low-precision on-device
+//! targets, costing efficiency; below the 50% threshold nothing changes
+//! because every target already clears it.
+
+use autoscale::prelude::*;
+use autoscale::scheduler::SchedulerKind;
+use autoscale_bench::{autoscale_for, build_baseline, reward_fn, SuiteAccumulator, RUNS, WARMUP};
+
+fn main() {
+    let envs = EnvironmentId::STATIC;
+    println!("Figure 12: AutoScale under different inference accuracy targets (Mi8Pro)");
+
+    for target in [None, Some(50.0), Some(65.0), Some(70.0)] {
+        let config = EngineConfig { accuracy_target: target, ..EngineConfig::paper() };
+        let sim = Simulator::new(DeviceId::Mi8Pro);
+        let ev = Evaluator::new(sim, config);
+        let oracle = autoscale::scheduler::OracleScheduler::new(ev.sim(), reward_fn(config));
+        let mut rng = autoscale::seeded_rng(1200);
+        let mut acc = SuiteAccumulator::new();
+
+        for w in Workload::ALL {
+            let mut sched = autoscale_for(ev.sim(), w, &envs, config, 72);
+            for env in envs {
+                let mut base = build_baseline(SchedulerKind::EdgeCpuFp32, ev.sim(), config);
+                let baseline = ev.run(base.as_mut(), w, env, 0, RUNS, None, &mut rng);
+                let rep = ev.run(&mut sched, w, env, WARMUP, RUNS, Some(&oracle), &mut rng);
+                acc.record(&rep, &baseline);
+            }
+        }
+        let label = match target {
+            None => "no accuracy target".to_string(),
+            Some(t) => format!("{t:.0}% accuracy target"),
+        };
+        acc.print(&format!("Fig. 12: {label}"));
+    }
+}

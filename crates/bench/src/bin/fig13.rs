@@ -1,0 +1,95 @@
+//! Figure 13: AutoScale accurately selects the optimal execution target.
+//!
+//! For each phone, prints AutoScale's and Opt's decision distributions
+//! (on-device / connected edge / cloud) and AutoScale's prediction
+//! accuracy against the oracle. Then reproduces the paper's two spot
+//! checks: under weak Wi-Fi (S4) decisions shift away from the cloud,
+//! and under the web-browser co-runner (D2) they shift off the device.
+
+use autoscale::experiment;
+use autoscale::prelude::*;
+use autoscale::scheduler::{AutoScaleScheduler, OracleScheduler, SchedulerKind};
+use autoscale_bench::{build_baseline, reward_fn, section, RUNS, TRAIN_RUNS, WARMUP};
+
+fn main() {
+    let config = EngineConfig::paper();
+    println!("Figure 13: decision distributions and prediction accuracy");
+
+    for device in DeviceId::PHONES {
+        let sim = Simulator::new(device);
+        let ev = Evaluator::new(sim, config);
+        let oracle = OracleScheduler::new(ev.sim(), reward_fn(config));
+        let mut rng = autoscale::seeded_rng(1300 + device as u64);
+        section(&device.to_string());
+
+        // The decision-distribution analysis uses a fully trained engine
+        // (every workload, every environment), as deployed after training.
+        let engine = experiment::train_engine(
+            ev.sim(),
+            &Workload::ALL,
+            &EnvironmentId::ALL,
+            TRAIN_RUNS,
+            config,
+            82,
+        );
+
+        let mut shares_as = [0.0; 3];
+        let mut shares_opt = [0.0; 3];
+        let mut match_sum = 0.0;
+        let mut cells = 0.0;
+        for w in Workload::ALL {
+            for env in [EnvironmentId::S1, EnvironmentId::S4, EnvironmentId::D2] {
+                let mut sched = AutoScaleScheduler::new(engine.clone(), false);
+                let rep = ev.run(&mut sched, w, env, WARMUP, RUNS, Some(&oracle), &mut rng);
+                let mut opt = build_baseline(SchedulerKind::Oracle, ev.sim(), config);
+                let opt_rep = ev.run(opt.as_mut(), w, env, 0, RUNS, None, &mut rng);
+                for i in 0..3 {
+                    shares_as[i] += rep.placement_shares[i];
+                    shares_opt[i] += opt_rep.placement_shares[i];
+                }
+                match_sum += rep.oracle_match_ratio.expect("oracle tracking enabled");
+                cells += 1.0;
+            }
+        }
+        let pct = |v: f64| v / cells * 100.0;
+        println!(
+            "  AutoScale decisions: on-device {:.1}%  connected {:.1}%  cloud {:.1}%",
+            pct(shares_as[0]),
+            pct(shares_as[1]),
+            pct(shares_as[2])
+        );
+        println!(
+            "  Opt decisions:       on-device {:.1}%  connected {:.1}%  cloud {:.1}%",
+            pct(shares_opt[0]),
+            pct(shares_opt[1]),
+            pct(shares_opt[2])
+        );
+        println!("  prediction accuracy: {:.1}%", match_sum / cells * 100.0);
+
+        // Spot checks from the paper's text.
+        for (env, label) in
+            [(EnvironmentId::S4, "weak Wi-Fi (S4)"), (EnvironmentId::D2, "web browser (D2)")]
+        {
+            let mut sched = AutoScaleScheduler::new(engine.clone(), false);
+            let mut on_device = 0.0;
+            let mut connected = 0.0;
+            let mut cloud = 0.0;
+            let mut matches = 0.0;
+            for w in Workload::ALL {
+                let rep = ev.run(&mut sched, w, env, WARMUP, RUNS, Some(&oracle), &mut rng);
+                on_device += rep.placement_shares[0];
+                connected += rep.placement_shares[1];
+                cloud += rep.placement_shares[2];
+                matches += rep.oracle_match_ratio.expect("oracle tracking enabled");
+            }
+            let n = Workload::ALL.len() as f64;
+            println!(
+                "  {label}: on-device {:.1}%  connected {:.1}%  cloud {:.1}%  (accuracy {:.1}%)",
+                on_device / n * 100.0,
+                connected / n * 100.0,
+                cloud / n * 100.0,
+                matches / n * 100.0
+            );
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Figure 14: training overhead — the reward converges within tens of
+//! runs, and learning transfer accelerates convergence.
+//!
+//! Prints (a) the reward curve (window medians) when training from
+//! scratch on the Mi8Pro, (b) convergence points with and without a
+//! Q-table transferred from the Mi8Pro on the other two phones, and
+//! (c) the static-vs-dynamic convergence comparison.
+
+use autoscale::experiment::{self, TrainingCurve};
+use autoscale::prelude::*;
+use autoscale_bench::{mean, section, TRAIN_RUNS};
+
+fn main() {
+    let config = EngineConfig::paper();
+    println!("Figure 14: reward convergence and learning transfer");
+
+    // (a) Reward curve from scratch, Mi8Pro, calm environment.
+    let mi8 = Simulator::new(DeviceId::Mi8Pro);
+    let curve = experiment::training_curve(
+        &mi8,
+        Workload::InceptionV1,
+        EnvironmentId::S1,
+        150,
+        config,
+        7,
+        None,
+    );
+    section("reward curve (Mi8Pro, Inception v1, S1) — window medians of 10");
+    for (i, chunk) in curve.rewards.chunks(10).enumerate() {
+        let mut sorted = chunk.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite rewards"));
+        println!("  runs {:>3}-{:>3}: median reward {:>9.1}", i * 10 + 1, i * 10 + chunk.len(), sorted[chunk.len() / 2]);
+    }
+    println!(
+        "  converged at run {}",
+        curve.converged_at.map_or("-".to_string(), |c| c.to_string())
+    );
+
+    // (b) Transfer: Mi8Pro-trained engine warm-starts the other phones.
+    section("learning transfer (Mi8Pro donor)");
+    let donor = experiment::train_engine(
+        &mi8,
+        &Workload::ALL,
+        &EnvironmentId::STATIC,
+        TRAIN_RUNS,
+        config,
+        17,
+    );
+    for device in [DeviceId::GalaxyS10e, DeviceId::MotoXForce] {
+        let sim = Simulator::new(device);
+        let scratch: Vec<TrainingCurve> = (0..6)
+            .map(|s| {
+                experiment::training_curve(
+                    &sim,
+                    Workload::MobileNetV2,
+                    EnvironmentId::S1,
+                    200,
+                    config,
+                    20 + s,
+                    None,
+                )
+            })
+            .collect();
+        let transferred: Vec<TrainingCurve> = (0..6)
+            .map(|s| {
+                experiment::training_curve(
+                    &sim,
+                    Workload::MobileNetV2,
+                    EnvironmentId::S1,
+                    200,
+                    config,
+                    20 + s,
+                    Some(&donor),
+                )
+            })
+            .collect();
+        let avg = |cs: &[TrainingCurve]| {
+            mean(&cs.iter().map(|c| c.converged_at.unwrap_or(200) as f64).collect::<Vec<_>>())
+        };
+        let s = avg(&scratch);
+        let t = avg(&transferred);
+        println!(
+            "  {device}: scratch converges ~run {s:.0}, transferred ~run {t:.0} ({:.1}% faster)",
+            (1.0 - t / s) * 100.0
+        );
+    }
+
+    // (c) Static vs dynamic environments.
+    section("static vs dynamic convergence (Mi8Pro, MobileNet v1)");
+    for (env, label) in [(EnvironmentId::S1, "static S1"), (EnvironmentId::D2, "dynamic D2")] {
+        let curves: Vec<TrainingCurve> = (0..6)
+            .map(|s| {
+                experiment::training_curve(
+                    &mi8,
+                    Workload::MobileNetV1,
+                    env,
+                    250,
+                    config,
+                    30 + s,
+                    None,
+                )
+            })
+            .collect();
+        let avg = mean(
+            &curves.iter().map(|c| c.converged_at.unwrap_or(250) as f64).collect::<Vec<_>>(),
+        );
+        println!("  {label}: converges ~run {avg:.0}");
+    }
+}

@@ -1,0 +1,67 @@
+//! Figure 2: the optimal execution target depends on NN characteristics
+//! and the edge-cloud system profile.
+//!
+//! Prints, for each of the three phones and the three representative NNs
+//! (Inception v1, MobileNet v3, MobileBERT), the energy efficiency (PPW,
+//! normalized to `Edge (CPU)`) and latency (normalized to the QoS target)
+//! of every execution target, under the calm S1 environment.
+
+use autoscale::prelude::*;
+use autoscale_bench::section;
+
+fn main() {
+    let config = EngineConfig::paper();
+    let nns = [Workload::InceptionV1, Workload::MobileNetV3, Workload::MobileBert];
+    println!("Figure 2: PPW (normalized to Edge (CPU)) and latency (normalized to QoS)");
+
+    for device in DeviceId::PHONES {
+        let sim = Simulator::new(device);
+        section(&device.to_string());
+        for w in nns {
+            let qos = config.scenario_for(w).qos_ms();
+            let calm = Snapshot::calm();
+            let targets: Vec<(String, Request)> = target_list(&sim);
+            let base = sim
+                .execute_expected(
+                    w,
+                    &Request::at_max_frequency(
+                        &sim,
+                        Placement::OnDevice(ProcessorKind::Cpu),
+                        Precision::Fp32,
+                    ),
+                    &calm,
+                )
+                .expect("CPU FP32 always runs");
+            println!("  {w} (QoS {qos:.1} ms):");
+            for (label, request) in targets {
+                match sim.execute_expected(w, &request, &calm) {
+                    Ok(o) => println!(
+                        "    {label:<24} PPW {:>6.2}x   latency {:>5.2}x QoS",
+                        base.energy_mj / o.energy_mj,
+                        o.latency_ms / qos
+                    ),
+                    Err(_) => println!("    {label:<24} (not supported)"),
+                }
+            }
+        }
+    }
+}
+
+/// The Fig. 2 target list: each on-device processor at its deployment
+/// precision, the connected edge, and the cloud.
+fn target_list(sim: &Simulator) -> Vec<(String, Request)> {
+    let mut v = Vec::new();
+    let mut push = |label: &str, placement, precision| {
+        if sim.processor_for(placement).is_some() {
+            v.push((label.to_string(), Request::at_max_frequency(sim, placement, precision)));
+        }
+    };
+    push("Edge (CPU)", Placement::OnDevice(ProcessorKind::Cpu), Precision::Fp32);
+    push("Edge (GPU)", Placement::OnDevice(ProcessorKind::Gpu), Precision::Fp32);
+    push("Edge (DSP)", Placement::OnDevice(ProcessorKind::Dsp), Precision::Int8);
+    push("Connected Edge (GPU)", Placement::ConnectedEdge(ProcessorKind::Gpu), Precision::Fp32);
+    push("Connected Edge (DSP)", Placement::ConnectedEdge(ProcessorKind::Dsp), Precision::Int8);
+    push("Cloud (CPU)", Placement::Cloud(ProcessorKind::Cpu), Precision::Fp32);
+    push("Cloud (GPU)", Placement::Cloud(ProcessorKind::Gpu), Precision::Fp32);
+    v
+}

@@ -1,0 +1,52 @@
+//! Figure 3: each NN layer kind exhibits different latency on different
+//! mobile processors, so the optimal target depends on layer composition.
+//!
+//! Prints the cumulative per-layer-kind latency of Inception v1 and
+//! MobileNet v3 on the Mi8Pro's CPU, GPU and DSP, normalized to the CPU
+//! total (as in the paper's stacked bars). MobileBERT is omitted exactly
+//! as in the paper: no middleware runs it on co-processors.
+
+use autoscale::prelude::*;
+use autoscale_bench::section;
+use autoscale_platform::{latency::layer_breakdown, ExecutionConditions};
+
+fn main() {
+    let sim = Simulator::new(DeviceId::Mi8Pro);
+    println!("Figure 3: cumulative per-layer-kind latency, normalized to the CPU total");
+
+    for w in [Workload::InceptionV1, Workload::MobileNetV3] {
+        section(&w.to_string());
+        let network = sim.network(w);
+        let cpu = sim.host().processor(ProcessorKind::Cpu).expect("phone CPU");
+        let cpu_cond = ExecutionConditions::max_frequency(cpu, Precision::Fp32);
+        let cpu_total: f64 = layer_breakdown(cpu, network, &cpu_cond)
+            .iter()
+            .map(|k| k.total_ms)
+            .sum();
+
+        for kind in [ProcessorKind::Cpu, ProcessorKind::Gpu, ProcessorKind::Dsp] {
+            let Some(proc) = sim.host().processor(kind) else { continue };
+            // Each processor runs its deployment precision, as in Fig. 3.
+            let precision = match kind {
+                ProcessorKind::Dsp => Precision::Int8,
+                _ => Precision::Fp32,
+            };
+            let cond = ExecutionConditions::max_frequency(proc, precision);
+            let breakdown = layer_breakdown(proc, network, &cond);
+            let total: f64 = breakdown.iter().map(|k| k.total_ms).sum();
+            print!("  {kind:<4} total {:>5.2}x CPU  |", total / cpu_total);
+            for k in &breakdown {
+                if k.total_ms / cpu_total >= 0.005 {
+                    print!(" {}: {:.2}x", k.kind, k.total_ms / cpu_total);
+                }
+            }
+            println!();
+        }
+    }
+
+    println!(
+        "\nReading: FC segments grow dramatically on co-processors, so FC-heavy\n\
+         NNs (MobileNet v3) favour the CPU while CONV-heavy NNs (Inception v1)\n\
+         favour co-processors — the paper's Fig. 3 observation."
+    );
+}

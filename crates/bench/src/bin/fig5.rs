@@ -1,0 +1,56 @@
+//! Figure 5: on-device interference shifts the optimal execution target.
+//!
+//! Prints MobileNet v3's PPW (normalized to `Edge (CPU)` with no
+//! co-runner) and latency (normalized to the QoS target) on the Mi8Pro
+//! under no interference (S1), a CPU-intensive co-runner (S2) and a
+//! memory-intensive co-runner (S3), for each target.
+
+use autoscale::prelude::*;
+use autoscale_bench::section;
+
+fn main() {
+    let sim = Simulator::new(DeviceId::Mi8Pro);
+    let w = Workload::MobileNetV3;
+    let qos = EngineConfig::paper().scenario_for(w).qos_ms();
+    println!("Figure 5: MobileNet v3 under co-runner interference (Mi8Pro)");
+
+    let calm = Snapshot::calm();
+    let snapshots = [
+        ("no co-running app (S1)", calm),
+        ("CPU-intensive co-runner (S2)", Snapshot::new(0.85, 0.10, calm.wlan, calm.p2p)),
+        ("memory-intensive co-runner (S3)", Snapshot::new(0.20, 0.80, calm.wlan, calm.p2p)),
+    ];
+    let targets = [
+        ("Edge (CPU)", Placement::OnDevice(ProcessorKind::Cpu), Precision::Fp32),
+        ("Edge (GPU)", Placement::OnDevice(ProcessorKind::Gpu), Precision::Fp32),
+        ("Edge (DSP)", Placement::OnDevice(ProcessorKind::Dsp), Precision::Int8),
+        ("Cloud (GPU)", Placement::Cloud(ProcessorKind::Gpu), Precision::Fp32),
+    ];
+
+    let base = sim
+        .execute_expected(
+            w,
+            &Request::at_max_frequency(&sim, targets[0].1, targets[0].2),
+            &calm,
+        )
+        .expect("CPU runs MobileNet v3");
+
+    for (env_label, snapshot) in snapshots {
+        section(env_label);
+        let mut best: Option<(&str, f64)> = None;
+        for (label, placement, precision) in targets {
+            let request = Request::at_max_frequency(&sim, placement, precision);
+            let o = sim.execute_expected(w, &request, &snapshot).expect("feasible");
+            let ppw = base.energy_mj / o.energy_mj;
+            println!(
+                "  {label:<12} PPW {:>5.2}x   latency {:>5.2}x QoS",
+                ppw,
+                o.latency_ms / qos
+            );
+            if best.map_or(true, |(_, b)| ppw > b) {
+                best = Some((label, ppw));
+            }
+        }
+        println!("  optimal: {}", best.expect("targets evaluated").0);
+    }
+}

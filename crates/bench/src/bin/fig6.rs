@@ -1,0 +1,63 @@
+//! Figure 6: varying wireless signal strength shifts the optimal
+//! edge-cloud execution target.
+//!
+//! Prints ResNet 50's PPW (normalized to the best edge processor) and
+//! latency (normalized to the QoS target) on the Mi8Pro as the Wi-Fi and
+//! Wi-Fi Direct signals weaken.
+
+use autoscale::prelude::*;
+use autoscale_bench::section;
+use autoscale_net::Rssi;
+
+fn main() {
+    let sim = Simulator::new(DeviceId::Mi8Pro);
+    let w = Workload::ResNet50;
+    let qos = EngineConfig::paper().scenario_for(w).qos_ms();
+    println!("Figure 6: ResNet 50 under varying signal strength (Mi8Pro)");
+
+    let calm = Snapshot::calm();
+    // Best edge processor for ResNet 50 on the Mi8Pro: the DSP at INT8.
+    let edge_best =
+        Request::at_max_frequency(&sim, Placement::OnDevice(ProcessorKind::Dsp), Precision::Int8);
+    let base = sim.execute_expected(w, &edge_best, &calm).expect("DSP runs ResNet 50");
+
+    let conditions = [
+        ("strong Wi-Fi / strong Wi-Fi Direct", calm),
+        ("weak Wi-Fi only (S4)", Snapshot::new(0.0, 0.0, Rssi::WEAK, calm.p2p)),
+        ("weak Wi-Fi Direct only (S5)", Snapshot::new(0.0, 0.0, calm.wlan, Rssi::WEAK)),
+        ("both weak", Snapshot::new(0.0, 0.0, Rssi::WEAK, Rssi::WEAK)),
+    ];
+    let targets = [
+        ("Edge (Best Processor)", edge_best),
+        (
+            "Connected Edge (DSP)",
+            Request::at_max_frequency(
+                &sim,
+                Placement::ConnectedEdge(ProcessorKind::Dsp),
+                Precision::Int8,
+            ),
+        ),
+        (
+            "Cloud (GPU)",
+            Request::at_max_frequency(&sim, Placement::Cloud(ProcessorKind::Gpu), Precision::Fp32),
+        ),
+    ];
+
+    for (label, snapshot) in conditions {
+        section(label);
+        let mut best: Option<(&str, f64)> = None;
+        for (target_label, request) in targets {
+            let o = sim.execute_expected(w, &request, &snapshot).expect("feasible");
+            let ppw = base.energy_mj / o.energy_mj;
+            println!(
+                "  {target_label:<22} PPW {:>5.2}x   latency {:>6.2}x QoS",
+                ppw,
+                o.latency_ms / qos
+            );
+            if best.map_or(true, |(_, b)| ppw > b) {
+                best = Some((target_label, ppw));
+            }
+        }
+        println!("  optimal: {}", best.expect("targets evaluated").0);
+    }
+}

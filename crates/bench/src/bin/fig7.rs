@@ -1,0 +1,72 @@
+//! Figure 7: prediction-based approaches leave a significant gap to Opt
+//! in the presence of stochastic runtime variance.
+//!
+//! Part 1 reproduces the MAPE / misclassification analysis of Section
+//! III-C: every predictor trained and tested with and without runtime
+//! variance. Part 2 runs the predictor-driven schedulers through a
+//! variance-heavy environment mix and prints PPW (normalized to
+//! `Edge (CPU)`) and QoS-violation ratio against Opt.
+
+use autoscale::characterize::{self, VarianceMode};
+use autoscale::experiment;
+use autoscale::prelude::*;
+use autoscale::scheduler::{OracleScheduler, Scheduler};
+use autoscale_bench::{build_baseline, reward_fn, section, SuiteAccumulator, RUNS};
+
+fn main() {
+    let config = EngineConfig::paper();
+    let sim = Simulator::new(DeviceId::Mi8Pro);
+
+    section("prediction error with and without runtime variance");
+    for mode in [VarianceMode::Calm, VarianceMode::Stochastic] {
+        let errors = experiment::predictor_errors(&sim, config, mode, 11);
+        println!(
+            "  {:?}: LR MAPE {:.1}%  SVR MAPE {:.1}%  BO MAPE {:.1}%  SVM misclass {:.1}%  KNN misclass {:.1}%",
+            mode,
+            errors.lr_mape,
+            errors.svr_mape,
+            errors.bo_mape,
+            errors.svm_misclassification,
+            errors.knn_misclassification
+        );
+    }
+
+    section("scheduler comparison under stochastic variance");
+    let dataset = experiment::characterization_dataset(&sim, VarianceMode::Stochastic, 21);
+    let ev = Evaluator::new(sim, config);
+    let oracle = OracleScheduler::new(ev.sim(), reward_fn(config));
+    let mut rng = autoscale::seeded_rng(77);
+
+    let mut schedulers: Vec<Box<dyn Scheduler>> = vec![
+        build_baseline(autoscale::scheduler::SchedulerKind::EdgeCpuFp32, ev.sim(), config),
+        Box::new(characterize::train_lr_scheduler(ev.sim(), &dataset, reward_fn(config))),
+        Box::new(characterize::train_svr_scheduler(ev.sim(), &dataset, reward_fn(config))),
+        Box::new(characterize::train_svm_scheduler(ev.sim(), &dataset, reward_fn(config))),
+        Box::new(characterize::train_knn_scheduler(ev.sim(), &dataset, reward_fn(config))),
+        Box::new(autoscale::scheduler::BoScheduler::new(ev.sim(), 40, reward_fn(config))),
+        build_baseline(autoscale::scheduler::SchedulerKind::Oracle, ev.sim(), config),
+    ];
+
+    // The variance-heavy mix: interference plus weak/random signal.
+    let envs = [EnvironmentId::S2, EnvironmentId::S3, EnvironmentId::S4, EnvironmentId::D3];
+    let mut acc = SuiteAccumulator::new();
+    for w in Workload::ALL {
+        for env in envs {
+            let mut base = build_baseline(
+                autoscale::scheduler::SchedulerKind::EdgeCpuFp32,
+                ev.sim(),
+                config,
+            );
+            let baseline = ev.run(base.as_mut(), w, env, 0, RUNS, None, &mut rng);
+            for s in schedulers.iter_mut() {
+                // BO gets its exploration budget as warm-up, like the paper's
+                // BO baseline which optimizes before being measured.
+                let warmup =
+                    if s.kind() == autoscale::scheduler::SchedulerKind::BayesOpt { 50 } else { 0 };
+                let rep = ev.run(s.as_mut(), w, env, warmup, RUNS, Some(&oracle), &mut rng);
+                acc.record(&rep, &baseline);
+            }
+        }
+    }
+    acc.print("Fig. 7: predictors vs Opt (PPW normalized to Edge (CPU FP32))");
+}

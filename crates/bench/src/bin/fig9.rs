@@ -1,0 +1,92 @@
+//! Figure 9: AutoScale vs baselines and prior work, static environments.
+//!
+//! For each of the three phones: leave-one-out-trained AutoScale, the
+//! four fixed baselines, Opt, MOSAIC and NeuroSurgeon, averaged across
+//! the ten workloads and the five static environments. Prints PPW
+//! normalized to `Edge (CPU FP32)` and the QoS-violation ratio.
+
+use autoscale::experiment;
+use autoscale::prelude::*;
+use autoscale::scheduler::{Scheduler, SchedulerKind};
+use autoscale_bench::{autoscale_for, build_baseline, section, SuiteAccumulator, RUNS, WARMUP};
+
+fn main() {
+    let config = EngineConfig::paper();
+    let envs = EnvironmentId::STATIC;
+    let mut grand = SuiteAccumulator::new();
+
+    for device in DeviceId::PHONES {
+        let sim = Simulator::new(device);
+        let ev = Evaluator::new(sim, config);
+        let oracle = autoscale::scheduler::OracleScheduler::new(
+            ev.sim(),
+            autoscale_bench::reward_fn(config),
+        );
+        let mut rng = autoscale::seeded_rng(900 + device as u64);
+        let mut acc = SuiteAccumulator::new();
+        section(&device.to_string());
+
+        for w in Workload::ALL {
+            // Leave-one-out: AutoScale's Q-table is trained on the other
+            // nine workloads (Section V-C), then keeps learning online.
+            let mut autoscale_sched = autoscale_for(ev.sim(), w, &envs, config, 42);
+            let mut prior_rng = autoscale::seeded_rng(43);
+            let qos = config.scenario_for(w).qos_ms();
+            let mut others: Vec<Box<dyn Scheduler>> = vec![
+                build_baseline(SchedulerKind::EdgeBest, ev.sim(), config),
+                build_baseline(SchedulerKind::Cloud, ev.sim(), config),
+                build_baseline(SchedulerKind::ConnectedEdge, ev.sim(), config),
+                build_baseline(SchedulerKind::Oracle, ev.sim(), config),
+                Box::new(experiment::build_mosaic(ev.sim(), qos, &mut prior_rng)),
+                Box::new(experiment::build_neurosurgeon(ev.sim(), &mut prior_rng)),
+            ];
+            for env in envs {
+                let mut base = build_baseline(SchedulerKind::EdgeCpuFp32, ev.sim(), config);
+                let baseline = ev.run(base.as_mut(), w, env, 0, RUNS, None, &mut rng);
+                acc.record(&baseline, &baseline);
+                let rep =
+                    ev.run(&mut autoscale_sched, w, env, WARMUP, RUNS, Some(&oracle), &mut rng);
+                acc.record(&rep, &baseline);
+                for s in others.iter_mut() {
+                    let rep = ev.run(s.as_mut(), w, env, 0, RUNS, None, &mut rng);
+                    acc.record(&rep, &baseline);
+                }
+            }
+        }
+        acc.print(&format!("Fig. 9 ({device}): static environments, all workloads"));
+        merge(&mut grand, &acc);
+    }
+    grand.print("Fig. 9: average across the three devices");
+}
+
+/// Merges per-device means into the cross-device accumulator.
+fn merge(grand: &mut SuiteAccumulator, device: &SuiteAccumulator) {
+    for name in [
+        "AutoScale",
+        "Edge (CPU FP32)",
+        "Edge (Best)",
+        "Cloud",
+        "Connected Edge",
+        "Opt",
+        "MOSAIC",
+        "NeuroSurgeon",
+    ] {
+        if let (Some(ppw), Some(qos)) = (device.mean_ppw(name), device.mean_qos(name)) {
+            let rep = EpisodeReport {
+                scheduler: name.to_string(),
+                workload: Workload::MobileNetV1,
+                environment: EnvironmentId::S1,
+                runs: 1,
+                mean_energy_mj: 1.0,
+                mean_efficiency_ipj: ppw,
+                mean_latency_ms: 0.0,
+                qos_violation_ratio: qos,
+                accuracy_violation_ratio: 0.0,
+                placement_shares: [0.0; 3],
+                oracle_match_ratio: device.mean_opt_match(name),
+            };
+            let base = EpisodeReport { mean_efficiency_ipj: 1.0, ..rep.clone() };
+            grand.record(&rep, &base);
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Table II: the mobile device specifications of the testbed.
+
+use autoscale::prelude::*;
+
+fn main() {
+    println!("Table II: device specifications");
+    for id in DeviceId::ALL {
+        let device = Device::for_id(id);
+        println!("\n{} ({:?}):", id, device.class());
+        for p in device.processors() {
+            println!(
+                "  {:<4} {:<14} {:.2} GHz, {:>2} V/F steps, peak {:>6.0} GMAC/s, busy {:.1} W",
+                p.kind().to_string(),
+                p.name(),
+                p.dvfs().max_step().freq_ghz,
+                p.dvfs().len(),
+                p.peak_gmacs(),
+                p.dvfs().max_step().busy_power_w
+            );
+        }
+        println!(
+            "  base power {:.1} W, DRAM {:.0} GB, serving overhead {:.0} ms",
+            device.base_power_w(),
+            device.dram_gb(),
+            device.serving_overhead_ms()
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Table I: the state features and their discretization, including the
+//! DBSCAN re-derivation of the NN-feature buckets.
+
+use autoscale::prelude::*;
+use autoscale_nn::LayerKind;
+
+fn main() {
+    let space = StateSpace::paper();
+    println!("Table I: state-related features ({} encoded states)", space.len());
+    println!("  S_CONV   # of CONV layers     small(<30) medium(<50) large(<90) larger(>=90)");
+    println!("  S_FC     # of FC layers       small(<10) large(>=10)");
+    println!("  S_RC     # of RC layers       small(<10) large(>=10)");
+    println!("  S_MAC    # of MAC operations  small(<1000M) medium(<2000M) large(>=2000M)");
+    println!("  S_Co_CPU co-runner CPU util.  none(0%) small(<25%) medium(<75%) large(<=100%)");
+    println!("  S_Co_MEM co-runner mem usage  none(0%) small(<25%) medium(<75%) large(<=100%)");
+    println!("  S_RSSI_W WLAN RSSI            regular(>-80dBm) weak(<=-80dBm)");
+    println!("  S_RSSI_P P2P RSSI             regular(>-80dBm) weak(<=-80dBm)");
+
+    // Re-derive the NN-feature buckets with DBSCAN over the Table III
+    // workloads, as the paper did (Section IV-A).
+    let feature = |f: &dyn Fn(&Network) -> f64| -> Vec<f64> {
+        Workload::ALL.iter().map(|&w| f(&Network::workload(w))).collect()
+    };
+    let derived = StateSpace::from_dbscan(
+        &feature(&|n| n.count(LayerKind::Conv) as f64),
+        &feature(&|n| n.count(LayerKind::Fc) as f64),
+        &feature(&|n| n.count(LayerKind::Rc) as f64),
+        &feature(&|n| n.total_macs() as f64 / 1e6),
+    );
+    println!("\nDBSCAN re-derivation over the Table III workloads:");
+    println!("  derived state-space size: {} (paper: 3072)", derived.len());
+
+    println!("\nPer-workload state under calm conditions:");
+    let calm = Snapshot::calm();
+    for w in Workload::ALL {
+        let net = Network::workload(w);
+        let s = space.observe(&net, &calm);
+        println!(
+            "  {:<18} conv={} fc={} rc={} mac={} -> index {}",
+            w.to_string(),
+            s.conv,
+            s.fc,
+            s.rc,
+            s.mac,
+            space.encode(&s)
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! Table III: the DNN inference workloads and their layer compositions.
+
+use autoscale::prelude::*;
+use autoscale_nn::{accuracy_for, LayerKind};
+
+fn main() {
+    println!("Table III: DNN inference workloads");
+    println!(
+        "{:<20} {:<22} {:>6} {:>5} {:>5} {:>9} {:>10} {:>16}",
+        "DNN", "Workload", "S_CONV", "S_FC", "S_RC", "MACs (M)", "params (M)", "acc FP32/INT8"
+    );
+    for w in Workload::ALL {
+        let net = Network::workload(w);
+        let acc = accuracy_for(w);
+        println!(
+            "{:<20} {:<22} {:>6} {:>5} {:>5} {:>9.0} {:>10.1} {:>9.1}/{:.1}",
+            w.to_string(),
+            w.task().to_string(),
+            net.count(LayerKind::Conv),
+            net.count(LayerKind::Fc),
+            net.count(LayerKind::Rc),
+            net.total_macs() as f64 / 1e6,
+            net.weight_bytes(Precision::Fp32) as f64 / 4e6,
+            acc.fp32,
+            acc.int8
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! Dev probe: the Fig. 9 headline flow on one device (calibration tool).
+
+use autoscale::experiment;
+use autoscale::prelude::*;
+use autoscale::scheduler::{AutoScaleScheduler, FixedScheduler, OracleScheduler};
+
+fn main() {
+    let config = EngineConfig::paper();
+    let sim = Simulator::new(DeviceId::Mi8Pro);
+    let ev = Evaluator::new(sim, config);
+    let mut rng = autoscale::seeded_rng(1234);
+
+    let envs = EnvironmentId::STATIC;
+    let mut totals: Vec<(String, f64, f64, f64)> = Vec::new(); // name, eff_sum, qos_sum, n
+
+    for w in Workload::ALL {
+        let oracle = OracleScheduler::new(ev.sim(), move |w| config.reward_for(w));
+        let engine = experiment::train_leave_one_out(
+            ev.sim(),
+            w,
+            &EnvironmentId::STATIC,
+            30,
+            config,
+            7,
+        );
+        for env in envs {
+            let mut schedulers: Vec<Box<dyn autoscale::scheduler::Scheduler>> = vec![
+                Box::new(AutoScaleScheduler::new(engine.clone(), false)),
+                Box::new(FixedScheduler::edge_cpu_fp32(ev.sim())),
+                Box::new(FixedScheduler::edge_best(ev.sim(), move |w| config.reward_for(w))),
+                Box::new(FixedScheduler::cloud(ev.sim(), move |w| config.reward_for(w))),
+                Box::new(FixedScheduler::connected_edge(ev.sim(), move |w| config.reward_for(w))),
+                Box::new(OracleScheduler::new(ev.sim(), move |w| config.reward_for(w))),
+            ];
+            for s in schedulers.iter_mut() {
+                let warmup = if s.kind() == autoscale::scheduler::SchedulerKind::AutoScale {
+                    100
+                } else {
+                    0
+                };
+                let rep = ev.run(s.as_mut(), w, env, warmup, 100, Some(&oracle), &mut rng);
+                if let Some(entry) = totals.iter_mut().find(|t| t.0 == rep.scheduler) {
+                    entry.1 += rep.mean_efficiency_ipj;
+                    entry.2 += rep.qos_violation_ratio;
+                    entry.3 += 1.0;
+                } else {
+                    totals.push((
+                        rep.scheduler.clone(),
+                        rep.mean_efficiency_ipj,
+                        rep.qos_violation_ratio,
+                        1.0,
+                    ));
+                }
+                if s.kind() == autoscale::scheduler::SchedulerKind::AutoScale {
+                    println!(
+                        "  {w} {env}: AutoScale opt-match {:.1}% eff {:.1} qos-viol {:.2}",
+                        rep.oracle_match_ratio.unwrap() * 100.0,
+                        rep.mean_efficiency_ipj,
+                        rep.qos_violation_ratio
+                    );
+                }
+            }
+        }
+    }
+    println!("\n=== averages over all (workload, static env) pairs ===");
+    let base = totals.iter().find(|t| t.0 == "Edge (CPU FP32)").unwrap().1;
+    for (name, eff, qos, n) in &totals {
+        println!(
+            "{name:18} PPW(norm to CPU) {:.2}x  qos-violation {:.3}",
+            eff / base,
+            qos / n
+        );
+    }
+}

@@ -1,0 +1,419 @@
+//! `autoscale-cli` — explore, train, and serve AutoScale from the shell.
+//!
+//! ```text
+//! autoscale-cli devices
+//! autoscale-cli workloads
+//! autoscale-cli survey   --device mi8pro --workload inception-v1 [--env S1]
+//! autoscale-cli train    --device mi8pro --out qtable.json [--runs 30] [--envs static|all] [--seed 7]
+//! autoscale-cli decide   --device mi8pro --qtable qtable.json --workload resnet-50 [--env S4]
+//! autoscale-cli evaluate --device mi8pro --qtable qtable.json --workload resnet-50 --env S1 [--runs 100] [--json]
+//! autoscale-cli trace    --device mi8pro --qtable qtable.json --workload resnet-50 --env D2 --runs 50 --out trace.json
+//! ```
+//!
+//! Argument parsing is deliberately hand-rolled (`--key value` pairs) to
+//! keep the dependency set identical to the library's.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use autoscale::experiment;
+use autoscale::prelude::*;
+use autoscale::scheduler::AutoScaleScheduler;
+use autoscale_rl::QLearningAgent;
+use autoscale_sim::Trace;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `autoscale-cli help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        print_help();
+        return Ok(());
+    };
+    let flags = parse_flags(&args[1..])?;
+    match command.as_str() {
+        "help" | "--help" | "-h" => {
+            print_help();
+            Ok(())
+        }
+        "devices" => cmd_devices(),
+        "workloads" => cmd_workloads(),
+        "survey" => cmd_survey(&flags),
+        "train" => cmd_train(&flags),
+        "decide" => cmd_decide(&flags),
+        "evaluate" => cmd_evaluate(&flags),
+        "trace" => cmd_trace(&flags),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn print_help() {
+    println!(
+        "autoscale-cli — the AutoScale (MICRO 2020) execution-scaling engine\n\
+         \n\
+         commands:\n\
+         \x20 devices                                   list the device catalog\n\
+         \x20 workloads                                 list the Table III workloads\n\
+         \x20 survey   --device D --workload W [--env E] cost of every target\n\
+         \x20 train    --device D --out FILE [--runs N] [--envs static|all] [--seed N]\n\
+         \x20 decide   --device D --qtable FILE --workload W [--env E]\n\
+         \x20 evaluate --device D --qtable FILE --workload W --env E [--runs N] [--json]\n\
+         \x20 trace    --device D --qtable FILE --workload W --env E --runs N --out FILE\n\
+         \n\
+         names: devices mi8pro|galaxy-s10e|moto-x-force (suffix +npu for the\n\
+         NPU/TPU extension testbed); workloads as in `workloads` output;\n\
+         environments S1..S5, D1..D4"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Flag plumbing
+// ---------------------------------------------------------------------------
+
+fn parse_flags(args: &[String]) -> Result<BTreeMap<String, String>, String> {
+    let mut flags = BTreeMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected a --flag, found `{}`", args[i]))?;
+        if key == "json" {
+            flags.insert(key.to_string(), "true".to_string());
+            i += 1;
+            continue;
+        }
+        let value = args.get(i + 1).ok_or_else(|| format!("--{key} needs a value"))?;
+        flags.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    Ok(flags)
+}
+
+fn required<'a>(flags: &'a BTreeMap<String, String>, key: &str) -> Result<&'a str, String> {
+    flags.get(key).map(String::as_str).ok_or_else(|| format!("missing --{key}"))
+}
+
+fn parse_device(name: &str) -> Result<Simulator, String> {
+    use autoscale_platform::Device;
+    let (base, npu) = match name.strip_suffix("+npu") {
+        Some(base) => (base, true),
+        None => (name, false),
+    };
+    let id = match base {
+        "mi8pro" => DeviceId::Mi8Pro,
+        "galaxy-s10e" => DeviceId::GalaxyS10e,
+        "moto-x-force" => DeviceId::MotoXForce,
+        other => return Err(format!("unknown device `{other}`")),
+    };
+    if npu {
+        if id != DeviceId::Mi8Pro {
+            return Err("the NPU extension testbed is defined for mi8pro only".to_string());
+        }
+        Ok(Simulator::with_devices(
+            Device::mi8pro_npu(),
+            Device::galaxy_tab_s6(),
+            Device::cloud_server_tpu(),
+        ))
+    } else {
+        Ok(Simulator::new(id))
+    }
+}
+
+fn workload_slug(w: Workload) -> String {
+    w.paper_name().to_lowercase().replace(' ', "-")
+}
+
+fn parse_workload(name: &str) -> Result<Workload, String> {
+    Workload::ALL
+        .iter()
+        .copied()
+        .find(|w| workload_slug(*w) == name.to_lowercase())
+        .ok_or_else(|| {
+            let known: Vec<String> = Workload::ALL.iter().map(|w| workload_slug(*w)).collect();
+            format!("unknown workload `{name}`; known: {}", known.join(", "))
+        })
+}
+
+fn parse_env(name: &str) -> Result<EnvironmentId, String> {
+    EnvironmentId::ALL
+        .iter()
+        .copied()
+        .find(|e| e.to_string().eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("unknown environment `{name}` (S1..S5, D1..D4)"))
+}
+
+fn parse_usize(flags: &BTreeMap<String, String>, key: &str, default: usize) -> Result<usize, String> {
+    match flags.get(key) {
+        Some(v) => v.parse().map_err(|_| format!("--{key} must be a number, got `{v}`")),
+        None => Ok(default),
+    }
+}
+
+fn parse_u64(flags: &BTreeMap<String, String>, key: &str, default: u64) -> Result<u64, String> {
+    match flags.get(key) {
+        Some(v) => v.parse().map_err(|_| format!("--{key} must be a number, got `{v}`")),
+        None => Ok(default),
+    }
+}
+
+fn load_engine(sim: &Simulator, path: &str) -> Result<AutoScaleEngine, String> {
+    let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let agent: QLearningAgent =
+        serde_json::from_str(&json).map_err(|e| format!("parsing {path}: {e}"))?;
+    AutoScaleEngine::with_agent(sim, EngineConfig::paper(), agent).map_err(|e| {
+        format!("{e} — was the Q-table trained on a different device or testbed?")
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Commands
+// ---------------------------------------------------------------------------
+
+fn cmd_devices() -> Result<(), String> {
+    use autoscale_platform::Device;
+    println!("hosts:");
+    for id in DeviceId::PHONES {
+        let d = Device::for_id(id);
+        let procs: Vec<String> =
+            d.processors().iter().map(|p| p.kind().to_string()).collect();
+        println!(
+            "  {:<14} {} [{}]",
+            d.id().to_string().to_lowercase().replace(' ', "-"),
+            d.id(),
+            procs.join(", ")
+        );
+    }
+    println!("  mi8pro+npu     Mi8Pro with the NPU/TPU extension testbed");
+    println!("targets:");
+    for d in [Device::galaxy_tab_s6(), Device::cloud_server()] {
+        println!("  {:<14} {}", "-", d.id());
+    }
+    Ok(())
+}
+
+fn cmd_workloads() -> Result<(), String> {
+    println!("{:<20} {:<22} {:>9}", "slug", "task", "MACs (M)");
+    for w in Workload::ALL {
+        let net = Network::workload(w);
+        println!(
+            "{:<20} {:<22} {:>9.0}",
+            workload_slug(w),
+            w.task().to_string(),
+            net.total_macs() as f64 / 1e6
+        );
+    }
+    Ok(())
+}
+
+fn cmd_survey(flags: &BTreeMap<String, String>) -> Result<(), String> {
+    let sim = parse_device(required(flags, "device")?)?;
+    let workload = parse_workload(required(flags, "workload")?)?;
+    let snapshot = match flags.get("env") {
+        Some(env) => {
+            let mut environment = Environment::for_id(parse_env(env)?);
+            environment.sample(&mut autoscale::seeded_rng(parse_u64(flags, "seed", 0)?))
+        }
+        None => Snapshot::calm(),
+    };
+    let config = EngineConfig::paper();
+    let qos = config.scenario_for(workload).qos_ms();
+    let space = ActionSpace::for_simulator(&sim);
+    println!(
+        "{} on {} (QoS {qos:.1} ms), {} coarse targets:",
+        workload,
+        sim.host().id(),
+        space.coarse_targets().len()
+    );
+    for (placement, precision) in space.coarse_targets() {
+        let request = Request::at_max_frequency(&sim, placement, precision);
+        match sim.execute_expected(workload, &request, &snapshot) {
+            Ok(o) => println!(
+                "  {:<28} {:>7.1} ms {:>8.1} mJ  accuracy {:>4.1}%{}",
+                format!("{placement} {precision}"),
+                o.latency_ms,
+                o.energy_mj,
+                o.accuracy,
+                if o.latency_ms > qos { "  ** violates QoS **" } else { "" }
+            ),
+            Err(e) => println!("  {:<28} unsupported ({e})", format!("{placement} {precision}")),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_train(flags: &BTreeMap<String, String>) -> Result<(), String> {
+    let sim = parse_device(required(flags, "device")?)?;
+    let out = required(flags, "out")?;
+    let runs = parse_usize(flags, "runs", 30)?;
+    let seed = parse_u64(flags, "seed", 7)?;
+    let envs: &[EnvironmentId] = match flags.get("envs").map(String::as_str) {
+        None | Some("static") => &EnvironmentId::STATIC,
+        Some("all") => &EnvironmentId::ALL,
+        Some(other) => return Err(format!("--envs must be `static` or `all`, got `{other}`")),
+    };
+    eprintln!(
+        "training on {} across {} environments, {runs} runs per (workload, environment)...",
+        sim.host().id(),
+        envs.len()
+    );
+    let engine =
+        experiment::train_engine(&sim, &Workload::ALL, envs, runs, EngineConfig::paper(), seed);
+    let json = serde_json::to_string(engine.agent()).map_err(|e| e.to_string())?;
+    std::fs::write(out, &json).map_err(|e| format!("writing {out}: {e}"))?;
+    eprintln!(
+        "wrote {out}: {} updates, {:.1} KiB",
+        engine.agent().updates(),
+        json.len() as f64 / 1024.0
+    );
+    Ok(())
+}
+
+fn cmd_decide(flags: &BTreeMap<String, String>) -> Result<(), String> {
+    let sim = parse_device(required(flags, "device")?)?;
+    let workload = parse_workload(required(flags, "workload")?)?;
+    let engine = load_engine(&sim, required(flags, "qtable")?)?;
+    let snapshot = match flags.get("env") {
+        Some(env) => Environment::for_id(parse_env(env)?)
+            .sample(&mut autoscale::seeded_rng(parse_u64(flags, "seed", 0)?)),
+        None => Snapshot::calm(),
+    };
+    let step = engine.decide_greedy(&sim, workload, &snapshot);
+    let outcome = sim
+        .execute_expected(workload, &step.request, &snapshot)
+        .map_err(|e| e.to_string())?;
+    println!("decision: {}", step.request);
+    println!(
+        "expected: {:.1} ms, {:.1} mJ, accuracy {:.1}%",
+        outcome.latency_ms, outcome.energy_mj, outcome.accuracy
+    );
+    Ok(())
+}
+
+fn cmd_evaluate(flags: &BTreeMap<String, String>) -> Result<(), String> {
+    let sim = parse_device(required(flags, "device")?)?;
+    let workload = parse_workload(required(flags, "workload")?)?;
+    let env = parse_env(required(flags, "env")?)?;
+    let runs = parse_usize(flags, "runs", 100)?;
+    let engine = load_engine(&sim, required(flags, "qtable")?)?;
+    let config = EngineConfig::paper();
+    let ev = Evaluator::new(sim, config);
+    let mut sched = AutoScaleScheduler::new(engine, false);
+    let mut rng = autoscale::seeded_rng(parse_u64(flags, "seed", 0)?);
+    let report = ev.run(&mut sched, workload, env, runs / 2, runs, None, &mut rng);
+    if flags.contains_key("json") {
+        println!("{}", serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?);
+    } else {
+        println!(
+            "{} in {env} over {runs} runs: {:.1} mJ/inference ({:.1} inf/J), {:.1} ms, {:.1}% QoS violations",
+            workload,
+            report.mean_energy_mj,
+            report.mean_efficiency_ipj,
+            report.mean_latency_ms,
+            report.qos_violation_ratio * 100.0
+        );
+        println!(
+            "decisions: {:.0}% on-device / {:.0}% connected / {:.0}% cloud",
+            report.placement_shares[0] * 100.0,
+            report.placement_shares[1] * 100.0,
+            report.placement_shares[2] * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn cmd_trace(flags: &BTreeMap<String, String>) -> Result<(), String> {
+    let sim = parse_device(required(flags, "device")?)?;
+    let workload = parse_workload(required(flags, "workload")?)?;
+    let env = parse_env(required(flags, "env")?)?;
+    let runs = parse_usize(flags, "runs", 50)?;
+    let out = required(flags, "out")?;
+    let mut engine = load_engine(&sim, required(flags, "qtable")?)?;
+    let mut environment = Environment::for_id(env);
+    let mut rng = autoscale::seeded_rng(parse_u64(flags, "seed", 0)?);
+    let mut trace = Trace::new();
+    for _ in 0..runs {
+        let snapshot = environment.sample(&mut rng);
+        let step = engine.decide_greedy(&sim, workload, &snapshot);
+        let outcome = sim
+            .execute_measured(workload, &step.request, &snapshot, &mut rng)
+            .map_err(|e| e.to_string())?;
+        engine.learn(&sim, workload, step, &outcome, &snapshot);
+        trace.record(workload, snapshot, step.request, outcome);
+    }
+    let json = serde_json::to_string_pretty(&trace).map_err(|e| e.to_string())?;
+    std::fs::write(out, json).map_err(|e| format!("writing {out}: {e}"))?;
+    let s = trace.summary();
+    println!(
+        "wrote {out}: {} inferences, mean {:.1} ms / {:.1} mJ, total {:.1} J",
+        s.entries,
+        s.mean_latency_ms,
+        s.mean_energy_mj,
+        s.total_energy_mj / 1000.0
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_parse_key_value_pairs() {
+        let args: Vec<String> =
+            ["--device", "mi8pro", "--runs", "50", "--json"].iter().map(|s| s.to_string()).collect();
+        let flags = parse_flags(&args).expect("valid flags");
+        assert_eq!(flags.get("device").map(String::as_str), Some("mi8pro"));
+        assert_eq!(flags.get("runs").map(String::as_str), Some("50"));
+        assert_eq!(flags.get("json").map(String::as_str), Some("true"));
+    }
+
+    #[test]
+    fn flags_reject_bare_values_and_missing_arguments() {
+        let bare: Vec<String> = ["mi8pro".to_string()].to_vec();
+        assert!(parse_flags(&bare).is_err());
+        let dangling: Vec<String> = ["--device".to_string()].to_vec();
+        assert!(parse_flags(&dangling).is_err());
+    }
+
+    #[test]
+    fn device_names_resolve() {
+        assert!(parse_device("mi8pro").is_ok());
+        assert!(parse_device("galaxy-s10e").is_ok());
+        assert!(parse_device("moto-x-force").is_ok());
+        assert!(parse_device("mi8pro+npu").is_ok());
+        assert!(parse_device("galaxy-s10e+npu").is_err());
+        assert!(parse_device("iphone").is_err());
+    }
+
+    #[test]
+    fn workload_slugs_round_trip() {
+        for w in Workload::ALL {
+            assert_eq!(parse_workload(&workload_slug(w)).expect("slug resolves"), w);
+        }
+        assert!(parse_workload("alexnet").is_err());
+    }
+
+    #[test]
+    fn environment_names_resolve_case_insensitively() {
+        assert_eq!(parse_env("s1").expect("resolves"), EnvironmentId::S1);
+        assert_eq!(parse_env("D4").expect("resolves"), EnvironmentId::D4);
+        assert!(parse_env("S9").is_err());
+    }
+
+    #[test]
+    fn numeric_flags_validate() {
+        let mut flags = BTreeMap::new();
+        flags.insert("runs".to_string(), "abc".to_string());
+        assert!(parse_usize(&flags, "runs", 10).is_err());
+        assert_eq!(parse_usize(&BTreeMap::new(), "runs", 10).expect("default"), 10);
+    }
+}

@@ -1,0 +1,516 @@
+//! The AutoScale engine: Algorithm 1 wired to the state space, action
+//! space and reward of this domain.
+//!
+//! The engine is deliberately thin — observe, look up, select, learn —
+//! because that is the paper's point: a Q-table decision costs
+//! microseconds and ~0.4 MB on a phone (Section VI-C), which deep-RL
+//! alternatives cannot match.
+
+use autoscale_nn::Workload;
+use autoscale_rl::{ConvergenceDetector, Hyperparameters, QLearningAgent};
+use autoscale_sim::{Outcome, Request, Scenario, Simulator, Snapshot};
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+use crate::action::ActionSpace;
+use crate::reward::{reward, RewardConfig};
+use crate::state::StateSpace;
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Q-learning hyperparameters (γ, µ, ε).
+    pub hyperparameters: Hyperparameters,
+    /// The latency weight α of eq. (5).
+    pub alpha: f64,
+    /// The accuracy weight β of eq. (5).
+    pub beta: f64,
+    /// The inference-quality (accuracy) target in percent, if any.
+    pub accuracy_target: Option<f64>,
+    /// Whether vision workloads run in the streaming scenario (33.3 ms
+    /// QoS) instead of non-streaming (50 ms).
+    pub streaming: bool,
+    /// Whether `R_energy` is estimated from the measured latency via the
+    /// paper's eqs. (1)–(4) (the mechanism a meterless phone must use,
+    /// Section IV-A) instead of read from the measured outcome. On by
+    /// default for fidelity; turn off to learn from oracle energy.
+    pub estimate_energy: bool,
+    /// Seed for the random Q-table initialization.
+    pub seed: u64,
+}
+
+impl EngineConfig {
+    /// The paper's configuration: γ = 0.9, µ = 0.1, ε = 0.1,
+    /// α = β = 0.1, 50% accuracy target, non-streaming.
+    pub fn paper() -> Self {
+        EngineConfig {
+            hyperparameters: Hyperparameters::paper(),
+            alpha: 0.1,
+            beta: 0.1,
+            accuracy_target: Some(50.0),
+            streaming: false,
+            estimate_energy: true,
+            seed: 0x5ca1e,
+        }
+    }
+
+    /// The scenario (and hence QoS constraint) for a workload under this
+    /// configuration.
+    pub fn scenario_for(&self, workload: Workload) -> Scenario {
+        if self.streaming {
+            Scenario::streaming_for(workload.task())
+        } else {
+            Scenario::default_for(workload.task())
+        }
+    }
+
+    /// The eq. (5) reward configuration for a workload.
+    pub fn reward_for(&self, workload: Workload) -> RewardConfig {
+        RewardConfig {
+            alpha: self.alpha,
+            beta: self.beta,
+            qos_ms: self.scenario_for(workload).qos_ms(),
+            accuracy_target: self.accuracy_target,
+            accuracy_penalty_scale: 100.0,
+        }
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig::paper()
+    }
+}
+
+/// One decision made by the engine, to be passed back to
+/// [`AutoScaleEngine::learn`] after the inference executes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DecisionStep {
+    /// The encoded state the decision was made in.
+    pub state_index: usize,
+    /// The index of the selected action.
+    pub action_index: usize,
+    /// The fully specified request the action denotes.
+    pub request: Request,
+}
+
+/// The AutoScale execution-scaling engine.
+#[derive(Debug, Clone)]
+pub struct AutoScaleEngine {
+    states: StateSpace,
+    actions: ActionSpace,
+    agent: QLearningAgent,
+    detector: ConvergenceDetector,
+    config: EngineConfig,
+}
+
+impl AutoScaleEngine {
+    /// Builds an engine for a simulator's host device.
+    pub fn new(sim: &Simulator, config: EngineConfig) -> Self {
+        let states = StateSpace::paper();
+        let actions = ActionSpace::for_simulator(sim);
+        let agent =
+            QLearningAgent::new(states.len(), actions.len(), config.hyperparameters, config.seed);
+        // Convergence cannot be meaningful before the epsilon-greedy sweep
+        // has visited every action once (see ConvergenceDetector docs).
+        let detector = ConvergenceDetector::paper().with_min_observations(actions.len());
+        AutoScaleEngine { states, actions, agent, detector, config }
+    }
+
+    /// Builds an engine around a pre-trained agent (e.g. one restored
+    /// from serde persistence by a deployment pipeline).
+    ///
+    /// # Errors
+    ///
+    /// Returns the shape mismatch if the agent's Q-table does not match
+    /// this device's state and action spaces.
+    pub fn with_agent(
+        sim: &Simulator,
+        config: EngineConfig,
+        agent: QLearningAgent,
+    ) -> Result<Self, autoscale_rl::qtable::ShapeMismatchError> {
+        let states = StateSpace::paper();
+        let actions = ActionSpace::for_simulator(sim);
+        if agent.q_table().states() != states.len() || agent.q_table().actions() != actions.len() {
+            return Err(autoscale_rl::qtable::ShapeMismatchError {
+                expected: (states.len(), actions.len()),
+                found: (agent.q_table().states(), agent.q_table().actions()),
+            });
+        }
+        let detector = ConvergenceDetector::paper().with_min_observations(actions.len());
+        Ok(AutoScaleEngine { states, actions, agent, detector, config })
+    }
+
+    /// The engine's state space.
+    pub fn states(&self) -> &StateSpace {
+        &self.states
+    }
+
+    /// The engine's action space.
+    pub fn actions(&self) -> &ActionSpace {
+        &self.actions
+    }
+
+    /// The underlying Q-learning agent.
+    pub fn agent(&self) -> &QLearningAgent {
+        &self.agent
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// The reward-convergence detector (paper Fig. 14).
+    pub fn convergence(&self) -> &ConvergenceDetector {
+        &self.detector
+    }
+
+    /// Selects an action for the next inference with the epsilon-greedy
+    /// policy (steps ① and ② of the paper's Fig. 8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no action is feasible for the workload — cannot happen
+    /// for the paper's devices, whose CPUs run every model.
+    pub fn decide(
+        &self,
+        sim: &Simulator,
+        workload: Workload,
+        snapshot: &Snapshot,
+        rng: &mut StdRng,
+    ) -> DecisionStep {
+        let state_index = self.states.encode_observation(sim.network(workload), snapshot);
+        let mask = self.actions.mask(sim, workload);
+        let action_index = self
+            .agent
+            .select_action(state_index, &mask, rng)
+            .expect("the CPU can always run the model");
+        DecisionStep { state_index, action_index, request: self.actions.request(action_index) }
+    }
+
+    /// Selects the greedy (exploitation-only) action — serving mode, once
+    /// training has converged.
+    pub fn decide_greedy(
+        &self,
+        sim: &Simulator,
+        workload: Workload,
+        snapshot: &Snapshot,
+    ) -> DecisionStep {
+        let state_index = self.states.encode_observation(sim.network(workload), snapshot);
+        let mask = self.actions.mask(sim, workload);
+        let action_index = self
+            .agent
+            .select_greedy(state_index, &mask)
+            .expect("the CPU can always run the model");
+        DecisionStep { state_index, action_index, request: self.actions.request(action_index) }
+    }
+
+    /// Feeds the measured result of an executed decision back into the
+    /// Q-table (steps ④ and ⑤ of Fig. 8) and returns the eq. (5) reward.
+    ///
+    /// `next_snapshot` is the runtime variance observed after the
+    /// inference (Algorithm 1's S'); passing the same snapshot is fine in
+    /// slowly varying environments.
+    pub fn learn(
+        &mut self,
+        sim: &Simulator,
+        workload: Workload,
+        step: DecisionStep,
+        outcome: &Outcome,
+        next_snapshot: &Snapshot,
+    ) -> f64 {
+        // The paper's engine measures latency but *estimates* energy from
+        // it (eqs. (1)–(4)) — a phone has no per-inference power meter.
+        let rewarded = if self.config.estimate_energy {
+            Outcome {
+                energy_mj: crate::estimator::estimate_energy_mj(
+                    sim,
+                    workload,
+                    &step.request,
+                    next_snapshot,
+                    outcome.latency_ms,
+                ),
+                ..*outcome
+            }
+        } else {
+            *outcome
+        };
+        let r = reward(&self.config.reward_for(workload), &rewarded);
+        let next_state = self.states.encode_observation(sim.network(workload), next_snapshot);
+        let next_mask = self.actions.mask(sim, workload);
+        self.agent.update(step.state_index, step.action_index, r, next_state, &next_mask);
+        self.detector.observe(r);
+        r
+    }
+
+    /// Whether the reward has converged (after which the paper switches
+    /// to pure exploitation).
+    pub fn is_converged(&self) -> bool {
+        self.detector.is_converged()
+    }
+
+    /// Switches to pure exploitation (ε = 0).
+    pub fn freeze(&mut self) {
+        self.agent.freeze();
+    }
+
+    /// Warm-starts this engine from another engine's Q-table — the
+    /// paper's learning transfer across devices (Section VI-C).
+    ///
+    /// Requires both engines to expose identical state and action spaces;
+    /// the three phones differ in action count, so cross-device transfer
+    /// goes through [`AutoScaleEngine::transfer_by_action`] instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns the shape mismatch if the Q-tables differ in size.
+    pub fn transfer_from(
+        &mut self,
+        donor: &AutoScaleEngine,
+    ) -> Result<(), autoscale_rl::qtable::ShapeMismatchError> {
+        self.agent.transfer_from(&donor.agent)
+    }
+
+    /// Cross-device learning transfer: copies Q-values for every action
+    /// that exists in both devices' action spaces (matched by placement,
+    /// precision and *relative* DVFS position), leaving the rest at their
+    /// random initialization. This reproduces the Fig. 14 transfer from
+    /// the Mi8Pro to the Galaxy S10e / Moto X Force.
+    pub fn transfer_by_action(&mut self, donor: &AutoScaleEngine) {
+        let donor_q = donor.agent.q_table();
+        let mut q = self.agent.q_table().clone();
+        for a in 0..self.actions.len() {
+            let request = self.actions.request(a);
+            let donor_a = match donor.match_action(&request, &self.actions) {
+                Some(idx) => idx,
+                None => continue,
+            };
+            for s in 0..self.states.len() {
+                q.set(s, a, donor_q.get(s, donor_a));
+            }
+        }
+        self.agent =
+            QLearningAgent::with_table(q, self.config.hyperparameters);
+    }
+
+    /// Finds the donor-side action corresponding to `request` from a
+    /// recipient action space: exact placement and precision, nearest
+    /// relative DVFS position.
+    fn match_action(&self, request: &Request, recipient_actions: &ActionSpace) -> Option<usize> {
+        // Relative DVFS position of the request on the recipient device.
+        let rel = relative_freq(request, recipient_actions);
+        let mut best: Option<(usize, f64)> = None;
+        for (i, cand) in self.actions.actions().iter().enumerate() {
+            if cand.placement != request.placement || cand.precision != request.precision {
+                continue;
+            }
+            let cand_rel = relative_freq(cand, &self.actions);
+            let dist = (cand_rel - rel).abs();
+            if best.map_or(true, |(_, d)| dist < d) {
+                best = Some((i, dist));
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+}
+
+/// The relative DVFS position of a request within its placement's step
+/// range in an action space, in [0, 1].
+fn relative_freq(request: &Request, space: &ActionSpace) -> f64 {
+    let max_index = space
+        .actions()
+        .iter()
+        .filter(|r| r.placement == request.placement && r.precision == request.precision)
+        .map(|r| r.freq_index)
+        .max()
+        .unwrap_or(0);
+    if max_index == 0 {
+        1.0
+    } else {
+        request.freq_index as f64 / max_index as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeded_rng;
+    use autoscale_platform::DeviceId;
+    use autoscale_sim::{Environment, EnvironmentId};
+
+    fn trained_engine(sim: &Simulator, workload: Workload, runs: usize) -> AutoScaleEngine {
+        let mut engine = AutoScaleEngine::new(sim, EngineConfig::paper());
+        let mut rng = seeded_rng(42);
+        let mut env = Environment::for_id(EnvironmentId::S1);
+        for _ in 0..runs {
+            let snapshot = env.sample(&mut rng);
+            let step = engine.decide(sim, workload, &snapshot, &mut rng);
+            let outcome = sim
+                .execute_measured(workload, &step.request, &snapshot, &mut rng)
+                .expect("feasible");
+            engine.learn(sim, workload, step, &outcome, &snapshot);
+        }
+        engine
+    }
+
+    #[test]
+    fn engine_learns_to_beat_the_cpu_baseline() {
+        let sim = Simulator::new(DeviceId::Mi8Pro);
+        let engine = trained_engine(&sim, Workload::InceptionV1, 150);
+        let snapshot = Snapshot::calm();
+        let step = engine.decide_greedy(&sim, Workload::InceptionV1, &snapshot);
+        let chosen = sim
+            .execute_expected(Workload::InceptionV1, &step.request, &snapshot)
+            .unwrap();
+        let baseline_req = autoscale_sim::Request::at_max_frequency(
+            &sim,
+            autoscale_sim::Placement::OnDevice(autoscale_platform::ProcessorKind::Cpu),
+            autoscale_nn::Precision::Fp32,
+        );
+        let baseline =
+            sim.execute_expected(Workload::InceptionV1, &baseline_req, &snapshot).unwrap();
+        assert!(
+            chosen.energy_mj < baseline.energy_mj / 2.0,
+            "chosen {} mJ vs baseline {} mJ",
+            chosen.energy_mj,
+            baseline.energy_mj
+        );
+    }
+
+    #[test]
+    fn decisions_respect_the_feasibility_mask() {
+        let sim = Simulator::new(DeviceId::Mi8Pro);
+        let engine = AutoScaleEngine::new(&sim, EngineConfig::paper());
+        let mut rng = seeded_rng(3);
+        for _ in 0..50 {
+            let step = engine.decide(&sim, Workload::MobileBert, &Snapshot::calm(), &mut rng);
+            assert!(sim.is_feasible(Workload::MobileBert, &step.request), "{}", step.request);
+        }
+    }
+
+    #[test]
+    fn learn_returns_the_reward_and_counts_updates() {
+        let sim = Simulator::new(DeviceId::Mi8Pro);
+        let mut engine = AutoScaleEngine::new(&sim, EngineConfig::paper());
+        let mut rng = seeded_rng(5);
+        let snapshot = Snapshot::calm();
+        let step = engine.decide(&sim, Workload::MobileNetV1, &snapshot, &mut rng);
+        let outcome =
+            sim.execute_measured(Workload::MobileNetV1, &step.request, &snapshot, &mut rng).unwrap();
+        let r = engine.learn(&sim, Workload::MobileNetV1, step, &outcome, &snapshot);
+        assert!(r.is_finite());
+        assert_eq!(engine.agent().updates(), 1);
+    }
+
+    #[test]
+    fn same_shape_transfer_copies_knowledge() {
+        let sim = Simulator::new(DeviceId::Mi8Pro);
+        let donor = trained_engine(&sim, Workload::InceptionV1, 150);
+        let mut fresh = AutoScaleEngine::new(&sim, EngineConfig::paper());
+        fresh.transfer_from(&donor).unwrap();
+        let snapshot = Snapshot::calm();
+        assert_eq!(
+            fresh.decide_greedy(&sim, Workload::InceptionV1, &snapshot).action_index,
+            donor.decide_greedy(&sim, Workload::InceptionV1, &snapshot).action_index
+        );
+    }
+
+    #[test]
+    fn cross_device_transfer_carries_the_energy_trend() {
+        // Train on the Mi8Pro, transfer to the Moto X Force: the
+        // transferred engine's greedy decision should already be
+        // competitive (well below the CPU FP32 baseline's energy).
+        let mi8 = Simulator::new(DeviceId::Mi8Pro);
+        let donor = trained_engine(&mi8, Workload::InceptionV1, 200);
+        let moto = Simulator::new(DeviceId::MotoXForce);
+        let mut recipient = AutoScaleEngine::new(&moto, EngineConfig::paper());
+        donor_into(&donor, &mut recipient);
+        let snapshot = Snapshot::calm();
+        let step = recipient.decide_greedy(&moto, Workload::InceptionV1, &snapshot);
+        let chosen = moto
+            .execute_expected(Workload::InceptionV1, &step.request, &snapshot)
+            .unwrap();
+        let baseline_req = autoscale_sim::Request::at_max_frequency(
+            &moto,
+            autoscale_sim::Placement::OnDevice(autoscale_platform::ProcessorKind::Cpu),
+            autoscale_nn::Precision::Fp32,
+        );
+        let baseline =
+            moto.execute_expected(Workload::InceptionV1, &baseline_req, &snapshot).unwrap();
+        assert!(chosen.energy_mj < baseline.energy_mj, "transfer should carry the trend");
+    }
+
+    fn donor_into(donor: &AutoScaleEngine, recipient: &mut AutoScaleEngine) {
+        recipient.transfer_by_action(donor);
+    }
+
+    #[test]
+    fn with_agent_accepts_matching_and_rejects_foreign_tables() {
+        let sim = Simulator::new(DeviceId::Mi8Pro);
+        let donor = trained_engine(&sim, Workload::MobileNetV1, 80);
+        let restored = AutoScaleEngine::with_agent(
+            &sim,
+            EngineConfig::paper(),
+            donor.agent().clone(),
+        )
+        .expect("same testbed, same shape");
+        let snapshot = Snapshot::calm();
+        assert_eq!(
+            restored.decide_greedy(&sim, Workload::MobileNetV1, &snapshot).action_index,
+            donor.decide_greedy(&sim, Workload::MobileNetV1, &snapshot).action_index
+        );
+        // A Moto-shaped table (47 actions) must be rejected on the Mi8Pro.
+        let moto = Simulator::new(DeviceId::MotoXForce);
+        let foreign = AutoScaleEngine::new(&moto, EngineConfig::paper());
+        assert!(AutoScaleEngine::with_agent(
+            &sim,
+            EngineConfig::paper(),
+            foreign.agent().clone()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn estimated_energy_reward_stays_close_to_measured_reward() {
+        // With the estimator on (default), the reward the engine learns
+        // from tracks the measured-energy reward within the estimator's
+        // single-digit MAPE.
+        let sim = Simulator::new(DeviceId::Mi8Pro);
+        let mut with_est = AutoScaleEngine::new(&sim, EngineConfig::paper());
+        let mut without = AutoScaleEngine::new(
+            &sim,
+            EngineConfig { estimate_energy: false, ..EngineConfig::paper() },
+        );
+        let mut rng = seeded_rng(33);
+        let snapshot = Snapshot::calm();
+        let step = with_est.decide(&sim, Workload::MobileNetV1, &snapshot, &mut rng);
+        let outcome = sim
+            .execute_measured(Workload::MobileNetV1, &step.request, &snapshot, &mut rng)
+            .expect("feasible");
+        let r_est = with_est.learn(&sim, Workload::MobileNetV1, step, &outcome, &snapshot);
+        let r_meas = without.learn(&sim, Workload::MobileNetV1, step, &outcome, &snapshot);
+        assert!(
+            (r_est - r_meas).abs() / r_meas.abs() < 0.25,
+            "estimated-reward {r_est} vs measured-reward {r_meas}"
+        );
+    }
+
+    #[test]
+    fn scenario_selection_follows_config() {
+        let cfg = EngineConfig::paper();
+        assert_eq!(cfg.scenario_for(Workload::InceptionV1), Scenario::NonStreaming);
+        assert_eq!(cfg.scenario_for(Workload::MobileBert), Scenario::Translation);
+        let streaming = EngineConfig { streaming: true, ..EngineConfig::paper() };
+        assert_eq!(streaming.scenario_for(Workload::InceptionV1), Scenario::Streaming);
+    }
+
+    #[test]
+    fn convergence_is_reported_after_training() {
+        let sim = Simulator::new(DeviceId::Mi8Pro);
+        let engine = trained_engine(&sim, Workload::MobileNetV2, 150);
+        assert!(engine.is_converged(), "150 calm runs should converge");
+        let at = engine.convergence().converged_at().unwrap();
+        assert!(at <= 120, "converged at {at}");
+    }
+}

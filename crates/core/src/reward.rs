@@ -1,0 +1,147 @@
+//! The reward function — equation (5) of the paper.
+//!
+//! ```text
+//! if R_accuracy < InferenceQualityRequirement:
+//!     R = R_accuracy − 100
+//! else if R_latency < QoSConstraint:
+//!     R = −R_energy + α·R_latency + β·R_accuracy
+//! else:
+//!     R = −R_energy + β·R_accuracy
+//! ```
+//!
+//! with α = β = 0.1. `R_energy` is in millijoules, `R_latency` in
+//! milliseconds and `R_accuracy` in percent, so the energy term dominates
+//! among constraint-satisfying actions (energy ranges over tens to
+//! thousands of mJ) while the accuracy term breaks ties and the latency
+//! term rewards spending QoS slack on cheaper, slower configurations.
+//!
+//! An accuracy violation short-circuits to `R_accuracy − 100`, which the
+//! paper intends as "a strongly negative value" that steers the agent
+//! away from that action. That holds in the paper's joule-scale units
+//! (energies ≲ 3, penalty ≈ −40); at this crate's millijoule scale a −40
+//! penalty would *beat* any action costing more than 40 mJ, silently
+//! disabling the guard. [`RewardConfig::accuracy_penalty_scale`] restores
+//! the intended dominance: the short-circuit value is
+//! `(R_accuracy − 100) · scale`, with the default scale of 100 putting
+//! the penalty 1–2 orders of magnitude below every feasible reward.
+
+use autoscale_sim::Outcome;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the eq. (5) reward.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RewardConfig {
+    /// The latency weight α.
+    pub alpha: f64,
+    /// The accuracy weight β.
+    pub beta: f64,
+    /// The QoS constraint in milliseconds.
+    pub qos_ms: f64,
+    /// The inference-quality (accuracy) requirement in percent; `None`
+    /// disables the accuracy constraint (the paper's "none" target).
+    pub accuracy_target: Option<f64>,
+    /// Multiplier on the accuracy-violation short-circuit, calibrating
+    /// the paper's `R_accuracy − 100` penalty to this crate's millijoule
+    /// energy scale (see the module docs).
+    pub accuracy_penalty_scale: f64,
+}
+
+impl RewardConfig {
+    /// The paper's weights (α = β = 0.1) for a given QoS constraint and
+    /// accuracy target.
+    pub fn paper(qos_ms: f64, accuracy_target: Option<f64>) -> Self {
+        RewardConfig { alpha: 0.1, beta: 0.1, qos_ms, accuracy_target, accuracy_penalty_scale: 100.0 }
+    }
+}
+
+/// Computes the eq. (5) reward for one executed inference.
+pub fn reward(config: &RewardConfig, outcome: &Outcome) -> f64 {
+    if let Some(target) = config.accuracy_target {
+        if outcome.accuracy < target {
+            return (outcome.accuracy - 100.0) * config.accuracy_penalty_scale;
+        }
+    }
+    if outcome.latency_ms < config.qos_ms {
+        -outcome.energy_mj + config.alpha * outcome.latency_ms + config.beta * outcome.accuracy
+    } else {
+        -outcome.energy_mj + config.beta * outcome.accuracy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(latency_ms: f64, energy_mj: f64, accuracy: f64) -> Outcome {
+        Outcome { latency_ms, energy_mj, accuracy }
+    }
+
+    #[test]
+    fn accuracy_violation_short_circuits() {
+        let cfg = RewardConfig::paper(50.0, Some(65.0));
+        let r = reward(&cfg, &outcome(10.0, 5.0, 58.9));
+        assert!((r - (58.9 - 100.0) * 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accuracy_penalty_dominates_every_feasible_energy() {
+        // The guard must rank below even the costliest feasible action
+        // in the testbed (a few thousand mJ).
+        let cfg = RewardConfig::paper(50.0, Some(65.0));
+        let violating = reward(&cfg, &outcome(5.0, 1.0, 64.9));
+        let worst_feasible = reward(&cfg, &outcome(500.0, 3_000.0, 65.0));
+        assert!(violating < worst_feasible);
+    }
+
+    #[test]
+    fn qos_met_includes_latency_term() {
+        let cfg = RewardConfig::paper(50.0, Some(50.0));
+        let r = reward(&cfg, &outcome(20.0, 30.0, 70.0));
+        assert!((r - (-30.0 + 0.1 * 20.0 + 0.1 * 70.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn qos_violated_drops_latency_term() {
+        let cfg = RewardConfig::paper(50.0, Some(50.0));
+        let r = reward(&cfg, &outcome(80.0, 30.0, 70.0));
+        assert!((r - (-30.0 + 0.1 * 70.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lower_energy_wins_among_feasible_actions() {
+        let cfg = RewardConfig::paper(50.0, Some(50.0));
+        let cheap = reward(&cfg, &outcome(30.0, 20.0, 70.0));
+        let costly = reward(&cfg, &outcome(10.0, 60.0, 70.0));
+        assert!(cheap > costly);
+    }
+
+    #[test]
+    fn accuracy_violation_is_worse_than_any_feasible_energy() {
+        // For realistic energies (< ~1 J per inference is common on the
+        // efficient targets), an accuracy miss must rank below them.
+        let cfg = RewardConfig::paper(50.0, Some(65.0));
+        let violating = reward(&cfg, &outcome(5.0, 1.0, 58.9));
+        let feasible = reward(&cfg, &outcome(30.0, 30.0, 70.0));
+        assert!(violating < feasible);
+    }
+
+    #[test]
+    fn no_accuracy_target_never_short_circuits() {
+        let cfg = RewardConfig::paper(50.0, None);
+        let r = reward(&cfg, &outcome(10.0, 5.0, 10.0));
+        assert!(r > -10.0);
+    }
+
+    #[test]
+    fn custom_weights_are_respected() {
+        let cfg = RewardConfig {
+            alpha: 1.0,
+            beta: 0.0,
+            qos_ms: 50.0,
+            accuracy_target: None,
+            accuracy_penalty_scale: 100.0,
+        };
+        let r = reward(&cfg, &outcome(20.0, 10.0, 70.0));
+        assert!((r - (-10.0 + 20.0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,115 @@
+//! Received signal strength indication (RSSI) and its Table I bucketing.
+
+use serde::{Deserialize, Serialize};
+
+/// The paper's Table I threshold between "regular" and "weak" signal.
+pub const WEAK_THRESHOLD_DBM: f64 = -80.0;
+
+/// Received signal strength in dBm.
+///
+/// Values are negative in practice (−40 dBm is excellent, −90 dBm barely
+/// usable); the constructor clamps to the physically sensible range
+/// [−95, −30] so stochastic processes cannot wander off the model's
+/// calibrated domain.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Rssi(f64);
+
+impl Rssi {
+    /// A strong signal (device next to the access point / peer).
+    pub const STRONG: Rssi = Rssi(-50.0);
+    /// A weak signal, just past the paper's −80 dBm threshold.
+    pub const WEAK: Rssi = Rssi(-85.0);
+
+    /// Creates an RSSI value, clamping to [−95, −30] dBm.
+    ///
+    /// ```
+    /// use autoscale_net::Rssi;
+    /// assert_eq!(Rssi::new(-70.0).dbm(), -70.0);
+    /// assert_eq!(Rssi::new(-200.0).dbm(), -95.0); // clamped
+    /// ```
+    pub fn new(dbm: f64) -> Self {
+        Rssi(dbm.clamp(-95.0, -30.0))
+    }
+
+    /// The value in dBm.
+    pub fn dbm(self) -> f64 {
+        self.0
+    }
+
+    /// The paper's Table I bucket: regular above −80 dBm, weak at or below.
+    pub fn bucket(self) -> SignalBucket {
+        if self.0 > WEAK_THRESHOLD_DBM {
+            SignalBucket::Regular
+        } else {
+            SignalBucket::Weak
+        }
+    }
+
+    /// Whether this signal falls in the weak bucket.
+    pub fn is_weak(self) -> bool {
+        self.bucket() == SignalBucket::Weak
+    }
+}
+
+impl std::fmt::Display for Rssi {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.0} dBm", self.0)
+    }
+}
+
+/// The discretized signal-strength state of the paper's Table I
+/// (`S_RSSI_W` / `S_RSSI_P`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SignalBucket {
+    /// RSSI above −80 dBm.
+    Regular,
+    /// RSSI at or below −80 dBm.
+    Weak,
+}
+
+impl SignalBucket {
+    /// Both buckets, regular first.
+    pub const ALL: [SignalBucket; 2] = [SignalBucket::Regular, SignalBucket::Weak];
+
+    /// Bucket index (0 = regular, 1 = weak) for state encoding.
+    pub fn index(self) -> usize {
+        match self {
+            SignalBucket::Regular => 0,
+            SignalBucket::Weak => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_threshold_matches_table_i() {
+        assert_eq!(Rssi::new(-79.9).bucket(), SignalBucket::Regular);
+        assert_eq!(Rssi::new(-80.0).bucket(), SignalBucket::Weak);
+        assert_eq!(Rssi::new(-90.0).bucket(), SignalBucket::Weak);
+    }
+
+    #[test]
+    fn constructor_clamps() {
+        assert_eq!(Rssi::new(0.0).dbm(), -30.0);
+        assert_eq!(Rssi::new(-150.0).dbm(), -95.0);
+    }
+
+    #[test]
+    fn named_levels() {
+        assert!(!Rssi::STRONG.is_weak());
+        assert!(Rssi::WEAK.is_weak());
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Rssi::new(-72.4).to_string(), "-72 dBm");
+    }
+
+    #[test]
+    fn bucket_indices_are_distinct() {
+        assert_ne!(SignalBucket::Regular.index(), SignalBucket::Weak.index());
+    }
+}

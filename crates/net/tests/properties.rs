@@ -1,0 +1,90 @@
+//! Property tests for the wireless link models.
+
+use autoscale_net::{LinkKind, LinkModel, Rssi, SignalProcess, Transfer};
+use proptest::prelude::*;
+
+fn arb_link() -> impl Strategy<Value = LinkKind> {
+    prop::sample::select(LinkKind::ALL.to_vec())
+}
+
+fn arb_rssi() -> impl Strategy<Value = Rssi> {
+    (-95.0..=-30.0f64).prop_map(Rssi::new)
+}
+
+proptest! {
+    /// Data rate decreases (weakly) as the signal weakens.
+    #[test]
+    fn rate_is_monotone_in_rssi(kind in arb_link(), a in -95.0..=-30.0f64, b in -95.0..=-30.0f64) {
+        let link = LinkModel::for_kind(kind);
+        let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+        prop_assert!(
+            link.data_rate_mbps(Rssi::new(hi)) >= link.data_rate_mbps(Rssi::new(lo)) - 1e-12
+        );
+    }
+
+    /// TX and RX power increase (weakly) as the signal weakens.
+    #[test]
+    fn radio_power_is_monotone_in_rssi(kind in arb_link(), a in -95.0..=-30.0f64, b in -95.0..=-30.0f64) {
+        let link = LinkModel::for_kind(kind);
+        let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+        prop_assert!(link.tx_power_w(Rssi::new(lo)) >= link.tx_power_w(Rssi::new(hi)) - 1e-12);
+        prop_assert!(link.rx_power_w(Rssi::new(lo)) >= link.rx_power_w(Rssi::new(hi)) - 1e-12);
+    }
+
+    /// Transfer time is additive in payload size.
+    #[test]
+    fn transfer_time_is_additive(
+        kind in arb_link(),
+        rssi in arb_rssi(),
+        a in 0u64..10_000_000,
+        b in 0u64..10_000_000,
+    ) {
+        let link = LinkModel::for_kind(kind);
+        let joint = link.transfer_ms(a + b, rssi);
+        let split = link.transfer_ms(a, rssi) + link.transfer_ms(b, rssi);
+        prop_assert!((joint - split).abs() < 1e-6 * joint.max(1.0));
+    }
+
+    /// Transfers always cost at least the wake-and-RTT floor, and the
+    /// energy decomposition is consistent.
+    #[test]
+    fn transfer_costs_are_consistent(
+        kind in arb_link(),
+        rssi in arb_rssi(),
+        up in 0u64..5_000_000,
+        down in 0u64..1_000_000,
+    ) {
+        let link = LinkModel::for_kind(kind);
+        let t = Transfer::compute(&link, up, down, rssi);
+        prop_assert!(t.wire_ms() >= link.rtt_ms() + link.wake_ms() - 1e-12);
+        let parts = t.wake_energy_mj + t.tx_energy_mj + t.rx_energy_mj;
+        prop_assert!((t.radio_energy_mj() - parts).abs() < 1e-9);
+        prop_assert!(t.tx_energy_mj >= 0.0 && t.rx_energy_mj >= 0.0);
+    }
+
+    /// RSSI construction clamps to the modelled domain and bucket
+    /// classification is consistent with the threshold.
+    #[test]
+    fn rssi_clamps_and_buckets(dbm in -500.0..500.0f64) {
+        let r = Rssi::new(dbm);
+        prop_assert!((-95.0..=-30.0).contains(&r.dbm()));
+        prop_assert_eq!(r.is_weak(), r.dbm() <= -80.0);
+    }
+
+    /// Signal processes only emit values in the clamped domain, and fixed
+    /// processes are constant.
+    #[test]
+    fn signal_processes_stay_in_domain(mean in -95.0..=-40.0f64, std in 0.1..=20.0f64, seed in any::<u64>()) {
+        let mut rng = SignalProcess::rng(seed);
+        let gauss = SignalProcess::Gaussian { mean_dbm: mean, std_db: std };
+        for _ in 0..50 {
+            let v = gauss.sample(&mut rng).dbm();
+            prop_assert!((-95.0..=-30.0).contains(&v));
+        }
+        let fixed = SignalProcess::Fixed { dbm: mean };
+        let first = fixed.sample(&mut rng);
+        for _ in 0..10 {
+            prop_assert_eq!(fixed.sample(&mut rng), first);
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Layer types and per-layer cost descriptors.
+//!
+//! Section II-A of the paper classifies DNN layers by the function they
+//! apply and observes that CONV, FC and RC layers dominate inference latency
+//! and energy, while the remaining layer types (pooling, normalization,
+//! softmax, argmax, dropout) "usually have little impact on performance and
+//! energy efficiency". The AutoScale state space therefore only counts CONV,
+//! FC and RC layers; the cost model here nevertheless carries every layer so
+//! that per-layer latency breakdowns (paper Fig. 3) can be reproduced.
+
+use serde::{Deserialize, Serialize};
+
+use crate::precision::Precision;
+
+/// The kind of function a layer applies, per Section II-A of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum LayerKind {
+    /// Two-dimensional convolution; compute-intensive.
+    Conv,
+    /// Fully-connected (dense) layer; compute- and memory-intensive, with
+    /// low arithmetic intensity (roughly one MAC per weight byte touched).
+    Fc,
+    /// Recurrent layer (LSTM / attention step); even more compute- and
+    /// memory-intensive than FC because neurons connect across time steps.
+    Rc,
+    /// Pooling (max/average sub-sampling).
+    Pool,
+    /// Feature-map normalization (batch norm, LRN, layer norm).
+    Norm,
+    /// Softmax over classification categories.
+    Softmax,
+    /// Argmax class selection.
+    Argmax,
+    /// Dropout (pass-through at inference time).
+    Dropout,
+}
+
+impl LayerKind {
+    /// All layer kinds, in a stable order.
+    pub const ALL: [LayerKind; 8] = [
+        LayerKind::Conv,
+        LayerKind::Fc,
+        LayerKind::Rc,
+        LayerKind::Pool,
+        LayerKind::Norm,
+        LayerKind::Softmax,
+        LayerKind::Argmax,
+        LayerKind::Dropout,
+    ];
+
+    /// Whether the paper's characterization (Section IV-A) found this layer
+    /// kind to be strongly correlated with inference latency and energy.
+    ///
+    /// Only these kinds contribute to the RL state features.
+    pub fn is_dominant(self) -> bool {
+        matches!(self, LayerKind::Conv | LayerKind::Fc | LayerKind::Rc)
+    }
+
+    /// Short uppercase name as used in the paper ("CONV", "FC", ...).
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            LayerKind::Conv => "CONV",
+            LayerKind::Fc => "FC",
+            LayerKind::Rc => "RC",
+            LayerKind::Pool => "POOL",
+            LayerKind::Norm => "NORM",
+            LayerKind::Softmax => "SOFTMAX",
+            LayerKind::Argmax => "ARGMAX",
+            LayerKind::Dropout => "DROPOUT",
+        }
+    }
+}
+
+impl std::fmt::Display for LayerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.paper_name())
+    }
+}
+
+/// A single layer with its compute and memory cost at FP32.
+///
+/// Costs are precision-independent in MAC count but precision-dependent in
+/// bytes; [`Layer::traffic_bytes`] scales the FP32 byte counts by the
+/// precision's element width.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Layer {
+    /// What function the layer applies.
+    pub kind: LayerKind,
+    /// Number of multiply-accumulate operations performed by the layer.
+    pub macs: u64,
+    /// Bytes of weights (parameters) read by the layer, at FP32.
+    pub weight_bytes_fp32: u64,
+    /// Bytes of input activations read, at FP32.
+    pub input_bytes_fp32: u64,
+    /// Bytes of output activations written, at FP32.
+    pub output_bytes_fp32: u64,
+}
+
+impl Layer {
+    /// Creates a layer from its FP32 cost descriptors.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use autoscale_nn::{Layer, LayerKind};
+    /// let l = Layer::new(LayerKind::Conv, 1_000_000, 36_864, 150_528, 100_352);
+    /// assert!(l.arithmetic_intensity() > 1.0);
+    /// ```
+    pub fn new(
+        kind: LayerKind,
+        macs: u64,
+        weight_bytes_fp32: u64,
+        input_bytes_fp32: u64,
+        output_bytes_fp32: u64,
+    ) -> Self {
+        Layer { kind, macs, weight_bytes_fp32, input_bytes_fp32, output_bytes_fp32 }
+    }
+
+    /// Total memory traffic (weights + activations in + activations out) in
+    /// bytes when executing at `precision`.
+    ///
+    /// Quantization shrinks every operand proportionally to the element
+    /// width, which is the mechanism by which INT8/FP16 reduce the
+    /// memory-intensity of inference (Section II-B of the paper).
+    pub fn traffic_bytes(&self, precision: Precision) -> u64 {
+        let fp32_total = self.weight_bytes_fp32 + self.input_bytes_fp32 + self.output_bytes_fp32;
+        scale_bytes(fp32_total, precision)
+    }
+
+    /// Memory traffic attributable to weights alone, at `precision`.
+    pub fn weight_traffic_bytes(&self, precision: Precision) -> u64 {
+        scale_bytes(self.weight_bytes_fp32, precision)
+    }
+
+    /// Arithmetic intensity in MACs per byte of FP32 traffic.
+    ///
+    /// CONV layers typically land well above 1 (compute bound on mobile
+    /// processors); FC and RC layers land near or below 1 (memory bound),
+    /// which is why they run comparatively poorly on co-processors
+    /// (paper Fig. 3).
+    pub fn arithmetic_intensity(&self) -> f64 {
+        let bytes = self.traffic_bytes(Precision::Fp32);
+        if bytes == 0 {
+            return 0.0;
+        }
+        self.macs as f64 / bytes as f64
+    }
+}
+
+/// Scales an FP32 byte count to another precision's element width.
+fn scale_bytes(fp32_bytes: u64, precision: Precision) -> u64 {
+    // FP32 elements are 4 bytes; integer division by element ratio keeps the
+    // arithmetic exact for the 4/2/1-byte widths used here.
+    fp32_bytes * precision.element_bytes() as u64 / Precision::Fp32.element_bytes() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominant_kinds_match_paper() {
+        assert!(LayerKind::Conv.is_dominant());
+        assert!(LayerKind::Fc.is_dominant());
+        assert!(LayerKind::Rc.is_dominant());
+        for kind in [LayerKind::Pool, LayerKind::Norm, LayerKind::Softmax, LayerKind::Argmax, LayerKind::Dropout] {
+            assert!(!kind.is_dominant(), "{kind} should not be dominant");
+        }
+    }
+
+    #[test]
+    fn traffic_scales_with_precision() {
+        let l = Layer::new(LayerKind::Fc, 1_000, 4_000, 400, 40);
+        assert_eq!(l.traffic_bytes(Precision::Fp32), 4_440);
+        assert_eq!(l.traffic_bytes(Precision::Fp16), 2_220);
+        assert_eq!(l.traffic_bytes(Precision::Int8), 1_110);
+    }
+
+    #[test]
+    fn weight_traffic_only_counts_weights() {
+        let l = Layer::new(LayerKind::Fc, 1_000, 4_000, 400, 40);
+        assert_eq!(l.weight_traffic_bytes(Precision::Fp32), 4_000);
+        assert_eq!(l.weight_traffic_bytes(Precision::Int8), 1_000);
+    }
+
+    #[test]
+    fn arithmetic_intensity_of_conv_exceeds_fc() {
+        // A convolution reuses each weight across many spatial positions, so
+        // its MAC count dwarfs its traffic; an FC layer touches each weight
+        // exactly once.
+        let conv = Layer::new(LayerKind::Conv, 100_000_000, 36_864, 602_112, 602_112);
+        let fc = Layer::new(LayerKind::Fc, 1_000_000, 4_000_000, 4_096, 4_000);
+        assert!(conv.arithmetic_intensity() > 10.0 * fc.arithmetic_intensity());
+    }
+
+    #[test]
+    fn zero_traffic_has_zero_intensity() {
+        let l = Layer::new(LayerKind::Dropout, 0, 0, 0, 0);
+        assert_eq!(l.arithmetic_intensity(), 0.0);
+    }
+
+    #[test]
+    fn display_matches_paper_names() {
+        assert_eq!(LayerKind::Conv.to_string(), "CONV");
+        assert_eq!(LayerKind::Rc.to_string(), "RC");
+    }
+
+    #[test]
+    fn all_lists_every_kind_once() {
+        let mut kinds = LayerKind::ALL.to_vec();
+        kinds.sort();
+        kinds.dedup();
+        assert_eq!(kinds.len(), 8);
+    }
+}

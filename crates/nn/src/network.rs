@@ -1,0 +1,222 @@
+//! Whole-network representation: an ordered list of layers plus the
+//! offloading payload sizes the scheduler needs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::layer::{Layer, LayerKind};
+use crate::precision::Precision;
+
+/// The use case a network serves (paper Table III, "Workload" column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Task {
+    /// Single-image classification (non-streaming QoS target: 50 ms).
+    ImageClassification,
+    /// Object detection on camera frames (streaming QoS target: 30 FPS).
+    ObjectDetection,
+    /// Sentence translation (QoS target: 100 ms).
+    Translation,
+}
+
+impl Task {
+    /// Human-readable task name matching the paper's Table III.
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            Task::ImageClassification => "Image Classification",
+            Task::ObjectDetection => "Object Detection",
+            Task::Translation => "Translation",
+        }
+    }
+}
+
+impl std::fmt::Display for Task {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.paper_name())
+    }
+}
+
+/// A neural network as seen by the scheduler: its name, task, ordered
+/// layers, and the payload bytes exchanged when inference is offloaded.
+///
+/// Construct one for a paper benchmark via [`Network::workload`], or build a
+/// custom network with [`Network::new`].
+///
+/// # Example
+///
+/// ```
+/// use autoscale_nn::{Layer, LayerKind, Network, Task};
+///
+/// let net = Network::new(
+///     "tiny",
+///     Task::ImageClassification,
+///     vec![
+///         Layer::new(LayerKind::Conv, 1_000_000, 4_096, 150_528, 100_352),
+///         Layer::new(LayerKind::Fc, 100_000, 400_000, 1_024, 40),
+///     ],
+///     64 * 1024,
+///     4 * 1024,
+/// );
+/// assert_eq!(net.count(LayerKind::Conv), 1);
+/// assert_eq!(net.total_macs(), 1_100_000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Network {
+    name: String,
+    task: Task,
+    layers: Vec<Layer>,
+    input_bytes: u64,
+    output_bytes: u64,
+}
+
+impl Network {
+    /// Creates a network from its parts.
+    ///
+    /// `input_bytes`/`output_bytes` are the payloads transmitted when the
+    /// whole model is offloaded to a connected device or the cloud (the
+    /// paper only offloads at model granularity, Section IV footnote 4).
+    pub fn new(
+        name: impl Into<String>,
+        task: Task,
+        layers: Vec<Layer>,
+        input_bytes: u64,
+        output_bytes: u64,
+    ) -> Self {
+        Network { name: name.into(), task, layers, input_bytes, output_bytes }
+    }
+
+    /// Builds one of the ten paper benchmark networks (Table III).
+    pub fn workload(workload: crate::workloads::Workload) -> Self {
+        crate::workloads::build(workload)
+    }
+
+    /// The network's name (for the paper workloads, the Table III name).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The use case this network serves.
+    pub fn task(&self) -> Task {
+        self.task
+    }
+
+    /// The layers in execution order.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Bytes transmitted to a remote target when offloading (model input).
+    pub fn input_bytes(&self) -> u64 {
+        self.input_bytes
+    }
+
+    /// Bytes received back from a remote target (model output).
+    pub fn output_bytes(&self) -> u64 {
+        self.output_bytes
+    }
+
+    /// Number of layers of the given kind.
+    ///
+    /// For [`LayerKind::Conv`], [`LayerKind::Fc`] and [`LayerKind::Rc`] this
+    /// is the paper's `S_CONV` / `S_FC` / `S_RC` state feature.
+    pub fn count(&self, kind: LayerKind) -> usize {
+        self.layers.iter().filter(|l| l.kind == kind).count()
+    }
+
+    /// Total multiply-accumulate operations across all layers (the paper's
+    /// `S_MAC` state feature).
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(|l| l.macs).sum()
+    }
+
+    /// Total weight bytes at the given precision (the model's memory
+    /// footprint, relevant for deployment and for the Q-table sizing
+    /// discussion in Section VI-C).
+    pub fn weight_bytes(&self, precision: Precision) -> u64 {
+        self.layers.iter().map(|l| l.weight_traffic_bytes(precision)).sum()
+    }
+
+    /// Total memory traffic at the given precision.
+    pub fn traffic_bytes(&self, precision: Precision) -> u64 {
+        self.layers.iter().map(|l| l.traffic_bytes(precision)).sum()
+    }
+
+    /// Whether the network contains any recurrent layers.
+    ///
+    /// The paper notes (Fig. 3 footnote) that RC-based models such as
+    /// MobileBERT were not supported on co-processors by any middleware at
+    /// the time; the platform crate uses this to restrict DSP execution.
+    pub fn has_recurrent_layers(&self) -> bool {
+        self.count(LayerKind::Rc) > 0
+    }
+}
+
+impl std::fmt::Display for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ({}; {} layers, {:.0}M MACs)",
+            self.name,
+            self.task,
+            self.layers.len(),
+            self.total_macs() as f64 / 1e6
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Network {
+        Network::new(
+            "tiny",
+            Task::ImageClassification,
+            vec![
+                Layer::new(LayerKind::Conv, 1_000_000, 4_096, 150_528, 100_352),
+                Layer::new(LayerKind::Conv, 2_000_000, 8_192, 100_352, 50_176),
+                Layer::new(LayerKind::Fc, 100_000, 400_000, 1_024, 40),
+                Layer::new(LayerKind::Softmax, 0, 0, 40, 40),
+            ],
+            64 * 1024,
+            4 * 1024,
+        )
+    }
+
+    #[test]
+    fn counts_by_kind() {
+        let net = tiny();
+        assert_eq!(net.count(LayerKind::Conv), 2);
+        assert_eq!(net.count(LayerKind::Fc), 1);
+        assert_eq!(net.count(LayerKind::Rc), 0);
+        assert_eq!(net.count(LayerKind::Softmax), 1);
+    }
+
+    #[test]
+    fn total_macs_sums_layers() {
+        assert_eq!(tiny().total_macs(), 3_100_000);
+    }
+
+    #[test]
+    fn weight_bytes_shrink_with_quantization() {
+        let net = tiny();
+        assert_eq!(net.weight_bytes(Precision::Int8) * 4, net.weight_bytes(Precision::Fp32));
+    }
+
+    #[test]
+    fn no_recurrent_layers_in_vision_net() {
+        assert!(!tiny().has_recurrent_layers());
+    }
+
+    #[test]
+    fn display_mentions_name_and_macs() {
+        let s = tiny().to_string();
+        assert!(s.contains("tiny"));
+        assert!(s.contains("3M MACs"));
+    }
+
+    #[test]
+    fn payload_accessors() {
+        let net = tiny();
+        assert_eq!(net.input_bytes(), 65_536);
+        assert_eq!(net.output_bytes(), 4_096);
+    }
+}

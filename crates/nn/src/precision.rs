@@ -1,0 +1,95 @@
+//! Numeric precision (quantization) of an inference execution.
+//!
+//! Quantization is "one of the most widely used" NN optimizations for edge
+//! execution (Section II-B of the paper) because it shrinks both the compute
+//! and memory intensity of inference. AutoScale augments its action space
+//! with the quantization available on each processor: INT8 on mobile CPUs
+//! and DSPs, FP16 on mobile GPUs, FP32 everywhere.
+
+use serde::{Deserialize, Serialize};
+
+/// Numeric precision at which an inference executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Precision {
+    /// 32-bit floating point (the unquantized baseline).
+    Fp32,
+    /// 16-bit floating point, used on mobile GPUs.
+    Fp16,
+    /// 8-bit integer, used on mobile CPUs and DSPs.
+    Int8,
+}
+
+impl Precision {
+    /// All precisions, widest first.
+    pub const ALL: [Precision; 3] = [Precision::Fp32, Precision::Fp16, Precision::Int8];
+
+    /// Width of one element in bytes.
+    ///
+    /// ```
+    /// use autoscale_nn::Precision;
+    /// assert_eq!(Precision::Fp32.element_bytes(), 4);
+    /// assert_eq!(Precision::Fp16.element_bytes(), 2);
+    /// assert_eq!(Precision::Int8.element_bytes(), 1);
+    /// ```
+    pub fn element_bytes(self) -> u32 {
+        match self {
+            Precision::Fp32 => 4,
+            Precision::Fp16 => 2,
+            Precision::Int8 => 1,
+        }
+    }
+
+    /// Whether running at this precision can lose accuracy relative to FP32.
+    pub fn is_lossy(self) -> bool {
+        !matches!(self, Precision::Fp32)
+    }
+
+    /// Name as printed in the paper's figures ("FP32", "FP16", "INT8").
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            Precision::Fp32 => "FP32",
+            Precision::Fp16 => "FP16",
+            Precision::Int8 => "INT8",
+        }
+    }
+}
+
+impl Default for Precision {
+    fn default() -> Self {
+        Precision::Fp32
+    }
+}
+
+impl std::fmt::Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.paper_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn element_widths_halve() {
+        assert_eq!(Precision::Fp32.element_bytes(), 2 * Precision::Fp16.element_bytes());
+        assert_eq!(Precision::Fp16.element_bytes(), 2 * Precision::Int8.element_bytes());
+    }
+
+    #[test]
+    fn only_fp32_is_lossless() {
+        assert!(!Precision::Fp32.is_lossy());
+        assert!(Precision::Fp16.is_lossy());
+        assert!(Precision::Int8.is_lossy());
+    }
+
+    #[test]
+    fn default_is_fp32() {
+        assert_eq!(Precision::default(), Precision::Fp32);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Precision::Int8.to_string(), "INT8");
+    }
+}

@@ -1,0 +1,437 @@
+//! The ten DNN inference benchmarks of the paper's Table III.
+//!
+//! The paper obtains layer compositions "from the TensorFlow NN
+//! implementations"; we reproduce the Table III CONV/FC/RC counts exactly
+//! and synthesize per-layer MAC and byte costs so that each network's total
+//! MAC count and parameter size match the published model cards. The
+//! synthesis is deterministic: the same workload always yields the same
+//! layer list.
+
+use serde::{Deserialize, Serialize};
+
+use crate::layer::{Layer, LayerKind};
+use crate::network::{Network, Task};
+
+/// One of the ten benchmark networks in the paper's Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Workload {
+    /// Inception v1 (GoogLeNet), image classification. 49 CONV, 1 FC.
+    InceptionV1,
+    /// Inception v3, image classification. 94 CONV, 1 FC.
+    InceptionV3,
+    /// MobileNet v1, image classification. 14 CONV, 1 FC.
+    MobileNetV1,
+    /// MobileNet v2, image classification. 35 CONV, 1 FC.
+    MobileNetV2,
+    /// MobileNet v3, image classification. 23 CONV, 20 FC (squeeze-excite).
+    MobileNetV3,
+    /// ResNet 50, image classification. 53 CONV, 1 FC.
+    ResNet50,
+    /// SSD MobileNet v1, object detection. 19 CONV, 1 FC.
+    SsdMobileNetV1,
+    /// SSD MobileNet v2, object detection. 52 CONV, 1 FC.
+    SsdMobileNetV2,
+    /// SSD MobileNet v3, object detection. 28 CONV, 20 FC.
+    SsdMobileNetV3,
+    /// MobileBERT, translation. 1 FC, 24 RC (transformer blocks).
+    MobileBert,
+}
+
+impl Workload {
+    /// All ten workloads in the order of the paper's Table III.
+    pub const ALL: [Workload; 10] = [
+        Workload::InceptionV1,
+        Workload::InceptionV3,
+        Workload::MobileNetV1,
+        Workload::MobileNetV2,
+        Workload::MobileNetV3,
+        Workload::ResNet50,
+        Workload::SsdMobileNetV1,
+        Workload::SsdMobileNetV2,
+        Workload::SsdMobileNetV3,
+        Workload::MobileBert,
+    ];
+
+    /// The workload's name as printed in Table III.
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            Workload::InceptionV1 => "Inception v1",
+            Workload::InceptionV3 => "Inception v3",
+            Workload::MobileNetV1 => "MobileNet v1",
+            Workload::MobileNetV2 => "MobileNet v2",
+            Workload::MobileNetV3 => "MobileNet v3",
+            Workload::ResNet50 => "ResNet 50",
+            Workload::SsdMobileNetV1 => "SSD MobileNet v1",
+            Workload::SsdMobileNetV2 => "SSD MobileNet v2",
+            Workload::SsdMobileNetV3 => "SSD MobileNet v3",
+            Workload::MobileBert => "MobileBERT",
+        }
+    }
+
+    /// The use case the workload serves (Table III, "Workload" column).
+    pub fn task(self) -> Task {
+        match self {
+            Workload::InceptionV1
+            | Workload::InceptionV3
+            | Workload::MobileNetV1
+            | Workload::MobileNetV2
+            | Workload::MobileNetV3
+            | Workload::ResNet50 => Task::ImageClassification,
+            Workload::SsdMobileNetV1 | Workload::SsdMobileNetV2 | Workload::SsdMobileNetV3 => {
+                Task::ObjectDetection
+            }
+            Workload::MobileBert => Task::Translation,
+        }
+    }
+
+    /// The shape specification used to synthesize the layer graph.
+    fn spec(self) -> Spec {
+        // MAC totals and parameter counts follow the public model cards
+        // (MACs = half the usually-quoted FLOPs); payload sizes model a
+        // compressed camera frame / detection frame / UTF-8 sentence.
+        match self {
+            Workload::InceptionV1 => Spec {
+                conv: 49,
+                fc: 1,
+                rc: 0,
+                total_macs: 1_430_000_000,
+                params: 7_000_000,
+                input_activation_bytes: 602_112, // 224*224*3*4 (FP32)
+                input_payload: 64 * 1024,
+                output_payload: 4 * 1024,
+            },
+            Workload::InceptionV3 => Spec {
+                conv: 94,
+                fc: 1,
+                rc: 0,
+                total_macs: 5_700_000_000,
+                params: 23_800_000,
+                input_activation_bytes: 1_072_812, // 299*299*3*4
+                input_payload: 96 * 1024,
+                output_payload: 4 * 1024,
+            },
+            Workload::MobileNetV1 => Spec {
+                conv: 14,
+                fc: 1,
+                rc: 0,
+                total_macs: 569_000_000,
+                params: 4_200_000,
+                input_activation_bytes: 602_112,
+                input_payload: 64 * 1024,
+                output_payload: 4 * 1024,
+            },
+            Workload::MobileNetV2 => Spec {
+                conv: 35,
+                fc: 1,
+                rc: 0,
+                total_macs: 300_000_000,
+                params: 3_500_000,
+                input_activation_bytes: 602_112,
+                input_payload: 64 * 1024,
+                output_payload: 4 * 1024,
+            },
+            Workload::MobileNetV3 => Spec {
+                conv: 23,
+                fc: 20,
+                rc: 0,
+                total_macs: 219_000_000,
+                params: 5_400_000,
+                input_activation_bytes: 602_112,
+                input_payload: 64 * 1024,
+                output_payload: 4 * 1024,
+            },
+            Workload::ResNet50 => Spec {
+                conv: 53,
+                fc: 1,
+                rc: 0,
+                total_macs: 4_100_000_000,
+                params: 25_600_000,
+                input_activation_bytes: 602_112,
+                input_payload: 64 * 1024,
+                output_payload: 4 * 1024,
+            },
+            Workload::SsdMobileNetV1 => Spec {
+                conv: 19,
+                fc: 1,
+                rc: 0,
+                total_macs: 1_200_000_000,
+                params: 6_800_000,
+                input_activation_bytes: 1_080_000, // 300*300*3*4
+                input_payload: 100 * 1024,
+                output_payload: 8 * 1024,
+            },
+            Workload::SsdMobileNetV2 => Spec {
+                conv: 52,
+                fc: 1,
+                rc: 0,
+                total_macs: 800_000_000,
+                params: 4_500_000,
+                input_activation_bytes: 1_080_000,
+                input_payload: 100 * 1024,
+                output_payload: 8 * 1024,
+            },
+            Workload::SsdMobileNetV3 => Spec {
+                conv: 28,
+                fc: 20,
+                rc: 0,
+                total_macs: 600_000_000,
+                params: 5_000_000,
+                input_activation_bytes: 1_080_000,
+                input_payload: 100 * 1024,
+                output_payload: 8 * 1024,
+            },
+            Workload::MobileBert => Spec {
+                conv: 0,
+                fc: 1,
+                rc: 24,
+                total_macs: 2_400_000_000,
+                params: 25_300_000,
+                input_activation_bytes: 128 * 512 * 4, // seq 128 x hidden 512
+                input_payload: 2 * 1024,
+                output_payload: 2 * 1024,
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.paper_name())
+    }
+}
+
+/// Shape specification from which a deterministic layer graph is built.
+struct Spec {
+    conv: usize,
+    fc: usize,
+    rc: usize,
+    total_macs: u64,
+    params: u64,
+    input_activation_bytes: u64,
+    input_payload: u64,
+    output_payload: u64,
+}
+
+/// Builds the deterministic layer graph for a workload.
+pub(crate) fn build(workload: Workload) -> Network {
+    let spec = workload.spec();
+    let mut layers = Vec::new();
+
+    // Budget split: the classifier FC of vision models performs exactly one
+    // MAC per parameter; squeeze-excite FCs are tiny. RC blocks dominate
+    // MobileBERT. Whatever remains goes to the CONV stack.
+    let fc_params_each: u64 = if spec.fc > 1 {
+        // Squeeze-excite style: small bottleneck FCs plus one classifier.
+        60_000
+    } else {
+        1_000_000
+    };
+    let fc_macs_total: u64 = spec.fc as u64 * fc_params_each;
+    // Everything the FC stack does not use goes to the dominant stack: the
+    // RC blocks for recurrent models, the CONV stack otherwise.
+    let rc_macs_total: u64 =
+        if spec.rc > 0 { spec.total_macs.saturating_sub(fc_macs_total) } else { 0 };
+    let conv_macs_total = spec.total_macs.saturating_sub(fc_macs_total + rc_macs_total);
+
+    let fc_params_total = spec.fc as u64 * fc_params_each;
+    let rc_params_total = if spec.rc > 0 { spec.params.saturating_sub(fc_params_total) } else { 0 };
+    let conv_params_total = spec.params.saturating_sub(fc_params_total + rc_params_total);
+
+    // --- CONV stack -------------------------------------------------------
+    // Early layers see large activations and small filters; late layers the
+    // reverse. MAC share decays linearly, weight share grows linearly.
+    if spec.conv > 0 {
+        let n = spec.conv as u64;
+        // Linear ramps expressed as integer weights (avoid float rounding).
+        let mac_weights: Vec<u64> = (0..n).map(|i| 3 * n - 2 * i).collect();
+        let w_weights: Vec<u64> = (0..n).map(|i| n + 2 * i).collect();
+        let macs = apportion(conv_macs_total, &mac_weights);
+        let weights = apportion(conv_params_total * 4, &w_weights); // bytes at FP32
+
+        let mut act = spec.input_activation_bytes;
+        for i in 0..spec.conv {
+            // Activations shrink roughly 12% per layer as spatial dims drop.
+            let out_act = std::cmp::max(act * 88 / 100, 4_096);
+            layers.push(Layer::new(LayerKind::Conv, macs[i], weights[i], act, out_act));
+            // Sprinkle the cheap auxiliary layers through the stack so the
+            // per-layer breakdown (paper Fig. 3) has a realistic shape.
+            if i % 4 == 1 {
+                layers.push(Layer::new(LayerKind::Norm, 0, 64, out_act, out_act));
+            }
+            if i % 6 == 3 {
+                layers.push(Layer::new(LayerKind::Pool, 0, 0, out_act, out_act * 3 / 4));
+                act = out_act * 3 / 4;
+            } else {
+                act = out_act;
+            }
+        }
+    }
+
+    // --- RC stack (MobileBERT transformer blocks) --------------------------
+    if spec.rc > 0 {
+        let n = spec.rc as u64;
+        let macs_each = rc_macs_total / n;
+        let weights_each = rc_params_total * 4 / n;
+        let act = spec.input_activation_bytes;
+        for _ in 0..spec.rc {
+            layers.push(Layer::new(LayerKind::Rc, macs_each, weights_each, act, act));
+        }
+    }
+
+    // --- FC stack -----------------------------------------------------------
+    for i in 0..spec.fc {
+        // One MAC per parameter; activations are small vectors.
+        let in_act = if spec.fc > 1 && i + 1 < spec.fc { 4_096 } else { 8_192 };
+        layers.push(Layer::new(
+            LayerKind::Fc,
+            fc_params_each,
+            fc_params_each * 4,
+            in_act,
+            if i + 1 == spec.fc { 4_000 } else { in_act },
+        ));
+    }
+
+    // --- Head ---------------------------------------------------------------
+    match workload.task() {
+        Task::ImageClassification | Task::ObjectDetection => {
+            layers.push(Layer::new(LayerKind::Softmax, 0, 0, 4_000, 4_000));
+            layers.push(Layer::new(LayerKind::Argmax, 0, 0, 4_000, 8));
+        }
+        Task::Translation => {
+            layers.push(Layer::new(LayerKind::Softmax, 0, 0, 4_000, 4_000));
+        }
+    }
+
+    Network::new(
+        workload.paper_name(),
+        workload.task(),
+        layers,
+        spec.input_payload,
+        spec.output_payload,
+    )
+}
+
+/// Splits `total` across parts proportional to `weights`, exactly: the
+/// remainder after integer division is given to the first part.
+fn apportion(total: u64, weights: &[u64]) -> Vec<u64> {
+    let sum: u64 = weights.iter().sum();
+    if sum == 0 || weights.is_empty() {
+        return vec![0; weights.len()];
+    }
+    let mut parts: Vec<u64> =
+        weights.iter().map(|w| (total as u128 * *w as u128 / sum as u128) as u64).collect();
+    // Distribute what integer truncation dropped.
+    let assigned: u64 = parts.iter().sum();
+    if let Some(first) = parts.first_mut() {
+        *first += total - assigned;
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iii_layer_counts() {
+        // (workload, SCONV, SFC, SRC) exactly as printed in Table III.
+        let expected = [
+            (Workload::InceptionV1, 49, 1, 0),
+            (Workload::InceptionV3, 94, 1, 0),
+            (Workload::MobileNetV1, 14, 1, 0),
+            (Workload::MobileNetV2, 35, 1, 0),
+            (Workload::MobileNetV3, 23, 20, 0),
+            (Workload::ResNet50, 53, 1, 0),
+            (Workload::SsdMobileNetV1, 19, 1, 0),
+            (Workload::SsdMobileNetV2, 52, 1, 0),
+            (Workload::SsdMobileNetV3, 28, 20, 0),
+            (Workload::MobileBert, 0, 1, 24),
+        ];
+        for (w, conv, fc, rc) in expected {
+            let net = build(w);
+            assert_eq!(net.count(LayerKind::Conv), conv, "{w} CONV");
+            assert_eq!(net.count(LayerKind::Fc), fc, "{w} FC");
+            assert_eq!(net.count(LayerKind::Rc), rc, "{w} RC");
+        }
+    }
+
+    #[test]
+    fn total_macs_match_spec_within_one_percent() {
+        for w in Workload::ALL {
+            let net = build(w);
+            let target = w.spec().total_macs as f64;
+            let actual = net.total_macs() as f64;
+            let err = (actual - target).abs() / target;
+            assert!(err < 0.01, "{w}: {actual} vs {target}");
+        }
+    }
+
+    #[test]
+    fn params_match_spec_within_five_percent() {
+        for w in Workload::ALL {
+            let net = build(w);
+            let target = w.spec().params as f64 * 4.0; // bytes at FP32
+            let actual = net.weight_bytes(crate::Precision::Fp32) as f64;
+            let err = (actual - target).abs() / target;
+            assert!(err < 0.05, "{w}: {actual} vs {target}");
+        }
+    }
+
+    #[test]
+    fn only_mobilebert_has_recurrent_layers() {
+        for w in Workload::ALL {
+            let net = build(w);
+            assert_eq!(net.has_recurrent_layers(), w == Workload::MobileBert, "{w}");
+        }
+    }
+
+    #[test]
+    fn deterministic_synthesis() {
+        assert_eq!(build(Workload::ResNet50), build(Workload::ResNet50));
+    }
+
+    #[test]
+    fn tasks_match_table_iii() {
+        assert_eq!(Workload::ResNet50.task(), Task::ImageClassification);
+        assert_eq!(Workload::SsdMobileNetV2.task(), Task::ObjectDetection);
+        assert_eq!(Workload::MobileBert.task(), Task::Translation);
+    }
+
+    #[test]
+    fn apportion_is_exact() {
+        let parts = apportion(1_000, &[1, 2, 3, 4]);
+        assert_eq!(parts.iter().sum::<u64>(), 1_000);
+        assert!(parts[3] > parts[0]);
+    }
+
+    #[test]
+    fn apportion_handles_zero_weights() {
+        assert_eq!(apportion(100, &[0, 0]), vec![0, 0]);
+        assert_eq!(apportion(100, &[]), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn mobilebert_is_translation_payload_light() {
+        // A sentence payload is tiny next to a camera frame: this is what
+        // makes cloud offloading of MobileBERT cheap (paper Section III-A).
+        let bert = build(Workload::MobileBert);
+        let resnet = build(Workload::ResNet50);
+        assert!(bert.input_bytes() * 10 < resnet.input_bytes());
+    }
+
+    #[test]
+    fn conv_layers_dominate_vision_compute() {
+        let net = build(Workload::InceptionV1);
+        let conv_macs: u64 =
+            net.layers().iter().filter(|l| l.kind == LayerKind::Conv).map(|l| l.macs).sum();
+        assert!(conv_macs as f64 / net.total_macs() as f64 > 0.99);
+    }
+
+    #[test]
+    fn mobilenet_v3_fc_layers_are_memory_bound() {
+        let net = build(Workload::MobileNetV3);
+        for l in net.layers().iter().filter(|l| l.kind == LayerKind::Fc) {
+            assert!(l.arithmetic_intensity() < 1.0, "FC should be memory bound");
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests for the workload models.
+
+use autoscale_nn::{accuracy_for, Layer, LayerKind, Network, Precision, Task, Workload};
+use proptest::prelude::*;
+
+fn arb_workload() -> impl Strategy<Value = Workload> {
+    prop::sample::select(Workload::ALL.to_vec())
+}
+
+fn arb_precision() -> impl Strategy<Value = Precision> {
+    prop::sample::select(Precision::ALL.to_vec())
+}
+
+fn arb_layer() -> impl Strategy<Value = Layer> {
+    (
+        prop::sample::select(LayerKind::ALL.to_vec()),
+        0u64..10_000_000_000,
+        0u64..100_000_000,
+        0u64..10_000_000,
+        0u64..10_000_000,
+    )
+        .prop_map(|(kind, macs, w, i, o)| Layer::new(kind, macs, w, i, o))
+}
+
+proptest! {
+    /// Traffic shrinks monotonically with precision width, exactly
+    /// proportionally to element bytes.
+    #[test]
+    fn traffic_scales_exactly_with_element_width(layer in arb_layer()) {
+        let fp32 = layer.traffic_bytes(Precision::Fp32);
+        prop_assert_eq!(layer.traffic_bytes(Precision::Fp16), fp32 / 2);
+        prop_assert_eq!(layer.traffic_bytes(Precision::Int8), fp32 / 4);
+    }
+
+    /// Weight traffic never exceeds total traffic.
+    #[test]
+    fn weight_traffic_is_bounded(layer in arb_layer(), p in arb_precision()) {
+        prop_assert!(layer.weight_traffic_bytes(p) <= layer.traffic_bytes(p));
+    }
+
+    /// Arithmetic intensity is finite and non-negative.
+    #[test]
+    fn arithmetic_intensity_is_sane(layer in arb_layer()) {
+        let ai = layer.arithmetic_intensity();
+        prop_assert!(ai.is_finite());
+        prop_assert!(ai >= 0.0);
+    }
+
+    /// Every workload's network is internally consistent: totals equal
+    /// per-layer sums, payloads are positive, the task matches.
+    #[test]
+    fn workload_networks_are_consistent(w in arb_workload()) {
+        let net = Network::workload(w);
+        let macs: u64 = net.layers().iter().map(|l| l.macs).sum();
+        prop_assert_eq!(macs, net.total_macs());
+        prop_assert!(net.input_bytes() > 0);
+        prop_assert!(net.output_bytes() > 0);
+        prop_assert_eq!(net.task(), w.task());
+        prop_assert_eq!(
+            net.has_recurrent_layers(),
+            net.count(LayerKind::Rc) > 0
+        );
+    }
+
+    /// Accuracy tables are within [0, 100] and ordered by precision.
+    #[test]
+    fn accuracy_tables_are_ordered(w in arb_workload(), p in arb_precision()) {
+        let t = accuracy_for(w);
+        prop_assert!((0.0..=100.0).contains(&t.at(p)));
+        prop_assert!(t.fp32 >= t.fp16);
+        prop_assert!(t.fp16 >= t.int8);
+    }
+
+    /// Custom networks preserve their construction inputs.
+    #[test]
+    fn custom_network_round_trips(
+        layers in prop::collection::vec(arb_layer(), 1..50),
+        input in 1u64..1_000_000,
+        output in 1u64..100_000,
+    ) {
+        let net = Network::new("custom", Task::ImageClassification, layers.clone(), input, output);
+        prop_assert_eq!(net.layers().len(), layers.len());
+        prop_assert_eq!(net.input_bytes(), input);
+        prop_assert_eq!(net.output_bytes(), output);
+        let conv = layers.iter().filter(|l| l.kind == LayerKind::Conv).count();
+        prop_assert_eq!(net.count(LayerKind::Conv), conv);
+    }
+
+    /// serde round-trips preserve networks exactly.
+    #[test]
+    fn network_serde_round_trip(w in arb_workload()) {
+        let net = Network::workload(w);
+        let json = serde_json::to_string(&net).expect("serializes");
+        let back: Network = serde_json::from_str(&json).expect("deserializes");
+        prop_assert_eq!(net, back);
+    }
+}

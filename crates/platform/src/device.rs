@@ -1,0 +1,493 @@
+//! The device catalog: the paper's Table II phones, the Galaxy Tab S6
+//! "connected edge" tablet, and the Xeon + P100 cloud server.
+//!
+//! Throughput, bandwidth and power numbers are calibrated so the
+//! characterization experiments of the paper's Section III reproduce
+//! qualitatively: high-end phones run light NNs best locally, the mid-end
+//! phone always benefits from scaling out, heavy NNs favour the cloud, and
+//! FC-heavy NNs favour CPUs over co-processors.
+
+use autoscale_nn::Precision;
+use serde::{Deserialize, Serialize};
+
+use crate::dvfs::DvfsLadder;
+use crate::processor::{KindEfficiency, Processor, ProcessorConfig, ProcessorKind};
+use crate::thermal::ThermalPolicy;
+
+/// Identifies one of the five systems in the paper's testbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DeviceId {
+    /// Xiaomi Mi8Pro — high-end phone with GPU and DSP co-processors.
+    Mi8Pro,
+    /// Samsung Galaxy S10e — high-end phone with GPU but no DSP.
+    GalaxyS10e,
+    /// Motorola Moto X Force — mid-end phone.
+    MotoXForce,
+    /// Samsung Galaxy Tab S6 — the locally connected edge device.
+    GalaxyTabS6,
+    /// Intel Xeon E5-2640 + NVIDIA Tesla P100 — the cloud server.
+    CloudServer,
+}
+
+impl DeviceId {
+    /// The three phones the paper evaluates AutoScale on.
+    pub const PHONES: [DeviceId; 3] = [DeviceId::Mi8Pro, DeviceId::GalaxyS10e, DeviceId::MotoXForce];
+
+    /// All five systems.
+    pub const ALL: [DeviceId; 5] = [
+        DeviceId::Mi8Pro,
+        DeviceId::GalaxyS10e,
+        DeviceId::MotoXForce,
+        DeviceId::GalaxyTabS6,
+        DeviceId::CloudServer,
+    ];
+
+    /// Human-readable name as used in the paper.
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            DeviceId::Mi8Pro => "Mi8Pro",
+            DeviceId::GalaxyS10e => "Galaxy S10e",
+            DeviceId::MotoXForce => "Moto X Force",
+            DeviceId::GalaxyTabS6 => "Galaxy Tab S6",
+            DeviceId::CloudServer => "Cloud (Xeon + P100)",
+        }
+    }
+}
+
+impl std::fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.paper_name())
+    }
+}
+
+/// Market tier of a device, which drives the paper's Section III analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceClass {
+    /// High-end mobile system with an NN-capable DSP (Mi8Pro).
+    HighEndWithDsp,
+    /// High-end mobile system without a DSP (Galaxy S10e).
+    HighEnd,
+    /// Mid-end mobile system with wide market coverage (Moto X Force).
+    MidEnd,
+    /// A higher-end locally connected edge device (tablet).
+    ConnectedEdge,
+    /// A server-class system reached over the WAN.
+    Server,
+}
+
+/// A complete system: its processors, base power, thermal policy and the
+/// serving overhead remote requests experience.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Device {
+    id: DeviceId,
+    class: DeviceClass,
+    processors: Vec<Processor>,
+    base_power_w: f64,
+    thermal: ThermalPolicy,
+    serving_overhead_ms: f64,
+    dram_gb: f64,
+}
+
+impl Device {
+    /// The device's identity.
+    pub fn id(&self) -> DeviceId {
+        self.id
+    }
+
+    /// The device's market tier.
+    pub fn class(&self) -> DeviceClass {
+        self.class
+    }
+
+    /// All processors on the device.
+    pub fn processors(&self) -> &[Processor] {
+        &self.processors
+    }
+
+    /// The processor of the given kind, if the device has one.
+    ///
+    /// The Galaxy S10e and Moto X Force have no DSP (paper Table II).
+    pub fn processor(&self, kind: ProcessorKind) -> Option<&Processor> {
+        self.processors.iter().find(|p| p.kind() == kind)
+    }
+
+    /// Base power in watts drawn by the rest of the device (DRAM, rails,
+    /// display) while an inference runs.
+    pub fn base_power_w(&self) -> f64 {
+        self.base_power_w
+    }
+
+    /// The device's thermal-throttling policy.
+    pub fn thermal(&self) -> ThermalPolicy {
+        self.thermal
+    }
+
+    /// Request-serving overhead in milliseconds paid by *remote* callers
+    /// (deserialization, scheduling, result marshalling). Zero when the
+    /// device runs its own inference.
+    pub fn serving_overhead_ms(&self) -> f64 {
+        self.serving_overhead_ms
+    }
+
+    /// DRAM capacity in GB (used for the paper's Section VI-C memory
+    /// overhead discussion — 0.4 MB of Q-table on a 3 GB mid-end phone).
+    pub fn dram_gb(&self) -> f64 {
+        self.dram_gb
+    }
+
+    /// Whether this is a phone (an AutoScale host), rather than an
+    /// offloading target.
+    pub fn is_phone(&self) -> bool {
+        matches!(self.class, DeviceClass::HighEndWithDsp | DeviceClass::HighEnd | DeviceClass::MidEnd)
+    }
+
+    /// Builds the device for an id.
+    pub fn for_id(id: DeviceId) -> Device {
+        match id {
+            DeviceId::Mi8Pro => Device::mi8pro(),
+            DeviceId::GalaxyS10e => Device::galaxy_s10e(),
+            DeviceId::MotoXForce => Device::moto_x_force(),
+            DeviceId::GalaxyTabS6 => Device::galaxy_tab_s6(),
+            DeviceId::CloudServer => Device::cloud_server(),
+        }
+    }
+
+    /// Xiaomi Mi8Pro: Cortex A75 CPU (2.8 GHz, 23 V/F steps), Adreno 630
+    /// GPU (0.7 GHz, 7 V/F steps), Hexagon 685 DSP. Paper Table II.
+    pub fn mi8pro() -> Device {
+        Device {
+            id: DeviceId::Mi8Pro,
+            class: DeviceClass::HighEndWithDsp,
+            processors: vec![
+                phone_cpu("Cortex A75", 18.0, 12.0, 23, 0.8, 2.8, 4.0),
+                phone_gpu("Adreno 630", 120.0, 18.0, 7, 0.25, 0.7, 2.3),
+                phone_dsp("Hexagon 685", 300.0, 16.0, 0.7, 1.6),
+            ],
+            base_power_w: 0.8,
+            thermal: ThermalPolicy::phone_default(),
+            serving_overhead_ms: 0.0,
+            dram_gb: 8.0,
+        }
+    }
+
+    /// Samsung Galaxy S10e: Mongoose CPU (2.7 GHz, 21 V/F steps),
+    /// Mali-G76 GPU (0.7 GHz, 9 V/F steps), no DSP. Paper Table II.
+    pub fn galaxy_s10e() -> Device {
+        Device {
+            id: DeviceId::GalaxyS10e,
+            class: DeviceClass::HighEnd,
+            processors: vec![
+                phone_cpu("Mongoose", 22.0, 14.0, 21, 0.7, 2.7, 4.2),
+                phone_gpu("Mali-G76", 110.0, 17.0, 9, 0.26, 0.7, 1.9),
+            ],
+            base_power_w: 0.8,
+            thermal: ThermalPolicy::phone_default(),
+            serving_overhead_ms: 0.0,
+            dram_gb: 6.0,
+        }
+    }
+
+    /// Motorola Moto X Force: Cortex A57 CPU (1.9 GHz, 15 V/F steps),
+    /// Adreno 430 GPU (0.6 GHz, 6 V/F steps), no DSP. Paper Table II.
+    pub fn moto_x_force() -> Device {
+        Device {
+            id: DeviceId::MotoXForce,
+            class: DeviceClass::MidEnd,
+            processors: vec![
+                phone_cpu("Cortex A57", 6.0, 6.0, 15, 0.6, 1.9, 3.1),
+                phone_gpu("Adreno 430", 35.0, 10.0, 6, 0.18, 0.6, 2.0),
+            ],
+            base_power_w: 0.9,
+            thermal: ThermalPolicy::phone_default(),
+            serving_overhead_ms: 0.0,
+            dram_gb: 3.0,
+        }
+    }
+
+    /// Samsung Galaxy Tab S6: Cortex A76 CPU (2.84 GHz), Adreno 640 GPU,
+    /// Hexagon 690 DSP. The locally connected edge device (Section V-A).
+    pub fn galaxy_tab_s6() -> Device {
+        Device {
+            id: DeviceId::GalaxyTabS6,
+            class: DeviceClass::ConnectedEdge,
+            processors: vec![
+                phone_cpu("Cortex A76", 26.0, 15.0, 20, 0.8, 2.84, 4.5),
+                phone_gpu("Adreno 640", 160.0, 20.0, 8, 0.25, 0.7, 2.5),
+                phone_dsp("Hexagon 690", 420.0, 18.0, 0.75, 1.8),
+            ],
+            base_power_w: 1.0,
+            thermal: ThermalPolicy::never(),
+            serving_overhead_ms: 8.0,
+            dram_gb: 8.0,
+        }
+    }
+
+    /// The NPU-extension variant of the Mi8Pro (Section V-C: "additional
+    /// actions, such as mobile NPU ... could be further considered"): the
+    /// same phone with its NPU unlocked by a public SDK. NPUs beat DSPs
+    /// on raw throughput and perf/W for CONV-dominated models but share
+    /// their INT8-only, no-DVFS, no-recurrence constraints.
+    pub fn mi8pro_npu() -> Device {
+        let mut device = Device::mi8pro();
+        device.processors.push(Processor::new(ProcessorConfig {
+            name: "Mi8Pro NPU".into(),
+            kind: ProcessorKind::Npu,
+            peak_gmacs: 550.0,
+            mem_bw_gbps: 18.0,
+            dispatch_overhead_ms: 0.10,
+            sync_overhead_ms: 0.9,
+            dvfs: DvfsLadder::fixed(0.8, 1.2),
+            idle_power_w: 0.04,
+            precisions: vec![Precision::Int8],
+            efficiency: KindEfficiency { conv: 1.0, fc: 0.25, rc: 0.1, other: 0.7 },
+            runs_recurrent: false,
+        }));
+        device
+    }
+
+    /// The TPU-extension variant of the cloud server (Section V-C:
+    /// "... or cloud TPU"): the same rack with a TPU v2 board serving
+    /// FP16/bfloat16 inference.
+    pub fn cloud_server_tpu() -> Device {
+        let mut device = Device::cloud_server();
+        device.processors.push(Processor::new(ProcessorConfig {
+            name: "TPU v2".into(),
+            kind: ProcessorKind::Npu,
+            peak_gmacs: 20_000.0,
+            mem_bw_gbps: 600.0,
+            dispatch_overhead_ms: 0.02,
+            sync_overhead_ms: 0.05,
+            dvfs: DvfsLadder::fixed(0.7, 280.0),
+            idle_power_w: 35.0,
+            precisions: vec![Precision::Fp16],
+            efficiency: KindEfficiency { conv: 1.0, fc: 0.7, rc: 0.4, other: 0.9 },
+            runs_recurrent: true,
+        }));
+        device
+    }
+
+    /// Cloud server: Intel Xeon E5-2640 (2.4 GHz, 40 cores) and an NVIDIA
+    /// Tesla P100, 256 GB RAM (Section V-A). Server-side power is paid by
+    /// the datacenter, not the phone, so the phone-side energy of a cloud
+    /// inference is transmission + idle wait (paper eq. (4)).
+    pub fn cloud_server() -> Device {
+        Device {
+            id: DeviceId::CloudServer,
+            class: DeviceClass::Server,
+            processors: vec![
+                Processor::new(ProcessorConfig {
+                    name: "Xeon E5-2640".into(),
+                    kind: ProcessorKind::Cpu,
+                    peak_gmacs: 250.0,
+                    mem_bw_gbps: 60.0,
+                    dispatch_overhead_ms: 0.005,
+                    sync_overhead_ms: 0.0,
+                    dvfs: DvfsLadder::linear(1, 2.4, 2.4, 120.0),
+                    idle_power_w: 40.0,
+                    precisions: vec![Precision::Fp32],
+                    efficiency: KindEfficiency { conv: 1.0, fc: 1.0, rc: 0.8, other: 1.0 },
+                    runs_recurrent: true,
+                }),
+                Processor::new(ProcessorConfig {
+                    name: "Tesla P100".into(),
+                    kind: ProcessorKind::Gpu,
+                    peak_gmacs: 3_000.0,
+                    mem_bw_gbps: 500.0,
+                    dispatch_overhead_ms: 0.03,
+                    sync_overhead_ms: 0.05,
+                    dvfs: DvfsLadder::linear(1, 1.3, 1.3, 250.0),
+                    idle_power_w: 30.0,
+                    precisions: vec![Precision::Fp32],
+                    efficiency: KindEfficiency { conv: 1.0, fc: 0.8, rc: 0.5, other: 0.9 },
+                    runs_recurrent: true,
+                }),
+            ],
+            base_power_w: 80.0,
+            thermal: ThermalPolicy::never(),
+            serving_overhead_ms: 5.0,
+            dram_gb: 256.0,
+        }
+    }
+}
+
+impl std::fmt::Display for Device {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({} processors)", self.id.paper_name(), self.processors.len())
+    }
+}
+
+/// Builds a phone-class CPU processor.
+fn phone_cpu(
+    name: &str,
+    peak_gmacs: f64,
+    mem_bw_gbps: f64,
+    steps: usize,
+    min_ghz: f64,
+    max_ghz: f64,
+    max_power_w: f64,
+) -> Processor {
+    Processor::new(ProcessorConfig {
+        name: name.into(),
+        kind: ProcessorKind::Cpu,
+        peak_gmacs,
+        mem_bw_gbps,
+        dispatch_overhead_ms: 0.01,
+        sync_overhead_ms: 0.0,
+        dvfs: DvfsLadder::linear(steps, min_ghz, max_ghz, max_power_w),
+        idle_power_w: 0.10,
+        precisions: vec![Precision::Fp32, Precision::Int8],
+        efficiency: KindEfficiency { conv: 1.0, fc: 1.0, rc: 0.6, other: 1.0 },
+        runs_recurrent: true,
+    })
+}
+
+/// Builds a phone-class GPU processor.
+fn phone_gpu(
+    name: &str,
+    peak_gmacs: f64,
+    mem_bw_gbps: f64,
+    steps: usize,
+    min_ghz: f64,
+    max_ghz: f64,
+    max_power_w: f64,
+) -> Processor {
+    Processor::new(ProcessorConfig {
+        name: name.into(),
+        kind: ProcessorKind::Gpu,
+        peak_gmacs,
+        mem_bw_gbps,
+        dispatch_overhead_ms: 0.18,
+        sync_overhead_ms: 0.8,
+        dvfs: DvfsLadder::linear(steps, min_ghz, max_ghz, max_power_w),
+        idle_power_w: 0.08,
+        precisions: vec![Precision::Fp32, Precision::Fp16],
+        efficiency: KindEfficiency { conv: 1.0, fc: 0.3, rc: 0.25, other: 0.8 },
+        runs_recurrent: false,
+    })
+}
+
+/// Builds a phone-class DSP processor (INT8 only, fixed frequency).
+fn phone_dsp(name: &str, peak_gmacs: f64, mem_bw_gbps: f64, freq_ghz: f64, power_w: f64) -> Processor {
+    Processor::new(ProcessorConfig {
+        name: name.into(),
+        kind: ProcessorKind::Dsp,
+        peak_gmacs,
+        mem_bw_gbps,
+        dispatch_overhead_ms: 0.12,
+        sync_overhead_ms: 1.0,
+        dvfs: DvfsLadder::fixed(freq_ghz, power_w),
+        idle_power_w: 0.05,
+        precisions: vec![Precision::Int8],
+        efficiency: KindEfficiency { conv: 1.0, fc: 0.25, rc: 0.1, other: 0.7 },
+        runs_recurrent: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ii_dvfs_step_counts() {
+        // Table II: Mi8Pro CPU 23 / GPU 7; S10e CPU 21 / GPU 9;
+        // Moto CPU 15 / GPU 6.
+        let cases = [
+            (Device::mi8pro(), 23, Some(7)),
+            (Device::galaxy_s10e(), 21, Some(9)),
+            (Device::moto_x_force(), 15, Some(6)),
+        ];
+        for (d, cpu_steps, gpu_steps) in cases {
+            assert_eq!(d.processor(ProcessorKind::Cpu).unwrap().dvfs().len(), cpu_steps);
+            assert_eq!(
+                d.processor(ProcessorKind::Gpu).map(|g| g.dvfs().len()),
+                gpu_steps,
+                "{}",
+                d.id()
+            );
+        }
+    }
+
+    #[test]
+    fn only_mi8pro_and_tablet_have_dsps() {
+        assert!(Device::mi8pro().processor(ProcessorKind::Dsp).is_some());
+        assert!(Device::galaxy_tab_s6().processor(ProcessorKind::Dsp).is_some());
+        assert!(Device::galaxy_s10e().processor(ProcessorKind::Dsp).is_none());
+        assert!(Device::moto_x_force().processor(ProcessorKind::Dsp).is_none());
+    }
+
+    #[test]
+    fn phone_classification() {
+        assert!(Device::mi8pro().is_phone());
+        assert!(Device::moto_x_force().is_phone());
+        assert!(!Device::galaxy_tab_s6().is_phone());
+        assert!(!Device::cloud_server().is_phone());
+    }
+
+    #[test]
+    fn for_id_round_trips() {
+        for id in DeviceId::ALL {
+            assert_eq!(Device::for_id(id).id(), id);
+        }
+    }
+
+    #[test]
+    fn mid_end_is_slower_than_high_end() {
+        let hi = Device::mi8pro();
+        let mid = Device::moto_x_force();
+        assert!(
+            mid.processor(ProcessorKind::Cpu).unwrap().peak_gmacs()
+                < hi.processor(ProcessorKind::Cpu).unwrap().peak_gmacs() / 2.0
+        );
+    }
+
+    #[test]
+    fn cloud_gpu_dwarfs_phone_gpus() {
+        let cloud = Device::cloud_server();
+        let phone = Device::mi8pro();
+        assert!(
+            cloud.processor(ProcessorKind::Gpu).unwrap().peak_gmacs()
+                > 10.0 * phone.processor(ProcessorKind::Gpu).unwrap().peak_gmacs()
+        );
+    }
+
+    #[test]
+    fn remote_targets_have_serving_overhead() {
+        assert!(Device::cloud_server().serving_overhead_ms() > 0.0);
+        assert!(Device::galaxy_tab_s6().serving_overhead_ms() > 0.0);
+        assert_eq!(Device::mi8pro().serving_overhead_ms(), 0.0);
+    }
+
+    #[test]
+    fn moto_is_the_3gb_mid_end_device() {
+        // Section VI-C: "3 GB DRAM capacity of a typical mid-end device".
+        assert_eq!(Device::moto_x_force().dram_gb(), 3.0);
+    }
+
+    #[test]
+    fn npu_extension_variants_add_exactly_one_processor() {
+        assert!(Device::mi8pro().processor(ProcessorKind::Npu).is_none());
+        let npu = Device::mi8pro_npu();
+        assert!(npu.processor(ProcessorKind::Npu).is_some());
+        assert_eq!(npu.processors().len(), Device::mi8pro().processors().len() + 1);
+        let tpu = Device::cloud_server_tpu();
+        assert_eq!(tpu.processor(ProcessorKind::Npu).unwrap().name(), "TPU v2");
+    }
+
+    #[test]
+    fn npu_outruns_the_dsp() {
+        let npu = Device::mi8pro_npu();
+        assert!(
+            npu.processor(ProcessorKind::Npu).unwrap().peak_gmacs()
+                > npu.processor(ProcessorKind::Dsp).unwrap().peak_gmacs()
+        );
+    }
+
+    #[test]
+    fn max_frequencies_match_table_ii() {
+        let mi8 = Device::mi8pro();
+        assert!((mi8.processor(ProcessorKind::Cpu).unwrap().dvfs().max_step().freq_ghz - 2.8).abs() < 1e-9);
+        assert!((mi8.processor(ProcessorKind::Gpu).unwrap().dvfs().max_step().freq_ghz - 0.7).abs() < 1e-9);
+        let moto = Device::moto_x_force();
+        assert!((moto.processor(ProcessorKind::Cpu).unwrap().dvfs().max_step().freq_ghz - 1.9).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,312 @@
+//! Per-layer and whole-network latency under execution conditions.
+//!
+//! The model is a roofline with fixed per-layer overheads:
+//!
+//! ```text
+//! layer_ms = max(compute_ms, memory_ms) + dispatch + sync(FC/RC on co-proc)
+//! compute_ms = MACs / (peak · freq_ratio · precision_speedup · kind_eff · cpu_avail)
+//! memory_ms  = traffic(precision) / (bandwidth · kind_eff · mem_avail)
+//! ```
+//!
+//! `cpu_avail` models contention for CPU cycles from co-running apps (only
+//! applied to CPUs), `mem_avail` models contention for the shared LPDDR
+//! bandwidth (applied to every on-device processor) — the two interference
+//! mechanisms of the paper's Fig. 5. A thermal cap clamps the requested
+//! DVFS step (Fig. 5: "frequent thermal throttling due to high CPU
+//! utilization").
+
+use autoscale_nn::{Layer, LayerKind, Network, Precision};
+use serde::{Deserialize, Serialize};
+
+use crate::processor::{Processor, ProcessorKind};
+
+/// The conditions under which an inference executes on a processor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionConditions {
+    /// Index into the processor's DVFS ladder (the requested step; the
+    /// thermal cap may clamp it).
+    pub freq_index: usize,
+    /// Numeric precision of the execution.
+    pub precision: Precision,
+    /// Fraction of CPU compute throughput left by co-running apps, in
+    /// (0, 1]. Only affects CPUs.
+    pub compute_availability: f64,
+    /// Fraction of memory bandwidth left by co-running apps, in (0, 1].
+    /// Affects every processor on the device.
+    pub mem_availability: f64,
+    /// Optional cap on the frequency ratio imposed by thermal throttling.
+    pub thermal_cap: Option<f64>,
+}
+
+impl ExecutionConditions {
+    /// Uncontended execution at the processor's maximum frequency.
+    pub fn max_frequency(processor: &Processor, precision: Precision) -> Self {
+        ExecutionConditions {
+            freq_index: processor.dvfs().max_index(),
+            precision,
+            compute_availability: 1.0,
+            mem_availability: 1.0,
+            thermal_cap: None,
+        }
+    }
+
+    /// The DVFS step index actually used after applying the thermal cap.
+    pub fn effective_freq_index(&self, processor: &Processor) -> usize {
+        match self.thermal_cap {
+            Some(cap) => {
+                let capped = processor.dvfs().highest_index_at_or_below_ratio(cap);
+                self.freq_index.min(capped)
+            }
+            None => self.freq_index,
+        }
+    }
+}
+
+/// Latency of a single layer in milliseconds.
+///
+/// # Panics
+///
+/// Panics if `cond.freq_index` is out of range for the processor's ladder
+/// or the availability factors are not in (0, 1].
+pub fn layer_latency_ms(processor: &Processor, layer: &Layer, cond: &ExecutionConditions) -> f64 {
+    assert!(
+        cond.compute_availability > 0.0 && cond.compute_availability <= 1.0,
+        "compute availability must be in (0, 1]"
+    );
+    assert!(
+        cond.mem_availability > 0.0 && cond.mem_availability <= 1.0,
+        "memory availability must be in (0, 1]"
+    );
+    let idx = cond.effective_freq_index(processor);
+    let freq_ratio = processor.dvfs().freq_ratio(idx);
+    let eff = processor.efficiency().for_kind(layer.kind);
+    let cpu_avail = if processor.kind() == ProcessorKind::Cpu {
+        cond.compute_availability
+    } else {
+        1.0
+    };
+
+    // Memory contention does not only shrink bandwidth: cache thrashing by
+    // the co-runner stalls the compute pipelines of every on-device
+    // processor, which is why the paper's Fig. 5 shows a memory-intensive
+    // co-runner degrading CPU, GPU and DSP alike.
+    let mem_stall_factor = 0.4 + 0.6 * cond.mem_availability;
+    let gmacs = processor.peak_gmacs()
+        * freq_ratio
+        * processor.precision_speedup(cond.precision)
+        * eff
+        * cpu_avail
+        * mem_stall_factor;
+    let compute_ms = layer.macs as f64 / (gmacs * 1e9) * 1e3;
+
+    let bw = processor.mem_bw_gbps() * eff * cond.mem_availability;
+    let memory_ms = layer.traffic_bytes(cond.precision) as f64 / (bw * 1e9) * 1e3;
+
+    let sync_ms = if processor.kind().is_coprocessor()
+        && matches!(layer.kind, LayerKind::Fc | LayerKind::Rc)
+    {
+        processor.sync_overhead_ms()
+    } else {
+        0.0
+    };
+    // Dispatch and sync are host-side work (kernel launches, DMA setup):
+    // memory contention inflates them just like it stalls the compute
+    // pipelines, which is what drags co-processors down under a
+    // memory-intensive co-runner (paper Fig. 5's edge→cloud shift).
+    let overhead_ms = (processor.dispatch_overhead_ms() + sync_ms) / mem_stall_factor;
+
+    compute_ms.max(memory_ms) + overhead_ms
+}
+
+/// End-to-end latency of a whole network in milliseconds.
+pub fn network_latency_ms(processor: &Processor, network: &Network, cond: &ExecutionConditions) -> f64 {
+    network.layers().iter().map(|l| layer_latency_ms(processor, l, cond)).sum()
+}
+
+/// Cumulative latency attributed to one layer kind (one bar segment of the
+/// paper's Fig. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KindLatency {
+    /// The layer kind.
+    pub kind: LayerKind,
+    /// Number of layers of this kind in the network.
+    pub layers: usize,
+    /// Total latency of those layers, in milliseconds.
+    pub total_ms: f64,
+}
+
+/// Cumulative latency per layer kind — the data behind the paper's Fig. 3.
+///
+/// Kinds with no layers in the network are omitted. Order follows
+/// [`LayerKind::ALL`].
+pub fn layer_breakdown(
+    processor: &Processor,
+    network: &Network,
+    cond: &ExecutionConditions,
+) -> Vec<KindLatency> {
+    LayerKind::ALL
+        .iter()
+        .filter_map(|&kind| {
+            let layers: Vec<&Layer> =
+                network.layers().iter().filter(|l| l.kind == kind).collect();
+            if layers.is_empty() {
+                return None;
+            }
+            let total_ms =
+                layers.iter().map(|l| layer_latency_ms(processor, l, cond)).sum();
+            Some(KindLatency { kind, layers: layers.len(), total_ms })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dvfs::DvfsLadder;
+    use crate::processor::{KindEfficiency, ProcessorConfig};
+    use autoscale_nn::Workload;
+
+    fn cpu() -> Processor {
+        Processor::new(ProcessorConfig {
+            name: "CPU".into(),
+            kind: ProcessorKind::Cpu,
+            peak_gmacs: 18.0,
+            mem_bw_gbps: 12.0,
+            dispatch_overhead_ms: 0.01,
+            sync_overhead_ms: 0.0,
+            dvfs: DvfsLadder::linear(23, 0.8, 2.8, 4.0),
+            idle_power_w: 0.1,
+            precisions: vec![Precision::Fp32, Precision::Int8],
+            efficiency: KindEfficiency { conv: 1.0, fc: 1.0, rc: 0.6, other: 1.0 },
+            runs_recurrent: true,
+        })
+    }
+
+    fn gpu() -> Processor {
+        Processor::new(ProcessorConfig {
+            name: "GPU".into(),
+            kind: ProcessorKind::Gpu,
+            peak_gmacs: 120.0,
+            mem_bw_gbps: 18.0,
+            dispatch_overhead_ms: 0.18,
+            sync_overhead_ms: 0.8,
+            dvfs: DvfsLadder::linear(7, 0.25, 0.7, 2.3),
+            idle_power_w: 0.08,
+            precisions: vec![Precision::Fp32, Precision::Fp16],
+            efficiency: KindEfficiency { conv: 1.0, fc: 0.3, rc: 0.25, other: 0.8 },
+            runs_recurrent: false,
+        })
+    }
+
+    fn base_cond(p: &Processor) -> ExecutionConditions {
+        ExecutionConditions::max_frequency(p, Precision::Fp32)
+    }
+
+    #[test]
+    fn lower_frequency_increases_latency() {
+        let cpu = cpu();
+        let net = Network::workload(Workload::MobileNetV1);
+        let fast = network_latency_ms(&cpu, &net, &base_cond(&cpu));
+        let mut slow_cond = base_cond(&cpu);
+        slow_cond.freq_index = 0;
+        let slow = network_latency_ms(&cpu, &net, &slow_cond);
+        assert!(slow > 2.0 * fast, "slow={slow} fast={fast}");
+    }
+
+    #[test]
+    fn int8_is_faster_than_fp32_on_cpu() {
+        let cpu = cpu();
+        let net = Network::workload(Workload::InceptionV1);
+        let fp32 = network_latency_ms(&cpu, &net, &base_cond(&cpu));
+        let mut c = base_cond(&cpu);
+        c.precision = Precision::Int8;
+        let int8 = network_latency_ms(&cpu, &net, &c);
+        assert!(int8 < fp32 / 2.0);
+    }
+
+    #[test]
+    fn cpu_contention_slows_cpu_but_not_gpu() {
+        let cpu = cpu();
+        let gpu = gpu();
+        let net = Network::workload(Workload::MobileNetV2);
+        let mut c_cpu = base_cond(&cpu);
+        let mut c_gpu = base_cond(&gpu);
+        let cpu_free = network_latency_ms(&cpu, &net, &c_cpu);
+        let gpu_free = network_latency_ms(&gpu, &net, &c_gpu);
+        c_cpu.compute_availability = 0.4;
+        c_gpu.compute_availability = 0.4;
+        assert!(network_latency_ms(&cpu, &net, &c_cpu) > 2.0 * cpu_free);
+        assert!((network_latency_ms(&gpu, &net, &c_gpu) - gpu_free).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_contention_slows_every_processor() {
+        let net = Network::workload(Workload::MobileNetV3);
+        for p in [cpu(), gpu()] {
+            let mut c = base_cond(&p);
+            let free = network_latency_ms(&p, &net, &c);
+            c.mem_availability = 0.3;
+            assert!(network_latency_ms(&p, &net, &c) > free, "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn thermal_cap_clamps_frequency() {
+        let cpu = cpu();
+        let net = Network::workload(Workload::MobileNetV1);
+        let mut c = base_cond(&cpu);
+        let free = network_latency_ms(&cpu, &net, &c);
+        c.thermal_cap = Some(0.6);
+        let throttled = network_latency_ms(&cpu, &net, &c);
+        assert!(throttled > free * 1.4);
+        // The cap never *raises* a low requested step.
+        c.freq_index = 0;
+        let low = c.effective_freq_index(&cpu);
+        assert_eq!(low, 0);
+    }
+
+    #[test]
+    fn fc_layers_are_relatively_slower_on_gpu() {
+        // The Fig. 3 effect: FC share of total latency is much larger on a
+        // co-processor than on the CPU for an FC-heavy network.
+        let net = Network::workload(Workload::MobileNetV3);
+        let cpu = cpu();
+        let gpu = gpu();
+        let share = |p: &Processor| {
+            let br = layer_breakdown(p, &net, &base_cond(p));
+            let total: f64 = br.iter().map(|k| k.total_ms).sum();
+            let fc = br.iter().find(|k| k.kind == LayerKind::Fc).unwrap().total_ms;
+            fc / total
+        };
+        assert!(share(&gpu) > 2.0 * share(&cpu));
+    }
+
+    #[test]
+    fn breakdown_sums_to_network_latency() {
+        let cpu = cpu();
+        let net = Network::workload(Workload::ResNet50);
+        let cond = base_cond(&cpu);
+        let total: f64 = layer_breakdown(&cpu, &net, &cond).iter().map(|k| k.total_ms).sum();
+        let direct = network_latency_ms(&cpu, &net, &cond);
+        assert!((total - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_counts_layers() {
+        let cpu = cpu();
+        let net = Network::workload(Workload::MobileNetV3);
+        let br = layer_breakdown(&cpu, &net, &base_cond(&cpu));
+        let conv = br.iter().find(|k| k.kind == LayerKind::Conv).unwrap();
+        assert_eq!(conv.layers, 23);
+    }
+
+    #[test]
+    #[should_panic(expected = "compute availability")]
+    fn zero_availability_panics() {
+        let cpu = cpu();
+        let net = Network::workload(Workload::MobileNetV1);
+        let mut c = base_cond(&cpu);
+        c.compute_availability = 0.0;
+        let _ = network_latency_ms(&cpu, &net, &c);
+    }
+}

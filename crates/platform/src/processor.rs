@@ -1,0 +1,350 @@
+//! Processor models: CPUs, GPUs and DSPs with roofline cost parameters.
+
+use autoscale_nn::{LayerKind, Precision};
+use serde::{Deserialize, Serialize};
+
+use crate::dvfs::DvfsLadder;
+
+/// The class of a processor, matching the paper's Table II columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ProcessorKind {
+    /// A general-purpose CPU cluster (the high-performance cores; the paper
+    /// notes DNN inference usually runs on those).
+    Cpu,
+    /// A graphics processor programmed through TVM-generated kernels.
+    Gpu,
+    /// An NN-optimized digital signal processor programmed through SNPE;
+    /// INT8 only, no DVFS.
+    Dsp,
+    /// A dedicated neural processing unit. The paper excludes NPUs from
+    /// its evaluation because their SDKs "have yet to see public release"
+    /// (Section V-A) and names them as a future action ("additional
+    /// actions, such as mobile NPU or cloud TPU, could be further
+    /// considered", Section V-C); this crate models them for that
+    /// extension. Server-side, the same kind models a cloud TPU.
+    Npu,
+}
+
+impl ProcessorKind {
+    /// All processor kinds.
+    pub const ALL: [ProcessorKind; 4] =
+        [ProcessorKind::Cpu, ProcessorKind::Gpu, ProcessorKind::Dsp, ProcessorKind::Npu];
+
+    /// Whether this is a co-processor (GPU or DSP) rather than the CPU.
+    pub fn is_coprocessor(self) -> bool {
+        !matches!(self, ProcessorKind::Cpu)
+    }
+
+    /// Name as used in the paper's figures.
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            ProcessorKind::Cpu => "CPU",
+            ProcessorKind::Gpu => "GPU",
+            ProcessorKind::Dsp => "DSP",
+            ProcessorKind::Npu => "NPU",
+        }
+    }
+}
+
+impl std::fmt::Display for ProcessorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.paper_name())
+    }
+}
+
+/// Relative execution efficiency of a processor per layer kind, in (0, 1].
+///
+/// Co-processors excel at wide, regular CONV kernels but lose most of their
+/// throughput on the small matrix-vector products of FC layers and on the
+/// sequential dependencies of RC layers — the effect behind the paper's
+/// Fig. 3 ("the compute- and memory-intensive FC layers exhibit much longer
+/// latency on co-processors"). The factor divides both effective compute
+/// throughput and effective memory bandwidth for layers of that kind.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KindEfficiency {
+    /// Efficiency on CONV layers.
+    pub conv: f64,
+    /// Efficiency on FC layers.
+    pub fc: f64,
+    /// Efficiency on RC layers.
+    pub rc: f64,
+    /// Efficiency on the remaining (cheap) layer kinds.
+    pub other: f64,
+}
+
+impl KindEfficiency {
+    /// Uniform efficiency of 1.0 for every layer kind.
+    pub fn uniform() -> Self {
+        KindEfficiency { conv: 1.0, fc: 1.0, rc: 1.0, other: 1.0 }
+    }
+
+    /// Efficiency factor for a layer kind.
+    pub fn for_kind(&self, kind: LayerKind) -> f64 {
+        match kind {
+            LayerKind::Conv => self.conv,
+            LayerKind::Fc => self.fc,
+            LayerKind::Rc => self.rc,
+            _ => self.other,
+        }
+    }
+}
+
+/// Configuration from which a [`Processor`] is built.
+///
+/// All throughputs are *effective* (achievable on DNN kernels), not
+/// theoretical peaks. `peak_gmacs` is quoted at the processor's *native*
+/// precision: FP32 for CPUs and GPUs, INT8 for DSPs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProcessorConfig {
+    /// Marketing name ("Cortex A75", "Adreno 630", ...).
+    pub name: String,
+    /// Processor class.
+    pub kind: ProcessorKind,
+    /// Effective compute throughput at the maximum frequency, in giga-MACs
+    /// per second at the native precision.
+    pub peak_gmacs: f64,
+    /// Effective memory bandwidth in GB/s.
+    pub mem_bw_gbps: f64,
+    /// Fixed per-layer dispatch/launch overhead in milliseconds. Large for
+    /// co-processors (kernel launches, DMA setup), tiny for CPUs.
+    pub dispatch_overhead_ms: f64,
+    /// Extra per-layer synchronization cost in milliseconds paid by
+    /// co-processors on FC and RC layers (host round-trips for small
+    /// GEMV-shaped work). Zero for CPUs.
+    pub sync_overhead_ms: f64,
+    /// The DVFS ladder.
+    pub dvfs: DvfsLadder,
+    /// Idle power in watts (the paper's `P_idle`).
+    pub idle_power_w: f64,
+    /// Precisions this processor can execute.
+    pub precisions: Vec<Precision>,
+    /// Per-layer-kind efficiency factors.
+    pub efficiency: KindEfficiency,
+    /// Whether the middleware can run recurrent (RC) models on this
+    /// processor. False for mobile co-processors (the paper could not run
+    /// MobileBERT on them), true for CPUs and server processors.
+    pub runs_recurrent: bool,
+}
+
+/// A processor: the unit onto which a whole-model inference is scheduled.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Processor {
+    config: ProcessorConfig,
+}
+
+impl Processor {
+    /// Builds a processor from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent: no supported precision,
+    /// non-positive throughput or bandwidth, or efficiency factors outside
+    /// (0, 1].
+    pub fn new(config: ProcessorConfig) -> Self {
+        assert!(!config.precisions.is_empty(), "processor must support a precision");
+        assert!(config.peak_gmacs > 0.0, "throughput must be positive");
+        assert!(config.mem_bw_gbps > 0.0, "bandwidth must be positive");
+        for eff in [
+            config.efficiency.conv,
+            config.efficiency.fc,
+            config.efficiency.rc,
+            config.efficiency.other,
+        ] {
+            assert!(eff > 0.0 && eff <= 1.0, "efficiency factors must be in (0, 1]");
+        }
+        Processor { config }
+    }
+
+    /// Marketing name.
+    pub fn name(&self) -> &str {
+        &self.config.name
+    }
+
+    /// Processor class.
+    pub fn kind(&self) -> ProcessorKind {
+        self.config.kind
+    }
+
+    /// Effective GMAC/s at maximum frequency and native precision.
+    pub fn peak_gmacs(&self) -> f64 {
+        self.config.peak_gmacs
+    }
+
+    /// Effective memory bandwidth in GB/s.
+    pub fn mem_bw_gbps(&self) -> f64 {
+        self.config.mem_bw_gbps
+    }
+
+    /// Per-layer dispatch overhead in milliseconds.
+    pub fn dispatch_overhead_ms(&self) -> f64 {
+        self.config.dispatch_overhead_ms
+    }
+
+    /// Per-FC/RC-layer synchronization overhead in milliseconds.
+    pub fn sync_overhead_ms(&self) -> f64 {
+        self.config.sync_overhead_ms
+    }
+
+    /// The DVFS ladder.
+    pub fn dvfs(&self) -> &DvfsLadder {
+        &self.config.dvfs
+    }
+
+    /// Idle power in watts.
+    pub fn idle_power_w(&self) -> f64 {
+        self.config.idle_power_w
+    }
+
+    /// Precisions this processor can execute.
+    pub fn precisions(&self) -> &[Precision] {
+        &self.config.precisions
+    }
+
+    /// Whether this processor can execute at `precision`.
+    pub fn supports_precision(&self, precision: Precision) -> bool {
+        self.config.precisions.contains(&precision)
+    }
+
+    /// Per-layer-kind efficiency factors.
+    pub fn efficiency(&self) -> KindEfficiency {
+        self.config.efficiency
+    }
+
+    /// Whether recurrent models can run here (middleware support).
+    pub fn runs_recurrent(&self) -> bool {
+        self.config.runs_recurrent
+    }
+
+    /// Compute-throughput multiplier obtained by executing at `precision`
+    /// instead of the processor's native precision.
+    ///
+    /// Quantization "reduces both compute- and memory-intensities"
+    /// (paper Section II-B): INT8 more than doubles CPU throughput via
+    /// SIMD, FP16 nearly doubles GPU throughput. A DSP is natively INT8 so
+    /// its factor is 1.
+    pub fn precision_speedup(&self, precision: Precision) -> f64 {
+        match (self.config.kind, precision) {
+            (ProcessorKind::Cpu, Precision::Int8) => 2.5,
+            (ProcessorKind::Cpu, Precision::Fp16) => 1.3,
+            (ProcessorKind::Gpu, Precision::Fp16) => 1.8,
+            (ProcessorKind::Gpu, Precision::Int8) => 2.0,
+            // NPUs and DSPs are quoted at their native precision.
+            _ => 1.0,
+        }
+    }
+
+    /// Whether this processor can run the given network at the given
+    /// precision at all.
+    pub fn can_run(&self, network: &autoscale_nn::Network, precision: Precision) -> bool {
+        self.supports_precision(precision)
+            && (!network.has_recurrent_layers() || self.runs_recurrent())
+    }
+}
+
+impl std::fmt::Display for Processor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} {} ({:.1} GHz, {} V/F steps)",
+            self.config.name,
+            self.config.kind,
+            self.config.dvfs.max_step().freq_ghz,
+            self.config.dvfs.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autoscale_nn::{Network, Workload};
+
+    fn cpu() -> Processor {
+        Processor::new(ProcessorConfig {
+            name: "Test CPU".into(),
+            kind: ProcessorKind::Cpu,
+            peak_gmacs: 18.0,
+            mem_bw_gbps: 12.0,
+            dispatch_overhead_ms: 0.01,
+            sync_overhead_ms: 0.0,
+            dvfs: DvfsLadder::linear(23, 0.8, 2.8, 4.0),
+            idle_power_w: 0.1,
+            precisions: vec![Precision::Fp32, Precision::Int8],
+            efficiency: KindEfficiency { conv: 1.0, fc: 1.0, rc: 0.6, other: 1.0 },
+            runs_recurrent: true,
+        })
+    }
+
+    fn dsp() -> Processor {
+        Processor::new(ProcessorConfig {
+            name: "Test DSP".into(),
+            kind: ProcessorKind::Dsp,
+            peak_gmacs: 300.0,
+            mem_bw_gbps: 16.0,
+            dispatch_overhead_ms: 0.12,
+            sync_overhead_ms: 0.5,
+            dvfs: DvfsLadder::fixed(0.7, 1.3),
+            idle_power_w: 0.05,
+            precisions: vec![Precision::Int8],
+            efficiency: KindEfficiency { conv: 1.0, fc: 0.25, rc: 0.1, other: 0.7 },
+            runs_recurrent: false,
+        })
+    }
+
+    #[test]
+    fn cpu_int8_speedup_exceeds_one() {
+        assert!(cpu().precision_speedup(Precision::Int8) > 2.0);
+        assert_eq!(cpu().precision_speedup(Precision::Fp32), 1.0);
+    }
+
+    #[test]
+    fn dsp_rejects_fp32() {
+        assert!(!dsp().supports_precision(Precision::Fp32));
+        assert!(dsp().supports_precision(Precision::Int8));
+    }
+
+    #[test]
+    fn dsp_rejects_recurrent_models() {
+        let bert = Network::workload(Workload::MobileBert);
+        assert!(!dsp().can_run(&bert, Precision::Int8));
+        assert!(cpu().can_run(&bert, Precision::Fp32));
+    }
+
+    #[test]
+    fn vision_model_runs_on_dsp_at_int8_only() {
+        let net = Network::workload(Workload::InceptionV1);
+        assert!(dsp().can_run(&net, Precision::Int8));
+        assert!(!dsp().can_run(&net, Precision::Fp32));
+    }
+
+    #[test]
+    fn coprocessor_classification() {
+        assert!(!ProcessorKind::Cpu.is_coprocessor());
+        assert!(ProcessorKind::Gpu.is_coprocessor());
+        assert!(ProcessorKind::Dsp.is_coprocessor());
+        assert!(ProcessorKind::Npu.is_coprocessor());
+    }
+
+    #[test]
+    fn display_includes_name_and_steps() {
+        let s = cpu().to_string();
+        assert!(s.contains("Test CPU"));
+        assert!(s.contains("23 V/F steps"));
+    }
+
+    #[test]
+    #[should_panic(expected = "must support a precision")]
+    fn empty_precisions_panics() {
+        let mut cfg = cpu().config;
+        cfg.precisions.clear();
+        let _ = Processor::new(cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "efficiency factors")]
+    fn out_of_range_efficiency_panics() {
+        let mut cfg = cpu().config;
+        cfg.efficiency.fc = 1.5;
+        let _ = Processor::new(cfg);
+    }
+}

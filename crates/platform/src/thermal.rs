@@ -1,0 +1,75 @@
+//! Thermal throttling triggered by sustained CPU contention.
+//!
+//! Section III-B of the paper: when a CPU-intensive application co-runs,
+//! "the energy efficiency of the inference execution on CPU is
+//! significantly degraded because of competition for CPU resources and
+//! frequent thermal throttling due to high CPU utilization". We model this
+//! as a policy: when the co-runner's CPU utilization exceeds a trigger
+//! threshold, the CPU's available DVFS range is capped at a fraction of the
+//! maximum frequency (and the power model adds a hot-silicon leakage
+//! uplift, see [`crate::power::busy_power_w`]).
+
+use serde::{Deserialize, Serialize};
+
+/// A thermal-throttling policy for a device's CPU.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalPolicy {
+    /// Co-runner CPU utilization (0–1) above which throttling engages.
+    pub trigger_utilization: f64,
+    /// Cap on the CPU frequency ratio while throttled, in (0, 1].
+    pub cap_ratio: f64,
+}
+
+impl ThermalPolicy {
+    /// The policy used for all phone models: throttle when a co-runner
+    /// keeps the CPU more than 60% busy, capping frequency at 60% of max.
+    pub fn phone_default() -> Self {
+        ThermalPolicy { trigger_utilization: 0.6, cap_ratio: 0.6 }
+    }
+
+    /// A policy that never throttles (actively cooled devices: the tablet
+    /// under its larger chassis, and the cloud server).
+    pub fn never() -> Self {
+        ThermalPolicy { trigger_utilization: f64::INFINITY, cap_ratio: 1.0 }
+    }
+
+    /// The frequency-ratio cap imposed when a co-runner keeps the CPU
+    /// `co_runner_utilization` busy, or `None` when throttling is inactive.
+    pub fn cap_for(&self, co_runner_utilization: f64) -> Option<f64> {
+        if co_runner_utilization > self.trigger_utilization {
+            Some(self.cap_ratio)
+        } else {
+            None
+        }
+    }
+}
+
+impl Default for ThermalPolicy {
+    fn default() -> Self {
+        ThermalPolicy::phone_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throttles_only_above_trigger() {
+        let p = ThermalPolicy::phone_default();
+        assert_eq!(p.cap_for(0.0), None);
+        assert_eq!(p.cap_for(0.6), None);
+        assert_eq!(p.cap_for(0.85), Some(0.6));
+    }
+
+    #[test]
+    fn never_policy_never_throttles() {
+        let p = ThermalPolicy::never();
+        assert_eq!(p.cap_for(1.0), None);
+    }
+
+    #[test]
+    fn default_is_phone_default() {
+        assert_eq!(ThermalPolicy::default(), ThermalPolicy::phone_default());
+    }
+}

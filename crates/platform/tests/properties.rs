@@ -1,0 +1,169 @@
+//! Property tests for the platform models: latency monotonicity, power
+//! monotonicity, and device-catalog invariants.
+
+use autoscale_nn::{Network, Precision, Workload};
+use autoscale_platform::{
+    latency::{layer_breakdown, network_latency_ms},
+    power, Device, DeviceId, DvfsLadder, ExecutionConditions, ProcessorKind,
+};
+use proptest::prelude::*;
+
+fn arb_workload() -> impl Strategy<Value = Workload> {
+    prop::sample::select(Workload::ALL.to_vec())
+}
+
+fn arb_device() -> impl Strategy<Value = DeviceId> {
+    prop::sample::select(DeviceId::ALL.to_vec())
+}
+
+proptest! {
+    /// Latency decreases (weakly) as frequency increases, all else equal.
+    #[test]
+    fn latency_is_monotone_in_frequency(w in arb_workload(), d in arb_device()) {
+        let device = Device::for_id(d);
+        let cpu = device.processor(ProcessorKind::Cpu).expect("all devices have CPUs");
+        let net = Network::workload(w);
+        let mut last = f64::INFINITY;
+        for idx in 0..cpu.dvfs().len() {
+            let cond = ExecutionConditions {
+                freq_index: idx,
+                ..ExecutionConditions::max_frequency(cpu, Precision::Fp32)
+            };
+            let ms = network_latency_ms(cpu, &net, &cond);
+            prop_assert!(ms <= last + 1e-9, "step {idx}: {ms} > {last}");
+            last = ms;
+        }
+    }
+
+    /// Busy power increases (weakly) with the DVFS step.
+    #[test]
+    fn busy_power_is_monotone_in_frequency(d in arb_device()) {
+        let device = Device::for_id(d);
+        for proc in device.processors() {
+            let mut last = 0.0;
+            for idx in 0..proc.dvfs().len() {
+                let cond = ExecutionConditions {
+                    freq_index: idx,
+                    ..ExecutionConditions::max_frequency(proc, proc.precisions()[0])
+                };
+                let p = power::busy_power_w(proc, &cond);
+                prop_assert!(p >= last, "{}: step {idx}", proc.name());
+                last = p;
+            }
+        }
+    }
+
+    /// The energy of one inference is consistent with power x latency.
+    #[test]
+    fn energy_equals_power_times_time(
+        w in arb_workload(),
+        latency_ms in 0.1..1_000.0f64,
+        base_w in 0.0..5.0f64,
+    ) {
+        let device = Device::mi8pro();
+        let cpu = device.processor(ProcessorKind::Cpu).expect("cpu");
+        let cond = ExecutionConditions::max_frequency(cpu, Precision::Fp32);
+        let e = power::on_device_energy_mj(cpu, &cond, latency_ms, base_w);
+        let expected = (power::busy_power_w(cpu, &cond) + base_w) * latency_ms;
+        prop_assert!((e.total_mj() - expected).abs() < 1e-9);
+        let _ = w;
+    }
+
+    /// Per-kind latency breakdowns always sum to the network total.
+    #[test]
+    fn breakdown_sums_to_total(w in arb_workload(), d in arb_device()) {
+        let device = Device::for_id(d);
+        let net = Network::workload(w);
+        for proc in device.processors() {
+            let precision = proc.precisions()[0];
+            if !proc.can_run(&net, precision) {
+                continue;
+            }
+            let cond = ExecutionConditions::max_frequency(proc, precision);
+            let total = network_latency_ms(proc, &net, &cond);
+            let sum: f64 = layer_breakdown(proc, &net, &cond).iter().map(|k| k.total_ms).sum();
+            prop_assert!((total - sum).abs() < 1e-6, "{} on {}", w, proc.name());
+        }
+    }
+
+    /// Quantization never slows an inference down.
+    #[test]
+    fn quantization_is_never_slower(w in arb_workload()) {
+        let device = Device::mi8pro();
+        let cpu = device.processor(ProcessorKind::Cpu).expect("cpu");
+        let net = Network::workload(w);
+        let fp32 = network_latency_ms(
+            cpu,
+            &net,
+            &ExecutionConditions::max_frequency(cpu, Precision::Fp32),
+        );
+        let int8 = network_latency_ms(
+            cpu,
+            &net,
+            &ExecutionConditions::max_frequency(cpu, Precision::Int8),
+        );
+        prop_assert!(int8 <= fp32 + 1e-9);
+    }
+
+    /// Interference only hurts: any contention produces latency at least
+    /// as high as the uncontended run, on every processor.
+    #[test]
+    fn contention_is_monotone(
+        w in arb_workload(),
+        cpu_avail in 0.2..=1.0f64,
+        mem_avail in 0.25..=1.0f64,
+    ) {
+        let device = Device::galaxy_s10e();
+        let net = Network::workload(w);
+        for proc in device.processors() {
+            let precision = proc.precisions()[0];
+            if !proc.can_run(&net, precision) {
+                continue;
+            }
+            let free = ExecutionConditions::max_frequency(proc, precision);
+            let loaded = ExecutionConditions {
+                compute_availability: cpu_avail,
+                mem_availability: mem_avail,
+                ..free
+            };
+            prop_assert!(
+                network_latency_ms(proc, &net, &loaded)
+                    >= network_latency_ms(proc, &net, &free) - 1e-9
+            );
+        }
+    }
+
+    /// DVFS ladders built over arbitrary (valid) ranges are well formed.
+    #[test]
+    fn ladders_are_well_formed(
+        n in 1usize..40,
+        min in 0.1..2.0f64,
+        span in 0.0..3.0f64,
+        pmax in 0.1..300.0f64,
+    ) {
+        let ladder = DvfsLadder::linear(n, min, min + span, pmax);
+        prop_assert_eq!(ladder.len(), n);
+        prop_assert!((ladder.max_step().busy_power_w - pmax).abs() < 1e-9);
+        for i in 0..n {
+            let r = ladder.freq_ratio(i);
+            prop_assert!(r > 0.0 && r <= 1.0 + 1e-12);
+        }
+        for w in ladder.steps().windows(2) {
+            prop_assert!(w[0].freq_ghz <= w[1].freq_ghz);
+            prop_assert!(w[0].busy_power_w <= w[1].busy_power_w);
+        }
+    }
+
+    /// The thermal cap never increases the effective step.
+    #[test]
+    fn thermal_cap_only_lowers_frequency(cap in 0.01..=1.0f64, idx in 0usize..23) {
+        let device = Device::mi8pro();
+        let cpu = device.processor(ProcessorKind::Cpu).expect("cpu");
+        let free = ExecutionConditions {
+            freq_index: idx,
+            ..ExecutionConditions::max_frequency(cpu, Precision::Fp32)
+        };
+        let capped = ExecutionConditions { thermal_cap: Some(cap), ..free };
+        prop_assert!(capped.effective_freq_index(cpu) <= free.effective_freq_index(cpu));
+    }
+}

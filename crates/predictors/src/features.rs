@@ -1,0 +1,106 @@
+//! Feature standardization.
+//!
+//! Every learner in this crate consumes feature vectors mixing quantities
+//! of wildly different scales (layer counts, giga-MACs, utilizations,
+//! dBm). A [`StandardScaler`] fitted on the training set maps each feature
+//! to zero mean and unit variance, which kernel methods and k-NN require
+//! to be meaningful.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-feature z-score standardization fitted from data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fits a scaler to `samples` (all of equal dimension).
+    ///
+    /// Constant features get a standard deviation of 1 so they map to 0
+    /// rather than dividing by zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or ragged.
+    pub fn fit(samples: &[Vec<f64>]) -> Self {
+        assert!(!samples.is_empty(), "scaler needs at least one sample");
+        let dim = samples[0].len();
+        assert!(samples.iter().all(|s| s.len() == dim), "samples must have equal dimension");
+        let n = samples.len() as f64;
+        let means: Vec<f64> =
+            (0..dim).map(|j| samples.iter().map(|s| s[j]).sum::<f64>() / n).collect();
+        let stds: Vec<f64> = (0..dim)
+            .map(|j| {
+                let var =
+                    samples.iter().map(|s| (s[j] - means[j]).powi(2)).sum::<f64>() / n;
+                let sd = var.sqrt();
+                if sd < 1e-12 {
+                    1.0
+                } else {
+                    sd
+                }
+            })
+            .collect();
+        StandardScaler { means, stds }
+    }
+
+    /// The feature dimension this scaler was fitted on.
+    pub fn dim(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Standardizes one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimension differs from the fitted dimension.
+    pub fn transform(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.dim(), "dimension mismatch");
+        x.iter().zip(self.means.iter().zip(&self.stds)).map(|(v, (m, s))| (v - m) / s).collect()
+    }
+
+    /// Standardizes a batch.
+    pub fn transform_all(&self, xs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        xs.iter().map(|x| self.transform(x)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardizes_to_zero_mean_unit_variance() {
+        let data = vec![vec![1.0, 100.0], vec![3.0, 300.0], vec![5.0, 500.0]];
+        let scaler = StandardScaler::fit(&data);
+        let t = scaler.transform_all(&data);
+        for j in 0..2 {
+            let mean: f64 = t.iter().map(|r| r[j]).sum::<f64>() / 3.0;
+            let var: f64 = t.iter().map(|r| r[j] * r[j]).sum::<f64>() / 3.0;
+            assert!(mean.abs() < 1e-12);
+            assert!((var - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_feature_maps_to_zero() {
+        let data = vec![vec![7.0], vec![7.0], vec![7.0]];
+        let scaler = StandardScaler::fit(&data);
+        assert_eq!(scaler.transform(&[7.0]), vec![0.0]);
+    }
+
+    #[test]
+    fn dim_is_reported() {
+        let scaler = StandardScaler::fit(&[vec![1.0, 2.0, 3.0]]);
+        assert_eq!(scaler.dim(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_dim_panics() {
+        let scaler = StandardScaler::fit(&[vec![1.0, 2.0]]);
+        let _ = scaler.transform(&[1.0]);
+    }
+}

@@ -1,0 +1,165 @@
+//! Gaussian-process regression with an RBF kernel — the surrogate model of
+//! the paper's Bayesian-optimization baseline ("we employ the Gaussian
+//! process as the surrogate model", Section III-C).
+
+use serde::{Deserialize, Serialize};
+
+use crate::linalg::{self, Matrix};
+use crate::linreg::{validate, FitError};
+
+/// Hyperparameters of the RBF (squared-exponential) kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RbfKernel {
+    /// Length scale ℓ of the kernel.
+    pub length_scale: f64,
+    /// Signal variance σ².
+    pub signal_variance: f64,
+    /// Observation-noise variance added to the kernel diagonal.
+    pub noise_variance: f64,
+}
+
+impl Default for RbfKernel {
+    fn default() -> Self {
+        RbfKernel { length_scale: 1.0, signal_variance: 1.0, noise_variance: 1e-4 }
+    }
+}
+
+impl RbfKernel {
+    /// Kernel value k(a, b).
+    pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        let d2 = linalg::squared_distance(a, b);
+        self.signal_variance * (-d2 / (2.0 * self.length_scale * self.length_scale)).exp()
+    }
+}
+
+/// A fitted Gaussian-process regressor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaussianProcess {
+    kernel: RbfKernel,
+    xs: Vec<Vec<f64>>,
+    chol: Matrix,
+    alpha: Vec<f64>,
+    y_mean: f64,
+}
+
+impl GaussianProcess {
+    /// Fits the GP to observations (conditioning on the data).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FitError`] for invalid training sets or when the kernel
+    /// matrix is not positive definite (degenerate duplicate inputs with
+    /// zero noise).
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64], kernel: RbfKernel) -> Result<Self, FitError> {
+        validate(xs, ys)?;
+        let n = xs.len();
+        let y_mean = ys.iter().sum::<f64>() / n as f64;
+        let centered: Vec<f64> = ys.iter().map(|y| y - y_mean).collect();
+        let mut k = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                k.set(i, j, kernel.eval(&xs[i], &xs[j]));
+            }
+        }
+        k.add_diagonal(kernel.noise_variance.max(1e-10));
+        let chol = linalg::cholesky(&k).map_err(|_| FitError::Singular)?;
+        let alpha = linalg::cholesky_solve(&chol, &centered);
+        Ok(GaussianProcess { kernel, xs: xs.to_vec(), chol, alpha, y_mean })
+    }
+
+    /// Posterior predictive mean and variance at `x`.
+    pub fn predict(&self, x: &[f64]) -> (f64, f64) {
+        let kstar: Vec<f64> = self.xs.iter().map(|xi| self.kernel.eval(xi, x)).collect();
+        let mean = self.y_mean + linalg::dot(&kstar, &self.alpha);
+        // Variance: k(x,x) − k*ᵀ K⁻¹ k*.
+        let v = linalg::cholesky_solve(&self.chol, &kstar);
+        let var = self.kernel.eval(x, x) - linalg::dot(&kstar, &v);
+        (mean, var.max(0.0))
+    }
+
+    /// Posterior predictive mean at `x`.
+    pub fn predict_mean(&self, x: &[f64]) -> f64 {
+        self.predict(x).0
+    }
+
+    /// Number of conditioning observations.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Whether the GP has no observations (never true after `fit`).
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine_data() -> (Vec<Vec<f64>>, Vec<f64>) {
+        let xs: Vec<Vec<f64>> = (0..25).map(|i| vec![i as f64 * 0.25]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0].sin()).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn interpolates_training_points() {
+        let (xs, ys) = sine_data();
+        let gp = GaussianProcess::fit(&xs, &ys, RbfKernel::default()).unwrap();
+        for (x, y) in xs.iter().zip(&ys) {
+            let (mean, var) = gp.predict(x);
+            assert!((mean - y).abs() < 0.05, "at {x:?}: {mean} vs {y}");
+            assert!(var < 0.05);
+        }
+    }
+
+    #[test]
+    fn predicts_between_training_points() {
+        let (xs, ys) = sine_data();
+        let gp = GaussianProcess::fit(&xs, &ys, RbfKernel::default()).unwrap();
+        let mean = gp.predict_mean(&[1.125]);
+        assert!((mean - (1.125f64).sin()).abs() < 0.05);
+    }
+
+    #[test]
+    fn uncertainty_grows_away_from_data() {
+        let (xs, ys) = sine_data();
+        let gp = GaussianProcess::fit(&xs, &ys, RbfKernel::default()).unwrap();
+        let (_, var_near) = gp.predict(&[3.0]);
+        let (_, var_far) = gp.predict(&[30.0]);
+        assert!(var_far > 10.0 * var_near.max(1e-6));
+        // Far from data the mean reverts toward the prior (data mean).
+        let far_mean = gp.predict_mean(&[30.0]);
+        let data_mean: f64 = ys.iter().sum::<f64>() / ys.len() as f64;
+        assert!((far_mean - data_mean).abs() < 0.05);
+    }
+
+    #[test]
+    fn noise_variance_smooths_the_fit() {
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (0..10).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let noisy = GaussianProcess::fit(
+            &xs,
+            &ys,
+            RbfKernel { noise_variance: 10.0, ..RbfKernel::default() },
+        )
+        .unwrap();
+        // Heavy observation noise: predictions shrink toward the mean (0).
+        assert!(noisy.predict_mean(&[4.0]).abs() < 0.3);
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        assert!(GaussianProcess::fit(&[], &[], RbfKernel::default()).is_err());
+        assert!(GaussianProcess::fit(&[vec![1.0]], &[1.0, 2.0], RbfKernel::default()).is_err());
+    }
+
+    #[test]
+    fn len_reports_observations() {
+        let (xs, ys) = sine_data();
+        let gp = GaussianProcess::fit(&xs, &ys, RbfKernel::default()).unwrap();
+        assert_eq!(gp.len(), 25);
+        assert!(!gp.is_empty());
+    }
+}

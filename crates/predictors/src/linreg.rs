@@ -1,0 +1,167 @@
+//! Ridge-regularized linear regression fitted by the normal equations —
+//! the "LR" baseline of the paper's Section III-C (citing Seber & Lee,
+//! *Linear Regression Analysis* \[96\]).
+
+use serde::{Deserialize, Serialize};
+
+use crate::linalg::{self, Matrix};
+
+/// A fitted linear-regression model `y ≈ w·x + b`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearRegression {
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+impl LinearRegression {
+    /// Fits by ridge-regularized normal equations:
+    /// `w = (XᵀX + λI)⁻¹ Xᵀ y` with an intercept column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FitError`] when the inputs are empty, ragged, of
+    /// mismatched length, or the system is singular even after ridge.
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64], ridge: f64) -> Result<Self, FitError> {
+        validate(xs, ys)?;
+        let dim = xs[0].len();
+        // Design matrix with intercept column appended.
+        let design: Vec<Vec<f64>> = xs
+            .iter()
+            .map(|x| {
+                let mut row = x.clone();
+                row.push(1.0);
+                row
+            })
+            .collect();
+        let x = Matrix::from_rows(&design);
+        let xt = x.transpose();
+        let mut xtx = xt.matmul(&x);
+        xtx.add_diagonal(ridge.max(0.0));
+        let xty = xt.matvec(ys);
+        let solution = linalg::solve(&xtx, &xty).map_err(|_| FitError::Singular)?;
+        Ok(LinearRegression { weights: solution[..dim].to_vec(), bias: solution[dim] })
+    }
+
+    /// Predicts a single target value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimension differs from the training dimension.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        linalg::dot(&self.weights, x) + self.bias
+    }
+
+    /// The learned weights (without the intercept).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The learned intercept.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+}
+
+/// Validates a supervised training set.
+pub(crate) fn validate(xs: &[Vec<f64>], ys: &[f64]) -> Result<(), FitError> {
+    if xs.is_empty() || ys.is_empty() {
+        return Err(FitError::Empty);
+    }
+    if xs.len() != ys.len() {
+        return Err(FitError::LengthMismatch { xs: xs.len(), ys: ys.len() });
+    }
+    let dim = xs[0].len();
+    if dim == 0 || xs.iter().any(|x| x.len() != dim) {
+        return Err(FitError::Ragged);
+    }
+    Ok(())
+}
+
+/// Why a model could not be fitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FitError {
+    /// No training data.
+    Empty,
+    /// Inputs and targets differ in count.
+    LengthMismatch {
+        /// Number of feature vectors.
+        xs: usize,
+        /// Number of targets.
+        ys: usize,
+    },
+    /// Feature vectors are ragged or zero-dimensional.
+    Ragged,
+    /// The normal equations were singular.
+    Singular,
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FitError::Empty => f.write_str("training set is empty"),
+            FitError::LengthMismatch { xs, ys } => {
+                write!(f, "feature/target count mismatch: {xs} vs {ys}")
+            }
+            FitError::Ragged => f.write_str("feature vectors are ragged or empty"),
+            FitError::Singular => f.write_str("normal equations are singular"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_a_linear_function() {
+        // y = 2x0 - 3x1 + 5
+        let xs: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![i as f64, (i * i % 7) as f64])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x[0] - 3.0 * x[1] + 5.0).collect();
+        let model = LinearRegression::fit(&xs, &ys, 1e-9).unwrap();
+        assert!((model.weights()[0] - 2.0).abs() < 1e-6);
+        assert!((model.weights()[1] + 3.0).abs() < 1e-6);
+        assert!((model.bias() - 5.0).abs() < 1e-5);
+        assert!((model.predict(&[10.0, 1.0]) - 22.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn ridge_shrinks_weights() {
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 4.0 * x[0]).collect();
+        let free = LinearRegression::fit(&xs, &ys, 0.0).unwrap();
+        let ridged = LinearRegression::fit(&xs, &ys, 100.0).unwrap();
+        assert!(ridged.weights()[0].abs() < free.weights()[0].abs());
+    }
+
+    #[test]
+    fn rejects_empty_and_mismatched_inputs() {
+        assert_eq!(LinearRegression::fit(&[], &[], 0.0), Err(FitError::Empty));
+        assert_eq!(
+            LinearRegression::fit(&[vec![1.0]], &[1.0, 2.0], 0.0),
+            Err(FitError::LengthMismatch { xs: 1, ys: 2 })
+        );
+        assert_eq!(
+            LinearRegression::fit(&[vec![1.0], vec![1.0, 2.0]], &[1.0, 2.0], 0.0),
+            Err(FitError::Ragged)
+        );
+    }
+
+    #[test]
+    fn duplicate_features_are_singular_without_ridge() {
+        // Two identical columns: XᵀX is singular; ridge rescues it.
+        let xs = vec![vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]];
+        let ys = vec![2.0, 4.0, 6.0];
+        assert_eq!(LinearRegression::fit(&xs, &ys, 0.0), Err(FitError::Singular));
+        assert!(LinearRegression::fit(&xs, &ys, 1e-6).is_ok());
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        assert!(FitError::Singular.to_string().contains("singular"));
+        assert!(FitError::LengthMismatch { xs: 1, ys: 2 }.to_string().contains("1 vs 2"));
+    }
+}

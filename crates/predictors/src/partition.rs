@@ -1,0 +1,234 @@
+//! Layer-granularity partitioned execution: the cost model shared by the
+//! NeuroSurgeon \[53\] and MOSAIC \[42\] comparators.
+//!
+//! Both prior works split a DNN at a layer boundary: the prefix runs on
+//! the phone, the intermediate activation crosses the wireless link, and
+//! the suffix runs on the remote system. AutoScale deliberately does *not*
+//! do this (Section IV footnote 4: layer-granularity partitioning adds
+//! context-switching overhead and is complementary); the comparators need
+//! it, so this module prices an arbitrary split under the true runtime
+//! conditions.
+
+use autoscale_net::{LinkModel, Rssi};
+use autoscale_nn::{Network, Precision};
+use autoscale_platform::{latency::layer_latency_ms, power, ExecutionConditions, Processor};
+use serde::{Deserialize, Serialize};
+
+/// The cost of a partitioned inference as experienced by the phone.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PartitionCost {
+    /// End-to-end latency in milliseconds.
+    pub latency_ms: f64,
+    /// Phone-side energy in millijoules.
+    pub energy_mj: f64,
+    /// Bytes transmitted at the cut (0 for a fully local split).
+    pub cut_bytes: u64,
+}
+
+/// Prices running layers `[0, split)` locally and `[split, n]` remotely.
+///
+/// * `split == 0` — fully remote (the model input crosses the link);
+/// * `split == n` — fully local (nothing crosses the link);
+/// * otherwise the activation produced by layer `split - 1` crosses.
+///
+/// Partitioned execution runs at FP32 on both sides, as in both prior
+/// works. The local side executes under `local_cond` (which carries the
+/// true interference and thermal state); the remote side is uncontended at
+/// maximum frequency.
+///
+/// # Panics
+///
+/// Panics if `split > network.layers().len()`.
+#[allow(clippy::too_many_arguments)] // mirrors the physical components of the split
+pub fn partition_cost(
+    network: &Network,
+    local: &Processor,
+    local_cond: &ExecutionConditions,
+    host_base_power_w: f64,
+    remote: &Processor,
+    remote_serving_ms: f64,
+    link: &LinkModel,
+    rssi: Rssi,
+) -> Vec<PartitionCost> {
+    let n = network.layers().len();
+    (0..=n)
+        .map(|split| {
+            partition_cost_at(
+                network,
+                local,
+                local_cond,
+                host_base_power_w,
+                remote,
+                remote_serving_ms,
+                link,
+                rssi,
+                split,
+            )
+        })
+        .collect()
+}
+
+/// Prices a single split point. See [`partition_cost`].
+#[allow(clippy::too_many_arguments)] // mirrors the physical components of the split
+pub fn partition_cost_at(
+    network: &Network,
+    local: &Processor,
+    local_cond: &ExecutionConditions,
+    host_base_power_w: f64,
+    remote: &Processor,
+    remote_serving_ms: f64,
+    link: &LinkModel,
+    rssi: Rssi,
+    split: usize,
+) -> PartitionCost {
+    let layers = network.layers();
+    assert!(split <= layers.len(), "split {split} beyond {} layers", layers.len());
+
+    let local_ms: f64 =
+        layers[..split].iter().map(|l| layer_latency_ms(local, l, local_cond)).sum();
+    let local_energy = if split > 0 {
+        power::on_device_energy_mj(local, local_cond, local_ms, host_base_power_w).total_mj()
+    } else {
+        0.0
+    };
+
+    if split == layers.len() {
+        return PartitionCost { latency_ms: local_ms, energy_mj: local_energy, cut_bytes: 0 };
+    }
+
+    // Something crosses the link: the raw input for split 0, otherwise the
+    // activation of the last local layer (FP32 elements on the wire).
+    let cut_bytes = if split == 0 {
+        network.input_bytes()
+    } else {
+        layers[split - 1].output_bytes_fp32
+    };
+    let tx_ms = link.transfer_ms(cut_bytes, rssi);
+    let rx_ms = link.transfer_ms(network.output_bytes(), rssi);
+
+    let remote_cond = ExecutionConditions::max_frequency(remote, Precision::Fp32);
+    let remote_ms: f64 =
+        layers[split..].iter().map(|l| layer_latency_ms(remote, l, &remote_cond)).sum::<f64>()
+            + remote_serving_ms;
+
+    let latency_ms =
+        local_ms + link.wake_ms() + tx_ms + link.rtt_ms() + remote_ms + rx_ms;
+    let wait_ms = link.rtt_ms() + remote_ms;
+    let energy_mj = local_energy
+        + link.wake_energy_mj()
+        + link.tx_power_w(rssi) * tx_ms
+        + link.rx_power_w(rssi) * rx_ms
+        + (host_base_power_w + link.wait_power_w()) * wait_ms;
+    PartitionCost { latency_ms, energy_mj, cut_bytes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autoscale_net::LinkKind;
+    use autoscale_nn::Workload;
+    use autoscale_platform::{Device, ProcessorKind};
+
+    fn setup() -> (Network, Device, Device, LinkModel) {
+        (
+            Network::workload(Workload::InceptionV1),
+            Device::mi8pro(),
+            Device::cloud_server(),
+            LinkModel::for_kind(LinkKind::Wlan),
+        )
+    }
+
+    fn costs(rssi: Rssi) -> Vec<PartitionCost> {
+        let (net, phone, cloud, link) = setup();
+        let cpu = phone.processor(ProcessorKind::Cpu).unwrap();
+        let gpu = cloud.processor(ProcessorKind::Gpu).unwrap();
+        let cond = ExecutionConditions::max_frequency(cpu, Precision::Fp32);
+        partition_cost(
+            &net,
+            cpu,
+            &cond,
+            phone.base_power_w(),
+            gpu,
+            cloud.serving_overhead_ms(),
+            &link,
+            rssi,
+        )
+    }
+
+    #[test]
+    fn covers_every_split_point() {
+        let (net, ..) = setup();
+        let all = costs(Rssi::STRONG);
+        assert_eq!(all.len(), net.layers().len() + 1);
+    }
+
+    #[test]
+    fn fully_local_split_transmits_nothing() {
+        let all = costs(Rssi::STRONG);
+        let local = all.last().unwrap();
+        assert_eq!(local.cut_bytes, 0);
+    }
+
+    #[test]
+    fn fully_remote_split_transmits_the_input() {
+        let (net, ..) = setup();
+        let all = costs(Rssi::STRONG);
+        assert_eq!(all[0].cut_bytes, net.input_bytes());
+    }
+
+    #[test]
+    fn an_interior_split_can_beat_both_extremes_sometimes() {
+        // At least the interior points are priced consistently: every
+        // latency is positive and finite, and the minimum exists.
+        let all = costs(Rssi::STRONG);
+        assert!(all.iter().all(|c| c.latency_ms.is_finite() && c.latency_ms > 0.0));
+        let best = all
+            .iter()
+            .map(|c| c.latency_ms)
+            .fold(f64::INFINITY, f64::min);
+        assert!(best < all.last().unwrap().latency_ms.max(all[0].latency_ms));
+    }
+
+    #[test]
+    fn weak_signal_pushes_the_best_split_toward_local() {
+        let strong = costs(Rssi::STRONG);
+        let weak = costs(Rssi::WEAK);
+        let argmin = |v: &[PartitionCost]| {
+            v.iter()
+                .enumerate()
+                .min_by(|a, b| a.1.latency_ms.partial_cmp(&b.1.latency_ms).unwrap())
+                .map(|(i, _)| i)
+                .unwrap()
+        };
+        assert!(argmin(&weak) >= argmin(&strong));
+        // And the weak-signal remote extreme is dramatically slower.
+        assert!(weak[0].latency_ms > 3.0 * strong[0].latency_ms);
+    }
+
+    #[test]
+    fn energy_accounts_for_radio_and_wait() {
+        let all = costs(Rssi::STRONG);
+        // A fully remote run still costs energy (radio + wait).
+        assert!(all[0].energy_mj > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond")]
+    fn out_of_range_split_panics() {
+        let (net, phone, cloud, link) = setup();
+        let cpu = phone.processor(ProcessorKind::Cpu).unwrap();
+        let gpu = cloud.processor(ProcessorKind::Gpu).unwrap();
+        let cond = ExecutionConditions::max_frequency(cpu, Precision::Fp32);
+        let _ = partition_cost_at(
+            &net,
+            cpu,
+            &cond,
+            phone.base_power_w(),
+            gpu,
+            cloud.serving_overhead_ms(),
+            &link,
+            Rssi::STRONG,
+            net.layers().len() + 1,
+        );
+    }
+}

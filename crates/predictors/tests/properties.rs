@@ -1,0 +1,122 @@
+//! Property tests for the predictive baselines: numerical soundness of
+//! the linear algebra, learner consistency, and planner validity.
+
+use autoscale_nn::{Network, Workload};
+use autoscale_predictors::linalg::{self, Matrix};
+use autoscale_predictors::neurosurgeon::{LayerSample, SplitObjective, StaticLinkProfile};
+use autoscale_predictors::{
+    GaussianProcess, KnnClassifier, LinearRegression, NeuroSurgeon, StandardScaler,
+};
+use proptest::prelude::*;
+
+fn arb_spd_matrix() -> impl Strategy<Value = Matrix> {
+    // A A^T + n I is symmetric positive definite.
+    prop::collection::vec(prop::collection::vec(-5.0..5.0f64, 4), 4).prop_map(|rows| {
+        let a = Matrix::from_rows(&rows);
+        let mut spd = a.matmul(&a.transpose());
+        spd.add_diagonal(4.0 + 0.1);
+        spd
+    })
+}
+
+proptest! {
+    /// solve() produces a true solution: A x = b within tolerance.
+    #[test]
+    fn solve_satisfies_the_system(a in arb_spd_matrix(), b in prop::collection::vec(-10.0..10.0f64, 4)) {
+        let x = linalg::solve(&a, &b).expect("SPD systems are solvable");
+        let ax = a.matvec(&x);
+        for (l, r) in ax.iter().zip(&b) {
+            prop_assert!((l - r).abs() < 1e-6, "residual too large: {l} vs {r}");
+        }
+    }
+
+    /// Cholesky solve agrees with direct solve on SPD systems.
+    #[test]
+    fn cholesky_agrees_with_solve(a in arb_spd_matrix(), b in prop::collection::vec(-10.0..10.0f64, 4)) {
+        let direct = linalg::solve(&a, &b).expect("solvable");
+        let l = linalg::cholesky(&a).expect("SPD");
+        let chol = linalg::cholesky_solve(&l, &b);
+        for (d, c) in direct.iter().zip(&chol) {
+            prop_assert!((d - c).abs() < 1e-6);
+        }
+    }
+
+    /// Linear regression reproduces exact linear data (no noise).
+    #[test]
+    fn linreg_is_exact_on_linear_data(
+        w0 in -5.0..5.0f64,
+        w1 in -5.0..5.0f64,
+        bias in -5.0..5.0f64,
+        probe in -10.0..10.0f64,
+    ) {
+        let xs: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![i as f64 * 0.5, ((i * 7) % 13) as f64])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| w0 * x[0] + w1 * x[1] + bias).collect();
+        let model = LinearRegression::fit(&xs, &ys, 1e-10).expect("fits");
+        let expected = w0 * probe + w1 * 3.0 + bias;
+        prop_assert!((model.predict(&[probe, 3.0]) - expected).abs() < 1e-5);
+    }
+
+    /// The scaler's transform is affine: order-preserving per feature.
+    #[test]
+    fn scaler_preserves_order(
+        samples in prop::collection::vec(prop::collection::vec(-100.0..100.0f64, 2), 2..40),
+        a in -100.0..100.0f64,
+        b in -100.0..100.0f64,
+    ) {
+        let scaler = StandardScaler::fit(&samples);
+        let ta = scaler.transform(&[a, 0.0]);
+        let tb = scaler.transform(&[b, 0.0]);
+        prop_assert_eq!(a < b, ta[0] < tb[0]);
+    }
+
+    /// k-NN with k = 1 classifies every training point to its own label.
+    #[test]
+    fn knn_memorizes_with_k1(labels in prop::collection::vec(0usize..4, 3..20)) {
+        let xs: Vec<Vec<f64>> = (0..labels.len()).map(|i| vec![i as f64 * 10.0]).collect();
+        let knn = KnnClassifier::fit(&xs, &labels, 1).expect("fits");
+        for (x, &l) in xs.iter().zip(&labels) {
+            prop_assert_eq!(knn.predict(x), l);
+        }
+    }
+
+    /// GP predictive variance is non-negative and shrinks at data points.
+    #[test]
+    fn gp_variance_is_sane(n in 3usize..15, probe in -5.0..25.0f64) {
+        let xs: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (x[0] * 0.3).cos()).collect();
+        let gp = GaussianProcess::fit(&xs, &ys, Default::default()).expect("fits");
+        let (_, var_probe) = gp.predict(&[probe]);
+        let (_, var_at_data) = gp.predict(&xs[0]);
+        prop_assert!(var_probe >= 0.0);
+        prop_assert!(var_at_data <= 0.2, "variance at a data point: {var_at_data}");
+    }
+
+    /// NeuroSurgeon's chosen split is always a valid index, and its
+    /// predicted cost at the chosen split is minimal among all splits.
+    #[test]
+    fn neurosurgeon_split_is_argmin(local_speed in 5.0..50.0f64) {
+        let samples: Vec<LayerSample> = (1..30)
+            .map(|i| {
+                let macs = i as u64 * 50_000_000;
+                let traffic = i as u64 * 500_000;
+                LayerSample {
+                    macs,
+                    traffic_bytes: traffic,
+                    local_ms: macs as f64 / (local_speed * 1e6),
+                    remote_ms: macs as f64 / 3_000e6,
+                }
+            })
+            .collect();
+        let ns = NeuroSurgeon::train(&samples, StaticLinkProfile::default()).expect("trains");
+        let net = Network::workload(Workload::MobileNetV2);
+        let split = ns.choose_split(&net, SplitObjective::Latency);
+        prop_assert!(split <= net.layers().len());
+        let (chosen, _) = ns.predict_split(&net, split);
+        for s in 0..=net.layers().len() {
+            let (lat, _) = ns.predict_split(&net, s);
+            prop_assert!(chosen <= lat + 1e-9);
+        }
+    }
+}

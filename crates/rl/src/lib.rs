@@ -1,0 +1,55 @@
+//! Reinforcement-learning primitives for the AutoScale reproduction.
+//!
+//! The paper chooses **tabular Q-learning** over TD-learning and deep RL
+//! because a lookup table gives the lowest decision latency on an
+//! energy-constrained phone (Section IV), and pairs it with an
+//! **epsilon-greedy** policy to balance exploitation against exploration.
+//! This crate implements those pieces generically over opaque state and
+//! action indices, so the core crate can map its domain-specific state
+//! (Table I) and action space (execution targets × DVFS × quantization)
+//! onto them:
+//!
+//! * [`QTable`] — a dense `states × actions` value table with random
+//!   initialization, action masking, and serde persistence (the paper's
+//!   learning transfer ships a trained table between devices);
+//! * [`EpsilonGreedy`] — the exploration policy;
+//! * [`QLearningAgent`] — Algorithm 1 of the paper: observe, select, act,
+//!   reward, bootstrap, update;
+//! * [`Dbscan`] / [`Discretizer`] — the 1-D DBSCAN clustering the paper
+//!   uses to discretize continuous state features into the Table I buckets;
+//! * [`ConvergenceDetector`] — detects reward convergence (the paper's
+//!   Fig. 14 reports convergence within 40–50 inference runs);
+//! * [`LinearQAgent`] — a linear function-approximation alternative, kept
+//!   as the measurable stand-in for the deep-RL family the paper rejects
+//!   on latency grounds.
+//!
+//! # Example
+//!
+//! ```
+//! use autoscale_rl::{Hyperparameters, QLearningAgent};
+//! use rand::SeedableRng;
+//!
+//! let mut agent = QLearningAgent::new(4, 3, Hyperparameters::paper(), 7);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let mask = vec![true; 3];
+//! let a = agent.select_action(0, &mask, &mut rng).expect("mask allows actions");
+//! agent.update(0, a, 1.0, 1, &mask);
+//! assert!(agent.q_table().get(0, a).is_finite());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agent;
+pub mod convergence;
+pub mod dbscan;
+pub mod linear;
+pub mod policy;
+pub mod qtable;
+
+pub use agent::{Hyperparameters, QLearningAgent};
+pub use convergence::ConvergenceDetector;
+pub use dbscan::{Dbscan, Discretizer};
+pub use linear::LinearQAgent;
+pub use policy::EpsilonGreedy;
+pub use qtable::QTable;

@@ -1,0 +1,149 @@
+//! The epsilon-greedy exploration policy.
+//!
+//! Section IV of the paper: "If an RL agent always exploits an action with
+//! the temporary highest reward, it can get stuck in local optima. On the
+//! other hand, if it keeps exploring all possible actions, convergence may
+//! get slower. To solve this problem, we employ the epsilon-greedy
+//! algorithm [...] for its effectiveness and simplicity." The paper uses
+//! ε = 0.1, following prior RL work in this domain.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::qtable::QTable;
+
+/// An epsilon-greedy action-selection policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpsilonGreedy {
+    epsilon: f64,
+}
+
+impl EpsilonGreedy {
+    /// Creates a policy with exploration probability `epsilon` ∈ [0, 1].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is outside [0, 1] or not finite.
+    pub fn new(epsilon: f64) -> Self {
+        assert!(epsilon.is_finite() && (0.0..=1.0).contains(&epsilon), "epsilon must be in [0, 1]");
+        EpsilonGreedy { epsilon }
+    }
+
+    /// The paper's value: ε = 0.1.
+    pub fn paper() -> Self {
+        EpsilonGreedy::new(0.1)
+    }
+
+    /// A purely greedy policy (ε = 0), used after training converges.
+    pub fn greedy() -> Self {
+        EpsilonGreedy::new(0.0)
+    }
+
+    /// The exploration probability.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Chooses an action for `state`: with probability ε a uniformly random
+    /// allowed action (exploration), otherwise the allowed action with the
+    /// largest Q value (exploitation).
+    ///
+    /// Returns `None` if the mask allows no action.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask.len()` differs from the table's action count.
+    pub fn choose(
+        &self,
+        q: &QTable,
+        state: usize,
+        mask: &[bool],
+        rng: &mut StdRng,
+    ) -> Option<usize> {
+        assert_eq!(mask.len(), q.actions(), "mask length must equal action count");
+        let allowed: Vec<usize> = (0..mask.len()).filter(|&a| mask[a]).collect();
+        if allowed.is_empty() {
+            return None;
+        }
+        if rng.gen::<f64>() < self.epsilon {
+            Some(allowed[rng.gen_range(0..allowed.len())])
+        } else {
+            q.best_action(state, mask).map(|(a, _)| a)
+        }
+    }
+}
+
+impl Default for EpsilonGreedy {
+    fn default() -> Self {
+        EpsilonGreedy::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn table() -> QTable {
+        let mut q = QTable::new_zeroed(1, 4);
+        q.set(0, 2, 10.0);
+        q
+    }
+
+    #[test]
+    fn greedy_always_picks_the_best() {
+        let q = table();
+        let policy = EpsilonGreedy::greedy();
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..100 {
+            assert_eq!(policy.choose(&q, 0, &[true; 4], &mut rng), Some(2));
+        }
+    }
+
+    #[test]
+    fn exploration_rate_is_close_to_epsilon() {
+        let q = table();
+        let policy = EpsilonGreedy::new(0.3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let non_greedy = (0..n)
+            .filter(|_| policy.choose(&q, 0, &[true; 4], &mut rng) != Some(2))
+            .count();
+        // Exploration picks uniformly among 4 actions, so 3/4 of explored
+        // steps deviate from the greedy choice: expect 0.3 * 0.75 = 0.225.
+        let rate = non_greedy as f64 / n as f64;
+        assert!((rate - 0.225).abs() < 0.02, "rate={rate}");
+    }
+
+    #[test]
+    fn masked_actions_are_never_selected() {
+        let q = table();
+        let policy = EpsilonGreedy::new(1.0); // always explore
+        let mut rng = StdRng::seed_from_u64(2);
+        let mask = [true, false, false, true];
+        for _ in 0..200 {
+            let a = policy.choose(&q, 0, &mask, &mut rng).unwrap();
+            assert!(mask[a]);
+        }
+    }
+
+    #[test]
+    fn empty_mask_yields_none() {
+        let q = table();
+        let policy = EpsilonGreedy::paper();
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(policy.choose(&q, 0, &[false; 4], &mut rng), None);
+    }
+
+    #[test]
+    fn default_is_paper_epsilon() {
+        assert_eq!(EpsilonGreedy::default().epsilon(), 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be in [0, 1]")]
+    fn invalid_epsilon_panics() {
+        let _ = EpsilonGreedy::new(1.5);
+    }
+}

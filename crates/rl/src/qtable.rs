@@ -1,0 +1,258 @@
+//! The Q-table: a dense `states × actions` lookup table of action values.
+//!
+//! The paper sizes this concretely: about 3,072 states × ~66 actions,
+//! for a memory footprint of roughly 0.4 MB (Section VI-C) — "only 0.01%
+//! of the 3 GB DRAM capacity of a typical mid-end mobile device".
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A dense table of Q(S, A) values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QTable {
+    states: usize,
+    actions: usize,
+    values: Vec<f64>,
+}
+
+impl QTable {
+    /// Creates a table initialized with small random values, as Algorithm 1
+    /// of the paper prescribes ("Initialize Q(S,A) as random values").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states` or `actions` is zero.
+    pub fn new_random(states: usize, actions: usize, seed: u64) -> Self {
+        assert!(states > 0 && actions > 0, "Q-table dimensions must be non-zero");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let values = (0..states * actions).map(|_| rng.gen_range(-0.01..0.01)).collect();
+        QTable { states, actions, values }
+    }
+
+    /// Creates a zero-initialized table (useful for deterministic tests).
+    pub fn new_zeroed(states: usize, actions: usize) -> Self {
+        assert!(states > 0 && actions > 0, "Q-table dimensions must be non-zero");
+        QTable { states, actions, values: vec![0.0; states * actions] }
+    }
+
+    /// Number of states.
+    pub fn states(&self) -> usize {
+        self.states
+    }
+
+    /// Number of actions.
+    pub fn actions(&self) -> usize {
+        self.actions
+    }
+
+    /// Q(S, A).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn get(&self, state: usize, action: usize) -> f64 {
+        self.values[self.index(state, action)]
+    }
+
+    /// Sets Q(S, A).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn set(&mut self, state: usize, action: usize, value: f64) {
+        let i = self.index(state, action);
+        self.values[i] = value;
+    }
+
+    /// Adds `delta` to Q(S, A) — the Algorithm 1 update's in-place form.
+    pub fn add(&mut self, state: usize, action: usize, delta: f64) {
+        let i = self.index(state, action);
+        self.values[i] += delta;
+    }
+
+    /// The action with the largest Q value among those `mask` allows, and
+    /// its value. Ties break toward the lower index, deterministically.
+    ///
+    /// Masking exists because not every action is feasible for every
+    /// inference: e.g. a DSP cannot execute a recurrent model, so its
+    /// actions are masked out while MobileBERT is being scheduled.
+    ///
+    /// Returns `None` if the mask allows no action.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask.len() != actions` or `state` is out of range.
+    pub fn best_action(&self, state: usize, mask: &[bool]) -> Option<(usize, f64)> {
+        assert_eq!(mask.len(), self.actions, "mask length must equal action count");
+        assert!(state < self.states, "state out of range");
+        let mut best: Option<(usize, f64)> = None;
+        for a in 0..self.actions {
+            if !mask[a] {
+                continue;
+            }
+            let v = self.get(state, a);
+            if best.map_or(true, |(_, bv)| v > bv) {
+                best = Some((a, v));
+            }
+        }
+        best
+    }
+
+    /// The largest Q value in a state over allowed actions (`max_a'
+    /// Q(S', A')` in the bootstrap term), or 0.0 when nothing is allowed.
+    pub fn max_value(&self, state: usize, mask: &[bool]) -> f64 {
+        self.best_action(state, mask).map_or(0.0, |(_, v)| v)
+    }
+
+    /// Memory footprint of the table's values in bytes — the Section VI-C
+    /// overhead statistic.
+    pub fn memory_bytes(&self) -> usize {
+        self.values.len() * std::mem::size_of::<f64>()
+    }
+
+    /// Copies every value from `source` — the paper's learning transfer
+    /// ("transferring a model trained on one device to other devices in
+    /// order to expedite the convergence", Section IV).
+    ///
+    /// Transfer requires identical table shapes: the donor and recipient
+    /// share the state encoding, and action spaces are aligned by the core
+    /// crate before transfer.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error describing the shape mismatch if the dimensions
+    /// differ.
+    pub fn transfer_from(&mut self, source: &QTable) -> Result<(), ShapeMismatchError> {
+        if self.states != source.states || self.actions != source.actions {
+            return Err(ShapeMismatchError {
+                expected: (self.states, self.actions),
+                found: (source.states, source.actions),
+            });
+        }
+        self.values.copy_from_slice(&source.values);
+        Ok(())
+    }
+
+    fn index(&self, state: usize, action: usize) -> usize {
+        assert!(state < self.states, "state {state} out of range ({})", self.states);
+        assert!(action < self.actions, "action {action} out of range ({})", self.actions);
+        state * self.actions + action
+    }
+}
+
+/// Error returned when transferring between Q-tables of different shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShapeMismatchError {
+    /// The recipient's (states, actions).
+    pub expected: (usize, usize),
+    /// The donor's (states, actions).
+    pub found: (usize, usize),
+}
+
+impl std::fmt::Display for ShapeMismatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "q-table shape mismatch: expected {}x{}, found {}x{}",
+            self.expected.0, self.expected.1, self.found.0, self.found.1
+        )
+    }
+}
+
+impl std::error::Error for ShapeMismatchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_init_is_small_and_seeded() {
+        let a = QTable::new_random(10, 5, 42);
+        let b = QTable::new_random(10, 5, 42);
+        let c = QTable::new_random(10, 5, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        for s in 0..10 {
+            for act in 0..5 {
+                assert!(a.get(s, act).abs() < 0.01);
+            }
+        }
+    }
+
+    #[test]
+    fn set_get_round_trip() {
+        let mut q = QTable::new_zeroed(3, 2);
+        q.set(2, 1, 7.5);
+        assert_eq!(q.get(2, 1), 7.5);
+        q.add(2, 1, 0.5);
+        assert_eq!(q.get(2, 1), 8.0);
+    }
+
+    #[test]
+    fn best_action_respects_mask() {
+        let mut q = QTable::new_zeroed(1, 3);
+        q.set(0, 0, 1.0);
+        q.set(0, 1, 5.0);
+        q.set(0, 2, 3.0);
+        assert_eq!(q.best_action(0, &[true, true, true]), Some((1, 5.0)));
+        assert_eq!(q.best_action(0, &[true, false, true]), Some((2, 3.0)));
+        assert_eq!(q.best_action(0, &[false, false, false]), None);
+    }
+
+    #[test]
+    fn max_value_defaults_to_zero_when_fully_masked() {
+        let q = QTable::new_zeroed(1, 2);
+        assert_eq!(q.max_value(0, &[false, false]), 0.0);
+    }
+
+    #[test]
+    fn paper_scale_table_fits_the_memory_budget() {
+        // ~3,072 states × 66 actions: Section VI-C reports 0.4 MB. An f64
+        // table lands at 1.6 MB; the paper presumably stores narrower
+        // values, so we assert the same order of magnitude.
+        let q = QTable::new_zeroed(3_072, 66);
+        let mb = q.memory_bytes() as f64 / (1024.0 * 1024.0);
+        assert!(mb < 2.0, "table too large: {mb} MB");
+    }
+
+    #[test]
+    fn transfer_copies_values() {
+        let mut donor = QTable::new_zeroed(2, 2);
+        donor.set(1, 1, 9.0);
+        let mut recipient = QTable::new_random(2, 2, 1);
+        recipient.transfer_from(&donor).unwrap();
+        assert_eq!(recipient.get(1, 1), 9.0);
+    }
+
+    #[test]
+    fn transfer_rejects_shape_mismatch() {
+        let donor = QTable::new_zeroed(2, 3);
+        let mut recipient = QTable::new_zeroed(2, 2);
+        let err = recipient.transfer_from(&donor).unwrap_err();
+        assert_eq!(err.expected, (2, 2));
+        assert_eq!(err.found, (2, 3));
+        assert!(err.to_string().contains("mismatch"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let q = QTable::new_random(4, 3, 9);
+        let json = serde_json::to_string(&q).unwrap();
+        let back: QTable = serde_json::from_str(&json).unwrap();
+        assert_eq!(q, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_state_panics() {
+        let q = QTable::new_zeroed(2, 2);
+        let _ = q.get(2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dimension_panics() {
+        let _ = QTable::new_zeroed(0, 5);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property tests for the RL primitives.
+
+use autoscale_rl::{ConvergenceDetector, Dbscan, EpsilonGreedy, Hyperparameters, QLearningAgent, QTable};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+proptest! {
+    /// Q-tables store and retrieve every written value exactly.
+    #[test]
+    fn qtable_store_retrieve(
+        states in 1usize..20,
+        actions in 1usize..20,
+        writes in prop::collection::vec((0usize..20, 0usize..20, -1e6..1e6f64), 0..50),
+    ) {
+        let mut q = QTable::new_zeroed(states, actions);
+        let mut shadow = std::collections::HashMap::new();
+        for (s, a, v) in writes {
+            let (s, a) = (s % states, a % actions);
+            q.set(s, a, v);
+            shadow.insert((s, a), v);
+        }
+        for ((s, a), v) in shadow {
+            prop_assert_eq!(q.get(s, a), v);
+        }
+    }
+
+    /// best_action returns the argmax among allowed actions.
+    #[test]
+    fn best_action_is_argmax(values in prop::collection::vec(-1e3..1e3f64, 1..30), seed in any::<u64>()) {
+        let n = values.len();
+        let mut q = QTable::new_zeroed(1, n);
+        for (a, &v) in values.iter().enumerate() {
+            q.set(0, a, v);
+        }
+        // Random mask with at least one allowed entry.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let mut mask: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.7)).collect();
+        if !mask.iter().any(|&m| m) {
+            mask[0] = true;
+        }
+        let (best, bv) = q.best_action(0, &mask).expect("non-empty mask");
+        prop_assert!(mask[best]);
+        for a in 0..n {
+            if mask[a] {
+                prop_assert!(values[a] <= bv + 1e-12);
+            }
+        }
+    }
+
+    /// Repeated updates with a constant reward converge the Q value to
+    /// the fixed point r / (1 - lr_discount_term) — here with no
+    /// bootstrap (single state, masked next state), simply to r.
+    #[test]
+    fn constant_reward_fixed_point(r in -1e3..1e3f64, lr in 0.05..=1.0f64) {
+        let params = Hyperparameters { learning_rate: lr, discount: 0.0, epsilon: 0.0 };
+        let mut agent = QLearningAgent::with_table(QTable::new_zeroed(1, 1), params);
+        for _ in 0..200 {
+            agent.update(0, 0, r, 0, &[false]);
+        }
+        prop_assert!((agent.q_table().get(0, 0) - r).abs() < 1e-3_f64.max(r.abs() * 1e-3));
+    }
+
+    /// Greedy selection after training on distinguishable rewards picks
+    /// the best action.
+    #[test]
+    fn greedy_finds_the_best_of_k(k in 2usize..10, seed in any::<u64>()) {
+        let params = Hyperparameters::paper();
+        let mut agent = QLearningAgent::new(1, k, params, seed);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed.wrapping_add(1));
+        let mask = vec![true; k];
+        // Rewards: action i pays -(i as f64) * 10; action 0 is best.
+        for _ in 0..k * 30 {
+            let a = agent.select_action(0, &mask, &mut rng).expect("mask allows all");
+            agent.update(0, a, -(a as f64) * 10.0, 0, &mask);
+        }
+        prop_assert_eq!(agent.select_greedy(0, &mask), Some(0));
+    }
+
+    /// The epsilon-greedy policy degenerates correctly at the extremes.
+    #[test]
+    fn epsilon_extremes(seed in any::<u64>(), n in 2usize..10) {
+        let mut q = QTable::new_zeroed(1, n);
+        q.set(0, n - 1, 1.0);
+        let mask = vec![true; n];
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        // epsilon = 0: always the argmax.
+        let greedy = EpsilonGreedy::greedy();
+        for _ in 0..10 {
+            prop_assert_eq!(greedy.choose(&q, 0, &mask, &mut rng), Some(n - 1));
+        }
+        // epsilon = 1: everything gets sampled eventually.
+        let explore = EpsilonGreedy::new(1.0);
+        let mut seen = vec![false; n];
+        for _ in 0..400 {
+            seen[explore.choose(&q, 0, &mask, &mut rng).expect("non-empty")] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// DBSCAN clusters partition the non-noise samples: every clustered
+    /// value came from the input and clusters are ordered and disjoint.
+    #[test]
+    fn dbscan_clusters_partition(samples in prop::collection::vec(0.0..1e4f64, 0..80)) {
+        let db = Dbscan::new(50.0, 2);
+        let clusters = db.cluster(&samples);
+        let mut prev_max = f64::NEG_INFINITY;
+        for c in &clusters {
+            prop_assert!(c.len() >= 2);
+            for v in c {
+                prop_assert!(samples.contains(v));
+                prop_assert!(*v >= prev_max);
+            }
+            prev_max = *c.last().expect("non-empty cluster");
+        }
+    }
+
+    /// A convergence detector never reports an index beyond the number of
+    /// observations, and once converged it stays converged.
+    #[test]
+    fn detector_is_monotone(rewards in prop::collection::vec(-1e3..1e3f64, 0..200)) {
+        let mut d = ConvergenceDetector::paper();
+        let mut was_converged = false;
+        for r in rewards {
+            let now = d.observe(r);
+            prop_assert!(!was_converged || now, "convergence must be sticky");
+            was_converged = now;
+        }
+        if let Some(at) = d.converged_at() {
+            prop_assert!(at <= d.observations());
+        }
+    }
+
+    /// Q-tables survive serde exactly (float_roundtrip is enabled
+    /// workspace-wide for this reason).
+    #[test]
+    fn qtable_serde_exact(states in 1usize..10, actions in 1usize..10, seed in any::<u64>()) {
+        let q = QTable::new_random(states, actions, seed);
+        let json = serde_json::to_string(&q).expect("serializes");
+        let back: QTable = serde_json::from_str(&json).expect("deserializes");
+        prop_assert_eq!(q, back);
+    }
+}

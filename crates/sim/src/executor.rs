@@ -1,0 +1,476 @@
+//! The simulator: executes a fully specified request and reports the
+//! latency, energy and accuracy the paper's testbed would have measured.
+
+use std::collections::BTreeMap;
+
+use autoscale_net::{LinkKind, LinkModel, Transfer};
+use autoscale_nn::{accuracy_for, Network, Workload};
+use autoscale_platform::{
+    latency::network_latency_ms, power, Device, DeviceId, ExecutionConditions, Processor,
+};
+use rand::rngs::StdRng;
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+
+use crate::request::{Placement, Request};
+use crate::snapshot::Snapshot;
+
+/// What one executed inference cost and produced.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Outcome {
+    /// End-to-end latency in milliseconds (`R_latency`).
+    pub latency_ms: f64,
+    /// Phone-side energy in millijoules (`R_energy`).
+    pub energy_mj: f64,
+    /// Inference accuracy in percent (`R_accuracy`).
+    pub accuracy: f64,
+}
+
+impl Outcome {
+    /// Energy efficiency in inferences per joule — the PPW metric of the
+    /// paper's figures (see [`power::efficiency_ipj`]).
+    pub fn efficiency_ipj(&self) -> f64 {
+        power::efficiency_ipj(self.energy_mj)
+    }
+}
+
+/// Why a request cannot execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecutionError {
+    /// The target device has no processor of the requested kind (e.g. DSP
+    /// on the Galaxy S10e).
+    NoSuchProcessor(Placement),
+    /// The processor cannot execute at the requested precision (e.g. FP32
+    /// on a DSP).
+    UnsupportedPrecision(Placement),
+    /// The middleware cannot run recurrent models on this processor (e.g.
+    /// MobileBERT on any mobile co-processor).
+    RecurrentUnsupported(Placement),
+}
+
+impl std::fmt::Display for ExecutionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecutionError::NoSuchProcessor(p) => {
+                write!(f, "no such processor at {p}")
+            }
+            ExecutionError::UnsupportedPrecision(p) => {
+                write!(f, "precision unsupported at {p}")
+            }
+            ExecutionError::RecurrentUnsupported(p) => {
+                write!(f, "recurrent model unsupported at {p}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecutionError {}
+
+/// Relative standard deviation of latency measurement noise.
+const LATENCY_NOISE_STD: f64 = 0.03;
+/// Relative standard deviation of energy measurement noise (the paper's
+/// utilization-based estimators carry a 7.3% MAPE; a 5% relative sigma
+/// lands the simulated MAPE in the same range).
+const ENERGY_NOISE_STD: f64 = 0.055;
+
+/// The edge-cloud testbed for one host phone: the phone itself, the
+/// Wi-Fi-Direct-connected tablet, and the cloud server behind the WLAN.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    host: Device,
+    tablet: Device,
+    cloud: Device,
+    wlan: LinkModel,
+    p2p: LinkModel,
+    networks: BTreeMap<Workload, Network>,
+}
+
+impl Simulator {
+    /// Builds the testbed around a host phone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `host` is not one of the three phones — the tablet and
+    /// the cloud server are offloading targets, not AutoScale hosts.
+    pub fn new(host: DeviceId) -> Self {
+        let host = Device::for_id(host);
+        assert!(host.is_phone(), "the simulator host must be a phone");
+        Simulator {
+            host,
+            tablet: Device::galaxy_tab_s6(),
+            cloud: Device::cloud_server(),
+            wlan: LinkModel::for_kind(LinkKind::Wlan),
+            p2p: LinkModel::for_kind(LinkKind::PeerToPeer),
+            networks: Workload::ALL.iter().map(|&w| (w, Network::workload(w))).collect(),
+        }
+    }
+
+    /// Builds a testbed from explicit devices — the hook for the paper's
+    /// Section V-C extension configurations (e.g. an NPU-unlocked phone
+    /// via [`Device::mi8pro_npu`] or a TPU-equipped cloud via
+    /// [`Device::cloud_server_tpu`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `host` is not a phone.
+    pub fn with_devices(host: Device, tablet: Device, cloud: Device) -> Self {
+        assert!(host.is_phone(), "the simulator host must be a phone");
+        Simulator {
+            host,
+            tablet,
+            cloud,
+            wlan: LinkModel::for_kind(LinkKind::Wlan),
+            p2p: LinkModel::for_kind(LinkKind::PeerToPeer),
+            networks: Workload::ALL.iter().map(|&w| (w, Network::workload(w))).collect(),
+        }
+    }
+
+    /// The host phone.
+    pub fn host(&self) -> &Device {
+        &self.host
+    }
+
+    /// The connected edge device (Galaxy Tab S6).
+    pub fn tablet(&self) -> &Device {
+        &self.tablet
+    }
+
+    /// The cloud server.
+    pub fn cloud(&self) -> &Device {
+        &self.cloud
+    }
+
+    /// The WLAN link model (phone ↔ access point ↔ cloud).
+    pub fn wlan(&self) -> &LinkModel {
+        &self.wlan
+    }
+
+    /// The peer-to-peer link model (phone ↔ tablet).
+    pub fn p2p(&self) -> &LinkModel {
+        &self.p2p
+    }
+
+    /// The cached network for a workload.
+    pub fn network(&self, workload: Workload) -> &Network {
+        &self.networks[&workload]
+    }
+
+    /// The device a placement lands on.
+    pub fn device_for(&self, placement: Placement) -> &Device {
+        match placement {
+            Placement::OnDevice(_) => &self.host,
+            Placement::ConnectedEdge(_) => &self.tablet,
+            Placement::Cloud(_) => &self.cloud,
+        }
+    }
+
+    /// The processor a placement lands on, if the device has one.
+    pub fn processor_for(&self, placement: Placement) -> Option<&Processor> {
+        self.device_for(placement).processor(placement.processor_kind())
+    }
+
+    /// Validates that a request can execute for a workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns the reason the request is infeasible.
+    pub fn check(&self, workload: Workload, request: &Request) -> Result<&Processor, ExecutionError> {
+        let placement = request.placement;
+        let processor = self
+            .processor_for(placement)
+            .ok_or(ExecutionError::NoSuchProcessor(placement))?;
+        if !processor.supports_precision(request.precision) {
+            return Err(ExecutionError::UnsupportedPrecision(placement));
+        }
+        if self.network(workload).has_recurrent_layers() && !processor.runs_recurrent() {
+            return Err(ExecutionError::RecurrentUnsupported(placement));
+        }
+        Ok(processor)
+    }
+
+    /// Whether a request can execute for a workload.
+    pub fn is_feasible(&self, workload: Workload, request: &Request) -> bool {
+        self.check(workload, request).is_ok()
+    }
+
+    /// Executes a request and returns the *model expectation* — no
+    /// measurement noise. This is what the oracle (`Opt`) evaluates when
+    /// it enumerates the design space.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExecutionError`] if the request is infeasible.
+    pub fn execute_expected(
+        &self,
+        workload: Workload,
+        request: &Request,
+        snapshot: &Snapshot,
+    ) -> Result<Outcome, ExecutionError> {
+        let processor = self.check(workload, request)?;
+        let network = self.network(workload);
+        let accuracy = accuracy_for(workload).at(request.precision);
+
+        let outcome = match request.placement {
+            Placement::OnDevice(_) => {
+                let cond = ExecutionConditions {
+                    freq_index: request.freq_index.min(processor.dvfs().max_index()),
+                    precision: request.precision,
+                    compute_availability: snapshot.cpu_availability(),
+                    mem_availability: snapshot.mem_availability(),
+                    thermal_cap: self.host.thermal().cap_for(snapshot.co_cpu),
+                };
+                let latency_ms = network_latency_ms(processor, network, &cond);
+                let energy = power::on_device_energy_mj(
+                    processor,
+                    &cond,
+                    latency_ms,
+                    self.host.base_power_w(),
+                );
+                Outcome { latency_ms, energy_mj: energy.total_mj(), accuracy }
+            }
+            Placement::ConnectedEdge(_) => {
+                self.remote_outcome(network, processor, &self.tablet, &self.p2p, snapshot.p2p, request, accuracy)
+            }
+            Placement::Cloud(_) => {
+                self.remote_outcome(network, processor, &self.cloud, &self.wlan, snapshot.wlan, request, accuracy)
+            }
+        };
+        Ok(outcome)
+    }
+
+    /// Executes a request with measurement noise applied to latency and
+    /// energy — what the paper's Monsoon meter and timestamps report.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExecutionError`] if the request is infeasible.
+    pub fn execute_measured(
+        &self,
+        workload: Workload,
+        request: &Request,
+        snapshot: &Snapshot,
+        rng: &mut StdRng,
+    ) -> Result<Outcome, ExecutionError> {
+        let expected = self.execute_expected(workload, request, snapshot)?;
+        let lat_noise = Normal::new(1.0, LATENCY_NOISE_STD).expect("valid normal");
+        let en_noise = Normal::new(1.0, ENERGY_NOISE_STD).expect("valid normal");
+        Ok(Outcome {
+            latency_ms: expected.latency_ms * lat_noise.sample(rng).max(0.7),
+            energy_mj: expected.energy_mj * en_noise.sample(rng).max(0.7),
+            accuracy: expected.accuracy,
+        })
+    }
+
+    /// Computes the outcome of an offloaded inference, per the paper's
+    /// eq. (4): radio energy for the transfers plus idle-wait energy while
+    /// the remote system computes.
+    #[allow(clippy::too_many_arguments)] // private helper mirroring eq. (4)'s terms
+    fn remote_outcome(
+        &self,
+        network: &Network,
+        processor: &Processor,
+        remote: &Device,
+        link: &LinkModel,
+        rssi: autoscale_net::Rssi,
+        request: &Request,
+        accuracy: f64,
+    ) -> Outcome {
+        let transfer = Transfer::compute(link, network.input_bytes(), network.output_bytes(), rssi);
+        // Remote systems are uncontended and run at maximum frequency: the
+        // phone can neither observe nor control their governors.
+        let cond = ExecutionConditions::max_frequency(processor, request.precision);
+        let remote_ms = network_latency_ms(processor, network, &cond) + remote.serving_overhead_ms();
+        let latency_ms = transfer.wire_ms() + remote_ms;
+        // Phone-side energy (eq. 4): TX + RX bursts, then base + radio-wait
+        // power for the remainder of the round trip.
+        let wait_ms = latency_ms - transfer.tx_ms - transfer.rx_ms;
+        let energy_mj = transfer.radio_energy_mj()
+            + (self.host.base_power_w() + transfer.wait_power_w) * wait_ms;
+        Outcome { latency_ms, energy_mj, accuracy }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autoscale_nn::Precision;
+    use autoscale_platform::ProcessorKind;
+    use rand::SeedableRng;
+
+    fn sim() -> Simulator {
+        Simulator::new(DeviceId::Mi8Pro)
+    }
+
+    fn max_req(sim: &Simulator, placement: Placement, precision: Precision) -> Request {
+        Request::at_max_frequency(sim, placement, precision)
+    }
+
+    #[test]
+    fn cpu_fp32_executes_everywhere() {
+        let sim = sim();
+        for w in Workload::ALL {
+            for placement in [
+                Placement::OnDevice(ProcessorKind::Cpu),
+                Placement::ConnectedEdge(ProcessorKind::Cpu),
+                Placement::Cloud(ProcessorKind::Cpu),
+            ] {
+                let req = max_req(&sim, placement, Precision::Fp32);
+                let out = sim.execute_expected(w, &req, &Snapshot::calm()).unwrap();
+                assert!(out.latency_ms > 0.0 && out.energy_mj > 0.0, "{w} {placement}");
+            }
+        }
+    }
+
+    #[test]
+    fn s10e_has_no_dsp() {
+        let sim = Simulator::new(DeviceId::GalaxyS10e);
+        let req = max_req(&sim, Placement::OnDevice(ProcessorKind::Dsp), Precision::Int8);
+        assert_eq!(
+            sim.execute_expected(Workload::InceptionV1, &req, &Snapshot::calm()),
+            Err(ExecutionError::NoSuchProcessor(Placement::OnDevice(ProcessorKind::Dsp)))
+        );
+    }
+
+    #[test]
+    fn dsp_rejects_fp32_and_recurrent() {
+        let sim = sim();
+        let fp32 = max_req(&sim, Placement::OnDevice(ProcessorKind::Dsp), Precision::Fp32);
+        assert!(matches!(
+            sim.execute_expected(Workload::InceptionV1, &fp32, &Snapshot::calm()),
+            Err(ExecutionError::UnsupportedPrecision(_))
+        ));
+        let int8 = max_req(&sim, Placement::OnDevice(ProcessorKind::Dsp), Precision::Int8);
+        assert!(matches!(
+            sim.execute_expected(Workload::MobileBert, &int8, &Snapshot::calm()),
+            Err(ExecutionError::RecurrentUnsupported(_))
+        ));
+    }
+
+    #[test]
+    fn mobile_gpu_rejects_recurrent_but_cloud_gpu_runs_it() {
+        let sim = sim();
+        let mobile = max_req(&sim, Placement::OnDevice(ProcessorKind::Gpu), Precision::Fp32);
+        assert!(!sim.is_feasible(Workload::MobileBert, &mobile));
+        let cloud = max_req(&sim, Placement::Cloud(ProcessorKind::Gpu), Precision::Fp32);
+        assert!(sim.is_feasible(Workload::MobileBert, &cloud));
+    }
+
+    #[test]
+    fn cpu_interference_slows_and_costs_on_device_cpu() {
+        let sim = sim();
+        let req = max_req(&sim, Placement::OnDevice(ProcessorKind::Cpu), Precision::Fp32);
+        let calm = sim.execute_expected(Workload::MobileNetV3, &req, &Snapshot::calm()).unwrap();
+        let loaded = Snapshot::new(0.85, 0.1, Snapshot::calm().wlan, Snapshot::calm().p2p);
+        let contended = sim.execute_expected(Workload::MobileNetV3, &req, &loaded).unwrap();
+        assert!(contended.latency_ms > 1.5 * calm.latency_ms);
+        assert!(contended.efficiency_ipj() < calm.efficiency_ipj());
+    }
+
+    #[test]
+    fn weak_wlan_hurts_cloud_but_not_connected_edge() {
+        let sim = sim();
+        let cloud = max_req(&sim, Placement::Cloud(ProcessorKind::Gpu), Precision::Fp32);
+        let edge = max_req(&sim, Placement::ConnectedEdge(ProcessorKind::Gpu), Precision::Fp32);
+        let calm = Snapshot::calm();
+        let weak_wlan = Snapshot::new(0.0, 0.0, autoscale_net::Rssi::WEAK, calm.p2p);
+        let w = Workload::ResNet50;
+        let cloud_calm = sim.execute_expected(w, &cloud, &calm).unwrap();
+        let cloud_weak = sim.execute_expected(w, &cloud, &weak_wlan).unwrap();
+        let edge_calm = sim.execute_expected(w, &edge, &calm).unwrap();
+        let edge_weak = sim.execute_expected(w, &edge, &weak_wlan).unwrap();
+        assert!(cloud_weak.latency_ms > 3.0 * cloud_calm.latency_ms);
+        assert!((edge_weak.latency_ms - edge_calm.latency_ms).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interference_does_not_touch_remote_compute() {
+        let sim = sim();
+        let req = max_req(&sim, Placement::Cloud(ProcessorKind::Gpu), Precision::Fp32);
+        let calm = sim.execute_expected(Workload::ResNet50, &req, &Snapshot::calm()).unwrap();
+        let loaded = Snapshot::new(0.9, 0.9, Snapshot::calm().wlan, Snapshot::calm().p2p);
+        let contended = sim.execute_expected(Workload::ResNet50, &req, &loaded).unwrap();
+        assert!((contended.latency_ms - calm.latency_ms).abs() < 1e-9);
+    }
+
+    #[test]
+    fn measured_outcome_is_noisy_but_unbiased() {
+        let sim = sim();
+        let req = max_req(&sim, Placement::OnDevice(ProcessorKind::Cpu), Precision::Fp32);
+        let expected =
+            sim.execute_expected(Workload::MobileNetV1, &req, &Snapshot::calm()).unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        let n = 400;
+        let mut lat_sum = 0.0;
+        let mut any_diff = false;
+        for _ in 0..n {
+            let m = sim.execute_measured(Workload::MobileNetV1, &req, &Snapshot::calm(), &mut rng).unwrap();
+            lat_sum += m.latency_ms;
+            if (m.latency_ms - expected.latency_ms).abs() > 1e-9 {
+                any_diff = true;
+            }
+        }
+        let mean = lat_sum / n as f64;
+        assert!(any_diff);
+        assert!((mean / expected.latency_ms - 1.0).abs() < 0.01, "mean ratio {}", mean / expected.latency_ms);
+    }
+
+    #[test]
+    fn accuracy_follows_precision_not_placement() {
+        let sim = sim();
+        let cpu_int8 = max_req(&sim, Placement::OnDevice(ProcessorKind::Cpu), Precision::Int8);
+        let dsp_int8 = max_req(&sim, Placement::OnDevice(ProcessorKind::Dsp), Precision::Int8);
+        let calm = Snapshot::calm();
+        let a = sim.execute_expected(Workload::InceptionV1, &cpu_int8, &calm).unwrap();
+        let b = sim.execute_expected(Workload::InceptionV1, &dsp_int8, &calm).unwrap();
+        assert_eq!(a.accuracy, b.accuracy);
+        let fp32 = max_req(&sim, Placement::OnDevice(ProcessorKind::Cpu), Precision::Fp32);
+        let c = sim.execute_expected(Workload::InceptionV1, &fp32, &calm).unwrap();
+        assert!(c.accuracy > a.accuracy);
+    }
+
+    #[test]
+    fn freq_index_is_clamped_to_ladder() {
+        let sim = sim();
+        let req = Request {
+            placement: Placement::OnDevice(ProcessorKind::Cpu),
+            precision: Precision::Fp32,
+            freq_index: 10_000,
+        };
+        let clamped = sim.execute_expected(Workload::MobileNetV1, &req, &Snapshot::calm()).unwrap();
+        let max = max_req(&sim, Placement::OnDevice(ProcessorKind::Cpu), Precision::Fp32);
+        let at_max = sim.execute_expected(Workload::MobileNetV1, &max, &Snapshot::calm()).unwrap();
+        assert!((clamped.latency_ms - at_max.latency_ms).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "host must be a phone")]
+    fn tablet_cannot_host() {
+        let _ = Simulator::new(DeviceId::GalaxyTabS6);
+    }
+
+    #[test]
+    fn custom_testbed_uses_the_given_devices() {
+        let sim = Simulator::with_devices(
+            autoscale_platform::Device::mi8pro_npu(),
+            autoscale_platform::Device::galaxy_tab_s6(),
+            autoscale_platform::Device::cloud_server_tpu(),
+        );
+        assert!(sim.host().processor(ProcessorKind::Npu).is_some());
+        assert!(sim.cloud().processor(ProcessorKind::Npu).is_some());
+        // The NPU runs vision models at INT8 but not recurrent ones.
+        let npu = Request::at_max_frequency(
+            &sim,
+            Placement::OnDevice(ProcessorKind::Npu),
+            Precision::Int8,
+        );
+        assert!(sim.is_feasible(Workload::InceptionV1, &npu));
+        assert!(!sim.is_feasible(Workload::MobileBert, &npu));
+        // The cloud TPU runs everything, at FP16.
+        let tpu = Request::at_max_frequency(
+            &sim,
+            Placement::Cloud(ProcessorKind::Npu),
+            Precision::Fp16,
+        );
+        assert!(sim.is_feasible(Workload::MobileBert, &tpu));
+    }
+}

@@ -1,0 +1,111 @@
+//! Execution requests: where an inference runs and with which knobs.
+
+use autoscale_nn::Precision;
+use autoscale_platform::ProcessorKind;
+use serde::{Deserialize, Serialize};
+
+/// Where an inference executes.
+///
+/// The paper offloads at model granularity only (Section IV, footnote 4):
+/// one inference runs entirely on one processor of one system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Placement {
+    /// A processor of the phone itself.
+    OnDevice(ProcessorKind),
+    /// A processor of the locally connected edge device (the tablet),
+    /// reached over the peer-to-peer link.
+    ConnectedEdge(ProcessorKind),
+    /// A processor of the cloud server, reached over the WLAN.
+    Cloud(ProcessorKind),
+}
+
+impl Placement {
+    /// Whether the inference leaves the phone.
+    pub fn is_remote(self) -> bool {
+        !matches!(self, Placement::OnDevice(_))
+    }
+
+    /// The processor kind the inference lands on.
+    pub fn processor_kind(self) -> ProcessorKind {
+        match self {
+            Placement::OnDevice(k) | Placement::ConnectedEdge(k) | Placement::Cloud(k) => k,
+        }
+    }
+
+    /// Label used in the paper's figures ("Edge (CPU)", "Cloud (GPU)", ...).
+    pub fn paper_label(self) -> String {
+        match self {
+            Placement::OnDevice(k) => format!("Edge ({k})"),
+            Placement::ConnectedEdge(k) => format!("Connected Edge ({k})"),
+            Placement::Cloud(k) => format!("Cloud ({k})"),
+        }
+    }
+}
+
+impl std::fmt::Display for Placement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.paper_label())
+    }
+}
+
+/// A fully specified execution decision: placement plus the augmented
+/// control knobs (DVFS step and quantization) of the paper's action space.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Where the inference runs.
+    pub placement: Placement,
+    /// Numeric precision of the execution.
+    pub precision: Precision,
+    /// DVFS step index on the *local* processor. Remote processors always
+    /// run at their maximum frequency (the phone cannot set a remote
+    /// device's governor), so this field is ignored for remote placements.
+    pub freq_index: usize,
+}
+
+impl Request {
+    /// A request pinned to the target's maximum frequency.
+    pub fn at_max_frequency(
+        sim: &crate::executor::Simulator,
+        placement: Placement,
+        precision: Precision,
+    ) -> Self {
+        let freq_index = sim
+            .processor_for(placement)
+            .map(|p| p.dvfs().max_index())
+            .unwrap_or(0);
+        Request { placement, precision, freq_index }
+    }
+}
+
+impl std::fmt::Display for Request {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {} @step{}", self.placement, self.precision, self.freq_index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remote_classification() {
+        assert!(!Placement::OnDevice(ProcessorKind::Cpu).is_remote());
+        assert!(Placement::ConnectedEdge(ProcessorKind::Dsp).is_remote());
+        assert!(Placement::Cloud(ProcessorKind::Gpu).is_remote());
+    }
+
+    #[test]
+    fn labels_match_paper_style() {
+        assert_eq!(Placement::OnDevice(ProcessorKind::Cpu).paper_label(), "Edge (CPU)");
+        assert_eq!(Placement::Cloud(ProcessorKind::Gpu).paper_label(), "Cloud (GPU)");
+        assert_eq!(
+            Placement::ConnectedEdge(ProcessorKind::Dsp).paper_label(),
+            "Connected Edge (DSP)"
+        );
+    }
+
+    #[test]
+    fn processor_kind_extraction() {
+        assert_eq!(Placement::Cloud(ProcessorKind::Gpu).processor_kind(), ProcessorKind::Gpu);
+    }
+}

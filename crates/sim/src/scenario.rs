@@ -1,0 +1,108 @@
+//! Inference scenarios and their QoS (latency) targets.
+//!
+//! Section V-B of the paper: non-streaming vision uses a 50 ms target
+//! (below which "users cannot perceive any difference" for interactive
+//! responses), streaming vision uses 30 FPS (33.3 ms per frame), and the
+//! MobileBERT translation scenario uses 100 ms.
+
+use autoscale_nn::Task;
+use serde::{Deserialize, Serialize};
+
+/// A real-time inference scenario with its QoS constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scenario {
+    /// Single camera image in, response expected within 50 ms.
+    NonStreaming,
+    /// Live camera stream at 30 FPS: each frame within 33.3 ms.
+    Streaming,
+    /// Keyboard-entered sentence translated within 100 ms.
+    Translation,
+}
+
+impl Scenario {
+    /// All three scenarios.
+    pub const ALL: [Scenario; 3] = [Scenario::NonStreaming, Scenario::Streaming, Scenario::Translation];
+
+    /// The QoS latency target in milliseconds.
+    ///
+    /// ```
+    /// use autoscale_sim::Scenario;
+    /// assert_eq!(Scenario::NonStreaming.qos_ms(), 50.0);
+    /// assert!((Scenario::Streaming.qos_ms() - 100.0 / 3.0).abs() < 0.05);
+    /// assert_eq!(Scenario::Translation.qos_ms(), 100.0);
+    /// ```
+    pub fn qos_ms(self) -> f64 {
+        match self {
+            Scenario::NonStreaming => 50.0,
+            Scenario::Streaming => 33.3,
+            Scenario::Translation => 100.0,
+        }
+    }
+
+    /// The default scenario for a task: vision tasks are non-streaming
+    /// unless the caller opts into streaming; translation is translation.
+    pub fn default_for(task: Task) -> Scenario {
+        match task {
+            Task::ImageClassification | Task::ObjectDetection => Scenario::NonStreaming,
+            Task::Translation => Scenario::Translation,
+        }
+    }
+
+    /// The scenario for a task under rising inference intensity (the
+    /// paper's Fig. 10 switch from non-streaming to streaming). Translation
+    /// has no streaming variant and keeps its target.
+    pub fn streaming_for(task: Task) -> Scenario {
+        match task {
+            Task::ImageClassification | Task::ObjectDetection => Scenario::Streaming,
+            Task::Translation => Scenario::Translation,
+        }
+    }
+
+    /// Whether `latency_ms` violates this scenario's QoS constraint.
+    pub fn violates(self, latency_ms: f64) -> bool {
+        latency_ms > self.qos_ms()
+    }
+}
+
+impl std::fmt::Display for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Scenario::NonStreaming => "non-streaming",
+            Scenario::Streaming => "streaming",
+            Scenario::Translation => "translation",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qos_targets_match_the_paper() {
+        assert_eq!(Scenario::NonStreaming.qos_ms(), 50.0);
+        assert_eq!(Scenario::Streaming.qos_ms(), 33.3);
+        assert_eq!(Scenario::Translation.qos_ms(), 100.0);
+    }
+
+    #[test]
+    fn default_scenarios_per_task() {
+        assert_eq!(Scenario::default_for(Task::ImageClassification), Scenario::NonStreaming);
+        assert_eq!(Scenario::default_for(Task::ObjectDetection), Scenario::NonStreaming);
+        assert_eq!(Scenario::default_for(Task::Translation), Scenario::Translation);
+    }
+
+    #[test]
+    fn streaming_tightens_vision_only() {
+        assert_eq!(Scenario::streaming_for(Task::ImageClassification), Scenario::Streaming);
+        assert_eq!(Scenario::streaming_for(Task::Translation), Scenario::Translation);
+        assert!(Scenario::Streaming.qos_ms() < Scenario::NonStreaming.qos_ms());
+    }
+
+    #[test]
+    fn violation_boundary_is_exclusive() {
+        assert!(!Scenario::NonStreaming.violates(50.0));
+        assert!(Scenario::NonStreaming.violates(50.01));
+    }
+}

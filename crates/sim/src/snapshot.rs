@@ -1,0 +1,90 @@
+//! Runtime-variance snapshots: what the scheduler (and the simulator)
+//! observe at the start of one inference.
+
+use autoscale_net::Rssi;
+use serde::{Deserialize, Serialize};
+
+/// The stochastic runtime state at the moment an inference begins.
+///
+/// These four quantities are exactly the paper's Table I runtime-variance
+/// features: co-runner CPU utilization (`S_Co_CPU`), co-runner memory usage
+/// (`S_Co_MEM`), WLAN signal strength (`S_RSSI_W`) and peer-to-peer signal
+/// strength (`S_RSSI_P`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// CPU utilization of co-running apps, in [0, 1].
+    pub co_cpu: f64,
+    /// Memory(-bandwidth) usage of co-running apps, in [0, 1].
+    pub co_mem: f64,
+    /// RSSI of the wireless LAN (path to the cloud).
+    pub wlan: Rssi,
+    /// RSSI of the peer-to-peer link (path to the connected edge device).
+    pub p2p: Rssi,
+}
+
+impl Snapshot {
+    /// A quiet device on strong networks — the paper's S1 environment.
+    pub fn calm() -> Self {
+        Snapshot { co_cpu: 0.0, co_mem: 0.0, wlan: Rssi::new(-55.0), p2p: Rssi::new(-50.0) }
+    }
+
+    /// Creates a snapshot, clamping utilizations into [0, 1].
+    pub fn new(co_cpu: f64, co_mem: f64, wlan: Rssi, p2p: Rssi) -> Self {
+        Snapshot { co_cpu: co_cpu.clamp(0.0, 1.0), co_mem: co_mem.clamp(0.0, 1.0), wlan, p2p }
+    }
+
+    /// Fraction of CPU compute throughput left for the inference given the
+    /// co-runner's utilization. Contention is slightly super-proportional
+    /// (scheduling overhead), floored so the inference always progresses.
+    pub fn cpu_availability(&self) -> f64 {
+        (1.0 - 0.65 * self.co_cpu).max(0.2)
+    }
+
+    /// Fraction of memory bandwidth left for the inference; affects every
+    /// on-device processor because LPDDR is shared (paper Fig. 5).
+    pub fn mem_availability(&self) -> f64 {
+        (1.0 - 0.6 * self.co_mem).max(0.25)
+    }
+}
+
+impl Default for Snapshot {
+    fn default() -> Self {
+        Snapshot::calm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calm_snapshot_is_uncontended() {
+        let s = Snapshot::calm();
+        assert_eq!(s.cpu_availability(), 1.0);
+        assert_eq!(s.mem_availability(), 1.0);
+        assert!(!s.wlan.is_weak());
+        assert!(!s.p2p.is_weak());
+    }
+
+    #[test]
+    fn constructor_clamps_utilizations() {
+        let s = Snapshot::new(1.5, -0.2, Rssi::STRONG, Rssi::STRONG);
+        assert_eq!(s.co_cpu, 1.0);
+        assert_eq!(s.co_mem, 0.0);
+    }
+
+    #[test]
+    fn availability_is_floored() {
+        let s = Snapshot::new(1.0, 1.0, Rssi::STRONG, Rssi::STRONG);
+        assert!(s.cpu_availability() >= 0.2);
+        assert!(s.mem_availability() >= 0.25);
+    }
+
+    #[test]
+    fn availability_decreases_with_contention() {
+        let light = Snapshot::new(0.2, 0.2, Rssi::STRONG, Rssi::STRONG);
+        let heavy = Snapshot::new(0.8, 0.8, Rssi::STRONG, Rssi::STRONG);
+        assert!(light.cpu_availability() > heavy.cpu_availability());
+        assert!(light.mem_availability() > heavy.mem_availability());
+    }
+}

@@ -1,0 +1,158 @@
+//! Property tests for the simulator: physicality, determinism, and
+//! environment invariants.
+
+use autoscale_nn::{Precision, Workload};
+use autoscale_platform::{DeviceId, ProcessorKind};
+use autoscale_sim::{
+    Environment, EnvironmentId, InterferenceProcess, Placement, Request, Scenario, Simulator,
+    Snapshot,
+};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn arb_workload() -> impl Strategy<Value = Workload> {
+    prop::sample::select(Workload::ALL.to_vec())
+}
+
+fn arb_phone() -> impl Strategy<Value = DeviceId> {
+    prop::sample::select(DeviceId::PHONES.to_vec())
+}
+
+fn arb_env() -> impl Strategy<Value = EnvironmentId> {
+    prop::sample::select(EnvironmentId::ALL.to_vec())
+}
+
+fn arb_placement() -> impl Strategy<Value = (Placement, Precision)> {
+    prop::sample::select(vec![
+        (Placement::OnDevice(ProcessorKind::Cpu), Precision::Fp32),
+        (Placement::OnDevice(ProcessorKind::Cpu), Precision::Int8),
+        (Placement::OnDevice(ProcessorKind::Gpu), Precision::Fp16),
+        (Placement::OnDevice(ProcessorKind::Dsp), Precision::Int8),
+        (Placement::ConnectedEdge(ProcessorKind::Dsp), Precision::Int8),
+        (Placement::Cloud(ProcessorKind::Gpu), Precision::Fp32),
+    ])
+}
+
+proptest! {
+    /// execute_expected is a pure function: same inputs, same outputs.
+    #[test]
+    fn expected_execution_is_deterministic(
+        w in arb_workload(),
+        phone in arb_phone(),
+        (placement, precision) in arb_placement(),
+    ) {
+        let sim = Simulator::new(phone);
+        let request = Request::at_max_frequency(&sim, placement, precision);
+        let snapshot = Snapshot::calm();
+        let a = sim.execute_expected(w, &request, &snapshot);
+        let b = sim.execute_expected(w, &request, &snapshot);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Measured execution with the same seed is reproducible.
+    #[test]
+    fn measured_execution_is_seed_deterministic(w in arb_workload(), seed in any::<u64>()) {
+        let sim = Simulator::new(DeviceId::Mi8Pro);
+        let request = Request::at_max_frequency(
+            &sim,
+            Placement::OnDevice(ProcessorKind::Cpu),
+            Precision::Fp32,
+        );
+        let run = || {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            sim.execute_measured(w, &request, &Snapshot::calm(), &mut rng)
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Feasibility is consistent with execution: checked requests run,
+    /// unchecked ones error.
+    #[test]
+    fn feasibility_matches_execution(
+        w in arb_workload(),
+        phone in arb_phone(),
+        (placement, precision) in arb_placement(),
+    ) {
+        let sim = Simulator::new(phone);
+        let request = Request::at_max_frequency(&sim, placement, precision);
+        let feasible = sim.is_feasible(w, &request);
+        let ran = sim.execute_expected(w, &request, &Snapshot::calm()).is_ok();
+        prop_assert_eq!(feasible, ran);
+    }
+
+    /// Environments generate snapshots consistent with their Table IV
+    /// definition, indefinitely.
+    #[test]
+    fn environment_snapshots_stay_in_spec(env_id in arb_env(), seed in any::<u64>()) {
+        let mut env = Environment::for_id(env_id);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..40 {
+            let s = env.sample(&mut rng);
+            prop_assert!((0.0..=1.0).contains(&s.co_cpu));
+            prop_assert!((0.0..=1.0).contains(&s.co_mem));
+            match env_id {
+                EnvironmentId::S1 => {
+                    prop_assert_eq!(s.co_cpu, 0.0);
+                    prop_assert!(!s.wlan.is_weak());
+                }
+                EnvironmentId::S4 => prop_assert!(s.wlan.is_weak()),
+                EnvironmentId::S5 => prop_assert!(s.p2p.is_weak()),
+                _ => {}
+            }
+        }
+    }
+
+    /// Environment sampling is reproducible under a seed.
+    #[test]
+    fn environments_are_seed_deterministic(env_id in arb_env(), seed in any::<u64>()) {
+        let sample = || {
+            let mut env = Environment::for_id(env_id);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            (0..10).map(|_| env.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(sample(), sample());
+    }
+
+    /// Interference processes never leave the unit square.
+    #[test]
+    fn interference_is_bounded(seed in any::<u64>(), period in 1u64..50) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for p in [
+            InterferenceProcess::None,
+            InterferenceProcess::cpu_intensive(),
+            InterferenceProcess::mem_intensive(),
+            InterferenceProcess::MusicPlayer,
+            InterferenceProcess::WebBrowser,
+            InterferenceProcess::Alternating { period },
+        ] {
+            for step in 0..30 {
+                let (c, m) = p.sample(step, &mut rng);
+                prop_assert!((0.0..=1.0).contains(&c));
+                prop_assert!((0.0..=1.0).contains(&m));
+            }
+        }
+    }
+
+    /// QoS classification agrees with the scenario target.
+    #[test]
+    fn qos_violation_is_consistent(latency in 0.1..500.0f64) {
+        for s in Scenario::ALL {
+            prop_assert_eq!(s.violates(latency), latency > s.qos_ms());
+        }
+    }
+
+    /// Remote execution latency decomposes sensibly: it is never below
+    /// the link's floor (wake + RTT) plus the remote serving overhead.
+    #[test]
+    fn remote_latency_has_a_floor(w in arb_workload()) {
+        let sim = Simulator::new(DeviceId::Mi8Pro);
+        let request = Request::at_max_frequency(
+            &sim,
+            Placement::Cloud(ProcessorKind::Gpu),
+            Precision::Fp32,
+        );
+        let o = sim.execute_expected(w, &request, &Snapshot::calm()).expect("cloud GPU runs all");
+        let floor = sim.wlan().rtt_ms() + sim.wlan().wake_ms() + sim.cloud().serving_overhead_ms();
+        prop_assert!(o.latency_ms > floor);
+    }
+}

@@ -1,0 +1,77 @@
+//! Fleet transfer: train once on a flagship, ship the Q-table to the
+//! rest of the fleet.
+//!
+//! The paper's Section VI-C shows that a Q-table trained on the Mi8Pro
+//! transfers to other phones and accelerates their convergence, because
+//! "they all exhibit a similar energy trend for each NN". This example
+//! trains a donor on the Mi8Pro, serializes its agent with serde (as a
+//! deployment pipeline would), transfers it to the other two phones, and
+//! compares cold-start vs warm-start convergence.
+//!
+//! ```sh
+//! cargo run --release --example fleet_transfer
+//! ```
+
+use autoscale::experiment;
+use autoscale::prelude::*;
+
+fn main() {
+    let config = EngineConfig::paper();
+
+    // Train the donor across the full static design space.
+    println!("training donor on Mi8Pro...");
+    let mi8 = Simulator::new(DeviceId::Mi8Pro);
+    let donor = experiment::train_engine(
+        &mi8,
+        &Workload::ALL,
+        &EnvironmentId::STATIC,
+        40,
+        config,
+        17,
+    );
+
+    // Ship the learned table over the wire, as a fleet rollout would.
+    let wire = serde_json::to_vec(donor.agent()).expect("agents serialize");
+    println!(
+        "donor Q-table serialized: {:.1} KiB ({} updates applied)\n",
+        wire.len() as f64 / 1024.0,
+        donor.agent().updates()
+    );
+
+    for device in [DeviceId::GalaxyS10e, DeviceId::MotoXForce] {
+        let sim = Simulator::new(device);
+        let scratch = experiment::training_curve(
+            &sim,
+            Workload::MobileNetV2,
+            EnvironmentId::S1,
+            250,
+            config,
+            23,
+            None,
+        );
+        let transferred = experiment::training_curve(
+            &sim,
+            Workload::MobileNetV2,
+            EnvironmentId::S1,
+            250,
+            config,
+            23,
+            Some(&donor),
+        );
+        let fmt = |c: &experiment::TrainingCurve| {
+            c.converged_at.map_or("not within 250 runs".to_string(), |r| format!("run {r}"))
+        };
+        println!("{device}:");
+        println!("  from scratch:     converged at {}", fmt(&scratch));
+        println!("  with transfer:    converged at {}", fmt(&transferred));
+        let early = |c: &experiment::TrainingCurve| {
+            let n = 30.min(c.rewards.len());
+            c.rewards[..n].iter().sum::<f64>() / n as f64
+        };
+        println!(
+            "  mean reward over the first 30 runs: scratch {:.1}, transferred {:.1}\n",
+            early(&scratch),
+            early(&transferred)
+        );
+    }
+}

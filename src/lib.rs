@@ -1,0 +1,31 @@
+//! Umbrella crate for the AutoScale (MICRO 2020) reproduction.
+//!
+//! This package exists to host the repository-level examples
+//! (`examples/`) and the cross-crate integration tests (`tests/`); the
+//! actual functionality lives in the workspace crates, re-exported here
+//! for convenience:
+//!
+//! * [`autoscale`] — the execution-scaling engine (the paper's
+//!   contribution);
+//! * [`autoscale_nn`] — DNN workload models (Table III);
+//! * [`autoscale_platform`] — devices, DVFS, power models (Table II);
+//! * [`autoscale_net`] — wireless links and signal processes;
+//! * [`autoscale_sim`] — the edge-cloud execution simulator (Table IV
+//!   environments);
+//! * [`autoscale_rl`] — Q-learning, epsilon-greedy, DBSCAN;
+//! * [`autoscale_predictors`] — the Section III-C baselines and the
+//!   NeuroSurgeon/MOSAIC comparators.
+//!
+//! Start with `examples/quickstart.rs`, or see the README for the full
+//! tour.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use autoscale;
+pub use autoscale_net;
+pub use autoscale_nn;
+pub use autoscale_platform;
+pub use autoscale_predictors;
+pub use autoscale_rl;
+pub use autoscale_sim;

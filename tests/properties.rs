@@ -1,0 +1,166 @@
+//! Property-based tests over the substrate invariants, spanning crates.
+
+use autoscale::prelude::*;
+use autoscale::state::State;
+use autoscale_net::Rssi;
+use autoscale_rl::{Hyperparameters, QLearningAgent, QTable};
+use proptest::prelude::*;
+
+fn arb_snapshot() -> impl Strategy<Value = Snapshot> {
+    (0.0..=1.0f64, 0.0..=1.0f64, -95.0..=-40.0f64, -95.0..=-40.0f64)
+        .prop_map(|(cpu, mem, wlan, p2p)| Snapshot::new(cpu, mem, Rssi::new(wlan), Rssi::new(p2p)))
+}
+
+fn arb_workload() -> impl Strategy<Value = Workload> {
+    prop::sample::select(Workload::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every feasible request yields a physically sane outcome under any
+    /// runtime variance.
+    #[test]
+    fn outcomes_are_physical(snapshot in arb_snapshot(), w in arb_workload(), action in 0usize..66) {
+        let sim = Simulator::new(DeviceId::Mi8Pro);
+        let space = ActionSpace::for_simulator(&sim);
+        let request = space.request(action % space.len());
+        if let Ok(o) = sim.execute_expected(w, &request, &snapshot) {
+            prop_assert!(o.latency_ms.is_finite() && o.latency_ms > 0.0);
+            prop_assert!(o.energy_mj.is_finite() && o.energy_mj > 0.0);
+            prop_assert!((0.0..=100.0).contains(&o.accuracy));
+        }
+    }
+
+    /// More interference never makes an on-device inference faster or
+    /// cheaper.
+    #[test]
+    fn interference_is_monotone(w in arb_workload(), cpu in 0.0..=1.0f64, mem in 0.0..=1.0f64) {
+        let sim = Simulator::new(DeviceId::Mi8Pro);
+        let calm = Snapshot::calm();
+        let loaded = Snapshot::new(cpu, mem, calm.wlan, calm.p2p);
+        let request = Request::at_max_frequency(
+            &sim,
+            Placement::OnDevice(ProcessorKind::Cpu),
+            Precision::Fp32,
+        );
+        let base = sim.execute_expected(w, &request, &calm).expect("feasible");
+        let under = sim.execute_expected(w, &request, &loaded).expect("feasible");
+        prop_assert!(under.latency_ms >= base.latency_ms - 1e-9);
+        prop_assert!(under.energy_mj >= base.energy_mj - 1e-9);
+    }
+
+    /// A weaker WLAN signal never makes a cloud inference faster or
+    /// cheaper.
+    #[test]
+    fn signal_is_monotone_for_cloud(w in arb_workload(), a in -95.0..=-40.0f64, b in -95.0..=-40.0f64) {
+        let (strong, weak) = if a >= b { (a, b) } else { (b, a) };
+        let sim = Simulator::new(DeviceId::Mi8Pro);
+        let calm = Snapshot::calm();
+        let request = Request::at_max_frequency(
+            &sim,
+            Placement::Cloud(ProcessorKind::Cpu),
+            Precision::Fp32,
+        );
+        let s = Snapshot::new(0.0, 0.0, Rssi::new(strong), calm.p2p);
+        let wk = Snapshot::new(0.0, 0.0, Rssi::new(weak), calm.p2p);
+        let so = sim.execute_expected(w, &request, &s).expect("feasible");
+        let wo = sim.execute_expected(w, &request, &wk).expect("feasible");
+        prop_assert!(wo.latency_ms >= so.latency_ms - 1e-9);
+        prop_assert!(wo.energy_mj >= so.energy_mj - 1e-9);
+    }
+
+    /// State encoding is total and in range for every observable input.
+    #[test]
+    fn state_encoding_is_in_range(snapshot in arb_snapshot(), w in arb_workload()) {
+        let space = StateSpace::paper();
+        let sim = Simulator::new(DeviceId::GalaxyS10e);
+        let idx = space.encode_observation(sim.network(w), &snapshot);
+        prop_assert!(idx < space.len());
+    }
+
+    /// Encoding distinct bucket combinations never collides.
+    #[test]
+    fn state_encoding_is_injective(
+        a in (0usize..4, 0usize..2, 0usize..2, 0usize..3, 0usize..4, 0usize..4, 0usize..2, 0usize..2),
+        b in (0usize..4, 0usize..2, 0usize..2, 0usize..3, 0usize..4, 0usize..4, 0usize..2, 0usize..2),
+    ) {
+        let mk = |(conv, fc, rc, mac, co_cpu, co_mem, rssi_wlan, rssi_p2p)| State {
+            conv, fc, rc, mac, co_cpu, co_mem, rssi_wlan, rssi_p2p,
+        };
+        let space = StateSpace::paper();
+        let (sa, sb) = (mk(a), mk(b));
+        if sa != sb {
+            prop_assert_ne!(space.encode(&sa), space.encode(&sb));
+        } else {
+            prop_assert_eq!(space.encode(&sa), space.encode(&sb));
+        }
+    }
+
+    /// The Q update is a contraction toward the target: after updating
+    /// (s, a) with reward r, the new value lies between the old value and
+    /// the bootstrapped target.
+    #[test]
+    fn q_update_moves_toward_target(
+        old in -1000.0..1000.0f64,
+        reward in -1000.0..1000.0f64,
+        bootstrap in -1000.0..1000.0f64,
+        lr in 0.01..=1.0f64,
+        discount in 0.0..=1.0f64,
+    ) {
+        let mut q = QTable::new_zeroed(2, 1);
+        q.set(0, 0, old);
+        q.set(1, 0, bootstrap);
+        let params = Hyperparameters { learning_rate: lr, discount, epsilon: 0.0 };
+        let mut agent = QLearningAgent::with_table(q, params);
+        agent.update(0, 0, reward, 1, &[true]);
+        let target = reward + discount * bootstrap;
+        let new = agent.q_table().get(0, 0);
+        let lo = old.min(target) - 1e-9;
+        let hi = old.max(target) + 1e-9;
+        prop_assert!(new >= lo && new <= hi, "new={new} not between {old} and {target}");
+    }
+
+    /// The eq. (5) reward strictly prefers lower energy among outcomes
+    /// that meet both constraints.
+    #[test]
+    fn reward_prefers_lower_energy(
+        e1 in 1.0..5000.0f64,
+        e2 in 1.0..5000.0f64,
+        lat in 1.0..49.0f64,
+    ) {
+        prop_assume!((e1 - e2).abs() > 1e-6);
+        let cfg = autoscale::reward::RewardConfig::paper(50.0, Some(50.0));
+        let mk = |e| Outcome { latency_ms: lat, energy_mj: e, accuracy: 70.0 };
+        let (cheap, costly) = if e1 < e2 { (e1, e2) } else { (e2, e1) };
+        prop_assert!(
+            autoscale::reward::reward(&cfg, &mk(cheap))
+                > autoscale::reward::reward(&cfg, &mk(costly))
+        );
+    }
+
+    /// Epsilon-greedy never selects a masked action, for any mask with at
+    /// least one allowed entry.
+    #[test]
+    fn policy_respects_masks(mask in prop::collection::vec(any::<bool>(), 5), seed in any::<u64>()) {
+        prop_assume!(mask.iter().any(|&m| m));
+        let q = QTable::new_random(1, 5, seed);
+        let policy = autoscale_rl::EpsilonGreedy::new(0.5);
+        let mut rng = autoscale::seeded_rng(seed);
+        for _ in 0..20 {
+            let a = policy.choose(&q, 0, &mask, &mut rng).expect("mask non-empty");
+            prop_assert!(mask[a]);
+        }
+    }
+
+    /// DBSCAN discretizers map every input to a valid bucket.
+    #[test]
+    fn discretizer_buckets_are_total(
+        samples in prop::collection::vec(0.0..1000.0f64, 1..60),
+        probe in -100.0..2000.0f64,
+    ) {
+        let db = autoscale_rl::Dbscan::new(10.0, 1);
+        let d = db.discretizer(&samples);
+        prop_assert!(d.bucket(probe) < d.buckets());
+    }
+}
