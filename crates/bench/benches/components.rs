@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use autoscale::prelude::*;
-use autoscale_platform::{latency, ExecutionConditions};
+use autoscale_platform::{latency, ExecutionConditions, NetworkCostCache};
 use autoscale_predictors::gp::RbfKernel;
 use autoscale_predictors::partition::partition_cost;
 use autoscale_predictors::GaussianProcess;
@@ -23,6 +23,23 @@ fn bench_components(c: &mut Criterion) {
         b.iter(|| latency::network_latency_ms(cpu, black_box(net), &cond))
     });
 
+    // The uncached layer walk vs the memoized cost table, on the deepest
+    // and the shallowest vision networks.
+    for workload in [Workload::ResNet50, Workload::MobileNetV3] {
+        let net = sim.network(workload);
+        let cache = NetworkCostCache::build(cpu, net);
+        let name = match workload {
+            Workload::ResNet50 => "resnet50",
+            _ => "mobilenet_v3",
+        };
+        c.bench_function(&format!("latency_uncached_{name}_cpu"), |b| {
+            b.iter(|| latency::network_latency_ms(cpu, black_box(net), &cond))
+        });
+        c.bench_function(&format!("latency_cached_{name}_cpu"), |b| {
+            b.iter(|| cache.latency_ms(cpu, black_box(&cond)))
+        });
+    }
+
     c.bench_function("simulate_inference_cloud", |b| {
         let request =
             Request::at_max_frequency(&sim, Placement::Cloud(ProcessorKind::Gpu), Precision::Fp32);
@@ -31,7 +48,10 @@ fn bench_components(c: &mut Criterion) {
     });
 
     c.bench_function("partition_sweep_resnet50", |b| {
-        let cloud_gpu = sim.cloud().processor(ProcessorKind::Gpu).expect("cloud GPU");
+        let cloud_gpu = sim
+            .cloud()
+            .processor(ProcessorKind::Gpu)
+            .expect("cloud GPU");
         let link = autoscale_net::LinkModel::for_kind(autoscale_net::LinkKind::Wlan);
         b.iter(|| {
             partition_cost(

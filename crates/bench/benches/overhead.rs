@@ -42,13 +42,21 @@ fn bench_overhead(c: &mut Criterion) {
         let outcome = sim
             .execute_expected(
                 Workload::MobileNetV3,
-                &engine.decide_greedy(&sim, Workload::MobileNetV3, &snapshot).request,
+                &engine
+                    .decide_greedy(&sim, Workload::MobileNetV3, &snapshot)
+                    .request,
                 &snapshot,
             )
             .expect("feasible");
         b.iter(|| {
             let step = engine.decide(&sim, Workload::MobileNetV3, &snapshot, &mut rng);
-            engine.learn(&sim, Workload::MobileNetV3, step, black_box(&outcome), &snapshot)
+            engine.learn(
+                &sim,
+                Workload::MobileNetV3,
+                step,
+                black_box(&outcome),
+                &snapshot,
+            )
         })
     });
 

@@ -2,8 +2,16 @@
 //! hyperparameters (the paper's Section V-C sensitivity test), the
 //! state-feature ablation (Section IV-A: removing any one state degrades
 //! accuracy), and the reward's accuracy guard.
+//!
+//! The configuration sweeps run on the deterministic parallel harness,
+//! one cell per configuration, with printing deferred to the main thread
+//! so output is bit-identical for any `--threads` value. The
+//! tabular-vs-linear-FA comparison stays serial: the FA agent learns
+//! online across its whole evaluation schedule, a single sequential
+//! chain.
 
 use autoscale::experiment;
+use autoscale::parallel::{run_cells, threads_from_args};
 use autoscale::prelude::*;
 use autoscale::scheduler::AutoScaleScheduler;
 use autoscale_bench::{build_baseline, mean, reward_fn, section, RUNS, TRAIN_RUNS, WARMUP};
@@ -11,9 +19,10 @@ use autoscale_net::Rssi;
 use autoscale_rl::Hyperparameters;
 
 fn main() {
-    hyperparameter_sweep();
-    state_feature_ablation();
-    accuracy_guard_ablation();
+    let threads = threads_from_args(std::env::args().skip(1));
+    hyperparameter_sweep(threads);
+    state_feature_ablation(threads);
+    accuracy_guard_ablation(threads);
     tabular_vs_linear_fa();
 }
 
@@ -24,7 +33,11 @@ fn score(sim: &Simulator, config: EngineConfig) -> (f64, f64) {
     let mut rng = autoscale::seeded_rng(90);
     let mut ppws = Vec::new();
     let mut qos = Vec::new();
-    for w in [Workload::MobileNetV3, Workload::InceptionV1, Workload::ResNet50] {
+    for w in [
+        Workload::MobileNetV3,
+        Workload::InceptionV1,
+        Workload::ResNet50,
+    ] {
         let engine = experiment::train_engine(
             ev.sim(),
             &Workload::ALL,
@@ -34,8 +47,11 @@ fn score(sim: &Simulator, config: EngineConfig) -> (f64, f64) {
             91,
         );
         for env in [EnvironmentId::S1, EnvironmentId::S2, EnvironmentId::S4] {
-            let mut base =
-                build_baseline(autoscale::scheduler::SchedulerKind::EdgeCpuFp32, ev.sim(), config);
+            let mut base = build_baseline(
+                autoscale::scheduler::SchedulerKind::EdgeCpuFp32,
+                ev.sim(),
+                config,
+            );
             let baseline = ev.run(base.as_mut(), w, env, 0, RUNS, None, &mut rng);
             let mut sched = AutoScaleScheduler::new(engine.clone(), false);
             let rep = ev.run(&mut sched, w, env, WARMUP, RUNS, None, &mut rng);
@@ -47,19 +63,32 @@ fn score(sim: &Simulator, config: EngineConfig) -> (f64, f64) {
 }
 
 /// Section V-C: evaluate learning rate and discount factor at 0.1/0.5/0.9.
-fn hyperparameter_sweep() {
+fn hyperparameter_sweep(threads: usize) {
     section("hyperparameter sensitivity (Mi8Pro, mean PPW normalized to Edge (CPU FP32))");
-    let sim = Simulator::new(DeviceId::Mi8Pro);
-    println!("  {:<28} {:>10} {:>12}", "(learning rate, discount)", "PPW", "QoS viol.");
-    for learning_rate in [0.1, 0.5, 0.9] {
-        for discount in [0.1, 0.5, 0.9] {
-            let config = EngineConfig {
-                hyperparameters: Hyperparameters { learning_rate, discount, epsilon: 0.1 },
-                ..EngineConfig::paper()
-            };
-            let (ppw, qos) = score(&sim, config);
-            println!("  ({learning_rate:.1}, {discount:.1})                   {ppw:>9.2}x {qos:>10.1}%");
-        }
+    let specs: Vec<(f64, f64)> = [0.1, 0.5, 0.9]
+        .iter()
+        .flat_map(|&lr| [0.1, 0.5, 0.9].iter().map(move |&d| (lr, d)))
+        .collect();
+    let scores = run_cells(threads, 9000, &specs, |cell| {
+        let (learning_rate, discount) = *cell.spec;
+        let config = EngineConfig {
+            hyperparameters: Hyperparameters {
+                learning_rate,
+                discount,
+                epsilon: 0.1,
+            },
+            ..EngineConfig::paper()
+        };
+        score(&Simulator::new(DeviceId::Mi8Pro), config)
+    });
+    println!(
+        "  {:<28} {:>10} {:>12}",
+        "(learning rate, discount)", "PPW", "QoS viol."
+    );
+    for ((learning_rate, discount), (ppw, qos)) in specs.iter().zip(&scores) {
+        println!(
+            "  ({learning_rate:.1}, {discount:.1})                   {ppw:>9.2}x {qos:>10.1}%"
+        );
     }
     println!("  paper's choice: learning rate 0.9, discount 0.1");
 }
@@ -80,19 +109,21 @@ fn blind_signal(s: &Snapshot) -> Snapshot {
 /// accuracy. We ablate the runtime-variance features by blinding the
 /// engine to them (the NN features are structural and cannot be removed
 /// without changing the network itself).
-fn state_feature_ablation() {
+type StateVariant = (&'static str, fn(&Snapshot) -> Snapshot);
+
+fn state_feature_ablation(threads: usize) {
     section("state-feature ablation (Mi8Pro, D2/D3/S4/S5 mix, prediction accuracy vs Opt)");
     let config = EngineConfig::paper();
-    let sim = Simulator::new(DeviceId::Mi8Pro);
-    let ev = Evaluator::new(sim, config);
-    let oracle = autoscale::scheduler::OracleScheduler::new(ev.sim(), reward_fn(config));
 
-    let variants: [(&str, fn(&Snapshot) -> Snapshot); 3] = [
+    let variants: Vec<StateVariant> = vec![
         ("full state (none removed)", keep_all),
         ("without S_Co_CPU/S_Co_MEM", blind_interference),
         ("without S_RSSI_W/S_RSSI_P", blind_signal),
     ];
-    for (label, blind) in variants {
+    let rows = run_cells(threads, 9100, &variants, |cell| {
+        let (_, blind) = *cell.spec;
+        let ev = Evaluator::new(Simulator::new(DeviceId::Mi8Pro), config);
+        let oracle = autoscale::scheduler::OracleScheduler::new(ev.sim(), reward_fn(config));
         let mut matches = Vec::new();
         let mut ppws = Vec::new();
         // Train the variant under its own censored view: a feature the
@@ -100,10 +131,19 @@ fn state_feature_ablation() {
         // either.
         let engine = train_blinded(ev.sim(), config, blind, 91);
         let mut rng = autoscale::seeded_rng(92);
-        for w in [Workload::MobileNetV3, Workload::ResNet50, Workload::MobileBert] {
+        for w in [
+            Workload::MobileNetV3,
+            Workload::ResNet50,
+            Workload::MobileBert,
+        ] {
             // Interference-heavy and signal-heavy environments, so both
             // ablated feature families have something to lose.
-            for env in [EnvironmentId::D2, EnvironmentId::D3, EnvironmentId::S4, EnvironmentId::S5] {
+            for env in [
+                EnvironmentId::D2,
+                EnvironmentId::D3,
+                EnvironmentId::S4,
+                EnvironmentId::S5,
+            ] {
                 // A blinded scheduler decides on a censored snapshot but is
                 // executed (and judged) under the true one.
                 let mut sched = BlindedAutoScale {
@@ -121,10 +161,13 @@ fn state_feature_ablation() {
                 ppws.push(rep.normalized_ppw(&baseline));
             }
         }
+        (mean(&matches), mean(&ppws))
+    });
+    for ((label, _), (accuracy, ppw)) in variants.iter().zip(&rows) {
         println!(
             "  {label:<28} accuracy {:>5.1}%   PPW {:>5.2}x",
-            mean(&matches) * 100.0,
-            mean(&ppws)
+            accuracy * 100.0,
+            ppw
         );
     }
 }
@@ -156,8 +199,11 @@ fn tabular_vs_linear_fa() {
     let mut fa_qos = Vec::new();
     for w in Workload::ALL {
         for env in envs {
-            let mut base =
-                build_baseline(autoscale::scheduler::SchedulerKind::EdgeCpuFp32, ev.sim(), config);
+            let mut base = build_baseline(
+                autoscale::scheduler::SchedulerKind::EdgeCpuFp32,
+                ev.sim(),
+                config,
+            );
             let baseline = ev.run(base.as_mut(), w, env, 0, RUNS, None, &mut rng);
             let mut tab = AutoScaleScheduler::new(engine.clone(), false);
             let rep = ev.run(&mut tab, w, env, WARMUP, RUNS, None, &mut rng);
@@ -242,42 +288,51 @@ impl autoscale::scheduler::Scheduler for BlindedAutoScale {
         outcome: &Outcome,
     ) {
         let censored = (self.blind)(snapshot);
-        self.inner.observe(sim, workload, &censored, decision, outcome);
+        self.inner
+            .observe(sim, workload, &censored, decision, outcome);
     }
 }
 
 /// DESIGN.md ablation: eq. (5)'s accuracy short-circuit. Without it, the
 /// engine chases cheap low-precision targets below the quality bar; with
 /// it, sub-target decisions are punished out of the greedy policy.
-fn accuracy_guard_ablation() {
+fn accuracy_guard_ablation(threads: usize) {
     section("reward accuracy-guard ablation (Mi8Pro, judged against a 65% bar)");
-    let sim = Simulator::new(DeviceId::Mi8Pro);
-    let calm = Snapshot::calm();
     // Quantization-fragile workloads: INT8 falls below 65% on all of these.
-    let probes = [Workload::MobileNetV3, Workload::InceptionV1, Workload::MobileNetV1];
+    let probes = [
+        Workload::MobileNetV3,
+        Workload::InceptionV1,
+        Workload::MobileNetV1,
+    ];
 
-    for (label, accuracy_target) in
-        [("with accuracy guard (65%)", Some(65.0)), ("guard removed", None)]
-    {
-        let config = EngineConfig { accuracy_target, ..EngineConfig::paper() };
+    let variants: Vec<(&str, Option<f64>)> = vec![
+        ("with accuracy guard (65%)", Some(65.0)),
+        ("guard removed", None),
+    ];
+    let counts = run_cells(threads, 9200, &variants, |cell| {
+        let (_, accuracy_target) = *cell.spec;
+        let sim = Simulator::new(DeviceId::Mi8Pro);
+        let calm = Snapshot::calm();
+        let config = EngineConfig {
+            accuracy_target,
+            ..EngineConfig::paper()
+        };
         // Enough runs that the optimistic sweep covers the full action
         // space and settles (66 actions on the Mi8Pro).
-        let engine = experiment::train_engine(
-            &sim,
-            &Workload::ALL,
-            &[EnvironmentId::S1],
-            150,
-            config,
-            96,
-        );
-        let below = probes
+        let engine =
+            experiment::train_engine(&sim, &Workload::ALL, &[EnvironmentId::S1], 150, config, 96);
+        probes
             .iter()
             .filter(|&&w| {
                 let step = engine.decide_greedy(&sim, w, &calm);
-                let outcome = sim.execute_expected(w, &step.request, &calm).expect("feasible");
+                let outcome = sim
+                    .execute_expected(w, &step.request, &calm)
+                    .expect("feasible");
                 outcome.accuracy < 65.0
             })
-            .count();
+            .count()
+    });
+    for ((label, _), below) in variants.iter().zip(&counts) {
         println!(
             "  {label:<28} greedy decisions below 65% accuracy: {below}/{}",
             probes.len()

@@ -1,0 +1,49 @@
+//! Timing harness for the parallel experiment sweep.
+//!
+//! Runs the full Figure 9 sweep (30 cells: 3 phones x 10 workloads, each
+//! cell training and evaluating eight schedulers across the five static
+//! environments) twice — once serially and once on the work-queue harness
+//! with `--threads N` workers (default: all cores) — verifies the results
+//! are bit-identical, and writes the wall-clock numbers to
+//! `BENCH_harness.json` at the repository root.
+
+use std::time::Instant;
+
+use autoscale::parallel::{run_cells, threads_from_args};
+use autoscale_bench::{fig9_cell, fig9_specs};
+
+fn main() {
+    let threads = threads_from_args(std::env::args().skip(1));
+    let specs = fig9_specs();
+    println!("fig9 sweep: {} cells, serial pass...", specs.len());
+
+    let start = Instant::now();
+    let serial = run_cells(1, 900, &specs, fig9_cell);
+    let serial_s = start.elapsed().as_secs_f64();
+    println!("serial:   {serial_s:.2} s");
+
+    println!("parallel pass ({threads} threads)...");
+    let start = Instant::now();
+    let parallel = run_cells(threads, 900, &specs, fig9_cell);
+    let parallel_s = start.elapsed().as_secs_f64();
+    println!("parallel: {parallel_s:.2} s");
+
+    let serial_bytes = serde_json::to_vec(&serial).expect("reports serialize");
+    let parallel_bytes = serde_json::to_vec(&parallel).expect("reports serialize");
+    assert_eq!(
+        serial_bytes, parallel_bytes,
+        "parallel results diverge from serial"
+    );
+    println!("results bit-identical across thread counts");
+
+    // Speedup tracks the machine: with C cores it approaches min(threads, C),
+    // so the recorded number is only meaningful next to `cores`.
+    let speedup = serial_s / parallel_s;
+    let cores = autoscale::parallel::default_threads();
+    let json = format!(
+        "{{\n  \"serial_s\": {serial_s:.3},\n  \"parallel_s\": {parallel_s:.3},\n  \"threads\": {threads},\n  \"cores\": {cores},\n  \"speedup\": {speedup:.3}\n}}\n"
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_harness.json");
+    std::fs::write(out, &json).expect("write BENCH_harness.json");
+    println!("speedup:  {speedup:.2}x -> {out}");
+}

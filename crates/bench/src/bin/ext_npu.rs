@@ -30,10 +30,26 @@ fn main() {
 
     section("per-target survey (Inception v1, calm)");
     for (label, placement, precision) in [
-        ("Edge (DSP INT8)", Placement::OnDevice(ProcessorKind::Dsp), Precision::Int8),
-        ("Edge (NPU INT8)", Placement::OnDevice(ProcessorKind::Npu), Precision::Int8),
-        ("Cloud (GPU FP32)", Placement::Cloud(ProcessorKind::Gpu), Precision::Fp32),
-        ("Cloud (TPU FP16)", Placement::Cloud(ProcessorKind::Npu), Precision::Fp16),
+        (
+            "Edge (DSP INT8)",
+            Placement::OnDevice(ProcessorKind::Dsp),
+            Precision::Int8,
+        ),
+        (
+            "Edge (NPU INT8)",
+            Placement::OnDevice(ProcessorKind::Npu),
+            Precision::Int8,
+        ),
+        (
+            "Cloud (GPU FP32)",
+            Placement::Cloud(ProcessorKind::Gpu),
+            Precision::Fp32,
+        ),
+        (
+            "Cloud (TPU FP16)",
+            Placement::Cloud(ProcessorKind::Npu),
+            Precision::Fp16,
+        ),
     ] {
         let request = Request::at_max_frequency(&extended, placement, precision);
         match extended.execute_expected(Workload::InceptionV1, &request, &Snapshot::calm()) {

@@ -4,30 +4,57 @@
 //! and 70%. Tighter targets disqualify the low-precision on-device
 //! targets, costing efficiency; below the 50% threshold nothing changes
 //! because every target already clears it.
+//!
+//! Runs on the deterministic parallel harness: one cell per
+//! (accuracy target, workload); output is bit-identical for any
+//! `--threads` value.
 
+use autoscale::parallel::{run_cells, threads_from_args, Cell};
 use autoscale::prelude::*;
 use autoscale::scheduler::SchedulerKind;
 use autoscale_bench::{autoscale_for, build_baseline, reward_fn, SuiteAccumulator, RUNS, WARMUP};
 
-fn main() {
+const TARGETS: [Option<f64>; 4] = [None, Some(50.0), Some(65.0), Some(70.0)];
+
+type CellReports = Vec<(EpisodeReport, EpisodeReport)>;
+
+fn run_cell(cell: &Cell<'_, (Option<f64>, Workload)>) -> CellReports {
+    let (target, w) = *cell.spec;
+    let config = EngineConfig {
+        accuracy_target: target,
+        ..EngineConfig::paper()
+    };
     let envs = EnvironmentId::STATIC;
+    let ev = Evaluator::new(Simulator::new(DeviceId::Mi8Pro), config);
+    let oracle = autoscale::scheduler::OracleScheduler::new(ev.sim(), reward_fn(config));
+    let mut rng = autoscale::seeded_rng(cell.seed);
+
+    let mut sched = autoscale_for(ev.sim(), w, &envs, config, 72);
+    let mut reports = Vec::new();
+    for env in envs {
+        let mut base = build_baseline(SchedulerKind::EdgeCpuFp32, ev.sim(), config);
+        let baseline = ev.run(base.as_mut(), w, env, 0, RUNS, None, &mut rng);
+        let rep = ev.run(&mut sched, w, env, WARMUP, RUNS, Some(&oracle), &mut rng);
+        reports.push((rep, baseline));
+    }
+    reports
+}
+
+fn main() {
+    let threads = threads_from_args(std::env::args().skip(1));
     println!("Figure 12: AutoScale under different inference accuracy targets (Mi8Pro)");
+    let specs: Vec<(Option<f64>, Workload)> = TARGETS
+        .iter()
+        .flat_map(|&t| Workload::ALL.iter().map(move |&w| (t, w)))
+        .collect();
+    let results = run_cells(threads, 1200, &specs, run_cell);
 
-    for target in [None, Some(50.0), Some(65.0), Some(70.0)] {
-        let config = EngineConfig { accuracy_target: target, ..EngineConfig::paper() };
-        let sim = Simulator::new(DeviceId::Mi8Pro);
-        let ev = Evaluator::new(sim, config);
-        let oracle = autoscale::scheduler::OracleScheduler::new(ev.sim(), reward_fn(config));
-        let mut rng = autoscale::seeded_rng(1200);
+    let per_target = Workload::ALL.len();
+    for (target_idx, target) in TARGETS.into_iter().enumerate() {
         let mut acc = SuiteAccumulator::new();
-
-        for w in Workload::ALL {
-            let mut sched = autoscale_for(ev.sim(), w, &envs, config, 72);
-            for env in envs {
-                let mut base = build_baseline(SchedulerKind::EdgeCpuFp32, ev.sim(), config);
-                let baseline = ev.run(base.as_mut(), w, env, 0, RUNS, None, &mut rng);
-                let rep = ev.run(&mut sched, w, env, WARMUP, RUNS, Some(&oracle), &mut rng);
-                acc.record(&rep, &baseline);
+        for reports in &results[target_idx * per_target..(target_idx + 1) * per_target] {
+            for (rep, baseline) in reports {
+                acc.record(rep, baseline);
             }
         }
         let label = match target {

@@ -5,12 +5,19 @@
 //! scratch on the Mi8Pro, (b) convergence points with and without a
 //! Q-table transferred from the Mi8Pro on the other two phones, and
 //! (c) the static-vs-dynamic convergence comparison.
+//!
+//! Parts (b) and (c) run on the deterministic parallel harness, one cell
+//! per training curve. Curve seeds stay explicit (scratch and
+//! transferred runs must pair on the same seed), so results are
+//! bit-identical for any `--threads` value.
 
 use autoscale::experiment::{self, TrainingCurve};
+use autoscale::parallel::{run_cells, threads_from_args, Cell};
 use autoscale::prelude::*;
 use autoscale_bench::{mean, section, TRAIN_RUNS};
 
 fn main() {
+    let threads = threads_from_args(std::env::args().skip(1));
     let config = EngineConfig::paper();
     println!("Figure 14: reward convergence and learning transfer");
 
@@ -29,11 +36,18 @@ fn main() {
     for (i, chunk) in curve.rewards.chunks(10).enumerate() {
         let mut sorted = chunk.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite rewards"));
-        println!("  runs {:>3}-{:>3}: median reward {:>9.1}", i * 10 + 1, i * 10 + chunk.len(), sorted[chunk.len() / 2]);
+        println!(
+            "  runs {:>3}-{:>3}: median reward {:>9.1}",
+            i * 10 + 1,
+            i * 10 + chunk.len(),
+            sorted[chunk.len() / 2]
+        );
     }
     println!(
         "  converged at run {}",
-        curve.converged_at.map_or("-".to_string(), |c| c.to_string())
+        curve
+            .converged_at
+            .map_or("-".to_string(), |c| c.to_string())
     );
 
     // (b) Transfer: Mi8Pro-trained engine warm-starts the other phones.
@@ -46,39 +60,48 @@ fn main() {
         config,
         17,
     );
-    for device in [DeviceId::GalaxyS10e, DeviceId::MotoXForce] {
-        let sim = Simulator::new(device);
-        let scratch: Vec<TrainingCurve> = (0..6)
-            .map(|s| {
-                experiment::training_curve(
-                    &sim,
-                    Workload::MobileNetV2,
-                    EnvironmentId::S1,
-                    200,
-                    config,
-                    20 + s,
-                    None,
-                )
-            })
-            .collect();
-        let transferred: Vec<TrainingCurve> = (0..6)
-            .map(|s| {
-                experiment::training_curve(
-                    &sim,
-                    Workload::MobileNetV2,
-                    EnvironmentId::S1,
-                    200,
-                    config,
-                    20 + s,
-                    Some(&donor),
-                )
-            })
-            .collect();
-        let avg = |cs: &[TrainingCurve]| {
-            mean(&cs.iter().map(|c| c.converged_at.unwrap_or(200) as f64).collect::<Vec<_>>())
-        };
-        let s = avg(&scratch);
-        let t = avg(&transferred);
+    // One cell per (device, transferred?, seed) training curve; scratch
+    // and transferred pair on the same explicit seed 20+s.
+    let transfer_specs: Vec<(DeviceId, bool, u64)> = [DeviceId::GalaxyS10e, DeviceId::MotoXForce]
+        .iter()
+        .flat_map(|&d| {
+            [false, true]
+                .iter()
+                .flat_map(move |&t| (0..6).map(move |s| (d, t, 20 + s)))
+        })
+        .collect();
+    let curves = run_cells(
+        threads,
+        1400,
+        &transfer_specs,
+        |cell: &Cell<'_, (DeviceId, bool, u64)>| {
+            let (device, transferred, seed) = *cell.spec;
+            let sim = Simulator::new(device);
+            experiment::training_curve(
+                &sim,
+                Workload::MobileNetV2,
+                EnvironmentId::S1,
+                200,
+                config,
+                seed,
+                transferred.then_some(&donor),
+            )
+        },
+    );
+    let avg = |cs: &[TrainingCurve], cap: usize| {
+        mean(
+            &cs.iter()
+                .map(|c| c.converged_at.unwrap_or(cap) as f64)
+                .collect::<Vec<_>>(),
+        )
+    };
+    for (device_idx, device) in [DeviceId::GalaxyS10e, DeviceId::MotoXForce]
+        .iter()
+        .enumerate()
+    {
+        let base = device_idx * 12;
+        let s = avg(&curves[base..base + 6], 200);
+        let t = avg(&curves[base + 6..base + 12], 200);
         println!(
             "  {device}: scratch converges ~run {s:.0}, transferred ~run {t:.0} ({:.1}% faster)",
             (1.0 - t / s) * 100.0
@@ -87,23 +110,21 @@ fn main() {
 
     // (c) Static vs dynamic environments.
     section("static vs dynamic convergence (Mi8Pro, MobileNet v1)");
-    for (env, label) in [(EnvironmentId::S1, "static S1"), (EnvironmentId::D2, "dynamic D2")] {
-        let curves: Vec<TrainingCurve> = (0..6)
-            .map(|s| {
-                experiment::training_curve(
-                    &mi8,
-                    Workload::MobileNetV1,
-                    env,
-                    250,
-                    config,
-                    30 + s,
-                    None,
-                )
-            })
-            .collect();
-        let avg = mean(
-            &curves.iter().map(|c| c.converged_at.unwrap_or(250) as f64).collect::<Vec<_>>(),
-        );
-        println!("  {label}: converges ~run {avg:.0}");
+    let env_specs: Vec<(EnvironmentId, u64)> = [EnvironmentId::S1, EnvironmentId::D2]
+        .iter()
+        .flat_map(|&e| (0..6).map(move |s| (e, 30 + s)))
+        .collect();
+    let env_curves = run_cells(
+        threads,
+        1410,
+        &env_specs,
+        |cell: &Cell<'_, (EnvironmentId, u64)>| {
+            let (env, seed) = *cell.spec;
+            experiment::training_curve(&mi8, Workload::MobileNetV1, env, 250, config, seed, None)
+        },
+    );
+    for (env_idx, label) in ["static S1", "dynamic D2"].iter().enumerate() {
+        let a = avg(&env_curves[env_idx * 6..(env_idx + 1) * 6], 250);
+        println!("  {label}: converges ~run {a:.0}");
     }
 }

@@ -11,7 +11,11 @@ use autoscale_bench::section;
 
 fn main() {
     let config = EngineConfig::paper();
-    let nns = [Workload::InceptionV1, Workload::MobileNetV3, Workload::MobileBert];
+    let nns = [
+        Workload::InceptionV1,
+        Workload::MobileNetV3,
+        Workload::MobileBert,
+    ];
     println!("Figure 2: PPW (normalized to Edge (CPU)) and latency (normalized to QoS)");
 
     for device in DeviceId::PHONES {
@@ -53,15 +57,46 @@ fn target_list(sim: &Simulator) -> Vec<(String, Request)> {
     let mut v = Vec::new();
     let mut push = |label: &str, placement, precision| {
         if sim.processor_for(placement).is_some() {
-            v.push((label.to_string(), Request::at_max_frequency(sim, placement, precision)));
+            v.push((
+                label.to_string(),
+                Request::at_max_frequency(sim, placement, precision),
+            ));
         }
     };
-    push("Edge (CPU)", Placement::OnDevice(ProcessorKind::Cpu), Precision::Fp32);
-    push("Edge (GPU)", Placement::OnDevice(ProcessorKind::Gpu), Precision::Fp32);
-    push("Edge (DSP)", Placement::OnDevice(ProcessorKind::Dsp), Precision::Int8);
-    push("Connected Edge (GPU)", Placement::ConnectedEdge(ProcessorKind::Gpu), Precision::Fp32);
-    push("Connected Edge (DSP)", Placement::ConnectedEdge(ProcessorKind::Dsp), Precision::Int8);
-    push("Cloud (CPU)", Placement::Cloud(ProcessorKind::Cpu), Precision::Fp32);
-    push("Cloud (GPU)", Placement::Cloud(ProcessorKind::Gpu), Precision::Fp32);
+    push(
+        "Edge (CPU)",
+        Placement::OnDevice(ProcessorKind::Cpu),
+        Precision::Fp32,
+    );
+    push(
+        "Edge (GPU)",
+        Placement::OnDevice(ProcessorKind::Gpu),
+        Precision::Fp32,
+    );
+    push(
+        "Edge (DSP)",
+        Placement::OnDevice(ProcessorKind::Dsp),
+        Precision::Int8,
+    );
+    push(
+        "Connected Edge (GPU)",
+        Placement::ConnectedEdge(ProcessorKind::Gpu),
+        Precision::Fp32,
+    );
+    push(
+        "Connected Edge (DSP)",
+        Placement::ConnectedEdge(ProcessorKind::Dsp),
+        Precision::Int8,
+    );
+    push(
+        "Cloud (CPU)",
+        Placement::Cloud(ProcessorKind::Cpu),
+        Precision::Fp32,
+    );
+    push(
+        "Cloud (GPU)",
+        Placement::Cloud(ProcessorKind::Gpu),
+        Precision::Fp32,
+    );
     v
 }

@@ -25,7 +25,9 @@ fn main() {
             .sum();
 
         for kind in [ProcessorKind::Cpu, ProcessorKind::Gpu, ProcessorKind::Dsp] {
-            let Some(proc) = sim.host().processor(kind) else { continue };
+            let Some(proc) = sim.host().processor(kind) else {
+                continue;
+            };
             // Each processor runs its deployment precision, as in Fig. 3.
             let precision = match kind {
                 ProcessorKind::Dsp => Precision::Int8,

@@ -31,13 +31,12 @@ fn main() {
             .expect("CPU FP32 always runs");
         for (label, placement, precision) in combos() {
             let request = Request::at_max_frequency(&sim, placement, precision);
-            match sim.execute_expected(w, &request, &calm) {
-                Ok(o) => println!(
+            if let Ok(o) = sim.execute_expected(w, &request, &calm) {
+                println!(
                     "  {label:<22} PPW {:>5.2}x   accuracy {:>5.1}%",
                     base.energy_mj / o.energy_mj,
                     o.accuracy
-                ),
-                Err(_) => {}
+                )
             }
         }
         for target in [50.0, 65.0] {
@@ -53,11 +52,35 @@ fn main() {
 
 fn combos() -> Vec<(&'static str, Placement, Precision)> {
     vec![
-        ("Edge (CPU FP32)", Placement::OnDevice(ProcessorKind::Cpu), Precision::Fp32),
-        ("Edge (CPU INT8)", Placement::OnDevice(ProcessorKind::Cpu), Precision::Int8),
-        ("Edge (GPU FP32)", Placement::OnDevice(ProcessorKind::Gpu), Precision::Fp32),
-        ("Edge (GPU FP16)", Placement::OnDevice(ProcessorKind::Gpu), Precision::Fp16),
-        ("Edge (DSP INT8)", Placement::OnDevice(ProcessorKind::Dsp), Precision::Int8),
-        ("Cloud (GPU FP32)", Placement::Cloud(ProcessorKind::Gpu), Precision::Fp32),
+        (
+            "Edge (CPU FP32)",
+            Placement::OnDevice(ProcessorKind::Cpu),
+            Precision::Fp32,
+        ),
+        (
+            "Edge (CPU INT8)",
+            Placement::OnDevice(ProcessorKind::Cpu),
+            Precision::Int8,
+        ),
+        (
+            "Edge (GPU FP32)",
+            Placement::OnDevice(ProcessorKind::Gpu),
+            Precision::Fp32,
+        ),
+        (
+            "Edge (GPU FP16)",
+            Placement::OnDevice(ProcessorKind::Gpu),
+            Precision::Fp16,
+        ),
+        (
+            "Edge (DSP INT8)",
+            Placement::OnDevice(ProcessorKind::Dsp),
+            Precision::Int8,
+        ),
+        (
+            "Cloud (GPU FP32)",
+            Placement::Cloud(ProcessorKind::Gpu),
+            Precision::Fp32,
+        ),
     ]
 }

@@ -17,14 +17,36 @@ fn main() {
     let calm = Snapshot::calm();
     let snapshots = [
         ("no co-running app (S1)", calm),
-        ("CPU-intensive co-runner (S2)", Snapshot::new(0.85, 0.10, calm.wlan, calm.p2p)),
-        ("memory-intensive co-runner (S3)", Snapshot::new(0.20, 0.80, calm.wlan, calm.p2p)),
+        (
+            "CPU-intensive co-runner (S2)",
+            Snapshot::new(0.85, 0.10, calm.wlan, calm.p2p),
+        ),
+        (
+            "memory-intensive co-runner (S3)",
+            Snapshot::new(0.20, 0.80, calm.wlan, calm.p2p),
+        ),
     ];
     let targets = [
-        ("Edge (CPU)", Placement::OnDevice(ProcessorKind::Cpu), Precision::Fp32),
-        ("Edge (GPU)", Placement::OnDevice(ProcessorKind::Gpu), Precision::Fp32),
-        ("Edge (DSP)", Placement::OnDevice(ProcessorKind::Dsp), Precision::Int8),
-        ("Cloud (GPU)", Placement::Cloud(ProcessorKind::Gpu), Precision::Fp32),
+        (
+            "Edge (CPU)",
+            Placement::OnDevice(ProcessorKind::Cpu),
+            Precision::Fp32,
+        ),
+        (
+            "Edge (GPU)",
+            Placement::OnDevice(ProcessorKind::Gpu),
+            Precision::Fp32,
+        ),
+        (
+            "Edge (DSP)",
+            Placement::OnDevice(ProcessorKind::Dsp),
+            Precision::Int8,
+        ),
+        (
+            "Cloud (GPU)",
+            Placement::Cloud(ProcessorKind::Gpu),
+            Precision::Fp32,
+        ),
     ];
 
     let base = sim
@@ -40,14 +62,16 @@ fn main() {
         let mut best: Option<(&str, f64)> = None;
         for (label, placement, precision) in targets {
             let request = Request::at_max_frequency(&sim, placement, precision);
-            let o = sim.execute_expected(w, &request, &snapshot).expect("feasible");
+            let o = sim
+                .execute_expected(w, &request, &snapshot)
+                .expect("feasible");
             let ppw = base.energy_mj / o.energy_mj;
             println!(
                 "  {label:<12} PPW {:>5.2}x   latency {:>5.2}x QoS",
                 ppw,
                 o.latency_ms / qos
             );
-            if best.map_or(true, |(_, b)| ppw > b) {
+            if best.is_none_or(|(_, b)| ppw > b) {
                 best = Some((label, ppw));
             }
         }

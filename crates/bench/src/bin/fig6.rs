@@ -17,14 +17,25 @@ fn main() {
 
     let calm = Snapshot::calm();
     // Best edge processor for ResNet 50 on the Mi8Pro: the DSP at INT8.
-    let edge_best =
-        Request::at_max_frequency(&sim, Placement::OnDevice(ProcessorKind::Dsp), Precision::Int8);
-    let base = sim.execute_expected(w, &edge_best, &calm).expect("DSP runs ResNet 50");
+    let edge_best = Request::at_max_frequency(
+        &sim,
+        Placement::OnDevice(ProcessorKind::Dsp),
+        Precision::Int8,
+    );
+    let base = sim
+        .execute_expected(w, &edge_best, &calm)
+        .expect("DSP runs ResNet 50");
 
     let conditions = [
         ("strong Wi-Fi / strong Wi-Fi Direct", calm),
-        ("weak Wi-Fi only (S4)", Snapshot::new(0.0, 0.0, Rssi::WEAK, calm.p2p)),
-        ("weak Wi-Fi Direct only (S5)", Snapshot::new(0.0, 0.0, calm.wlan, Rssi::WEAK)),
+        (
+            "weak Wi-Fi only (S4)",
+            Snapshot::new(0.0, 0.0, Rssi::WEAK, calm.p2p),
+        ),
+        (
+            "weak Wi-Fi Direct only (S5)",
+            Snapshot::new(0.0, 0.0, calm.wlan, Rssi::WEAK),
+        ),
         ("both weak", Snapshot::new(0.0, 0.0, Rssi::WEAK, Rssi::WEAK)),
     ];
     let targets = [
@@ -47,14 +58,16 @@ fn main() {
         section(label);
         let mut best: Option<(&str, f64)> = None;
         for (target_label, request) in targets {
-            let o = sim.execute_expected(w, &request, &snapshot).expect("feasible");
+            let o = sim
+                .execute_expected(w, &request, &snapshot)
+                .expect("feasible");
             let ppw = base.energy_mj / o.energy_mj;
             println!(
                 "  {target_label:<22} PPW {:>5.2}x   latency {:>6.2}x QoS",
                 ppw,
                 o.latency_ms / qos
             );
-            if best.map_or(true, |(_, b)| ppw > b) {
+            if best.is_none_or(|(_, b)| ppw > b) {
                 best = Some((target_label, ppw));
             }
         }

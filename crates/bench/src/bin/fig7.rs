@@ -38,17 +38,50 @@ fn main() {
     let mut rng = autoscale::seeded_rng(77);
 
     let mut schedulers: Vec<Box<dyn Scheduler>> = vec![
-        build_baseline(autoscale::scheduler::SchedulerKind::EdgeCpuFp32, ev.sim(), config),
-        Box::new(characterize::train_lr_scheduler(ev.sim(), &dataset, reward_fn(config))),
-        Box::new(characterize::train_svr_scheduler(ev.sim(), &dataset, reward_fn(config))),
-        Box::new(characterize::train_svm_scheduler(ev.sim(), &dataset, reward_fn(config))),
-        Box::new(characterize::train_knn_scheduler(ev.sim(), &dataset, reward_fn(config))),
-        Box::new(autoscale::scheduler::BoScheduler::new(ev.sim(), 40, reward_fn(config))),
-        build_baseline(autoscale::scheduler::SchedulerKind::Oracle, ev.sim(), config),
+        build_baseline(
+            autoscale::scheduler::SchedulerKind::EdgeCpuFp32,
+            ev.sim(),
+            config,
+        ),
+        Box::new(characterize::train_lr_scheduler(
+            ev.sim(),
+            &dataset,
+            reward_fn(config),
+        )),
+        Box::new(characterize::train_svr_scheduler(
+            ev.sim(),
+            &dataset,
+            reward_fn(config),
+        )),
+        Box::new(characterize::train_svm_scheduler(
+            ev.sim(),
+            &dataset,
+            reward_fn(config),
+        )),
+        Box::new(characterize::train_knn_scheduler(
+            ev.sim(),
+            &dataset,
+            reward_fn(config),
+        )),
+        Box::new(autoscale::scheduler::BoScheduler::new(
+            ev.sim(),
+            40,
+            reward_fn(config),
+        )),
+        build_baseline(
+            autoscale::scheduler::SchedulerKind::Oracle,
+            ev.sim(),
+            config,
+        ),
     ];
 
     // The variance-heavy mix: interference plus weak/random signal.
-    let envs = [EnvironmentId::S2, EnvironmentId::S3, EnvironmentId::S4, EnvironmentId::D3];
+    let envs = [
+        EnvironmentId::S2,
+        EnvironmentId::S3,
+        EnvironmentId::S4,
+        EnvironmentId::D3,
+    ];
     let mut acc = SuiteAccumulator::new();
     for w in Workload::ALL {
         for env in envs {
@@ -61,8 +94,11 @@ fn main() {
             for s in schedulers.iter_mut() {
                 // BO gets its exploration budget as warm-up, like the paper's
                 // BO baseline which optimizes before being measured.
-                let warmup =
-                    if s.kind() == autoscale::scheduler::SchedulerKind::BayesOpt { 50 } else { 0 };
+                let warmup = if s.kind() == autoscale::scheduler::SchedulerKind::BayesOpt {
+                    50
+                } else {
+                    0
+                };
                 let rep = ev.run(s.as_mut(), w, env, warmup, RUNS, Some(&oracle), &mut rng);
                 acc.record(&rep, &baseline);
             }

@@ -4,56 +4,33 @@
 //! four fixed baselines, Opt, MOSAIC and NeuroSurgeon, averaged across
 //! the ten workloads and the five static environments. Prints PPW
 //! normalized to `Edge (CPU FP32)` and the QoS-violation ratio.
+//!
+//! The sweep runs on the deterministic parallel harness: one cell per
+//! (device, workload), each with its own derived RNG seed, so the output
+//! is bit-identical for any `--threads` value.
 
-use autoscale::experiment;
+use autoscale::parallel::{run_cells, threads_from_args};
 use autoscale::prelude::*;
-use autoscale::scheduler::{Scheduler, SchedulerKind};
-use autoscale_bench::{autoscale_for, build_baseline, section, SuiteAccumulator, RUNS, WARMUP};
+use autoscale_bench::{fig9_cell, fig9_specs, section, SuiteAccumulator};
 
 fn main() {
-    let config = EngineConfig::paper();
-    let envs = EnvironmentId::STATIC;
+    let threads = threads_from_args(std::env::args().skip(1));
+    let specs = fig9_specs();
+    let results = run_cells(threads, 900, &specs, fig9_cell);
+
     let mut grand = SuiteAccumulator::new();
-
-    for device in DeviceId::PHONES {
-        let sim = Simulator::new(device);
-        let ev = Evaluator::new(sim, config);
-        let oracle = autoscale::scheduler::OracleScheduler::new(
-            ev.sim(),
-            autoscale_bench::reward_fn(config),
-        );
-        let mut rng = autoscale::seeded_rng(900 + device as u64);
-        let mut acc = SuiteAccumulator::new();
+    for (device_idx, &device) in DeviceId::PHONES.iter().enumerate() {
         section(&device.to_string());
-
-        for w in Workload::ALL {
-            // Leave-one-out: AutoScale's Q-table is trained on the other
-            // nine workloads (Section V-C), then keeps learning online.
-            let mut autoscale_sched = autoscale_for(ev.sim(), w, &envs, config, 42);
-            let mut prior_rng = autoscale::seeded_rng(43);
-            let qos = config.scenario_for(w).qos_ms();
-            let mut others: Vec<Box<dyn Scheduler>> = vec![
-                build_baseline(SchedulerKind::EdgeBest, ev.sim(), config),
-                build_baseline(SchedulerKind::Cloud, ev.sim(), config),
-                build_baseline(SchedulerKind::ConnectedEdge, ev.sim(), config),
-                build_baseline(SchedulerKind::Oracle, ev.sim(), config),
-                Box::new(experiment::build_mosaic(ev.sim(), qos, &mut prior_rng)),
-                Box::new(experiment::build_neurosurgeon(ev.sim(), &mut prior_rng)),
-            ];
-            for env in envs {
-                let mut base = build_baseline(SchedulerKind::EdgeCpuFp32, ev.sim(), config);
-                let baseline = ev.run(base.as_mut(), w, env, 0, RUNS, None, &mut rng);
-                acc.record(&baseline, &baseline);
-                let rep =
-                    ev.run(&mut autoscale_sched, w, env, WARMUP, RUNS, Some(&oracle), &mut rng);
-                acc.record(&rep, &baseline);
-                for s in others.iter_mut() {
-                    let rep = ev.run(s.as_mut(), w, env, 0, RUNS, None, &mut rng);
-                    acc.record(&rep, &baseline);
-                }
+        let mut acc = SuiteAccumulator::new();
+        let per_device = Workload::ALL.len();
+        for reports in &results[device_idx * per_device..(device_idx + 1) * per_device] {
+            for (rep, baseline) in reports {
+                acc.record(rep, baseline);
             }
         }
-        acc.print(&format!("Fig. 9 ({device}): static environments, all workloads"));
+        acc.print(&format!(
+            "Fig. 9 ({device}): static environments, all workloads"
+        ));
         merge(&mut grand, &acc);
     }
     grand.print("Fig. 9: average across the three devices");
@@ -85,7 +62,10 @@ fn merge(grand: &mut SuiteAccumulator, device: &SuiteAccumulator) {
                 placement_shares: [0.0; 3],
                 oracle_match_ratio: device.mean_opt_match(name),
             };
-            let base = EpisodeReport { mean_efficiency_ipj: 1.0, ..rep.clone() };
+            let base = EpisodeReport {
+                mean_efficiency_ipj: 1.0,
+                ..rep.clone()
+            };
             grand.record(&rep, &base);
         }
     }

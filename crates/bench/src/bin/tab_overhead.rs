@@ -21,8 +21,9 @@ fn main() {
     // Warm the engine so decisions exercise a populated table.
     for _ in 0..200 {
         let step = engine.decide(&sim, w, &snapshot, &mut rng);
-        let outcome =
-            sim.execute_measured(w, &step.request, &snapshot, &mut rng).expect("feasible");
+        let outcome = sim
+            .execute_measured(w, &step.request, &snapshot, &mut rng)
+            .expect("feasible");
         engine.learn(&sim, w, step, &outcome, &snapshot);
     }
 
@@ -37,7 +38,13 @@ fn main() {
 
     // Training step: decision + reward + Q update (inference excluded,
     // as in the paper).
-    let outcome = sim.execute_expected(w, &engine.decide_greedy(&sim, w, &snapshot).request, &snapshot).expect("feasible");
+    let outcome = sim
+        .execute_expected(
+            w,
+            &engine.decide_greedy(&sim, w, &snapshot).request,
+            &snapshot,
+        )
+        .expect("feasible");
     let t = Instant::now();
     for _ in 0..N {
         let step = engine.decide(&sim, w, &snapshot, &mut rng);

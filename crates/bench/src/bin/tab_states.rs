@@ -6,7 +6,10 @@ use autoscale_nn::LayerKind;
 
 fn main() {
     let space = StateSpace::paper();
-    println!("Table I: state-related features ({} encoded states)", space.len());
+    println!(
+        "Table I: state-related features ({} encoded states)",
+        space.len()
+    );
     println!("  S_CONV   # of CONV layers     small(<30) medium(<50) large(<90) larger(>=90)");
     println!("  S_FC     # of FC layers       small(<10) large(>=10)");
     println!("  S_RC     # of RC layers       small(<10) large(>=10)");
@@ -19,7 +22,10 @@ fn main() {
     // Re-derive the NN-feature buckets with DBSCAN over the Table III
     // workloads, as the paper did (Section IV-A).
     let feature = |f: &dyn Fn(&Network) -> f64| -> Vec<f64> {
-        Workload::ALL.iter().map(|&w| f(&Network::workload(w))).collect()
+        Workload::ALL
+            .iter()
+            .map(|&w| f(&Network::workload(w)))
+            .collect()
     };
     let derived = StateSpace::from_dbscan(
         &feature(&|n| n.count(LayerKind::Conv) as f64),
@@ -28,7 +34,10 @@ fn main() {
         &feature(&|n| n.total_macs() as f64 / 1e6),
     );
     println!("\nDBSCAN re-derivation over the Table III workloads:");
-    println!("  derived state-space size: {} (paper: 3072)", derived.len());
+    println!(
+        "  derived state-space size: {} (paper: 3072)",
+        derived.len()
+    );
 
     println!("\nPer-workload state under calm conditions:");
     let calm = Snapshot::calm();

@@ -10,9 +10,12 @@
 #![warn(missing_docs)]
 
 use autoscale::experiment;
+use autoscale::parallel::Cell;
 use autoscale::prelude::*;
 use autoscale::reward::RewardConfig;
-use autoscale::scheduler::{AutoScaleScheduler, FixedScheduler, OracleScheduler, SchedulerKind};
+use autoscale::scheduler::{
+    AutoScaleScheduler, FixedScheduler, OracleScheduler, Scheduler, SchedulerKind,
+};
 
 /// Default per-episode measurement length (inference runs).
 pub const RUNS: usize = 100;
@@ -24,7 +27,9 @@ pub const TRAIN_RUNS: usize = 30;
 
 /// A closure mapping workloads to their reward configuration under an
 /// engine configuration (needed in many constructor signatures).
-pub fn reward_fn(config: EngineConfig) -> impl Fn(Workload) -> RewardConfig + Send + Clone + 'static {
+pub fn reward_fn(
+    config: EngineConfig,
+) -> impl Fn(Workload) -> RewardConfig + Send + Clone + 'static {
     move |w| config.reward_for(w)
 }
 
@@ -61,6 +66,66 @@ pub fn autoscale_for(
     AutoScaleScheduler::new(engine, false)
 }
 
+/// (report, baseline-of-the-same-cell) pairs in recording order, the
+/// result type of one figure-sweep cell.
+pub type CellReports = Vec<(EpisodeReport, EpisodeReport)>;
+
+/// The Figure 9 sweep grid: one cell per (phone, workload), device-major.
+pub fn fig9_specs() -> Vec<(DeviceId, Workload)> {
+    DeviceId::PHONES
+        .iter()
+        .flat_map(|&d| Workload::ALL.iter().map(move |&w| (d, w)))
+        .collect()
+}
+
+/// Runs one Figure 9 cell: leave-one-out-trained AutoScale plus the four
+/// fixed baselines, Opt, MOSAIC and NeuroSurgeon across the five static
+/// environments. Shared between the `fig9` binary and the timing harness
+/// (`bench_harness`) so both measure exactly the same work.
+pub fn fig9_cell(cell: &Cell<'_, (DeviceId, Workload)>) -> CellReports {
+    let (device, w) = *cell.spec;
+    let config = EngineConfig::paper();
+    let envs = EnvironmentId::STATIC;
+    let ev = Evaluator::new(Simulator::new(device), config);
+    let oracle = OracleScheduler::new(ev.sim(), reward_fn(config));
+    let mut rng = autoscale::seeded_rng(cell.seed);
+
+    // Leave-one-out: AutoScale's Q-table is trained on the other nine
+    // workloads (Section V-C), then keeps learning online.
+    let mut autoscale_sched = autoscale_for(ev.sim(), w, &envs, config, 42);
+    let mut prior_rng = autoscale::seeded_rng(43);
+    let qos = config.scenario_for(w).qos_ms();
+    let mut others: Vec<Box<dyn Scheduler>> = vec![
+        build_baseline(SchedulerKind::EdgeBest, ev.sim(), config),
+        build_baseline(SchedulerKind::Cloud, ev.sim(), config),
+        build_baseline(SchedulerKind::ConnectedEdge, ev.sim(), config),
+        build_baseline(SchedulerKind::Oracle, ev.sim(), config),
+        Box::new(experiment::build_mosaic(ev.sim(), qos, &mut prior_rng)),
+        Box::new(experiment::build_neurosurgeon(ev.sim(), &mut prior_rng)),
+    ];
+    let mut reports = Vec::new();
+    for env in envs {
+        let mut base = build_baseline(SchedulerKind::EdgeCpuFp32, ev.sim(), config);
+        let baseline = ev.run(base.as_mut(), w, env, 0, RUNS, None, &mut rng);
+        reports.push((baseline.clone(), baseline.clone()));
+        let rep = ev.run(
+            &mut autoscale_sched,
+            w,
+            env,
+            WARMUP,
+            RUNS,
+            Some(&oracle),
+            &mut rng,
+        );
+        reports.push((rep, baseline.clone()));
+        for s in others.iter_mut() {
+            let rep = ev.run(s.as_mut(), w, env, 0, RUNS, None, &mut rng);
+            reports.push((rep, baseline.clone()));
+        }
+    }
+    reports
+}
+
 /// Mean of a slice.
 pub fn mean(values: &[f64]) -> f64 {
     assert!(!values.is_empty(), "mean of empty slice");
@@ -78,8 +143,12 @@ pub fn geomean(values: &[f64]) -> f64 {
 /// paper's figures do.
 #[derive(Debug, Default)]
 pub struct SuiteAccumulator {
-    rows: Vec<(String, Vec<f64>, Vec<f64>, Vec<f64>)>, // name, norm-ppw, qos, opt-match
+    rows: Vec<SchedulerRow>,
 }
+
+/// One scheduler's accumulated cells: name, normalized PPW, QoS-violation
+/// ratio and oracle-match ratio per cell.
+type SchedulerRow = (String, Vec<f64>, Vec<f64>, Vec<f64>);
 
 impl SuiteAccumulator {
     /// Creates an empty accumulator.
@@ -93,7 +162,8 @@ impl SuiteAccumulator {
         let entry = match self.rows.iter_mut().find(|r| r.0 == report.scheduler) {
             Some(e) => e,
             None => {
-                self.rows.push((report.scheduler.clone(), Vec::new(), Vec::new(), Vec::new()));
+                self.rows
+                    .push((report.scheduler.clone(), Vec::new(), Vec::new(), Vec::new()));
                 self.rows.last_mut().expect("just pushed")
             }
         };
@@ -108,7 +178,10 @@ impl SuiteAccumulator {
     /// QoS-violation ratio, and oracle-match ratio where tracked.
     pub fn print(&self, title: &str) {
         println!("\n=== {title} ===");
-        println!("{:<18} {:>14} {:>14} {:>12}", "scheduler", "PPW (norm)", "QoS viol.", "opt match");
+        println!(
+            "{:<18} {:>14} {:>14} {:>12}",
+            "scheduler", "PPW (norm)", "QoS viol.", "opt match"
+        );
         for (name, ppw, qos, opt) in &self.rows {
             let opt_s = if opt.is_empty() {
                 "-".to_string()
@@ -137,10 +210,13 @@ impl SuiteAccumulator {
 
     /// The mean oracle-match ratio of a scheduler, if recorded.
     pub fn mean_opt_match(&self, name: &str) -> Option<f64> {
-        self.rows
-            .iter()
-            .find(|r| r.0 == name)
-            .and_then(|r| if r.3.is_empty() { None } else { Some(mean(&r.3)) })
+        self.rows.iter().find(|r| r.0 == name).and_then(|r| {
+            if r.3.is_empty() {
+                None
+            } else {
+                Some(mean(&r.3))
+            }
+        })
     }
 }
 

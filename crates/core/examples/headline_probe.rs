@@ -15,22 +15,24 @@ fn main() {
 
     for w in Workload::ALL {
         let oracle = OracleScheduler::new(ev.sim(), move |w| config.reward_for(w));
-        let engine = experiment::train_leave_one_out(
-            ev.sim(),
-            w,
-            &EnvironmentId::STATIC,
-            30,
-            config,
-            7,
-        );
+        let engine =
+            experiment::train_leave_one_out(ev.sim(), w, &EnvironmentId::STATIC, 30, config, 7);
         for env in envs {
             let mut schedulers: Vec<Box<dyn autoscale::scheduler::Scheduler>> = vec![
                 Box::new(AutoScaleScheduler::new(engine.clone(), false)),
                 Box::new(FixedScheduler::edge_cpu_fp32(ev.sim())),
-                Box::new(FixedScheduler::edge_best(ev.sim(), move |w| config.reward_for(w))),
-                Box::new(FixedScheduler::cloud(ev.sim(), move |w| config.reward_for(w))),
-                Box::new(FixedScheduler::connected_edge(ev.sim(), move |w| config.reward_for(w))),
-                Box::new(OracleScheduler::new(ev.sim(), move |w| config.reward_for(w))),
+                Box::new(FixedScheduler::edge_best(ev.sim(), move |w| {
+                    config.reward_for(w)
+                })),
+                Box::new(FixedScheduler::cloud(ev.sim(), move |w| {
+                    config.reward_for(w)
+                })),
+                Box::new(FixedScheduler::connected_edge(ev.sim(), move |w| {
+                    config.reward_for(w)
+                })),
+                Box::new(OracleScheduler::new(ev.sim(), move |w| {
+                    config.reward_for(w)
+                })),
             ];
             for s in schedulers.iter_mut() {
                 let warmup = if s.kind() == autoscale::scheduler::SchedulerKind::AutoScale {

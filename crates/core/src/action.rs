@@ -136,7 +136,10 @@ impl ActionSpace {
     /// `i` can execute that workload (e.g. DSP actions are masked out for
     /// MobileBERT).
     pub fn mask(&self, sim: &Simulator, workload: Workload) -> Vec<bool> {
-        self.actions.iter().map(|r| sim.is_feasible(workload, r)).collect()
+        self.actions
+            .iter()
+            .map(|r| sim.is_feasible(workload, r))
+            .collect()
     }
 
     /// The coarse execution targets of this space: the distinct
@@ -183,7 +186,10 @@ impl ActionSpace {
         let kind = request.placement.processor_kind();
         let freq_ratio = sim
             .processor_for(request.placement)
-            .map(|p| p.dvfs().freq_ratio(request.freq_index.min(p.dvfs().max_index())))
+            .map(|p| {
+                p.dvfs()
+                    .freq_ratio(request.freq_index.min(p.dvfs().max_index()))
+            })
             .unwrap_or(1.0);
         vec![
             on_device,
@@ -227,8 +233,7 @@ mod tests {
     fn every_action_is_feasible_for_some_workload() {
         let sim = Simulator::new(DeviceId::Mi8Pro);
         let space = ActionSpace::for_simulator(&sim);
-        let masks: Vec<Vec<bool>> =
-            Workload::ALL.iter().map(|&w| space.mask(&sim, w)).collect();
+        let masks: Vec<Vec<bool>> = Workload::ALL.iter().map(|&w| space.mask(&sim, w)).collect();
         for a in 0..space.len() {
             assert!(
                 masks.iter().any(|m| m[a]),
@@ -297,24 +302,29 @@ mod tests {
         let space = ActionSpace::for_simulator(&sim);
         // Stock 66 + on-device NPU + cloud TPU = 68.
         assert_eq!(space.len(), 68);
-        assert!(space.actions().iter().any(|r| matches!(
-            r.placement,
-            Placement::OnDevice(ProcessorKind::Npu)
-        )));
-        assert!(space.actions().iter().any(|r| matches!(
-            r.placement,
-            Placement::Cloud(ProcessorKind::Npu)
-        )));
+        assert!(space
+            .actions()
+            .iter()
+            .any(|r| matches!(r.placement, Placement::OnDevice(ProcessorKind::Npu))));
+        assert!(space
+            .actions()
+            .iter()
+            .any(|r| matches!(r.placement, Placement::Cloud(ProcessorKind::Npu))));
     }
 
     #[test]
     fn action_features_distinguish_targets() {
         let sim = Simulator::new(DeviceId::Mi8Pro);
         let space = ActionSpace::for_simulator(&sim);
-        let feats: Vec<Vec<f64>> =
-            (0..space.len()).map(|i| space.action_features(&sim, i)).collect();
+        let feats: Vec<Vec<f64>> = (0..space.len())
+            .map(|i| space.action_features(&sim, i))
+            .collect();
         let distinct: std::collections::HashSet<String> =
             feats.iter().map(|f| format!("{f:?}")).collect();
-        assert_eq!(distinct.len(), space.len(), "features must be unique per action");
+        assert_eq!(
+            distinct.len(),
+            space.len(),
+            "features must be unique per action"
+        );
     }
 }

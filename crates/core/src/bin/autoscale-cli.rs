@@ -6,7 +6,7 @@
 //! autoscale-cli survey   --device mi8pro --workload inception-v1 [--env S1]
 //! autoscale-cli train    --device mi8pro --out qtable.json [--runs 30] [--envs static|all] [--seed 7]
 //! autoscale-cli decide   --device mi8pro --qtable qtable.json --workload resnet-50 [--env S4]
-//! autoscale-cli evaluate --device mi8pro --qtable qtable.json --workload resnet-50 --env S1 [--runs 100] [--json]
+//! autoscale-cli evaluate --device mi8pro --qtable qtable.json --workload resnet-50 --env S1|all [--runs 100] [--threads N] [--json]
 //! autoscale-cli trace    --device mi8pro --qtable qtable.json --workload resnet-50 --env D2 --runs 50 --out trace.json
 //! ```
 //!
@@ -66,12 +66,16 @@ fn print_help() {
          \x20 survey   --device D --workload W [--env E] cost of every target\n\
          \x20 train    --device D --out FILE [--runs N] [--envs static|all] [--seed N]\n\
          \x20 decide   --device D --qtable FILE --workload W [--env E]\n\
-         \x20 evaluate --device D --qtable FILE --workload W --env E [--runs N] [--json]\n\
+         \x20 evaluate --device D --qtable FILE --workload W --env E|all [--runs N] [--threads N] [--json]\n\
          \x20 trace    --device D --qtable FILE --workload W --env E --runs N --out FILE\n\
          \n\
          names: devices mi8pro|galaxy-s10e|moto-x-force (suffix +npu for the\n\
          NPU/TPU extension testbed); workloads as in `workloads` output;\n\
-         environments S1..S5, D1..D4"
+         environments S1..S5, D1..D4\n\
+         \n\
+         `evaluate --env all` sweeps every environment on the parallel\n\
+         harness; --threads N caps the workers (default: all cores, 1 runs\n\
+         serially). Results are bit-identical for any thread count."
     );
 }
 
@@ -91,7 +95,9 @@ fn parse_flags(args: &[String]) -> Result<BTreeMap<String, String>, String> {
             i += 1;
             continue;
         }
-        let value = args.get(i + 1).ok_or_else(|| format!("--{key} needs a value"))?;
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("--{key} needs a value"))?;
         flags.insert(key.to_string(), value.clone());
         i += 2;
     }
@@ -99,7 +105,10 @@ fn parse_flags(args: &[String]) -> Result<BTreeMap<String, String>, String> {
 }
 
 fn required<'a>(flags: &'a BTreeMap<String, String>, key: &str) -> Result<&'a str, String> {
-    flags.get(key).map(String::as_str).ok_or_else(|| format!("missing --{key}"))
+    flags
+        .get(key)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing --{key}"))
 }
 
 fn parse_device(name: &str) -> Result<Simulator, String> {
@@ -151,16 +160,24 @@ fn parse_env(name: &str) -> Result<EnvironmentId, String> {
         .ok_or_else(|| format!("unknown environment `{name}` (S1..S5, D1..D4)"))
 }
 
-fn parse_usize(flags: &BTreeMap<String, String>, key: &str, default: usize) -> Result<usize, String> {
+fn parse_usize(
+    flags: &BTreeMap<String, String>,
+    key: &str,
+    default: usize,
+) -> Result<usize, String> {
     match flags.get(key) {
-        Some(v) => v.parse().map_err(|_| format!("--{key} must be a number, got `{v}`")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{key} must be a number, got `{v}`")),
         None => Ok(default),
     }
 }
 
 fn parse_u64(flags: &BTreeMap<String, String>, key: &str, default: u64) -> Result<u64, String> {
     match flags.get(key) {
-        Some(v) => v.parse().map_err(|_| format!("--{key} must be a number, got `{v}`")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{key} must be a number, got `{v}`")),
         None => Ok(default),
     }
 }
@@ -169,9 +186,8 @@ fn load_engine(sim: &Simulator, path: &str) -> Result<AutoScaleEngine, String> {
     let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     let agent: QLearningAgent =
         serde_json::from_str(&json).map_err(|e| format!("parsing {path}: {e}"))?;
-    AutoScaleEngine::with_agent(sim, EngineConfig::paper(), agent).map_err(|e| {
-        format!("{e} — was the Q-table trained on a different device or testbed?")
-    })
+    AutoScaleEngine::with_agent(sim, EngineConfig::paper(), agent)
+        .map_err(|e| format!("{e} — was the Q-table trained on a different device or testbed?"))
 }
 
 // ---------------------------------------------------------------------------
@@ -183,8 +199,11 @@ fn cmd_devices() -> Result<(), String> {
     println!("hosts:");
     for id in DeviceId::PHONES {
         let d = Device::for_id(id);
-        let procs: Vec<String> =
-            d.processors().iter().map(|p| p.kind().to_string()).collect();
+        let procs: Vec<String> = d
+            .processors()
+            .iter()
+            .map(|p| p.kind().to_string())
+            .collect();
         println!(
             "  {:<14} {} [{}]",
             d.id().to_string().to_lowercase().replace(' ', "-"),
@@ -242,9 +261,16 @@ fn cmd_survey(flags: &BTreeMap<String, String>) -> Result<(), String> {
                 o.latency_ms,
                 o.energy_mj,
                 o.accuracy,
-                if o.latency_ms > qos { "  ** violates QoS **" } else { "" }
+                if o.latency_ms > qos {
+                    "  ** violates QoS **"
+                } else {
+                    ""
+                }
             ),
-            Err(e) => println!("  {:<28} unsupported ({e})", format!("{placement} {precision}")),
+            Err(e) => println!(
+                "  {:<28} unsupported ({e})",
+                format!("{placement} {precision}")
+            ),
         }
     }
     Ok(())
@@ -265,8 +291,14 @@ fn cmd_train(flags: &BTreeMap<String, String>) -> Result<(), String> {
         sim.host().id(),
         envs.len()
     );
-    let engine =
-        experiment::train_engine(&sim, &Workload::ALL, envs, runs, EngineConfig::paper(), seed);
+    let engine = experiment::train_engine(
+        &sim,
+        &Workload::ALL,
+        envs,
+        runs,
+        EngineConfig::paper(),
+        seed,
+    );
     let json = serde_json::to_string(engine.agent()).map_err(|e| e.to_string())?;
     std::fs::write(out, &json).map_err(|e| format!("writing {out}: {e}"))?;
     eprintln!(
@@ -301,31 +333,61 @@ fn cmd_decide(flags: &BTreeMap<String, String>) -> Result<(), String> {
 fn cmd_evaluate(flags: &BTreeMap<String, String>) -> Result<(), String> {
     let sim = parse_device(required(flags, "device")?)?;
     let workload = parse_workload(required(flags, "workload")?)?;
-    let env = parse_env(required(flags, "env")?)?;
+    let env_arg = required(flags, "env")?;
+    let envs: Vec<EnvironmentId> = if env_arg.eq_ignore_ascii_case("all") {
+        EnvironmentId::ALL.to_vec()
+    } else {
+        vec![parse_env(env_arg)?]
+    };
     let runs = parse_usize(flags, "runs", 100)?;
+    let threads = autoscale::parallel::resolve_threads(match flags.get("threads") {
+        Some(_) => Some(parse_usize(flags, "threads", 0)?),
+        None => None,
+    });
     let engine = load_engine(&sim, required(flags, "qtable")?)?;
     let config = EngineConfig::paper();
     let ev = Evaluator::new(sim, config);
-    let mut sched = AutoScaleScheduler::new(engine, false);
-    let mut rng = autoscale::seeded_rng(parse_u64(flags, "seed", 0)?);
-    let report = ev.run(&mut sched, workload, env, runs / 2, runs, None, &mut rng);
-    if flags.contains_key("json") {
-        println!("{}", serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?);
-    } else {
-        println!(
-            "{} in {env} over {runs} runs: {:.1} mJ/inference ({:.1} inf/J), {:.1} ms, {:.1}% QoS violations",
+    let base_seed = parse_u64(flags, "seed", 0)?;
+    // One harness cell per environment, each with its own engine clone
+    // (online learning stays per-cell) and derived seed: the sweep is
+    // bit-identical for any --threads value.
+    let reports = autoscale::parallel::run_cells(threads, base_seed, &envs, |cell| {
+        let mut sched = AutoScaleScheduler::new(engine.clone(), false);
+        let mut rng = autoscale::seeded_rng(cell.seed);
+        ev.run(
+            &mut sched,
             workload,
-            report.mean_energy_mj,
-            report.mean_efficiency_ipj,
-            report.mean_latency_ms,
-            report.qos_violation_ratio * 100.0
-        );
-        println!(
-            "decisions: {:.0}% on-device / {:.0}% connected / {:.0}% cloud",
-            report.placement_shares[0] * 100.0,
-            report.placement_shares[1] * 100.0,
-            report.placement_shares[2] * 100.0
-        );
+            *cell.spec,
+            runs / 2,
+            runs,
+            None,
+            &mut rng,
+        )
+    });
+    if flags.contains_key("json") {
+        let json = if reports.len() == 1 {
+            serde_json::to_string_pretty(&reports[0])
+        } else {
+            serde_json::to_string_pretty(&reports)
+        };
+        println!("{}", json.map_err(|e| e.to_string())?);
+    } else {
+        for (env, report) in envs.iter().zip(&reports) {
+            println!(
+                "{} in {env} over {runs} runs: {:.1} mJ/inference ({:.1} inf/J), {:.1} ms, {:.1}% QoS violations",
+                workload,
+                report.mean_energy_mj,
+                report.mean_efficiency_ipj,
+                report.mean_latency_ms,
+                report.qos_violation_ratio * 100.0
+            );
+            println!(
+                "decisions: {:.0}% on-device / {:.0}% connected / {:.0}% cloud",
+                report.placement_shares[0] * 100.0,
+                report.placement_shares[1] * 100.0,
+                report.placement_shares[2] * 100.0
+            );
+        }
     }
     Ok(())
 }
@@ -368,8 +430,10 @@ mod tests {
 
     #[test]
     fn flags_parse_key_value_pairs() {
-        let args: Vec<String> =
-            ["--device", "mi8pro", "--runs", "50", "--json"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["--device", "mi8pro", "--runs", "50", "--json"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let flags = parse_flags(&args).expect("valid flags");
         assert_eq!(flags.get("device").map(String::as_str), Some("mi8pro"));
         assert_eq!(flags.get("runs").map(String::as_str), Some("50"));
@@ -414,6 +478,9 @@ mod tests {
         let mut flags = BTreeMap::new();
         flags.insert("runs".to_string(), "abc".to_string());
         assert!(parse_usize(&flags, "runs", 10).is_err());
-        assert_eq!(parse_usize(&BTreeMap::new(), "runs", 10).expect("default"), 10);
+        assert_eq!(
+            parse_usize(&BTreeMap::new(), "runs", 10).expect("default"),
+            10
+        );
     }
 }

@@ -114,7 +114,13 @@ pub fn collect(
                 };
                 let mut features = state.clone();
                 features.extend(space.action_features(sim, action));
-                samples.push(Sample { workload, snapshot, action, features, outcome });
+                samples.push(Sample {
+                    workload,
+                    snapshot,
+                    action,
+                    features,
+                    outcome,
+                });
             }
         }
     }
@@ -137,7 +143,10 @@ impl Dataset {
     /// magnitude across the design space; a raw-scale linear fit would
     /// have unbounded relative error on the cheap targets.
     pub fn log_energies(&self) -> Vec<f64> {
-        self.samples.iter().map(|s| s.outcome.energy_mj.ln()).collect()
+        self.samples
+            .iter()
+            .map(|s| s.outcome.energy_mj.ln())
+            .collect()
     }
 
     /// Latency targets in milliseconds.
@@ -147,7 +156,10 @@ impl Dataset {
 
     /// Natural-log latency targets (see [`Dataset::log_energies`]).
     pub fn log_latencies(&self) -> Vec<f64> {
-        self.samples.iter().map(|s| s.outcome.latency_ms.ln()).collect()
+        self.samples
+            .iter()
+            .map(|s| s.outcome.latency_ms.ln())
+            .collect()
     }
 
     /// Per-(workload, snapshot) optimal-target labels for the
@@ -161,9 +173,10 @@ impl Dataset {
         reward_for: impl Fn(Workload) -> RewardConfig,
     ) -> (Vec<Vec<f64>>, Vec<usize>) {
         use std::collections::BTreeMap;
-        // Group samples by (workload, snapshot) via their state features.
-        let mut groups: BTreeMap<String, (Vec<f64>, Workload, Vec<(usize, Outcome)>)> =
-            BTreeMap::new();
+        // Group samples by (workload, snapshot) via their state features:
+        // key -> (state features, workload, observed (action, outcome)s).
+        type Group = (Vec<f64>, Workload, Vec<(usize, Outcome)>);
+        let mut groups: BTreeMap<String, Group> = BTreeMap::new();
         for s in &self.samples {
             let state = state_features(sim.network(s.workload), &s.snapshot);
             let key = format!("{:?}-{:?}", s.workload, state);
@@ -177,8 +190,7 @@ impl Dataset {
         let mut labels = Vec::new();
         for (_, (state, workload, outcomes)) in groups {
             let cfg = reward_for(workload);
-            let accuracy_ok =
-                |o: &Outcome| cfg.accuracy_target.map_or(true, |t| o.accuracy >= t);
+            let accuracy_ok = |o: &Outcome| cfg.accuracy_target.is_none_or(|t| o.accuracy >= t);
             let best = outcomes
                 .iter()
                 .filter(|(_, o)| accuracy_ok(o) && o.latency_ms < cfg.qos_ms)
@@ -225,7 +237,11 @@ pub fn train_svr_scheduler(
     let xs = dataset.xs();
     let scaler = StandardScaler::fit(&xs);
     let xs = scaler.transform_all(&xs);
-    let config = SvrConfig { epsilon: 0.05, lambda: 1e-5, epochs: 400 };
+    let config = SvrConfig {
+        epsilon: 0.05,
+        lambda: 1e-5,
+        epochs: 400,
+    };
     let energy = SupportVectorRegression::fit(&xs, &dataset.log_energies(), config)
         .expect("dataset is valid");
     let latency = SupportVectorRegression::fit(&xs, &dataset.log_latencies(), config)
@@ -268,11 +284,7 @@ pub fn train_knn_scheduler(
 /// Profiles per-layer latencies for the NeuroSurgeon/MOSAIC planners:
 /// each layer of every workload measured on a local processor and on the
 /// cloud GPU, with small multiplicative profiling noise.
-pub fn layer_profile(
-    sim: &Simulator,
-    local: ProcessorKind,
-    rng: &mut StdRng,
-) -> Vec<LayerSample> {
+pub fn layer_profile(sim: &Simulator, local: ProcessorKind, rng: &mut StdRng) -> Vec<LayerSample> {
     let local_proc = sim
         .host()
         .processor(local)
@@ -326,7 +338,13 @@ mod tests {
     fn collect_measures_every_feasible_action() {
         let sim = Simulator::new(DeviceId::Mi8Pro);
         let mut rng = seeded_rng(1);
-        let ds = collect(&sim, &[Workload::MobileNetV1], VarianceMode::Calm, 2, &mut rng);
+        let ds = collect(
+            &sim,
+            &[Workload::MobileNetV1],
+            VarianceMode::Calm,
+            2,
+            &mut rng,
+        );
         // All 66 actions are feasible for a vision model.
         assert_eq!(ds.samples.len(), 2 * 66);
         assert!(ds.samples.iter().all(|s| s.outcome.energy_mj > 0.0));
@@ -336,7 +354,13 @@ mod tests {
     fn recurrent_workload_skips_infeasible_actions() {
         let sim = Simulator::new(DeviceId::Mi8Pro);
         let mut rng = seeded_rng(2);
-        let ds = collect(&sim, &[Workload::MobileBert], VarianceMode::Calm, 1, &mut rng);
+        let ds = collect(
+            &sim,
+            &[Workload::MobileBert],
+            VarianceMode::Calm,
+            1,
+            &mut rng,
+        );
         // CPU (46) + cloud CPU/GPU (2) + connected CPU (1) = 49 actions.
         assert_eq!(ds.samples.len(), 49);
     }
@@ -347,7 +371,10 @@ mod tests {
         let a = sample_snapshot(VarianceMode::Stochastic, &mut rng);
         let b = sample_snapshot(VarianceMode::Stochastic, &mut rng);
         assert_ne!(a, b);
-        assert_eq!(sample_snapshot(VarianceMode::Calm, &mut rng), Snapshot::calm());
+        assert_eq!(
+            sample_snapshot(VarianceMode::Calm, &mut rng),
+            Snapshot::calm()
+        );
     }
 
     #[test]
@@ -387,8 +414,13 @@ mod tests {
         let sim = Simulator::new(DeviceId::Mi8Pro);
         let mut rng = seeded_rng(6);
         let samples = layer_profile(&sim, ProcessorKind::Cpu, &mut rng);
-        let expected: usize = Workload::ALL.iter().map(|&w| sim.network(w).layers().len()).sum();
+        let expected: usize = Workload::ALL
+            .iter()
+            .map(|&w| sim.network(w).layers().len())
+            .sum();
         assert_eq!(samples.len(), expected);
-        assert!(samples.iter().all(|s| s.local_ms >= 0.0 && s.remote_ms >= 0.0));
+        assert!(samples
+            .iter()
+            .all(|s| s.local_ms >= 0.0 && s.remote_ms >= 0.0));
     }
 }

@@ -109,12 +109,22 @@ impl AutoScaleEngine {
     pub fn new(sim: &Simulator, config: EngineConfig) -> Self {
         let states = StateSpace::paper();
         let actions = ActionSpace::for_simulator(sim);
-        let agent =
-            QLearningAgent::new(states.len(), actions.len(), config.hyperparameters, config.seed);
+        let agent = QLearningAgent::new(
+            states.len(),
+            actions.len(),
+            config.hyperparameters,
+            config.seed,
+        );
         // Convergence cannot be meaningful before the epsilon-greedy sweep
         // has visited every action once (see ConvergenceDetector docs).
         let detector = ConvergenceDetector::paper().with_min_observations(actions.len());
-        AutoScaleEngine { states, actions, agent, detector, config }
+        AutoScaleEngine {
+            states,
+            actions,
+            agent,
+            detector,
+            config,
+        }
     }
 
     /// Builds an engine around a pre-trained agent (e.g. one restored
@@ -138,7 +148,13 @@ impl AutoScaleEngine {
             });
         }
         let detector = ConvergenceDetector::paper().with_min_observations(actions.len());
-        Ok(AutoScaleEngine { states, actions, agent, detector, config })
+        Ok(AutoScaleEngine {
+            states,
+            actions,
+            agent,
+            detector,
+            config,
+        })
     }
 
     /// The engine's state space.
@@ -180,13 +196,19 @@ impl AutoScaleEngine {
         snapshot: &Snapshot,
         rng: &mut StdRng,
     ) -> DecisionStep {
-        let state_index = self.states.encode_observation(sim.network(workload), snapshot);
+        let state_index = self
+            .states
+            .encode_observation(sim.network(workload), snapshot);
         let mask = self.actions.mask(sim, workload);
         let action_index = self
             .agent
             .select_action(state_index, &mask, rng)
             .expect("the CPU can always run the model");
-        DecisionStep { state_index, action_index, request: self.actions.request(action_index) }
+        DecisionStep {
+            state_index,
+            action_index,
+            request: self.actions.request(action_index),
+        }
     }
 
     /// Selects the greedy (exploitation-only) action — serving mode, once
@@ -197,13 +219,19 @@ impl AutoScaleEngine {
         workload: Workload,
         snapshot: &Snapshot,
     ) -> DecisionStep {
-        let state_index = self.states.encode_observation(sim.network(workload), snapshot);
+        let state_index = self
+            .states
+            .encode_observation(sim.network(workload), snapshot);
         let mask = self.actions.mask(sim, workload);
         let action_index = self
             .agent
             .select_greedy(state_index, &mask)
             .expect("the CPU can always run the model");
-        DecisionStep { state_index, action_index, request: self.actions.request(action_index) }
+        DecisionStep {
+            state_index,
+            action_index,
+            request: self.actions.request(action_index),
+        }
     }
 
     /// Feeds the measured result of an executed decision back into the
@@ -237,9 +265,17 @@ impl AutoScaleEngine {
             *outcome
         };
         let r = reward(&self.config.reward_for(workload), &rewarded);
-        let next_state = self.states.encode_observation(sim.network(workload), next_snapshot);
+        let next_state = self
+            .states
+            .encode_observation(sim.network(workload), next_snapshot);
         let next_mask = self.actions.mask(sim, workload);
-        self.agent.update(step.state_index, step.action_index, r, next_state, &next_mask);
+        self.agent.update(
+            step.state_index,
+            step.action_index,
+            r,
+            next_state,
+            &next_mask,
+        );
         self.detector.observe(r);
         r
     }
@@ -290,8 +326,7 @@ impl AutoScaleEngine {
                 q.set(s, a, donor_q.get(s, donor_a));
             }
         }
-        self.agent =
-            QLearningAgent::with_table(q, self.config.hyperparameters);
+        self.agent = QLearningAgent::with_table(q, self.config.hyperparameters);
     }
 
     /// Finds the donor-side action corresponding to `request` from a
@@ -307,7 +342,7 @@ impl AutoScaleEngine {
             }
             let cand_rel = relative_freq(cand, &self.actions);
             let dist = (cand_rel - rel).abs();
-            if best.map_or(true, |(_, d)| dist < d) {
+            if best.is_none_or(|(_, d)| dist < d) {
                 best = Some((i, dist));
             }
         }
@@ -368,8 +403,9 @@ mod tests {
             autoscale_sim::Placement::OnDevice(autoscale_platform::ProcessorKind::Cpu),
             autoscale_nn::Precision::Fp32,
         );
-        let baseline =
-            sim.execute_expected(Workload::InceptionV1, &baseline_req, &snapshot).unwrap();
+        let baseline = sim
+            .execute_expected(Workload::InceptionV1, &baseline_req, &snapshot)
+            .unwrap();
         assert!(
             chosen.energy_mj < baseline.energy_mj / 2.0,
             "chosen {} mJ vs baseline {} mJ",
@@ -385,7 +421,11 @@ mod tests {
         let mut rng = seeded_rng(3);
         for _ in 0..50 {
             let step = engine.decide(&sim, Workload::MobileBert, &Snapshot::calm(), &mut rng);
-            assert!(sim.is_feasible(Workload::MobileBert, &step.request), "{}", step.request);
+            assert!(
+                sim.is_feasible(Workload::MobileBert, &step.request),
+                "{}",
+                step.request
+            );
         }
     }
 
@@ -396,8 +436,9 @@ mod tests {
         let mut rng = seeded_rng(5);
         let snapshot = Snapshot::calm();
         let step = engine.decide(&sim, Workload::MobileNetV1, &snapshot, &mut rng);
-        let outcome =
-            sim.execute_measured(Workload::MobileNetV1, &step.request, &snapshot, &mut rng).unwrap();
+        let outcome = sim
+            .execute_measured(Workload::MobileNetV1, &step.request, &snapshot, &mut rng)
+            .unwrap();
         let r = engine.learn(&sim, Workload::MobileNetV1, step, &outcome, &snapshot);
         assert!(r.is_finite());
         assert_eq!(engine.agent().updates(), 1);
@@ -411,8 +452,12 @@ mod tests {
         fresh.transfer_from(&donor).unwrap();
         let snapshot = Snapshot::calm();
         assert_eq!(
-            fresh.decide_greedy(&sim, Workload::InceptionV1, &snapshot).action_index,
-            donor.decide_greedy(&sim, Workload::InceptionV1, &snapshot).action_index
+            fresh
+                .decide_greedy(&sim, Workload::InceptionV1, &snapshot)
+                .action_index,
+            donor
+                .decide_greedy(&sim, Workload::InceptionV1, &snapshot)
+                .action_index
         );
     }
 
@@ -436,9 +481,13 @@ mod tests {
             autoscale_sim::Placement::OnDevice(autoscale_platform::ProcessorKind::Cpu),
             autoscale_nn::Precision::Fp32,
         );
-        let baseline =
-            moto.execute_expected(Workload::InceptionV1, &baseline_req, &snapshot).unwrap();
-        assert!(chosen.energy_mj < baseline.energy_mj, "transfer should carry the trend");
+        let baseline = moto
+            .execute_expected(Workload::InceptionV1, &baseline_req, &snapshot)
+            .unwrap();
+        assert!(
+            chosen.energy_mj < baseline.energy_mj,
+            "transfer should carry the trend"
+        );
     }
 
     fn donor_into(donor: &AutoScaleEngine, recipient: &mut AutoScaleEngine) {
@@ -449,26 +498,25 @@ mod tests {
     fn with_agent_accepts_matching_and_rejects_foreign_tables() {
         let sim = Simulator::new(DeviceId::Mi8Pro);
         let donor = trained_engine(&sim, Workload::MobileNetV1, 80);
-        let restored = AutoScaleEngine::with_agent(
-            &sim,
-            EngineConfig::paper(),
-            donor.agent().clone(),
-        )
-        .expect("same testbed, same shape");
+        let restored =
+            AutoScaleEngine::with_agent(&sim, EngineConfig::paper(), donor.agent().clone())
+                .expect("same testbed, same shape");
         let snapshot = Snapshot::calm();
         assert_eq!(
-            restored.decide_greedy(&sim, Workload::MobileNetV1, &snapshot).action_index,
-            donor.decide_greedy(&sim, Workload::MobileNetV1, &snapshot).action_index
+            restored
+                .decide_greedy(&sim, Workload::MobileNetV1, &snapshot)
+                .action_index,
+            donor
+                .decide_greedy(&sim, Workload::MobileNetV1, &snapshot)
+                .action_index
         );
         // A Moto-shaped table (47 actions) must be rejected on the Mi8Pro.
         let moto = Simulator::new(DeviceId::MotoXForce);
         let foreign = AutoScaleEngine::new(&moto, EngineConfig::paper());
-        assert!(AutoScaleEngine::with_agent(
-            &sim,
-            EngineConfig::paper(),
-            foreign.agent().clone()
-        )
-        .is_err());
+        assert!(
+            AutoScaleEngine::with_agent(&sim, EngineConfig::paper(), foreign.agent().clone())
+                .is_err()
+        );
     }
 
     #[test]
@@ -480,7 +528,10 @@ mod tests {
         let mut with_est = AutoScaleEngine::new(&sim, EngineConfig::paper());
         let mut without = AutoScaleEngine::new(
             &sim,
-            EngineConfig { estimate_energy: false, ..EngineConfig::paper() },
+            EngineConfig {
+                estimate_energy: false,
+                ..EngineConfig::paper()
+            },
         );
         let mut rng = seeded_rng(33);
         let snapshot = Snapshot::calm();
@@ -499,10 +550,22 @@ mod tests {
     #[test]
     fn scenario_selection_follows_config() {
         let cfg = EngineConfig::paper();
-        assert_eq!(cfg.scenario_for(Workload::InceptionV1), Scenario::NonStreaming);
-        assert_eq!(cfg.scenario_for(Workload::MobileBert), Scenario::Translation);
-        let streaming = EngineConfig { streaming: true, ..EngineConfig::paper() };
-        assert_eq!(streaming.scenario_for(Workload::InceptionV1), Scenario::Streaming);
+        assert_eq!(
+            cfg.scenario_for(Workload::InceptionV1),
+            Scenario::NonStreaming
+        );
+        assert_eq!(
+            cfg.scenario_for(Workload::MobileBert),
+            Scenario::Translation
+        );
+        let streaming = EngineConfig {
+            streaming: true,
+            ..EngineConfig::paper()
+        };
+        assert_eq!(
+            streaming.scenario_for(Workload::InceptionV1),
+            Scenario::Streaming
+        );
     }
 
     #[test]

@@ -96,7 +96,11 @@ mod tests {
         let mut errors = Vec::new();
         for env_id in [EnvironmentId::S1, EnvironmentId::S2, EnvironmentId::S4] {
             let mut env = Environment::for_id(env_id);
-            for w in [Workload::MobileNetV3, Workload::ResNet50, Workload::MobileBert] {
+            for w in [
+                Workload::MobileNetV3,
+                Workload::ResNet50,
+                Workload::MobileBert,
+            ] {
                 for a in (0..space.len()).step_by(5) {
                     let request = space.request(a);
                     let snapshot = env.sample(&mut rng);
@@ -104,20 +108,18 @@ mod tests {
                     else {
                         continue;
                     };
-                    let estimate = estimate_energy_mj(
-                        &sim,
-                        w,
-                        &request,
-                        &snapshot,
-                        measured.latency_ms,
-                    );
+                    let estimate =
+                        estimate_energy_mj(&sim, w, &request, &snapshot, measured.latency_ms);
                     errors.push(((estimate - measured.energy_mj) / measured.energy_mj).abs());
                 }
             }
         }
         let mape = errors.iter().sum::<f64>() / errors.len() as f64 * 100.0;
         assert!(mape < 10.0, "estimator MAPE {mape:.1}% (paper: 7.3%)");
-        assert!(mape > 0.5, "estimator suspiciously exact ({mape:.2}%) — is it peeking?");
+        assert!(
+            mape > 0.5,
+            "estimator suspiciously exact ({mape:.2}%) — is it peeking?"
+        );
     }
 
     #[test]
@@ -137,11 +139,8 @@ mod tests {
     #[test]
     fn remote_estimate_includes_radio_floor() {
         let sim = Simulator::new(DeviceId::Mi8Pro);
-        let request = Request::at_max_frequency(
-            &sim,
-            Placement::Cloud(ProcessorKind::Gpu),
-            Precision::Fp32,
-        );
+        let request =
+            Request::at_max_frequency(&sim, Placement::Cloud(ProcessorKind::Gpu), Precision::Fp32);
         let calm = Snapshot::calm();
         let e = estimate_energy_mj(&sim, Workload::ResNet50, &request, &calm, 40.0);
         // At least the radio wake energy is always paid.
@@ -166,12 +165,15 @@ mod tests {
             let Ok(measured) = sim.execute_measured(w, &request, &calm, &mut rng) else {
                 continue;
             };
-            let truth = sim.execute_expected(w, &request, &calm).expect("feasible").energy_mj;
+            let truth = sim
+                .execute_expected(w, &request, &calm)
+                .expect("feasible")
+                .energy_mj;
             let est = estimate_energy_mj(&sim, w, &request, &calm, measured.latency_ms);
-            if best_true.map_or(true, |(_, e)| truth < e) {
+            if best_true.is_none_or(|(_, e)| truth < e) {
                 best_true = Some((a, truth));
             }
-            if best_est.map_or(true, |(_, e)| est < e) {
+            if best_est.is_none_or(|(_, e)| est < e) {
                 best_est = Some((a, est));
             }
         }

@@ -142,6 +142,9 @@ impl Evaluator {
     /// of the optimum (the paper finds AutoScale "mis-predicts the
     /// optimal target only when the energy difference ... is less than
     /// 1%").
+    // The episode protocol really does have this many independent knobs;
+    // bundling them into a struct would just move the noise to call sites.
+    #[allow(clippy::too_many_arguments)]
     pub fn run(
         &self,
         scheduler: &mut dyn Scheduler,
@@ -184,7 +187,7 @@ impl Evaluator {
             if outcome.latency_ms >= cfg.qos_ms {
                 qos_violations += 1;
             }
-            if cfg.accuracy_target.map_or(false, |t| outcome.accuracy < t) {
+            if cfg.accuracy_target.is_some_and(|t| outcome.accuracy < t) {
                 accuracy_violations += 1;
             }
             shares[decision.category(total_layers)] += 1;
@@ -258,7 +261,15 @@ mod tests {
         let ev = evaluator();
         let mut s = FixedScheduler::edge_cpu_fp32(ev.sim());
         let mut rng = seeded_rng(1);
-        let report = ev.run(&mut s, Workload::MobileNetV1, EnvironmentId::S1, 0, 30, None, &mut rng);
+        let report = ev.run(
+            &mut s,
+            Workload::MobileNetV1,
+            EnvironmentId::S1,
+            0,
+            30,
+            None,
+            &mut rng,
+        );
         assert_eq!(report.runs, 30);
         assert!(report.mean_energy_mj > 0.0);
         assert!(report.mean_latency_ms > 0.0);
@@ -274,8 +285,15 @@ mod tests {
         let cfg2 = ev.config();
         let mut s = OracleScheduler::new(ev.sim(), move |w| cfg2.reward_for(w));
         let mut rng = seeded_rng(2);
-        let report =
-            ev.run(&mut s, Workload::InceptionV1, EnvironmentId::S1, 0, 20, Some(&oracle), &mut rng);
+        let report = ev.run(
+            &mut s,
+            Workload::InceptionV1,
+            EnvironmentId::S1,
+            0,
+            20,
+            Some(&oracle),
+            &mut rng,
+        );
         assert_eq!(report.oracle_match_ratio, Some(1.0));
     }
 
@@ -286,8 +304,20 @@ mod tests {
         let ev = evaluator();
         let mut s = FixedScheduler::edge_cpu_fp32(ev.sim());
         let mut rng = seeded_rng(3);
-        let report = ev.run(&mut s, Workload::InceptionV1, EnvironmentId::S1, 0, 20, None, &mut rng);
-        assert!(report.qos_violation_ratio > 0.9, "{}", report.qos_violation_ratio);
+        let report = ev.run(
+            &mut s,
+            Workload::InceptionV1,
+            EnvironmentId::S1,
+            0,
+            20,
+            None,
+            &mut rng,
+        );
+        assert!(
+            report.qos_violation_ratio > 0.9,
+            "{}",
+            report.qos_violation_ratio
+        );
     }
 
     #[test]
@@ -297,8 +327,24 @@ mod tests {
         let mut cpu = FixedScheduler::edge_cpu_fp32(ev.sim());
         let cfg = ev.config();
         let mut cloud = FixedScheduler::cloud(ev.sim(), move |w| cfg.reward_for(w));
-        let base = ev.run(&mut cpu, Workload::ResNet50, EnvironmentId::S1, 0, 20, None, &mut rng);
-        let cl = ev.run(&mut cloud, Workload::ResNet50, EnvironmentId::S1, 0, 20, None, &mut rng);
+        let base = ev.run(
+            &mut cpu,
+            Workload::ResNet50,
+            EnvironmentId::S1,
+            0,
+            20,
+            None,
+            &mut rng,
+        );
+        let cl = ev.run(
+            &mut cloud,
+            Workload::ResNet50,
+            EnvironmentId::S1,
+            0,
+            20,
+            None,
+            &mut rng,
+        );
         // Cloud is far more efficient than the CPU for ResNet 50.
         assert!(cl.normalized_ppw(&base) > 5.0);
         assert!((base.normalized_ppw(&base) - 1.0).abs() < 1e-12);
@@ -308,12 +354,22 @@ mod tests {
     fn partitioned_decision_executes() {
         let ev = evaluator();
         let mut rng = seeded_rng(5);
-        let decision = Decision::Partitioned { local: ProcessorKind::Cpu, split: 10 };
-        let outcome =
-            ev.execute_decision(Workload::InceptionV1, &decision, &Snapshot::calm(), &mut rng);
+        let decision = Decision::Partitioned {
+            local: ProcessorKind::Cpu,
+            split: 10,
+        };
+        let outcome = ev.execute_decision(
+            Workload::InceptionV1,
+            &decision,
+            &Snapshot::calm(),
+            &mut rng,
+        );
         assert!(outcome.latency_ms > 0.0);
         assert!(outcome.energy_mj > 0.0);
-        assert_eq!(outcome.accuracy, accuracy_for(Workload::InceptionV1).at(Precision::Fp32));
+        assert_eq!(
+            outcome.accuracy,
+            accuracy_for(Workload::InceptionV1).at(Precision::Fp32)
+        );
     }
 
     #[test]
@@ -322,8 +378,24 @@ mod tests {
         let cfg = ev.config();
         let mut cloud = FixedScheduler::cloud(ev.sim(), move |w| cfg.reward_for(w));
         let mut rng = seeded_rng(6);
-        let calm = ev.run(&mut cloud, Workload::ResNet50, EnvironmentId::S1, 0, 15, None, &mut rng);
-        let weak = ev.run(&mut cloud, Workload::ResNet50, EnvironmentId::S4, 0, 15, None, &mut rng);
+        let calm = ev.run(
+            &mut cloud,
+            Workload::ResNet50,
+            EnvironmentId::S1,
+            0,
+            15,
+            None,
+            &mut rng,
+        );
+        let weak = ev.run(
+            &mut cloud,
+            Workload::ResNet50,
+            EnvironmentId::S4,
+            0,
+            15,
+            None,
+            &mut rng,
+        );
         assert!(weak.mean_efficiency_ipj < calm.mean_efficiency_ipj / 2.0);
         assert!(weak.qos_violation_ratio > calm.qos_violation_ratio);
     }
@@ -334,6 +406,14 @@ mod tests {
         let ev = evaluator();
         let mut s = FixedScheduler::edge_cpu_fp32(ev.sim());
         let mut rng = seeded_rng(7);
-        let _ = ev.run(&mut s, Workload::MobileNetV1, EnvironmentId::S1, 0, 0, None, &mut rng);
+        let _ = ev.run(
+            &mut s,
+            Workload::MobileNetV1,
+            EnvironmentId::S1,
+            0,
+            0,
+            None,
+            &mut rng,
+        );
     }
 }

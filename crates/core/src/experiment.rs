@@ -57,8 +57,11 @@ pub fn train_leave_one_out(
     config: EngineConfig,
     seed: u64,
 ) -> AutoScaleEngine {
-    let train_set: Vec<Workload> =
-        Workload::ALL.iter().copied().filter(|&w| w != held_out).collect();
+    let train_set: Vec<Workload> = Workload::ALL
+        .iter()
+        .copied()
+        .filter(|&w| w != held_out)
+        .collect();
     train_engine(sim, &train_set, environments, runs_per_pair, config, seed)
 }
 
@@ -98,7 +101,10 @@ pub fn training_curve(
             .expect("engine decisions are feasible");
         rewards.push(engine.learn(sim, workload, step, &outcome, &snapshot));
     }
-    TrainingCurve { rewards, converged_at: engine.convergence().converged_at() }
+    TrainingCurve {
+        rewards,
+        converged_at: engine.convergence().converged_at(),
+    }
 }
 
 /// Builds the NeuroSurgeon comparator: per-layer profiling on the phone
@@ -197,7 +203,11 @@ pub fn predictor_errors(
     let svr = autoscale_predictors::SupportVectorRegression::fit(
         &train_xs,
         &train.log_energies(),
-        autoscale_predictors::svr::SvrConfig { epsilon: 0.05, lambda: 1e-5, epochs: 400 },
+        autoscale_predictors::svr::SvrConfig {
+            epsilon: 0.05,
+            lambda: 1e-5,
+            epochs: 400,
+        },
     )
     .expect("dataset is valid");
     let actual = test.energies();
@@ -207,11 +217,20 @@ pub fn predictor_errors(
     // GP (the BO surrogate) on a subsample — exact GPs are cubic in n.
     let stride = (train_xs.len() / 250).max(1);
     let gp_xs: Vec<Vec<f64>> = train_xs.iter().step_by(stride).cloned().collect();
-    let gp_ys: Vec<f64> = train.log_energies().iter().step_by(stride).copied().collect();
+    let gp_ys: Vec<f64> = train
+        .log_energies()
+        .iter()
+        .step_by(stride)
+        .copied()
+        .collect();
     let gp = GaussianProcess::fit(
         &gp_xs,
         &gp_ys,
-        RbfKernel { length_scale: 3.0, signal_variance: 1.0, noise_variance: 1e-2 },
+        RbfKernel {
+            length_scale: 3.0,
+            signal_variance: 1.0,
+            noise_variance: 1e-2,
+        },
     )
     .expect("subsampled dataset is valid");
     let gp_pred: Vec<f64> = test_xs.iter().map(|x| gp.predict_mean(x).exp()).collect();
@@ -225,8 +244,8 @@ pub fn predictor_errors(
     let test_cx = cscaler.transform_all(&test_cx);
     let svm = autoscale_predictors::SvmClassifier::fit_default(&train_cx, &train_cy)
         .expect("labels are valid");
-    let knn =
-        autoscale_predictors::KnnClassifier::fit(&train_cx, &train_cy, 5).expect("labels are valid");
+    let knn = autoscale_predictors::KnnClassifier::fit(&train_cx, &train_cy, 5)
+        .expect("labels are valid");
     let misclass = |preds: Vec<usize>| {
         preds.iter().zip(&test_cy).filter(|(p, a)| p != a).count() as f64 / test_cy.len() as f64
             * 100.0
@@ -274,8 +293,11 @@ mod tests {
             EngineConfig::paper(),
             1,
         );
-        let step =
-            engine.decide_greedy(&sim, Workload::MobileNetV3, &autoscale_sim::Snapshot::calm());
+        let step = engine.decide_greedy(
+            &sim,
+            Workload::MobileNetV3,
+            &autoscale_sim::Snapshot::calm(),
+        );
         assert!(sim.is_feasible(Workload::MobileNetV3, &step.request));
     }
 

@@ -30,6 +30,8 @@
 //!   prior-work comparators (NeuroSurgeon, MOSAIC);
 //! * [`eval`] — the measurement harness: PPW, QoS-violation ratio,
 //!   prediction accuracy, MAPE;
+//! * [`parallel`] — the deterministic parallel experiment harness the
+//!   figure sweeps run on (bit-identical results for any thread count);
 //! * [`characterize`] — offline profiling runs that generate the training
 //!   data the predictive baselines need;
 //! * [`experiment`] — end-to-end experiment drivers for the paper's
@@ -67,6 +69,7 @@ pub mod engine;
 pub mod estimator;
 pub mod eval;
 pub mod experiment;
+pub mod parallel;
 pub mod reward;
 pub mod scheduler;
 pub mod state;

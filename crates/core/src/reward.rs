@@ -50,7 +50,13 @@ impl RewardConfig {
     /// The paper's weights (α = β = 0.1) for a given QoS constraint and
     /// accuracy target.
     pub fn paper(qos_ms: f64, accuracy_target: Option<f64>) -> Self {
-        RewardConfig { alpha: 0.1, beta: 0.1, qos_ms, accuracy_target, accuracy_penalty_scale: 100.0 }
+        RewardConfig {
+            alpha: 0.1,
+            beta: 0.1,
+            qos_ms,
+            accuracy_target,
+            accuracy_penalty_scale: 100.0,
+        }
     }
 }
 
@@ -73,7 +79,11 @@ mod tests {
     use super::*;
 
     fn outcome(latency_ms: f64, energy_mj: f64, accuracy: f64) -> Outcome {
-        Outcome { latency_ms, energy_mj, accuracy }
+        Outcome {
+            latency_ms,
+            energy_mj,
+            accuracy,
+        }
     }
 
     #[test]

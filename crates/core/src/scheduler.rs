@@ -174,7 +174,11 @@ impl AutoScaleScheduler {
     /// greedily while still applying Q updates (the paper's engine
     /// "continuously learns").
     pub fn new(engine: AutoScaleEngine, training: bool) -> Self {
-        AutoScaleScheduler { engine, training, last_step: None }
+        AutoScaleScheduler {
+            engine,
+            training,
+            last_step: None,
+        }
     }
 
     /// The wrapped engine.
@@ -265,12 +269,12 @@ impl LinearFaScheduler {
     pub fn phi(sim: &Simulator, workload: Workload, snapshot: &Snapshot) -> Vec<f64> {
         let raw = crate::characterize::state_features(sim.network(workload), snapshot);
         vec![
-            raw[0] / 100.0,  // CONV layers
-            raw[1] / 20.0,   // FC layers
-            raw[2] / 24.0,   // RC layers
-            raw[3] / 6.0,    // giga-MACs
-            raw[4],          // co-runner CPU utilization
-            raw[5],          // co-runner memory usage
+            raw[0] / 100.0,         // CONV layers
+            raw[1] / 20.0,          // FC layers
+            raw[2] / 24.0,          // RC layers
+            raw[3] / 6.0,           // giga-MACs
+            raw[4],                 // co-runner CPU utilization
+            raw[5],                 // co-runner memory usage
             (raw[6] + 95.0) / 65.0, // WLAN dBm mapped to [0, 1]
             (raw[7] + 95.0) / 65.0, // P2P dBm mapped to [0, 1]
         ]
@@ -359,8 +363,9 @@ impl HybridScheduler {
         assert!(splits_per_model > 0, "need at least one split action");
         let engine_states = crate::state::StateSpace::paper();
         let space = crate::action::ActionSpace::for_simulator(sim);
-        let split_fractions: Vec<f64> =
-            (1..=splits_per_model).map(|i| i as f64 / (splits_per_model + 1) as f64).collect();
+        let split_fractions: Vec<f64> = (1..=splits_per_model)
+            .map(|i| i as f64 / (splits_per_model + 1) as f64)
+            .collect();
         let agent = autoscale_rl::QLearningAgent::new(
             engine_states.len(),
             space.len() + splits_per_model,
@@ -404,7 +409,7 @@ impl HybridScheduler {
         let mut mask = self.space.mask(sim, workload);
         // Partition actions: the CPU prefix and cloud-GPU suffix run every
         // model in this testbed.
-        mask.extend(std::iter::repeat(true).take(self.split_fractions.len()));
+        mask.extend(std::iter::repeat_n(true, self.split_fractions.len()));
         mask
     }
 
@@ -434,7 +439,9 @@ impl Scheduler for HybridScheduler {
         snapshot: &Snapshot,
         rng: &mut StdRng,
     ) -> Decision {
-        let state = self.engine_states.encode_observation(sim.network(workload), snapshot);
+        let state = self
+            .engine_states
+            .encode_observation(sim.network(workload), snapshot);
         let mask = self.mask(sim, workload);
         let action = if self.training {
             self.agent.select_action(state, &mask, rng)
@@ -456,8 +463,9 @@ impl Scheduler for HybridScheduler {
     ) {
         if let Some((state, action)) = self.last.take() {
             let r = crate::reward::reward(&(self.reward_for)(workload), outcome);
-            let next_state =
-                self.engine_states.encode_observation(sim.network(workload), snapshot);
+            let next_state = self
+                .engine_states
+                .encode_observation(sim.network(workload), snapshot);
             let mask = self.mask(sim, workload);
             self.agent.update(state, action, r, next_state, &mask);
         }
@@ -483,7 +491,10 @@ impl FixedScheduler {
             Placement::OnDevice(ProcessorKind::Cpu),
             Precision::Fp32,
         );
-        FixedScheduler { kind: SchedulerKind::EdgeCpuFp32, choice: Box::new(move |_| request) }
+        FixedScheduler {
+            kind: SchedulerKind::EdgeCpuFp32,
+            choice: Box::new(move |_| request),
+        }
     }
 
     /// `Edge (Best)`: the statically most energy-efficient on-device
@@ -508,8 +519,11 @@ impl FixedScheduler {
             .iter()
             .map(|&w| {
                 let cfg = reward_for(w);
-                let feasible: Vec<Request> =
-                    candidates.iter().copied().filter(|r| sim.is_feasible(w, r)).collect();
+                let feasible: Vec<Request> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|r| sim.is_feasible(w, r))
+                    .collect();
                 best_request(sim, w, &cfg, &feasible).unwrap_or_else(|| {
                     Request::at_max_frequency(
                         sim,
@@ -528,14 +542,18 @@ impl FixedScheduler {
     /// `Cloud`: the best cloud processor per NN under calm conditions.
     pub fn cloud(sim: &Simulator, reward_for: impl Fn(Workload) -> RewardConfig) -> Self {
         let table = per_workload_best(sim, &reward_for, |p| matches!(p, Placement::Cloud(_)));
-        FixedScheduler { kind: SchedulerKind::Cloud, choice: Box::new(move |w| table[w as usize]) }
+        FixedScheduler {
+            kind: SchedulerKind::Cloud,
+            choice: Box::new(move |w| table[w as usize]),
+        }
     }
 
     /// `Connected Edge`: the best tablet processor per NN under calm
     /// conditions.
     pub fn connected_edge(sim: &Simulator, reward_for: impl Fn(Workload) -> RewardConfig) -> Self {
-        let table =
-            per_workload_best(sim, &reward_for, |p| matches!(p, Placement::ConnectedEdge(_)));
+        let table = per_workload_best(sim, &reward_for, |p| {
+            matches!(p, Placement::ConnectedEdge(_))
+        });
         FixedScheduler {
             kind: SchedulerKind::ConnectedEdge,
             choice: Box::new(move |w| table[w as usize]),
@@ -613,19 +631,24 @@ fn select_best(
 ) -> Option<Request> {
     let outcomes: Vec<(Request, Outcome)> = candidates
         .iter()
-        .filter_map(|r| sim.execute_expected(workload, r, snapshot).ok().map(|o| (*r, o)))
+        .filter_map(|r| {
+            sim.execute_expected(workload, r, snapshot)
+                .ok()
+                .map(|o| (*r, o))
+        })
         .collect();
-    let accuracy_ok = |o: &Outcome| cfg.accuracy_target.map_or(true, |t| o.accuracy >= t);
+    let accuracy_ok = |o: &Outcome| cfg.accuracy_target.is_none_or(|t| o.accuracy >= t);
     let tiers: [&dyn Fn(&Outcome) -> bool; 3] = [
         &|o| accuracy_ok(o) && o.latency_ms < cfg.qos_ms,
         &|o| accuracy_ok(o),
         &|_| true,
     ];
     for tier in tiers {
-        let best = outcomes
-            .iter()
-            .filter(|(_, o)| tier(o))
-            .min_by(|a, b| a.1.energy_mj.partial_cmp(&b.1.energy_mj).expect("finite energy"));
+        let best = outcomes.iter().filter(|(_, o)| tier(o)).min_by(|a, b| {
+            a.1.energy_mj
+                .partial_cmp(&b.1.energy_mj)
+                .expect("finite energy")
+        });
         if let Some((r, _)) = best {
             return Some(*r);
         }
@@ -648,7 +671,10 @@ pub struct OracleScheduler {
 
 impl OracleScheduler {
     /// Builds the oracle for a simulator.
-    pub fn new(sim: &Simulator, reward_for: impl Fn(Workload) -> RewardConfig + Send + 'static) -> Self {
+    pub fn new(
+        sim: &Simulator,
+        reward_for: impl Fn(Workload) -> RewardConfig + Send + 'static,
+    ) -> Self {
         OracleScheduler {
             space: crate::action::ActionSpace::for_simulator(sim),
             reward_for: Box::new(reward_for),
@@ -778,24 +804,27 @@ impl Scheduler for RegressionScheduler {
         let mask = self.space.mask(sim, workload);
         let mut best: Option<(usize, f64)> = None;
         let mut fastest: Option<(usize, f64)> = None;
-        for a in 0..self.space.len() {
-            if !mask[a] {
+        for (a, &allowed) in mask.iter().enumerate() {
+            if !allowed {
                 continue;
             }
             let mut x = state.clone();
             x.extend(self.space.action_features(sim, a));
             let (energy, latency) = self.model.predict(&self.scaler.transform(&x));
-            if fastest.as_ref().map_or(true, |&(_, l)| latency < l) {
+            if fastest.as_ref().is_none_or(|&(_, l)| latency < l) {
                 fastest = Some((a, latency));
             }
             if latency >= cfg.qos_ms {
                 continue;
             }
-            if best.as_ref().map_or(true, |&(_, e)| energy < e) {
+            if best.as_ref().is_none_or(|&(_, e)| energy < e) {
                 best = Some((a, energy));
             }
         }
-        let action = best.or(fastest).map(|(a, _)| a).expect("mask is never empty");
+        let action = best
+            .or(fastest)
+            .map(|(a, _)| a)
+            .expect("mask is never empty");
         Decision::Whole(self.space.request(action))
     }
 }
@@ -866,7 +895,9 @@ impl Scheduler for ClassificationScheduler {
         snapshot: &Snapshot,
         _rng: &mut StdRng,
     ) -> Decision {
-        let x = self.scaler.transform(&state_features(sim.network(workload), snapshot));
+        let x = self
+            .scaler
+            .transform(&state_features(sim.network(workload), snapshot));
         let coarse = self.space.coarse_targets();
         let predicted = self.model.predict(&x).min(coarse.len() - 1);
         let (placement, precision) = coarse[predicted];
@@ -924,7 +955,10 @@ impl BoScheduler {
     fn candidates(&self, sim: &Simulator, workload: Workload) -> (Vec<usize>, Vec<Vec<f64>>) {
         let mask = self.space.mask(sim, workload);
         let indices: Vec<usize> = (0..self.space.len()).filter(|&a| mask[a]).collect();
-        let feats = indices.iter().map(|&a| self.space.action_features(sim, a)).collect();
+        let feats = indices
+            .iter()
+            .map(|&a| self.space.action_features(sim, a))
+            .collect();
         (indices, feats)
     }
 }
@@ -972,7 +1006,7 @@ impl Scheduler for BoScheduler {
             if outcome.latency_ms >= cfg.qos_ms {
                 objective -= 100.0;
             }
-            if cfg.accuracy_target.map_or(false, |t| outcome.accuracy < t) {
+            if cfg.accuracy_target.is_some_and(|t| outcome.accuracy < t) {
                 objective -= 200.0;
             }
             self.optimizers[workload as usize]
@@ -1012,8 +1046,13 @@ impl Scheduler for NeuroSurgeonScheduler {
         _snapshot: &Snapshot,
         _rng: &mut StdRng,
     ) -> Decision {
-        let split = self.planner.choose_split(sim.network(workload), self.objective);
-        Decision::Partitioned { local: ProcessorKind::Cpu, split }
+        let split = self
+            .planner
+            .choose_split(sim.network(workload), self.objective);
+        Decision::Partitioned {
+            local: ProcessorKind::Cpu,
+            split,
+        }
     }
 }
 
@@ -1051,7 +1090,10 @@ impl Scheduler for MosaicScheduler {
         } else {
             ProcessorKind::Cpu
         };
-        Decision::Partitioned { local, split: plan.split }
+        Decision::Partitioned {
+            local,
+            split: plan.split,
+        }
     }
 }
 
@@ -1137,12 +1179,20 @@ mod tests {
         let sim = Simulator::new(DeviceId::Mi8Pro);
         let oracle = OracleScheduler::new(&sim, reward_for);
         let calm = Snapshot::calm();
-        let weak = Snapshot::new(0.0, 0.0, autoscale_net::Rssi::WEAK, autoscale_net::Rssi::WEAK);
+        let weak = Snapshot::new(
+            0.0,
+            0.0,
+            autoscale_net::Rssi::WEAK,
+            autoscale_net::Rssi::WEAK,
+        );
         // Calm: MobileBERT's optimal is the cloud (heavy NN, tiny sentence
         // payload) — and it stays there even under weak signal, because a
         // 2 KiB transfer barely notices the collapsed data rate.
         let calm_req = oracle.optimal_request(&sim, Workload::MobileBert, &calm);
-        assert!(matches!(calm_req.placement, Placement::Cloud(_)), "{calm_req}");
+        assert!(
+            matches!(calm_req.placement, Placement::Cloud(_)),
+            "{calm_req}"
+        );
         // ResNet 50 ships a camera frame. With a 75% accuracy target the
         // INT8 DSP is disqualified, making the cloud optimal at strong
         // signal; weak signal everywhere brings the oracle home to the
@@ -1154,7 +1204,10 @@ mod tests {
         let calm_vision = strict.optimal_request(&sim, Workload::ResNet50, &calm);
         assert!(calm_vision.placement.is_remote(), "{calm_vision}");
         let weak_req = strict.optimal_request(&sim, Workload::ResNet50, &weak);
-        assert!(matches!(weak_req.placement, Placement::OnDevice(_)), "{weak_req}");
+        assert!(
+            matches!(weak_req.placement, Placement::OnDevice(_)),
+            "{weak_req}"
+        );
     }
 
     #[test]
@@ -1180,8 +1233,22 @@ mod tests {
             Precision::Fp32,
         );
         assert_eq!(Decision::Whole(req).category(80), 1);
-        assert_eq!(Decision::Partitioned { local: ProcessorKind::Cpu, split: 70 }.category(80), 0);
-        assert_eq!(Decision::Partitioned { local: ProcessorKind::Cpu, split: 10 }.category(80), 2);
+        assert_eq!(
+            Decision::Partitioned {
+                local: ProcessorKind::Cpu,
+                split: 70
+            }
+            .category(80),
+            0
+        );
+        assert_eq!(
+            Decision::Partitioned {
+                local: ProcessorKind::Cpu,
+                split: 10
+            }
+            .category(80),
+            2
+        );
     }
 
     #[test]
@@ -1201,7 +1268,11 @@ mod tests {
                 }
             }
             // Feed a plausible outcome back.
-            let outcome = Outcome { latency_ms: 20.0, energy_mj: 50.0, accuracy: 69.8 };
+            let outcome = Outcome {
+                latency_ms: 20.0,
+                energy_mj: 50.0,
+                accuracy: 69.8,
+            };
             hybrid.observe(&sim, Workload::InceptionV1, &calm, &d, &outcome);
         }
         let share = hybrid.partition_share(&sim);
@@ -1217,7 +1288,9 @@ mod tests {
         for w in [Workload::InceptionV1, Workload::MobileBert] {
             for _ in 0..40 {
                 let d = fa.decide(&sim, w, &calm, &mut rng);
-                let Decision::Whole(r) = d else { panic!("FA runs whole models") };
+                let Decision::Whole(r) = d else {
+                    panic!("FA runs whole models")
+                };
                 assert!(sim.is_feasible(w, &r), "{w}: {r}");
                 let outcome = sim
                     .execute_measured(w, &r, &calm, &mut rng)

@@ -252,14 +252,22 @@ mod tests {
 
     #[test]
     fn dbscan_derivation_recovers_table_i_scale() {
-        let conv: Vec<f64> =
-            Workload::ALL.iter().map(|&w| Network::workload(w).count(LayerKind::Conv) as f64).collect();
-        let fc: Vec<f64> =
-            Workload::ALL.iter().map(|&w| Network::workload(w).count(LayerKind::Fc) as f64).collect();
-        let rc: Vec<f64> =
-            Workload::ALL.iter().map(|&w| Network::workload(w).count(LayerKind::Rc) as f64).collect();
-        let mac: Vec<f64> =
-            Workload::ALL.iter().map(|&w| Network::workload(w).total_macs() as f64 / 1e6).collect();
+        let conv: Vec<f64> = Workload::ALL
+            .iter()
+            .map(|&w| Network::workload(w).count(LayerKind::Conv) as f64)
+            .collect();
+        let fc: Vec<f64> = Workload::ALL
+            .iter()
+            .map(|&w| Network::workload(w).count(LayerKind::Fc) as f64)
+            .collect();
+        let rc: Vec<f64> = Workload::ALL
+            .iter()
+            .map(|&w| Network::workload(w).count(LayerKind::Rc) as f64)
+            .collect();
+        let mac: Vec<f64> = Workload::ALL
+            .iter()
+            .map(|&w| Network::workload(w).total_macs() as f64 / 1e6)
+            .collect();
         let space = StateSpace::from_dbscan(&conv, &fc, &rc, &mac);
         // DBSCAN finds the same bucket *counts* the paper publishes for
         // the NN features.
@@ -275,10 +283,7 @@ mod tests {
         let space = StateSpace::paper();
         let net = Network::workload(Workload::ResNet50);
         let calm = space.encode_observation(&net, &Snapshot::calm());
-        let busy = space.encode_observation(
-            &net,
-            &Snapshot::new(0.9, 0.8, Rssi::WEAK, Rssi::WEAK),
-        );
+        let busy = space.encode_observation(&net, &Snapshot::new(0.9, 0.8, Rssi::WEAK, Rssi::WEAK));
         assert_ne!(calm, busy);
     }
 }

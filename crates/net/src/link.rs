@@ -218,8 +218,14 @@ mod tests {
     fn weak_signal_raises_tx_and_rx_power() {
         for kind in LinkKind::ALL {
             let link = LinkModel::for_kind(kind);
-            assert!(link.tx_power_w(Rssi::WEAK) > 1.5 * link.tx_power_w(Rssi::STRONG), "{kind}");
-            assert!(link.rx_power_w(Rssi::WEAK) > link.rx_power_w(Rssi::STRONG), "{kind}");
+            assert!(
+                link.tx_power_w(Rssi::WEAK) > 1.5 * link.tx_power_w(Rssi::STRONG),
+                "{kind}"
+            );
+            assert!(
+                link.rx_power_w(Rssi::WEAK) > link.rx_power_w(Rssi::STRONG),
+                "{kind}"
+            );
         }
     }
 

@@ -34,18 +34,25 @@ pub enum SignalProcess {
 impl SignalProcess {
     /// A constant strong signal.
     pub fn strong() -> Self {
-        SignalProcess::Fixed { dbm: Rssi::STRONG.dbm() }
+        SignalProcess::Fixed {
+            dbm: Rssi::STRONG.dbm(),
+        }
     }
 
     /// A constant weak signal (past the −80 dBm threshold).
     pub fn weak() -> Self {
-        SignalProcess::Fixed { dbm: Rssi::WEAK.dbm() }
+        SignalProcess::Fixed {
+            dbm: Rssi::WEAK.dbm(),
+        }
     }
 
     /// The paper's D3 environment: random Wi-Fi signal, Gaussian around a
     /// mid-range mean so both regular and weak buckets occur.
     pub fn random_walkabout() -> Self {
-        SignalProcess::Gaussian { mean_dbm: -72.0, std_db: 9.0 }
+        SignalProcess::Gaussian {
+            mean_dbm: -72.0,
+            std_db: 9.0,
+        }
     }
 
     /// Draws the signal strength for the next inference.
@@ -118,7 +125,10 @@ mod tests {
 
     #[test]
     fn gaussian_samples_are_clamped() {
-        let p = SignalProcess::Gaussian { mean_dbm: -92.0, std_db: 20.0 };
+        let p = SignalProcess::Gaussian {
+            mean_dbm: -92.0,
+            std_db: 20.0,
+        };
         let mut rng = SignalProcess::rng(7);
         for _ in 0..500 {
             let s = p.sample(&mut rng).dbm();
@@ -131,7 +141,9 @@ mod tests {
         let p = SignalProcess::random_walkabout();
         let seq = |seed| {
             let mut rng = SignalProcess::rng(seed);
-            (0..10).map(|_| p.sample(&mut rng).dbm()).collect::<Vec<_>>()
+            (0..10)
+                .map(|_| p.sample(&mut rng).dbm())
+                .collect::<Vec<_>>()
         };
         assert_eq!(seq(5), seq(5));
         assert_ne!(seq(5), seq(6));

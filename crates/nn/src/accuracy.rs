@@ -54,16 +54,56 @@ pub fn accuracy_for(workload: Workload) -> AccuracyTable {
     // Fig. 4 shows dropping below the 65% accuracy target for the light
     // vision models.
     match workload {
-        Workload::InceptionV1 => AccuracyTable { fp32: 69.8, fp16: 69.7, int8: 62.3 },
-        Workload::InceptionV3 => AccuracyTable { fp32: 78.0, fp16: 77.9, int8: 74.5 },
-        Workload::MobileNetV1 => AccuracyTable { fp32: 70.9, fp16: 70.8, int8: 63.5 },
-        Workload::MobileNetV2 => AccuracyTable { fp32: 71.9, fp16: 71.8, int8: 64.8 },
-        Workload::MobileNetV3 => AccuracyTable { fp32: 75.2, fp16: 75.1, int8: 58.9 },
-        Workload::ResNet50 => AccuracyTable { fp32: 76.1, fp16: 76.0, int8: 72.3 },
-        Workload::SsdMobileNetV1 => AccuracyTable { fp32: 72.7, fp16: 72.6, int8: 65.1 },
-        Workload::SsdMobileNetV2 => AccuracyTable { fp32: 74.1, fp16: 74.0, int8: 66.0 },
-        Workload::SsdMobileNetV3 => AccuracyTable { fp32: 75.4, fp16: 75.3, int8: 62.0 },
-        Workload::MobileBert => AccuracyTable { fp32: 84.0, fp16: 83.9, int8: 77.1 },
+        Workload::InceptionV1 => AccuracyTable {
+            fp32: 69.8,
+            fp16: 69.7,
+            int8: 62.3,
+        },
+        Workload::InceptionV3 => AccuracyTable {
+            fp32: 78.0,
+            fp16: 77.9,
+            int8: 74.5,
+        },
+        Workload::MobileNetV1 => AccuracyTable {
+            fp32: 70.9,
+            fp16: 70.8,
+            int8: 63.5,
+        },
+        Workload::MobileNetV2 => AccuracyTable {
+            fp32: 71.9,
+            fp16: 71.8,
+            int8: 64.8,
+        },
+        Workload::MobileNetV3 => AccuracyTable {
+            fp32: 75.2,
+            fp16: 75.1,
+            int8: 58.9,
+        },
+        Workload::ResNet50 => AccuracyTable {
+            fp32: 76.1,
+            fp16: 76.0,
+            int8: 72.3,
+        },
+        Workload::SsdMobileNetV1 => AccuracyTable {
+            fp32: 72.7,
+            fp16: 72.6,
+            int8: 65.1,
+        },
+        Workload::SsdMobileNetV2 => AccuracyTable {
+            fp32: 74.1,
+            fp16: 74.0,
+            int8: 66.0,
+        },
+        Workload::SsdMobileNetV3 => AccuracyTable {
+            fp32: 75.4,
+            fp16: 75.3,
+            int8: 62.0,
+        },
+        Workload::MobileBert => AccuracyTable {
+            fp32: 84.0,
+            fp16: 83.9,
+            int8: 77.1,
+        },
     }
 }
 
@@ -92,8 +132,10 @@ mod tests {
     fn some_int8_models_fall_below_65_percent() {
         // Necessary for the paper's Fig. 4 / Fig. 12 experiments: a 65%
         // accuracy target must disqualify some INT8 execution targets.
-        let below: Vec<_> =
-            Workload::ALL.iter().filter(|w| accuracy_for(**w).int8 < 65.0).collect();
+        let below: Vec<_> = Workload::ALL
+            .iter()
+            .filter(|w| accuracy_for(**w).int8 < 65.0)
+            .collect();
         assert!(!below.is_empty());
     }
 

@@ -113,7 +113,13 @@ impl Layer {
         input_bytes_fp32: u64,
         output_bytes_fp32: u64,
     ) -> Self {
-        Layer { kind, macs, weight_bytes_fp32, input_bytes_fp32, output_bytes_fp32 }
+        Layer {
+            kind,
+            macs,
+            weight_bytes_fp32,
+            input_bytes_fp32,
+            output_bytes_fp32,
+        }
     }
 
     /// Total memory traffic (weights + activations in + activations out) in
@@ -163,7 +169,13 @@ mod tests {
         assert!(LayerKind::Conv.is_dominant());
         assert!(LayerKind::Fc.is_dominant());
         assert!(LayerKind::Rc.is_dominant());
-        for kind in [LayerKind::Pool, LayerKind::Norm, LayerKind::Softmax, LayerKind::Argmax, LayerKind::Dropout] {
+        for kind in [
+            LayerKind::Pool,
+            LayerKind::Norm,
+            LayerKind::Softmax,
+            LayerKind::Argmax,
+            LayerKind::Dropout,
+        ] {
             assert!(!kind.is_dominant(), "{kind} should not be dominant");
         }
     }

@@ -80,7 +80,13 @@ impl Network {
         input_bytes: u64,
         output_bytes: u64,
     ) -> Self {
-        Network { name: name.into(), task, layers, input_bytes, output_bytes }
+        Network {
+            name: name.into(),
+            task,
+            layers,
+            input_bytes,
+            output_bytes,
+        }
     }
 
     /// Builds one of the ten paper benchmark networks (Table III).
@@ -131,7 +137,10 @@ impl Network {
     /// footprint, relevant for deployment and for the Q-table sizing
     /// discussion in Section VI-C).
     pub fn weight_bytes(&self, precision: Precision) -> u64 {
-        self.layers.iter().map(|l| l.weight_traffic_bytes(precision)).sum()
+        self.layers
+            .iter()
+            .map(|l| l.weight_traffic_bytes(precision))
+            .sum()
     }
 
     /// Total memory traffic at the given precision.
@@ -198,7 +207,10 @@ mod tests {
     #[test]
     fn weight_bytes_shrink_with_quantization() {
         let net = tiny();
-        assert_eq!(net.weight_bytes(Precision::Int8) * 4, net.weight_bytes(Precision::Fp32));
+        assert_eq!(
+            net.weight_bytes(Precision::Int8) * 4,
+            net.weight_bytes(Precision::Fp32)
+        );
     }
 
     #[test]

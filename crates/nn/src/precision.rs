@@ -9,9 +9,12 @@
 use serde::{Deserialize, Serialize};
 
 /// Numeric precision at which an inference executes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
 pub enum Precision {
     /// 32-bit floating point (the unquantized baseline).
+    #[default]
     Fp32,
     /// 16-bit floating point, used on mobile GPUs.
     Fp16,
@@ -54,12 +57,6 @@ impl Precision {
     }
 }
 
-impl Default for Precision {
-    fn default() -> Self {
-        Precision::Fp32
-    }
-}
-
 impl std::fmt::Display for Precision {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.paper_name())
@@ -72,8 +69,14 @@ mod tests {
 
     #[test]
     fn element_widths_halve() {
-        assert_eq!(Precision::Fp32.element_bytes(), 2 * Precision::Fp16.element_bytes());
-        assert_eq!(Precision::Fp16.element_bytes(), 2 * Precision::Int8.element_bytes());
+        assert_eq!(
+            Precision::Fp32.element_bytes(),
+            2 * Precision::Fp16.element_bytes()
+        );
+        assert_eq!(
+            Precision::Fp16.element_bytes(),
+            2 * Precision::Int8.element_bytes()
+        );
     }
 
     #[test]

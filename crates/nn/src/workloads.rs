@@ -229,13 +229,24 @@ pub(crate) fn build(workload: Workload) -> Network {
     let fc_macs_total: u64 = spec.fc as u64 * fc_params_each;
     // Everything the FC stack does not use goes to the dominant stack: the
     // RC blocks for recurrent models, the CONV stack otherwise.
-    let rc_macs_total: u64 =
-        if spec.rc > 0 { spec.total_macs.saturating_sub(fc_macs_total) } else { 0 };
-    let conv_macs_total = spec.total_macs.saturating_sub(fc_macs_total + rc_macs_total);
+    let rc_macs_total: u64 = if spec.rc > 0 {
+        spec.total_macs.saturating_sub(fc_macs_total)
+    } else {
+        0
+    };
+    let conv_macs_total = spec
+        .total_macs
+        .saturating_sub(fc_macs_total + rc_macs_total);
 
     let fc_params_total = spec.fc as u64 * fc_params_each;
-    let rc_params_total = if spec.rc > 0 { spec.params.saturating_sub(fc_params_total) } else { 0 };
-    let conv_params_total = spec.params.saturating_sub(fc_params_total + rc_params_total);
+    let rc_params_total = if spec.rc > 0 {
+        spec.params.saturating_sub(fc_params_total)
+    } else {
+        0
+    };
+    let conv_params_total = spec
+        .params
+        .saturating_sub(fc_params_total + rc_params_total);
 
     // --- CONV stack -------------------------------------------------------
     // Early layers see large activations and small filters; late layers the
@@ -252,7 +263,13 @@ pub(crate) fn build(workload: Workload) -> Network {
         for i in 0..spec.conv {
             // Activations shrink roughly 12% per layer as spatial dims drop.
             let out_act = std::cmp::max(act * 88 / 100, 4_096);
-            layers.push(Layer::new(LayerKind::Conv, macs[i], weights[i], act, out_act));
+            layers.push(Layer::new(
+                LayerKind::Conv,
+                macs[i],
+                weights[i],
+                act,
+                out_act,
+            ));
             // Sprinkle the cheap auxiliary layers through the stack so the
             // per-layer breakdown (paper Fig. 3) has a realistic shape.
             if i % 4 == 1 {
@@ -281,7 +298,11 @@ pub(crate) fn build(workload: Workload) -> Network {
     // --- FC stack -----------------------------------------------------------
     for i in 0..spec.fc {
         // One MAC per parameter; activations are small vectors.
-        let in_act = if spec.fc > 1 && i + 1 < spec.fc { 4_096 } else { 8_192 };
+        let in_act = if spec.fc > 1 && i + 1 < spec.fc {
+            4_096
+        } else {
+            8_192
+        };
         layers.push(Layer::new(
             LayerKind::Fc,
             fc_params_each,
@@ -318,8 +339,10 @@ fn apportion(total: u64, weights: &[u64]) -> Vec<u64> {
     if sum == 0 || weights.is_empty() {
         return vec![0; weights.len()];
     }
-    let mut parts: Vec<u64> =
-        weights.iter().map(|w| (total as u128 * *w as u128 / sum as u128) as u64).collect();
+    let mut parts: Vec<u64> = weights
+        .iter()
+        .map(|w| (total as u128 * *w as u128 / sum as u128) as u64)
+        .collect();
     // Distribute what integer truncation dropped.
     let assigned: u64 = parts.iter().sum();
     if let Some(first) = parts.first_mut() {
@@ -422,8 +445,12 @@ mod tests {
     #[test]
     fn conv_layers_dominate_vision_compute() {
         let net = build(Workload::InceptionV1);
-        let conv_macs: u64 =
-            net.layers().iter().filter(|l| l.kind == LayerKind::Conv).map(|l| l.macs).sum();
+        let conv_macs: u64 = net
+            .layers()
+            .iter()
+            .filter(|l| l.kind == LayerKind::Conv)
+            .map(|l| l.macs)
+            .sum();
         assert!(conv_macs as f64 / net.total_macs() as f64 > 0.99);
     }
 

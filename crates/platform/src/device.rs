@@ -31,7 +31,8 @@ pub enum DeviceId {
 
 impl DeviceId {
     /// The three phones the paper evaluates AutoScale on.
-    pub const PHONES: [DeviceId; 3] = [DeviceId::Mi8Pro, DeviceId::GalaxyS10e, DeviceId::MotoXForce];
+    pub const PHONES: [DeviceId; 3] =
+        [DeviceId::Mi8Pro, DeviceId::GalaxyS10e, DeviceId::MotoXForce];
 
     /// All five systems.
     pub const ALL: [DeviceId; 5] = [
@@ -138,7 +139,10 @@ impl Device {
     /// Whether this is a phone (an AutoScale host), rather than an
     /// offloading target.
     pub fn is_phone(&self) -> bool {
-        matches!(self.class, DeviceClass::HighEndWithDsp | DeviceClass::HighEnd | DeviceClass::MidEnd)
+        matches!(
+            self.class,
+            DeviceClass::HighEndWithDsp | DeviceClass::HighEnd | DeviceClass::MidEnd
+        )
     }
 
     /// Builds the device for an id.
@@ -239,7 +243,12 @@ impl Device {
             dvfs: DvfsLadder::fixed(0.8, 1.2),
             idle_power_w: 0.04,
             precisions: vec![Precision::Int8],
-            efficiency: KindEfficiency { conv: 1.0, fc: 0.25, rc: 0.1, other: 0.7 },
+            efficiency: KindEfficiency {
+                conv: 1.0,
+                fc: 0.25,
+                rc: 0.1,
+                other: 0.7,
+            },
             runs_recurrent: false,
         }));
         device
@@ -260,7 +269,12 @@ impl Device {
             dvfs: DvfsLadder::fixed(0.7, 280.0),
             idle_power_w: 35.0,
             precisions: vec![Precision::Fp16],
-            efficiency: KindEfficiency { conv: 1.0, fc: 0.7, rc: 0.4, other: 0.9 },
+            efficiency: KindEfficiency {
+                conv: 1.0,
+                fc: 0.7,
+                rc: 0.4,
+                other: 0.9,
+            },
             runs_recurrent: true,
         }));
         device
@@ -285,7 +299,12 @@ impl Device {
                     dvfs: DvfsLadder::linear(1, 2.4, 2.4, 120.0),
                     idle_power_w: 40.0,
                     precisions: vec![Precision::Fp32],
-                    efficiency: KindEfficiency { conv: 1.0, fc: 1.0, rc: 0.8, other: 1.0 },
+                    efficiency: KindEfficiency {
+                        conv: 1.0,
+                        fc: 1.0,
+                        rc: 0.8,
+                        other: 1.0,
+                    },
                     runs_recurrent: true,
                 }),
                 Processor::new(ProcessorConfig {
@@ -298,7 +317,12 @@ impl Device {
                     dvfs: DvfsLadder::linear(1, 1.3, 1.3, 250.0),
                     idle_power_w: 30.0,
                     precisions: vec![Precision::Fp32],
-                    efficiency: KindEfficiency { conv: 1.0, fc: 0.8, rc: 0.5, other: 0.9 },
+                    efficiency: KindEfficiency {
+                        conv: 1.0,
+                        fc: 0.8,
+                        rc: 0.5,
+                        other: 0.9,
+                    },
                     runs_recurrent: true,
                 }),
             ],
@@ -312,7 +336,12 @@ impl Device {
 
 impl std::fmt::Display for Device {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{} ({} processors)", self.id.paper_name(), self.processors.len())
+        write!(
+            f,
+            "{} ({} processors)",
+            self.id.paper_name(),
+            self.processors.len()
+        )
     }
 }
 
@@ -336,7 +365,12 @@ fn phone_cpu(
         dvfs: DvfsLadder::linear(steps, min_ghz, max_ghz, max_power_w),
         idle_power_w: 0.10,
         precisions: vec![Precision::Fp32, Precision::Int8],
-        efficiency: KindEfficiency { conv: 1.0, fc: 1.0, rc: 0.6, other: 1.0 },
+        efficiency: KindEfficiency {
+            conv: 1.0,
+            fc: 1.0,
+            rc: 0.6,
+            other: 1.0,
+        },
         runs_recurrent: true,
     })
 }
@@ -361,13 +395,24 @@ fn phone_gpu(
         dvfs: DvfsLadder::linear(steps, min_ghz, max_ghz, max_power_w),
         idle_power_w: 0.08,
         precisions: vec![Precision::Fp32, Precision::Fp16],
-        efficiency: KindEfficiency { conv: 1.0, fc: 0.3, rc: 0.25, other: 0.8 },
+        efficiency: KindEfficiency {
+            conv: 1.0,
+            fc: 0.3,
+            rc: 0.25,
+            other: 0.8,
+        },
         runs_recurrent: false,
     })
 }
 
 /// Builds a phone-class DSP processor (INT8 only, fixed frequency).
-fn phone_dsp(name: &str, peak_gmacs: f64, mem_bw_gbps: f64, freq_ghz: f64, power_w: f64) -> Processor {
+fn phone_dsp(
+    name: &str,
+    peak_gmacs: f64,
+    mem_bw_gbps: f64,
+    freq_ghz: f64,
+    power_w: f64,
+) -> Processor {
     Processor::new(ProcessorConfig {
         name: name.into(),
         kind: ProcessorKind::Dsp,
@@ -378,7 +423,12 @@ fn phone_dsp(name: &str, peak_gmacs: f64, mem_bw_gbps: f64, freq_ghz: f64, power
         dvfs: DvfsLadder::fixed(freq_ghz, power_w),
         idle_power_w: 0.05,
         precisions: vec![Precision::Int8],
-        efficiency: KindEfficiency { conv: 1.0, fc: 0.25, rc: 0.1, other: 0.7 },
+        efficiency: KindEfficiency {
+            conv: 1.0,
+            fc: 0.25,
+            rc: 0.1,
+            other: 0.7,
+        },
         runs_recurrent: false,
     })
 }
@@ -397,7 +447,10 @@ mod tests {
             (Device::moto_x_force(), 15, Some(6)),
         ];
         for (d, cpu_steps, gpu_steps) in cases {
-            assert_eq!(d.processor(ProcessorKind::Cpu).unwrap().dvfs().len(), cpu_steps);
+            assert_eq!(
+                d.processor(ProcessorKind::Cpu).unwrap().dvfs().len(),
+                cpu_steps
+            );
             assert_eq!(
                 d.processor(ProcessorKind::Gpu).map(|g| g.dvfs().len()),
                 gpu_steps,
@@ -410,9 +463,15 @@ mod tests {
     #[test]
     fn only_mi8pro_and_tablet_have_dsps() {
         assert!(Device::mi8pro().processor(ProcessorKind::Dsp).is_some());
-        assert!(Device::galaxy_tab_s6().processor(ProcessorKind::Dsp).is_some());
-        assert!(Device::galaxy_s10e().processor(ProcessorKind::Dsp).is_none());
-        assert!(Device::moto_x_force().processor(ProcessorKind::Dsp).is_none());
+        assert!(Device::galaxy_tab_s6()
+            .processor(ProcessorKind::Dsp)
+            .is_some());
+        assert!(Device::galaxy_s10e()
+            .processor(ProcessorKind::Dsp)
+            .is_none());
+        assert!(Device::moto_x_force()
+            .processor(ProcessorKind::Dsp)
+            .is_none());
     }
 
     #[test]
@@ -468,7 +527,10 @@ mod tests {
         assert!(Device::mi8pro().processor(ProcessorKind::Npu).is_none());
         let npu = Device::mi8pro_npu();
         assert!(npu.processor(ProcessorKind::Npu).is_some());
-        assert_eq!(npu.processors().len(), Device::mi8pro().processors().len() + 1);
+        assert_eq!(
+            npu.processors().len(),
+            Device::mi8pro().processors().len() + 1
+        );
         let tpu = Device::cloud_server_tpu();
         assert_eq!(tpu.processor(ProcessorKind::Npu).unwrap().name(), "TPU v2");
     }
@@ -485,9 +547,37 @@ mod tests {
     #[test]
     fn max_frequencies_match_table_ii() {
         let mi8 = Device::mi8pro();
-        assert!((mi8.processor(ProcessorKind::Cpu).unwrap().dvfs().max_step().freq_ghz - 2.8).abs() < 1e-9);
-        assert!((mi8.processor(ProcessorKind::Gpu).unwrap().dvfs().max_step().freq_ghz - 0.7).abs() < 1e-9);
+        assert!(
+            (mi8.processor(ProcessorKind::Cpu)
+                .unwrap()
+                .dvfs()
+                .max_step()
+                .freq_ghz
+                - 2.8)
+                .abs()
+                < 1e-9
+        );
+        assert!(
+            (mi8.processor(ProcessorKind::Gpu)
+                .unwrap()
+                .dvfs()
+                .max_step()
+                .freq_ghz
+                - 0.7)
+                .abs()
+                < 1e-9
+        );
         let moto = Device::moto_x_force();
-        assert!((moto.processor(ProcessorKind::Cpu).unwrap().dvfs().max_step().freq_ghz - 1.9).abs() < 1e-9);
+        assert!(
+            (moto
+                .processor(ProcessorKind::Cpu)
+                .unwrap()
+                .dvfs()
+                .max_step()
+                .freq_ghz
+                - 1.9)
+                .abs()
+                < 1e-9
+        );
     }
 }

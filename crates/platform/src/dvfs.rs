@@ -55,7 +55,10 @@ impl DvfsLadder {
     /// ```
     pub fn linear(n: usize, min_ghz: f64, max_ghz: f64, max_busy_power_w: f64) -> Self {
         assert!(n > 0, "a DVFS ladder needs at least one step");
-        assert!(min_ghz > 0.0 && min_ghz <= max_ghz, "invalid frequency range");
+        assert!(
+            min_ghz > 0.0 && min_ghz <= max_ghz,
+            "invalid frequency range"
+        );
         let steps = (0..n)
             .map(|i| {
                 let freq_ghz = if n == 1 {
@@ -66,7 +69,10 @@ impl DvfsLadder {
                 let r = freq_ghz / max_ghz;
                 let busy_power_w =
                     max_busy_power_w * (CUBIC_FRACTION * r.powi(3) + (1.0 - CUBIC_FRACTION) * r);
-                FreqStep { freq_ghz, busy_power_w }
+                FreqStep {
+                    freq_ghz,
+                    busy_power_w,
+                }
             })
             .collect();
         DvfsLadder { steps }
@@ -75,7 +81,12 @@ impl DvfsLadder {
     /// A single-step ladder (processors without DVFS, e.g. the DSP — the
     /// paper notes "DSP does not support DVFS yet").
     pub fn fixed(freq_ghz: f64, busy_power_w: f64) -> Self {
-        DvfsLadder { steps: vec![FreqStep { freq_ghz, busy_power_w }] }
+        DvfsLadder {
+            steps: vec![FreqStep {
+                freq_ghz,
+                busy_power_w,
+            }],
+        }
     }
 
     /// Number of V/F steps.

@@ -119,8 +119,16 @@ pub fn layer_latency_ms(processor: &Processor, layer: &Layer, cond: &ExecutionCo
 }
 
 /// End-to-end latency of a whole network in milliseconds.
-pub fn network_latency_ms(processor: &Processor, network: &Network, cond: &ExecutionConditions) -> f64 {
-    network.layers().iter().map(|l| layer_latency_ms(processor, l, cond)).sum()
+pub fn network_latency_ms(
+    processor: &Processor,
+    network: &Network,
+    cond: &ExecutionConditions,
+) -> f64 {
+    network
+        .layers()
+        .iter()
+        .map(|l| layer_latency_ms(processor, l, cond))
+        .sum()
 }
 
 /// Cumulative latency attributed to one layer kind (one bar segment of the
@@ -147,14 +155,19 @@ pub fn layer_breakdown(
     LayerKind::ALL
         .iter()
         .filter_map(|&kind| {
-            let layers: Vec<&Layer> =
-                network.layers().iter().filter(|l| l.kind == kind).collect();
+            let layers: Vec<&Layer> = network.layers().iter().filter(|l| l.kind == kind).collect();
             if layers.is_empty() {
                 return None;
             }
-            let total_ms =
-                layers.iter().map(|l| layer_latency_ms(processor, l, cond)).sum();
-            Some(KindLatency { kind, layers: layers.len(), total_ms })
+            let total_ms = layers
+                .iter()
+                .map(|l| layer_latency_ms(processor, l, cond))
+                .sum();
+            Some(KindLatency {
+                kind,
+                layers: layers.len(),
+                total_ms,
+            })
         })
         .collect()
 }
@@ -177,7 +190,12 @@ mod tests {
             dvfs: DvfsLadder::linear(23, 0.8, 2.8, 4.0),
             idle_power_w: 0.1,
             precisions: vec![Precision::Fp32, Precision::Int8],
-            efficiency: KindEfficiency { conv: 1.0, fc: 1.0, rc: 0.6, other: 1.0 },
+            efficiency: KindEfficiency {
+                conv: 1.0,
+                fc: 1.0,
+                rc: 0.6,
+                other: 1.0,
+            },
             runs_recurrent: true,
         })
     }
@@ -193,7 +211,12 @@ mod tests {
             dvfs: DvfsLadder::linear(7, 0.25, 0.7, 2.3),
             idle_power_w: 0.08,
             precisions: vec![Precision::Fp32, Precision::Fp16],
-            efficiency: KindEfficiency { conv: 1.0, fc: 0.3, rc: 0.25, other: 0.8 },
+            efficiency: KindEfficiency {
+                conv: 1.0,
+                fc: 0.3,
+                rc: 0.25,
+                other: 0.8,
+            },
             runs_recurrent: false,
         })
     }
@@ -275,7 +298,11 @@ mod tests {
         let share = |p: &Processor| {
             let br = layer_breakdown(p, &net, &base_cond(p));
             let total: f64 = br.iter().map(|k| k.total_ms).sum();
-            let fc = br.iter().find(|k| k.kind == LayerKind::Fc).unwrap().total_ms;
+            let fc = br
+                .iter()
+                .find(|k| k.kind == LayerKind::Fc)
+                .unwrap()
+                .total_ms;
             fc / total
         };
         assert!(share(&gpu) > 2.0 * share(&cpu));
@@ -286,7 +313,10 @@ mod tests {
         let cpu = cpu();
         let net = Network::workload(Workload::ResNet50);
         let cond = base_cond(&cpu);
-        let total: f64 = layer_breakdown(&cpu, &net, &cond).iter().map(|k| k.total_ms).sum();
+        let total: f64 = layer_breakdown(&cpu, &net, &cond)
+            .iter()
+            .map(|k| k.total_ms)
+            .sum();
         let direct = network_latency_ms(&cpu, &net, &cond);
         assert!((total - direct).abs() < 1e-9);
     }

@@ -14,6 +14,9 @@
 //!   and (2)) and the constant-power DSP model (eq. (3));
 //! * [`latency`] — per-layer and whole-network latency under execution
 //!   conditions (frequency, precision, interference, thermal cap);
+//! * [`cost`] — memoized network latency: condition-independent roofline
+//!   terms precomputed once per (processor, network) so sweeps evaluate
+//!   each condition in O(log L) instead of O(L);
 //! * [`thermal`] — the thermal-throttling behaviour triggered by sustained
 //!   CPU contention (paper Section III-B / \[59\]);
 //! * [`device`] — the five-device catalog reproducing Table II.
@@ -38,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cost;
 pub mod device;
 pub mod dvfs;
 pub mod latency;
@@ -45,6 +49,7 @@ pub mod power;
 pub mod processor;
 pub mod thermal;
 
+pub use cost::{NetworkCostCache, NetworkCostTable};
 pub use device::{Device, DeviceClass, DeviceId};
 pub use dvfs::{DvfsLadder, FreqStep};
 pub use latency::{layer_breakdown, network_latency_ms, ExecutionConditions, KindLatency};

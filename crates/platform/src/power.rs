@@ -71,7 +71,10 @@ pub fn on_device_energy_mj(
     // P [W] × t [ms] = energy [mJ]: watts times milliseconds is millijoules.
     let processor_mj = busy_power_w(processor, cond) * latency_ms;
     let base_mj = base_power_w * latency_ms;
-    EnergyBreakdown { processor_mj, base_mj }
+    EnergyBreakdown {
+        processor_mj,
+        base_mj,
+    }
 }
 
 /// Energy efficiency in inferences per joule given a per-inference energy
@@ -117,7 +120,12 @@ mod tests {
             dvfs: DvfsLadder::fixed(0.7, 1.3),
             idle_power_w: 0.05,
             precisions: vec![Precision::Int8],
-            efficiency: KindEfficiency { conv: 1.0, fc: 0.25, rc: 0.1, other: 0.7 },
+            efficiency: KindEfficiency {
+                conv: 1.0,
+                fc: 0.25,
+                rc: 0.1,
+                other: 0.7,
+            },
             runs_recurrent: false,
         })
     }

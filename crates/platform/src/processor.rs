@@ -27,8 +27,12 @@ pub enum ProcessorKind {
 
 impl ProcessorKind {
     /// All processor kinds.
-    pub const ALL: [ProcessorKind; 4] =
-        [ProcessorKind::Cpu, ProcessorKind::Gpu, ProcessorKind::Dsp, ProcessorKind::Npu];
+    pub const ALL: [ProcessorKind; 4] = [
+        ProcessorKind::Cpu,
+        ProcessorKind::Gpu,
+        ProcessorKind::Dsp,
+        ProcessorKind::Npu,
+    ];
 
     /// Whether this is a co-processor (GPU or DSP) rather than the CPU.
     pub fn is_coprocessor(self) -> bool {
@@ -75,7 +79,12 @@ pub struct KindEfficiency {
 impl KindEfficiency {
     /// Uniform efficiency of 1.0 for every layer kind.
     pub fn uniform() -> Self {
-        KindEfficiency { conv: 1.0, fc: 1.0, rc: 1.0, other: 1.0 }
+        KindEfficiency {
+            conv: 1.0,
+            fc: 1.0,
+            rc: 1.0,
+            other: 1.0,
+        }
     }
 
     /// Efficiency factor for a layer kind.
@@ -141,7 +150,10 @@ impl Processor {
     /// non-positive throughput or bandwidth, or efficiency factors outside
     /// (0, 1].
     pub fn new(config: ProcessorConfig) -> Self {
-        assert!(!config.precisions.is_empty(), "processor must support a precision");
+        assert!(
+            !config.precisions.is_empty(),
+            "processor must support a precision"
+        );
         assert!(config.peak_gmacs > 0.0, "throughput must be positive");
         assert!(config.mem_bw_gbps > 0.0, "bandwidth must be positive");
         for eff in [
@@ -150,7 +162,10 @@ impl Processor {
             config.efficiency.rc,
             config.efficiency.other,
         ] {
-            assert!(eff > 0.0 && eff <= 1.0, "efficiency factors must be in (0, 1]");
+            assert!(
+                eff > 0.0 && eff <= 1.0,
+                "efficiency factors must be in (0, 1]"
+            );
         }
         Processor { config }
     }
@@ -270,7 +285,12 @@ mod tests {
             dvfs: DvfsLadder::linear(23, 0.8, 2.8, 4.0),
             idle_power_w: 0.1,
             precisions: vec![Precision::Fp32, Precision::Int8],
-            efficiency: KindEfficiency { conv: 1.0, fc: 1.0, rc: 0.6, other: 1.0 },
+            efficiency: KindEfficiency {
+                conv: 1.0,
+                fc: 1.0,
+                rc: 0.6,
+                other: 1.0,
+            },
             runs_recurrent: true,
         })
     }
@@ -286,7 +306,12 @@ mod tests {
             dvfs: DvfsLadder::fixed(0.7, 1.3),
             idle_power_w: 0.05,
             precisions: vec![Precision::Int8],
-            efficiency: KindEfficiency { conv: 1.0, fc: 0.25, rc: 0.1, other: 0.7 },
+            efficiency: KindEfficiency {
+                conv: 1.0,
+                fc: 0.25,
+                rc: 0.1,
+                other: 0.7,
+            },
             runs_recurrent: false,
         })
     }

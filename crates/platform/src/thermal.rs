@@ -24,13 +24,19 @@ impl ThermalPolicy {
     /// The policy used for all phone models: throttle when a co-runner
     /// keeps the CPU more than 60% busy, capping frequency at 60% of max.
     pub fn phone_default() -> Self {
-        ThermalPolicy { trigger_utilization: 0.6, cap_ratio: 0.6 }
+        ThermalPolicy {
+            trigger_utilization: 0.6,
+            cap_ratio: 0.6,
+        }
     }
 
     /// A policy that never throttles (actively cooled devices: the tablet
     /// under its larger chassis, and the cloud server).
     pub fn never() -> Self {
-        ThermalPolicy { trigger_utilization: f64::INFINITY, cap_ratio: 1.0 }
+        ThermalPolicy {
+            trigger_utilization: f64::INFINITY,
+            cap_ratio: 1.0,
+        }
     }
 
     /// The frequency-ratio cap imposed when a co-runner keeps the CPU

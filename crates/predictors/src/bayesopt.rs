@@ -26,7 +26,11 @@ pub struct BayesianOptimizer {
 impl BayesianOptimizer {
     /// Creates an optimizer with the given surrogate kernel.
     pub fn new(kernel: RbfKernel) -> Self {
-        BayesianOptimizer { kernel, observations_x: Vec::new(), observations_y: Vec::new() }
+        BayesianOptimizer {
+            kernel,
+            observations_x: Vec::new(),
+            observations_y: Vec::new(),
+        }
     }
 
     /// Creates an optimizer with the default kernel.
@@ -47,10 +51,13 @@ impl BayesianOptimizer {
 
     /// The best objective value observed so far.
     pub fn incumbent(&self) -> Option<f64> {
-        self.observations_y.iter().copied().fold(None, |acc, y| match acc {
-            Some(best) if best >= y => Some(best),
-            _ => Some(y),
-        })
+        self.observations_y
+            .iter()
+            .copied()
+            .fold(None, |acc, y| match acc {
+                Some(best) if best >= y => Some(best),
+                _ => Some(y),
+            })
     }
 
     /// Fits the surrogate to the observations so far.
@@ -211,10 +218,14 @@ mod tests {
         });
         bo.observe(vec![0.0], 1.0);
         bo.observe(vec![5.0], 0.0);
-        let gp = GaussianProcess::fit(&[vec![0.0], vec![5.0]], &[1.0, 0.0], RbfKernel {
-            noise_variance: 1e-8,
-            ..RbfKernel::default()
-        })
+        let gp = GaussianProcess::fit(
+            &[vec![0.0], vec![5.0]],
+            &[1.0, 0.0],
+            RbfKernel {
+                noise_variance: 1e-8,
+                ..RbfKernel::default()
+            },
+        )
         .unwrap();
         // At the known worse observation the EI is essentially zero.
         assert!(bo.expected_improvement(&gp, &[5.0]) < 1e-3);

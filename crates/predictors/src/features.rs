@@ -27,14 +27,21 @@ impl StandardScaler {
     pub fn fit(samples: &[Vec<f64>]) -> Self {
         assert!(!samples.is_empty(), "scaler needs at least one sample");
         let dim = samples[0].len();
-        assert!(samples.iter().all(|s| s.len() == dim), "samples must have equal dimension");
+        assert!(
+            samples.iter().all(|s| s.len() == dim),
+            "samples must have equal dimension"
+        );
         let n = samples.len() as f64;
-        let means: Vec<f64> =
-            (0..dim).map(|j| samples.iter().map(|s| s[j]).sum::<f64>() / n).collect();
+        let means: Vec<f64> = (0..dim)
+            .map(|j| samples.iter().map(|s| s[j]).sum::<f64>() / n)
+            .collect();
         let stds: Vec<f64> = (0..dim)
             .map(|j| {
-                let var =
-                    samples.iter().map(|s| (s[j] - means[j]).powi(2)).sum::<f64>() / n;
+                let var = samples
+                    .iter()
+                    .map(|s| (s[j] - means[j]).powi(2))
+                    .sum::<f64>()
+                    / n;
                 let sd = var.sqrt();
                 if sd < 1e-12 {
                     1.0
@@ -58,7 +65,10 @@ impl StandardScaler {
     /// Panics if the dimension differs from the fitted dimension.
     pub fn transform(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.dim(), "dimension mismatch");
-        x.iter().zip(self.means.iter().zip(&self.stds)).map(|(v, (m, s))| (v - m) / s).collect()
+        x.iter()
+            .zip(self.means.iter().zip(&self.stds))
+            .map(|(v, (m, s))| (v - m) / s)
+            .collect()
     }
 
     /// Standardizes a batch.

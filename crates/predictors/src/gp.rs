@@ -20,7 +20,11 @@ pub struct RbfKernel {
 
 impl Default for RbfKernel {
     fn default() -> Self {
-        RbfKernel { length_scale: 1.0, signal_variance: 1.0, noise_variance: 1e-4 }
+        RbfKernel {
+            length_scale: 1.0,
+            signal_variance: 1.0,
+            noise_variance: 1e-4,
+        }
     }
 }
 
@@ -64,7 +68,13 @@ impl GaussianProcess {
         k.add_diagonal(kernel.noise_variance.max(1e-10));
         let chol = linalg::cholesky(&k).map_err(|_| FitError::Singular)?;
         let alpha = linalg::cholesky_solve(&chol, &centered);
-        Ok(GaussianProcess { kernel, xs: xs.to_vec(), chol, alpha, y_mean })
+        Ok(GaussianProcess {
+            kernel,
+            xs: xs.to_vec(),
+            chol,
+            alpha,
+            y_mean,
+        })
     }
 
     /// Posterior predictive mean and variance at `x`.
@@ -138,11 +148,16 @@ mod tests {
     #[test]
     fn noise_variance_smooths_the_fit() {
         let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
-        let ys: Vec<f64> = (0..10).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let ys: Vec<f64> = (0..10)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let noisy = GaussianProcess::fit(
             &xs,
             &ys,
-            RbfKernel { noise_variance: 10.0, ..RbfKernel::default() },
+            RbfKernel {
+                noise_variance: 10.0,
+                ..RbfKernel::default()
+            },
         )
         .unwrap();
         // Heavy observation noise: predictions shrink toward the mean (0).

@@ -27,7 +27,11 @@ impl KnnClassifier {
         if k == 0 {
             return Err(FitError::Empty);
         }
-        Ok(KnnClassifier { k, xs: xs.to_vec(), labels: labels.to_vec() })
+        Ok(KnnClassifier {
+            k,
+            xs: xs.to_vec(),
+            labels: labels.to_vec(),
+        })
     }
 
     /// The `k` in k-NN (clamped to the training-set size at query time).

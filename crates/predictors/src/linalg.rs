@@ -20,7 +20,11 @@ impl Matrix {
     /// Panics if either dimension is zero.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a matrix from rows.
@@ -32,8 +36,15 @@ impl Matrix {
         assert!(!rows.is_empty(), "matrix must have rows");
         let cols = rows[0].len();
         assert!(cols > 0, "matrix must have columns");
-        assert!(rows.iter().all(|r| r.len() == cols), "rows must have equal length");
-        Matrix { rows: rows.len(), cols, data: rows.concat() }
+        assert!(
+            rows.iter().all(|r| r.len() == cols),
+            "rows must have equal length"
+        );
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data: rows.concat(),
+        }
     }
 
     /// The identity matrix of size `n`.
@@ -175,8 +186,8 @@ pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, SingularMatrixError> {
     // Back substitution.
     for col in (0..n).rev() {
         let mut sum = x[col];
-        for j in (col + 1)..n {
-            sum -= m.get(col, j) * x[j];
+        for (j, &xj) in x.iter().enumerate().skip(col + 1) {
+            sum -= m.get(col, j) * xj;
         }
         x[col] = sum / m.get(col, col);
     }
@@ -225,8 +236,8 @@ pub fn cholesky_solve(l: &Matrix, b: &[f64]) -> Vec<f64> {
     let mut y = vec![0.0; n];
     for i in 0..n {
         let mut sum = b[i];
-        for k in 0..i {
-            sum -= l.get(i, k) * y[k];
+        for (k, &yk) in y.iter().enumerate().take(i) {
+            sum -= l.get(i, k) * yk;
         }
         y[i] = sum / l.get(i, i);
     }
@@ -234,8 +245,8 @@ pub fn cholesky_solve(l: &Matrix, b: &[f64]) -> Vec<f64> {
     let mut x = vec![0.0; n];
     for i in (0..n).rev() {
         let mut sum = y[i];
-        for k in (i + 1)..n {
-            sum -= l.get(k, i) * x[k];
+        for (k, &xk) in x.iter().enumerate().skip(i + 1) {
+            sum -= l.get(k, i) * xk;
         }
         x[i] = sum / l.get(i, i);
     }
@@ -314,7 +325,11 @@ mod tests {
 
     #[test]
     fn cholesky_solve_matches_direct_solve() {
-        let a = Matrix::from_rows(&[vec![4.0, 2.0, 0.6], vec![2.0, 3.0, 0.4], vec![0.6, 0.4, 2.0]]);
+        let a = Matrix::from_rows(&[
+            vec![4.0, 2.0, 0.6],
+            vec![2.0, 3.0, 0.4],
+            vec![0.6, 0.4, 2.0],
+        ]);
         let b = [1.0, 2.0, 3.0];
         let direct = solve(&a, &b).unwrap();
         let l = cholesky(&a).unwrap();

@@ -39,7 +39,10 @@ impl LinearRegression {
         xtx.add_diagonal(ridge.max(0.0));
         let xty = xt.matvec(ys);
         let solution = linalg::solve(&xtx, &xty).map_err(|_| FitError::Singular)?;
-        Ok(LinearRegression { weights: solution[..dim].to_vec(), bias: solution[dim] })
+        Ok(LinearRegression {
+            weights: solution[..dim].to_vec(),
+            bias: solution[dim],
+        })
     }
 
     /// Predicts a single target value.
@@ -68,7 +71,10 @@ pub(crate) fn validate(xs: &[Vec<f64>], ys: &[f64]) -> Result<(), FitError> {
         return Err(FitError::Empty);
     }
     if xs.len() != ys.len() {
-        return Err(FitError::LengthMismatch { xs: xs.len(), ys: ys.len() });
+        return Err(FitError::LengthMismatch {
+            xs: xs.len(),
+            ys: ys.len(),
+        });
     }
     let dim = xs[0].len();
     if dim == 0 || xs.iter().any(|x| x.len() != dim) {
@@ -155,13 +161,18 @@ mod tests {
         // Two identical columns: XᵀX is singular; ridge rescues it.
         let xs = vec![vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]];
         let ys = vec![2.0, 4.0, 6.0];
-        assert_eq!(LinearRegression::fit(&xs, &ys, 0.0), Err(FitError::Singular));
+        assert_eq!(
+            LinearRegression::fit(&xs, &ys, 0.0),
+            Err(FitError::Singular)
+        );
         assert!(LinearRegression::fit(&xs, &ys, 1e-6).is_ok());
     }
 
     #[test]
     fn error_messages_are_informative() {
         assert!(FitError::Singular.to_string().contains("singular"));
-        assert!(FitError::LengthMismatch { xs: 1, ys: 2 }.to_string().contains("1 vs 2"));
+        assert!(FitError::LengthMismatch { xs: 1, ys: 2 }
+            .to_string()
+            .contains("1 vs 2"));
     }
 }

@@ -59,8 +59,10 @@ impl Mosaic {
         let mut remote_xs = Vec::new();
         let mut remote_ys = Vec::new();
         for samples in local_samples {
-            let xs: Vec<Vec<f64>> =
-                samples.iter().map(|s| layer_features(s.macs, s.traffic_bytes)).collect();
+            let xs: Vec<Vec<f64>> = samples
+                .iter()
+                .map(|s| layer_features(s.macs, s.traffic_bytes))
+                .collect();
             let ys: Vec<f64> = samples.iter().map(|s| s.local_ms).collect();
             local_models.push(LinearRegression::fit(&xs, &ys, 1e-6)?);
             for s in samples {
@@ -88,10 +90,15 @@ impl Mosaic {
         let layers = network.layers();
         let model = &self.local_models[plan.local_processor];
         let feats = |l: &autoscale_nn::Layer| {
-            layer_features(l.macs, l.weight_bytes_fp32 + l.input_bytes_fp32 + l.output_bytes_fp32)
+            layer_features(
+                l.macs,
+                l.weight_bytes_fp32 + l.input_bytes_fp32 + l.output_bytes_fp32,
+            )
         };
-        let local_ms: f64 =
-            layers[..plan.split].iter().map(|l| model.predict(&feats(l)).max(0.0)).sum();
+        let local_ms: f64 = layers[..plan.split]
+            .iter()
+            .map(|l| model.predict(&feats(l)).max(0.0))
+            .sum();
         let local_power = self.local_powers_w[plan.local_processor];
         if plan.split == layers.len() {
             return (local_ms, local_power * local_ms);
@@ -103,8 +110,10 @@ impl Mosaic {
         };
         let tx_ms = cut_bytes as f64 * 8.0 / (self.link.rate_mbps * 1e6) * 1e3;
         let rx_ms = network.output_bytes() as f64 * 8.0 / (self.link.rate_mbps * 1e6) * 1e3;
-        let remote_ms: f64 =
-            layers[plan.split..].iter().map(|l| self.remote_model.predict(&feats(l)).max(0.0)).sum();
+        let remote_ms: f64 = layers[plan.split..]
+            .iter()
+            .map(|l| self.remote_model.predict(&feats(l)).max(0.0))
+            .sum();
         let latency = local_ms + tx_ms + self.link.rtt_ms + remote_ms + rx_ms;
         let energy = local_power * local_ms
             + self.link.radio_power_w * (tx_ms + rx_ms)
@@ -121,9 +130,12 @@ impl Mosaic {
         let mut fastest: Option<(MosaicPlan, f64)> = None;
         for p in 0..self.local_models.len() {
             for split in 0..=n {
-                let plan = MosaicPlan { local_processor: p, split };
+                let plan = MosaicPlan {
+                    local_processor: p,
+                    split,
+                };
                 let (lat, en) = self.predict_plan(network, plan);
-                if fastest.as_ref().map_or(true, |&(_, fl)| lat < fl) {
+                if fastest.as_ref().is_none_or(|&(_, fl)| lat < fl) {
                     fastest = Some((plan, lat));
                 }
                 if lat > self.qos_ms {
@@ -133,12 +145,14 @@ impl Mosaic {
                     SplitObjective::Latency => lat,
                     SplitObjective::Energy => en,
                 };
-                if best.as_ref().map_or(true, |&(_, bs)| score < bs) {
+                if best.as_ref().is_none_or(|&(_, bs)| score < bs) {
                     best = Some((plan, score));
                 }
             }
         }
-        best.or(fastest).map(|(plan, _)| plan).expect("at least one plan exists")
+        best.or(fastest)
+            .map(|(plan, _)| plan)
+            .expect("at least one plan exists")
     }
 }
 
@@ -155,8 +169,7 @@ mod tests {
                 LayerSample {
                     macs,
                     traffic_bytes: traffic,
-                    local_ms: macs as f64 / (speed_gmacs * 1e6)
-                        + traffic as f64 / (bw_gbps * 1e6),
+                    local_ms: macs as f64 / (speed_gmacs * 1e6) + traffic as f64 / (bw_gbps * 1e6),
                     remote_ms: macs as f64 / 3_000e6 + traffic as f64 / 500e6,
                 }
             })

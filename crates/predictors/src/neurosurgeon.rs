@@ -85,8 +85,10 @@ impl NeuroSurgeon {
     ///
     /// Returns a [`FitError`] if the samples are empty or degenerate.
     pub fn train(samples: &[LayerSample], link: StaticLinkProfile) -> Result<Self, FitError> {
-        let xs: Vec<Vec<f64>> =
-            samples.iter().map(|s| layer_features(s.macs, s.traffic_bytes)).collect();
+        let xs: Vec<Vec<f64>> = samples
+            .iter()
+            .map(|s| layer_features(s.macs, s.traffic_bytes))
+            .collect();
         let local_ys: Vec<f64> = samples.iter().map(|s| s.local_ms).collect();
         let remote_ys: Vec<f64> = samples.iter().map(|s| s.remote_ms).collect();
         Ok(NeuroSurgeon {
@@ -104,21 +106,30 @@ impl NeuroSurgeon {
     /// Predicted latency of one layer on the phone, in milliseconds.
     pub fn predict_local_ms(&self, layer: &Layer) -> f64 {
         self.local_model
-            .predict(&layer_features(layer.macs, layer.weight_bytes_fp32 + layer.input_bytes_fp32 + layer.output_bytes_fp32))
+            .predict(&layer_features(
+                layer.macs,
+                layer.weight_bytes_fp32 + layer.input_bytes_fp32 + layer.output_bytes_fp32,
+            ))
             .max(0.0)
     }
 
     /// Predicted latency of one layer on the server, in milliseconds.
     pub fn predict_remote_ms(&self, layer: &Layer) -> f64 {
         self.remote_model
-            .predict(&layer_features(layer.macs, layer.weight_bytes_fp32 + layer.input_bytes_fp32 + layer.output_bytes_fp32))
+            .predict(&layer_features(
+                layer.macs,
+                layer.weight_bytes_fp32 + layer.input_bytes_fp32 + layer.output_bytes_fp32,
+            ))
             .max(0.0)
     }
 
     /// Predicted (latency, energy) of splitting `network` at `split`.
     pub fn predict_split(&self, network: &Network, split: usize) -> (f64, f64) {
         let layers = network.layers();
-        let local_ms: f64 = layers[..split].iter().map(|l| self.predict_local_ms(l)).sum();
+        let local_ms: f64 = layers[..split]
+            .iter()
+            .map(|l| self.predict_local_ms(l))
+            .sum();
         if split == layers.len() {
             return (local_ms, self.link.local_power_w * local_ms);
         }
@@ -129,7 +140,10 @@ impl NeuroSurgeon {
         };
         let tx_ms = cut_bytes as f64 * 8.0 / (self.link.rate_mbps * 1e6) * 1e3;
         let rx_ms = network.output_bytes() as f64 * 8.0 / (self.link.rate_mbps * 1e6) * 1e3;
-        let remote_ms: f64 = layers[split..].iter().map(|l| self.predict_remote_ms(l)).sum();
+        let remote_ms: f64 = layers[split..]
+            .iter()
+            .map(|l| self.predict_remote_ms(l))
+            .sum();
         let latency = local_ms + tx_ms + self.link.rtt_ms + remote_ms + rx_ms;
         let energy = self.link.local_power_w * local_ms
             + self.link.radio_power_w * (tx_ms + rx_ms)

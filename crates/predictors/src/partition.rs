@@ -82,10 +82,16 @@ pub fn partition_cost_at(
     split: usize,
 ) -> PartitionCost {
     let layers = network.layers();
-    assert!(split <= layers.len(), "split {split} beyond {} layers", layers.len());
+    assert!(
+        split <= layers.len(),
+        "split {split} beyond {} layers",
+        layers.len()
+    );
 
-    let local_ms: f64 =
-        layers[..split].iter().map(|l| layer_latency_ms(local, l, local_cond)).sum();
+    let local_ms: f64 = layers[..split]
+        .iter()
+        .map(|l| layer_latency_ms(local, l, local_cond))
+        .sum();
     let local_energy = if split > 0 {
         power::on_device_energy_mj(local, local_cond, local_ms, host_base_power_w).total_mj()
     } else {
@@ -93,7 +99,11 @@ pub fn partition_cost_at(
     };
 
     if split == layers.len() {
-        return PartitionCost { latency_ms: local_ms, energy_mj: local_energy, cut_bytes: 0 };
+        return PartitionCost {
+            latency_ms: local_ms,
+            energy_mj: local_energy,
+            cut_bytes: 0,
+        };
     }
 
     // Something crosses the link: the raw input for split 0, otherwise the
@@ -107,19 +117,24 @@ pub fn partition_cost_at(
     let rx_ms = link.transfer_ms(network.output_bytes(), rssi);
 
     let remote_cond = ExecutionConditions::max_frequency(remote, Precision::Fp32);
-    let remote_ms: f64 =
-        layers[split..].iter().map(|l| layer_latency_ms(remote, l, &remote_cond)).sum::<f64>()
-            + remote_serving_ms;
+    let remote_ms: f64 = layers[split..]
+        .iter()
+        .map(|l| layer_latency_ms(remote, l, &remote_cond))
+        .sum::<f64>()
+        + remote_serving_ms;
 
-    let latency_ms =
-        local_ms + link.wake_ms() + tx_ms + link.rtt_ms() + remote_ms + rx_ms;
+    let latency_ms = local_ms + link.wake_ms() + tx_ms + link.rtt_ms() + remote_ms + rx_ms;
     let wait_ms = link.rtt_ms() + remote_ms;
     let energy_mj = local_energy
         + link.wake_energy_mj()
         + link.tx_power_w(rssi) * tx_ms
         + link.rx_power_w(rssi) * rx_ms
         + (host_base_power_w + link.wait_power_w()) * wait_ms;
-    PartitionCost { latency_ms, energy_mj, cut_bytes }
+    PartitionCost {
+        latency_ms,
+        energy_mj,
+        cut_bytes,
+    }
 }
 
 #[cfg(test)]
@@ -181,7 +196,9 @@ mod tests {
         // At least the interior points are priced consistently: every
         // latency is positive and finite, and the minimum exists.
         let all = costs(Rssi::STRONG);
-        assert!(all.iter().all(|c| c.latency_ms.is_finite() && c.latency_ms > 0.0));
+        assert!(all
+            .iter()
+            .all(|c| c.latency_ms.is_finite() && c.latency_ms > 0.0));
         let best = all
             .iter()
             .map(|c| c.latency_ms)

@@ -24,7 +24,10 @@ pub struct SvmConfig {
 
 impl Default for SvmConfig {
     fn default() -> Self {
-        SvmConfig { lambda: 1e-4, epochs: 400 }
+        SvmConfig {
+            lambda: 1e-4,
+            epochs: 400,
+        }
     }
 }
 
@@ -49,8 +52,10 @@ impl SvmClassifier {
         let n = xs.len();
         let mut hyperplanes = Vec::with_capacity(classes);
         for class in 0..classes {
-            let targets: Vec<f64> =
-                labels.iter().map(|&l| if l == class { 1.0 } else { -1.0 }).collect();
+            let targets: Vec<f64> = labels
+                .iter()
+                .map(|&l| if l == class { 1.0 } else { -1.0 })
+                .collect();
             let mut w = vec![0.0; dim];
             let mut b = 0.0;
             for epoch in 0..config.epochs {
@@ -93,7 +98,10 @@ impl SvmClassifier {
 
     /// The decision value of each class for `x` (higher = more confident).
     pub fn decision_values(&self, x: &[f64]) -> Vec<f64> {
-        self.hyperplanes.iter().map(|(w, b)| dot(w, x) + b).collect()
+        self.hyperplanes
+            .iter()
+            .map(|(w, b)| dot(w, x) + b)
+            .collect()
     }
 
     /// The predicted class label for `x`.
@@ -136,7 +144,11 @@ mod tests {
             .zip(&labels)
             .filter(|(x, &l)| model.predict(x) == l)
             .count();
-        assert!(correct as f64 / xs.len() as f64 > 0.95, "correct={correct}/{}", xs.len());
+        assert!(
+            correct as f64 / xs.len() as f64 > 0.95,
+            "correct={correct}/{}",
+            xs.len()
+        );
     }
 
     #[test]

@@ -27,7 +27,11 @@ pub struct SvrConfig {
 
 impl Default for SvrConfig {
     fn default() -> Self {
-        SvrConfig { epsilon: 0.05, lambda: 1e-4, epochs: 300 }
+        SvrConfig {
+            epsilon: 0.05,
+            lambda: 1e-4,
+            epochs: 300,
+        }
     }
 }
 
@@ -74,7 +78,11 @@ impl SupportVectorRegression {
             }
             bias -= lr * grad_b / n as f64;
         }
-        Ok(SupportVectorRegression { weights, bias, config })
+        Ok(SupportVectorRegression {
+            weights,
+            bias,
+            config,
+        })
     }
 
     /// Fits with the default configuration.
@@ -131,7 +139,10 @@ mod tests {
         // With a huge epsilon nothing is penalized and the weights barely
         // move from zero.
         let (xs, ys) = noisy_linear_data();
-        let cfg = SvrConfig { epsilon: 100.0, ..SvrConfig::default() };
+        let cfg = SvrConfig {
+            epsilon: 100.0,
+            ..SvrConfig::default()
+        };
         let model = SupportVectorRegression::fit(&xs, &ys, cfg).unwrap();
         assert!(model.weights()[0].abs() < 1e-9);
     }
@@ -142,13 +153,19 @@ mod tests {
         let light = SupportVectorRegression::fit(
             &xs,
             &ys,
-            SvrConfig { lambda: 1e-5, ..SvrConfig::default() },
+            SvrConfig {
+                lambda: 1e-5,
+                ..SvrConfig::default()
+            },
         )
         .unwrap();
         let heavy = SupportVectorRegression::fit(
             &xs,
             &ys,
-            SvrConfig { lambda: 10.0, ..SvrConfig::default() },
+            SvrConfig {
+                lambda: 10.0,
+                ..SvrConfig::default()
+            },
         )
         .unwrap();
         assert!(heavy.weights()[0].abs() < light.weights()[0].abs());
@@ -162,13 +179,18 @@ mod tests {
 
     #[test]
     fn multivariate_fit_tracks_both_features() {
-        let xs: Vec<Vec<f64>> =
-            (0..50).map(|i| vec![(i % 10) as f64 / 5.0, (i / 10) as f64 / 2.0]).collect();
+        let xs: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![(i % 10) as f64 / 5.0, (i / 10) as f64 / 2.0])
+            .collect();
         let ys: Vec<f64> = xs.iter().map(|x| 1.5 * x[0] - 2.0 * x[1]).collect();
         let model = SupportVectorRegression::fit(
             &xs,
             &ys,
-            SvrConfig { epsilon: 0.01, lambda: 1e-5, epochs: 2_000 },
+            SvrConfig {
+                epsilon: 0.01,
+                lambda: 1e-5,
+                epochs: 2_000,
+            },
         )
         .unwrap();
         let err = (model.predict(&[1.0, 1.0]) + 0.5).abs();

@@ -40,7 +40,11 @@ pub struct Hyperparameters {
 impl Hyperparameters {
     /// The paper's chosen values: γ = 0.9, µ = 0.1, ε = 0.1.
     pub fn paper() -> Self {
-        Hyperparameters { learning_rate: 0.9, discount: 0.1, epsilon: 0.1 }
+        Hyperparameters {
+            learning_rate: 0.9,
+            discount: 0.1,
+            epsilon: 0.1,
+        }
     }
 
     /// Validates the hyperparameters.
@@ -54,7 +58,10 @@ impl Hyperparameters {
             ("discount", self.discount),
             ("epsilon", self.epsilon),
         ] {
-            assert!(v.is_finite() && (0.0..=1.0).contains(&v), "{name} must be in [0, 1]");
+            assert!(
+                v.is_finite() && (0.0..=1.0).contains(&v),
+                "{name} must be in [0, 1]"
+            );
         }
     }
 }
@@ -89,7 +96,12 @@ impl QLearningAgent {
     /// Creates an agent around an existing (e.g. transferred) Q-table.
     pub fn with_table(q: QTable, params: Hyperparameters) -> Self {
         params.validate();
-        QLearningAgent { policy: EpsilonGreedy::new(params.epsilon), q, params, updates: 0 }
+        QLearningAgent {
+            policy: EpsilonGreedy::new(params.epsilon),
+            q,
+            params,
+            updates: 0,
+        }
     }
 
     /// The agent's Q-table.
@@ -191,7 +203,8 @@ mod tests {
 
     #[test]
     fn update_moves_toward_target() {
-        let mut agent = QLearningAgent::with_table(QTable::new_zeroed(2, 2), Hyperparameters::paper());
+        let mut agent =
+            QLearningAgent::with_table(QTable::new_zeroed(2, 2), Hyperparameters::paper());
         agent.update(0, 0, 10.0, 1, &[true, true]);
         // Q was 0, bootstrap 0, so new Q = 0 + 0.9 * (10 − 0) = 9.
         assert!((agent.q_table().get(0, 0) - 9.0).abs() < 1e-12);
@@ -202,7 +215,11 @@ mod tests {
     fn discount_weights_bootstrap() {
         let mut q = QTable::new_zeroed(2, 1);
         q.set(1, 0, 100.0);
-        let params = Hyperparameters { learning_rate: 1.0, discount: 0.5, epsilon: 0.0 };
+        let params = Hyperparameters {
+            learning_rate: 1.0,
+            discount: 0.5,
+            epsilon: 0.0,
+        };
         let mut agent = QLearningAgent::with_table(q, params);
         agent.update(0, 0, 0.0, 1, &[true]);
         // Full learning rate: Q(0,0) = R + 0.5 * Q(1,0) = 50.
@@ -233,7 +250,11 @@ mod tests {
     fn masked_next_state_bootstraps_zero() {
         let mut q = QTable::new_zeroed(2, 1);
         q.set(1, 0, 100.0);
-        let params = Hyperparameters { learning_rate: 1.0, discount: 0.5, epsilon: 0.0 };
+        let params = Hyperparameters {
+            learning_rate: 1.0,
+            discount: 0.5,
+            epsilon: 0.0,
+        };
         let mut agent = QLearningAgent::with_table(q, params);
         agent.update(0, 0, 2.0, 1, &[false]);
         assert!((agent.q_table().get(0, 0) - 2.0).abs() < 1e-12);
@@ -242,7 +263,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "must be in [0, 1]")]
     fn invalid_hyperparameters_panic() {
-        let bad = Hyperparameters { learning_rate: 2.0, discount: 0.1, epsilon: 0.1 };
+        let bad = Hyperparameters {
+            learning_rate: 2.0,
+            discount: 0.1,
+            epsilon: 0.1,
+        };
         let _ = QLearningAgent::new(1, 1, bad, 0);
     }
 }

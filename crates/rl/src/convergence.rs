@@ -36,7 +36,10 @@ impl ConvergenceDetector {
     pub fn new(window: usize, tolerance: f64, patience: usize) -> Self {
         assert!(window > 0, "window must be positive");
         assert!(patience > 0, "patience must be positive");
-        assert!(tolerance > 0.0 && tolerance.is_finite(), "tolerance must be positive");
+        assert!(
+            tolerance > 0.0 && tolerance.is_finite(),
+            "tolerance must be positive"
+        );
         ConvergenceDetector {
             window,
             tolerance,
@@ -80,7 +83,7 @@ impl ConvergenceDetector {
         if self.rewards.len() < self.min_observations {
             return false;
         }
-        if self.rewards.len() % self.window == 0 {
+        if self.rewards.len().is_multiple_of(self.window) {
             let start = self.rewards.len() - self.window;
             let level = median(&self.rewards[start..]);
             if let Some(prev) = self.last_level {

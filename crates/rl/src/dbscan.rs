@@ -99,7 +99,10 @@ impl Discretizer {
         for w in boundaries.windows(2) {
             assert!(w[0] < w[1], "boundaries must be strictly ascending");
         }
-        assert!(boundaries.iter().all(|b| b.is_finite()), "boundaries must be finite");
+        assert!(
+            boundaries.iter().all(|b| b.is_finite()),
+            "boundaries must be finite"
+        );
         Discretizer { boundaries }
     }
 

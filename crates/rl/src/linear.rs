@@ -48,10 +48,15 @@ impl LinearQAgent {
         epsilon: f64,
     ) -> Self {
         assert!(features > 0 && actions > 0, "dimensions must be non-zero");
-        for (name, v) in
-            [("learning_rate", learning_rate), ("discount", discount), ("epsilon", epsilon)]
-        {
-            assert!(v.is_finite() && (0.0..=1.0).contains(&v), "{name} must be in [0, 1]");
+        for (name, v) in [
+            ("learning_rate", learning_rate),
+            ("discount", discount),
+            ("epsilon", epsilon),
+        ] {
+            assert!(
+                v.is_finite() && (0.0..=1.0).contains(&v),
+                "{name} must be in [0, 1]"
+            );
         }
         LinearQAgent {
             weights: vec![vec![0.0; features + 1]; actions],
@@ -86,7 +91,11 @@ impl LinearQAgent {
     pub fn value(&self, phi: &[f64], action: usize) -> f64 {
         assert_eq!(phi.len(), self.features, "feature dimension mismatch");
         let w = &self.weights[action];
-        w[..self.features].iter().zip(phi).map(|(wi, xi)| wi * xi).sum::<f64>()
+        w[..self.features]
+            .iter()
+            .zip(phi)
+            .map(|(wi, xi)| wi * xi)
+            .sum::<f64>()
             + w[self.features]
     }
 
@@ -94,12 +103,12 @@ impl LinearQAgent {
     pub fn best_action(&self, phi: &[f64], mask: &[bool]) -> Option<(usize, f64)> {
         assert_eq!(mask.len(), self.actions(), "mask length mismatch");
         let mut best: Option<(usize, f64)> = None;
-        for a in 0..self.actions() {
-            if !mask[a] {
+        for (a, &allowed) in mask.iter().enumerate() {
+            if !allowed {
                 continue;
             }
             let v = self.value(phi, a);
-            if best.map_or(true, |(_, bv)| v > bv) {
+            if best.is_none_or(|(_, bv)| v > bv) {
                 best = Some((a, v));
             }
         }
@@ -131,7 +140,9 @@ impl LinearQAgent {
         next_phi: &[f64],
         next_mask: &[bool],
     ) {
-        let bootstrap = self.best_action(next_phi, next_mask).map_or(0.0, |(_, v)| v);
+        let bootstrap = self
+            .best_action(next_phi, next_mask)
+            .map_or(0.0, |(_, v)| v);
         let target = reward + self.discount * bootstrap;
         let error = target - self.value(phi, action);
         let norm = 1.0 + phi.iter().map(|x| x * x).sum::<f64>();
@@ -170,7 +181,9 @@ mod tests {
         for i in 0..2_000 {
             let x = if i % 2 == 0 { 1.0 } else { -1.0 };
             let phi = [x];
-            let a = agent.select_action(&phi, &mask, &mut r).expect("mask non-empty");
+            let a = agent
+                .select_action(&phi, &mask, &mut r)
+                .expect("mask non-empty");
             let reward = if a == 0 { x } else { -x };
             agent.update(&phi, a, reward, &phi, &mask);
         }
@@ -197,7 +210,10 @@ mod tests {
         let mut agent = LinearQAgent::new(2, 3, 0.5, 0.0, 1.0);
         agent.weights[1] = vec![10.0, 10.0, 10.0];
         let mask = [true, false, true];
-        assert_ne!(agent.best_action(&[1.0, 1.0], &mask).map(|(a, _)| a), Some(1));
+        assert_ne!(
+            agent.best_action(&[1.0, 1.0], &mask).map(|(a, _)| a),
+            Some(1)
+        );
         let mut r = rng();
         for _ in 0..100 {
             assert_ne!(agent.select_action(&[1.0, 1.0], &mask, &mut r), Some(1));

@@ -26,7 +26,10 @@ impl EpsilonGreedy {
     ///
     /// Panics if `epsilon` is outside [0, 1] or not finite.
     pub fn new(epsilon: f64) -> Self {
-        assert!(epsilon.is_finite() && (0.0..=1.0).contains(&epsilon), "epsilon must be in [0, 1]");
+        assert!(
+            epsilon.is_finite() && (0.0..=1.0).contains(&epsilon),
+            "epsilon must be in [0, 1]"
+        );
         EpsilonGreedy { epsilon }
     }
 
@@ -61,7 +64,11 @@ impl EpsilonGreedy {
         mask: &[bool],
         rng: &mut StdRng,
     ) -> Option<usize> {
-        assert_eq!(mask.len(), q.actions(), "mask length must equal action count");
+        assert_eq!(
+            mask.len(),
+            q.actions(),
+            "mask length must equal action count"
+        );
         let allowed: Vec<usize> = (0..mask.len()).filter(|&a| mask[a]).collect();
         if allowed.is_empty() {
             return None;

@@ -24,16 +24,32 @@ impl QTable {
     ///
     /// Panics if `states` or `actions` is zero.
     pub fn new_random(states: usize, actions: usize, seed: u64) -> Self {
-        assert!(states > 0 && actions > 0, "Q-table dimensions must be non-zero");
+        assert!(
+            states > 0 && actions > 0,
+            "Q-table dimensions must be non-zero"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
-        let values = (0..states * actions).map(|_| rng.gen_range(-0.01..0.01)).collect();
-        QTable { states, actions, values }
+        let values = (0..states * actions)
+            .map(|_| rng.gen_range(-0.01..0.01))
+            .collect();
+        QTable {
+            states,
+            actions,
+            values,
+        }
     }
 
     /// Creates a zero-initialized table (useful for deterministic tests).
     pub fn new_zeroed(states: usize, actions: usize) -> Self {
-        assert!(states > 0 && actions > 0, "Q-table dimensions must be non-zero");
-        QTable { states, actions, values: vec![0.0; states * actions] }
+        assert!(
+            states > 0 && actions > 0,
+            "Q-table dimensions must be non-zero"
+        );
+        QTable {
+            states,
+            actions,
+            values: vec![0.0; states * actions],
+        }
     }
 
     /// Number of states.
@@ -84,15 +100,19 @@ impl QTable {
     ///
     /// Panics if `mask.len() != actions` or `state` is out of range.
     pub fn best_action(&self, state: usize, mask: &[bool]) -> Option<(usize, f64)> {
-        assert_eq!(mask.len(), self.actions, "mask length must equal action count");
+        assert_eq!(
+            mask.len(),
+            self.actions,
+            "mask length must equal action count"
+        );
         assert!(state < self.states, "state out of range");
         let mut best: Option<(usize, f64)> = None;
-        for a in 0..self.actions {
-            if !mask[a] {
+        for (a, &allowed) in mask.iter().enumerate() {
+            if !allowed {
                 continue;
             }
             let v = self.get(state, a);
-            if best.map_or(true, |(_, bv)| v > bv) {
+            if best.is_none_or(|(_, bv)| v > bv) {
                 best = Some((a, v));
             }
         }
@@ -135,8 +155,16 @@ impl QTable {
     }
 
     fn index(&self, state: usize, action: usize) -> usize {
-        assert!(state < self.states, "state {state} out of range ({})", self.states);
-        assert!(action < self.actions, "action {action} out of range ({})", self.actions);
+        assert!(
+            state < self.states,
+            "state {state} out of range ({})",
+            self.states
+        );
+        assert!(
+            action < self.actions,
+            "action {action} out of range ({})",
+            self.actions
+        );
         state * self.actions + action
     }
 }

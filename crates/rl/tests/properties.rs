@@ -1,6 +1,8 @@
 //! Property tests for the RL primitives.
 
-use autoscale_rl::{ConvergenceDetector, Dbscan, EpsilonGreedy, Hyperparameters, QLearningAgent, QTable};
+use autoscale_rl::{
+    ConvergenceDetector, Dbscan, EpsilonGreedy, Hyperparameters, QLearningAgent, QTable,
+};
 use proptest::prelude::*;
 use rand::SeedableRng;
 

@@ -11,27 +11,37 @@ fn main() {
         (Placement::OnDevice(ProcessorKind::Gpu), Precision::Fp32),
         (Placement::OnDevice(ProcessorKind::Gpu), Precision::Fp16),
         (Placement::OnDevice(ProcessorKind::Dsp), Precision::Int8),
-        (Placement::ConnectedEdge(ProcessorKind::Gpu), Precision::Fp32),
-        (Placement::ConnectedEdge(ProcessorKind::Dsp), Precision::Int8),
+        (
+            Placement::ConnectedEdge(ProcessorKind::Gpu),
+            Precision::Fp32,
+        ),
+        (
+            Placement::ConnectedEdge(ProcessorKind::Dsp),
+            Precision::Int8,
+        ),
         (Placement::Cloud(ProcessorKind::Cpu), Precision::Fp32),
         (Placement::Cloud(ProcessorKind::Gpu), Precision::Fp32),
     ];
     for dev in [DeviceId::Mi8Pro, DeviceId::MotoXForce] {
         let sim = Simulator::new(dev);
         println!("=== {dev:?} (calm, max freq) ===");
-        for w in [Workload::MobileNetV3, Workload::InceptionV1, Workload::ResNet50, Workload::MobileBert] {
+        for w in [
+            Workload::MobileNetV3,
+            Workload::InceptionV1,
+            Workload::ResNet50,
+            Workload::MobileBert,
+        ] {
             println!("  {w}:");
             for (p, prec) in placements {
                 let req = Request::at_max_frequency(&sim, p, prec);
-                match sim.execute_expected(w, &req, &Snapshot::calm()) {
-                    Ok(o) => println!(
+                if let Ok(o) = sim.execute_expected(w, &req, &Snapshot::calm()) {
+                    println!(
                         "    {:32} {:7.1} ms {:8.1} mJ  acc {:4.1}",
                         format!("{p} {prec}"),
                         o.latency_ms,
                         o.energy_mj,
                         o.accuracy
-                    ),
-                    Err(_) => {}
+                    )
                 }
             }
         }
@@ -41,8 +51,17 @@ fn main() {
     let cpu = sim.host().processor(ProcessorKind::Cpu).unwrap();
     println!("=== Mi8Pro CPU INT8 DVFS sweep, MobileNet v3 ===");
     for i in (0..cpu.dvfs().len()).step_by(4) {
-        let req = Request { placement: Placement::OnDevice(ProcessorKind::Cpu), precision: Precision::Int8, freq_index: i };
-        let o = sim.execute_expected(Workload::MobileNetV3, &req, &Snapshot::calm()).unwrap();
-        println!("  step {i:2}: {:6.1} ms {:7.1} mJ", o.latency_ms, o.energy_mj);
+        let req = Request {
+            placement: Placement::OnDevice(ProcessorKind::Cpu),
+            precision: Precision::Int8,
+            freq_index: i,
+        };
+        let o = sim
+            .execute_expected(Workload::MobileNetV3, &req, &Snapshot::calm())
+            .unwrap();
+        println!(
+            "  step {i:2}: {:6.1} ms {:7.1} mJ",
+            o.latency_ms, o.energy_mj
+        );
     }
 }

@@ -45,8 +45,12 @@ impl EnvironmentId {
     ];
 
     /// The four dynamic environments.
-    pub const DYNAMIC: [EnvironmentId; 4] =
-        [EnvironmentId::D1, EnvironmentId::D2, EnvironmentId::D3, EnvironmentId::D4];
+    pub const DYNAMIC: [EnvironmentId; 4] = [
+        EnvironmentId::D1,
+        EnvironmentId::D2,
+        EnvironmentId::D3,
+        EnvironmentId::D4,
+    ];
 
     /// All nine environments in Table IV order.
     pub const ALL: [EnvironmentId; 9] = [
@@ -108,51 +112,87 @@ impl Environment {
         let (interference, wlan, p2p) = match id {
             EnvironmentId::S1 => (
                 InterferenceProcess::None,
-                SignalProcess::Fixed { dbm: calm.wlan.dbm() },
-                SignalProcess::Fixed { dbm: calm.p2p.dbm() },
+                SignalProcess::Fixed {
+                    dbm: calm.wlan.dbm(),
+                },
+                SignalProcess::Fixed {
+                    dbm: calm.p2p.dbm(),
+                },
             ),
             EnvironmentId::S2 => (
                 InterferenceProcess::cpu_intensive(),
-                SignalProcess::Fixed { dbm: calm.wlan.dbm() },
-                SignalProcess::Fixed { dbm: calm.p2p.dbm() },
+                SignalProcess::Fixed {
+                    dbm: calm.wlan.dbm(),
+                },
+                SignalProcess::Fixed {
+                    dbm: calm.p2p.dbm(),
+                },
             ),
             EnvironmentId::S3 => (
                 InterferenceProcess::mem_intensive(),
-                SignalProcess::Fixed { dbm: calm.wlan.dbm() },
-                SignalProcess::Fixed { dbm: calm.p2p.dbm() },
+                SignalProcess::Fixed {
+                    dbm: calm.wlan.dbm(),
+                },
+                SignalProcess::Fixed {
+                    dbm: calm.p2p.dbm(),
+                },
             ),
             EnvironmentId::S4 => (
                 InterferenceProcess::None,
                 SignalProcess::weak(),
-                SignalProcess::Fixed { dbm: calm.p2p.dbm() },
+                SignalProcess::Fixed {
+                    dbm: calm.p2p.dbm(),
+                },
             ),
             EnvironmentId::S5 => (
                 InterferenceProcess::None,
-                SignalProcess::Fixed { dbm: calm.wlan.dbm() },
+                SignalProcess::Fixed {
+                    dbm: calm.wlan.dbm(),
+                },
                 SignalProcess::weak(),
             ),
             EnvironmentId::D1 => (
                 InterferenceProcess::MusicPlayer,
-                SignalProcess::Fixed { dbm: calm.wlan.dbm() },
-                SignalProcess::Fixed { dbm: calm.p2p.dbm() },
+                SignalProcess::Fixed {
+                    dbm: calm.wlan.dbm(),
+                },
+                SignalProcess::Fixed {
+                    dbm: calm.p2p.dbm(),
+                },
             ),
             EnvironmentId::D2 => (
                 InterferenceProcess::WebBrowser,
-                SignalProcess::Fixed { dbm: calm.wlan.dbm() },
-                SignalProcess::Fixed { dbm: calm.p2p.dbm() },
+                SignalProcess::Fixed {
+                    dbm: calm.wlan.dbm(),
+                },
+                SignalProcess::Fixed {
+                    dbm: calm.p2p.dbm(),
+                },
             ),
             EnvironmentId::D3 => (
                 InterferenceProcess::None,
                 SignalProcess::random_walkabout(),
-                SignalProcess::Fixed { dbm: calm.p2p.dbm() },
+                SignalProcess::Fixed {
+                    dbm: calm.p2p.dbm(),
+                },
             ),
             EnvironmentId::D4 => (
                 InterferenceProcess::Alternating { period: 25 },
-                SignalProcess::Fixed { dbm: calm.wlan.dbm() },
-                SignalProcess::Fixed { dbm: calm.p2p.dbm() },
+                SignalProcess::Fixed {
+                    dbm: calm.wlan.dbm(),
+                },
+                SignalProcess::Fixed {
+                    dbm: calm.p2p.dbm(),
+                },
             ),
         };
-        Environment { id, interference, wlan, p2p, step: 0 }
+        Environment {
+            id,
+            interference,
+            wlan,
+            p2p,
+            step: 0,
+        }
     }
 
     /// The environment's Table IV id.
@@ -223,13 +263,19 @@ mod tests {
         let mut env = Environment::for_id(EnvironmentId::D3);
         let mut r = rng();
         let samples: Vec<f64> = (0..50).map(|_| env.sample(&mut r).wlan.dbm()).collect();
-        let distinct = samples.iter().filter(|&&v| (v - samples[0]).abs() > 0.1).count();
+        let distinct = samples
+            .iter()
+            .filter(|&&v| (v - samples[0]).abs() > 0.1)
+            .count();
         assert!(distinct > 10);
     }
 
     #[test]
     fn static_and_dynamic_partitions_cover_all() {
-        assert_eq!(EnvironmentId::STATIC.len() + EnvironmentId::DYNAMIC.len(), EnvironmentId::ALL.len());
+        assert_eq!(
+            EnvironmentId::STATIC.len() + EnvironmentId::DYNAMIC.len(),
+            EnvironmentId::ALL.len()
+        );
         for id in EnvironmentId::STATIC {
             assert!(!id.is_dynamic());
         }
@@ -250,7 +296,10 @@ mod tests {
 
     #[test]
     fn descriptions_are_table_iv() {
-        assert_eq!(EnvironmentId::S2.description(), "CPU-intensive co-running app");
+        assert_eq!(
+            EnvironmentId::S2.description(),
+            "CPU-intensive co-running app"
+        );
         assert_eq!(EnvironmentId::D3.description(), "Random Wi-Fi signal");
     }
 }

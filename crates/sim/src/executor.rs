@@ -6,7 +6,7 @@ use std::collections::BTreeMap;
 use autoscale_net::{LinkKind, LinkModel, Transfer};
 use autoscale_nn::{accuracy_for, Network, Workload};
 use autoscale_platform::{
-    latency::network_latency_ms, power, Device, DeviceId, ExecutionConditions, Processor,
+    power, Device, DeviceId, ExecutionConditions, NetworkCostCache, Processor, ProcessorKind,
 };
 use rand::rngs::StdRng;
 use rand_distr::{Distribution, Normal};
@@ -73,6 +73,9 @@ const LATENCY_NOISE_STD: f64 = 0.03;
 /// lands the simulated MAPE in the same range).
 const ENERGY_NOISE_STD: f64 = 0.055;
 
+/// Memoized per-(placement, workload) roofline cost tables.
+type CostTables = BTreeMap<(Placement, Workload), NetworkCostCache>;
+
 /// The edge-cloud testbed for one host phone: the phone itself, the
 /// Wi-Fi-Direct-connected tablet, and the cloud server behind the WLAN.
 #[derive(Debug, Clone)]
@@ -83,6 +86,11 @@ pub struct Simulator {
     wlan: LinkModel,
     p2p: LinkModel,
     networks: BTreeMap<Workload, Network>,
+    /// Memoized roofline terms for every reachable (placement, workload)
+    /// pair, built once at construction (networks are immutable, so the
+    /// cache never invalidates). `Workload` doubles as the network id:
+    /// there is exactly one canonical [`Network`] per workload.
+    cost_tables: CostTables,
 }
 
 impl Simulator {
@@ -93,16 +101,11 @@ impl Simulator {
     /// Panics if `host` is not one of the three phones — the tablet and
     /// the cloud server are offloading targets, not AutoScale hosts.
     pub fn new(host: DeviceId) -> Self {
-        let host = Device::for_id(host);
-        assert!(host.is_phone(), "the simulator host must be a phone");
-        Simulator {
-            host,
-            tablet: Device::galaxy_tab_s6(),
-            cloud: Device::cloud_server(),
-            wlan: LinkModel::for_kind(LinkKind::Wlan),
-            p2p: LinkModel::for_kind(LinkKind::PeerToPeer),
-            networks: Workload::ALL.iter().map(|&w| (w, Network::workload(w))).collect(),
-        }
+        Self::with_devices(
+            Device::for_id(host),
+            Device::galaxy_tab_s6(),
+            Device::cloud_server(),
+        )
     }
 
     /// Builds a testbed from explicit devices — the hook for the paper's
@@ -115,14 +118,55 @@ impl Simulator {
     /// Panics if `host` is not a phone.
     pub fn with_devices(host: Device, tablet: Device, cloud: Device) -> Self {
         assert!(host.is_phone(), "the simulator host must be a phone");
+        let networks: BTreeMap<Workload, Network> = Workload::ALL
+            .iter()
+            .map(|&w| (w, Network::workload(w)))
+            .collect();
+        let cost_tables = Self::build_cost_tables(&host, &tablet, &cloud, &networks);
         Simulator {
             host,
             tablet,
             cloud,
             wlan: LinkModel::for_kind(LinkKind::Wlan),
             p2p: LinkModel::for_kind(LinkKind::PeerToPeer),
-            networks: Workload::ALL.iter().map(|&w| (w, Network::workload(w))).collect(),
+            networks,
+            cost_tables,
         }
+    }
+
+    /// Precomputes the roofline cost tables for every processor reachable
+    /// from this testbed and every workload's canonical network.
+    fn build_cost_tables(
+        host: &Device,
+        tablet: &Device,
+        cloud: &Device,
+        networks: &BTreeMap<Workload, Network>,
+    ) -> CostTables {
+        type Slot<'a> = (&'a Device, fn(ProcessorKind) -> Placement);
+        let slots: [Slot<'_>; 3] = [
+            (host, Placement::OnDevice),
+            (tablet, Placement::ConnectedEdge),
+            (cloud, Placement::Cloud),
+        ];
+        let mut tables = BTreeMap::new();
+        for (device, placement_for) in slots {
+            for kind in ProcessorKind::ALL {
+                if let Some(processor) = device.processor(kind) {
+                    for (&workload, network) in networks {
+                        tables.insert(
+                            (placement_for(kind), workload),
+                            NetworkCostCache::build(processor, network),
+                        );
+                    }
+                }
+            }
+        }
+        tables
+    }
+
+    /// The memoized cost tables for a feasible (placement, workload) pair.
+    fn cost_cache(&self, placement: Placement, workload: Workload) -> &NetworkCostCache {
+        &self.cost_tables[&(placement, workload)]
     }
 
     /// The host phone.
@@ -166,7 +210,8 @@ impl Simulator {
 
     /// The processor a placement lands on, if the device has one.
     pub fn processor_for(&self, placement: Placement) -> Option<&Processor> {
-        self.device_for(placement).processor(placement.processor_kind())
+        self.device_for(placement)
+            .processor(placement.processor_kind())
     }
 
     /// Validates that a request can execute for a workload.
@@ -174,7 +219,11 @@ impl Simulator {
     /// # Errors
     ///
     /// Returns the reason the request is infeasible.
-    pub fn check(&self, workload: Workload, request: &Request) -> Result<&Processor, ExecutionError> {
+    pub fn check(
+        &self,
+        workload: Workload,
+        request: &Request,
+    ) -> Result<&Processor, ExecutionError> {
         let placement = request.placement;
         let processor = self
             .processor_for(placement)
@@ -219,20 +268,46 @@ impl Simulator {
                     mem_availability: snapshot.mem_availability(),
                     thermal_cap: self.host.thermal().cap_for(snapshot.co_cpu),
                 };
-                let latency_ms = network_latency_ms(processor, network, &cond);
+                let latency_ms = self
+                    .cost_cache(request.placement, workload)
+                    .latency_ms(processor, &cond);
                 let energy = power::on_device_energy_mj(
                     processor,
                     &cond,
                     latency_ms,
                     self.host.base_power_w(),
                 );
-                Outcome { latency_ms, energy_mj: energy.total_mj(), accuracy }
+                Outcome {
+                    latency_ms,
+                    energy_mj: energy.total_mj(),
+                    accuracy,
+                }
             }
             Placement::ConnectedEdge(_) => {
-                self.remote_outcome(network, processor, &self.tablet, &self.p2p, snapshot.p2p, request, accuracy)
+                let cache = self.cost_cache(request.placement, workload);
+                self.remote_outcome(
+                    network,
+                    processor,
+                    cache,
+                    &self.tablet,
+                    &self.p2p,
+                    snapshot.p2p,
+                    request,
+                    accuracy,
+                )
             }
             Placement::Cloud(_) => {
-                self.remote_outcome(network, processor, &self.cloud, &self.wlan, snapshot.wlan, request, accuracy)
+                let cache = self.cost_cache(request.placement, workload);
+                self.remote_outcome(
+                    network,
+                    processor,
+                    cache,
+                    &self.cloud,
+                    &self.wlan,
+                    snapshot.wlan,
+                    request,
+                    accuracy,
+                )
             }
         };
         Ok(outcome)
@@ -269,6 +344,7 @@ impl Simulator {
         &self,
         network: &Network,
         processor: &Processor,
+        cache: &NetworkCostCache,
         remote: &Device,
         link: &LinkModel,
         rssi: autoscale_net::Rssi,
@@ -279,14 +355,18 @@ impl Simulator {
         // Remote systems are uncontended and run at maximum frequency: the
         // phone can neither observe nor control their governors.
         let cond = ExecutionConditions::max_frequency(processor, request.precision);
-        let remote_ms = network_latency_ms(processor, network, &cond) + remote.serving_overhead_ms();
+        let remote_ms = cache.latency_ms(processor, &cond) + remote.serving_overhead_ms();
         let latency_ms = transfer.wire_ms() + remote_ms;
         // Phone-side energy (eq. 4): TX + RX bursts, then base + radio-wait
         // power for the remainder of the round trip.
         let wait_ms = latency_ms - transfer.tx_ms - transfer.rx_ms;
         let energy_mj = transfer.radio_energy_mj()
             + (self.host.base_power_w() + transfer.wait_power_w) * wait_ms;
-        Outcome { latency_ms, energy_mj, accuracy }
+        Outcome {
+            latency_ms,
+            energy_mj,
+            accuracy,
+        }
     }
 }
 
@@ -316,7 +396,10 @@ mod tests {
             ] {
                 let req = max_req(&sim, placement, Precision::Fp32);
                 let out = sim.execute_expected(w, &req, &Snapshot::calm()).unwrap();
-                assert!(out.latency_ms > 0.0 && out.energy_mj > 0.0, "{w} {placement}");
+                assert!(
+                    out.latency_ms > 0.0 && out.energy_mj > 0.0,
+                    "{w} {placement}"
+                );
             }
         }
     }
@@ -324,22 +407,36 @@ mod tests {
     #[test]
     fn s10e_has_no_dsp() {
         let sim = Simulator::new(DeviceId::GalaxyS10e);
-        let req = max_req(&sim, Placement::OnDevice(ProcessorKind::Dsp), Precision::Int8);
+        let req = max_req(
+            &sim,
+            Placement::OnDevice(ProcessorKind::Dsp),
+            Precision::Int8,
+        );
         assert_eq!(
             sim.execute_expected(Workload::InceptionV1, &req, &Snapshot::calm()),
-            Err(ExecutionError::NoSuchProcessor(Placement::OnDevice(ProcessorKind::Dsp)))
+            Err(ExecutionError::NoSuchProcessor(Placement::OnDevice(
+                ProcessorKind::Dsp
+            )))
         );
     }
 
     #[test]
     fn dsp_rejects_fp32_and_recurrent() {
         let sim = sim();
-        let fp32 = max_req(&sim, Placement::OnDevice(ProcessorKind::Dsp), Precision::Fp32);
+        let fp32 = max_req(
+            &sim,
+            Placement::OnDevice(ProcessorKind::Dsp),
+            Precision::Fp32,
+        );
         assert!(matches!(
             sim.execute_expected(Workload::InceptionV1, &fp32, &Snapshot::calm()),
             Err(ExecutionError::UnsupportedPrecision(_))
         ));
-        let int8 = max_req(&sim, Placement::OnDevice(ProcessorKind::Dsp), Precision::Int8);
+        let int8 = max_req(
+            &sim,
+            Placement::OnDevice(ProcessorKind::Dsp),
+            Precision::Int8,
+        );
         assert!(matches!(
             sim.execute_expected(Workload::MobileBert, &int8, &Snapshot::calm()),
             Err(ExecutionError::RecurrentUnsupported(_))
@@ -349,7 +446,11 @@ mod tests {
     #[test]
     fn mobile_gpu_rejects_recurrent_but_cloud_gpu_runs_it() {
         let sim = sim();
-        let mobile = max_req(&sim, Placement::OnDevice(ProcessorKind::Gpu), Precision::Fp32);
+        let mobile = max_req(
+            &sim,
+            Placement::OnDevice(ProcessorKind::Gpu),
+            Precision::Fp32,
+        );
         assert!(!sim.is_feasible(Workload::MobileBert, &mobile));
         let cloud = max_req(&sim, Placement::Cloud(ProcessorKind::Gpu), Precision::Fp32);
         assert!(sim.is_feasible(Workload::MobileBert, &cloud));
@@ -358,10 +459,18 @@ mod tests {
     #[test]
     fn cpu_interference_slows_and_costs_on_device_cpu() {
         let sim = sim();
-        let req = max_req(&sim, Placement::OnDevice(ProcessorKind::Cpu), Precision::Fp32);
-        let calm = sim.execute_expected(Workload::MobileNetV3, &req, &Snapshot::calm()).unwrap();
+        let req = max_req(
+            &sim,
+            Placement::OnDevice(ProcessorKind::Cpu),
+            Precision::Fp32,
+        );
+        let calm = sim
+            .execute_expected(Workload::MobileNetV3, &req, &Snapshot::calm())
+            .unwrap();
         let loaded = Snapshot::new(0.85, 0.1, Snapshot::calm().wlan, Snapshot::calm().p2p);
-        let contended = sim.execute_expected(Workload::MobileNetV3, &req, &loaded).unwrap();
+        let contended = sim
+            .execute_expected(Workload::MobileNetV3, &req, &loaded)
+            .unwrap();
         assert!(contended.latency_ms > 1.5 * calm.latency_ms);
         assert!(contended.efficiency_ipj() < calm.efficiency_ipj());
     }
@@ -370,7 +479,11 @@ mod tests {
     fn weak_wlan_hurts_cloud_but_not_connected_edge() {
         let sim = sim();
         let cloud = max_req(&sim, Placement::Cloud(ProcessorKind::Gpu), Precision::Fp32);
-        let edge = max_req(&sim, Placement::ConnectedEdge(ProcessorKind::Gpu), Precision::Fp32);
+        let edge = max_req(
+            &sim,
+            Placement::ConnectedEdge(ProcessorKind::Gpu),
+            Precision::Fp32,
+        );
         let calm = Snapshot::calm();
         let weak_wlan = Snapshot::new(0.0, 0.0, autoscale_net::Rssi::WEAK, calm.p2p);
         let w = Workload::ResNet50;
@@ -386,24 +499,35 @@ mod tests {
     fn interference_does_not_touch_remote_compute() {
         let sim = sim();
         let req = max_req(&sim, Placement::Cloud(ProcessorKind::Gpu), Precision::Fp32);
-        let calm = sim.execute_expected(Workload::ResNet50, &req, &Snapshot::calm()).unwrap();
+        let calm = sim
+            .execute_expected(Workload::ResNet50, &req, &Snapshot::calm())
+            .unwrap();
         let loaded = Snapshot::new(0.9, 0.9, Snapshot::calm().wlan, Snapshot::calm().p2p);
-        let contended = sim.execute_expected(Workload::ResNet50, &req, &loaded).unwrap();
+        let contended = sim
+            .execute_expected(Workload::ResNet50, &req, &loaded)
+            .unwrap();
         assert!((contended.latency_ms - calm.latency_ms).abs() < 1e-9);
     }
 
     #[test]
     fn measured_outcome_is_noisy_but_unbiased() {
         let sim = sim();
-        let req = max_req(&sim, Placement::OnDevice(ProcessorKind::Cpu), Precision::Fp32);
-        let expected =
-            sim.execute_expected(Workload::MobileNetV1, &req, &Snapshot::calm()).unwrap();
+        let req = max_req(
+            &sim,
+            Placement::OnDevice(ProcessorKind::Cpu),
+            Precision::Fp32,
+        );
+        let expected = sim
+            .execute_expected(Workload::MobileNetV1, &req, &Snapshot::calm())
+            .unwrap();
         let mut rng = StdRng::seed_from_u64(17);
         let n = 400;
         let mut lat_sum = 0.0;
         let mut any_diff = false;
         for _ in 0..n {
-            let m = sim.execute_measured(Workload::MobileNetV1, &req, &Snapshot::calm(), &mut rng).unwrap();
+            let m = sim
+                .execute_measured(Workload::MobileNetV1, &req, &Snapshot::calm(), &mut rng)
+                .unwrap();
             lat_sum += m.latency_ms;
             if (m.latency_ms - expected.latency_ms).abs() > 1e-9 {
                 any_diff = true;
@@ -411,20 +535,42 @@ mod tests {
         }
         let mean = lat_sum / n as f64;
         assert!(any_diff);
-        assert!((mean / expected.latency_ms - 1.0).abs() < 0.01, "mean ratio {}", mean / expected.latency_ms);
+        assert!(
+            (mean / expected.latency_ms - 1.0).abs() < 0.01,
+            "mean ratio {}",
+            mean / expected.latency_ms
+        );
     }
 
     #[test]
     fn accuracy_follows_precision_not_placement() {
         let sim = sim();
-        let cpu_int8 = max_req(&sim, Placement::OnDevice(ProcessorKind::Cpu), Precision::Int8);
-        let dsp_int8 = max_req(&sim, Placement::OnDevice(ProcessorKind::Dsp), Precision::Int8);
+        let cpu_int8 = max_req(
+            &sim,
+            Placement::OnDevice(ProcessorKind::Cpu),
+            Precision::Int8,
+        );
+        let dsp_int8 = max_req(
+            &sim,
+            Placement::OnDevice(ProcessorKind::Dsp),
+            Precision::Int8,
+        );
         let calm = Snapshot::calm();
-        let a = sim.execute_expected(Workload::InceptionV1, &cpu_int8, &calm).unwrap();
-        let b = sim.execute_expected(Workload::InceptionV1, &dsp_int8, &calm).unwrap();
+        let a = sim
+            .execute_expected(Workload::InceptionV1, &cpu_int8, &calm)
+            .unwrap();
+        let b = sim
+            .execute_expected(Workload::InceptionV1, &dsp_int8, &calm)
+            .unwrap();
         assert_eq!(a.accuracy, b.accuracy);
-        let fp32 = max_req(&sim, Placement::OnDevice(ProcessorKind::Cpu), Precision::Fp32);
-        let c = sim.execute_expected(Workload::InceptionV1, &fp32, &calm).unwrap();
+        let fp32 = max_req(
+            &sim,
+            Placement::OnDevice(ProcessorKind::Cpu),
+            Precision::Fp32,
+        );
+        let c = sim
+            .execute_expected(Workload::InceptionV1, &fp32, &calm)
+            .unwrap();
         assert!(c.accuracy > a.accuracy);
     }
 
@@ -436,9 +582,17 @@ mod tests {
             precision: Precision::Fp32,
             freq_index: 10_000,
         };
-        let clamped = sim.execute_expected(Workload::MobileNetV1, &req, &Snapshot::calm()).unwrap();
-        let max = max_req(&sim, Placement::OnDevice(ProcessorKind::Cpu), Precision::Fp32);
-        let at_max = sim.execute_expected(Workload::MobileNetV1, &max, &Snapshot::calm()).unwrap();
+        let clamped = sim
+            .execute_expected(Workload::MobileNetV1, &req, &Snapshot::calm())
+            .unwrap();
+        let max = max_req(
+            &sim,
+            Placement::OnDevice(ProcessorKind::Cpu),
+            Precision::Fp32,
+        );
+        let at_max = sim
+            .execute_expected(Workload::MobileNetV1, &max, &Snapshot::calm())
+            .unwrap();
         assert!((clamped.latency_ms - at_max.latency_ms).abs() < 1e-9);
     }
 
@@ -466,11 +620,8 @@ mod tests {
         assert!(sim.is_feasible(Workload::InceptionV1, &npu));
         assert!(!sim.is_feasible(Workload::MobileBert, &npu));
         // The cloud TPU runs everything, at FP16.
-        let tpu = Request::at_max_frequency(
-            &sim,
-            Placement::Cloud(ProcessorKind::Npu),
-            Precision::Fp16,
-        );
+        let tpu =
+            Request::at_max_frequency(&sim, Placement::Cloud(ProcessorKind::Npu), Precision::Fp16);
         assert!(sim.is_feasible(Workload::MobileBert, &tpu));
     }
 }

@@ -14,9 +14,10 @@ use rand_distr::{Distribution, Normal};
 use serde::{Deserialize, Serialize};
 
 /// A generator of co-runner (CPU utilization, memory usage) pairs.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub enum InterferenceProcess {
     /// No co-running application.
+    #[default]
     None,
     /// A synthetic co-runner with fixed CPU and memory pressure (the
     /// paper's S2/S3 environments use "co-running apps with constant CPU
@@ -45,12 +46,18 @@ pub enum InterferenceProcess {
 impl InterferenceProcess {
     /// The paper's synthetic CPU-intensive co-runner (S2).
     pub fn cpu_intensive() -> Self {
-        InterferenceProcess::Constant { cpu: 0.85, mem: 0.10 }
+        InterferenceProcess::Constant {
+            cpu: 0.85,
+            mem: 0.10,
+        }
     }
 
     /// The paper's synthetic memory-intensive co-runner (S3).
     pub fn mem_intensive() -> Self {
-        InterferenceProcess::Constant { cpu: 0.20, mem: 0.80 }
+        InterferenceProcess::Constant {
+            cpu: 0.20,
+            mem: 0.80,
+        }
     }
 
     /// Samples the co-runner state for inference number `step`.
@@ -92,13 +99,10 @@ impl InterferenceProcess {
 
     /// Whether successive samples can differ.
     pub fn is_stochastic(&self) -> bool {
-        !matches!(self, InterferenceProcess::None | InterferenceProcess::Constant { .. })
-    }
-}
-
-impl Default for InterferenceProcess {
-    fn default() -> Self {
-        InterferenceProcess::None
+        !matches!(
+            self,
+            InterferenceProcess::None | InterferenceProcess::Constant { .. }
+        )
     }
 }
 
@@ -143,8 +147,7 @@ mod tests {
     fn music_player_is_light() {
         let p = InterferenceProcess::MusicPlayer;
         let mut r = rng();
-        let mean_cpu: f64 =
-            (0..500).map(|i| p.sample(i, &mut r).0).sum::<f64>() / 500.0;
+        let mean_cpu: f64 = (0..500).map(|i| p.sample(i, &mut r).0).sum::<f64>() / 500.0;
         assert!((mean_cpu - 0.15).abs() < 0.03, "mean_cpu={mean_cpu}");
     }
 

@@ -73,13 +73,21 @@ impl Request {
             .processor_for(placement)
             .map(|p| p.dvfs().max_index())
             .unwrap_or(0);
-        Request { placement, precision, freq_index }
+        Request {
+            placement,
+            precision,
+            freq_index,
+        }
     }
 }
 
 impl std::fmt::Display for Request {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{} {} @step{}", self.placement, self.precision, self.freq_index)
+        write!(
+            f,
+            "{} {} @step{}",
+            self.placement, self.precision, self.freq_index
+        )
     }
 }
 
@@ -96,8 +104,14 @@ mod tests {
 
     #[test]
     fn labels_match_paper_style() {
-        assert_eq!(Placement::OnDevice(ProcessorKind::Cpu).paper_label(), "Edge (CPU)");
-        assert_eq!(Placement::Cloud(ProcessorKind::Gpu).paper_label(), "Cloud (GPU)");
+        assert_eq!(
+            Placement::OnDevice(ProcessorKind::Cpu).paper_label(),
+            "Edge (CPU)"
+        );
+        assert_eq!(
+            Placement::Cloud(ProcessorKind::Gpu).paper_label(),
+            "Cloud (GPU)"
+        );
         assert_eq!(
             Placement::ConnectedEdge(ProcessorKind::Dsp).paper_label(),
             "Connected Edge (DSP)"
@@ -106,6 +120,9 @@ mod tests {
 
     #[test]
     fn processor_kind_extraction() {
-        assert_eq!(Placement::Cloud(ProcessorKind::Gpu).processor_kind(), ProcessorKind::Gpu);
+        assert_eq!(
+            Placement::Cloud(ProcessorKind::Gpu).processor_kind(),
+            ProcessorKind::Gpu
+        );
     }
 }

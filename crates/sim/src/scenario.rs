@@ -21,7 +21,11 @@ pub enum Scenario {
 
 impl Scenario {
     /// All three scenarios.
-    pub const ALL: [Scenario; 3] = [Scenario::NonStreaming, Scenario::Streaming, Scenario::Translation];
+    pub const ALL: [Scenario; 3] = [
+        Scenario::NonStreaming,
+        Scenario::Streaming,
+        Scenario::Translation,
+    ];
 
     /// The QoS latency target in milliseconds.
     ///
@@ -88,15 +92,30 @@ mod tests {
 
     #[test]
     fn default_scenarios_per_task() {
-        assert_eq!(Scenario::default_for(Task::ImageClassification), Scenario::NonStreaming);
-        assert_eq!(Scenario::default_for(Task::ObjectDetection), Scenario::NonStreaming);
-        assert_eq!(Scenario::default_for(Task::Translation), Scenario::Translation);
+        assert_eq!(
+            Scenario::default_for(Task::ImageClassification),
+            Scenario::NonStreaming
+        );
+        assert_eq!(
+            Scenario::default_for(Task::ObjectDetection),
+            Scenario::NonStreaming
+        );
+        assert_eq!(
+            Scenario::default_for(Task::Translation),
+            Scenario::Translation
+        );
     }
 
     #[test]
     fn streaming_tightens_vision_only() {
-        assert_eq!(Scenario::streaming_for(Task::ImageClassification), Scenario::Streaming);
-        assert_eq!(Scenario::streaming_for(Task::Translation), Scenario::Translation);
+        assert_eq!(
+            Scenario::streaming_for(Task::ImageClassification),
+            Scenario::Streaming
+        );
+        assert_eq!(
+            Scenario::streaming_for(Task::Translation),
+            Scenario::Translation
+        );
         assert!(Scenario::Streaming.qos_ms() < Scenario::NonStreaming.qos_ms());
     }
 

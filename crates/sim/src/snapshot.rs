@@ -25,12 +25,22 @@ pub struct Snapshot {
 impl Snapshot {
     /// A quiet device on strong networks — the paper's S1 environment.
     pub fn calm() -> Self {
-        Snapshot { co_cpu: 0.0, co_mem: 0.0, wlan: Rssi::new(-55.0), p2p: Rssi::new(-50.0) }
+        Snapshot {
+            co_cpu: 0.0,
+            co_mem: 0.0,
+            wlan: Rssi::new(-55.0),
+            p2p: Rssi::new(-50.0),
+        }
     }
 
     /// Creates a snapshot, clamping utilizations into [0, 1].
     pub fn new(co_cpu: f64, co_mem: f64, wlan: Rssi, p2p: Rssi) -> Self {
-        Snapshot { co_cpu: co_cpu.clamp(0.0, 1.0), co_mem: co_mem.clamp(0.0, 1.0), wlan, p2p }
+        Snapshot {
+            co_cpu: co_cpu.clamp(0.0, 1.0),
+            co_mem: co_mem.clamp(0.0, 1.0),
+            wlan,
+            p2p,
+        }
     }
 
     /// Fraction of CPU compute throughput left for the inference given the

@@ -64,7 +64,13 @@ impl Trace {
         outcome: Outcome,
     ) {
         let step = self.entries.len() as u64;
-        self.entries.push(TraceEntry { step, workload, snapshot, request, outcome });
+        self.entries.push(TraceEntry {
+            step,
+            workload,
+            snapshot,
+            request,
+            outcome,
+        });
     }
 
     /// The recorded entries in execution order.
@@ -93,7 +99,12 @@ impl Trace {
         let total_energy_mj: f64 = self.entries.iter().map(|e| e.outcome.energy_mj).sum();
         TraceSummary {
             entries: self.entries.len(),
-            mean_latency_ms: self.entries.iter().map(|e| e.outcome.latency_ms).sum::<f64>() / n,
+            mean_latency_ms: self
+                .entries
+                .iter()
+                .map(|e| e.outcome.latency_ms)
+                .sum::<f64>()
+                / n,
             mean_energy_mj: total_energy_mj / n,
             total_energy_mj,
         }
@@ -135,9 +146,9 @@ impl Extend<TraceEntry> for Trace {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::request::Placement;
     use autoscale_nn::Precision;
     use autoscale_platform::{DeviceId, ProcessorKind};
-    use crate::request::Placement;
     use rand::SeedableRng;
 
     fn recorded_trace(sim: &Simulator, runs: usize) -> Trace {

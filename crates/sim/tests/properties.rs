@@ -28,7 +28,10 @@ fn arb_placement() -> impl Strategy<Value = (Placement, Precision)> {
         (Placement::OnDevice(ProcessorKind::Cpu), Precision::Int8),
         (Placement::OnDevice(ProcessorKind::Gpu), Precision::Fp16),
         (Placement::OnDevice(ProcessorKind::Dsp), Precision::Int8),
-        (Placement::ConnectedEdge(ProcessorKind::Dsp), Precision::Int8),
+        (
+            Placement::ConnectedEdge(ProcessorKind::Dsp),
+            Precision::Int8,
+        ),
         (Placement::Cloud(ProcessorKind::Gpu), Precision::Fp32),
     ])
 }

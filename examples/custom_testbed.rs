@@ -25,7 +25,13 @@ fn main() {
             let act = 150_000 / (i as u64 + 1);
             Layer::new(LayerKind::Conv, 12_000_000, 20_000, act, act * 8 / 10)
         })
-        .chain(std::iter::once(Layer::new(LayerKind::Fc, 64_000, 256_000, 1_024, 40)))
+        .chain(std::iter::once(Layer::new(
+            LayerKind::Fc,
+            64_000,
+            256_000,
+            1_024,
+            40,
+        )))
         .collect();
     let custom_net = Network::new("kws-cnn", Task::ImageClassification, layers, 16 * 1024, 256);
     println!(
@@ -87,7 +93,10 @@ fn main() {
         config,
         3,
     );
-    for (env, label) in [(EnvironmentId::S1, "calm"), (EnvironmentId::S4, "weak Wi-Fi")] {
+    for (env, label) in [
+        (EnvironmentId::S1, "calm"),
+        (EnvironmentId::S4, "weak Wi-Fi"),
+    ] {
         let mut environment = Environment::for_id(env);
         let mut rng = autoscale::seeded_rng(4);
         let snapshot = environment.sample(&mut rng);

@@ -21,14 +21,8 @@ fn main() {
     // Train the donor across the full static design space.
     println!("training donor on Mi8Pro...");
     let mi8 = Simulator::new(DeviceId::Mi8Pro);
-    let donor = experiment::train_engine(
-        &mi8,
-        &Workload::ALL,
-        &EnvironmentId::STATIC,
-        40,
-        config,
-        17,
-    );
+    let donor =
+        experiment::train_engine(&mi8, &Workload::ALL, &EnvironmentId::STATIC, 40, config, 17);
 
     // Ship the learned table over the wire, as a fleet rollout would.
     let wire = serde_json::to_vec(donor.agent()).expect("agents serialize");
@@ -59,7 +53,8 @@ fn main() {
             Some(&donor),
         );
         let fmt = |c: &experiment::TrainingCurve| {
-            c.converged_at.map_or("not within 250 runs".to_string(), |r| format!("run {r}"))
+            c.converged_at
+                .map_or("not within 250 runs".to_string(), |r| format!("run {r}"))
         };
         println!("{device}:");
         println!("  from scratch:     converged at {}", fmt(&scratch));

@@ -70,7 +70,9 @@ fn main() {
     );
     println!(
         "  AutoScale chose {}: {:6.1} ms, {:7.1} mJ  ({:.1}x more efficient)",
-        step.request, chosen.latency_ms, chosen.energy_mj,
+        step.request,
+        chosen.latency_ms,
+        chosen.energy_mj,
         baseline.energy_mj / chosen.energy_mj
     );
 }

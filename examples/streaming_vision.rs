@@ -15,7 +15,10 @@ use autoscale::prelude::*;
 use autoscale::scheduler::FixedScheduler;
 
 fn main() {
-    let config = EngineConfig { streaming: true, ..EngineConfig::paper() };
+    let config = EngineConfig {
+        streaming: true,
+        ..EngineConfig::paper()
+    };
     let sim = Simulator::new(DeviceId::GalaxyS10e);
     let workload = Workload::SsdMobileNetV2;
     let qos = config.scenario_for(workload).qos_ms();
@@ -39,9 +42,11 @@ fn main() {
     let mut rng = autoscale::seeded_rng(42);
 
     // Three acts: calm commute, browser co-running, weak Wi-Fi.
-    let acts =
-        [(EnvironmentId::S1, "calm"), (EnvironmentId::D2, "web browser co-running"),
-         (EnvironmentId::S4, "weak Wi-Fi")];
+    let acts = [
+        (EnvironmentId::S1, "calm"),
+        (EnvironmentId::D2, "web browser co-running"),
+        (EnvironmentId::S4, "weak Wi-Fi"),
+    ];
     let ev = Evaluator::new(sim, config);
     for (env, label) in acts {
         let a = ev.run(&mut autoscale_sched, workload, env, 60, 90, None, &mut rng);

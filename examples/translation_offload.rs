@@ -23,11 +23,31 @@ fn main() {
     println!("the design space, under calm conditions:");
     let calm = Snapshot::calm();
     for (label, placement, precision) in [
-        ("Edge (CPU FP32)", Placement::OnDevice(ProcessorKind::Cpu), Precision::Fp32),
-        ("Edge (CPU INT8)", Placement::OnDevice(ProcessorKind::Cpu), Precision::Int8),
-        ("Connected (CPU FP32)", Placement::ConnectedEdge(ProcessorKind::Cpu), Precision::Fp32),
-        ("Cloud (CPU FP32)", Placement::Cloud(ProcessorKind::Cpu), Precision::Fp32),
-        ("Cloud (GPU FP32)", Placement::Cloud(ProcessorKind::Gpu), Precision::Fp32),
+        (
+            "Edge (CPU FP32)",
+            Placement::OnDevice(ProcessorKind::Cpu),
+            Precision::Fp32,
+        ),
+        (
+            "Edge (CPU INT8)",
+            Placement::OnDevice(ProcessorKind::Cpu),
+            Precision::Int8,
+        ),
+        (
+            "Connected (CPU FP32)",
+            Placement::ConnectedEdge(ProcessorKind::Cpu),
+            Precision::Fp32,
+        ),
+        (
+            "Cloud (CPU FP32)",
+            Placement::Cloud(ProcessorKind::Cpu),
+            Precision::Fp32,
+        ),
+        (
+            "Cloud (GPU FP32)",
+            Placement::Cloud(ProcessorKind::Gpu),
+            Precision::Fp32,
+        ),
     ] {
         let request = Request::at_max_frequency(&sim, placement, precision);
         match sim.execute_expected(workload, &request, &calm) {
@@ -36,7 +56,11 @@ fn main() {
                 o.latency_ms,
                 o.energy_mj,
                 o.accuracy,
-                if o.latency_ms > qos { "  ** violates QoS **" } else { "" }
+                if o.latency_ms > qos {
+                    "  ** violates QoS **"
+                } else {
+                    ""
+                }
             ),
             Err(e) => println!("  {label:<22} unsupported ({e})"),
         }
@@ -53,7 +77,10 @@ fn main() {
         config,
         5,
     );
-    for (env, label) in [(EnvironmentId::S1, "strong Wi-Fi"), (EnvironmentId::S4, "weak Wi-Fi")] {
+    for (env, label) in [
+        (EnvironmentId::S1, "strong Wi-Fi"),
+        (EnvironmentId::S4, "weak Wi-Fi"),
+    ] {
         let mut environment = Environment::for_id(env);
         let mut rng = autoscale::seeded_rng(9);
         let snapshot = environment.sample(&mut rng);

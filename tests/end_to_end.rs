@@ -36,8 +36,14 @@ fn full_loop_trains_and_serves_every_workload_on_every_phone() {
 fn trained_agent_round_trips_through_serde() {
     let config = EngineConfig::paper();
     let sim = Simulator::new(DeviceId::Mi8Pro);
-    let engine =
-        experiment::train_engine(&sim, &[Workload::InceptionV1], &[EnvironmentId::S1], 80, config, 2);
+    let engine = experiment::train_engine(
+        &sim,
+        &[Workload::InceptionV1],
+        &[EnvironmentId::S1],
+        80,
+        config,
+        2,
+    );
     let json = serde_json::to_string(engine.agent()).expect("agents serialize");
     let restored: autoscale_rl::QLearningAgent =
         serde_json::from_str(&json).expect("agents deserialize");
@@ -48,8 +54,11 @@ fn trained_agent_round_trips_through_serde() {
     warm.transfer_from(&engine).expect("same shape");
     let snapshot = Snapshot::calm();
     assert_eq!(
-        warm.decide_greedy(&sim, Workload::InceptionV1, &snapshot).action_index,
-        engine.decide_greedy(&sim, Workload::InceptionV1, &snapshot).action_index
+        warm.decide_greedy(&sim, Workload::InceptionV1, &snapshot)
+            .action_index,
+        engine
+            .decide_greedy(&sim, Workload::InceptionV1, &snapshot)
+            .action_index
     );
 }
 
@@ -60,7 +69,11 @@ fn predictor_pipeline_trains_and_schedules() {
     let mut rng = autoscale::seeded_rng(3);
     let dataset = characterize::collect(
         &sim,
-        &[Workload::MobileNetV1, Workload::ResNet50, Workload::MobileBert],
+        &[
+            Workload::MobileNetV1,
+            Workload::ResNet50,
+            Workload::MobileBert,
+        ],
         VarianceMode::Stochastic,
         3,
         &mut rng,
@@ -68,16 +81,26 @@ fn predictor_pipeline_trains_and_schedules() {
     let reward_for = move |w: Workload| config.reward_for(w);
     let mut schedulers: Vec<Box<dyn Scheduler>> = vec![
         Box::new(characterize::train_lr_scheduler(&sim, &dataset, reward_for)),
-        Box::new(characterize::train_svr_scheduler(&sim, &dataset, reward_for)),
-        Box::new(characterize::train_svm_scheduler(&sim, &dataset, reward_for)),
-        Box::new(characterize::train_knn_scheduler(&sim, &dataset, reward_for)),
+        Box::new(characterize::train_svr_scheduler(
+            &sim, &dataset, reward_for,
+        )),
+        Box::new(characterize::train_svm_scheduler(
+            &sim, &dataset, reward_for,
+        )),
+        Box::new(characterize::train_knn_scheduler(
+            &sim, &dataset, reward_for,
+        )),
     ];
     let ev = Evaluator::new(sim, config);
     let mut rng2 = autoscale::seeded_rng(4);
     for s in schedulers.iter_mut() {
         for w in [Workload::MobileNetV1, Workload::MobileBert] {
             let rep = ev.run(s.as_mut(), w, EnvironmentId::S1, 0, 10, None, &mut rng2);
-            assert!(rep.mean_energy_mj > 0.0, "{} produced no outcome", rep.scheduler);
+            assert!(
+                rep.mean_energy_mj > 0.0,
+                "{} produced no outcome",
+                rep.scheduler
+            );
         }
     }
 }
@@ -91,7 +114,10 @@ fn prior_work_schedulers_execute_partitioned_decisions() {
     let mut ns = experiment::build_neurosurgeon(ev.sim(), &mut rng);
     let mut mosaic = experiment::build_mosaic(ev.sim(), 50.0, &mut rng);
     for w in [Workload::InceptionV3, Workload::MobileBert] {
-        for s in [&mut ns as &mut dyn Scheduler, &mut mosaic as &mut dyn Scheduler] {
+        for s in [
+            &mut ns as &mut dyn Scheduler,
+            &mut mosaic as &mut dyn Scheduler,
+        ] {
             let rep = ev.run(s, w, EnvironmentId::S1, 0, 10, None, &mut rng);
             assert!(rep.mean_latency_ms > 0.0);
             assert!(rep.mean_energy_mj > 0.0);
@@ -105,13 +131,27 @@ fn dynamic_environments_are_harder_than_static_for_fixed_baselines() {
     // a fixed strong signal (S1).
     let config = EngineConfig::paper();
     let ev = Evaluator::new(Simulator::new(DeviceId::Mi8Pro), config);
-    let mut cloud = autoscale::scheduler::FixedScheduler::cloud(ev.sim(), move |w| {
-        config.reward_for(w)
-    });
+    let mut cloud =
+        autoscale::scheduler::FixedScheduler::cloud(ev.sim(), move |w| config.reward_for(w));
     let mut rng = autoscale::seeded_rng(6);
-    let calm = ev.run(&mut cloud, Workload::ResNet50, EnvironmentId::S1, 0, 60, None, &mut rng);
-    let wandering =
-        ev.run(&mut cloud, Workload::ResNet50, EnvironmentId::D3, 0, 60, None, &mut rng);
+    let calm = ev.run(
+        &mut cloud,
+        Workload::ResNet50,
+        EnvironmentId::S1,
+        0,
+        60,
+        None,
+        &mut rng,
+    );
+    let wandering = ev.run(
+        &mut cloud,
+        Workload::ResNet50,
+        EnvironmentId::D3,
+        0,
+        60,
+        None,
+        &mut rng,
+    );
     assert!(wandering.mean_efficiency_ipj < calm.mean_efficiency_ipj);
     assert!(wandering.qos_violation_ratio >= calm.qos_violation_ratio);
 }
@@ -133,8 +173,15 @@ fn engine_adapts_across_environment_shifts() {
     let ev = Evaluator::new(sim, config);
     let mut sched = autoscale::scheduler::AutoScaleScheduler::new(engine, false);
     let mut rng = autoscale::seeded_rng(8);
-    let rep =
-        ev.run(&mut sched, Workload::ResNet50, EnvironmentId::S4, 120, 60, None, &mut rng);
+    let rep = ev.run(
+        &mut sched,
+        Workload::ResNet50,
+        EnvironmentId::S4,
+        120,
+        60,
+        None,
+        &mut rng,
+    );
     // Under weak Wi-Fi a cloud-bound policy would blow the 50 ms budget on
     // every frame; an adapted policy stays largely within it.
     assert!(
@@ -142,5 +189,8 @@ fn engine_adapts_across_environment_shifts() {
         "failed to adapt: {:.0}% violations",
         rep.qos_violation_ratio * 100.0
     );
-    assert!(rep.placement_shares[2] < 0.5, "still mostly cloud under weak Wi-Fi");
+    assert!(
+        rep.placement_shares[2] < 0.5,
+        "still mostly cloud under weak Wi-Fi"
+    );
 }

@@ -64,7 +64,11 @@ fn autoscale_beats_the_cpu_baseline_by_a_large_factor() {
         2,
     );
     assert!(ppw > 5.0, "AutoScale only reached {ppw:.2}x");
-    assert!(qos < 0.10, "AutoScale violated QoS {:.1}% of the time", qos * 100.0);
+    assert!(
+        qos < 0.10,
+        "AutoScale violated QoS {:.1}% of the time",
+        qos * 100.0
+    );
 }
 
 #[test]
@@ -86,10 +90,18 @@ fn autoscale_beats_cloud_and_edge_best_baselines() {
         60,
         4,
     );
-    let (cloud_ppw, _) =
-        suite(&ev, &mut |_| Box::new(FixedScheduler::cloud(ev.sim(), reward_fn(config))), 0, 4);
-    let (best_ppw, _) =
-        suite(&ev, &mut |_| Box::new(FixedScheduler::edge_best(ev.sim(), reward_fn(config))), 0, 4);
+    let (cloud_ppw, _) = suite(
+        &ev,
+        &mut |_| Box::new(FixedScheduler::cloud(ev.sim(), reward_fn(config))),
+        0,
+        4,
+    );
+    let (best_ppw, _) = suite(
+        &ev,
+        &mut |_| Box::new(FixedScheduler::edge_best(ev.sim(), reward_fn(config))),
+        0,
+        4,
+    );
     assert!(
         autoscale_ppw > 1.2 * cloud_ppw,
         "AutoScale {autoscale_ppw:.2}x vs cloud {cloud_ppw:.2}x"
@@ -123,8 +135,12 @@ fn autoscale_tracks_the_oracle_closely() {
         60,
         6,
     );
-    let (opt_ppw, opt_qos) =
-        suite(&ev, &mut |_| Box::new(OracleScheduler::new(ev.sim(), reward_fn(config))), 0, 6);
+    let (opt_ppw, opt_qos) = suite(
+        &ev,
+        &mut |_| Box::new(OracleScheduler::new(ev.sim(), reward_fn(config))),
+        0,
+        6,
+    );
     assert!(
         autoscale_ppw > 0.85 * opt_ppw,
         "AutoScale {autoscale_ppw:.2}x vs Opt {opt_ppw:.2}x"
@@ -149,7 +165,9 @@ fn mid_end_device_always_benefits_from_scaling_out() {
     for w in Workload::ALL {
         let energy = |placement, precision| {
             let request = Request::at_max_frequency(&sim, placement, precision);
-            sim.execute_expected(w, &request, &calm).ok().map(|o| o.energy_mj)
+            sim.execute_expected(w, &request, &calm)
+                .ok()
+                .map(|o| o.energy_mj)
         };
         let best_local = [
             energy(Placement::OnDevice(ProcessorKind::Cpu), Precision::Fp32),
@@ -159,8 +177,14 @@ fn mid_end_device_always_benefits_from_scaling_out() {
         .flatten()
         .fold(f64::INFINITY, f64::min);
         let best_remote = [
-            energy(Placement::ConnectedEdge(ProcessorKind::Gpu), Precision::Fp32),
-            energy(Placement::ConnectedEdge(ProcessorKind::Dsp), Precision::Int8),
+            energy(
+                Placement::ConnectedEdge(ProcessorKind::Gpu),
+                Precision::Fp32,
+            ),
+            energy(
+                Placement::ConnectedEdge(ProcessorKind::Dsp),
+                Precision::Int8,
+            ),
             energy(Placement::Cloud(ProcessorKind::Gpu), Precision::Fp32),
         ]
         .into_iter()
@@ -181,7 +205,11 @@ fn high_end_device_runs_light_nns_locally_and_heavy_nns_remotely() {
     let sim = Simulator::new(DeviceId::Mi8Pro);
     let oracle = OracleScheduler::new(&sim, reward_fn(config));
     let calm = Snapshot::calm();
-    for light in [Workload::MobileNetV1, Workload::MobileNetV3, Workload::InceptionV1] {
+    for light in [
+        Workload::MobileNetV1,
+        Workload::MobileNetV3,
+        Workload::InceptionV1,
+    ] {
         let opt = oracle.optimal_request(&sim, light, &calm);
         assert!(
             matches!(opt.placement, Placement::OnDevice(_)),
@@ -189,7 +217,10 @@ fn high_end_device_runs_light_nns_locally_and_heavy_nns_remotely() {
         );
     }
     let opt = oracle.optimal_request(&sim, Workload::MobileBert, &calm);
-    assert!(matches!(opt.placement, Placement::Cloud(_)), "MobileBERT: got {opt}");
+    assert!(
+        matches!(opt.placement, Placement::Cloud(_)),
+        "MobileBERT: got {opt}"
+    );
 }
 
 #[test]
@@ -231,15 +262,24 @@ fn prior_work_layer_splitters_trail_autoscale() {
         0,
         8,
     );
-    assert!(autoscale_ppw > ns_ppw, "AutoScale {autoscale_ppw:.2} vs NeuroSurgeon {ns_ppw:.2}");
-    assert!(autoscale_ppw > mosaic_ppw, "AutoScale {autoscale_ppw:.2} vs MOSAIC {mosaic_ppw:.2}");
+    assert!(
+        autoscale_ppw > ns_ppw,
+        "AutoScale {autoscale_ppw:.2} vs NeuroSurgeon {ns_ppw:.2}"
+    );
+    assert!(
+        autoscale_ppw > mosaic_ppw,
+        "AutoScale {autoscale_ppw:.2} vs MOSAIC {mosaic_ppw:.2}"
+    );
 }
 
 #[test]
 fn streaming_tightens_results_but_autoscale_still_beats_baselines() {
     // Fig. 10: under the 33.3 ms streaming target AutoScale degrades but
     // keeps its advantage.
-    let config = EngineConfig { streaming: true, ..EngineConfig::paper() };
+    let config = EngineConfig {
+        streaming: true,
+        ..EngineConfig::paper()
+    };
     let ev = Evaluator::new(Simulator::new(DeviceId::Mi8Pro), config);
     let engine = experiment::train_engine(
         ev.sim(),
@@ -252,10 +292,24 @@ fn streaming_tightens_results_but_autoscale_still_beats_baselines() {
     let mut rng = autoscale::seeded_rng(12);
     let mut sched = AutoScaleScheduler::new(engine, false);
     let mut base = FixedScheduler::edge_cpu_fp32(ev.sim());
-    let baseline =
-        ev.run(&mut base, Workload::InceptionV1, EnvironmentId::S1, 0, 40, None, &mut rng);
-    let rep =
-        ev.run(&mut sched, Workload::InceptionV1, EnvironmentId::S1, 60, 40, None, &mut rng);
+    let baseline = ev.run(
+        &mut base,
+        Workload::InceptionV1,
+        EnvironmentId::S1,
+        0,
+        40,
+        None,
+        &mut rng,
+    );
+    let rep = ev.run(
+        &mut sched,
+        Workload::InceptionV1,
+        EnvironmentId::S1,
+        60,
+        40,
+        None,
+        &mut rng,
+    );
     assert!(rep.normalized_ppw(&baseline) > 3.0);
     assert!(rep.qos_violation_ratio < baseline.qos_violation_ratio);
 }

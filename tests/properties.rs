@@ -7,7 +7,12 @@ use autoscale_rl::{Hyperparameters, QLearningAgent, QTable};
 use proptest::prelude::*;
 
 fn arb_snapshot() -> impl Strategy<Value = Snapshot> {
-    (0.0..=1.0f64, 0.0..=1.0f64, -95.0..=-40.0f64, -95.0..=-40.0f64)
+    (
+        0.0..=1.0f64,
+        0.0..=1.0f64,
+        -95.0..=-40.0f64,
+        -95.0..=-40.0f64,
+    )
         .prop_map(|(cpu, mem, wlan, p2p)| Snapshot::new(cpu, mem, Rssi::new(wlan), Rssi::new(p2p)))
 }
 
@@ -162,5 +167,41 @@ proptest! {
         let db = autoscale_rl::Dbscan::new(10.0, 1);
         let d = db.discretizer(&samples);
         prop_assert!(d.bucket(probe) < d.buckets());
+    }
+}
+
+/// Serialized results of a small experiment grid run on the parallel
+/// harness with the given worker count.
+fn harness_grid_bytes(threads: usize, base_seed: u64) -> Vec<u8> {
+    let specs: Vec<(Workload, EnvironmentId)> = [Workload::MobileNetV2, Workload::ResNet50]
+        .iter()
+        .flat_map(|&w| {
+            [EnvironmentId::S1, EnvironmentId::S4, EnvironmentId::D2]
+                .iter()
+                .map(move |&e| (w, e))
+        })
+        .collect();
+    let config = EngineConfig::paper();
+    let reports = autoscale::parallel::run_cells(threads, base_seed, &specs, |cell| {
+        let (w, env) = *cell.spec;
+        let ev = Evaluator::new(Simulator::new(DeviceId::Mi8Pro), config);
+        let mut sched = autoscale::scheduler::FixedScheduler::edge_cpu_fp32(ev.sim());
+        let mut rng = autoscale::seeded_rng(cell.seed);
+        ev.run(&mut sched, w, env, 0, 20, None, &mut rng)
+    });
+    serde_json::to_vec(&reports).expect("reports serialize")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The parallel harness is deterministic in the thread count: the
+    /// serialized cell results for 1, 2 and 8 workers are byte-identical
+    /// for any base seed.
+    #[test]
+    fn harness_results_independent_of_thread_count(base_seed in any::<u64>()) {
+        let serial = harness_grid_bytes(1, base_seed);
+        prop_assert_eq!(&serial, &harness_grid_bytes(2, base_seed));
+        prop_assert_eq!(&serial, &harness_grid_bytes(8, base_seed));
     }
 }

@@ -1,0 +1,115 @@
+//! Offline stand-in for the `rand_distr` crate.
+//!
+//! Supplies the one distribution this workspace samples — [`Normal`] —
+//! behind the upstream [`Distribution`] trait. Sampling uses Box-Muller
+//! (two uniform draws per sample, the second discarded), which keeps the
+//! generator state advance deterministic and state-free: cloning a
+//! `Normal` never carries cached values, so identical seeds always
+//! produce identical streams.
+
+#![forbid(unsafe_code)]
+
+use rand::{Rng, RngCore};
+
+/// A sampleable distribution (`rand_distr::Distribution`).
+pub trait Distribution<T> {
+    /// Draws one value using `rng`.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error constructing a [`Normal`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormalError {
+    /// The standard deviation was negative or not finite.
+    BadVariance,
+    /// The mean was not finite.
+    MeanTooSmall,
+}
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NormalError::BadVariance => f.write_str("standard deviation is not finite and >= 0"),
+            NormalError::MeanTooSmall => f.write_str("mean is not finite"),
+        }
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// The normal (Gaussian) distribution `N(mean, std_dev^2)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates `N(mean, std_dev^2)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `std_dev` is negative or either parameter is non-finite.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Normal, NormalError> {
+        if !mean.is_finite() {
+            return Err(NormalError::MeanTooSmall);
+        }
+        if !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(NormalError::BadVariance);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+
+    /// The distribution mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The distribution standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box-Muller; u1 is kept strictly positive so ln() stays finite.
+        let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments_are_close() {
+        let n = Normal::new(3.0, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let samples: Vec<f64> = (0..20_000).map(|_| n.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.05, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn negative_std_dev_is_rejected() {
+        assert_eq!(Normal::new(0.0, -1.0), Err(NormalError::BadVariance));
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic() {
+        let n = Normal::new(0.0, 1.0).unwrap();
+        let mut a = StdRng::seed_from_u64(11);
+        let mut b = StdRng::seed_from_u64(11);
+        for _ in 0..100 {
+            assert_eq!(n.sample(&mut a).to_bits(), n.sample(&mut b).to_bits());
+        }
+    }
+}
