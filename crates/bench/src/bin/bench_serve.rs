@@ -1,0 +1,127 @@
+//! Throughput benchmark for the multi-session decision server.
+//!
+//! Runs the same serving fleet (Mi8Pro, static-environment scenario mix)
+//! at 1 shard, 4 shards and all-cores, verifies the per-session reports
+//! are bit-identical across shard counts, and records decisions/second
+//! plus p50/p99 wall-clock decision latency for each run. The full run
+//! writes `BENCH_serve.json` at the repository root; `--smoke` runs a
+//! small fleet and skips the file (the CI-sized check).
+
+use std::time::Instant;
+
+use autoscale::parallel::{default_threads, resolve_threads};
+use autoscale::prelude::*;
+
+struct Run {
+    shards_requested: usize,
+    shards_effective: usize,
+    wall_s: f64,
+    decisions_per_sec: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let (sessions, decisions) = if smoke { (4, 50) } else { (32, 400) };
+
+    let sim = Simulator::new(DeviceId::Mi8Pro);
+    let mix = ScenarioMix::static_envs();
+    let cores = default_threads();
+    println!(
+        "serve benchmark: {sessions} sessions x {decisions} decisions on {} ({cores} cores{})",
+        sim.host().id(),
+        if smoke { ", smoke" } else { "" }
+    );
+
+    // 1, 4 and all-cores shards, skipping duplicates once clamped (on a
+    // 4-core box "4" and "all" are the same run).
+    let mut shard_counts: Vec<usize> = Vec::new();
+    for requested in [1, 4, cores] {
+        if !shard_counts.contains(&requested) {
+            shard_counts.push(requested);
+        }
+    }
+
+    let mut runs: Vec<Run> = Vec::new();
+    let mut digest: Option<u64> = None;
+    for &shards in &shard_counts {
+        let config = ServeConfig {
+            sessions,
+            decisions_per_session: decisions,
+            shards: Some(shards),
+            record_latency: true,
+            ..ServeConfig::fleet()
+        };
+        let start = Instant::now();
+        let report = autoscale::serve::serve(&sim, &mix, &config, None).expect("no warm start");
+        let wall_s = start.elapsed().as_secs_f64();
+        match digest {
+            None => digest = Some(report.digest()),
+            Some(reference) => assert_eq!(
+                report.digest(),
+                reference,
+                "shard count {shards} changed the decision traces"
+            ),
+        }
+        let total = report.total_decisions();
+        let run = Run {
+            shards_requested: shards,
+            shards_effective: resolve_threads(Some(shards)),
+            wall_s,
+            decisions_per_sec: total as f64 / wall_s,
+            p50_ns: report
+                .latency_percentile_ns(50.0)
+                .expect("latencies recorded"),
+            p99_ns: report
+                .latency_percentile_ns(99.0)
+                .expect("latencies recorded"),
+        };
+        println!(
+            "  shards {:>2} (effective {:>2}): {:>8.0} decisions/s, decide p50 {:.1} us, p99 {:.1} us ({:.2} s)",
+            run.shards_requested,
+            run.shards_effective,
+            run.decisions_per_sec,
+            run.p50_ns as f64 / 1e3,
+            run.p99_ns as f64 / 1e3,
+            run.wall_s
+        );
+        runs.push(run);
+    }
+    println!("per-session reports bit-identical across shard counts");
+
+    let base = runs[0].decisions_per_sec;
+    let best = runs
+        .iter()
+        .map(|r| r.decisions_per_sec)
+        .fold(f64::MIN, f64::max);
+    println!("speedup (best vs 1 shard): {:.2}x", best / base);
+
+    if smoke {
+        println!("smoke run: not writing BENCH_serve.json");
+        return;
+    }
+
+    let mut entries = String::new();
+    for (i, r) in runs.iter().enumerate() {
+        entries.push_str(&format!(
+            "    {{\"shards_requested\": {}, \"shards_effective\": {}, \"wall_s\": {:.3}, \"decisions_per_sec\": {:.1}, \"p50_ns\": {}, \"p99_ns\": {}}}{}\n",
+            r.shards_requested,
+            r.shards_effective,
+            r.wall_s,
+            r.decisions_per_sec,
+            r.p50_ns,
+            r.p99_ns,
+            if i + 1 < runs.len() { "," } else { "" }
+        ));
+    }
+    let json = format!(
+        "{{\n  \"sessions\": {sessions},\n  \"decisions_per_session\": {decisions},\n  \"cores\": {cores},\n  \"fleet_digest\": {},\n  \"speedup_best_vs_1\": {:.3},\n  \"runs\": [\n{entries}  ]\n}}\n",
+        digest.expect("at least one run"),
+        best / base
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(out, &json).expect("write BENCH_serve.json");
+    println!("wrote {out}");
+}

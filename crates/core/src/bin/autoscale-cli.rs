@@ -8,6 +8,7 @@
 //! autoscale-cli decide   --device mi8pro --qtable qtable.json --workload resnet-50 [--env S4]
 //! autoscale-cli evaluate --device mi8pro --qtable qtable.json --workload resnet-50 --env S1|all [--runs 100] [--threads N] [--json]
 //! autoscale-cli trace    --device mi8pro --qtable qtable.json --workload resnet-50 --env D2 --runs 50 --out trace.json
+//! autoscale-cli serve    --device mi8pro [--sessions 8] [--decisions 200] [--shards N] [--mix static|all] [--qtable FILE] [--seed N] [--json]
 //! ```
 //!
 //! Argument parsing is deliberately hand-rolled (`--key value` pairs) to
@@ -52,6 +53,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "decide" => cmd_decide(&flags),
         "evaluate" => cmd_evaluate(&flags),
         "trace" => cmd_trace(&flags),
+        "serve" => cmd_serve(&flags),
         other => Err(format!("unknown command `{other}`")),
     }
 }
@@ -68,6 +70,8 @@ fn print_help() {
          \x20 decide   --device D --qtable FILE --workload W [--env E]\n\
          \x20 evaluate --device D --qtable FILE --workload W --env E|all [--runs N] [--threads N] [--json]\n\
          \x20 trace    --device D --qtable FILE --workload W --env E --runs N --out FILE\n\
+         \x20 serve    --device D [--sessions N] [--decisions N] [--shards N]\n\
+         \x20          [--mix static|all] [--qtable FILE] [--seed N] [--json]\n\
          \n\
          names: devices mi8pro|galaxy-s10e|moto-x-force (suffix +npu for the\n\
          NPU/TPU extension testbed); workloads as in `workloads` output;\n\
@@ -75,7 +79,12 @@ fn print_help() {
          \n\
          `evaluate --env all` sweeps every environment on the parallel\n\
          harness; --threads N caps the workers (default: all cores, 1 runs\n\
-         serially). Results are bit-identical for any thread count."
+         serially). Results are bit-identical for any thread count.\n\
+         \n\
+         `serve` runs a fleet of independent device sessions (each with its\n\
+         own engine, environment trace and RNG stream) over the sharded\n\
+         decision server; --qtable warm-starts every session from a trained\n\
+         table. Session reports are bit-identical for any --shards value."
     );
 }
 
@@ -421,6 +430,82 @@ fn cmd_trace(flags: &BTreeMap<String, String>) -> Result<(), String> {
         s.mean_energy_mj,
         s.total_energy_mj / 1000.0
     );
+    Ok(())
+}
+
+fn cmd_serve(flags: &BTreeMap<String, String>) -> Result<(), String> {
+    use std::time::Instant;
+    let sim = parse_device(required(flags, "device")?)?;
+    let sessions = parse_usize(flags, "sessions", 8)?;
+    let decisions = parse_usize(flags, "decisions", 200)?;
+    let shards = match flags.get("shards") {
+        Some(_) => Some(parse_usize(flags, "shards", 0)?),
+        None => None,
+    };
+    let mix = match flags.get("mix").map(String::as_str) {
+        None | Some("static") => ScenarioMix::static_envs(),
+        Some("all") => ScenarioMix::all_envs(),
+        Some(other) => return Err(format!("--mix must be `static` or `all`, got `{other}`")),
+    };
+    let warm: Option<QLearningAgent> = match flags.get("qtable") {
+        Some(path) => {
+            let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            Some(serde_json::from_str(&json).map_err(|e| format!("parsing {path}: {e}"))?)
+        }
+        None => None,
+    };
+    let config = ServeConfig {
+        sessions,
+        decisions_per_session: decisions,
+        shards,
+        base_seed: parse_u64(flags, "seed", 0xf1ee7)?,
+        record_latency: true,
+        ..ServeConfig::fleet()
+    };
+    let start = Instant::now();
+    let report = serve(&sim, &mix, &config, warm.as_ref())
+        .map_err(|e| format!("{e} — was the Q-table trained on a different device or testbed?"))?;
+    let wall_s = start.elapsed().as_secs_f64();
+    if flags.contains_key("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report.sessions).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+    println!(
+        "{:>4} {:<16} {:<4} {:>10} {:>9} {:>6} {:>10}",
+        "sess", "workload", "env", "reward", "QoS viol", "conv", "energy J"
+    );
+    for s in &report.sessions {
+        println!(
+            "{:>4} {:<16} {:<4} {:>10.3} {:>8.1}% {:>6} {:>10.2}",
+            s.session,
+            s.workload.to_string(),
+            s.environment.to_string(),
+            s.mean_reward,
+            s.qos_violations as f64 / s.decisions.max(1) as f64 * 100.0,
+            s.converged_at.map_or("-".to_string(), |at| at.to_string()),
+            s.total_energy_mj / 1000.0
+        );
+    }
+    let total = report.total_decisions();
+    println!(
+        "fleet: {total} decisions in {wall_s:.2} s ({:.0} decisions/s), {:.1}% QoS violations, digest {:016x}",
+        total as f64 / wall_s,
+        report.qos_violation_ratio() * 100.0,
+        report.digest()
+    );
+    if let (Some(p50), Some(p99)) = (
+        report.latency_percentile_ns(50.0),
+        report.latency_percentile_ns(99.0),
+    ) {
+        println!(
+            "decision latency: p50 {:.1} us, p99 {:.1} us",
+            p50 as f64 / 1e3,
+            p99 as f64 / 1e3
+        );
+    }
     Ok(())
 }
 

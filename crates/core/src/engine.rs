@@ -95,6 +95,11 @@ pub struct DecisionStep {
 }
 
 /// The AutoScale execution-scaling engine.
+///
+/// An engine binds to the device it was built for: the action space and
+/// the per-workload feasibility masks are enumerated from the
+/// construction-time [`Simulator`], so `decide`/`learn` must be driven
+/// with that same testbed.
 #[derive(Debug, Clone)]
 pub struct AutoScaleEngine {
     states: StateSpace,
@@ -102,6 +107,18 @@ pub struct AutoScaleEngine {
     agent: QLearningAgent,
     detector: ConvergenceDetector,
     config: EngineConfig,
+    /// Feasibility masks indexed by [`Workload::index`]. Masks depend
+    /// only on (device, workload), so precomputing them at construction
+    /// keeps the per-decision hot path allocation-free.
+    masks: Vec<Vec<bool>>,
+}
+
+/// Precomputes the feasibility mask of every Table III workload.
+fn masks_for(actions: &ActionSpace, sim: &Simulator) -> Vec<Vec<bool>> {
+    Workload::ALL
+        .iter()
+        .map(|&w| actions.mask(sim, w))
+        .collect()
 }
 
 impl AutoScaleEngine {
@@ -118,12 +135,14 @@ impl AutoScaleEngine {
         // Convergence cannot be meaningful before the epsilon-greedy sweep
         // has visited every action once (see ConvergenceDetector docs).
         let detector = ConvergenceDetector::paper().with_min_observations(actions.len());
+        let masks = masks_for(&actions, sim);
         AutoScaleEngine {
             states,
             actions,
             agent,
             detector,
             config,
+            masks,
         }
     }
 
@@ -148,13 +167,22 @@ impl AutoScaleEngine {
             });
         }
         let detector = ConvergenceDetector::paper().with_min_observations(actions.len());
+        let masks = masks_for(&actions, sim);
         Ok(AutoScaleEngine {
             states,
             actions,
             agent,
             detector,
             config,
+            masks,
         })
+    }
+
+    /// The precomputed feasibility mask for a workload on this engine's
+    /// device — the allocation-free equivalent of
+    /// [`ActionSpace::mask`].
+    pub fn mask_for(&self, workload: Workload) -> &[bool] {
+        &self.masks[workload.index()]
     }
 
     /// The engine's state space.
@@ -199,10 +227,9 @@ impl AutoScaleEngine {
         let state_index = self
             .states
             .encode_observation(sim.network(workload), snapshot);
-        let mask = self.actions.mask(sim, workload);
         let action_index = self
             .agent
-            .select_action(state_index, &mask, rng)
+            .select_action(state_index, self.mask_for(workload), rng)
             .expect("the CPU can always run the model");
         DecisionStep {
             state_index,
@@ -222,10 +249,9 @@ impl AutoScaleEngine {
         let state_index = self
             .states
             .encode_observation(sim.network(workload), snapshot);
-        let mask = self.actions.mask(sim, workload);
         let action_index = self
             .agent
-            .select_greedy(state_index, &mask)
+            .select_greedy(state_index, self.mask_for(workload))
             .expect("the CPU can always run the model");
         DecisionStep {
             state_index,
@@ -268,13 +294,12 @@ impl AutoScaleEngine {
         let next_state = self
             .states
             .encode_observation(sim.network(workload), next_snapshot);
-        let next_mask = self.actions.mask(sim, workload);
         self.agent.update(
             step.state_index,
             step.action_index,
             r,
             next_state,
-            &next_mask,
+            &self.masks[workload.index()],
         );
         self.detector.observe(r);
         r
@@ -314,8 +339,11 @@ impl AutoScaleEngine {
     /// random initialization. This reproduces the Fig. 14 transfer from
     /// the Mi8Pro to the Galaxy S10e / Moto X Force.
     pub fn transfer_by_action(&mut self, donor: &AutoScaleEngine) {
+        // Matched columns are written straight into this engine's table —
+        // no clone of the (states × actions) value array. The recipient's
+        // update counter and exploration policy are untouched: a transfer
+        // injects knowledge, it does not reset the agent's history.
         let donor_q = donor.agent.q_table();
-        let mut q = self.agent.q_table().clone();
         for a in 0..self.actions.len() {
             let request = self.actions.request(a);
             let donor_a = match donor.match_action(&request, &self.actions) {
@@ -323,10 +351,10 @@ impl AutoScaleEngine {
                 None => continue,
             };
             for s in 0..self.states.len() {
-                q.set(s, a, donor_q.get(s, donor_a));
+                let v = donor_q.get(s, donor_a);
+                self.agent.q_table_mut().set(s, a, v);
             }
         }
-        self.agent = QLearningAgent::with_table(q, self.config.hyperparameters);
     }
 
     /// Finds the donor-side action corresponding to `request` from a
@@ -566,6 +594,73 @@ mod tests {
             streaming.scenario_for(Workload::InceptionV1),
             Scenario::Streaming
         );
+    }
+
+    #[test]
+    fn transfer_by_action_writes_in_place_and_matches_donor_columns() {
+        // The in-place transfer (no Q-table clone) must land exactly the
+        // donor's matched columns in the recipient's table.
+        let mi8 = Simulator::new(DeviceId::Mi8Pro);
+        let donor = trained_engine(&mi8, Workload::InceptionV1, 120);
+        let moto = Simulator::new(DeviceId::MotoXForce);
+        let mut recipient = AutoScaleEngine::new(&moto, EngineConfig::paper());
+        let before_updates = recipient.agent().updates();
+        recipient.transfer_by_action(&donor);
+        assert_eq!(
+            recipient.agent().updates(),
+            before_updates,
+            "transfer must not reset the update history"
+        );
+        for a in 0..recipient.actions.len() {
+            let request = recipient.actions.request(a);
+            let Some(donor_a) = donor.match_action(&request, &recipient.actions) else {
+                continue;
+            };
+            for s in (0..recipient.states.len()).step_by(97) {
+                assert_eq!(
+                    recipient.agent().q_table().get(s, a),
+                    donor.agent().q_table().get(s, donor_a),
+                    "state {s} action {a}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eval_path_works_on_a_shared_reference() {
+        // Greedy serving is &self: many readers may evaluate the same
+        // engine concurrently without cloning its Q-table.
+        let sim = Simulator::new(DeviceId::Mi8Pro);
+        let engine = trained_engine(&sim, Workload::MobileNetV2, 120);
+        let reference = engine.decide_greedy(&sim, Workload::MobileNetV2, &Snapshot::calm());
+        let shared = &engine;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    scope.spawn(|| {
+                        shared
+                            .decide_greedy(&sim, Workload::MobileNetV2, &Snapshot::calm())
+                            .action_index
+                    })
+                })
+                .collect();
+            for h in handles {
+                assert_eq!(h.join().expect("no panic"), reference.action_index);
+            }
+        });
+    }
+
+    #[test]
+    fn precomputed_masks_match_the_action_space() {
+        let sim = Simulator::new(DeviceId::Mi8Pro);
+        let engine = AutoScaleEngine::new(&sim, EngineConfig::paper());
+        for w in Workload::ALL {
+            assert_eq!(
+                engine.mask_for(w),
+                engine.actions().mask(&sim, w).as_slice(),
+                "{w}"
+            );
+        }
     }
 
     #[test]

@@ -32,6 +32,10 @@
 //!   prediction accuracy, MAPE;
 //! * [`parallel`] — the deterministic parallel experiment harness the
 //!   figure sweeps run on (bit-identical results for any thread count);
+//! * [`serve`] — the multi-session decision server: a fleet of
+//!   independent device sessions sharded over the parallel work queue,
+//!   with per-session seeding that keeps reports bit-identical for any
+//!   shard count and an allocation-free per-decision hot path;
 //! * [`characterize`] — offline profiling runs that generate the training
 //!   data the predictive baselines need;
 //! * [`experiment`] — end-to-end experiment drivers for the paper's
@@ -72,12 +76,14 @@ pub mod experiment;
 pub mod parallel;
 pub mod reward;
 pub mod scheduler;
+pub mod serve;
 pub mod state;
 
 pub use action::ActionSpace;
 pub use engine::{AutoScaleEngine, DecisionStep, EngineConfig};
 pub use eval::{EpisodeReport, Evaluator};
 pub use reward::{reward, RewardConfig};
+pub use serve::{ScenarioMix, ServeConfig, ServeReport, SessionReport, SessionSpec};
 pub use state::{State, StateSpace};
 
 /// A deterministic RNG for experiments; thin wrapper over the `rand`
@@ -94,6 +100,9 @@ pub mod prelude {
     pub use crate::eval::{EpisodeReport, Evaluator};
     pub use crate::reward::RewardConfig;
     pub use crate::scheduler::{Decision, Scheduler, SchedulerKind};
+    pub use crate::serve::{
+        serve, DeviceSession, ScenarioMix, ServeConfig, ServeReport, SessionReport, SessionSpec,
+    };
     pub use crate::state::{State, StateSpace};
     pub use autoscale_nn::{Network, Precision, Task, Workload};
     pub use autoscale_platform::{Device, DeviceId, ProcessorKind};

@@ -1,0 +1,115 @@
+//! Scenario mixes: which (workload, environment) each session runs.
+//!
+//! A production fleet is not one phone running one model in one
+//! environment — it is millions of devices spread across the Table III
+//! workloads and the Table IV environments. A [`ScenarioMix`] describes
+//! that spread as an ordered list of (workload, environment) pairs, and
+//! sessions are assigned round-robin by session index, so the assignment
+//! is a pure function of the index: independent of shard count, thread
+//! scheduling, or any RNG.
+
+use autoscale_nn::Workload;
+use autoscale_sim::EnvironmentId;
+use serde::{Deserialize, Serialize};
+
+/// An ordered list of (workload, environment) scenarios, assigned to
+/// sessions round-robin by session index.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioMix {
+    entries: Vec<(Workload, EnvironmentId)>,
+}
+
+impl ScenarioMix {
+    /// Builds a mix from explicit (workload, environment) pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is empty — a serving fleet needs at least one
+    /// scenario.
+    pub fn new(entries: Vec<(Workload, EnvironmentId)>) -> Self {
+        assert!(!entries.is_empty(), "a scenario mix cannot be empty");
+        ScenarioMix { entries }
+    }
+
+    /// Every Table III workload crossed with the five static Table IV
+    /// environments (50 scenarios) — the default serving mix.
+    pub fn static_envs() -> Self {
+        ScenarioMix::cross(&Workload::ALL, &EnvironmentId::STATIC)
+    }
+
+    /// Every workload crossed with all nine environments (90 scenarios),
+    /// including the dynamic ones.
+    pub fn all_envs() -> Self {
+        ScenarioMix::cross(&Workload::ALL, &EnvironmentId::ALL)
+    }
+
+    /// A single-scenario mix: every session runs the same (workload,
+    /// environment).
+    pub fn single(workload: Workload, environment: EnvironmentId) -> Self {
+        ScenarioMix::new(vec![(workload, environment)])
+    }
+
+    /// The cross product of workloads and environments, workload-major.
+    pub fn cross(workloads: &[Workload], environments: &[EnvironmentId]) -> Self {
+        ScenarioMix::new(
+            workloads
+                .iter()
+                .flat_map(|&w| environments.iter().map(move |&e| (w, e)))
+                .collect(),
+        )
+    }
+
+    /// The scenarios in assignment order.
+    pub fn entries(&self) -> &[(Workload, EnvironmentId)] {
+        &self.entries
+    }
+
+    /// Number of distinct scenarios.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the mix is empty (never true — construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The scenario of session `session`: round-robin over the entries,
+    /// a pure function of the session index.
+    pub fn assign(&self, session: usize) -> (Workload, EnvironmentId) {
+        self.entries[session % self.entries.len()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assignment_is_round_robin() {
+        let mix = ScenarioMix::new(vec![
+            (Workload::MobileNetV1, EnvironmentId::S1),
+            (Workload::MobileBert, EnvironmentId::S4),
+        ]);
+        assert_eq!(mix.assign(0), (Workload::MobileNetV1, EnvironmentId::S1));
+        assert_eq!(mix.assign(1), (Workload::MobileBert, EnvironmentId::S4));
+        assert_eq!(mix.assign(2), (Workload::MobileNetV1, EnvironmentId::S1));
+        assert_eq!(mix.assign(101), mix.assign(1));
+    }
+
+    #[test]
+    fn default_mixes_cover_the_paper_grids() {
+        assert_eq!(ScenarioMix::static_envs().len(), 50);
+        assert_eq!(ScenarioMix::all_envs().len(), 90);
+        assert_eq!(
+            ScenarioMix::single(Workload::ResNet50, EnvironmentId::D3).len(),
+            1
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be empty")]
+    fn empty_mix_panics() {
+        let _ = ScenarioMix::new(Vec::new());
+    }
+}

@@ -1,0 +1,333 @@
+//! The multi-session decision server: N independent device sessions
+//! sharded across worker threads.
+//!
+//! A deployment of AutoScale is not one engine — it is a fleet: every
+//! device runs its own session (its own Q-table, its own environment
+//! trace, its own RNG stream), and a serving host replays many such
+//! sessions at once. This module runs that fleet over the same
+//! deterministic work queue the figure sweeps use
+//! ([`crate::parallel::run_cells`]): sessions are the cells, shards are
+//! the workers, and every session derives its private seed from
+//! `(base_seed, session_index)` — so the fleet's reports are
+//! **bit-identical for any shard count**.
+//!
+//! The per-decision hot path inside each session is allocation-free:
+//! feasibility masks are precomputed per workload at engine
+//! construction, state encoding is pure arithmetic, the epsilon-greedy
+//! policy scans the mask in place, and the Q-table argmax is served from
+//! an incrementally maintained per-state cache.
+//!
+//! Wall-clock decision latencies are measured (optionally) but kept
+//! *outside* the deterministic [`SessionReport`]s, so determinism can be
+//! asserted byte-for-byte while throughput is still benchmarked from the
+//! same run.
+
+mod mix;
+mod session;
+
+pub use mix::ScenarioMix;
+pub use session::{DeviceSession, SessionReport, SessionSpec};
+
+use autoscale_rl::qtable::ShapeMismatchError;
+use autoscale_rl::QLearningAgent;
+use autoscale_sim::Simulator;
+use serde::{Deserialize, Serialize};
+
+use crate::action::ActionSpace;
+use crate::engine::EngineConfig;
+use crate::parallel::{cell_seed, resolve_threads, run_cells};
+use crate::state::StateSpace;
+
+/// Configuration of one serving run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServeConfig {
+    /// Engine configuration every session starts from (each session
+    /// re-derives its own `seed` field from the fleet seeding).
+    pub engine: EngineConfig,
+    /// Number of device sessions in the fleet.
+    pub sessions: usize,
+    /// Inference decisions each session serves.
+    pub decisions_per_session: usize,
+    /// Worker shards; `None` (or `Some(0)`) means one per hardware
+    /// thread. Clamped to `available_parallelism` either way.
+    pub shards: Option<usize>,
+    /// Fleet base seed; session `i` runs on
+    /// [`cell_seed`]`(base_seed, i)`.
+    pub base_seed: u64,
+    /// Whether to measure the wall-clock latency of every decision.
+    pub record_latency: bool,
+}
+
+impl ServeConfig {
+    /// A small default fleet: 16 sessions × 200 decisions, paper engine,
+    /// all shards, latency recording off.
+    pub fn fleet() -> Self {
+        ServeConfig {
+            engine: EngineConfig::paper(),
+            sessions: 16,
+            decisions_per_session: 200,
+            shards: None,
+            base_seed: 0xf1ee7,
+            record_latency: false,
+        }
+    }
+}
+
+/// The outcome of a serving run: one deterministic report per session,
+/// plus the (non-deterministic) decision-latency samples when
+/// [`ServeConfig::record_latency`] was set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Per-session reports, in session order.
+    pub sessions: Vec<SessionReport>,
+    /// Decision latencies in nanoseconds, concatenated in session order;
+    /// empty unless latency recording was on.
+    pub latencies_ns: Vec<u64>,
+}
+
+impl ServeReport {
+    /// Total decisions served across the fleet.
+    pub fn total_decisions(&self) -> usize {
+        self.sessions.iter().map(|s| s.decisions).sum()
+    }
+
+    /// FNV-1a digest over every session's trace digest — one number that
+    /// fingerprints the whole fleet's decision history. Equal digests
+    /// across shard counts is the serve determinism guarantee.
+    pub fn digest(&self) -> u64 {
+        self.sessions.iter().fold(session::fnv1a_start(), |h, s| {
+            session::fnv1a_fold(h, s.trace_digest)
+        })
+    }
+
+    /// Fraction of decisions that violated their scenario's QoS.
+    pub fn qos_violation_ratio(&self) -> f64 {
+        let total = self.total_decisions();
+        if total == 0 {
+            return 0.0;
+        }
+        self.sessions
+            .iter()
+            .map(|s| s.qos_violations)
+            .sum::<usize>() as f64
+            / total as f64
+    }
+
+    /// The `p`-th percentile of the recorded decision latencies, in
+    /// nanoseconds (`p` in [0, 100]); `None` when none were recorded.
+    pub fn latency_percentile_ns(&self, p: f64) -> Option<u64> {
+        if self.latencies_ns.is_empty() {
+            return None;
+        }
+        let mut sorted = self.latencies_ns.clone();
+        sorted.sort_unstable();
+        let rank = (p.clamp(0.0, 100.0) / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+        Some(sorted[rank])
+    }
+}
+
+/// Checks that a warm-start agent's Q-table matches the state and action
+/// spaces of this simulator's host device.
+///
+/// # Errors
+///
+/// Returns the shape mismatch when it does not.
+pub fn validate_warm_start(
+    sim: &Simulator,
+    agent: &QLearningAgent,
+) -> Result<(), ShapeMismatchError> {
+    let states = StateSpace::paper().len();
+    let actions = ActionSpace::for_simulator(sim).len();
+    if agent.q_table().states() != states || agent.q_table().actions() != actions {
+        return Err(ShapeMismatchError {
+            expected: (states, actions),
+            found: (agent.q_table().states(), agent.q_table().actions()),
+        });
+    }
+    Ok(())
+}
+
+/// Builds the fleet's session specs: `config.sessions` sessions assigned
+/// round-robin over the mix.
+pub fn session_specs(mix: &ScenarioMix, config: &ServeConfig) -> Vec<SessionSpec> {
+    (0..config.sessions)
+        .map(|i| {
+            let (workload, environment) = mix.assign(i);
+            SessionSpec {
+                session: i,
+                workload,
+                environment,
+                decisions: config.decisions_per_session,
+            }
+        })
+        .collect()
+}
+
+/// Runs the fleet: every session in `config` over the scenario `mix`,
+/// sharded across worker threads, optionally warm-started from a shared
+/// pre-trained agent.
+///
+/// Session `i` is a pure function of `(specs[i], cell_seed(base_seed,
+/// i))`, so the returned reports are bit-identical for any shard count;
+/// only `latencies_ns` (wall-clock measurements) varies between runs.
+///
+/// # Errors
+///
+/// Returns the shape mismatch if `warm_start` was trained for a
+/// different device — checked once, before any session is built.
+pub fn serve(
+    sim: &Simulator,
+    mix: &ScenarioMix,
+    config: &ServeConfig,
+    warm_start: Option<&QLearningAgent>,
+) -> Result<ServeReport, ShapeMismatchError> {
+    if let Some(agent) = warm_start {
+        validate_warm_start(sim, agent)?;
+    }
+    let specs = session_specs(mix, config);
+    let shards = resolve_threads(config.shards);
+    let results = run_cells(shards, config.base_seed, &specs, |cell| {
+        DeviceSession::new(sim, *cell.spec, config.engine, warm_start, cell.seed)
+            .run(config.record_latency)
+    });
+    let mut sessions = Vec::with_capacity(results.len());
+    let mut latencies_ns = Vec::new();
+    for (report, latencies) in results {
+        sessions.push(report);
+        latencies_ns.extend(latencies);
+    }
+    Ok(ServeReport {
+        sessions,
+        latencies_ns,
+    })
+}
+
+/// The seed of session `index` under a fleet `base_seed` — exposed so
+/// external drivers (benchmarks, CLIs) can reproduce a single session in
+/// isolation.
+pub fn session_seed(base_seed: u64, index: usize) -> u64 {
+    cell_seed(base_seed, index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::AutoScaleEngine;
+    use autoscale_nn::Workload;
+    use autoscale_platform::DeviceId;
+    use autoscale_sim::EnvironmentId;
+
+    fn small_config(shards: Option<usize>) -> ServeConfig {
+        ServeConfig {
+            sessions: 6,
+            decisions_per_session: 60,
+            shards,
+            ..ServeConfig::fleet()
+        }
+    }
+
+    #[test]
+    fn reports_are_bit_identical_for_any_shard_count() {
+        let sim = Simulator::new(DeviceId::Mi8Pro);
+        let mix = ScenarioMix::static_envs();
+        let reference = serve(&sim, &mix, &small_config(Some(1)), None).unwrap();
+        for shards in [Some(2), Some(4), None] {
+            let sharded = serve(&sim, &mix, &small_config(shards), None).unwrap();
+            assert_eq!(sharded.sessions, reference.sessions, "shards {shards:?}");
+            assert_eq!(sharded.digest(), reference.digest());
+        }
+    }
+
+    #[test]
+    fn sessions_get_distinct_scenarios_and_seeds() {
+        let sim = Simulator::new(DeviceId::Mi8Pro);
+        let mix = ScenarioMix::new(vec![
+            (Workload::MobileNetV1, EnvironmentId::S1),
+            (Workload::InceptionV1, EnvironmentId::S4),
+        ]);
+        let report = serve(&sim, &mix, &small_config(Some(1)), None).unwrap();
+        assert_eq!(report.sessions.len(), 6);
+        for (i, s) in report.sessions.iter().enumerate() {
+            assert_eq!(s.session, i);
+            assert_eq!((s.workload, s.environment), mix.assign(i));
+        }
+        // Sessions 0 and 2 share a scenario but not a seed: their traces
+        // must differ (independent exploration).
+        assert_ne!(
+            report.sessions[0].trace_digest,
+            report.sessions[2].trace_digest
+        );
+        assert_ne!(session_seed(1, 0), session_seed(1, 2));
+    }
+
+    #[test]
+    fn latency_recording_fills_the_buffer_without_changing_reports() {
+        let sim = Simulator::new(DeviceId::Mi8Pro);
+        let mix = ScenarioMix::single(Workload::MobileNetV2, EnvironmentId::S2);
+        let quiet = serve(&sim, &mix, &small_config(Some(1)), None).unwrap();
+        let timed = serve(
+            &sim,
+            &mix,
+            &ServeConfig {
+                record_latency: true,
+                ..small_config(Some(1))
+            },
+            None,
+        )
+        .unwrap();
+        assert_eq!(timed.sessions, quiet.sessions);
+        assert_eq!(timed.latencies_ns.len(), timed.total_decisions());
+        assert!(quiet.latencies_ns.is_empty());
+        assert!(timed.latency_percentile_ns(50.0).is_some());
+        assert!(
+            timed.latency_percentile_ns(99.0) >= timed.latency_percentile_ns(50.0),
+            "p99 >= p50"
+        );
+        assert_eq!(quiet.latency_percentile_ns(50.0), None);
+    }
+
+    #[test]
+    fn warm_start_is_validated_once_and_shapes_behavior() {
+        let mi8 = Simulator::new(DeviceId::Mi8Pro);
+        // Train a donor briefly, then serve a fleet warm-started from it.
+        let mut donor = AutoScaleEngine::new(&mi8, EngineConfig::paper());
+        let mut rng = crate::seeded_rng(9);
+        let mut env = autoscale_sim::Environment::for_id(EnvironmentId::S1);
+        for _ in 0..150 {
+            let snapshot = env.sample(&mut rng);
+            let step = donor.decide(&mi8, Workload::MobileNetV1, &snapshot, &mut rng);
+            let outcome = mi8
+                .execute_measured(Workload::MobileNetV1, &step.request, &snapshot, &mut rng)
+                .unwrap();
+            donor.learn(&mi8, Workload::MobileNetV1, step, &outcome, &snapshot);
+        }
+        let mix = ScenarioMix::single(Workload::MobileNetV1, EnvironmentId::S1);
+        let config = ServeConfig {
+            sessions: 3,
+            decisions_per_session: 40,
+            ..ServeConfig::fleet()
+        };
+        let cold = serve(&mi8, &mix, &config, None).unwrap();
+        let warm = serve(&mi8, &mix, &config, Some(donor.agent())).unwrap();
+        assert_ne!(
+            warm.sessions[0].trace_digest, cold.sessions[0].trace_digest,
+            "a trained table changes the decision trace"
+        );
+        // A Moto-shaped table must be rejected before any session runs.
+        let moto = Simulator::new(DeviceId::MotoXForce);
+        let foreign = AutoScaleEngine::new(&moto, EngineConfig::paper());
+        let err = serve(&mi8, &mix, &config, Some(foreign.agent())).unwrap_err();
+        assert_ne!(err.expected, err.found);
+    }
+
+    #[test]
+    fn qos_ratio_and_totals_add_up() {
+        let sim = Simulator::new(DeviceId::Mi8Pro);
+        let mix = ScenarioMix::static_envs();
+        let report = serve(&sim, &mix, &small_config(None), None).unwrap();
+        assert_eq!(report.total_decisions(), 6 * 60);
+        let ratio = report.qos_violation_ratio();
+        assert!((0.0..=1.0).contains(&ratio), "ratio {ratio}");
+        assert!(report.sessions.iter().all(|s| s.total_energy_mj > 0.0));
+    }
+}

@@ -1,0 +1,268 @@
+//! One device session: an independent AutoScale lifetime — its own
+//! engine, environment trace and RNG stream — driven for a fixed number
+//! of decisions.
+//!
+//! A session is the unit of work the serving shards pull from the queue.
+//! Everything a session computes is a pure function of its
+//! [`SessionSpec`] and seed, so its [`SessionReport`] is bit-identical
+//! no matter which shard runs it or what else runs beside it. Wall-clock
+//! decision latencies are the one exception — they are measured, not
+//! simulated — so they are returned *next to* the report, never inside
+//! it.
+
+use autoscale_nn::Workload;
+use autoscale_rl::QLearningAgent;
+use autoscale_sim::{Environment, EnvironmentId, Simulator};
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+use crate::engine::{AutoScaleEngine, EngineConfig};
+use crate::parallel::cell_seed;
+use crate::seeded_rng;
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds one `u64` into an FNV-1a digest, byte by byte.
+pub(crate) fn fnv1a_fold(mut hash: u64, word: u64) -> u64 {
+    for byte in word.to_le_bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Starts an FNV-1a digest.
+pub(crate) fn fnv1a_start() -> u64 {
+    FNV_OFFSET
+}
+
+/// What one session runs: its index in the fleet, its scenario, and how
+/// many inferences it serves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SessionSpec {
+    /// Position of the session in the fleet (also its grid index in the
+    /// shard queue).
+    pub session: usize,
+    /// The model this session serves.
+    pub workload: Workload,
+    /// The Table IV environment its runtime variance is drawn from.
+    pub environment: EnvironmentId,
+    /// Number of inference decisions to serve.
+    pub decisions: usize,
+}
+
+/// The deterministic outcome of one session.
+///
+/// Contains **no wall-clock measurements**: two runs of the same spec
+/// and seed produce byte-identical reports regardless of shard count,
+/// which is what the shard-invariance tests compare.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionReport {
+    /// The session index this report belongs to.
+    pub session: usize,
+    /// The workload served.
+    pub workload: Workload,
+    /// The environment the session ran in.
+    pub environment: EnvironmentId,
+    /// Decisions actually served.
+    pub decisions: usize,
+    /// FNV-1a digest over the full (state, action) decision trace — a
+    /// compact fingerprint two traces can be compared by.
+    pub trace_digest: u64,
+    /// Mean eq. (5) reward over the session.
+    pub mean_reward: f64,
+    /// Decisions whose measured latency exceeded the scenario QoS.
+    pub qos_violations: usize,
+    /// Total measured energy over the session, in mJ.
+    pub total_energy_mj: f64,
+    /// The decision index at which the reward converged, if it did.
+    pub converged_at: Option<usize>,
+}
+
+/// One live device session: engine, environment and RNG bundled over a
+/// shared simulator.
+///
+/// The per-decision loop is allocation-free: the engine's feasibility
+/// masks are precomputed per workload, the epsilon-greedy policy scans
+/// the mask in place, and the latency buffer is sized once up front.
+pub struct DeviceSession<'a> {
+    sim: &'a Simulator,
+    spec: SessionSpec,
+    engine: AutoScaleEngine,
+    env: Environment,
+    rng: StdRng,
+    qos_ms: f64,
+    latencies_ns: Vec<u64>,
+}
+
+impl<'a> DeviceSession<'a> {
+    /// Builds a session over a shared simulator.
+    ///
+    /// `seed` is the session's private seed (one per session, derived by
+    /// the caller — see [`crate::parallel::cell_seed`]); the engine's
+    /// Q-table initialization and the environment/exploration stream are
+    /// split from it so they stay uncorrelated. A `warm_start` agent is
+    /// cloned into the session so each session keeps learning
+    /// independently; its shape must already have been validated against
+    /// this simulator's device (serve does this once for the fleet).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `warm_start` has a Q-table shaped for a different
+    /// device — validate with [`super::validate_warm_start`] first.
+    pub fn new(
+        sim: &'a Simulator,
+        spec: SessionSpec,
+        config: EngineConfig,
+        warm_start: Option<&QLearningAgent>,
+        seed: u64,
+    ) -> Self {
+        let engine_config = EngineConfig {
+            seed: cell_seed(seed, 0),
+            ..config
+        };
+        let engine = match warm_start {
+            Some(agent) => AutoScaleEngine::with_agent(sim, engine_config, agent.clone())
+                .expect("warm-start shape is validated before sessions are built"),
+            None => AutoScaleEngine::new(sim, engine_config),
+        };
+        let qos_ms = config.scenario_for(spec.workload).qos_ms();
+        DeviceSession {
+            sim,
+            spec,
+            engine,
+            env: Environment::for_id(spec.environment),
+            rng: seeded_rng(cell_seed(seed, 1)),
+            qos_ms,
+            latencies_ns: Vec::new(),
+        }
+    }
+
+    /// Runs the session to completion: `spec.decisions` iterations of
+    /// decide → execute → learn, freezing to pure exploitation once the
+    /// reward converges (the paper's serving-mode switch).
+    ///
+    /// With `record_latency` the wall-clock time of each *decision* (the
+    /// Q-table lookup, not the simulated inference) is captured in
+    /// nanoseconds; the measurements are returned beside the
+    /// deterministic report.
+    pub fn run(mut self, record_latency: bool) -> (SessionReport, Vec<u64>) {
+        if record_latency {
+            self.latencies_ns.reserve_exact(self.spec.decisions);
+        }
+        let mut digest = fnv1a_start();
+        let mut reward_sum = 0.0;
+        let mut qos_violations = 0;
+        let mut total_energy_mj = 0.0;
+        let mut frozen_at: Option<usize> = None;
+        for i in 0..self.spec.decisions {
+            let snapshot = self.env.sample(&mut self.rng);
+            // A single decide() path keeps the RNG draw sequence a pure
+            // function of the session's history: freezing sets ε = 0
+            // inside the policy rather than switching to a different
+            // (differently-drawing) greedy call site.
+            let step = if record_latency {
+                let t0 = std::time::Instant::now();
+                let step =
+                    self.engine
+                        .decide(self.sim, self.spec.workload, &snapshot, &mut self.rng);
+                self.latencies_ns
+                    .push(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                step
+            } else {
+                self.engine
+                    .decide(self.sim, self.spec.workload, &snapshot, &mut self.rng)
+            };
+            digest = fnv1a_fold(digest, step.state_index as u64);
+            digest = fnv1a_fold(digest, step.action_index as u64);
+            let outcome = self
+                .sim
+                .execute_measured(self.spec.workload, &step.request, &snapshot, &mut self.rng)
+                .expect("the engine only proposes feasible requests");
+            if outcome.latency_ms > self.qos_ms {
+                qos_violations += 1;
+            }
+            total_energy_mj += outcome.energy_mj;
+            reward_sum +=
+                self.engine
+                    .learn(self.sim, self.spec.workload, step, &outcome, &snapshot);
+            if frozen_at.is_none() && self.engine.is_converged() {
+                self.engine.freeze();
+                frozen_at = Some(i);
+            }
+        }
+        let report = SessionReport {
+            session: self.spec.session,
+            workload: self.spec.workload,
+            environment: self.spec.environment,
+            decisions: self.spec.decisions,
+            trace_digest: digest,
+            mean_reward: if self.spec.decisions == 0 {
+                0.0
+            } else {
+                reward_sum / self.spec.decisions as f64
+            },
+            qos_violations,
+            total_energy_mj,
+            converged_at: frozen_at,
+        };
+        (report, self.latencies_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autoscale_platform::DeviceId;
+
+    fn spec(decisions: usize) -> SessionSpec {
+        SessionSpec {
+            session: 0,
+            workload: Workload::MobileNetV1,
+            environment: EnvironmentId::S1,
+            decisions,
+        }
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_report_bit_for_bit() {
+        let sim = Simulator::new(DeviceId::Mi8Pro);
+        let run = |seed| {
+            DeviceSession::new(&sim, spec(120), EngineConfig::paper(), None, seed)
+                .run(false)
+                .0
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7).trace_digest, run(8).trace_digest);
+    }
+
+    #[test]
+    fn latency_recording_does_not_perturb_the_trace() {
+        let sim = Simulator::new(DeviceId::Mi8Pro);
+        let timed = DeviceSession::new(&sim, spec(80), EngineConfig::paper(), None, 3).run(true);
+        let untimed = DeviceSession::new(&sim, spec(80), EngineConfig::paper(), None, 3).run(false);
+        assert_eq!(timed.0, untimed.0);
+        assert_eq!(timed.1.len(), 80);
+        assert!(untimed.1.is_empty());
+    }
+
+    #[test]
+    fn long_sessions_converge_and_freeze() {
+        let sim = Simulator::new(DeviceId::Mi8Pro);
+        let (report, _) =
+            DeviceSession::new(&sim, spec(200), EngineConfig::paper(), None, 11).run(false);
+        assert!(report.converged_at.is_some(), "200 calm runs converge");
+        assert_eq!(report.decisions, 200);
+        assert!(report.mean_reward.is_finite());
+    }
+
+    #[test]
+    fn fnv_digest_is_order_sensitive() {
+        let a = fnv1a_fold(fnv1a_fold(fnv1a_start(), 1), 2);
+        let b = fnv1a_fold(fnv1a_fold(fnv1a_start(), 2), 1);
+        assert_ne!(a, b);
+    }
+}

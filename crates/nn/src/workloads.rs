@@ -68,6 +68,26 @@ impl Workload {
         }
     }
 
+    /// The workload's position in [`Workload::ALL`] (Table III order).
+    ///
+    /// Constant-time, so per-workload lookup tables (e.g. cached
+    /// feasibility masks on the serving hot path) can index by workload
+    /// without scanning `ALL`.
+    pub fn index(self) -> usize {
+        match self {
+            Workload::InceptionV1 => 0,
+            Workload::InceptionV3 => 1,
+            Workload::MobileNetV1 => 2,
+            Workload::MobileNetV2 => 3,
+            Workload::MobileNetV3 => 4,
+            Workload::ResNet50 => 5,
+            Workload::SsdMobileNetV1 => 6,
+            Workload::SsdMobileNetV2 => 7,
+            Workload::SsdMobileNetV3 => 8,
+            Workload::MobileBert => 9,
+        }
+    }
+
     /// The use case the workload serves (Table III, "Workload" column).
     pub fn task(self) -> Task {
         match self {
@@ -354,6 +374,13 @@ fn apportion(total: u64, weights: &[u64]) -> Vec<u64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn index_matches_position_in_all() {
+        for (i, w) in Workload::ALL.iter().enumerate() {
+            assert_eq!(w.index(), i, "{w}");
+        }
+    }
 
     #[test]
     fn table_iii_layer_counts() {

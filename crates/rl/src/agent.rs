@@ -109,6 +109,14 @@ impl QLearningAgent {
         &self.q
     }
 
+    /// Mutable access to the Q-table, for in-place warm-starts such as
+    /// the engine's cross-device action-matched transfer. Writing through
+    /// this reference keeps the table's argmax cache consistent (every
+    /// write goes through [`QTable::set`]/[`QTable::add`]).
+    pub fn q_table_mut(&mut self) -> &mut QTable {
+        &mut self.q
+    }
+
     /// The agent's hyperparameters.
     pub fn params(&self) -> Hyperparameters {
         self.params

@@ -69,12 +69,21 @@ impl EpsilonGreedy {
             q.actions(),
             "mask length must equal action count"
         );
-        let allowed: Vec<usize> = (0..mask.len()).filter(|&a| mask[a]).collect();
-        if allowed.is_empty() {
+        // Allocation-free: the serving hot path calls this per decision,
+        // so the allowed set is counted and indexed through the mask
+        // instead of materializing a Vec. The RNG draw order (one f64,
+        // then one bounded range) matches the original Vec-based
+        // implementation, keeping trained traces bit-identical.
+        let allowed = mask.iter().filter(|&&m| m).count();
+        if allowed == 0 {
             return None;
         }
         if rng.gen::<f64>() < self.epsilon {
-            Some(allowed[rng.gen_range(0..allowed.len())])
+            let k = rng.gen_range(0..allowed);
+            mask.iter()
+                .enumerate()
+                .filter_map(|(a, &m)| m.then_some(a))
+                .nth(k)
         } else {
             q.best_action(state, mask).map(|(a, _)| a)
         }

@@ -3,17 +3,51 @@
 //! The paper sizes this concretely: about 3,072 states × ~66 actions,
 //! for a memory footprint of roughly 0.4 MB (Section VI-C) — "only 0.01%
 //! of the 3 GB DRAM capacity of a typical mid-end mobile device".
+//!
+//! ## The argmax cache
+//!
+//! A greedy decision is an argmax over one state's row, and the paper's
+//! pitch is that this costs microseconds. Scanning ~66 actions per
+//! decision is already cheap, but the serving hot path asks for the same
+//! row maximum on *every* decision and *every* learning update (the
+//! bootstrap term), so the table keeps a per-state cache of the
+//! lowest-index maximizer. The cache is maintained incrementally on
+//! [`QTable::set`]/[`QTable::add`]: a write that raises the maximum or
+//! ties it at a lower index updates the cache in O(1); only a write that
+//! lowers the current maximum triggers an O(actions) row rescan. With a
+//! feasibility mask, the cached entry answers in O(1) whenever the cached
+//! action is allowed (always true for fully feasible workloads); otherwise
+//! the lookup falls back to the masked scan. `tests/properties.rs` proves
+//! cache == brute-force rescan under arbitrary write interleavings.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+/// The cached lowest-index maximizer of one state's row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct RowMax {
+    action: u32,
+    value: f64,
+}
+
 /// A dense table of Q(S, A) values.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct QTable {
     states: usize,
     actions: usize,
     values: Vec<f64>,
+    /// Per-state lowest-index argmax, kept consistent with `values` by
+    /// every write. Derived data: excluded from equality and serde.
+    row_max: Vec<RowMax>,
+}
+
+impl PartialEq for QTable {
+    fn eq(&self, other: &Self) -> bool {
+        // `row_max` is derived from `values`; comparing it would only
+        // re-compare the same information.
+        self.states == other.states && self.actions == other.actions && self.values == other.values
+    }
 }
 
 impl QTable {
@@ -32,11 +66,7 @@ impl QTable {
         let values = (0..states * actions)
             .map(|_| rng.gen_range(-0.01..0.01))
             .collect();
-        QTable {
-            states,
-            actions,
-            values,
-        }
+        QTable::from_values(states, actions, values)
     }
 
     /// Creates a zero-initialized table (useful for deterministic tests).
@@ -45,10 +75,62 @@ impl QTable {
             states > 0 && actions > 0,
             "Q-table dimensions must be non-zero"
         );
-        QTable {
+        QTable::from_values(states, actions, vec![0.0; states * actions])
+    }
+
+    /// Builds a table around existing values, computing the argmax cache.
+    fn from_values(states: usize, actions: usize, values: Vec<f64>) -> Self {
+        debug_assert_eq!(values.len(), states * actions);
+        let mut table = QTable {
             states,
             actions,
-            values: vec![0.0; states * actions],
+            values,
+            row_max: Vec::new(),
+        };
+        table.rebuild_cache();
+        table
+    }
+
+    /// Recomputes every row's cached argmax from scratch.
+    fn rebuild_cache(&mut self) {
+        self.row_max = (0..self.states).map(|s| self.scan_row(s)).collect();
+    }
+
+    /// Brute-force lowest-index maximizer of a row.
+    fn scan_row(&self, state: usize) -> RowMax {
+        let row = &self.values[state * self.actions..(state + 1) * self.actions];
+        let mut best = RowMax {
+            action: 0,
+            value: row[0],
+        };
+        for (a, &v) in row.iter().enumerate().skip(1) {
+            if v > best.value {
+                best = RowMax {
+                    action: a as u32,
+                    value: v,
+                };
+            }
+        }
+        best
+    }
+
+    /// Restores the cache invariant after `values[state, action] = value`.
+    ///
+    /// O(1) unless the write lowered the current row maximum, which forces
+    /// an O(actions) rescan of that row.
+    fn note_write(&mut self, state: usize, action: usize, value: f64) {
+        let cached = self.row_max[state];
+        let a = action as u32;
+        if a == cached.action {
+            if value >= cached.value {
+                // The maximum grew in place: no other entry can now tie it
+                // (ties would have had to exceed the previous maximum).
+                self.row_max[state].value = value;
+            } else {
+                self.row_max[state] = self.scan_row(state);
+            }
+        } else if value > cached.value || (value == cached.value && a < cached.action) {
+            self.row_max[state] = RowMax { action: a, value };
         }
     }
 
@@ -79,12 +161,15 @@ impl QTable {
     pub fn set(&mut self, state: usize, action: usize, value: f64) {
         let i = self.index(state, action);
         self.values[i] = value;
+        self.note_write(state, action, value);
     }
 
     /// Adds `delta` to Q(S, A) — the Algorithm 1 update's in-place form.
     pub fn add(&mut self, state: usize, action: usize, delta: f64) {
         let i = self.index(state, action);
         self.values[i] += delta;
+        let value = self.values[i];
+        self.note_write(state, action, value);
     }
 
     /// The action with the largest Q value among those `mask` allows, and
@@ -93,6 +178,10 @@ impl QTable {
     /// Masking exists because not every action is feasible for every
     /// inference: e.g. a DSP cannot execute a recurrent model, so its
     /// actions are masked out while MobileBERT is being scheduled.
+    ///
+    /// O(1) whenever the cached row maximizer is allowed by `mask` (the
+    /// global maximizer over a superset is the maximizer of any allowed
+    /// subset containing it); otherwise a masked O(actions) scan.
     ///
     /// Returns `None` if the mask allows no action.
     ///
@@ -106,12 +195,20 @@ impl QTable {
             "mask length must equal action count"
         );
         assert!(state < self.states, "state out of range");
+        let cached = self.row_max[state];
+        if mask[cached.action as usize] {
+            // The cached entry is the lowest-index maximizer over *all*
+            // actions; when the mask allows it, no allowed action can beat
+            // it, and a lower-index allowed tie would itself be a
+            // lower-index global maximizer — contradiction.
+            return Some((cached.action as usize, cached.value));
+        }
+        let row = &self.values[state * self.actions..(state + 1) * self.actions];
         let mut best: Option<(usize, f64)> = None;
-        for (a, &allowed) in mask.iter().enumerate() {
+        for (a, (&allowed, &v)) in mask.iter().zip(row).enumerate() {
             if !allowed {
                 continue;
             }
-            let v = self.get(state, a);
             if best.is_none_or(|(_, bv)| v > bv) {
                 best = Some((a, v));
             }
@@ -151,6 +248,7 @@ impl QTable {
             });
         }
         self.values.copy_from_slice(&source.values);
+        self.row_max.copy_from_slice(&source.row_max);
         Ok(())
     }
 
@@ -166,6 +264,44 @@ impl QTable {
             self.actions
         );
         state * self.actions + action
+    }
+}
+
+// Serde is hand-written rather than derived so persisted snapshots carry
+// only the truth (`states`, `actions`, `values`) — the argmax cache is
+// rebuilt on load — and so a tampered or truncated snapshot is rejected
+// at parse time instead of panicking on first use.
+impl Serialize for QTable {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("states".to_string(), self.states.to_value()),
+            ("actions".to_string(), self.actions.to_value()),
+            ("values".to_string(), self.values.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for QTable {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = value
+            .as_object()
+            .ok_or_else(|| serde::Error::expected("an object", value))?;
+        let states: usize = serde::__field(obj, "states", "QTable")?;
+        let actions: usize = serde::__field(obj, "actions", "QTable")?;
+        let values: Vec<f64> = serde::__field(obj, "values", "QTable")?;
+        if states == 0 || actions == 0 {
+            return Err(serde::Error::custom(format!(
+                "q-table dimensions must be non-zero, found {states}x{actions}"
+            )));
+        }
+        if values.len() != states * actions {
+            return Err(serde::Error::custom(format!(
+                "q-table dimension mismatch: {states}x{actions} needs {} values, found {}",
+                states * actions,
+                values.len()
+            )));
+        }
+        Ok(QTable::from_values(states, actions, values))
     }
 }
 
@@ -235,6 +371,41 @@ mod tests {
     }
 
     #[test]
+    fn cache_survives_a_lowered_maximum() {
+        // Raising, tying and then lowering the maximum exercises every
+        // branch of the incremental maintenance, including the rescan.
+        let mut q = QTable::new_zeroed(1, 4);
+        q.set(0, 2, 9.0);
+        assert_eq!(q.best_action(0, &[true; 4]), Some((2, 9.0)));
+        // A tie at a lower index must steal the argmax...
+        q.set(0, 1, 9.0);
+        assert_eq!(q.best_action(0, &[true; 4]), Some((1, 9.0)));
+        // ...and a tie at a higher index must not.
+        q.set(0, 3, 9.0);
+        assert_eq!(q.best_action(0, &[true; 4]), Some((1, 9.0)));
+        // Lowering the cached maximum forces the rescan path.
+        q.set(0, 1, -1.0);
+        assert_eq!(q.best_action(0, &[true; 4]), Some((2, 9.0)));
+        q.set(0, 2, -2.0);
+        assert_eq!(q.best_action(0, &[true; 4]), Some((3, 9.0)));
+        q.set(0, 3, -3.0);
+        assert_eq!(q.best_action(0, &[true; 4]), Some((0, 0.0)));
+        // `add` maintains the cache too.
+        q.add(0, 2, 10.0);
+        assert_eq!(q.best_action(0, &[true; 4]), Some((2, 8.0)));
+    }
+
+    #[test]
+    fn masked_cached_action_falls_back_to_scan() {
+        let mut q = QTable::new_zeroed(1, 3);
+        q.set(0, 0, 5.0);
+        q.set(0, 1, 4.0);
+        // The cached argmax (action 0) is masked out: the scan must find
+        // the best allowed action instead.
+        assert_eq!(q.best_action(0, &[false, true, true]), Some((1, 4.0)));
+    }
+
+    #[test]
     fn paper_scale_table_fits_the_memory_budget() {
         // ~3,072 states × 66 actions: Section VI-C reports 0.4 MB. An f64
         // table lands at 1.6 MB; the paper presumably stores narrower
@@ -251,6 +422,8 @@ mod tests {
         let mut recipient = QTable::new_random(2, 2, 1);
         recipient.transfer_from(&donor).unwrap();
         assert_eq!(recipient.get(1, 1), 9.0);
+        // The cache must follow the transferred values.
+        assert_eq!(recipient.best_action(1, &[true, true]), Some((1, 9.0)));
     }
 
     #[test]
@@ -269,6 +442,40 @@ mod tests {
         let json = serde_json::to_string(&q).unwrap();
         let back: QTable = serde_json::from_str(&json).unwrap();
         assert_eq!(q, back);
+        // The rebuilt cache must answer like the original.
+        for s in 0..4 {
+            assert_eq!(
+                q.best_action(s, &[true; 3]),
+                back.best_action(s, &[true; 3])
+            );
+        }
+    }
+
+    #[test]
+    fn deserialize_rejects_dimension_mismatch() {
+        // 2x2 header over 3 values: a truncated or tampered snapshot.
+        let json = r#"{"states":2,"actions":2,"values":[0.0,1.0,2.0]}"#;
+        let err = serde_json::from_str::<QTable>(json).unwrap_err();
+        assert!(
+            err.to_string().contains("dimension mismatch"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn deserialize_rejects_zero_dimensions() {
+        let json = r#"{"states":0,"actions":5,"values":[]}"#;
+        let err = serde_json::from_str::<QTable>(json).unwrap_err();
+        assert!(
+            err.to_string().contains("non-zero"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn deserialize_rejects_missing_fields() {
+        let json = r#"{"states":2,"actions":2}"#;
+        assert!(serde_json::from_str::<QTable>(json).is_err());
     }
 
     #[test]

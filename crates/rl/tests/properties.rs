@@ -142,4 +142,71 @@ proptest! {
         let back: QTable = serde_json::from_str(&json).expect("deserializes");
         prop_assert_eq!(q, back);
     }
+
+    /// The incrementally maintained argmax cache answers exactly like a
+    /// brute-force row rescan — same action, same value, same
+    /// lower-index tie-breaking — under arbitrary interleavings of
+    /// direct writes and Algorithm 1 updates and under arbitrary masks.
+    /// Values are small integers so ties happen constantly.
+    #[test]
+    fn argmax_cache_matches_rescan(
+        states in 1usize..6,
+        actions in 1usize..8,
+        ops in prop::collection::vec((0usize..6, 0usize..8, 0u8..2, -3i8..=3i8), 0..100),
+        seed in any::<u64>(),
+    ) {
+        let params = Hyperparameters {
+            learning_rate: 0.9,
+            discount: 0.1,
+            epsilon: 0.0,
+        };
+        let mut agent = QLearningAgent::with_table(QTable::new_zeroed(states, actions), params);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let full = vec![true; actions];
+        for (s, a, kind, v) in ops {
+            let (s, a, v) = (s % states, a % actions, v as f64);
+            if kind == 0 {
+                agent.q_table_mut().set(s, a, v);
+            } else {
+                let next = rng.gen_range(0..states);
+                agent.update(s, a, v, next, &full);
+            }
+            for state in 0..states {
+                let mut mask: Vec<bool> = (0..actions).map(|_| rng.gen_bool(0.8)).collect();
+                if !mask.iter().any(|&m| m) {
+                    mask[rng.gen_range(0..actions)] = true;
+                }
+                for m in [&mask, &full] {
+                    let mut brute: Option<(usize, f64)> = None;
+                    for a2 in (0..actions).filter(|&a2| m[a2]) {
+                        let v2 = agent.q_table().get(state, a2);
+                        if brute.is_none_or(|(_, bv)| v2 > bv) {
+                            brute = Some((a2, v2));
+                        }
+                    }
+                    prop_assert_eq!(agent.q_table().best_action(state, m), brute);
+                }
+            }
+        }
+    }
+
+    /// Persisted agent snapshots (the session warm-start format) survive
+    /// serde exactly, and a snapshot whose value array was truncated or
+    /// padded is rejected at parse time rather than panicking later.
+    #[test]
+    fn agent_snapshot_round_trip_and_tamper_rejection(
+        states in 1usize..8,
+        actions in 1usize..8,
+        seed in any::<u64>(),
+        extra in 1usize..4,
+    ) {
+        let agent = QLearningAgent::new(states, actions, Hyperparameters::paper(), seed);
+        let json = serde_json::to_string(&agent).expect("serializes");
+        let back: QLearningAgent = serde_json::from_str(&json).expect("deserializes");
+        prop_assert_eq!(&agent, &back);
+        // Tamper: grow the values array past states*actions.
+        let tampered = json.replacen("\"values\":[", &format!("\"values\":[{}", "0.5,".repeat(extra)), 1);
+        prop_assert!(serde_json::from_str::<QLearningAgent>(&tampered).is_err());
+    }
 }
