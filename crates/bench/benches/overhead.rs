@@ -12,7 +12,9 @@ fn warmed_engine(sim: &Simulator) -> AutoScaleEngine {
     let mut rng = autoscale::seeded_rng(1);
     let snapshot = Snapshot::calm();
     for _ in 0..200 {
-        let step = engine.decide(sim, Workload::MobileNetV3, &snapshot, &mut rng);
+        let step = engine
+            .decide(sim, Workload::MobileNetV3, &snapshot, &mut rng)
+            .expect("feasible");
         let outcome = sim
             .execute_measured(Workload::MobileNetV3, &step.request, &snapshot, &mut rng)
             .expect("feasible");
@@ -27,7 +29,11 @@ fn bench_overhead(c: &mut Criterion) {
     let snapshot = Snapshot::calm();
 
     c.bench_function("serving_decision", |b| {
-        b.iter(|| engine.decide_greedy(&sim, black_box(Workload::MobileNetV3), &snapshot))
+        b.iter(|| {
+            engine
+                .decide_greedy(&sim, black_box(Workload::MobileNetV3), &snapshot)
+                .expect("feasible")
+        })
     });
 
     c.bench_function("state_encode", |b| {
@@ -44,12 +50,15 @@ fn bench_overhead(c: &mut Criterion) {
                 Workload::MobileNetV3,
                 &engine
                     .decide_greedy(&sim, Workload::MobileNetV3, &snapshot)
+                    .expect("feasible")
                     .request,
                 &snapshot,
             )
             .expect("feasible");
         b.iter(|| {
-            let step = engine.decide(&sim, Workload::MobileNetV3, &snapshot, &mut rng);
+            let step = engine
+                .decide(&sim, Workload::MobileNetV3, &snapshot, &mut rng)
+                .expect("feasible");
             engine.learn(
                 &sim,
                 Workload::MobileNetV3,

@@ -84,7 +84,9 @@ fn main() {
                 let rep = ev.run(&mut sched, w, env, WARMUP, RUNS, None, &mut rng);
                 ppws.push(rep.normalized_ppw(&baseline));
                 // Count how often the greedy decision lands on an NPU/TPU.
-                let step = engine.decide_greedy(ev.sim(), w, &Snapshot::calm());
+                let step = engine
+                    .decide_greedy(ev.sim(), w, &Snapshot::calm())
+                    .expect("feasible");
                 npu_share.push(
                     (step.request.placement.processor_kind() == ProcessorKind::Npu) as u8 as f64,
                 );

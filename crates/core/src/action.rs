@@ -176,6 +176,7 @@ impl ActionSpace {
         self.coarse_targets()
             .iter()
             .position(|&(p, prec)| p == r.placement && prec == r.precision)
+            // lint:allow(panic-in-lib): requests are enumerated from coarse_targets, so position always finds one
             .expect("every action belongs to a coarse target")
     }
 

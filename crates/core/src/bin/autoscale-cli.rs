@@ -327,7 +327,9 @@ fn cmd_decide(flags: &BTreeMap<String, String>) -> Result<(), String> {
             .sample(&mut autoscale::seeded_rng(parse_u64(flags, "seed", 0)?)),
         None => Snapshot::calm(),
     };
-    let step = engine.decide_greedy(&sim, workload, &snapshot);
+    let step = engine
+        .decide_greedy(&sim, workload, &snapshot)
+        .map_err(|e| e.to_string())?;
     let outcome = sim
         .execute_expected(workload, &step.request, &snapshot)
         .map_err(|e| e.to_string())?;
@@ -413,7 +415,9 @@ fn cmd_trace(flags: &BTreeMap<String, String>) -> Result<(), String> {
     let mut trace = Trace::new();
     for _ in 0..runs {
         let snapshot = environment.sample(&mut rng);
-        let step = engine.decide_greedy(&sim, workload, &snapshot);
+        let step = engine
+            .decide_greedy(&sim, workload, &snapshot)
+            .map_err(|e| e.to_string())?;
         let outcome = sim
             .execute_measured(workload, &step.request, &snapshot, &mut rng)
             .map_err(|e| e.to_string())?;

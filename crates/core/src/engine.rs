@@ -94,6 +94,31 @@ pub struct DecisionStep {
     pub request: Request,
 }
 
+/// No action in the action space can serve a workload on this device.
+///
+/// Cannot occur on the paper's three testbeds — their CPUs run every
+/// Table III model, so the feasibility mask always has at least one
+/// `true` — but an engine built for a hypothetical device without a
+/// universal fallback processor would hit it, and the serving stack
+/// must surface that as a typed error rather than an abort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NoFeasibleActionError {
+    /// The workload no action could serve.
+    pub workload: Workload,
+}
+
+impl std::fmt::Display for NoFeasibleActionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "no feasible action for workload {} on this device (empty feasibility mask)",
+            self.workload
+        )
+    }
+}
+
+impl std::error::Error for NoFeasibleActionError {}
+
 /// The AutoScale execution-scaling engine.
 ///
 /// An engine binds to the device it was built for: the action space and
@@ -213,51 +238,57 @@ impl AutoScaleEngine {
     /// Selects an action for the next inference with the epsilon-greedy
     /// policy (steps ① and ② of the paper's Fig. 8).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if no action is feasible for the workload — cannot happen
-    /// for the paper's devices, whose CPUs run every model.
+    /// Returns [`NoFeasibleActionError`] when the workload's feasibility
+    /// mask is empty — impossible on the paper's devices, whose CPUs run
+    /// every model.
     pub fn decide(
         &self,
         sim: &Simulator,
         workload: Workload,
         snapshot: &Snapshot,
         rng: &mut StdRng,
-    ) -> DecisionStep {
+    ) -> Result<DecisionStep, NoFeasibleActionError> {
         let state_index = self
             .states
             .encode_observation(sim.network(workload), snapshot);
         let action_index = self
             .agent
             .select_action(state_index, self.mask_for(workload), rng)
-            .expect("the CPU can always run the model");
-        DecisionStep {
+            .ok_or(NoFeasibleActionError { workload })?;
+        Ok(DecisionStep {
             state_index,
             action_index,
             request: self.actions.request(action_index),
-        }
+        })
     }
 
     /// Selects the greedy (exploitation-only) action — serving mode, once
     /// training has converged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NoFeasibleActionError`] when the workload's feasibility
+    /// mask is empty — see [`AutoScaleEngine::decide`].
     pub fn decide_greedy(
         &self,
         sim: &Simulator,
         workload: Workload,
         snapshot: &Snapshot,
-    ) -> DecisionStep {
+    ) -> Result<DecisionStep, NoFeasibleActionError> {
         let state_index = self
             .states
             .encode_observation(sim.network(workload), snapshot);
         let action_index = self
             .agent
             .select_greedy(state_index, self.mask_for(workload))
-            .expect("the CPU can always run the model");
-        DecisionStep {
+            .ok_or(NoFeasibleActionError { workload })?;
+        Ok(DecisionStep {
             state_index,
             action_index,
             request: self.actions.request(action_index),
-        }
+        })
     }
 
     /// Feeds the measured result of an executed decision back into the
@@ -408,7 +439,9 @@ mod tests {
         let mut env = Environment::for_id(EnvironmentId::S1);
         for _ in 0..runs {
             let snapshot = env.sample(&mut rng);
-            let step = engine.decide(sim, workload, &snapshot, &mut rng);
+            let step = engine
+                .decide(sim, workload, &snapshot, &mut rng)
+                .expect("feasible");
             let outcome = sim
                 .execute_measured(workload, &step.request, &snapshot, &mut rng)
                 .expect("feasible");
@@ -422,7 +455,9 @@ mod tests {
         let sim = Simulator::new(DeviceId::Mi8Pro);
         let engine = trained_engine(&sim, Workload::InceptionV1, 150);
         let snapshot = Snapshot::calm();
-        let step = engine.decide_greedy(&sim, Workload::InceptionV1, &snapshot);
+        let step = engine
+            .decide_greedy(&sim, Workload::InceptionV1, &snapshot)
+            .expect("feasible");
         let chosen = sim
             .execute_expected(Workload::InceptionV1, &step.request, &snapshot)
             .unwrap();
@@ -448,7 +483,9 @@ mod tests {
         let engine = AutoScaleEngine::new(&sim, EngineConfig::paper());
         let mut rng = seeded_rng(3);
         for _ in 0..50 {
-            let step = engine.decide(&sim, Workload::MobileBert, &Snapshot::calm(), &mut rng);
+            let step = engine
+                .decide(&sim, Workload::MobileBert, &Snapshot::calm(), &mut rng)
+                .expect("feasible");
             assert!(
                 sim.is_feasible(Workload::MobileBert, &step.request),
                 "{}",
@@ -463,7 +500,9 @@ mod tests {
         let mut engine = AutoScaleEngine::new(&sim, EngineConfig::paper());
         let mut rng = seeded_rng(5);
         let snapshot = Snapshot::calm();
-        let step = engine.decide(&sim, Workload::MobileNetV1, &snapshot, &mut rng);
+        let step = engine
+            .decide(&sim, Workload::MobileNetV1, &snapshot, &mut rng)
+            .expect("feasible");
         let outcome = sim
             .execute_measured(Workload::MobileNetV1, &step.request, &snapshot, &mut rng)
             .unwrap();
@@ -482,9 +521,11 @@ mod tests {
         assert_eq!(
             fresh
                 .decide_greedy(&sim, Workload::InceptionV1, &snapshot)
+                .expect("feasible")
                 .action_index,
             donor
                 .decide_greedy(&sim, Workload::InceptionV1, &snapshot)
+                .expect("feasible")
                 .action_index
         );
     }
@@ -500,7 +541,9 @@ mod tests {
         let mut recipient = AutoScaleEngine::new(&moto, EngineConfig::paper());
         donor_into(&donor, &mut recipient);
         let snapshot = Snapshot::calm();
-        let step = recipient.decide_greedy(&moto, Workload::InceptionV1, &snapshot);
+        let step = recipient
+            .decide_greedy(&moto, Workload::InceptionV1, &snapshot)
+            .expect("feasible");
         let chosen = moto
             .execute_expected(Workload::InceptionV1, &step.request, &snapshot)
             .unwrap();
@@ -533,9 +576,11 @@ mod tests {
         assert_eq!(
             restored
                 .decide_greedy(&sim, Workload::MobileNetV1, &snapshot)
+                .expect("feasible")
                 .action_index,
             donor
                 .decide_greedy(&sim, Workload::MobileNetV1, &snapshot)
+                .expect("feasible")
                 .action_index
         );
         // A Moto-shaped table (47 actions) must be rejected on the Mi8Pro.
@@ -563,7 +608,9 @@ mod tests {
         );
         let mut rng = seeded_rng(33);
         let snapshot = Snapshot::calm();
-        let step = with_est.decide(&sim, Workload::MobileNetV1, &snapshot, &mut rng);
+        let step = with_est
+            .decide(&sim, Workload::MobileNetV1, &snapshot, &mut rng)
+            .expect("feasible");
         let outcome = sim
             .execute_measured(Workload::MobileNetV1, &step.request, &snapshot, &mut rng)
             .expect("feasible");
@@ -632,7 +679,9 @@ mod tests {
         // engine concurrently without cloning its Q-table.
         let sim = Simulator::new(DeviceId::Mi8Pro);
         let engine = trained_engine(&sim, Workload::MobileNetV2, 120);
-        let reference = engine.decide_greedy(&sim, Workload::MobileNetV2, &Snapshot::calm());
+        let reference = engine
+            .decide_greedy(&sim, Workload::MobileNetV2, &Snapshot::calm())
+            .expect("feasible");
         let shared = &engine;
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..4)
@@ -640,6 +689,7 @@ mod tests {
                     scope.spawn(|| {
                         shared
                             .decide_greedy(&sim, Workload::MobileNetV2, &Snapshot::calm())
+                            .expect("feasible")
                             .action_index
                     })
                 })

@@ -39,6 +39,7 @@ pub fn estimate_energy_mj(
 ) -> f64 {
     let processor = sim
         .processor_for(request.placement)
+        // lint:allow(panic-in-lib): the request already executed, so its placement resolved to a processor
         .expect("the executed request's processor exists");
     match request.placement {
         Placement::OnDevice(_) => {

@@ -88,12 +88,14 @@ impl Evaluator {
             Decision::Whole(request) => self
                 .sim
                 .execute_measured(workload, request, snapshot, rng)
+                // lint:allow(panic-in-lib): the harness only drives schedulers that emit device-feasible requests
                 .expect("schedulers must produce feasible requests"),
             Decision::Partitioned { local, split } => {
                 let network = self.sim.network(workload);
                 let host = self.sim.host();
                 let local_proc = host
                     .processor(*local)
+                    // lint:allow(panic-in-lib): partitioned baselines only name processors the device exposes
                     .expect("partitioned decisions use an existing local processor");
                 let cond = ExecutionConditions {
                     freq_index: local_proc.dvfs().max_index(),
@@ -106,6 +108,7 @@ impl Evaluator {
                     .sim
                     .cloud()
                     .processor(ProcessorKind::Gpu)
+                    // lint:allow(panic-in-lib): every testbed cloud is provisioned with a GPU
                     .expect("the cloud has a GPU");
                 let link = autoscale_net::LinkModel::for_kind(LinkKind::Wlan);
                 let cost = partition_cost_at(
@@ -197,6 +200,7 @@ impl Evaluator {
                 let opt_energy = self
                     .sim
                     .execute_expected(workload, &opt_request, &snapshot)
+                    // lint:allow(panic-in-lib): the oracle enumerates only feasible requests
                     .expect("oracle requests are feasible")
                     .energy_mj;
                 let matched = match &decision {

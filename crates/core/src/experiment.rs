@@ -36,9 +36,13 @@ pub fn train_engine(
             let mut env = Environment::for_id(env_id);
             for _ in 0..runs_per_pair {
                 let snapshot = env.sample(&mut rng);
-                let step = engine.decide(sim, workload, &snapshot, &mut rng);
+                let step = engine
+                    .decide(sim, workload, &snapshot, &mut rng)
+                    // lint:allow(panic-in-lib): training sweeps run on the paper testbeds, whose CPUs serve every workload
+                    .expect("the paper testbeds always expose a feasible CPU action");
                 let outcome = sim
                     .execute_measured(workload, &step.request, &snapshot, &mut rng)
+                    // lint:allow(panic-in-lib): the engine only proposes mask-feasible requests
                     .expect("engine decisions are feasible");
                 engine.learn(sim, workload, step, &outcome, &snapshot);
             }
@@ -95,9 +99,13 @@ pub fn training_curve(
     let mut rewards = Vec::with_capacity(runs);
     for _ in 0..runs {
         let snapshot = env.sample(&mut rng);
-        let step = engine.decide(sim, workload, &snapshot, &mut rng);
+        let step = engine
+            .decide(sim, workload, &snapshot, &mut rng)
+            // lint:allow(panic-in-lib): training sweeps run on the paper testbeds, whose CPUs serve every workload
+            .expect("the paper testbeds always expose a feasible CPU action");
         let outcome = sim
             .execute_measured(workload, &step.request, &snapshot, &mut rng)
+            // lint:allow(panic-in-lib): the engine only proposes mask-feasible requests
             .expect("engine decisions are feasible");
         rewards.push(engine.learn(sim, workload, step, &outcome, &snapshot));
     }
@@ -112,6 +120,7 @@ pub fn training_curve(
 pub fn build_neurosurgeon(sim: &Simulator, rng: &mut StdRng) -> NeuroSurgeonScheduler {
     let samples = characterize::layer_profile(sim, ProcessorKind::Cpu, rng);
     let planner = NeuroSurgeon::train(&samples, StaticLinkProfile::default())
+        // lint:allow(panic-in-lib): the simulator's CPU layer profile is never degenerate
         .expect("layer profile is non-degenerate");
     NeuroSurgeonScheduler::new(planner, SplitObjective::Energy)
 }
@@ -124,6 +133,7 @@ pub fn build_mosaic(sim: &Simulator, qos_ms: f64, rng: &mut StdRng) -> MosaicSch
     let cpu_power = sim
         .host()
         .processor(ProcessorKind::Cpu)
+        // lint:allow(panic-in-lib): every Table II phone exposes a CPU
         .expect("phones have CPUs")
         .dvfs()
         .max_step()
@@ -131,6 +141,7 @@ pub fn build_mosaic(sim: &Simulator, qos_ms: f64, rng: &mut StdRng) -> MosaicSch
     let gpu_power = sim
         .host()
         .processor(ProcessorKind::Gpu)
+        // lint:allow(panic-in-lib): every Table II phone exposes a GPU
         .expect("phones have GPUs")
         .dvfs()
         .max_step()
@@ -141,6 +152,7 @@ pub fn build_mosaic(sim: &Simulator, qos_ms: f64, rng: &mut StdRng) -> MosaicSch
         StaticLinkProfile::default(),
         qos_ms,
     )
+    // lint:allow(panic-in-lib): the simulator's layer profiles are never degenerate
     .expect("layer profiles are non-degenerate");
     MosaicScheduler::new(planner, SplitObjective::Energy)
 }
@@ -199,6 +211,7 @@ pub fn predictor_errors(
     let train_xs = scaler.transform_all(&train.xs());
     let test_xs = scaler.transform_all(&test.xs());
     let lr = autoscale_predictors::LinearRegression::fit(&train_xs, &train.log_energies(), 1e-6)
+        // lint:allow(panic-in-lib): the characterization dataset is non-empty and well-formed by construction
         .expect("dataset is valid");
     let svr = autoscale_predictors::SupportVectorRegression::fit(
         &train_xs,
@@ -209,6 +222,7 @@ pub fn predictor_errors(
             epochs: 400,
         },
     )
+    // lint:allow(panic-in-lib): the characterization dataset is non-empty and well-formed by construction
     .expect("dataset is valid");
     let actual = test.energies();
     let lr_pred: Vec<f64> = test_xs.iter().map(|x| lr.predict(x).exp()).collect();
@@ -232,6 +246,7 @@ pub fn predictor_errors(
             noise_variance: 1e-2,
         },
     )
+    // lint:allow(panic-in-lib): the subsampled dataset inherits the full dataset's validity
     .expect("subsampled dataset is valid");
     let gp_pred: Vec<f64> = test_xs.iter().map(|x| gp.predict_mean(x).exp()).collect();
 
@@ -243,8 +258,10 @@ pub fn predictor_errors(
     let train_cx = cscaler.transform_all(&train_cx);
     let test_cx = cscaler.transform_all(&test_cx);
     let svm = autoscale_predictors::SvmClassifier::fit_default(&train_cx, &train_cy)
+        // lint:allow(panic-in-lib): classification labels come from the dataset builder and are valid
         .expect("labels are valid");
     let knn = autoscale_predictors::KnnClassifier::fit(&train_cx, &train_cy, 5)
+        // lint:allow(panic-in-lib): classification labels come from the dataset builder and are valid
         .expect("labels are valid");
     let misclass = |preds: Vec<usize>| {
         preds.iter().zip(&test_cy).filter(|(p, a)| p != a).count() as f64 / test_cy.len() as f64
@@ -293,11 +310,13 @@ mod tests {
             EngineConfig::paper(),
             1,
         );
-        let step = engine.decide_greedy(
-            &sim,
-            Workload::MobileNetV3,
-            &autoscale_sim::Snapshot::calm(),
-        );
+        let step = engine
+            .decide_greedy(
+                &sim,
+                Workload::MobileNetV3,
+                &autoscale_sim::Snapshot::calm(),
+            )
+            .expect("feasible");
         assert!(sim.is_feasible(Workload::MobileNetV3, &step.request));
     }
 

@@ -91,14 +91,17 @@ pub fn threads_from_args<I: IntoIterator<Item = String>>(args: I) -> usize {
         if arg == "--threads" {
             let value = args
                 .next()
+                // lint:allow(panic-in-lib): CLI usage error; this helper backs the experiment binaries' --threads flag
                 .unwrap_or_else(|| panic!("--threads requires a count"));
             let n: usize = value
                 .parse()
+                // lint:allow(panic-in-lib): CLI usage error; this helper backs the experiment binaries' --threads flag
                 .unwrap_or_else(|_| panic!("--threads expects a number, got `{value}`"));
             requested = Some(n);
         } else if let Some(value) = arg.strip_prefix("--threads=") {
             let n: usize = value
                 .parse()
+                // lint:allow(panic-in-lib): CLI usage error; this helper backs the experiment binaries' --threads flag
                 .unwrap_or_else(|_| panic!("--threads expects a number, got `{value}`"));
             requested = Some(n);
         }
@@ -149,14 +152,17 @@ where
                 let result = run(&cell(index));
                 slots
                     .lock()
+                    // lint:allow(panic-in-lib): poisoned only if a worker panicked, which the scope join re-raises anyway
                     .expect("a worker panicked while depositing a result")[index] = Some(result);
             });
         }
     });
     slots
         .into_inner()
+        // lint:allow(panic-in-lib): thread::scope returned, so all workers joined
         .expect("all workers joined")
         .into_iter()
+        // lint:allow(panic-in-lib): the atomic counter hands every index below specs.len() to exactly one worker
         .map(|r| r.expect("every cell index below specs.len() was claimed exactly once"))
         .collect()
 }

@@ -199,11 +199,16 @@ impl Scheduler for AutoScaleScheduler {
         snapshot: &Snapshot,
         rng: &mut StdRng,
     ) -> Decision {
-        let step = if self.training {
+        let decided = if self.training {
             self.engine.decide(sim, workload, snapshot, rng)
         } else {
             self.engine.decide_greedy(sim, workload, snapshot)
         };
+        // The Scheduler trait is the evaluation harness's common surface
+        // and stays infallible; the harness only drives the paper's
+        // testbeds, whose CPUs serve every workload.
+        // lint:allow(panic-in-lib): evaluation-only wrapper over the fallible engine API
+        let step = decided.expect("the paper testbeds always expose a feasible CPU action");
         self.last_step = Some(step);
         Decision::Whole(step.request)
     }
@@ -300,6 +305,7 @@ impl Scheduler for LinearFaScheduler {
         } else {
             self.agent.best_action(&phi, &mask).map(|(a, _)| a)
         }
+        // lint:allow(panic-in-lib): the paper testbeds always expose a feasible CPU action
         .expect("the CPU can always run the model");
         self.last = Some((phi, action));
         Decision::Whole(self.space.request(action))
@@ -448,6 +454,7 @@ impl Scheduler for HybridScheduler {
         } else {
             self.agent.select_greedy(state, &mask)
         }
+        // lint:allow(panic-in-lib): the paper testbeds always expose a feasible CPU action
         .expect("the CPU can always run the model");
         self.last = Some((state, action));
         self.decision_of(sim, workload, action)
@@ -647,6 +654,7 @@ fn select_best(
         let best = outcomes.iter().filter(|(_, o)| tier(o)).min_by(|a, b| {
             a.1.energy_mj
                 .partial_cmp(&b.1.energy_mj)
+                // lint:allow(panic-in-lib): cost-model energies are finite, so partial_cmp cannot return None
                 .expect("finite energy")
         });
         if let Some((r, _)) = best {
@@ -697,6 +705,7 @@ impl OracleScheduler {
             .filter(|r| sim.is_feasible(workload, r))
             .collect();
         select_best(sim, workload, &cfg, snapshot, &candidates)
+            // lint:allow(panic-in-lib): the paper testbeds always expose a feasible CPU action
             .expect("the CPU can always run the model")
     }
 }
@@ -824,6 +833,7 @@ impl Scheduler for RegressionScheduler {
         let action = best
             .or(fastest)
             .map(|(a, _)| a)
+            // lint:allow(panic-in-lib): the paper testbeds always expose a feasible CPU action
             .expect("mask is never empty");
         Decision::Whole(self.space.request(action))
     }
@@ -978,8 +988,10 @@ impl Scheduler for BoScheduler {
         let (indices, feats) = self.candidates(sim, workload);
         let bo = &self.optimizers[workload as usize];
         let pick = if bo.observations() < self.budget {
+            // lint:allow(panic-in-lib): candidates() yields at least the CPU actions for every workload
             bo.suggest(&feats).expect("candidates are non-empty")
         } else {
+            // lint:allow(panic-in-lib): candidates() yields at least the CPU actions for every workload
             bo.best_by_mean(&feats).expect("candidates are non-empty")
         };
         let action = indices[pick];

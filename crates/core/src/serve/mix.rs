@@ -112,4 +112,43 @@ mod tests {
     fn empty_mix_panics() {
         let _ = ScenarioMix::new(Vec::new());
     }
+
+    #[test]
+    #[should_panic(expected = "cannot be empty")]
+    fn cross_with_an_empty_axis_panics() {
+        let _ = ScenarioMix::cross(&[], &EnvironmentId::STATIC);
+    }
+
+    #[test]
+    fn single_scenario_mix_assigns_every_session_identically() {
+        let mix = ScenarioMix::single(Workload::MobileNetV2, EnvironmentId::S3);
+        assert_eq!(mix.len(), 1);
+        assert!(!mix.is_empty());
+        for session in [0, 1, 7, 1_000_003] {
+            assert_eq!(
+                mix.assign(session),
+                (Workload::MobileNetV2, EnvironmentId::S3)
+            );
+        }
+    }
+
+    #[test]
+    fn mix_length_not_dividing_session_count_wraps_round_robin() {
+        // 3 scenarios over 7 sessions: the first entry is assigned one
+        // extra session, the tail entries one fewer.
+        let mix = ScenarioMix::new(vec![
+            (Workload::MobileNetV1, EnvironmentId::S1),
+            (Workload::InceptionV1, EnvironmentId::S2),
+            (Workload::MobileBert, EnvironmentId::S4),
+        ]);
+        let sessions = 7;
+        let mut counts = [0usize; 3];
+        for session in 0..sessions {
+            let assigned = mix.assign(session);
+            assert_eq!(assigned, mix.entries()[session % 3]);
+            counts[session % 3] += 1;
+        }
+        assert_eq!(counts, [3, 2, 2]);
+        assert_eq!(counts.iter().sum::<usize>(), sessions);
+    }
 }

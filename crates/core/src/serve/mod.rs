@@ -24,19 +24,79 @@
 
 mod mix;
 mod session;
+mod timing;
 
 pub use mix::ScenarioMix;
 pub use session::{DeviceSession, SessionReport, SessionSpec};
 
 use autoscale_rl::qtable::ShapeMismatchError;
 use autoscale_rl::QLearningAgent;
-use autoscale_sim::Simulator;
+use autoscale_sim::{ExecutionError, Simulator};
 use serde::{Deserialize, Serialize};
 
 use crate::action::ActionSpace;
-use crate::engine::EngineConfig;
+use crate::engine::{EngineConfig, NoFeasibleActionError};
 use crate::parallel::{cell_seed, resolve_threads, run_cells};
 use crate::state::StateSpace;
+
+/// Everything that can stop a serving run.
+///
+/// The fleet validates its warm start once up front, so the per-session
+/// variants are unreachable on the paper's testbeds — they exist so the
+/// serving hot path aborts nothing and reports which session tripped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The warm-start agent's Q-table was trained for a different
+    /// device — rejected before any session is built.
+    WarmStart(ShapeMismatchError),
+    /// A session's workload had an empty feasibility mask.
+    NoFeasibleAction {
+        /// The session that could not decide.
+        session: usize,
+        /// The underlying engine error.
+        source: NoFeasibleActionError,
+    },
+    /// The simulator rejected a request the engine proposed.
+    Execution {
+        /// The session whose request was rejected.
+        session: usize,
+        /// The simulator's rejection.
+        source: ExecutionError,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::WarmStart(e) => write!(f, "warm-start agent rejected: {e}"),
+            ServeError::NoFeasibleAction { session, source } => {
+                write!(f, "session {session}: {source}")
+            }
+            ServeError::Execution { session, source } => {
+                write!(
+                    f,
+                    "session {session}: simulator rejected the request: {source}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::WarmStart(e) => Some(e),
+            ServeError::NoFeasibleAction { source, .. } => Some(source),
+            ServeError::Execution { source, .. } => Some(source),
+        }
+    }
+}
+
+impl From<ShapeMismatchError> for ServeError {
+    fn from(e: ShapeMismatchError) -> Self {
+        ServeError::WarmStart(e)
+    }
+}
 
 /// Configuration of one serving run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -173,26 +233,29 @@ pub fn session_specs(mix: &ScenarioMix, config: &ServeConfig) -> Vec<SessionSpec
 ///
 /// # Errors
 ///
-/// Returns the shape mismatch if `warm_start` was trained for a
-/// different device — checked once, before any session is built.
+/// Returns [`ServeError::WarmStart`] if `warm_start` was trained for a
+/// different device — checked once, before any session is built. The
+/// per-session variants propagate decision or execution failures from a
+/// session without aborting the process.
 pub fn serve(
     sim: &Simulator,
     mix: &ScenarioMix,
     config: &ServeConfig,
     warm_start: Option<&QLearningAgent>,
-) -> Result<ServeReport, ShapeMismatchError> {
+) -> Result<ServeReport, ServeError> {
     if let Some(agent) = warm_start {
         validate_warm_start(sim, agent)?;
     }
     let specs = session_specs(mix, config);
     let shards = resolve_threads(config.shards);
     let results = run_cells(shards, config.base_seed, &specs, |cell| {
-        DeviceSession::new(sim, *cell.spec, config.engine, warm_start, cell.seed)
+        DeviceSession::new(sim, *cell.spec, config.engine, warm_start, cell.seed)?
             .run(config.record_latency)
     });
     let mut sessions = Vec::with_capacity(results.len());
     let mut latencies_ns = Vec::new();
-    for (report, latencies) in results {
+    for result in results {
+        let (report, latencies) = result?;
         sessions.push(report);
         latencies_ns.extend(latencies);
     }
@@ -295,7 +358,9 @@ mod tests {
         let mut env = autoscale_sim::Environment::for_id(EnvironmentId::S1);
         for _ in 0..150 {
             let snapshot = env.sample(&mut rng);
-            let step = donor.decide(&mi8, Workload::MobileNetV1, &snapshot, &mut rng);
+            let step = donor
+                .decide(&mi8, Workload::MobileNetV1, &snapshot, &mut rng)
+                .expect("feasible");
             let outcome = mi8
                 .execute_measured(Workload::MobileNetV1, &step.request, &snapshot, &mut rng)
                 .unwrap();
@@ -317,7 +382,43 @@ mod tests {
         let moto = Simulator::new(DeviceId::MotoXForce);
         let foreign = AutoScaleEngine::new(&moto, EngineConfig::paper());
         let err = serve(&mi8, &mix, &config, Some(foreign.agent())).unwrap_err();
-        assert_ne!(err.expected, err.found);
+        let ServeError::WarmStart(shape) = err else {
+            panic!("expected a warm-start rejection, got {err}");
+        };
+        assert_ne!(shape.expected, shape.found);
+    }
+
+    #[test]
+    fn uneven_mix_still_covers_every_session() {
+        // A 3-scenario mix over 7 sessions: round-robin wraps, the first
+        // scenario runs one extra session, and the fleet report still
+        // carries one entry per session in index order.
+        let sim = Simulator::new(DeviceId::Mi8Pro);
+        let mix = ScenarioMix::new(vec![
+            (Workload::MobileNetV1, EnvironmentId::S1),
+            (Workload::InceptionV1, EnvironmentId::S2),
+            (Workload::MobileBert, EnvironmentId::S4),
+        ]);
+        let config = ServeConfig {
+            sessions: 7,
+            decisions_per_session: 30,
+            shards: Some(2),
+            ..ServeConfig::fleet()
+        };
+        let specs = session_specs(&mix, &config);
+        assert_eq!(specs.len(), 7);
+        let first = specs
+            .iter()
+            .filter(|s| (s.workload, s.environment) == mix.assign(0))
+            .count();
+        assert_eq!(first, 3, "the first scenario absorbs the remainder");
+        let report = serve(&sim, &mix, &config, None).unwrap();
+        assert_eq!(report.sessions.len(), 7);
+        for (i, s) in report.sessions.iter().enumerate() {
+            assert_eq!(s.session, i);
+            assert_eq!((s.workload, s.environment), mix.assign(i));
+            assert_eq!(s.decisions, 30);
+        }
     }
 
     #[test]

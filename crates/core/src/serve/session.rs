@@ -11,11 +11,14 @@
 //! it.
 
 use autoscale_nn::Workload;
+use autoscale_rl::qtable::ShapeMismatchError;
 use autoscale_rl::QLearningAgent;
 use autoscale_sim::{Environment, EnvironmentId, Simulator};
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
+use super::timing::DecisionTimer;
+use super::ServeError;
 use crate::engine::{AutoScaleEngine, EngineConfig};
 use crate::parallel::cell_seed;
 use crate::seeded_rng;
@@ -106,31 +109,31 @@ impl<'a> DeviceSession<'a> {
     /// Q-table initialization and the environment/exploration stream are
     /// split from it so they stay uncorrelated. A `warm_start` agent is
     /// cloned into the session so each session keeps learning
-    /// independently; its shape must already have been validated against
-    /// this simulator's device (serve does this once for the fleet).
+    /// independently.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `warm_start` has a Q-table shaped for a different
-    /// device — validate with [`super::validate_warm_start`] first.
+    /// Returns the shape mismatch if `warm_start` has a Q-table shaped
+    /// for a different device. [`super::serve`] validates the fleet's
+    /// warm start once via [`super::validate_warm_start`], so this only
+    /// trips for callers that build sessions by hand.
     pub fn new(
         sim: &'a Simulator,
         spec: SessionSpec,
         config: EngineConfig,
         warm_start: Option<&QLearningAgent>,
         seed: u64,
-    ) -> Self {
+    ) -> Result<Self, ShapeMismatchError> {
         let engine_config = EngineConfig {
             seed: cell_seed(seed, 0),
             ..config
         };
         let engine = match warm_start {
-            Some(agent) => AutoScaleEngine::with_agent(sim, engine_config, agent.clone())
-                .expect("warm-start shape is validated before sessions are built"),
+            Some(agent) => AutoScaleEngine::with_agent(sim, engine_config, agent.clone())?,
             None => AutoScaleEngine::new(sim, engine_config),
         };
         let qos_ms = config.scenario_for(spec.workload).qos_ms();
-        DeviceSession {
+        Ok(DeviceSession {
             sim,
             spec,
             engine,
@@ -138,7 +141,7 @@ impl<'a> DeviceSession<'a> {
             rng: seeded_rng(cell_seed(seed, 1)),
             qos_ms,
             latencies_ns: Vec::new(),
-        }
+        })
     }
 
     /// Runs the session to completion: `spec.decisions` iterations of
@@ -149,7 +152,15 @@ impl<'a> DeviceSession<'a> {
     /// Q-table lookup, not the simulated inference) is captured in
     /// nanoseconds; the measurements are returned beside the
     /// deterministic report.
-    pub fn run(mut self, record_latency: bool) -> (SessionReport, Vec<u64>) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::NoFeasibleAction`] or
+    /// [`ServeError::Execution`] when a decision cannot be made or the
+    /// simulator rejects the chosen request — unreachable on the paper's
+    /// testbeds (the engine only proposes mask-feasible requests), but
+    /// surfaced as typed errors so the serving hot path never aborts.
+    pub fn run(mut self, record_latency: bool) -> Result<(SessionReport, Vec<u64>), ServeError> {
         if record_latency {
             self.latencies_ns.reserve_exact(self.spec.decisions);
         }
@@ -164,24 +175,30 @@ impl<'a> DeviceSession<'a> {
             // function of the session's history: freezing sets ε = 0
             // inside the policy rather than switching to a different
             // (differently-drawing) greedy call site.
-            let step = if record_latency {
-                let t0 = std::time::Instant::now();
+            let decided = if record_latency {
+                let timer = DecisionTimer::start();
                 let step =
                     self.engine
                         .decide(self.sim, self.spec.workload, &snapshot, &mut self.rng);
-                self.latencies_ns
-                    .push(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                self.latencies_ns.push(timer.elapsed_ns());
                 step
             } else {
                 self.engine
                     .decide(self.sim, self.spec.workload, &snapshot, &mut self.rng)
             };
+            let step = decided.map_err(|source| ServeError::NoFeasibleAction {
+                session: self.spec.session,
+                source,
+            })?;
             digest = fnv1a_fold(digest, step.state_index as u64);
             digest = fnv1a_fold(digest, step.action_index as u64);
             let outcome = self
                 .sim
                 .execute_measured(self.spec.workload, &step.request, &snapshot, &mut self.rng)
-                .expect("the engine only proposes feasible requests");
+                .map_err(|source| ServeError::Execution {
+                    session: self.spec.session,
+                    source,
+                })?;
             if outcome.latency_ms > self.qos_ms {
                 qos_violations += 1;
             }
@@ -209,7 +226,7 @@ impl<'a> DeviceSession<'a> {
             total_energy_mj,
             converged_at: frozen_at,
         };
-        (report, self.latencies_ns)
+        Ok((report, self.latencies_ns))
     }
 }
 
@@ -227,14 +244,15 @@ mod tests {
         }
     }
 
+    fn session(sim: &Simulator, decisions: usize, seed: u64) -> DeviceSession<'_> {
+        DeviceSession::new(sim, spec(decisions), EngineConfig::paper(), None, seed)
+            .expect("no warm start, nothing to mismatch")
+    }
+
     #[test]
     fn same_seed_reproduces_the_report_bit_for_bit() {
         let sim = Simulator::new(DeviceId::Mi8Pro);
-        let run = |seed| {
-            DeviceSession::new(&sim, spec(120), EngineConfig::paper(), None, seed)
-                .run(false)
-                .0
-        };
+        let run = |seed| session(&sim, 120, seed).run(false).expect("session runs").0;
         assert_eq!(run(7), run(7));
         assert_ne!(run(7).trace_digest, run(8).trace_digest);
     }
@@ -242,8 +260,8 @@ mod tests {
     #[test]
     fn latency_recording_does_not_perturb_the_trace() {
         let sim = Simulator::new(DeviceId::Mi8Pro);
-        let timed = DeviceSession::new(&sim, spec(80), EngineConfig::paper(), None, 3).run(true);
-        let untimed = DeviceSession::new(&sim, spec(80), EngineConfig::paper(), None, 3).run(false);
+        let timed = session(&sim, 80, 3).run(true).expect("session runs");
+        let untimed = session(&sim, 80, 3).run(false).expect("session runs");
         assert_eq!(timed.0, untimed.0);
         assert_eq!(timed.1.len(), 80);
         assert!(untimed.1.is_empty());
@@ -252,11 +270,56 @@ mod tests {
     #[test]
     fn long_sessions_converge_and_freeze() {
         let sim = Simulator::new(DeviceId::Mi8Pro);
-        let (report, _) =
-            DeviceSession::new(&sim, spec(200), EngineConfig::paper(), None, 11).run(false);
+        let (report, _) = session(&sim, 200, 11).run(false).expect("session runs");
         assert!(report.converged_at.is_some(), "200 calm runs converge");
         assert_eq!(report.decisions, 200);
         assert!(report.mean_reward.is_finite());
+    }
+
+    #[test]
+    fn session_report_serializes_no_wall_clock_fields() {
+        // The structural guarantee behind the timing quarantine: latency
+        // samples live *beside* the report (the second tuple element of
+        // `run`), so the serialized report — the thing digests and
+        // shard-invariance comparisons are built from — must not carry
+        // any wall-clock field.
+        let sim = Simulator::new(DeviceId::Mi8Pro);
+        let (report, latencies) = session(&sim, 30, 5).run(true).expect("session runs");
+        assert_eq!(
+            latencies.len(),
+            30,
+            "latencies are returned beside the report"
+        );
+        let value = serde::Serialize::to_value(&report);
+        let fields = value.as_object().expect("a struct serializes to an object");
+        let names: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+        for name in &names {
+            let lower = name.to_lowercase();
+            let banned = ["latency", "latencies", "wall", "instant", "elapsed"]
+                .iter()
+                .any(|b| lower.contains(b))
+                || lower.ends_with("_ns");
+            assert!(
+                !banned,
+                "field `{name}` smells like a wall-clock measurement"
+            );
+        }
+        // Pin the exact deterministic field set: adding a field here is a
+        // deliberate, reviewed act.
+        assert_eq!(
+            names,
+            [
+                "session",
+                "workload",
+                "environment",
+                "decisions",
+                "trace_digest",
+                "mean_reward",
+                "qos_violations",
+                "total_energy_mj",
+                "converged_at",
+            ]
+        );
     }
 
     #[test]

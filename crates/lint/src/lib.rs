@@ -1,0 +1,65 @@
+//! # autoscale-lint
+//!
+//! Determinism & robustness static analysis for the AutoScale
+//! workspace — the "Analysis layer" of DESIGN.md.
+//!
+//! The workspace's load-bearing guarantee is that every sweep and every
+//! serve fleet is **bit-identical for any thread/shard count**: all
+//! randomness derives from explicit seeds ([`cell_seed`]-style mixing)
+//! and all reports are pure functions of specs and seeds, fingerprinted
+//! by FNV-1a trace digests. That invariant is easy to break silently —
+//! one stray `Instant::now()` in a report path, one entropy-seeded RNG,
+//! one `HashMap` iteration feeding a digest — and tests can miss all
+//! three. This crate enforces the invariant mechanically, as a blocking
+//! CI step.
+//!
+//! ## How it works
+//!
+//! 1. [`lexer`] tokenizes every workspace `.rs` file with a small
+//!    hand-written lexer that correctly skips string literals, char
+//!    literals, and nested block comments — so rules can never fire on
+//!    text inside a string or a comment.
+//! 2. [`context`] classifies each file by path (library, binary,
+//!    example, test, bench) and marks `#[cfg(test)]` token regions and
+//!    function-body spans.
+//! 3. [`rules`] runs five rules over the token stream (see
+//!    [`rules::Rule`]) and filters findings through per-line
+//!    `// lint:allow(<rule>)` suppressions.
+//! 4. [`report`] renders the findings as terminal lines or stable JSON
+//!    (`results/lint_baseline.json` is one such document).
+//!
+//! The crate is std-only and dependency-free on purpose: the analyzer
+//! must keep working when anything else in the tree is broken, and it
+//! must not be able to perturb what it measures.
+//!
+//! [`cell_seed`]: https://docs.rs/autoscale
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod walk;
+
+pub use report::Report;
+pub use rules::{analyze_file, Finding, Rule};
+
+/// Analyzes every workspace source file under `root` and returns the
+/// aggregated report.
+///
+/// # Errors
+///
+/// Returns the first I/O error hit while walking or reading sources.
+pub fn analyze_workspace(root: &std::path::Path) -> std::io::Result<Report> {
+    let files = walk::workspace_sources(root)?;
+    let mut findings = Vec::new();
+    let files_scanned = files.len();
+    for rel in files {
+        let source = std::fs::read_to_string(root.join(&rel))?;
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        findings.extend(rules::analyze_file(&rel_str, &source));
+    }
+    Ok(Report::new(findings, files_scanned))
+}

@@ -1,0 +1,103 @@
+//! `autoscale-lint` — the workspace's determinism & robustness gate.
+//!
+//! ```text
+//! cargo run -p autoscale-lint                    # human output, exit 1 on findings
+//! cargo run -p autoscale-lint -- --format json   # stable JSON (the baseline format)
+//! cargo run -p autoscale-lint -- --list-rules    # what the rules check
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use autoscale_lint::rules::Rule;
+
+/// Output formats.
+enum Format {
+    Human,
+    Json,
+}
+
+struct Args {
+    format: Format,
+    root: PathBuf,
+}
+
+const USAGE: &str = "\
+autoscale-lint: determinism & robustness static analysis for this workspace
+
+USAGE:
+    autoscale-lint [--format human|json] [--root PATH] [--list-rules]
+
+OPTIONS:
+    --format human|json   Output format (default: human)
+    --root PATH           Workspace root to analyze (default: .)
+    --list-rules          Print every rule with its description and exit
+    -h, --help            Show this help
+
+EXIT CODES:
+    0  clean (no unsuppressed findings)
+    1  findings reported
+    2  usage or I/O error
+
+Suppress a single finding with `// lint:allow(<rule>): <justification>`
+on the offending line or on the line directly above it.";
+
+fn parse_args() -> Result<Option<Args>, String> {
+    let mut format = Format::Human;
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => {
+                let value = args.next().ok_or("--format requires a value")?;
+                format = match value.as_str() {
+                    "human" => Format::Human,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format `{other}`")),
+                };
+            }
+            "--root" => {
+                root = PathBuf::from(args.next().ok_or("--root requires a path")?);
+            }
+            "--list-rules" => {
+                for rule in Rule::ALL {
+                    println!("{:<24} {}", rule.name(), rule.description());
+                }
+                return Ok(None);
+            }
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return Ok(None);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(Some(Args { format, root }))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(Some(args)) => args,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("autoscale-lint: {message}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match autoscale_lint::analyze_workspace(&args.root) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("autoscale-lint: I/O error: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    match args.format {
+        Format::Human => print!("{}", report.render_human()),
+        Format::Json => print!("{}", report.render_json()),
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

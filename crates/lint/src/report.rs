@@ -1,0 +1,194 @@
+//! Rendering a lint run: human-readable lines for terminals and a
+//! stable JSON document for baselines and tooling.
+//!
+//! The JSON is hand-rolled (this crate is std-only by design) and
+//! field-ordered deterministically, so `results/lint_baseline.json`
+//! diffs cleanly across PRs.
+
+use std::collections::BTreeMap;
+
+use crate::rules::{Finding, Rule};
+
+/// The outcome of analyzing a set of files.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Every unsuppressed finding, ordered by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Number of files analyzed.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Builds a report, normalizing finding order.
+    pub fn new(mut findings: Vec<Finding>, files_scanned: usize) -> Self {
+        findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+        Report {
+            findings,
+            files_scanned,
+        }
+    }
+
+    /// Whether the tree is clean.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Finding counts per rule, every rule present (zero included) so
+    /// baseline diffs show rule additions explicitly.
+    pub fn counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut counts: BTreeMap<&'static str, usize> =
+            Rule::ALL.iter().map(|r| (r.name(), 0)).collect();
+        for f in &self.findings {
+            if let Some(n) = counts.get_mut(f.rule.name()) {
+                *n += 1;
+            }
+        }
+        counts
+    }
+
+    /// Terminal rendering: one `file:line: [rule] message` per finding,
+    /// then a per-rule summary line.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!(
+                "{}:{}: [{}] {}\n",
+                f.file,
+                f.line,
+                f.rule.name(),
+                f.message
+            ));
+        }
+        let per_rule: Vec<String> = self
+            .counts()
+            .iter()
+            .filter(|(_, &n)| n > 0)
+            .map(|(name, n)| format!("{name}: {n}"))
+            .collect();
+        if self.is_clean() {
+            out.push_str(&format!(
+                "autoscale-lint: clean — 0 findings across {} files\n",
+                self.files_scanned
+            ));
+        } else {
+            out.push_str(&format!(
+                "autoscale-lint: {} finding{} ({}) across {} files\n",
+                self.findings.len(),
+                if self.findings.len() == 1 { "" } else { "s" },
+                per_rule.join(", "),
+                self.files_scanned
+            ));
+        }
+        out
+    }
+
+    /// JSON rendering with stable field and entry order.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+                json_escape(&f.file),
+                f.line,
+                f.rule.name(),
+                json_escape(&f.message)
+            ));
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"counts\": {");
+        for (i, (name, n)) in self.counts().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    \"{name}\": {n}"));
+        }
+        out.push_str(&format!(
+            "\n  }},\n  \"total\": {},\n  \"files_scanned\": {}\n}}\n",
+            self.findings.len(),
+            self.files_scanned
+        ));
+        out
+    }
+}
+
+/// Escapes a string for a JSON double-quoted context.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(file: &str, line: u32, rule: Rule) -> Finding {
+        Finding {
+            file: file.to_string(),
+            line,
+            rule,
+            message: "msg with \"quotes\"".to_string(),
+        }
+    }
+
+    #[test]
+    fn findings_are_ordered_and_counted() {
+        let report = Report::new(
+            vec![
+                finding("b.rs", 3, Rule::PanicInLib),
+                finding("a.rs", 9, Rule::NondeterministicRng),
+                finding("a.rs", 2, Rule::PanicInLib),
+            ],
+            5,
+        );
+        let order: Vec<(&str, u32)> = report
+            .findings
+            .iter()
+            .map(|f| (f.file.as_str(), f.line))
+            .collect();
+        assert_eq!(order, vec![("a.rs", 2), ("a.rs", 9), ("b.rs", 3)]);
+        assert_eq!(report.counts()["panic-in-lib"], 2);
+        assert_eq!(report.counts()["nondeterministic-rng"], 1);
+        assert_eq!(report.counts()["print-in-lib"], 0);
+    }
+
+    #[test]
+    fn human_rendering_summarizes() {
+        let report = Report::new(vec![finding("a.rs", 1, Rule::PrintInLib)], 2);
+        let text = report.render_human();
+        assert!(text.contains("a.rs:1: [print-in-lib]"));
+        assert!(text.contains("1 finding (print-in-lib: 1) across 2 files"));
+        let clean = Report::new(Vec::new(), 7);
+        assert!(clean
+            .render_human()
+            .contains("clean — 0 findings across 7 files"));
+    }
+
+    #[test]
+    fn json_is_escaped_and_stable() {
+        let report = Report::new(vec![finding("a.rs", 1, Rule::PanicInLib)], 1);
+        let json = report.render_json();
+        assert!(json.contains("\\\"quotes\\\""));
+        assert!(json.contains("\"total\": 1"));
+        assert!(json.contains("\"files_scanned\": 1"));
+        // Every rule appears in counts, even at zero.
+        for rule in Rule::ALL {
+            assert!(json.contains(rule.name()), "{}", rule.name());
+        }
+    }
+}

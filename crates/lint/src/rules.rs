@@ -1,0 +1,523 @@
+//! The rule engine: five determinism & robustness rules over the token
+//! stream, with per-line suppression.
+//!
+//! ## Suppression
+//!
+//! Any finding can be waived with an annotation naming its rule:
+//!
+//! ```text
+//! let t0 = Instant::now(); // lint:allow(nondeterministic-time): wall-clock stays outside digests
+//! ```
+//!
+//! The annotation may trail the offending line or stand alone on the
+//! line directly above it. Everything after an optional `:` is a free-
+//! form justification; several rules may be listed, comma-separated.
+//! Suppressions are deliberate, reviewable diffs — the goal is that a
+//! waiver is visible in the same hunk as the code it excuses.
+
+use std::collections::BTreeMap;
+
+use crate::context::{classify, FileClass, FileContext};
+use crate::lexer::{lex, Comment, LexedFile, Token, TokenKind};
+
+/// The analyzer's rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Wall-clock reads (`Instant::now`, `SystemTime`) in library code.
+    NondeterministicTime,
+    /// RNG construction not derived from an explicit seed
+    /// (`thread_rng`, `from_entropy`, `from_os_rng`, `OsRng`, …).
+    NondeterministicRng,
+    /// `HashMap`/`HashSet` iteration in a function that also touches
+    /// digests, serialization, or `SessionReport`.
+    UnorderedIteration,
+    /// `unwrap()`/`expect()`/`panic!`/`unreachable!`/`todo!`/
+    /// `unimplemented!` in non-test library code.
+    PanicInLib,
+    /// `println!`/`eprintln!`/`print!`/`eprint!`/`dbg!` outside
+    /// binaries, examples, and benchmarks.
+    PrintInLib,
+}
+
+impl Rule {
+    /// Every rule, in reporting order.
+    pub const ALL: [Rule; 5] = [
+        Rule::NondeterministicTime,
+        Rule::NondeterministicRng,
+        Rule::UnorderedIteration,
+        Rule::PanicInLib,
+        Rule::PrintInLib,
+    ];
+
+    /// The rule's kebab-case name — what `lint:allow(…)` takes.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::NondeterministicTime => "nondeterministic-time",
+            Rule::NondeterministicRng => "nondeterministic-rng",
+            Rule::UnorderedIteration => "unordered-iteration",
+            Rule::PanicInLib => "panic-in-lib",
+            Rule::PrintInLib => "print-in-lib",
+        }
+    }
+
+    /// Resolves a rule from its kebab-case name.
+    pub fn from_name(name: &str) -> Option<Rule> {
+        Rule::ALL.iter().copied().find(|r| r.name() == name)
+    }
+
+    /// One-line description, shown by `--list-rules`.
+    pub fn description(self) -> &'static str {
+        match self {
+            Rule::NondeterministicTime => {
+                "wall-clock reads (Instant::now / SystemTime) in library code; \
+                 time is allowed only in benches and binaries, or quarantined \
+                 behind an annotated helper"
+            }
+            Rule::NondeterministicRng => {
+                "RNG construction that is not derived from an explicit seed \
+                 (thread_rng, from_entropy, from_os_rng, OsRng, rand::random)"
+            }
+            Rule::UnorderedIteration => {
+                "HashMap/HashSet iteration inside a function that also touches \
+                 digests, serialization, or SessionReport — iteration order \
+                 would leak into supposedly deterministic output"
+            }
+            Rule::PanicInLib => {
+                "unwrap/expect/panic!/unreachable! in non-test library code; \
+                 return a Result or annotate the provably-infallible case"
+            }
+            Rule::PrintInLib => "println!/eprintln!/dbg! outside binaries, examples and benches",
+        }
+    }
+}
+
+/// One confirmed finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// The rule that fired.
+    pub rule: Rule,
+    /// What was matched, phrased for a human.
+    pub message: String,
+}
+
+/// Per-line suppressions parsed from `lint:allow(…)` comments.
+#[derive(Debug, Default)]
+struct Suppressions {
+    /// line → rules allowed on that line.
+    by_line: BTreeMap<u32, Vec<Rule>>,
+    /// Rule names that did not resolve, with the line of the annotation
+    /// — surfaced as analyzer errors so typos cannot silently waive.
+    unknown: Vec<(u32, String)>,
+}
+
+impl Suppressions {
+    fn parse(comments: &[Comment]) -> Self {
+        let mut out = Suppressions::default();
+        for comment in comments {
+            // Doc comments talk *about* the annotation syntax; only
+            // regular comments carry live directives.
+            if Suppressions::is_doc_comment(&comment.text) {
+                continue;
+            }
+            let mut rest = comment.text.as_str();
+            while let Some(at) = rest.find("lint:allow(") {
+                rest = &rest[at + "lint:allow(".len()..];
+                let Some(close) = rest.find(')') else { break };
+                for name in rest[..close].split(',') {
+                    let name = name.trim();
+                    if name.is_empty() {
+                        continue;
+                    }
+                    match Rule::from_name(name) {
+                        Some(rule) => {
+                            // A trailing annotation covers its own line(s);
+                            // a standalone one covers the line below it.
+                            for line in comment.line..=comment.end_line {
+                                out.by_line.entry(line).or_default().push(rule);
+                            }
+                            if comment.owns_line {
+                                out.by_line
+                                    .entry(comment.end_line + 1)
+                                    .or_default()
+                                    .push(rule);
+                            }
+                        }
+                        None => out.unknown.push((comment.line, name.to_string())),
+                    }
+                }
+                rest = &rest[close..];
+            }
+        }
+        out
+    }
+
+    fn is_doc_comment(text: &str) -> bool {
+        text.starts_with("///")
+            || text.starts_with("//!")
+            || text.starts_with("/**")
+            || text.starts_with("/*!")
+    }
+
+    fn allows(&self, line: u32, rule: Rule) -> bool {
+        self.by_line
+            .get(&line)
+            .is_some_and(|rules| rules.contains(&rule))
+    }
+}
+
+/// Analyzes one file and returns its unsuppressed findings, in source
+/// order.
+///
+/// `rel_path` must be workspace-relative: rule applicability is decided
+/// from it (see [`classify`]).
+pub fn analyze_file(rel_path: &str, source: &str) -> Vec<Finding> {
+    let lexed = lex(source);
+    let ctx = FileContext::build(classify(rel_path), &lexed);
+    let suppressions = Suppressions::parse(&lexed.comments);
+    let mut findings = Vec::new();
+
+    check_time(rel_path, &lexed, &ctx, &mut findings);
+    check_rng(rel_path, &lexed, &mut findings);
+    check_unordered_iteration(rel_path, &lexed, &ctx, &mut findings);
+    check_panic(rel_path, &lexed, &ctx, &mut findings);
+    check_print(rel_path, &lexed, &ctx, &mut findings);
+
+    for (line, name) in &suppressions.unknown {
+        findings.push(Finding {
+            file: rel_path.to_string(),
+            line: *line,
+            rule: Rule::PanicInLib,
+            message: format!(
+                "unknown rule `{name}` in lint:allow — a typo here would silently waive nothing"
+            ),
+        });
+    }
+
+    findings.retain(|f| !suppressions.allows(f.line, f.rule));
+    findings.sort_by_key(|f| (f.line, f.rule));
+    // Nested fn items produce overlapping spans; identical findings
+    // collapse to one.
+    findings.dedup();
+    findings
+}
+
+/// `tokens[i..]` starts the ident path `a :: b`.
+fn ident_path2(tokens: &[Token], i: usize, a: &str, b: &str) -> bool {
+    tokens[i].is_ident(a)
+        && tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+        && tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        && tokens.get(i + 3).is_some_and(|t| t.is_ident(b))
+}
+
+fn check_time(path: &str, lexed: &LexedFile, ctx: &FileContext, out: &mut Vec<Finding>) {
+    if ctx.class != FileClass::Lib {
+        return;
+    }
+    for (i, t) in lexed.tokens.iter().enumerate() {
+        if ctx.in_test[i] {
+            continue;
+        }
+        if ident_path2(&lexed.tokens, i, "Instant", "now") {
+            out.push(Finding {
+                file: path.to_string(),
+                line: t.line,
+                rule: Rule::NondeterministicTime,
+                message: "`Instant::now()` reads the wall clock in library code".to_string(),
+            });
+        } else if t.is_ident("SystemTime") {
+            out.push(Finding {
+                file: path.to_string(),
+                line: t.line,
+                rule: Rule::NondeterministicTime,
+                message: "`SystemTime` brings wall-clock state into library code".to_string(),
+            });
+        }
+    }
+}
+
+/// Identifiers that construct an entropy-seeded (non-reproducible) RNG.
+const ENTROPY_RNG_IDENTS: [&str; 5] = [
+    "thread_rng",
+    "from_entropy",
+    "from_os_rng",
+    "OsRng",
+    "getrandom",
+];
+
+fn check_rng(path: &str, lexed: &LexedFile, out: &mut Vec<Finding>) {
+    // Applies to *every* class and even to test code: the workspace's
+    // whole premise is seed-derived reproducibility, and a stray
+    // entropy-seeded stream in a bench or test is exactly the bug the
+    // digest assertions cannot localize.
+    for (i, t) in lexed.tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let entropy = ENTROPY_RNG_IDENTS.contains(&t.text.as_str());
+        let rand_random = ident_path2(&lexed.tokens, i, "rand", "random");
+        if entropy || rand_random {
+            let what = if rand_random { "rand::random" } else { &t.text };
+            out.push(Finding {
+                file: path.to_string(),
+                line: t.line,
+                rule: Rule::NondeterministicRng,
+                message: format!(
+                    "`{what}` constructs an entropy-seeded RNG; derive every stream from an \
+                     explicit seed (see `autoscale::seeded_rng` / `cell_seed`)"
+                ),
+            });
+        }
+    }
+}
+
+/// Identifiers that mark a function as feeding deterministic output:
+/// digest arithmetic, serde serialization, or the session report.
+const SENSITIVE_IDENTS: [&str; 7] = [
+    "digest",
+    "trace_digest",
+    "fnv1a_fold",
+    "fnv1a_start",
+    "serialize",
+    "to_value",
+    "SessionReport",
+];
+
+/// Method names whose call iterates a collection.
+const ITERATION_METHODS: [&str; 7] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "drain",
+];
+
+fn check_unordered_iteration(
+    path: &str,
+    lexed: &LexedFile,
+    ctx: &FileContext,
+    out: &mut Vec<Finding>,
+) {
+    if !matches!(ctx.class, FileClass::Lib | FileClass::Bin) {
+        return;
+    }
+    for span in &ctx.fn_spans {
+        if ctx.in_test[span.start] {
+            continue;
+        }
+        // The whole span (signature + body): a `&HashMap<…>` parameter
+        // marks the function even though the type never recurs inside.
+        let tokens = &lexed.tokens[span.start..=span.close];
+        let unordered = tokens
+            .iter()
+            .any(|t| t.is_ident("HashMap") || t.is_ident("HashSet"));
+        let sensitive = tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && SENSITIVE_IDENTS.contains(&t.text.as_str()));
+        if !(unordered && sensitive) {
+            continue;
+        }
+        for (k, t) in tokens.iter().enumerate() {
+            let is_call = k > 0
+                && tokens[k - 1].is_punct('.')
+                && t.kind == TokenKind::Ident
+                && ITERATION_METHODS.contains(&t.text.as_str())
+                && tokens.get(k + 1).is_some_and(|n| n.is_punct('('));
+            if is_call {
+                out.push(Finding {
+                    file: path.to_string(),
+                    line: t.line,
+                    rule: Rule::UnorderedIteration,
+                    message: format!(
+                        "`.{}()` in a function that uses HashMap/HashSet and feeds \
+                         digests/serialization — iteration order is not deterministic; \
+                         use BTreeMap/BTreeSet or sort first",
+                        t.text
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Macro names that abort in library code.
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+fn check_panic(path: &str, lexed: &LexedFile, ctx: &FileContext, out: &mut Vec<Finding>) {
+    if ctx.class != FileClass::Lib {
+        return;
+    }
+    for (i, t) in lexed.tokens.iter().enumerate() {
+        if ctx.in_test[i] || t.kind != TokenKind::Ident {
+            continue;
+        }
+        let method_call = i > 0
+            && lexed.tokens[i - 1].is_punct('.')
+            && (t.text == "unwrap" || t.text == "expect")
+            && lexed.tokens.get(i + 1).is_some_and(|n| n.is_punct('('));
+        let macro_call = PANIC_MACROS.contains(&t.text.as_str())
+            && lexed.tokens.get(i + 1).is_some_and(|n| n.is_punct('!'));
+        if method_call {
+            out.push(Finding {
+                file: path.to_string(),
+                line: t.line,
+                rule: Rule::PanicInLib,
+                message: format!(
+                    "`.{}()` can abort library code; return a Result or annotate why it cannot fail",
+                    t.text
+                ),
+            });
+        } else if macro_call {
+            out.push(Finding {
+                file: path.to_string(),
+                line: t.line,
+                rule: Rule::PanicInLib,
+                message: format!(
+                    "`{}!` aborts library code; return a Result or annotate why it is unreachable",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// Print-family macros.
+const PRINT_MACROS: [&str; 5] = ["println", "eprintln", "print", "eprint", "dbg"];
+
+fn check_print(path: &str, lexed: &LexedFile, ctx: &FileContext, out: &mut Vec<Finding>) {
+    if ctx.class != FileClass::Lib {
+        return;
+    }
+    for (i, t) in lexed.tokens.iter().enumerate() {
+        if ctx.in_test[i] || t.kind != TokenKind::Ident {
+            continue;
+        }
+        if PRINT_MACROS.contains(&t.text.as_str())
+            && lexed.tokens.get(i + 1).is_some_and(|n| n.is_punct('!'))
+        {
+            out.push(Finding {
+                file: path.to_string(),
+                line: t.line,
+                rule: Rule::PrintInLib,
+                message: format!(
+                    "`{}!` writes to stdio from library code; report through return values \
+                     and let binaries do the printing",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LIB: &str = "crates/demo/src/lib.rs";
+
+    fn rules_hit(path: &str, src: &str) -> Vec<(u32, &'static str)> {
+        analyze_file(path, src)
+            .into_iter()
+            .map(|f| (f.line, f.rule.name()))
+            .collect()
+    }
+
+    #[test]
+    fn time_fires_only_in_lib_code() {
+        let src = "fn f() { let t = Instant::now(); }\n";
+        assert_eq!(rules_hit(LIB, src), vec![(1, "nondeterministic-time")]);
+        assert!(rules_hit("crates/bench/src/lib.rs", src).is_empty());
+        assert!(rules_hit("crates/core/src/bin/cli.rs", src).is_empty());
+    }
+
+    #[test]
+    fn rng_fires_everywhere_including_tests() {
+        let src = "#[cfg(test)]\nmod tests { fn f() { let r = thread_rng(); } }\n";
+        assert_eq!(rules_hit(LIB, src), vec![(2, "nondeterministic-rng")]);
+        assert_eq!(
+            rules_hit("crates/bench/src/bin/fig9.rs", src),
+            vec![(2, "nondeterministic-rng")]
+        );
+    }
+
+    #[test]
+    fn panic_skips_tests_and_bins() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n\
+                   #[cfg(test)]\nmod tests { fn g(x: Option<u8>) { x.unwrap(); } }\n";
+        assert_eq!(rules_hit(LIB, src), vec![(1, "panic-in-lib")]);
+        assert!(rules_hit("crates/core/src/bin/cli.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_variants_do_not_fire() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap_or(0).max(x.unwrap_or_default()) }\n";
+        assert!(rules_hit(LIB, src).is_empty());
+    }
+
+    #[test]
+    fn unordered_iteration_needs_both_halves() {
+        let iter_only = "fn f(m: &HashMap<u8, u8>) -> usize { m.keys().count() }\n";
+        assert!(rules_hit(LIB, iter_only).is_empty());
+        let both = "fn f(m: &HashMap<u8, u8>, mut digest: u64) -> u64 {\n\
+                    for k in m.keys() { digest = fnv1a_fold(digest, *k as u64); }\n digest }\n";
+        let hits = rules_hit(LIB, both);
+        assert_eq!(hits, vec![(2, "unordered-iteration")]);
+    }
+
+    #[test]
+    fn vec_iteration_near_digests_is_fine() {
+        let src = "fn f(v: &[u64], mut digest: u64) -> u64 {\n\
+                   for k in v.iter() { digest = fnv1a_fold(digest, *k); }\n digest }\n";
+        assert!(rules_hit(LIB, src).is_empty());
+    }
+
+    #[test]
+    fn suppression_works_trailing_and_above() {
+        let trailing =
+            "fn f(x: Option<u8>) -> u8 { x.unwrap() } // lint:allow(panic-in-lib): infallible\n";
+        assert!(rules_hit(LIB, trailing).is_empty());
+        let above =
+            "// lint:allow(panic-in-lib): infallible\nfn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        assert!(rules_hit(LIB, above).is_empty());
+        let wrong_rule = "fn f(x: Option<u8>) -> u8 { x.unwrap() } // lint:allow(print-in-lib)\n";
+        assert_eq!(rules_hit(LIB, wrong_rule), vec![(1, "panic-in-lib")]);
+    }
+
+    #[test]
+    fn unknown_suppressed_rule_is_itself_a_finding() {
+        let src = "fn f() {} // lint:allow(panic-in-libz)\n";
+        let findings = analyze_file(LIB, src);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn doc_comments_carry_no_directives() {
+        // Docs may *describe* the syntax without suppressing anything or
+        // tripping the unknown-rule check.
+        let src = "/// Waive with `lint:allow(<rule>)` or lint:allow(panic-in-lib).\n\
+                   fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        assert_eq!(rules_hit(LIB, src), vec![(2, "panic-in-lib")]);
+    }
+
+    #[test]
+    fn print_allows_bins_and_benches() {
+        let src = "fn f() { println!(\"x\"); }\n";
+        assert_eq!(rules_hit(LIB, src), vec![(1, "print-in-lib")]);
+        assert!(rules_hit("crates/bench/src/lib.rs", src).is_empty());
+        assert!(rules_hit("examples/quickstart.rs", src).is_empty());
+    }
+
+    #[test]
+    fn rule_names_round_trip() {
+        for rule in Rule::ALL {
+            assert_eq!(Rule::from_name(rule.name()), Some(rule));
+        }
+        assert_eq!(Rule::from_name("no-such-rule"), None);
+    }
+}

@@ -1,0 +1,84 @@
+//! Workspace traversal: which `.rs` files the analyzer looks at.
+//!
+//! The walk is rooted at the workspace directory and covers `crates/`,
+//! `src/`, `examples/`, and `tests/`. It skips:
+//!
+//! * `target/` — build output;
+//! * `vendor/` — offline stand-ins for external crates, not our code;
+//! * any `fixtures/` directory under a `tests/` tree — lint fixtures
+//!   *deliberately* contain findings.
+//!
+//! Results are sorted so runs are byte-identical across filesystems.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: [&str; 3] = ["target", "vendor", ".git"];
+
+/// Top-level directories the walk starts from.
+const ROOTS: [&str; 4] = ["crates", "src", "examples", "tests"];
+
+/// Collects every analyzable `.rs` file under `root`, as paths relative
+/// to `root`, sorted.
+///
+/// # Errors
+///
+/// Returns the first I/O error hit while reading directories.
+pub fn workspace_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    for top in ROOTS {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect(root, &dir, false, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect(root: &Path, dir: &Path, in_tests: bool, files: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || (in_tests && name == "fixtures") {
+                continue;
+            }
+            collect(root, &path, in_tests || name == "tests", files)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                files.push(rel.to_path_buf());
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_walk_sees_this_crate_but_not_vendor_or_fixtures() {
+        // The test runs from the crate directory; the workspace root is
+        // two levels up.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let files = workspace_sources(&root).expect("workspace is readable");
+        let as_strings: Vec<String> = files
+            .iter()
+            .map(|p| p.to_string_lossy().replace('\\', "/"))
+            .collect();
+        assert!(as_strings.iter().any(|p| p == "crates/lint/src/lib.rs"));
+        assert!(as_strings.iter().any(|p| p == "crates/rl/src/policy.rs"));
+        assert!(!as_strings.iter().any(|p| p.starts_with("vendor/")));
+        assert!(!as_strings.iter().any(|p| p.contains("/fixtures/")));
+        // Sorted and duplicate-free.
+        let mut sorted = as_strings.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted, as_strings);
+    }
+}

@@ -1,0 +1,11 @@
+// lint-fixture-path: crates/demo/src/bin/driver.rs
+//! Fixture: binaries may time, panic and print — but never draw entropy.
+
+pub fn main() {
+    let t0 = std::time::Instant::now();
+    println!("{}", t0.elapsed().as_nanos());
+    let args: Vec<String> = std::env::args().collect();
+    let first = args.first().unwrap();
+    let mut rng = rand::thread_rng();
+    let _ = (first, rng.gen::<u8>());
+}

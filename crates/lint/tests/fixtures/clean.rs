@@ -1,0 +1,23 @@
+// lint-fixture-path: crates/demo/src/clean.rs
+//! Fixture: determinism-respecting library code — zero findings.
+//!
+//! Ordered maps feed digests, fallible paths return Results, and the
+//! only RNG in sight derives from an explicit seed. Mentions of
+//! "thread_rng" or Instant::now in comments and strings must not fire.
+
+use std::collections::BTreeMap;
+
+pub fn digest_over_sorted(m: &BTreeMap<u64, u64>, mut digest: u64) -> u64 {
+    for (k, v) in m.iter() {
+        digest = fnv1a_fold(digest, *k ^ *v);
+    }
+    digest
+}
+
+pub fn checked(x: Option<u8>) -> Result<u8, &'static str> {
+    x.ok_or("missing — and note this string says x.unwrap() harmlessly")
+}
+
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}

@@ -1,0 +1,40 @@
+// lint-fixture-path: crates/demo/src/fallible.rs
+//! Fixture: aborts in library code.
+
+pub fn bad_unwrap(x: Option<u8>) -> u8 {
+    x.unwrap()
+}
+
+pub fn bad_expect(x: Option<u8>) -> u8 {
+    x.expect("always present")
+}
+
+pub fn bad_panic(flag: bool) {
+    if flag {
+        panic!("boom");
+    }
+}
+
+pub fn bad_unreachable(v: u8) -> u8 {
+    match v {
+        0 => 1,
+        _ => unreachable!(),
+    }
+}
+
+pub fn fine_defaults(x: Option<u8>) -> u8 {
+    x.unwrap_or_default().max(x.unwrap_or(3))
+}
+
+pub fn waived(x: Option<u8>) -> u8 {
+    // lint:allow(panic-in-lib): guarded by the caller's is_some() check
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        Some(1u8).unwrap();
+    }
+}

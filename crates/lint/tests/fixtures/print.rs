@@ -1,0 +1,18 @@
+// lint-fixture-path: crates/demo/src/noisy.rs
+//! Fixture: stdio in library code.
+
+pub fn bad_println(x: u8) {
+    println!("x = {x}");
+}
+
+pub fn bad_eprintln() {
+    eprintln!("warning");
+}
+
+pub fn bad_dbg(x: u8) -> u8 {
+    dbg!(x)
+}
+
+pub fn waived_diagnostic() {
+    eprintln!("migration notice"); // lint:allow(print-in-lib): one-shot operator-facing notice
+}

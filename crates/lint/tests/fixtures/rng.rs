@@ -1,0 +1,23 @@
+// lint-fixture-path: crates/demo/src/rng.rs
+//! Fixture: entropy-seeded RNG construction.
+
+pub fn bad_thread_rng() -> f64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+pub fn bad_entropy() -> SmallRng {
+    SmallRng::from_entropy()
+}
+
+pub fn bad_os_rng() -> SmallRng {
+    SmallRng::from_os_rng()
+}
+
+pub fn bad_random() -> f64 {
+    rand::random()
+}
+
+pub fn good_seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}

@@ -1,0 +1,24 @@
+// lint-fixture-path: crates/demo/src/clock.rs
+//! Fixture: wall-clock reads in library code.
+
+pub fn bad_instant() -> u64 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_nanos() as u64
+}
+
+pub fn bad_system_time() -> bool {
+    std::time::SystemTime::now().elapsed().is_ok()
+}
+
+pub fn quarantined() -> std::time::Instant {
+    // lint:allow(nondeterministic-time): measured latencies stay outside digests
+    std::time::Instant::now()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let _ = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,31 @@
+// lint-fixture-path: crates/demo/src/digesting.rs
+//! Fixture: unordered iteration near digest/serde output.
+
+use std::collections::HashMap;
+
+pub fn bad_digest_over_map(m: &HashMap<u64, u64>, mut digest: u64) -> u64 {
+    for (k, v) in m.iter() {
+        digest = fnv1a_fold(digest, *k ^ *v);
+    }
+    digest
+}
+
+pub fn fine_count_only(m: &HashMap<u64, u64>) -> usize {
+    m.values().count()
+}
+
+pub fn fine_vec_near_digest(v: &[u64], mut digest: u64) -> u64 {
+    for k in v.iter() {
+        digest = fnv1a_fold(digest, *k);
+    }
+    digest
+}
+
+pub fn waived_sorted_keys(m: &HashMap<u64, u64>, mut digest: u64) -> u64 {
+    let mut keys: Vec<u64> = m.keys().copied().collect(); // lint:allow(unordered-iteration): keys are sorted before folding
+    keys.sort_unstable();
+    for k in keys {
+        digest = fnv1a_fold(digest, k);
+    }
+    digest
+}

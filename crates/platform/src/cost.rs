@@ -212,6 +212,7 @@ impl NetworkCostCache {
     pub fn latency_ms(&self, processor: &Processor, cond: &ExecutionConditions) -> f64 {
         self.table(cond.precision)
             .unwrap_or_else(|| {
+                // lint:allow(panic-in-lib): executor feasibility checks reject unsupported precisions before costing
                 panic!(
                     "no cost table for precision {:?} (unsupported by processor)",
                     cond.precision

@@ -156,8 +156,10 @@ pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, SingularMatrixError> {
                 m.get(r1, col)
                     .abs()
                     .partial_cmp(&m.get(r2, col).abs())
+                    // lint:allow(panic-in-lib): matrix entries are finite by construction
                     .expect("finite values")
             })
+            // lint:allow(panic-in-lib): the pivot search range col..rows is non-empty
             .expect("non-empty range");
         if m.get(pivot_row, col).abs() < 1e-12 {
             return Err(SingularMatrixError);

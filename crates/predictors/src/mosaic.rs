@@ -152,6 +152,7 @@ impl Mosaic {
         }
         best.or(fastest)
             .map(|(plan, _)| plan)
+            // lint:allow(panic-in-lib): the plan enumeration always contains the fully-local fallback
             .expect("at least one plan exists")
     }
 }

@@ -162,8 +162,10 @@ impl NeuroSurgeon {
                 };
                 (s, score)
             })
+            // lint:allow(panic-in-lib): predicted layer costs are finite
             .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite predictions"))
             .map(|(s, _)| s)
+            // lint:allow(panic-in-lib): a network always has at least one split point
             .expect("at least one split point")
     }
 }

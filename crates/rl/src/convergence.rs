@@ -132,6 +132,7 @@ impl ConvergenceDetector {
 /// Median of a non-empty slice.
 fn median(values: &[f64]) -> f64 {
     let mut sorted = values.to_vec();
+    // lint:allow(panic-in-lib): eq. (5) rewards are finite
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite rewards"));
     let n = sorted.len();
     if n % 2 == 1 {

@@ -327,7 +327,9 @@ impl Simulator {
         rng: &mut StdRng,
     ) -> Result<Outcome, ExecutionError> {
         let expected = self.execute_expected(workload, request, snapshot)?;
+        // lint:allow(panic-in-lib): the noise std constants are valid Normal parameters
         let lat_noise = Normal::new(1.0, LATENCY_NOISE_STD).expect("valid normal");
+        // lint:allow(panic-in-lib): the noise std constants are valid Normal parameters
         let en_noise = Normal::new(1.0, ENERGY_NOISE_STD).expect("valid normal");
         Ok(Outcome {
             latency_ms: expected.latency_ms * lat_noise.sample(rng).max(0.7),

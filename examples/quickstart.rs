@@ -32,7 +32,9 @@ fn main() {
     let mut rng = autoscale::seeded_rng(7);
     for run in 0.. {
         let snapshot = env.sample(&mut rng);
-        let step = engine.decide(&sim, workload, &snapshot, &mut rng);
+        let step = engine
+            .decide(&sim, workload, &snapshot, &mut rng)
+            .expect("the CPU serves every workload");
         let outcome = sim
             .execute_measured(workload, &step.request, &snapshot, &mut rng)
             .expect("the engine only proposes feasible targets");
@@ -50,7 +52,9 @@ fn main() {
     // 4. Serve: compare the engine's greedy decision with the baseline
     //    that always runs on the mobile CPU at FP32.
     let snapshot = Snapshot::calm();
-    let step = engine.decide_greedy(&sim, workload, &snapshot);
+    let step = engine
+        .decide_greedy(&sim, workload, &snapshot)
+        .expect("the CPU serves every workload");
     let chosen = sim
         .execute_expected(workload, &step.request, &snapshot)
         .expect("greedy decisions are feasible");

@@ -84,7 +84,9 @@ fn main() {
         let mut environment = Environment::for_id(env);
         let mut rng = autoscale::seeded_rng(9);
         let snapshot = environment.sample(&mut rng);
-        let step = engine.decide_greedy(&sim, workload, &snapshot);
+        let step = engine
+            .decide_greedy(&sim, workload, &snapshot)
+            .expect("the CPU serves every workload");
         let outcome = sim
             .execute_expected(workload, &step.request, &snapshot)
             .expect("greedy decisions are feasible");

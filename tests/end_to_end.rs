@@ -17,7 +17,9 @@ fn full_loop_trains_and_serves_every_workload_on_every_phone() {
         for w in Workload::ALL {
             for _ in 0..5 {
                 let snapshot = env.sample(&mut rng);
-                let step = engine.decide(&sim, w, &snapshot, &mut rng);
+                let step = engine
+                    .decide(&sim, w, &snapshot, &mut rng)
+                    .expect("feasible");
                 let outcome = sim
                     .execute_measured(w, &step.request, &snapshot, &mut rng)
                     .expect("engine decisions are feasible");
@@ -25,7 +27,9 @@ fn full_loop_trains_and_serves_every_workload_on_every_phone() {
                 assert!(r.is_finite());
             }
             // Greedy serving must produce a feasible request.
-            let step = engine.decide_greedy(&sim, w, &Snapshot::calm());
+            let step = engine
+                .decide_greedy(&sim, w, &Snapshot::calm())
+                .expect("feasible");
             assert!(sim.is_feasible(w, &step.request), "{device:?} {w}");
         }
         assert_eq!(engine.agent().updates(), Workload::ALL.len() as u64 * 5);
@@ -55,9 +59,11 @@ fn trained_agent_round_trips_through_serde() {
     let snapshot = Snapshot::calm();
     assert_eq!(
         warm.decide_greedy(&sim, Workload::InceptionV1, &snapshot)
+            .expect("feasible")
             .action_index,
         engine
             .decide_greedy(&sim, Workload::InceptionV1, &snapshot)
+            .expect("feasible")
             .action_index
     );
 }
