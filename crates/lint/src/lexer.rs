@@ -37,11 +37,17 @@ pub enum TokenKind {
 pub struct Token {
     /// The token's kind.
     pub kind: TokenKind,
-    /// The token's text. Literal tokens keep a placeholder (their
-    /// contents are deliberately opaque to the rules).
+    /// The token's text. String/char literals keep a placeholder (their
+    /// contents are deliberately opaque to the rules); number literals
+    /// keep their exact source text.
     pub text: String,
     /// 1-based line the token starts on.
     pub line: u32,
+    /// 0-based char offset the token starts at. Adjacency between
+    /// consecutive punctuation tokens (`pos + 1 == next.pos`) is how
+    /// the parser tells compound operators (`==`, `->`, `..`, `>>`)
+    /// from coincidental neighbors (`a > -b`).
+    pub pos: u32,
 }
 
 impl Token {
@@ -53,6 +59,14 @@ impl Token {
     /// Whether this token is the punctuation character `c`.
     pub fn is_punct(&self, c: char) -> bool {
         self.kind == TokenKind::Punct(c)
+    }
+
+    /// Whether `next` starts at the very next char after this token —
+    /// true for the halves of a compound operator like `::` or `>>`,
+    /// false for `> >` written apart. Only meaningful for
+    /// single-character punctuation tokens.
+    pub fn is_joint(&self, next: &Token) -> bool {
+        self.pos + 1 == next.pos
     }
 }
 
@@ -116,8 +130,13 @@ impl<'a> Lexer<'a> {
         Some(c)
     }
 
-    fn push_token(&mut self, kind: TokenKind, text: String, line: u32) {
-        self.out.tokens.push(Token { kind, text, line });
+    fn push_token(&mut self, kind: TokenKind, text: String, line: u32, pos: u32) {
+        self.out.tokens.push(Token {
+            kind,
+            text,
+            line,
+            pos,
+        });
     }
 
     /// Lexes a `//` comment (to end of line, newline not consumed).
@@ -212,6 +231,7 @@ impl<'a> Lexer<'a> {
     /// Lexes a char literal or lifetime; `pos` is at the `'`.
     fn char_or_lifetime(&mut self) {
         let line = self.line;
+        let start = self.pos as u32;
         self.pos += 1; // the quote
         match self.peek(0) {
             Some('\\') => {
@@ -224,7 +244,7 @@ impl<'a> Lexer<'a> {
                         break;
                     }
                 }
-                self.push_token(TokenKind::Literal, "'…'".to_string(), line);
+                self.push_token(TokenKind::Literal, "'…'".to_string(), line, start);
             }
             Some(c) if is_ident_start(c) => {
                 let mut name = String::new();
@@ -237,9 +257,9 @@ impl<'a> Lexer<'a> {
                 }
                 if self.peek(0) == Some('\'') {
                     self.pos += 1;
-                    self.push_token(TokenKind::Literal, "'…'".to_string(), line);
+                    self.push_token(TokenKind::Literal, "'…'".to_string(), line, start);
                 } else {
-                    self.push_token(TokenKind::Lifetime, name, line);
+                    self.push_token(TokenKind::Lifetime, name, line, start);
                 }
             }
             Some(_) => {
@@ -248,7 +268,7 @@ impl<'a> Lexer<'a> {
                 if self.peek(0) == Some('\'') {
                     self.pos += 1;
                 }
-                self.push_token(TokenKind::Literal, "'…'".to_string(), line);
+                self.push_token(TokenKind::Literal, "'…'".to_string(), line, start);
             }
             None => {}
         }
@@ -258,6 +278,7 @@ impl<'a> Lexer<'a> {
     /// (`r"…"`, `b"…"`, `br#"…"#`, `b'…'`) and raw identifiers.
     fn ident_or_prefixed_literal(&mut self) {
         let line = self.line;
+        let start = self.pos as u32;
         let mut name = String::new();
         while let Some(c) = self.peek(0) {
             if !is_ident_continue(c) {
@@ -269,33 +290,81 @@ impl<'a> Lexer<'a> {
         match (name.as_str(), self.peek(0)) {
             ("r" | "br" | "rb", Some('"' | '#')) => {
                 if self.raw_string() {
-                    self.push_token(TokenKind::Literal, "\"…\"".to_string(), line);
+                    self.push_token(TokenKind::Literal, "\"…\"".to_string(), line, start);
+                } else if name == "r"
+                    && self.peek(0) == Some('#')
+                    && self.peek(1).is_some_and(is_ident_start)
+                {
+                    // `r#type` — a raw identifier; lex it as the plain
+                    // identifier it escapes, so rules see `type`.
+                    self.pos += 1; // the '#'
+                    let mut raw = String::new();
+                    while let Some(c) = self.peek(0) {
+                        if !is_ident_continue(c) {
+                            break;
+                        }
+                        raw.push(c);
+                        self.pos += 1;
+                    }
+                    self.push_token(TokenKind::Ident, raw, line, start);
                 } else {
-                    // `r#ident` — a raw identifier; keep the name.
-                    self.push_token(TokenKind::Ident, name, line);
+                    self.push_token(TokenKind::Ident, name, line, start);
                 }
             }
             ("b", Some('"')) => {
                 self.bump();
                 self.quoted_string();
-                self.push_token(TokenKind::Literal, "\"…\"".to_string(), line);
+                self.push_token(TokenKind::Literal, "\"…\"".to_string(), line, start);
             }
             ("b", Some('\'')) => {
                 self.char_or_lifetime();
             }
-            _ => self.push_token(TokenKind::Ident, name, line),
+            _ => self.push_token(TokenKind::Ident, name, line, start),
         }
     }
 
-    fn number(&mut self) {
-        let line = self.line;
+    /// Appends a run of digit/identifier chars (digits, `_` separators,
+    /// hex digits, exponent `e`, type suffixes like `f64`) to `text`.
+    fn digit_run(&mut self, text: &mut String) {
         while let Some(c) = self.peek(0) {
             if !is_ident_continue(c) {
                 break;
             }
+            text.push(c);
             self.pos += 1;
         }
-        self.push_token(TokenKind::Literal, "0".to_string(), line);
+    }
+
+    /// Lexes a number literal, keeping its exact text: integers with
+    /// radix prefixes and `_` separators, floats with a decimal point
+    /// and/or signed exponent, and type suffixes (`1e9`, `1.5f64`,
+    /// `0x1f`, `2.5E+3`, `1_000u64`).
+    fn number(&mut self) {
+        let line = self.line;
+        let start = self.pos as u32;
+        let mut text = String::new();
+        self.digit_run(&mut text);
+        // A decimal point (`1.5`) — but not the range in `1..5`.
+        if self.peek(0) == Some('.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            text.push('.');
+            self.pos += 1;
+            self.digit_run(&mut text);
+        }
+        // A signed exponent: `1e-9`, `2.5E+3`. The `e` itself was
+        // consumed by the runs above; radix-prefixed literals (`0xee`)
+        // never carry one.
+        let radix_prefixed =
+            text.starts_with("0x") || text.starts_with("0o") || text.starts_with("0b");
+        if !radix_prefixed
+            && (text.ends_with('e') || text.ends_with('E'))
+            && matches!(self.peek(0), Some('+' | '-'))
+            && self.peek(1).is_some_and(|c| c.is_ascii_digit())
+        {
+            text.push(self.peek(0).unwrap_or('+'));
+            self.pos += 1;
+            self.digit_run(&mut text);
+        }
+        self.push_token(TokenKind::Literal, text, line, start);
     }
 
     fn run(mut self) -> LexedFile {
@@ -310,10 +379,11 @@ impl<'a> Lexer<'a> {
                 self.block_comment(owns);
             } else if c == '"' {
                 let line = self.line;
+                let start = self.pos as u32;
                 self.at_line_start = false;
                 self.bump();
                 self.quoted_string();
-                self.push_token(TokenKind::Literal, "\"…\"".to_string(), line);
+                self.push_token(TokenKind::Literal, "\"…\"".to_string(), line, start);
             } else if c == '\'' {
                 self.at_line_start = false;
                 self.char_or_lifetime();
@@ -327,9 +397,10 @@ impl<'a> Lexer<'a> {
                 self.bump();
             } else {
                 let line = self.line;
+                let start = self.pos as u32;
                 self.at_line_start = false;
                 self.pos += 1;
-                self.push_token(TokenKind::Punct(c), c.to_string(), line);
+                self.push_token(TokenKind::Punct(c), c.to_string(), line, start);
             }
         }
         self.out
@@ -429,5 +500,94 @@ mod tests {
         let lexed = lex("Instant::now()");
         let texts: Vec<_> = lexed.tokens.iter().map(|t| t.text.as_str()).collect();
         assert_eq!(texts, ["Instant", ":", ":", "now", "(", ")"]);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_their_escaped_name() {
+        let lexed = lex("let r#type = r#fn + other;");
+        let texts: Vec<_> = lexed.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, ["let", "type", "=", "fn", "+", "other", ";"]);
+        assert!(lexed.tokens.iter().all(|t| t.kind != TokenKind::Literal));
+    }
+
+    #[test]
+    fn raw_strings_still_beat_raw_identifiers() {
+        // `r#"…"#` is a raw string; `r#ident` is a raw identifier.
+        let lexed = lex(r##"let a = r#"text"#; let b = r#match;"##);
+        let literals: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .collect();
+        assert_eq!(literals.len(), 1);
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("match")));
+    }
+
+    #[test]
+    fn float_literals_keep_their_exact_text() {
+        let src = "a(1e9, 1.5f64, 2.5E+3, 1e-9, 1_000u64, 0x1f, 3.25)";
+        let nums: Vec<_> = lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(
+            nums,
+            ["1e9", "1.5f64", "2.5E+3", "1e-9", "1_000u64", "0x1f", "3.25"]
+        );
+    }
+
+    #[test]
+    fn ranges_are_not_swallowed_by_float_lexing() {
+        let texts: Vec<String> = lex("for i in 0..10 {}")
+            .tokens
+            .into_iter()
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(texts, ["for", "i", "in", "0", ".", ".", "10", "{", "}"]);
+    }
+
+    #[test]
+    fn hex_literals_do_not_grow_exponents() {
+        // `0xee-1` is a subtraction, not a malformed exponent.
+        let texts: Vec<String> = lex("0xee-1").tokens.into_iter().map(|t| t.text).collect();
+        assert_eq!(texts, ["0xee", "-", "1"]);
+    }
+
+    #[test]
+    fn adjacency_distinguishes_compound_operators() {
+        let lexed = lex("a >> b; c > -d; Vec<Vec<u8>>");
+        let gt: Vec<&Token> = lexed.tokens.iter().filter(|t| t.is_punct('>')).collect();
+        assert_eq!(gt.len(), 5);
+        // `>>` in the shift is joint …
+        assert!(gt[0].is_joint(gt[1]));
+        // … `> -` is not …
+        let minus = lexed
+            .tokens
+            .iter()
+            .find(|t| t.is_punct('-'))
+            .expect("minus");
+        assert!(!gt[2].is_joint(minus));
+        // … and the generic close-close is joint too: only parsing
+        // context, not spacing, separates it from a shift.
+        assert!(gt[3].is_joint(gt[4]));
+    }
+
+    #[test]
+    fn lifetime_vs_char_literal_with_adjacent_generics() {
+        let lexed = lex("fn f<'a>(x: &'a str) { let c = 'a'; let nl = '\\n'; }");
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        let literals = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(literals, 2);
     }
 }

@@ -22,9 +22,13 @@
 //! 2. [`context`] classifies each file by path (library, binary,
 //!    example, test, bench) and marks `#[cfg(test)]` token regions and
 //!    function-body spans.
-//! 3. [`rules`] runs five rules over the token stream (see
-//!    [`rules::Rule`]) and filters findings through per-line
-//!    `// lint:allow(<rule>)` suppressions.
+//! 3. [`rules`] runs the token-pattern rules (see [`rules::Rule`]) and
+//!    filters findings through per-line `// lint:allow(<rule>)`
+//!    suppressions; [`parser`] adds the semantic units checker — a
+//!    recursive-descent expression parser whose dimensional algebra
+//!    ([`units`]) checks the workspace's suffix conventions
+//!    (`latency_ms`, `busy_power_w`, …) against a workspace-wide
+//!    signature index ([`sigindex`]).
 //! 4. [`report`] renders the findings as terminal lines or stable JSON
 //!    (`results/lint_baseline.json` is one such document).
 //!
@@ -39,27 +43,42 @@
 
 pub mod context;
 pub mod lexer;
+pub mod parser;
 pub mod report;
 pub mod rules;
+pub mod sigindex;
+pub mod units;
 pub mod walk;
 
 pub use report::Report;
 pub use rules::{analyze_file, Finding, Rule};
+pub use sigindex::SigIndex;
 
 /// Analyzes every workspace source file under `root` and returns the
 /// aggregated report.
+///
+/// Two passes: the first lexes every file and builds the workspace-wide
+/// [`SigIndex`] (so call-site unit checks see every `fn` in the tree),
+/// the second runs the rules per file against that index.
 ///
 /// # Errors
 ///
 /// Returns the first I/O error hit while walking or reading sources.
 pub fn analyze_workspace(root: &std::path::Path) -> std::io::Result<Report> {
     let files = walk::workspace_sources(root)?;
-    let mut findings = Vec::new();
     let files_scanned = files.len();
+    let mut lexed_files = Vec::with_capacity(files.len());
+    let mut sigs = SigIndex::new();
     for rel in files {
         let source = std::fs::read_to_string(root.join(&rel))?;
         let rel_str = rel.to_string_lossy().replace('\\', "/");
-        findings.extend(rules::analyze_file(&rel_str, &source));
+        let lexed = lexer::lex(&source);
+        sigs.add_file(&lexed);
+        lexed_files.push((rel_str, lexed));
+    }
+    let mut findings = Vec::new();
+    for (rel_str, lexed) in &lexed_files {
+        findings.extend(rules::analyze_lexed(rel_str, lexed, &sigs));
     }
     Ok(Report::new(findings, files_scanned))
 }

@@ -1,0 +1,1711 @@
+//! A lightweight recursive-descent parser over the token stream, and
+//! the units checker built on it.
+//!
+//! This is not a Rust parser; it is a *unit-bearing expression* parser
+//! with just enough statement and item structure to walk function
+//! bodies safely. It understands operator precedence (so `a + b * c`
+//! combines units in the right order), `let` bindings, calls and
+//! method calls, field access, struct literals, and the control-flow
+//! headers that change how `{` must be read. Everything it does not
+//! understand degrades to [`Unit::Unknown`] and produces no finding —
+//! when this parser is confused, it is silent, never wrong.
+//!
+//! Three rules are produced here:
+//!
+//! * `unit-mismatch` — `+`, `-`, a comparison, or a (compound)
+//!   assignment whose two sides have provably different units;
+//! * `unit-arg-mismatch` — a call argument whose unit contradicts the
+//!   callee's parameter-name suffix, resolved through the
+//!   workspace-wide [`SigIndex`];
+//! * `unit-binding-mismatch` — `let x_ms = <mJ expr>` and struct-field
+//!   initializers whose value contradicts the field's suffix.
+
+use std::collections::BTreeMap;
+
+use crate::context::{FileClass, FileContext};
+use crate::lexer::{LexedFile, Token, TokenKind};
+use crate::rules::{Finding, Rule};
+use crate::sigindex::{FnSig, Param, SigIndex};
+use crate::units::{
+    additive_mismatch, additive_result, div, ident_unit, mul, render, MismatchKind, Unit,
+};
+
+/// Recursion ceiling for the expression parser. Deeper nesting than
+/// this degrades to `Unknown` rather than risking the stack.
+const MAX_DEPTH: u32 = 120;
+
+/// Parses the `fn` signature starting at `at` (the index of the `fn`
+/// keyword). Returns the function's name, its parameters (`self`
+/// excluded), and the index just past the closing `)` — scanning may
+/// resume there and still find nested functions in the body.
+pub(crate) fn parse_fn_signature(tokens: &[Token], at: usize) -> Option<(String, FnSig, usize)> {
+    let name_tok = tokens.get(at + 1)?;
+    if name_tok.kind != TokenKind::Ident {
+        return None;
+    }
+    let name = name_tok.text.clone();
+    let mut i = at + 2;
+    // Generic parameters: `<…>`, where `->` inside (`F: Fn() -> u64`)
+    // must not close the group.
+    if tokens.get(i).is_some_and(|t| t.is_punct('<')) {
+        let mut depth = 0usize;
+        while i < tokens.len() {
+            let t = &tokens[i];
+            if t.is_punct('<') {
+                depth += 1;
+            } else if t.is_punct('>') && !arrow_gt(tokens, i) {
+                depth -= 1;
+                if depth == 0 {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+    if !tokens.get(i).is_some_and(|t| t.is_punct('(')) {
+        return None;
+    }
+    let mut params = Vec::new();
+    let mut start = i + 1;
+    let (mut paren, mut angle, mut square, mut brace) = (1i32, 0i32, 0i32, 0i32);
+    i += 1;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        match t.kind {
+            TokenKind::Punct('(') => paren += 1,
+            TokenKind::Punct(')') => {
+                paren -= 1;
+                if paren == 0 {
+                    push_param(&tokens[start..i], &mut params);
+                    return Some((name, FnSig { params }, i + 1));
+                }
+            }
+            TokenKind::Punct('<') => angle += 1,
+            TokenKind::Punct('>') if !arrow_gt(tokens, i) => angle -= 1,
+            TokenKind::Punct('[') => square += 1,
+            TokenKind::Punct(']') => square -= 1,
+            TokenKind::Punct('{') => brace += 1,
+            TokenKind::Punct('}') => brace -= 1,
+            TokenKind::Punct(',') if paren == 1 && angle <= 0 && square == 0 && brace == 0 => {
+                push_param(&tokens[start..i], &mut params);
+                start = i + 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Whether the `>` at `i` is the tail of a `->` arrow.
+fn arrow_gt(tokens: &[Token], i: usize) -> bool {
+    i > 0 && tokens[i - 1].is_punct('-') && tokens[i - 1].is_joint(&tokens[i])
+}
+
+/// Records one parameter from its token slice, excluding `self`
+/// receivers (so method calls and free calls index identically).
+fn push_param(slice: &[Token], params: &mut Vec<Param>) {
+    // Strip attributes `#[…]` and binding modifiers.
+    let mut k = 0;
+    while k < slice.len() {
+        let t = &slice[k];
+        if t.is_punct('#') && slice.get(k + 1).is_some_and(|n| n.is_punct('[')) {
+            let mut depth = 0usize;
+            while k < slice.len() {
+                if slice[k].is_punct('[') {
+                    depth += 1;
+                } else if slice[k].is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        k += 1;
+                        break;
+                    }
+                }
+                k += 1;
+            }
+        } else if t.is_punct('&') || t.kind == TokenKind::Lifetime || t.is_ident("mut") {
+            k += 1;
+        } else {
+            break;
+        }
+    }
+    let Some(first) = slice.get(k) else { return };
+    if first.is_ident("self") {
+        return;
+    }
+    let name =
+        if first.kind == TokenKind::Ident && slice.get(k + 1).is_some_and(|n| n.is_punct(':')) {
+            Some(first.text.clone())
+        } else {
+            None
+        };
+    let unit = name.as_deref().map_or(Unit::Unknown, ident_unit);
+    params.push(Param { name, unit });
+}
+
+/// Runs the units checker over every non-test function body of a
+/// library or binary file. Findings come back unsuppressed; the caller
+/// applies `lint:allow` filtering.
+pub(crate) fn check_units(
+    path: &str,
+    lexed: &LexedFile,
+    ctx: &FileContext,
+    sigs: &SigIndex,
+) -> Vec<Finding> {
+    if !matches!(ctx.class, FileClass::Lib | FileClass::Bin) {
+        return Vec::new();
+    }
+    let mut findings = Vec::new();
+    for span in &ctx.fn_spans {
+        if ctx.in_test[span.start] {
+            continue;
+        }
+        let mut checker = Checker {
+            path,
+            tokens: &lexed.tokens,
+            sigs,
+            scopes: vec![BTreeMap::new()],
+            findings: Vec::new(),
+            i: span.open,
+            end: span.close + 1,
+            depth: 0,
+        };
+        checker.block();
+        findings.append(&mut checker.findings);
+    }
+    findings.sort_by_key(|f| (f.line, f.rule));
+    // Nested fn items are walked once as part of their parent's span
+    // and once as their own span; identical findings collapse.
+    findings.dedup();
+    findings
+}
+
+/// A parsed expression's inferred unit, a short label for messages,
+/// and the line it started on.
+#[derive(Debug, Clone)]
+struct Val {
+    unit: Unit,
+    label: Option<String>,
+    line: u32,
+}
+
+impl Val {
+    fn unknown(line: u32) -> Val {
+        Val {
+            unit: Unit::Unknown,
+            label: None,
+            line,
+        }
+    }
+
+    fn describe(&self) -> String {
+        match &self.label {
+            Some(l) => format!("`{l}`"),
+            None => "expression".to_string(),
+        }
+    }
+}
+
+/// Methods that return their receiver's unit unchanged.
+const UNIT_PRESERVING_METHODS: &[&str] = &[
+    "abs",
+    "clone",
+    "copied",
+    "cloned",
+    "to_owned",
+    "round",
+    "floor",
+    "ceil",
+    "trunc",
+    "saturating_add",
+    "saturating_sub",
+    "wrapping_add",
+    "wrapping_sub",
+];
+
+/// Methods whose argument must share the receiver's unit, and whose
+/// result keeps it (`a_ms.max(b_ns)` is as wrong as `a_ms + b_ns`).
+const UNIT_JOINING_METHODS: &[&str] = &["min", "max", "clamp", "rem_euclid"];
+
+struct Checker<'a> {
+    path: &'a str,
+    tokens: &'a [Token],
+    sigs: &'a SigIndex,
+    /// Lexical scopes of `let`-bound names whose unit was inferred from
+    /// the initializer (consulted only for names without a suffix).
+    scopes: Vec<BTreeMap<String, Unit>>,
+    findings: Vec<Finding>,
+    i: usize,
+    /// Exclusive upper bound of the walk (just past the body's `}`).
+    end: usize,
+    depth: u32,
+}
+
+impl<'a> Checker<'a> {
+    fn tok(&self, k: usize) -> Option<&'a Token> {
+        if k < self.end {
+            self.tokens.get(k)
+        } else {
+            None
+        }
+    }
+
+    fn cur(&self) -> Option<&'a Token> {
+        self.tok(self.i)
+    }
+
+    fn at_punct(&self, c: char) -> bool {
+        self.cur().is_some_and(|t| t.is_punct(c))
+    }
+
+    fn at_ident(&self, s: &str) -> bool {
+        self.cur().is_some_and(|t| t.is_ident(s))
+    }
+
+    /// Whether the current token is punct `a` with a *joint* punct `b`
+    /// right behind it — a compound operator like `==`, `&&`, `=>`.
+    fn joint_pair(&self, a: char, b: char) -> bool {
+        match (self.cur(), self.tok(self.i + 1)) {
+            (Some(t), Some(n)) => t.is_punct(a) && n.is_punct(b) && t.is_joint(n),
+            _ => false,
+        }
+    }
+
+    fn line(&self) -> u32 {
+        self.cur().map_or(0, |t| t.line)
+    }
+
+    fn bump(&mut self) {
+        self.i += 1;
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if self.at_punct(c) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn push_finding(&mut self, line: u32, rule: Rule, message: String) {
+        self.findings.push(Finding {
+            file: self.path.to_string(),
+            line,
+            rule,
+            message,
+        });
+    }
+
+    fn lookup(&self, name: &str) -> Unit {
+        let suffixed = ident_unit(name);
+        if suffixed.is_known() {
+            return suffixed;
+        }
+        for scope in self.scopes.iter().rev() {
+            if let Some(&unit) = scope.get(name) {
+                return unit;
+            }
+        }
+        Unit::Unknown
+    }
+
+    /// Skips tokens until past the matching closer of the delimiter the
+    /// cursor stands on (`(`/`[`/`{`); no-op on anything else.
+    fn skip_delim_group(&mut self) {
+        let (open, close) = match self.cur().map(|t| t.kind) {
+            Some(TokenKind::Punct('(')) => ('(', ')'),
+            Some(TokenKind::Punct('[')) => ('[', ']'),
+            Some(TokenKind::Punct('{')) => ('{', '}'),
+            _ => return,
+        };
+        let mut depth = 0usize;
+        while let Some(t) = self.cur() {
+            if t.is_punct(open) {
+                depth += 1;
+            } else if t.is_punct(close) {
+                depth -= 1;
+                if depth == 0 {
+                    self.bump();
+                    return;
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// Skips a `<…>` group the cursor stands on, honoring `->`.
+    fn skip_angle_group(&mut self) {
+        if !self.at_punct('<') {
+            return;
+        }
+        let mut depth = 0usize;
+        while let Some(t) = self.cur() {
+            if t.is_punct('<') {
+                depth += 1;
+            } else if t.is_punct('>') && !arrow_gt(self.tokens, self.i) {
+                depth -= 1;
+                if depth == 0 {
+                    self.bump();
+                    return;
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// Skips an outer attribute `#[…]` the cursor stands on.
+    fn skip_attr(&mut self) {
+        if self.at_punct('#') {
+            self.bump();
+            self.skip_delim_group();
+        }
+    }
+
+    /// Walks the block the cursor stands on (`{ … }`), checking every
+    /// statement; leaves the cursor just past the closing `}`.
+    fn block(&mut self) {
+        if !self.eat_punct('{') {
+            return;
+        }
+        self.scopes.push(BTreeMap::new());
+        loop {
+            if self.at_punct('}') {
+                self.bump();
+                break;
+            }
+            let Some(_) = self.cur() else { break };
+            let before = self.i;
+            self.stmt();
+            if self.i == before {
+                self.bump();
+            }
+        }
+        self.scopes.pop();
+    }
+
+    /// One statement: a `let`, a nested item (skipped structurally), or
+    /// an expression statement.
+    fn stmt(&mut self) {
+        while self.at_punct('#') {
+            self.skip_attr();
+        }
+        if self.eat_punct(';') {
+            return;
+        }
+        let Some(t) = self.cur() else { return };
+        if t.is_ident("let") {
+            self.let_stmt();
+        } else if t.is_ident("fn") {
+            // A nested fn item has its own FnSpan and is checked there;
+            // here we only step over it.
+            self.skip_fn_item();
+        } else if t.is_ident("use")
+            || t.is_ident("static")
+            || t.is_ident("type")
+            || (t.is_ident("const") && self.tok(self.i + 1).is_some_and(|n| !n.is_ident("fn")))
+        {
+            self.skip_to_semi();
+        } else if t.is_ident("struct")
+            || t.is_ident("enum")
+            || t.is_ident("trait")
+            || t.is_ident("impl")
+            || t.is_ident("mod")
+            || t.is_ident("union")
+        {
+            self.skip_item_with_block();
+        } else if t.is_ident("macro_rules") {
+            self.bump();
+            self.eat_punct('!');
+            if self.cur().is_some_and(|t| t.kind == TokenKind::Ident) {
+                self.bump();
+            }
+            self.skip_delim_group();
+        } else if t.is_ident("pub") {
+            // Visibility on a nested item: `pub(crate) fn …`.
+            self.bump();
+            if self.at_punct('(') {
+                self.skip_delim_group();
+            }
+        } else {
+            self.expr(true);
+            self.eat_punct(';');
+        }
+    }
+
+    /// `let [mut] pat [: Type] = expr [else { … }] ;`
+    fn let_stmt(&mut self) {
+        self.bump(); // `let`
+        while self.at_ident("mut") || self.at_ident("ref") {
+            self.bump();
+        }
+        // A simple binding is a lone identifier; anything else is a
+        // pattern we step over without recording.
+        let bound = match self.cur() {
+            Some(t)
+                if t.kind == TokenKind::Ident
+                    && self
+                        .tok(self.i + 1)
+                        .is_some_and(|n| n.is_punct(':') || n.is_punct('=') || n.is_punct(';')) =>
+            {
+                let name = t.text.clone();
+                let line = t.line;
+                self.bump();
+                Some((name, line))
+            }
+            _ => {
+                self.skip_pattern_to(&[':', '=', ';']);
+                None
+            }
+        };
+        if self.at_punct(':') {
+            self.bump();
+            self.skip_type_to(&['=', ';']);
+        }
+        if !self.eat_punct('=') {
+            self.skip_to_semi();
+            return;
+        }
+        let value = self.expr(true);
+        if self.at_ident("else") {
+            self.bump();
+            self.block();
+        }
+        self.eat_punct(';');
+        if let Some((name, line)) = bound {
+            let declared = ident_unit(&name);
+            if let Some(kind) = additive_mismatch(declared, value.unit) {
+                self.push_finding(
+                    line,
+                    Rule::UnitBindingMismatch,
+                    format!(
+                        "`{name}` declares {} but its initializer {} is {} ({})",
+                        render(declared),
+                        value.describe(),
+                        render(value.unit),
+                        describe_kind(kind),
+                    ),
+                );
+            }
+            if !declared.is_known() && value.unit.is_known() {
+                if let Some(scope) = self.scopes.last_mut() {
+                    scope.insert(name, value.unit);
+                }
+            }
+        }
+    }
+
+    /// Steps over a nested `fn` item (signature and body or `;`).
+    fn skip_fn_item(&mut self) {
+        let mut paren = 0i32;
+        while let Some(t) = self.cur() {
+            match t.kind {
+                TokenKind::Punct('(') | TokenKind::Punct('[') => paren += 1,
+                TokenKind::Punct(')') | TokenKind::Punct(']') => paren -= 1,
+                TokenKind::Punct('{') if paren == 0 => {
+                    self.skip_delim_group();
+                    return;
+                }
+                TokenKind::Punct(';') if paren == 0 => {
+                    self.bump();
+                    return;
+                }
+                _ => {}
+            }
+            self.bump();
+        }
+    }
+
+    /// Steps over an item that ends with its first top-level block
+    /// (`struct`/`impl`/`mod`/…), or at a `;` for the bodiless forms.
+    fn skip_item_with_block(&mut self) {
+        while let Some(t) = self.cur() {
+            if t.is_punct('{') {
+                self.skip_delim_group();
+                return;
+            }
+            if t.is_punct(';') {
+                self.bump();
+                return;
+            }
+            if t.is_punct('<') {
+                self.skip_angle_group();
+                continue;
+            }
+            self.bump();
+        }
+    }
+
+    /// Skips to just past the next `;`, honoring nested delimiters
+    /// (`const N: usize = [0; 4].len();` has inner semicolons).
+    fn skip_to_semi(&mut self) {
+        let (mut paren, mut square, mut brace) = (0i32, 0i32, 0i32);
+        while let Some(t) = self.cur() {
+            match t.kind {
+                TokenKind::Punct('(') => paren += 1,
+                TokenKind::Punct(')') => paren -= 1,
+                TokenKind::Punct('[') => square += 1,
+                TokenKind::Punct(']') => square -= 1,
+                TokenKind::Punct('{') => brace += 1,
+                TokenKind::Punct('}') => {
+                    if brace == 0 {
+                        return; // end of enclosing block: malformed, stop
+                    }
+                    brace -= 1;
+                }
+                TokenKind::Punct(';') if paren == 0 && square == 0 && brace == 0 => {
+                    self.bump();
+                    return;
+                }
+                _ => {}
+            }
+            self.bump();
+        }
+    }
+
+    /// Skips a pattern until one of `stops` at delimiter depth 0.
+    fn skip_pattern_to(&mut self, stops: &[char]) {
+        let (mut paren, mut square, mut brace, mut angle) = (0i32, 0i32, 0i32, 0i32);
+        while let Some(t) = self.cur() {
+            if let TokenKind::Punct(c) = t.kind {
+                if paren == 0 && square == 0 && brace == 0 && angle <= 0 && stops.contains(&c) {
+                    return;
+                }
+                match c {
+                    '(' => paren += 1,
+                    ')' => {
+                        if paren == 0 {
+                            return;
+                        }
+                        paren -= 1;
+                    }
+                    '[' => square += 1,
+                    ']' => square -= 1,
+                    '{' => brace += 1,
+                    '}' => {
+                        if brace == 0 {
+                            return;
+                        }
+                        brace -= 1;
+                    }
+                    '<' => angle += 1,
+                    '>' if !arrow_gt(self.tokens, self.i) => angle -= 1,
+                    _ => {}
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// Skips a type until one of `stops` at depth 0. Same shape as
+    /// patterns; `<Item = X>` keeps its `=` inside the angle group.
+    fn skip_type_to(&mut self, stops: &[char]) {
+        self.skip_pattern_to(stops);
+    }
+
+    // ---- expression parsing, lowest to highest precedence ----
+
+    /// Full expression; `struct_ok` permits `Path { … }` literals
+    /// (false in `if`/`while`/`for`/`match` headers).
+    fn expr(&mut self, struct_ok: bool) -> Val {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            self.depth -= 1;
+            let line = self.line();
+            self.bump();
+            return Val::unknown(line);
+        }
+        let v = self.assign(struct_ok);
+        self.depth -= 1;
+        v
+    }
+
+    fn assign(&mut self, struct_ok: bool) -> Val {
+        let lhs = self.range(struct_ok);
+        // Plain assignment: a lone `=` (not `==`, which the comparison
+        // level consumed, and not `=>`, which belongs to a match arm).
+        if self.at_punct('=') && !self.joint_pair('=', '=') && !self.joint_pair('=', '>') {
+            let line = self.line();
+            self.bump();
+            let rhs = self.expr(struct_ok);
+            self.check_additive(line, "=", &lhs, &rhs);
+            return Val::unknown(line);
+        }
+        // Compound assignment `+=` `-=` `*=` … — the binary levels
+        // refuse to consume an operator glued to `=`, so it surfaces
+        // here intact.
+        if let Some(op) = self.compound_assign_op() {
+            let line = self.line();
+            let chars = op.len();
+            for _ in 0..=chars {
+                self.bump(); // the operator chars and the `=`
+            }
+            let rhs = self.expr(struct_ok);
+            if op == "+" || op == "-" {
+                self.check_additive(line, &format!("{op}="), &lhs, &rhs);
+            }
+            return Val::unknown(line);
+        }
+        lhs
+    }
+
+    /// If the cursor stands on a compound-assignment operator, its
+    /// operator text (without the `=`).
+    fn compound_assign_op(&self) -> Option<&'static str> {
+        let t = self.cur()?;
+        let n1 = self.tok(self.i + 1)?;
+        for (c, name) in [
+            ('+', "+"),
+            ('-', "-"),
+            ('*', "*"),
+            ('/', "/"),
+            ('%', "%"),
+            ('^', "^"),
+        ] {
+            if t.is_punct(c) && n1.is_punct('=') && t.is_joint(n1) {
+                return Some(name);
+            }
+        }
+        // `&=` and `|=` — but not `&&=`/`||=`, which do not exist.
+        for (c, name) in [('&', "&"), ('|', "|")] {
+            if t.is_punct(c) && n1.is_punct('=') && t.is_joint(n1) {
+                return Some(name);
+            }
+        }
+        // `<<=` / `>>=`
+        let n2 = self.tok(self.i + 2)?;
+        for (c, name) in [('<', "<<"), ('>', ">>")] {
+            if t.is_punct(c)
+                && n1.is_punct(c)
+                && t.is_joint(n1)
+                && n2.is_punct('=')
+                && n1.is_joint(n2)
+            {
+                return Some(name);
+            }
+        }
+        None
+    }
+
+    fn range(&mut self, struct_ok: bool) -> Val {
+        // Prefix range `..end` / `..=end`.
+        if self.joint_pair('.', '.') {
+            let line = self.line();
+            self.bump();
+            self.bump();
+            self.eat_punct('=');
+            if self.range_has_end(struct_ok) {
+                self.or(struct_ok);
+            }
+            return Val::unknown(line);
+        }
+        let lhs = self.or(struct_ok);
+        if self.joint_pair('.', '.') {
+            self.bump();
+            self.bump();
+            self.eat_punct('=');
+            if self.range_has_end(struct_ok) {
+                let rhs = self.or(struct_ok);
+                self.check_additive(lhs.line, "..", &lhs, &rhs);
+            }
+            return Val::unknown(lhs.line);
+        }
+        lhs
+    }
+
+    /// Whether a range expression has an end operand (vs `a..` before a
+    /// closing delimiter).
+    fn range_has_end(&self, _struct_ok: bool) -> bool {
+        match self.cur() {
+            None => false,
+            Some(t) => !matches!(
+                t.kind,
+                TokenKind::Punct(')')
+                    | TokenKind::Punct(']')
+                    | TokenKind::Punct('}')
+                    | TokenKind::Punct(',')
+                    | TokenKind::Punct(';')
+                    | TokenKind::Punct('{')
+            ),
+        }
+    }
+
+    fn or(&mut self, struct_ok: bool) -> Val {
+        let mut lhs = self.and(struct_ok);
+        while self.joint_pair('|', '|') {
+            self.bump();
+            self.bump();
+            self.and(struct_ok);
+            lhs = Val::unknown(lhs.line);
+        }
+        lhs
+    }
+
+    fn and(&mut self, struct_ok: bool) -> Val {
+        let mut lhs = self.comparison(struct_ok);
+        while self.joint_pair('&', '&') && !self.tok(self.i + 2).is_some_and(|t| t.is_punct('=')) {
+            self.bump();
+            self.bump();
+            self.comparison(struct_ok);
+            lhs = Val::unknown(lhs.line);
+        }
+        lhs
+    }
+
+    fn comparison(&mut self, struct_ok: bool) -> Val {
+        let lhs = self.bitor(struct_ok);
+        let op: Option<(&str, usize)> = if self.joint_pair('=', '=') {
+            Some(("==", 2))
+        } else if self.joint_pair('!', '=') {
+            Some(("!=", 2))
+        } else if self.joint_pair('<', '=') {
+            Some(("<=", 2))
+        } else if self.joint_pair('>', '=') {
+            Some((">=", 2))
+        } else if self.at_punct('<') && !self.joint_pair('<', '<') {
+            Some(("<", 1))
+        } else if self.at_punct('>') && !self.joint_pair('>', '>') {
+            Some((">", 1))
+        } else {
+            None
+        };
+        let Some((op, width)) = op else { return lhs };
+        let line = self.line();
+        for _ in 0..width {
+            self.bump();
+        }
+        let rhs = self.bitor(struct_ok);
+        self.check_additive(line, op, &lhs, &rhs);
+        Val::unknown(line)
+    }
+
+    fn bitor(&mut self, struct_ok: bool) -> Val {
+        let mut lhs = self.bitxor(struct_ok);
+        while self.at_punct('|') && !self.joint_pair('|', '|') && !self.joint_pair('|', '=') {
+            self.bump();
+            self.bitxor(struct_ok);
+            lhs = Val::unknown(lhs.line);
+        }
+        lhs
+    }
+
+    fn bitxor(&mut self, struct_ok: bool) -> Val {
+        let mut lhs = self.bitand(struct_ok);
+        while self.at_punct('^') && !self.joint_pair('^', '=') {
+            self.bump();
+            self.bitand(struct_ok);
+            lhs = Val::unknown(lhs.line);
+        }
+        lhs
+    }
+
+    fn bitand(&mut self, struct_ok: bool) -> Val {
+        let mut lhs = self.shift(struct_ok);
+        while self.at_punct('&') && !self.joint_pair('&', '&') && !self.joint_pair('&', '=') {
+            self.bump();
+            self.shift(struct_ok);
+            lhs = Val::unknown(lhs.line);
+        }
+        lhs
+    }
+
+    fn shift(&mut self, struct_ok: bool) -> Val {
+        let mut lhs = self.additive(struct_ok);
+        loop {
+            let is_shift = (self.joint_pair('<', '<') || self.joint_pair('>', '>'))
+                && !self
+                    .tok(self.i + 2)
+                    .is_some_and(|t| t.is_punct('=') && self.tokens[self.i + 1].is_joint(t));
+            if !is_shift {
+                return lhs;
+            }
+            self.bump();
+            self.bump();
+            self.additive(struct_ok);
+            lhs = Val::unknown(lhs.line);
+        }
+    }
+
+    fn additive(&mut self, struct_ok: bool) -> Val {
+        let mut lhs = self.multiplicative(struct_ok);
+        loop {
+            let op = if self.at_punct('+') && !self.joint_pair('+', '=') {
+                "+"
+            } else if self.at_punct('-') && !self.joint_pair('-', '=') {
+                "-"
+            } else {
+                return lhs;
+            };
+            let line = self.line();
+            self.bump();
+            let rhs = self.multiplicative(struct_ok);
+            self.check_additive(line, op, &lhs, &rhs);
+            lhs = Val {
+                unit: additive_result(lhs.unit, rhs.unit),
+                label: lhs.label.clone(),
+                line: lhs.line,
+            };
+        }
+    }
+
+    fn multiplicative(&mut self, struct_ok: bool) -> Val {
+        let mut lhs = self.cast(struct_ok);
+        loop {
+            let op = if self.at_punct('*') && !self.joint_pair('*', '=') {
+                '*'
+            } else if self.at_punct('/') && !self.joint_pair('/', '=') {
+                '/'
+            } else if self.at_punct('%') && !self.joint_pair('%', '=') {
+                '%'
+            } else {
+                return lhs;
+            };
+            self.bump();
+            let rhs = self.cast(struct_ok);
+            let unit = match op {
+                '*' => mul(lhs.unit, rhs.unit),
+                '/' => div(lhs.unit, rhs.unit),
+                // `a % b` keeps a's magnitude class.
+                _ => lhs.unit,
+            };
+            let label = match (&lhs.label, &rhs.label) {
+                (Some(a), Some(b)) => Some(format!("{a} {op} {b}")),
+                _ => None,
+            };
+            lhs = Val {
+                unit,
+                label,
+                line: lhs.line,
+            };
+        }
+    }
+
+    /// `expr as Type` — the unit survives a numeric cast.
+    fn cast(&mut self, struct_ok: bool) -> Val {
+        let lhs = self.unary(struct_ok);
+        let mut out = lhs;
+        while self.at_ident("as") {
+            self.bump();
+            // Cast types here are primitive paths (`f64`, `u64`,
+            // `usize`): consume the path, never an angle group.
+            while self.cur().is_some_and(|t| t.kind == TokenKind::Ident) {
+                self.bump();
+                if self.joint_pair(':', ':') {
+                    self.bump();
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        out.line = out.line.max(1);
+        out
+    }
+
+    fn unary(&mut self, struct_ok: bool) -> Val {
+        let Some(t) = self.cur() else {
+            return Val::unknown(0);
+        };
+        let line = t.line;
+        if t.is_punct('-') || t.is_punct('*') {
+            self.bump();
+            return self.unary(struct_ok);
+        }
+        if t.is_punct('&') {
+            self.bump();
+            if self.at_ident("mut") {
+                self.bump();
+            }
+            return self.unary(struct_ok);
+        }
+        if t.is_punct('!') {
+            self.bump();
+            self.unary(struct_ok);
+            return Val::unknown(line);
+        }
+        self.postfix(struct_ok)
+    }
+
+    fn postfix(&mut self, struct_ok: bool) -> Val {
+        let mut val = self.primary(struct_ok);
+        loop {
+            if self.at_punct('?') {
+                self.bump();
+                continue;
+            }
+            if self.at_punct('.') && !self.joint_pair('.', '.') {
+                let Some(next) = self.tok(self.i + 1) else {
+                    self.bump();
+                    return val;
+                };
+                match next.kind {
+                    TokenKind::Ident if next.text == "await" => {
+                        self.bump();
+                        self.bump();
+                    }
+                    TokenKind::Ident => {
+                        let name = next.text.clone();
+                        let line = next.line;
+                        self.bump();
+                        self.bump();
+                        // Turbofish on a method: `.collect::<Vec<_>>()`.
+                        if self.joint_pair(':', ':') {
+                            self.bump();
+                            self.bump();
+                            self.skip_angle_group();
+                        }
+                        if self.at_punct('(') {
+                            val = self.method_call(val, &name, line);
+                        } else {
+                            // Field access: the field's suffix is its unit.
+                            let label = val
+                                .label
+                                .as_deref()
+                                .map(|l| format!("{l}.{name}"))
+                                .or(Some(name.clone()));
+                            val = Val {
+                                unit: ident_unit(&name),
+                                label,
+                                line,
+                            };
+                        }
+                    }
+                    TokenKind::Literal => {
+                        // Tuple index `pair.0`.
+                        self.bump();
+                        self.bump();
+                        val = Val::unknown(val.line);
+                    }
+                    _ => {
+                        self.bump();
+                    }
+                }
+                continue;
+            }
+            if self.at_punct('[') {
+                self.bump();
+                self.expr(true);
+                self.eat_punct(']');
+                // Indexing an ms-array yields an ms — keep the unit.
+                continue;
+            }
+            return val;
+        }
+    }
+
+    /// Parses `(arg, arg, …)` with the cursor on `(`; returns the
+    /// argument Vals.
+    fn call_args(&mut self) -> Vec<Val> {
+        let mut args = Vec::new();
+        self.bump(); // `(`
+        loop {
+            if self.at_punct(')') {
+                self.bump();
+                return args;
+            }
+            if self.cur().is_none() {
+                return args;
+            }
+            let before = self.i;
+            args.push(self.expr(true));
+            if self.eat_punct(',') {
+                continue;
+            }
+            if self.at_punct(')') {
+                continue;
+            }
+            if self.i == before {
+                self.bump();
+            }
+        }
+    }
+
+    fn method_call(&mut self, receiver: Val, name: &str, line: u32) -> Val {
+        let args = self.call_args();
+        if UNIT_JOINING_METHODS.contains(&name) {
+            if let Some(arg) = args.first() {
+                if let Some(kind) = additive_mismatch(receiver.unit, arg.unit) {
+                    self.push_finding(
+                        line,
+                        Rule::UnitMismatch,
+                        format!(
+                            "{} is {} but the argument of `.{name}()` {} is {} ({})",
+                            receiver.describe(),
+                            render(receiver.unit),
+                            arg.describe(),
+                            render(arg.unit),
+                            describe_kind(kind),
+                        ),
+                    );
+                }
+                return Val {
+                    unit: additive_result(receiver.unit, arg.unit),
+                    label: receiver.label,
+                    line,
+                };
+            }
+            return receiver;
+        }
+        if UNIT_PRESERVING_METHODS.contains(&name) {
+            return Val {
+                unit: receiver.unit,
+                label: receiver.label,
+                line,
+            };
+        }
+        self.check_call_args(name, &args, line);
+        // A method with a unit suffix declares its result:
+        // `processor.peak_gmacs()` is a GMAC/s rate.
+        Val {
+            unit: ident_unit(name),
+            label: Some(format!(".{name}(…)")),
+            line,
+        }
+    }
+
+    /// Rule (b): each argument against the callee's parameter suffix,
+    /// through the workspace signature index.
+    fn check_call_args(&mut self, callee: &str, args: &[Val], line: u32) {
+        for (idx, arg) in args.iter().enumerate() {
+            let Some((param, want)) = self.sigs.expected_param(callee, args.len(), idx) else {
+                continue;
+            };
+            if let Some(kind) = additive_mismatch(want, arg.unit) {
+                let param = param.to_string();
+                self.push_finding(
+                    arg.line.max(line),
+                    Rule::UnitArgMismatch,
+                    format!(
+                        "argument {} of `{callee}(…)` {} is {} but parameter `{param}` \
+                         expects {} ({})",
+                        idx + 1,
+                        arg.describe(),
+                        render(arg.unit),
+                        render(want),
+                        describe_kind(kind),
+                    ),
+                );
+            }
+        }
+    }
+
+    fn primary(&mut self, struct_ok: bool) -> Val {
+        let Some(t) = self.cur() else {
+            return Val::unknown(0);
+        };
+        let line = t.line;
+        match t.kind {
+            TokenKind::Literal => {
+                let numeric = t.text.starts_with(|c: char| c.is_ascii_digit());
+                self.bump();
+                Val {
+                    unit: if numeric { Unit::Scalar } else { Unit::Unknown },
+                    label: None,
+                    line,
+                }
+            }
+            TokenKind::Lifetime => {
+                // A loop label: `'outer: loop { … }`.
+                self.bump();
+                self.eat_punct(':');
+                Val::unknown(line)
+            }
+            TokenKind::Punct('(') => {
+                self.bump();
+                if self.at_punct(')') {
+                    self.bump();
+                    return Val::unknown(line);
+                }
+                let first = self.expr(true);
+                if self.at_punct(',') {
+                    while self.eat_punct(',') {
+                        if self.at_punct(')') {
+                            break;
+                        }
+                        self.expr(true);
+                    }
+                    self.eat_punct(')');
+                    return Val::unknown(line);
+                }
+                self.eat_punct(')');
+                first
+            }
+            TokenKind::Punct('[') => {
+                self.bump();
+                loop {
+                    if self.at_punct(']') {
+                        self.bump();
+                        break;
+                    }
+                    if self.cur().is_none() {
+                        break;
+                    }
+                    let before = self.i;
+                    self.expr(true);
+                    if self.eat_punct(',') || self.eat_punct(';') {
+                        continue;
+                    }
+                    if self.i == before {
+                        self.bump();
+                    }
+                }
+                Val::unknown(line)
+            }
+            TokenKind::Punct('{') => {
+                self.block();
+                Val::unknown(line)
+            }
+            TokenKind::Punct('|') => self.closure(line),
+            TokenKind::Punct('#') => {
+                self.skip_attr();
+                self.primary(struct_ok)
+            }
+            TokenKind::Punct(_) => Val::unknown(line),
+            TokenKind::Ident => self.keyword_or_path(struct_ok, line),
+        }
+    }
+
+    fn closure(&mut self, line: u32) -> Val {
+        if self.joint_pair('|', '|') {
+            self.bump();
+            self.bump();
+        } else {
+            self.bump(); // opening `|`
+            self.skip_pattern_to(&['|']);
+            self.bump(); // closing `|`
+        }
+        if self.at_punct('-') && self.joint_pair('-', '>') {
+            self.bump();
+            self.bump();
+            self.skip_type_to(&['{']);
+            self.block();
+            return Val::unknown(line);
+        }
+        self.expr(true);
+        Val::unknown(line)
+    }
+
+    fn keyword_or_path(&mut self, struct_ok: bool, line: u32) -> Val {
+        let Some(t) = self.cur() else {
+            return Val::unknown(line);
+        };
+        match t.text.as_str() {
+            "if" => {
+                self.bump();
+                if self.at_ident("let") {
+                    self.bump();
+                    self.skip_pattern_to(&['=']);
+                    self.bump();
+                }
+                self.expr(false);
+                self.block();
+                if self.at_ident("else") {
+                    self.bump();
+                    if self.at_ident("if") {
+                        self.keyword_or_path(struct_ok, line);
+                    } else {
+                        self.block();
+                    }
+                }
+                Val::unknown(line)
+            }
+            "while" => {
+                self.bump();
+                if self.at_ident("let") {
+                    self.bump();
+                    self.skip_pattern_to(&['=']);
+                    self.bump();
+                }
+                self.expr(false);
+                self.block();
+                Val::unknown(line)
+            }
+            "loop" => {
+                self.bump();
+                self.block();
+                Val::unknown(line)
+            }
+            "for" => {
+                self.bump();
+                self.skip_pattern_to_ident("in");
+                if self.at_ident("in") {
+                    self.bump();
+                }
+                self.expr(false);
+                self.block();
+                Val::unknown(line)
+            }
+            "match" => self.match_expr(line),
+            "unsafe" => {
+                self.bump();
+                self.block();
+                Val::unknown(line)
+            }
+            "return" | "break" => {
+                self.bump();
+                if self.cur().is_some_and(|t| t.kind == TokenKind::Lifetime) {
+                    self.bump();
+                }
+                if self.expr_follows() {
+                    self.expr(struct_ok);
+                }
+                Val::unknown(line)
+            }
+            "continue" => {
+                self.bump();
+                if self.cur().is_some_and(|t| t.kind == TokenKind::Lifetime) {
+                    self.bump();
+                }
+                Val::unknown(line)
+            }
+            "move" => {
+                self.bump();
+                if self.at_punct('|') {
+                    return self.closure(line);
+                }
+                if self.at_punct('{') {
+                    self.block();
+                }
+                Val::unknown(line)
+            }
+            "true" | "false" => {
+                self.bump();
+                Val::unknown(line)
+            }
+            _ => self.path_expr(struct_ok, line),
+        }
+    }
+
+    /// Whether an expression plausibly starts at the cursor (after
+    /// `return`/`break`).
+    fn expr_follows(&self) -> bool {
+        match self.cur() {
+            None => false,
+            Some(t) => !matches!(
+                t.kind,
+                TokenKind::Punct(';')
+                    | TokenKind::Punct('}')
+                    | TokenKind::Punct(')')
+                    | TokenKind::Punct(']')
+                    | TokenKind::Punct(',')
+            ),
+        }
+    }
+
+    /// Skips a `for` pattern up to the given keyword.
+    fn skip_pattern_to_ident(&mut self, kw: &str) {
+        let (mut paren, mut square) = (0i32, 0i32);
+        while let Some(t) = self.cur() {
+            if t.is_ident(kw) && paren == 0 && square == 0 {
+                return;
+            }
+            match t.kind {
+                TokenKind::Punct('(') => paren += 1,
+                TokenKind::Punct(')') => paren -= 1,
+                TokenKind::Punct('[') => square += 1,
+                TokenKind::Punct(']') => square -= 1,
+                TokenKind::Punct('{') => return, // malformed; bail
+                _ => {}
+            }
+            self.bump();
+        }
+    }
+
+    fn match_expr(&mut self, line: u32) -> Val {
+        self.bump(); // `match`
+        self.expr(false);
+        if !self.eat_punct('{') {
+            return Val::unknown(line);
+        }
+        loop {
+            if self.at_punct('}') {
+                self.bump();
+                break;
+            }
+            if self.cur().is_none() {
+                break;
+            }
+            let before = self.i;
+            // Pattern (with alternatives and guards) up to the joint `=>`.
+            self.skip_match_pattern();
+            if self.joint_pair('=', '>') {
+                self.bump();
+                self.bump();
+                self.expr(true);
+                self.eat_punct(',');
+            }
+            if self.i == before {
+                self.bump();
+            }
+        }
+        Val::unknown(line)
+    }
+
+    /// Skips a match arm's pattern (and optional `if` guard) up to its
+    /// `=>`, tracking delimiter depth.
+    fn skip_match_pattern(&mut self) {
+        let (mut paren, mut square, mut brace) = (0i32, 0i32, 0i32);
+        while let Some(t) = self.cur() {
+            if paren == 0 && square == 0 && brace == 0 && self.joint_pair('=', '>') {
+                return;
+            }
+            match t.kind {
+                TokenKind::Punct('(') => paren += 1,
+                TokenKind::Punct(')') => paren -= 1,
+                TokenKind::Punct('[') => square += 1,
+                TokenKind::Punct(']') => square -= 1,
+                TokenKind::Punct('{') => brace += 1,
+                TokenKind::Punct('}') => {
+                    if brace == 0 {
+                        return; // end of the match block: bail
+                    }
+                    brace -= 1;
+                }
+                _ => {}
+            }
+            self.bump();
+        }
+    }
+
+    /// An identifier path: a value, a call, a macro, or a struct
+    /// literal.
+    fn path_expr(&mut self, struct_ok: bool, line: u32) -> Val {
+        let mut segments: Vec<String> = Vec::new();
+        loop {
+            match self.cur() {
+                Some(t) if t.kind == TokenKind::Ident => {
+                    segments.push(t.text.clone());
+                    self.bump();
+                }
+                _ => break,
+            }
+            if self.joint_pair(':', ':') {
+                self.bump();
+                self.bump();
+                if self.at_punct('<') {
+                    // Turbofish `::<…>`; the path may continue
+                    // (`Vec::<u8>::new`).
+                    self.skip_angle_group();
+                    if self.joint_pair(':', ':') {
+                        self.bump();
+                        self.bump();
+                        continue;
+                    }
+                    break;
+                }
+                continue;
+            }
+            break;
+        }
+        let Some(last) = segments.last().cloned() else {
+            return Val::unknown(line);
+        };
+        let label = segments.join("::");
+
+        // Macro invocation: opaque.
+        if self.at_punct('!') && !self.joint_pair('!', '=') {
+            self.bump();
+            self.skip_delim_group();
+            return Val::unknown(line);
+        }
+        // Call: check arguments, result from the callee's suffix.
+        if self.at_punct('(') {
+            let args = self.call_args();
+            self.check_call_args(&last, &args, line);
+            return Val {
+                unit: ident_unit(&last),
+                label: Some(format!("{label}(…)")),
+                line,
+            };
+        }
+        // Struct literal: `Path { field: expr, … }`.
+        if struct_ok && self.at_punct('{') && self.looks_like_struct_literal() {
+            self.struct_literal();
+            return Val::unknown(line);
+        }
+        // A plain value: suffix first, then the symbol table.
+        Val {
+            unit: self.lookup(&last),
+            label: Some(label),
+            line,
+        }
+    }
+
+    /// Whether `{ …` after a path looks like a struct literal rather
+    /// than a block: `ident:`, `ident,`, `ident}`, `..`, or `}`.
+    fn looks_like_struct_literal(&self) -> bool {
+        let Some(first) = self.tok(self.i + 1) else {
+            return false;
+        };
+        if first.is_punct('}') {
+            return true;
+        }
+        if first.is_punct('.') {
+            return self.tok(self.i + 2).is_some_and(|t| t.is_punct('.'));
+        }
+        if first.kind != TokenKind::Ident {
+            return false;
+        }
+        match self.tok(self.i + 2) {
+            Some(t) if t.is_punct(',') || t.is_punct('}') => true,
+            // `field:` but not `path::`.
+            Some(t) if t.is_punct(':') => !self
+                .tok(self.i + 3)
+                .is_some_and(|n| n.is_punct(':') && t.is_joint(n)),
+            _ => false,
+        }
+    }
+
+    /// Walks a struct literal body, checking `field_ms: expr` inits.
+    fn struct_literal(&mut self) {
+        self.bump(); // `{`
+        loop {
+            if self.at_punct('}') {
+                self.bump();
+                return;
+            }
+            if self.cur().is_none() {
+                return;
+            }
+            let before = self.i;
+            if self.joint_pair('.', '.') {
+                // Functional update `..base`.
+                self.bump();
+                self.bump();
+                self.expr(true);
+            } else if let Some((field, line)) = match self.cur() {
+                Some(t)
+                    if t.kind == TokenKind::Ident
+                        && self.tok(self.i + 1).is_some_and(|n| n.is_punct(':')) =>
+                {
+                    Some((t.text.clone(), t.line))
+                }
+                _ => None,
+            } {
+                self.bump();
+                self.bump();
+                let value = self.expr(true);
+                let declared = ident_unit(&field);
+                if let Some(kind) = additive_mismatch(declared, value.unit) {
+                    self.push_finding(
+                        line,
+                        Rule::UnitBindingMismatch,
+                        format!(
+                            "field `{field}` declares {} but its value {} is {} ({})",
+                            render(declared),
+                            value.describe(),
+                            render(value.unit),
+                            describe_kind(kind),
+                        ),
+                    );
+                }
+            } else if self.cur().is_some_and(|t| t.kind == TokenKind::Ident) {
+                // Shorthand `latency_ms,` — name and value agree by
+                // construction.
+                self.bump();
+            }
+            if self.eat_punct(',') {
+                continue;
+            }
+            if self.at_punct('}') {
+                continue;
+            }
+            if self.i == before {
+                self.bump();
+            }
+        }
+    }
+
+    /// Rule (a): two sides meeting additively.
+    fn check_additive(&mut self, line: u32, op: &str, lhs: &Val, rhs: &Val) {
+        if let Some(kind) = additive_mismatch(lhs.unit, rhs.unit) {
+            self.push_finding(
+                line,
+                Rule::UnitMismatch,
+                format!(
+                    "{} is {} but {} is {} in `{op}` ({})",
+                    lhs.describe(),
+                    render(lhs.unit),
+                    rhs.describe(),
+                    render(rhs.unit),
+                    describe_kind(kind),
+                ),
+            );
+        }
+    }
+}
+
+fn describe_kind(kind: MismatchKind) -> &'static str {
+    match kind {
+        MismatchKind::Dimension => "different dimensions",
+        MismatchKind::Scale => "same dimension, different scale",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::classify;
+    use crate::lexer::lex;
+
+    /// Lexes `src` as library code, indexes its own signatures, and
+    /// runs the units checker.
+    fn check(src: &str) -> Vec<(u32, &'static str)> {
+        let path = "crates/demo/src/lib.rs";
+        let lexed = lex(src);
+        let ctx = FileContext::build(classify(path), &lexed);
+        let mut sigs = SigIndex::new();
+        sigs.add_file(&lexed);
+        check_units(path, &lexed, &ctx, &sigs)
+            .into_iter()
+            .map(|f| (f.line, f.rule.name()))
+            .collect()
+    }
+
+    #[test]
+    fn adding_ms_and_mj_is_a_dimension_mismatch() {
+        let hits = check("fn f(a_ms: f64, b_mj: f64) -> f64 { a_ms + b_mj }");
+        assert_eq!(hits, vec![(1, "unit-mismatch")]);
+    }
+
+    #[test]
+    fn adding_ms_and_ns_is_a_scale_mismatch() {
+        let hits = check("fn f(a_ms: f64, b_ns: f64) -> f64 { a_ms + b_ns }");
+        assert_eq!(hits, vec![(1, "unit-mismatch")]);
+        assert!(check("fn f(a_ms: f64, b_ms: f64) -> f64 { a_ms + b_ms }").is_empty());
+    }
+
+    #[test]
+    fn comparisons_check_units_but_literals_are_exempt() {
+        let hits = check("fn f(a_ms: f64, e_mj: f64) -> bool { a_ms > e_mj }");
+        assert_eq!(hits, vec![(1, "unit-mismatch")]);
+        // `x_ms > 0.0` is idiomatic and must stay silent.
+        assert!(check("fn f(a_ms: f64) -> bool { a_ms > 0.0 }").is_empty());
+    }
+
+    #[test]
+    fn watts_times_ms_meets_millijoules_cleanly() {
+        let src = "fn f(power_w: f64, latency_ms: f64, base_mj: f64) -> f64 {\n\
+                   base_mj + power_w * latency_ms\n}";
+        assert!(check(src).is_empty());
+    }
+
+    #[test]
+    fn watts_times_ns_clashes_with_millijoules() {
+        let src = "fn f(power_w: f64, latency_ns: f64, base_mj: f64) -> f64 {\n\
+                   base_mj + power_w * latency_ns\n}";
+        assert_eq!(check(src), vec![(2, "unit-mismatch")]);
+    }
+
+    #[test]
+    fn literal_conversion_factors_silence_scale_checks() {
+        // macs / (gmacs * 1e9) * 1e3 — the roofline idiom from
+        // latency.rs must stay clean.
+        let src = "fn f(macs: f64, peak_gmacs: f64, base_ms: f64) -> f64 {\n\
+                   base_ms + macs / (peak_gmacs * 1e9) * 1e3\n}";
+        assert!(check(src).is_empty());
+    }
+
+    #[test]
+    fn let_binding_mismatch_is_flagged() {
+        let src = "fn f(power_w: f64, latency_ms: f64) -> f64 {\n\
+                   let total_ns = power_w * latency_ms;\n total_ns }";
+        assert_eq!(check(src), vec![(2, "unit-binding-mismatch")]);
+        let ok = "fn f(power_w: f64, latency_ms: f64) -> f64 {\n\
+                  let total_mj = power_w * latency_ms;\n total_mj }";
+        assert!(check(ok).is_empty());
+    }
+
+    #[test]
+    fn inferred_units_flow_through_unsuffixed_lets() {
+        let src = "fn f(a_ms: f64, e_mj: f64) -> f64 {\n\
+                   let total = a_ms * 2.0;\n\
+                   total + e_mj\n}";
+        // `total` is time (scale-poisoned by the literal), `e_mj` energy.
+        assert_eq!(check(src), vec![(3, "unit-mismatch")]);
+    }
+
+    #[test]
+    fn call_arguments_are_checked_against_signatures() {
+        let src = "fn cost(latency_ms: f64) -> f64 { latency_ms }\n\
+                   fn g(elapsed_ns: f64) -> f64 { cost(elapsed_ns) }";
+        assert_eq!(check(src), vec![(2, "unit-arg-mismatch")]);
+        let ok = "fn cost(latency_ms: f64) -> f64 { latency_ms }\n\
+                  fn g(elapsed_ms: f64) -> f64 { cost(elapsed_ms) }";
+        assert!(check(ok).is_empty());
+    }
+
+    #[test]
+    fn method_calls_align_with_free_signatures() {
+        let src = "impl X { fn charge(&mut self, energy_mj: f64) {} }\n\
+                   fn g(x: &mut X, t_ms: f64) { x.charge(t_ms); }";
+        assert_eq!(check(src), vec![(2, "unit-arg-mismatch")]);
+    }
+
+    #[test]
+    fn min_max_join_their_receiver_and_argument() {
+        let hits = check("fn f(a_ms: f64, b_ns: f64) -> f64 { a_ms.max(b_ns) }");
+        assert_eq!(hits, vec![(1, "unit-mismatch")]);
+        assert!(check("fn f(a_ms: f64, b_ms: f64) -> f64 { a_ms.max(b_ms) }").is_empty());
+    }
+
+    #[test]
+    fn field_access_and_suffix_methods_carry_units() {
+        let src = "fn f(p: &Proc, s: &State) -> f64 { s.elapsed_ms + p.peak_gmacs() }";
+        assert_eq!(check(src), vec![(1, "unit-mismatch")]);
+    }
+
+    #[test]
+    fn struct_literal_fields_are_checked() {
+        let src = "fn f(e_mj: f64) -> R { R { latency_ms: e_mj, cost: 0.0 } }";
+        assert_eq!(check(src), vec![(1, "unit-binding-mismatch")]);
+        assert!(check("fn f(t_ms: f64) -> R { R { latency_ms: t_ms } }").is_empty());
+    }
+
+    #[test]
+    fn compound_and_plain_assignments_are_checked() {
+        let src = "fn f(mut acc_mj: f64, t_ms: f64) -> f64 { acc_mj += t_ms; acc_mj }";
+        assert_eq!(check(src), vec![(1, "unit-mismatch")]);
+        let assign = "fn f(mut acc_mj: f64, t_ms: f64) -> f64 { acc_mj = t_ms; acc_mj }";
+        assert_eq!(check(assign), vec![(1, "unit-mismatch")]);
+    }
+
+    #[test]
+    fn division_into_ratios_compares_cleanly() {
+        let src = "fn f(fc_ms: f64, total_ms: f64, share_frac: f64) -> bool {\n\
+                   fc_ms / total_ms > share_frac\n}";
+        assert!(check(src).is_empty());
+    }
+
+    #[test]
+    fn unknown_code_shapes_stay_silent() {
+        let src = "fn f(xs: &[f64]) -> f64 {\n\
+                   let mut best = f64::MAX;\n\
+                   for (i, x) in xs.iter().enumerate() {\n\
+                     match i { 0 => best = *x, _ => {} }\n\
+                   }\n\
+                   xs.iter().map(|v| v * 2.0).sum::<f64>() + best\n}";
+        assert!(check(src).is_empty());
+    }
+
+    #[test]
+    fn test_code_and_test_files_are_skipped() {
+        let src = "#[cfg(test)]\nmod t { fn f(a_ms: f64, b_mj: f64) -> f64 { a_ms + b_mj } }";
+        assert!(check(src).is_empty());
+        let lexed = lex("fn f(a_ms: f64, b_mj: f64) -> f64 { a_ms + b_mj }");
+        let path = "crates/demo/tests/properties.rs";
+        let ctx = FileContext::build(classify(path), &lexed);
+        assert!(check_units(path, &lexed, &ctx, &SigIndex::new()).is_empty());
+    }
+
+    #[test]
+    fn signature_parsing_survives_generics_and_arrows() {
+        let lexed = lex("fn run<F: Fn() -> u64>(work: F, budget_ms: f64) -> [u8; 4] { body() }");
+        let (name, sig, _) = parse_fn_signature(&lexed.tokens, 0).expect("parsed");
+        assert_eq!(name, "run");
+        assert_eq!(sig.params.len(), 2);
+        assert_eq!(sig.params[1].name.as_deref(), Some("budget_ms"));
+        assert!(sig.params[1].unit.is_known());
+    }
+}

@@ -116,6 +116,138 @@ impl Report {
     }
 }
 
+/// One baseline entry: the identity of a previously-accepted finding.
+/// Messages are deliberately not part of the identity — rewording a
+/// diagnostic must not break the baseline.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct BaselineEntry {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule name (kept as text so baselines survive rule renames as
+    /// explicit diffs rather than parse errors).
+    pub rule: String,
+}
+
+impl BaselineEntry {
+    fn of(f: &Finding) -> BaselineEntry {
+        BaselineEntry {
+            file: f.file.clone(),
+            line: f.line,
+            rule: f.rule.name().to_string(),
+        }
+    }
+}
+
+/// The comparison of a fresh run against a committed baseline.
+#[derive(Debug, Clone)]
+pub struct BaselineDiff {
+    /// Findings not present in the baseline — these fail the run.
+    pub new: Vec<Finding>,
+    /// Baseline entries no longer reported — fixed (or moved); they
+    /// never fail the run, but the baseline should be regenerated.
+    pub fixed: Vec<BaselineEntry>,
+}
+
+/// Parses the analyzer's own JSON format (see [`Report::render_json`])
+/// back into baseline entries. This is not a general JSON parser: it
+/// reads the one-object-per-line layout this crate writes, which is
+/// exactly what a committed `results/lint_baseline.json` contains.
+///
+/// # Errors
+///
+/// Returns a message when the document has no `"findings"` key or an
+/// entry line is missing one of `file`/`line`/`rule`.
+pub fn parse_baseline(text: &str) -> Result<Vec<BaselineEntry>, String> {
+    if !text.contains("\"findings\"") {
+        return Err("not a lint report: no \"findings\" key".to_string());
+    }
+    let mut entries = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        let Some(rest) = line.strip_prefix('{') else {
+            continue;
+        };
+        if !rest.trim_start().starts_with("\"file\"") {
+            continue;
+        }
+        let file = json_str_field(line, "file")
+            .ok_or_else(|| format!("baseline entry without a file: {line}"))?;
+        let lineno = json_num_field(line, "line")
+            .ok_or_else(|| format!("baseline entry without a line: {line}"))?;
+        let rule = json_str_field(line, "rule")
+            .ok_or_else(|| format!("baseline entry without a rule: {line}"))?;
+        entries.push(BaselineEntry {
+            file,
+            line: lineno,
+            rule,
+        });
+    }
+    entries.sort();
+    entries.dedup();
+    Ok(entries)
+}
+
+/// Extracts `"key": "value"` from a single-line JSON object, undoing
+/// the escapes [`json_escape`] writes.
+fn json_str_field(line: &str, key: &str) -> Option<String> {
+    let marker = format!("\"{key}\": \"");
+    let start = line.find(&marker)? + marker.len();
+    let mut out = String::new();
+    let mut chars = line[start..].chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                'r' => out.push('\r'),
+                'u' => {
+                    // \uXXXX — baseline identities never need these;
+                    // keep the escape verbatim.
+                    out.push_str("\\u");
+                }
+                escaped => out.push(escaped),
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// Extracts `"key": 123` from a single-line JSON object.
+fn json_num_field(line: &str, key: &str) -> Option<u32> {
+    let marker = format!("\"{key}\": ");
+    let start = line.find(&marker)? + marker.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+impl Report {
+    /// Splits this run's findings against a baseline: what is new
+    /// (fails) and what the baseline lists but the run no longer
+    /// reports (fixed).
+    pub fn against_baseline(&self, baseline: &[BaselineEntry]) -> BaselineDiff {
+        let current: Vec<BaselineEntry> = self.findings.iter().map(BaselineEntry::of).collect();
+        let new = self
+            .findings
+            .iter()
+            .filter(|f| !baseline.contains(&BaselineEntry::of(f)))
+            .cloned()
+            .collect();
+        let fixed = baseline
+            .iter()
+            .filter(|e| !current.contains(e))
+            .cloned()
+            .collect();
+        BaselineDiff { new, fixed }
+    }
+}
+
 /// Escapes a string for a JSON double-quoted context.
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -177,6 +309,62 @@ mod tests {
         assert!(clean
             .render_human()
             .contains("clean — 0 findings across 7 files"));
+    }
+
+    #[test]
+    fn baselines_round_trip_through_the_json_renderer() {
+        let report = Report::new(
+            vec![
+                finding("a.rs", 2, Rule::UnitMismatch),
+                finding("b.rs", 7, Rule::PanicInLib),
+            ],
+            3,
+        );
+        let entries = parse_baseline(&report.render_json()).expect("own JSON parses");
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].file, "a.rs");
+        assert_eq!(entries[0].line, 2);
+        assert_eq!(entries[0].rule, "unit-mismatch");
+        // A full round trip is a no-op diff.
+        let diff = report.against_baseline(&entries);
+        assert!(diff.new.is_empty());
+        assert!(diff.fixed.is_empty());
+    }
+
+    #[test]
+    fn baseline_diff_separates_new_from_fixed() {
+        let old = Report::new(
+            vec![
+                finding("a.rs", 2, Rule::UnitMismatch),
+                finding("gone.rs", 4, Rule::PrintInLib),
+            ],
+            3,
+        );
+        let baseline = parse_baseline(&old.render_json()).expect("parses");
+        let now = Report::new(
+            vec![
+                finding("a.rs", 2, Rule::UnitMismatch),
+                finding("fresh.rs", 9, Rule::UnitArgMismatch),
+            ],
+            3,
+        );
+        let diff = now.against_baseline(&baseline);
+        assert_eq!(diff.new.len(), 1);
+        assert_eq!(diff.new[0].file, "fresh.rs");
+        assert_eq!(diff.fixed.len(), 1);
+        assert_eq!(diff.fixed[0].file, "gone.rs");
+    }
+
+    #[test]
+    fn non_reports_are_rejected() {
+        assert!(parse_baseline("{}").is_err());
+        assert!(parse_baseline("findings findings").is_err());
+        // An empty findings list is a valid (clean) baseline.
+        let clean = Report::new(Vec::new(), 1);
+        assert_eq!(
+            parse_baseline(&clean.render_json()).expect("parses"),
+            vec![]
+        );
     }
 
     #[test]

@@ -37,16 +37,28 @@ pub enum Rule {
     /// `println!`/`eprintln!`/`print!`/`eprint!`/`dbg!` outside
     /// binaries, examples, and benchmarks.
     PrintInLib,
+    /// `+`/`-`/comparison/assignment between expressions whose
+    /// suffix-inferred units provably differ (ms vs mJ, ms vs ns).
+    UnitMismatch,
+    /// A call argument whose unit contradicts the callee's
+    /// parameter-name suffix, via the workspace signature index.
+    UnitArgMismatch,
+    /// `let x_ms = <mJ expr>` / `field_ms: <mJ expr>` — a binding whose
+    /// declared suffix contradicts its initializer's unit.
+    UnitBindingMismatch,
 }
 
 impl Rule {
     /// Every rule, in reporting order.
-    pub const ALL: [Rule; 5] = [
+    pub const ALL: [Rule; 8] = [
         Rule::NondeterministicTime,
         Rule::NondeterministicRng,
         Rule::UnorderedIteration,
         Rule::PanicInLib,
         Rule::PrintInLib,
+        Rule::UnitMismatch,
+        Rule::UnitArgMismatch,
+        Rule::UnitBindingMismatch,
     ];
 
     /// The rule's kebab-case name — what `lint:allow(…)` takes.
@@ -57,6 +69,9 @@ impl Rule {
             Rule::UnorderedIteration => "unordered-iteration",
             Rule::PanicInLib => "panic-in-lib",
             Rule::PrintInLib => "print-in-lib",
+            Rule::UnitMismatch => "unit-mismatch",
+            Rule::UnitArgMismatch => "unit-arg-mismatch",
+            Rule::UnitBindingMismatch => "unit-binding-mismatch",
         }
     }
 
@@ -87,6 +102,21 @@ impl Rule {
                  return a Result or annotate the provably-infallible case"
             }
             Rule::PrintInLib => "println!/eprintln!/dbg! outside binaries, examples and benches",
+            Rule::UnitMismatch => {
+                "add/sub/compare/assign between expressions of provably different \
+                 suffix-inferred unit (ms vs mJ is a dimension clash, ms vs ns a \
+                 scale clash); mul/div combine units, so W × ms = mJ stays clean"
+            }
+            Rule::UnitArgMismatch => {
+                "call argument whose inferred unit contradicts the callee's \
+                 parameter-name suffix, resolved through a workspace-wide \
+                 signature index (only when every same-arity definition agrees)"
+            }
+            Rule::UnitBindingMismatch => {
+                "let-binding or struct-field initializer whose declared suffix \
+                 contradicts the initializer's inferred unit \
+                 (`let x_ms = <mJ expr>`)"
+            }
         }
     }
 }
@@ -169,22 +199,36 @@ impl Suppressions {
     }
 }
 
-/// Analyzes one file and returns its unsuppressed findings, in source
-/// order.
+/// Analyzes one file in isolation: the signature index is built from
+/// the file itself, so call-site unit checks see only its own `fn`s.
 ///
 /// `rel_path` must be workspace-relative: rule applicability is decided
 /// from it (see [`classify`]).
 pub fn analyze_file(rel_path: &str, source: &str) -> Vec<Finding> {
     let lexed = lex(source);
-    let ctx = FileContext::build(classify(rel_path), &lexed);
+    let mut sigs = crate::sigindex::SigIndex::new();
+    sigs.add_file(&lexed);
+    analyze_lexed(rel_path, &lexed, &sigs)
+}
+
+/// Analyzes one already-lexed file against a (typically
+/// workspace-wide) signature index and returns its unsuppressed
+/// findings, in source order.
+pub fn analyze_lexed(
+    rel_path: &str,
+    lexed: &LexedFile,
+    sigs: &crate::sigindex::SigIndex,
+) -> Vec<Finding> {
+    let ctx = FileContext::build(classify(rel_path), lexed);
     let suppressions = Suppressions::parse(&lexed.comments);
     let mut findings = Vec::new();
 
-    check_time(rel_path, &lexed, &ctx, &mut findings);
-    check_rng(rel_path, &lexed, &mut findings);
-    check_unordered_iteration(rel_path, &lexed, &ctx, &mut findings);
-    check_panic(rel_path, &lexed, &ctx, &mut findings);
-    check_print(rel_path, &lexed, &ctx, &mut findings);
+    check_time(rel_path, lexed, &ctx, &mut findings);
+    check_rng(rel_path, lexed, &mut findings);
+    check_unordered_iteration(rel_path, lexed, &ctx, &mut findings);
+    check_panic(rel_path, lexed, &ctx, &mut findings);
+    check_print(rel_path, lexed, &ctx, &mut findings);
+    findings.extend(crate::parser::check_units(rel_path, lexed, &ctx, sigs));
 
     for (line, name) in &suppressions.unknown {
         findings.push(Finding {

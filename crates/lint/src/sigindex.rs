@@ -1,0 +1,181 @@
+//! A workspace-wide index of function signatures, for call-site unit
+//! checking.
+//!
+//! The units checker's rule (b) — "this argument's unit contradicts the
+//! callee's parameter-name suffix" — needs to know every `fn`'s
+//! parameter names before any file is checked. [`SigIndex`] is built in
+//! a first pass over all workspace sources (or over a single file for
+//! self-contained analysis) by scanning each token stream for `fn`
+//! items and recording name, parameter names, and the units their
+//! suffixes declare.
+//!
+//! Rust has no overloading, but the same bare name may be defined in
+//! several modules (`new`, `len`, `step`, …), and the index is
+//! deliberately name-based rather than path-based — resolving imports
+//! is out of scope for a lexer-level analyzer. The lookup is therefore
+//! conservative: a parameter position only yields an expectation when
+//! every candidate signature of matching arity agrees on a known unit.
+//! Disagreement, unknown units, or arity mismatch all degrade to "no
+//! expectation", never to a finding.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::LexedFile;
+use crate::parser::parse_fn_signature;
+use crate::units::Unit;
+
+/// One recorded parameter: its declared name (if the parameter is a
+/// plain identifier rather than a pattern) and the unit that name's
+/// suffix declares.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter name, `None` for destructuring patterns.
+    pub name: Option<String>,
+    /// Unit declared by the name's suffix.
+    pub unit: Unit,
+}
+
+/// One function signature: its parameters, `self` excluded (so method
+/// calls and free calls index positions identically).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FnSig {
+    /// The parameters, in declaration order.
+    pub params: Vec<Param>,
+}
+
+/// The index: bare function name → every signature seen under it.
+#[derive(Debug, Clone, Default)]
+pub struct SigIndex {
+    by_name: BTreeMap<String, Vec<FnSig>>,
+}
+
+impl SigIndex {
+    /// An empty index (no call-site checking).
+    pub fn new() -> SigIndex {
+        SigIndex::default()
+    }
+
+    /// Records every `fn` signature found in one lexed file.
+    pub fn add_file(&mut self, lexed: &LexedFile) {
+        let tokens = &lexed.tokens;
+        let mut i = 0;
+        while i < tokens.len() {
+            if tokens[i].is_ident("fn") {
+                if let Some((name, sig, end)) = parse_fn_signature(tokens, i) {
+                    let sigs = self.by_name.entry(name).or_default();
+                    if !sigs.contains(&sig) {
+                        sigs.push(sig);
+                    }
+                    i = end;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+    }
+
+    /// Number of distinct (name, signature) entries recorded.
+    pub fn len(&self) -> usize {
+        self.by_name.values().map(Vec::len).sum()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_name.is_empty()
+    }
+
+    /// The unit expectation for argument `idx` of a call to `callee`
+    /// with `argc` arguments, together with the parameter name that
+    /// declares it.
+    ///
+    /// Returns `Some` only when every signature recorded under `callee`
+    /// with exactly `argc` parameters declares the same known unit at
+    /// that position. Everything else — unknown callee, arity mismatch,
+    /// unsuffixed parameter, conflicting definitions — returns `None`.
+    pub fn expected_param(&self, callee: &str, argc: usize, idx: usize) -> Option<(&str, Unit)> {
+        let candidates: Vec<&FnSig> = self
+            .by_name
+            .get(callee)?
+            .iter()
+            .filter(|sig| sig.params.len() == argc)
+            .collect();
+        let first = candidates.first()?.params.get(idx)?;
+        let name = first.name.as_deref()?;
+        if !first.unit.is_known() {
+            return None;
+        }
+        for sig in &candidates[1..] {
+            let param = sig.params.get(idx)?;
+            if param.unit != first.unit {
+                return None;
+            }
+        }
+        Some((name, first.unit))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::units::ident_unit;
+
+    fn index(src: &str) -> SigIndex {
+        let mut idx = SigIndex::new();
+        idx.add_file(&lex(src));
+        idx
+    }
+
+    #[test]
+    fn signatures_are_recorded_with_units() {
+        let idx = index(
+            "pub fn on_device_energy_mj(p: &Processor, cond: &Cond, latency_ms: f64, base_power_w: f64) -> E { }",
+        );
+        assert_eq!(idx.len(), 1);
+        let (name, unit) = idx
+            .expected_param("on_device_energy_mj", 4, 2)
+            .expect("param 2 known");
+        assert_eq!(name, "latency_ms");
+        assert_eq!(unit, ident_unit("latency_ms"));
+        // Unsuffixed parameters carry no expectation.
+        assert!(idx.expected_param("on_device_energy_mj", 4, 0).is_none());
+        // Arity mismatch carries no expectation.
+        assert!(idx.expected_param("on_device_energy_mj", 3, 2).is_none());
+    }
+
+    #[test]
+    fn self_is_excluded_so_methods_align_with_free_calls() {
+        let idx = index("impl X { fn charge(&mut self, energy_mj: f64) {} }");
+        let (name, _) = idx.expected_param("charge", 1, 0).expect("aligned");
+        assert_eq!(name, "energy_mj");
+    }
+
+    #[test]
+    fn conflicting_definitions_yield_no_expectation() {
+        let idx = index(
+            "fn cost(latency_ms: f64) -> f64 { 0.0 }\nmod other { fn cost(energy_mj: f64) -> f64 { 0.0 } }",
+        );
+        assert!(idx.expected_param("cost", 1, 0).is_none());
+    }
+
+    #[test]
+    fn agreeing_duplicate_definitions_still_check() {
+        let idx = index("fn f(t_ms: f64) {}\nmod m { fn f(t_ms: f64) {} }");
+        assert!(idx.expected_param("f", 1, 0).is_some());
+    }
+
+    #[test]
+    fn generic_and_where_heavy_signatures_parse() {
+        let idx = index(
+            "fn run<F: Fn() -> u64, const N: usize>(work: F, budget_ms: f64) -> [u8; 4] where F: Send { [0; 4] }",
+        );
+        let (name, _) = idx.expected_param("run", 2, 1).expect("budget param");
+        assert_eq!(name, "budget_ms");
+    }
+
+    #[test]
+    fn bodiless_trait_methods_are_indexed() {
+        let idx = index("trait T { fn wait(&self, pause_ms: f64); }");
+        assert!(idx.expected_param("wait", 1, 0).is_some());
+    }
+}

@@ -1,0 +1,431 @@
+//! A small dimensional algebra over the workspace's identifier-suffix
+//! vocabulary.
+//!
+//! The whole reproduction encodes physical dimensions purely by naming
+//! convention: `latency_ms` is milliseconds, `busy_power_w` watts,
+//! `traffic_bytes` bytes, `efficiency_ipj` inferences per joule. The
+//! paper's energy equations (eqs. (1)–(3)) rely on those conventions
+//! combining coherently — `W × ms = mJ`, `MACs ÷ (MAC/s) = s` — so this
+//! module gives each suffix a [`Unit`]: a vector of exponents over four
+//! base dimensions (time, energy, information, compute) plus a decimal
+//! *scale* relative to the SI-ish base units (s, J, bytes, MACs).
+//!
+//! Tracking scale separately is what makes an `_ms` ↔ `_ns` swap
+//! detectable: both are time, but `ms` sits at 10⁻³ and `ns` at 10⁻⁹.
+//! Anything the algebra cannot prove degrades to [`Unit::Unknown`] (or
+//! a scale of `None`), which never produces a finding — the checker is
+//! built to be quiet when unsure.
+
+/// Exponents of the four base dimensions the workspace's physics uses:
+/// time (seconds), energy (joules), information (bytes), and compute
+/// (MAC operations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Dim {
+    /// Exponent of time.
+    pub time: i8,
+    /// Exponent of energy.
+    pub energy: i8,
+    /// Exponent of information.
+    pub info: i8,
+    /// Exponent of compute.
+    pub compute: i8,
+}
+
+impl Dim {
+    /// The dimensionless vector (ratios, fractions, counts).
+    pub const NONE: Dim = Dim {
+        time: 0,
+        energy: 0,
+        info: 0,
+        compute: 0,
+    };
+
+    const fn new(time: i8, energy: i8, info: i8, compute: i8) -> Dim {
+        Dim {
+            time,
+            energy,
+            info,
+            compute,
+        }
+    }
+
+    /// Whether every exponent is zero.
+    pub fn is_dimensionless(self) -> bool {
+        self == Dim::NONE
+    }
+
+    fn checked_add(self, o: Dim) -> Option<Dim> {
+        Some(Dim {
+            time: self.time.checked_add(o.time)?,
+            energy: self.energy.checked_add(o.energy)?,
+            info: self.info.checked_add(o.info)?,
+            compute: self.compute.checked_add(o.compute)?,
+        })
+    }
+
+    fn checked_sub(self, o: Dim) -> Option<Dim> {
+        Some(Dim {
+            time: self.time.checked_sub(o.time)?,
+            energy: self.energy.checked_sub(o.energy)?,
+            info: self.info.checked_sub(o.info)?,
+            compute: self.compute.checked_sub(o.compute)?,
+        })
+    }
+}
+
+const TIME: Dim = Dim::new(1, 0, 0, 0);
+const PER_TIME: Dim = Dim::new(-1, 0, 0, 0);
+const ENERGY: Dim = Dim::new(0, 1, 0, 0);
+const PER_ENERGY: Dim = Dim::new(0, -1, 0, 0);
+const POWER: Dim = Dim::new(-1, 1, 0, 0);
+const INFO: Dim = Dim::new(0, 0, 1, 0);
+const BANDWIDTH: Dim = Dim::new(-1, 0, 1, 0);
+const COMPUTE: Dim = Dim::new(0, 0, 0, 1);
+const COMPUTE_RATE: Dim = Dim::new(-1, 0, 0, 1);
+
+/// The inferred unit of an expression.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Unit {
+    /// Nothing known — an unsuffixed identifier, an opaque call, a
+    /// parse the checker gave up on. Never produces a finding.
+    Unknown,
+    /// A bare numeric literal: dimensionless, and also exempt from
+    /// additive/comparative checks (`x_ms > 0.0` is idiomatic), but it
+    /// poisons the *scale* of whatever it multiplies, because literals
+    /// are how this codebase spells unit-conversion factors
+    /// (`gmacs * 1e9`).
+    Scalar,
+    /// A quantity of known dimension. `scale` is the decimal exponent
+    /// relative to the base units (s, J, bytes, MACs): `ms` is
+    /// `Some(-3)`, `GHz` `Some(9)`; `None` once a conversion factor of
+    /// unknown magnitude has been applied.
+    Known {
+        /// The dimension vector.
+        dim: Dim,
+        /// Decimal scale exponent, if still provable.
+        scale: Option<i8>,
+    },
+}
+
+impl Unit {
+    /// A known unit with an exact scale.
+    pub const fn known(dim: Dim, scale: i8) -> Unit {
+        Unit::Known {
+            dim,
+            scale: Some(scale),
+        }
+    }
+
+    /// Whether this unit carries a known dimension.
+    pub fn is_known(self) -> bool {
+        matches!(self, Unit::Known { .. })
+    }
+}
+
+/// The suffix vocabulary: what each recognized identifier suffix means.
+/// `efficiency_ipj` → `ipj` → 1/J; `peak_gmacs` → `gmacs` → GMAC/s
+/// (this workspace's `_gmacs` names are rates, `_macs` are counts).
+const VOCAB: &[(&str, Dim, i8)] = &[
+    ("s", TIME, 0),
+    ("ms", TIME, -3),
+    ("us", TIME, -6),
+    ("ns", TIME, -9),
+    ("j", ENERGY, 0),
+    ("mj", ENERGY, -3),
+    ("w", POWER, 0),
+    ("mw", POWER, -3),
+    ("hz", PER_TIME, 0),
+    ("khz", PER_TIME, 3),
+    ("mhz", PER_TIME, 6),
+    ("ghz", PER_TIME, 9),
+    ("bytes", INFO, 0),
+    ("kb", INFO, 3),
+    ("mb", INFO, 6),
+    ("gb", INFO, 9),
+    ("gbps", BANDWIDTH, 9),
+    ("ipj", PER_ENERGY, 0),
+    ("macs", COMPUTE, 0),
+    ("gmacs", COMPUTE_RATE, 9),
+    ("ratio", Dim::NONE, 0),
+    ("frac", Dim::NONE, 0),
+];
+
+/// The canonical suffix table, for docs and `--list-rules` output.
+pub fn vocabulary() -> impl Iterator<Item = (&'static str, Unit)> {
+    VOCAB
+        .iter()
+        .map(|&(suffix, dim, scale)| (suffix, Unit::known(dim, scale)))
+}
+
+/// Resolves an identifier to its unit via the suffix convention.
+///
+/// The portion after the last `_` (lowercased, so `QOS_MS` works) is
+/// looked up in the vocabulary; an identifier that *is* a vocabulary
+/// word (`macs`, `gmacs`) resolves as a whole. Anything else is
+/// [`Unit::Unknown`].
+pub fn ident_unit(ident: &str) -> Unit {
+    let lower = ident.to_ascii_lowercase();
+    let candidate = match lower.rsplit_once('_') {
+        Some((_, suffix)) => suffix,
+        None => lower.as_str(),
+    };
+    for &(suffix, dim, scale) in VOCAB {
+        if suffix == candidate {
+            return Unit::known(dim, scale);
+        }
+    }
+    Unit::Unknown
+}
+
+/// Unit of a product `a * b`.
+pub fn mul(a: Unit, b: Unit) -> Unit {
+    match (a, b) {
+        (Unit::Unknown, _) | (_, Unit::Unknown) => Unit::Unknown,
+        (Unit::Scalar, Unit::Scalar) => Unit::Scalar,
+        (Unit::Scalar, Unit::Known { dim, .. }) | (Unit::Known { dim, .. }, Unit::Scalar) => {
+            // A conversion factor of unknown magnitude: dimension
+            // survives, exact scale does not.
+            Unit::Known { dim, scale: None }
+        }
+        (Unit::Known { dim: d1, scale: s1 }, Unit::Known { dim: d2, scale: s2 }) => {
+            match d1.checked_add(d2) {
+                Some(dim) => Unit::Known {
+                    dim,
+                    scale: match (s1, s2) {
+                        (Some(x), Some(y)) => x.checked_add(y),
+                        _ => None,
+                    },
+                },
+                None => Unit::Unknown,
+            }
+        }
+    }
+}
+
+/// Unit of a quotient `a / b`.
+pub fn div(a: Unit, b: Unit) -> Unit {
+    match (a, b) {
+        (Unit::Unknown, _) | (_, Unit::Unknown) => Unit::Unknown,
+        (Unit::Scalar, Unit::Scalar) => Unit::Scalar,
+        (Unit::Known { dim, .. }, Unit::Scalar) => Unit::Known { dim, scale: None },
+        (Unit::Scalar, Unit::Known { dim, .. }) => match Dim::NONE.checked_sub(dim) {
+            Some(dim) => Unit::Known { dim, scale: None },
+            None => Unit::Unknown,
+        },
+        (Unit::Known { dim: d1, scale: s1 }, Unit::Known { dim: d2, scale: s2 }) => {
+            match d1.checked_sub(d2) {
+                Some(dim) => Unit::Known {
+                    dim,
+                    scale: match (s1, s2) {
+                        (Some(x), Some(y)) => x.checked_sub(y),
+                        _ => None,
+                    },
+                },
+                None => Unit::Unknown,
+            }
+        }
+    }
+}
+
+/// Why two units cannot meet additively (in `+`, `-`, a comparison, an
+/// assignment, or a binding).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MismatchKind {
+    /// Different dimensions entirely (ms vs mJ).
+    Dimension,
+    /// Same dimension, provably different decimal scale (ms vs ns).
+    Scale,
+}
+
+/// Checks whether `a` and `b` may meet additively. `None` means "no
+/// provable conflict" — including every case involving `Unknown` or a
+/// bare literal.
+pub fn additive_mismatch(a: Unit, b: Unit) -> Option<MismatchKind> {
+    let (Unit::Known { dim: d1, scale: s1 }, Unit::Known { dim: d2, scale: s2 }) = (a, b) else {
+        return None;
+    };
+    if d1 != d2 {
+        return Some(MismatchKind::Dimension);
+    }
+    match (s1, s2) {
+        (Some(x), Some(y)) if x != y => Some(MismatchKind::Scale),
+        _ => None,
+    }
+}
+
+/// Unit of an additive combination — the known side wins, so a chain
+/// like `a_ms + overhead + b` stays checkable as milliseconds.
+pub fn additive_result(a: Unit, b: Unit) -> Unit {
+    match (a, b) {
+        (Unit::Known { .. }, _) => a,
+        (_, Unit::Known { .. }) => b,
+        (Unit::Scalar, Unit::Scalar) => Unit::Scalar,
+        _ => Unit::Unknown,
+    }
+}
+
+/// Renders a unit for finding messages: the canonical suffix spelling
+/// when one exists (`ms`, `mJ`, `GB/s`), a composed form otherwise.
+pub fn render(unit: Unit) -> String {
+    let (dim, scale) = match unit {
+        Unit::Unknown => return "?".to_string(),
+        Unit::Scalar => return "scalar".to_string(),
+        Unit::Known { dim, scale } => (dim, scale),
+    };
+    if let Some(s) = scale {
+        if let Some(name) = canonical_name(dim, s) {
+            return name.to_string();
+        }
+    }
+    let mut parts = Vec::new();
+    for (exp, base) in [
+        (dim.time, "s"),
+        (dim.energy, "J"),
+        (dim.info, "B"),
+        (dim.compute, "MAC"),
+    ] {
+        match exp {
+            0 => {}
+            1 => parts.push(base.to_string()),
+            e => parts.push(format!("{base}^{e}")),
+        }
+    }
+    let body = if parts.is_empty() {
+        "dimensionless".to_string()
+    } else {
+        parts.join("·")
+    };
+    match scale {
+        Some(0) => body,
+        Some(s) => format!("10^{s}·{body}"),
+        None => format!("{body} (scale unknown)"),
+    }
+}
+
+/// The preferred display name for an exact (dimension, scale) pair.
+fn canonical_name(dim: Dim, scale: i8) -> Option<&'static str> {
+    // Display spellings differ from the suffix vocabulary (mJ, not mj).
+    const DISPLAY: &[(&str, Dim, i8)] = &[
+        ("s", TIME, 0),
+        ("ms", TIME, -3),
+        ("us", TIME, -6),
+        ("ns", TIME, -9),
+        ("J", ENERGY, 0),
+        ("mJ", ENERGY, -3),
+        ("W", POWER, 0),
+        ("mW", POWER, -3),
+        ("Hz", PER_TIME, 0),
+        ("kHz", PER_TIME, 3),
+        ("MHz", PER_TIME, 6),
+        ("GHz", PER_TIME, 9),
+        ("bytes", INFO, 0),
+        ("KB", INFO, 3),
+        ("MB", INFO, 6),
+        ("GB", INFO, 9),
+        ("GB/s", BANDWIDTH, 9),
+        ("1/J", PER_ENERGY, 0),
+        ("MACs", COMPUTE, 0),
+        ("GMAC/s", COMPUTE_RATE, 9),
+        ("ratio", Dim::NONE, 0),
+    ];
+    DISPLAY
+        .iter()
+        .find(|&&(_, d, s)| d == dim && s == scale)
+        .map(|&(name, _, _)| name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suffixes_resolve_case_insensitively() {
+        assert_eq!(ident_unit("latency_ms"), Unit::known(TIME, -3));
+        assert_eq!(ident_unit("QOS_MS"), Unit::known(TIME, -3));
+        assert_eq!(ident_unit("busy_power_w"), Unit::known(POWER, 0));
+        assert_eq!(ident_unit("efficiency_ipj"), Unit::known(PER_ENERGY, 0));
+        assert_eq!(ident_unit("freq_ratio"), Unit::known(Dim::NONE, 0));
+        assert_eq!(ident_unit("macs"), Unit::known(COMPUTE, 0));
+        assert_eq!(ident_unit("plain_name"), Unit::Unknown);
+        // No underscore and not a vocabulary word: `macs` matches whole,
+        // `params` must not match `_s`.
+        assert_eq!(ident_unit("params"), Unit::Unknown);
+    }
+
+    #[test]
+    fn watts_times_milliseconds_is_millijoules() {
+        let w = ident_unit("busy_power_w");
+        let ms = ident_unit("latency_ms");
+        let mj = mul(w, ms);
+        assert_eq!(mj, Unit::known(ENERGY, -3));
+        assert_eq!(additive_mismatch(mj, ident_unit("base_mj")), None);
+    }
+
+    #[test]
+    fn macs_over_mac_rate_is_time() {
+        let t = div(ident_unit("macs"), ident_unit("peak_gmacs"));
+        assert_eq!(t, Unit::known(TIME, -9));
+    }
+
+    #[test]
+    fn ms_vs_ns_is_a_scale_mismatch() {
+        assert_eq!(
+            additive_mismatch(ident_unit("a_ms"), ident_unit("b_ns")),
+            Some(MismatchKind::Scale)
+        );
+        assert_eq!(
+            additive_mismatch(ident_unit("a_ms"), ident_unit("b_mj")),
+            Some(MismatchKind::Dimension)
+        );
+        assert_eq!(
+            additive_mismatch(ident_unit("a_ms"), ident_unit("b_ms")),
+            None
+        );
+    }
+
+    #[test]
+    fn literals_poison_scale_but_keep_dimension() {
+        let scaled = mul(ident_unit("x_ms"), Unit::Scalar);
+        assert_eq!(
+            scaled,
+            Unit::Known {
+                dim: TIME,
+                scale: None
+            }
+        );
+        // A scale-poisoned time still clashes with energy …
+        assert_eq!(
+            additive_mismatch(scaled, ident_unit("e_mj")),
+            Some(MismatchKind::Dimension)
+        );
+        // … but no longer with nanoseconds.
+        assert_eq!(additive_mismatch(scaled, ident_unit("t_ns")), None);
+    }
+
+    #[test]
+    fn unknowns_never_mismatch() {
+        assert_eq!(additive_mismatch(Unit::Unknown, ident_unit("a_ms")), None);
+        assert_eq!(additive_mismatch(ident_unit("a_ms"), Unit::Scalar), None);
+        assert_eq!(mul(Unit::Unknown, ident_unit("a_ms")), Unit::Unknown);
+    }
+
+    #[test]
+    fn division_cancels_dimensions_into_ratios() {
+        let r = div(ident_unit("fc_ms"), ident_unit("total_ms"));
+        assert_eq!(r, Unit::known(Dim::NONE, 0));
+        assert_eq!(additive_mismatch(r, ident_unit("share_frac")), None);
+    }
+
+    #[test]
+    fn rendering_prefers_canonical_names() {
+        assert_eq!(render(ident_unit("a_ms")), "ms");
+        assert_eq!(render(ident_unit("e_mj")), "mJ");
+        assert_eq!(render(ident_unit("p_w")), "W");
+        assert_eq!(render(ident_unit("bw_gbps")), "GB/s");
+        assert_eq!(
+            render(mul(ident_unit("a_ms"), Unit::Scalar)),
+            "s (scale unknown)"
+        );
+        assert_eq!(render(Unit::Unknown), "?");
+    }
+}

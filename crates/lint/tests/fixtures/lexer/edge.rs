@@ -1,0 +1,12 @@
+// Lexer edge cases: raw identifiers, float shapes, shift-vs-generic,
+// lifetime-vs-char. The golden dump in edge.tokens pins the stream.
+fn r#match<'a>(r#type: &'a str) -> u64 {
+    let shifted = 1u64 << 3 >> 1;
+    let nested: Vec<Vec<u8>> = Vec::new();
+    let floats = (1e9, 1.5f64, 2.5E+3, 1e-9, 3.25);
+    let hex = 0xee - 1;
+    let range = 0..10;
+    let c = 'a';
+    let nl = '\n';
+    shifted
+}

@@ -1,0 +1,55 @@
+// lint-fixture-path: crates/demo/src/physics.rs
+//! Fixture: the units checker's dimensional algebra on expressions,
+//! bindings, and struct literals.
+
+pub struct Timing {
+    pub latency_ms: f64,
+    pub deadline_ms: f64,
+}
+
+pub fn bad_add(elapsed_ms: f64, energy_mj: f64) -> f64 {
+    elapsed_ms + energy_mj
+}
+
+pub fn bad_scale(elapsed_ms: f64, pause_ns: f64) -> f64 {
+    elapsed_ms - pause_ns
+}
+
+pub fn bad_compare(elapsed_ms: f64, budget_mj: f64) -> bool {
+    elapsed_ms > budget_mj
+}
+
+pub fn bad_binding(power_w: f64, latency_ms: f64) -> f64 {
+    let total_ns = power_w * latency_ms;
+    total_ns
+}
+
+pub fn bad_field(energy_mj: f64) -> Timing {
+    Timing {
+        latency_ms: energy_mj,
+        deadline_ms: 16.0,
+    }
+}
+
+pub fn bad_max(elapsed_ms: f64, floor_ns: f64) -> f64 {
+    elapsed_ms.max(floor_ns)
+}
+
+pub fn fine_physics(power_w: f64, latency_ms: f64, base_mj: f64) -> f64 {
+    // W × ms = mJ — the algebra combines through multiplication.
+    base_mj + power_w * latency_ms
+}
+
+pub fn fine_roofline(macs: f64, peak_gmacs: f64, base_ms: f64) -> f64 {
+    // Literal conversion factors poison the scale, never the dimension.
+    base_ms + macs / (peak_gmacs * 1e9) * 1e3
+}
+
+pub fn fine_ratio(fc_ms: f64, total_ms: f64, share_frac: f64) -> bool {
+    fc_ms / total_ms > share_frac && total_ms > 0.0
+}
+
+pub fn waived(qos_ms: f64, hint_ns: f64) -> f64 {
+    // lint:allow(unit-mismatch): the hint is documented as pre-scaled
+    qos_ms + hint_ns
+}

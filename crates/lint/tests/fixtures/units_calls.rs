@@ -1,0 +1,38 @@
+// lint-fixture-path: crates/demo/src/callers.rs
+//! Fixture: call-site argument checking through the signature index.
+
+pub struct Battery {
+    pub level_mj: f64,
+}
+
+impl Battery {
+    pub fn drain(&mut self, energy_mj: f64) {
+        self.level_mj -= energy_mj;
+    }
+}
+
+pub fn latency_cost(latency_ms: f64, deadline_ms: f64) -> f64 {
+    (latency_ms / deadline_ms).min(1.0)
+}
+
+pub fn bad_call(elapsed_ns: f64, deadline_ms: f64) -> f64 {
+    latency_cost(elapsed_ns, deadline_ms)
+}
+
+pub fn bad_method(b: &mut Battery, elapsed_ms: f64) {
+    b.drain(elapsed_ms);
+}
+
+pub fn fine_call(elapsed_ms: f64, deadline_ms: f64) -> f64 {
+    latency_cost(elapsed_ms, deadline_ms)
+}
+
+pub fn fine_unknown(elapsed: f64, deadline_ms: f64) -> f64 {
+    // An unsuffixed argument carries no unit: no finding.
+    latency_cost(elapsed, deadline_ms)
+}
+
+pub fn waived(b: &mut Battery, debt_ms: f64) {
+    // lint:allow(unit-arg-mismatch): ledger stores time-priced energy
+    b.drain(debt_ms);
+}

@@ -66,6 +66,36 @@ fn every_fixture_matches_its_expected_findings() {
 }
 
 #[test]
+fn the_lexer_token_stream_matches_its_golden_dump() {
+    // Edge cases the rules depend on: raw identifiers lex as their
+    // escaped name, float shapes keep exact text, `>>` is two adjacent
+    // `>` tokens (context decides shift vs generic), and `'a` vs `'a'`
+    // resolve to lifetime vs literal.
+    use autoscale_lint::lexer::{lex, TokenKind};
+    let dir = fixtures_dir().join("lexer");
+    let source = fs::read_to_string(dir.join("edge.rs")).expect("lexer fixture is readable");
+    let got: Vec<String> = lex(&source)
+        .tokens
+        .iter()
+        .map(|t| {
+            let kind = match t.kind {
+                TokenKind::Ident => "ident",
+                TokenKind::Literal => "lit",
+                TokenKind::Lifetime => "life",
+                TokenKind::Punct(_) => "punct",
+            };
+            format!("{}:{}:{}", t.line, kind, t.text)
+        })
+        .collect();
+    let want: Vec<String> = fs::read_to_string(dir.join("edge.tokens"))
+        .expect("golden token dump exists")
+        .lines()
+        .map(str::to_string)
+        .collect();
+    assert_eq!(got, want, "token stream drifted from its golden dump");
+}
+
+#[test]
 fn the_live_workspace_is_lint_clean() {
     let report =
         autoscale_lint::analyze_workspace(&workspace_root()).expect("workspace is readable");
@@ -79,6 +109,41 @@ fn the_live_workspace_is_lint_clean() {
         report.files_scanned > 50,
         "only {} files",
         report.files_scanned
+    );
+}
+
+#[test]
+fn a_swapped_time_suffix_in_the_power_model_is_caught() {
+    // The acceptance check from issue 4: copy `platform/src/power.rs`,
+    // swap `latency_ms` for a `_ns` value at one call site, and the
+    // units checker must catch it. Two variants: the swap inside the
+    // energy product (W × ns bound to `processor_mj` — a scale clash),
+    // and a wrapper that feeds nanoseconds into the `latency_ms`
+    // parameter (caught through the signature index).
+    let power_path = workspace_root().join("crates/platform/src/power.rs");
+    let pristine = fs::read_to_string(power_path).expect("power source is readable");
+    assert!(
+        analyze_file("crates/platform/src/power.rs", &pristine).is_empty(),
+        "the pristine power model must be unit-clean"
+    );
+
+    let product_site = "busy_power_w(processor, cond) * latency_ms";
+    assert!(pristine.contains(product_site), "sabotage site moved");
+    let swapped = pristine.replace(product_site, "busy_power_w(processor, cond) * latency_ns");
+    let findings = analyze_file("crates/platform/src/power.rs", &swapped);
+    assert!(
+        findings.iter().any(|f| f.rule == Rule::UnitBindingMismatch),
+        "W × ns bound to `processor_mj` must be flagged; got {findings:?}"
+    );
+
+    let wrapper = format!(
+        "{pristine}\npub fn sabotaged(p: &Processor, cond: &ExecutionConditions, elapsed_ns: f64) \
+         -> EnergyBreakdown {{\n    on_device_energy_mj(p, cond, elapsed_ns, 0.8)\n}}\n"
+    );
+    let findings = analyze_file("crates/platform/src/power.rs", &wrapper);
+    assert!(
+        findings.iter().any(|f| f.rule == Rule::UnitArgMismatch),
+        "nanoseconds into `latency_ms` must be flagged; got {findings:?}"
     );
 }
 

@@ -81,9 +81,18 @@ pub fn on_device_energy_mj(
 /// in millijoules. This is the "performance per watt" (PPW) metric of the
 /// paper's figures: for a fixed amount of work, performance/watt reduces
 /// to 1/energy.
+///
+/// Saturating guard instead of a panic (`panic-in-lib`): a non-positive
+/// energy is physically impossible for a completed inference, so it maps
+/// to an efficiency of `0.0` — the worst possible score — rather than
+/// aborting a sweep. `NaN` input also yields `0.0`, keeping downstream
+/// argmax/averaging code NaN-free.
 pub fn efficiency_ipj(energy_mj: f64) -> f64 {
-    assert!(energy_mj > 0.0, "energy must be positive");
-    1_000.0 / energy_mj
+    if energy_mj > 0.0 {
+        1_000.0 / energy_mj
+    } else {
+        0.0
+    }
 }
 
 #[cfg(test)]
@@ -177,8 +186,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "energy must be positive")]
-    fn zero_energy_panics() {
-        let _ = efficiency_ipj(0.0);
+    fn non_positive_energy_saturates_to_zero_efficiency() {
+        assert_eq!(efficiency_ipj(0.0), 0.0);
+        assert_eq!(efficiency_ipj(-3.5), 0.0);
+        assert_eq!(efficiency_ipj(f64::NAN), 0.0);
+        // The guard never perturbs the physical branch.
+        assert!(efficiency_ipj(1e-300) > 0.0);
     }
 }
