@@ -6,11 +6,17 @@
 //! plus p50/p99 wall-clock decision latency for each run. The full run
 //! writes `BENCH_serve.json` at the repository root; `--smoke` runs a
 //! small fleet and skips the file (the CI-sized check).
+//!
+//! `--faults PROFILE` runs the fleet under a named fault profile
+//! (`lossy-edge`, `chaos`, ...): the shard-invariance assertion still
+//! holds — fault schedules are seeded per session — and the summary adds
+//! the fleet's fault/retry/fallback counts.
 
 use std::time::Instant;
 
 use autoscale::parallel::{default_threads, resolve_threads};
 use autoscale::prelude::*;
+use autoscale_sim::FaultProfile;
 
 struct Run {
     shards_requested: usize,
@@ -24,15 +30,39 @@ struct Run {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let faults = match args.iter().position(|a| a == "--faults") {
+        None => FaultProfile::none(),
+        Some(i) => {
+            let name = args.get(i + 1).unwrap_or_else(|| {
+                eprintln!(
+                    "--faults needs a profile name ({})",
+                    FaultProfile::NAMES.join("|")
+                );
+                std::process::exit(2);
+            });
+            FaultProfile::parse(name).unwrap_or_else(|| {
+                eprintln!(
+                    "unknown fault profile `{name}` ({})",
+                    FaultProfile::NAMES.join("|")
+                );
+                std::process::exit(2);
+            })
+        }
+    };
     let (sessions, decisions) = if smoke { (4, 50) } else { (32, 400) };
 
     let sim = Simulator::new(DeviceId::Mi8Pro);
     let mix = ScenarioMix::static_envs();
     let cores = default_threads();
     println!(
-        "serve benchmark: {sessions} sessions x {decisions} decisions on {} ({cores} cores{})",
+        "serve benchmark: {sessions} sessions x {decisions} decisions on {} ({cores} cores{}{})",
         sim.host().id(),
-        if smoke { ", smoke" } else { "" }
+        if smoke { ", smoke" } else { "" },
+        if faults.is_none() {
+            String::new()
+        } else {
+            ", faults on".to_string()
+        }
     );
 
     // 1, 4 and all-cores shards, skipping duplicates once clamped (on a
@@ -52,6 +82,7 @@ fn main() {
             decisions_per_session: decisions,
             shards: Some(shards),
             record_latency: true,
+            faults,
             ..ServeConfig::fleet()
         };
         let start = Instant::now();
@@ -87,6 +118,14 @@ fn main() {
             run.p99_ns as f64 / 1e3,
             run.wall_s
         );
+        if !faults.is_none() {
+            println!(
+                "    faults: {} faulted requests, {} retries, {} local fallbacks",
+                report.total_faulted(),
+                report.total_retries(),
+                report.total_fallbacks()
+            );
+        }
         runs.push(run);
     }
     println!("per-session reports bit-identical across shard counts");

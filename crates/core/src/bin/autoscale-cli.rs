@@ -8,7 +8,7 @@
 //! autoscale-cli decide   --device mi8pro --qtable qtable.json --workload resnet-50 [--env S4]
 //! autoscale-cli evaluate --device mi8pro --qtable qtable.json --workload resnet-50 --env S1|all [--runs 100] [--threads N] [--json]
 //! autoscale-cli trace    --device mi8pro --qtable qtable.json --workload resnet-50 --env D2 --runs 50 --out trace.json
-//! autoscale-cli serve    --device mi8pro [--sessions 8] [--decisions 200] [--shards N] [--mix static|all] [--qtable FILE] [--seed N] [--json]
+//! autoscale-cli serve    --device mi8pro [--sessions 8] [--decisions 200] [--shards N] [--mix static|all] [--qtable FILE] [--seed N] [--faults PROFILE] [--json]
 //! ```
 //!
 //! Argument parsing is deliberately hand-rolled (`--key value` pairs) to
@@ -72,6 +72,7 @@ fn print_help() {
          \x20 trace    --device D --qtable FILE --workload W --env E --runs N --out FILE\n\
          \x20 serve    --device D [--sessions N] [--decisions N] [--shards N]\n\
          \x20          [--mix static|all] [--qtable FILE] [--seed N] [--json]\n\
+         \x20          [--faults none|lossy-edge|lossy-cloud|flaky|stragglers|chaos]\n\
          \n\
          names: devices mi8pro|galaxy-s10e|moto-x-force (suffix +npu for the\n\
          NPU/TPU extension testbed); workloads as in `workloads` output;\n\
@@ -84,7 +85,10 @@ fn print_help() {
          `serve` runs a fleet of independent device sessions (each with its\n\
          own engine, environment trace and RNG stream) over the sharded\n\
          decision server; --qtable warm-starts every session from a trained\n\
-         table. Session reports are bit-identical for any --shards value."
+         table. Session reports are bit-identical for any --shards value.\n\
+         --faults injects seeded link dropouts, timeouts, disconnection\n\
+         windows, stragglers and thermal bursts; failed offloads retry with\n\
+         backoff and fall back locally, and reports stay deterministic."
     );
 }
 
@@ -458,12 +462,22 @@ fn cmd_serve(flags: &BTreeMap<String, String>) -> Result<(), String> {
         }
         None => None,
     };
+    let faults = match flags.get("faults") {
+        None => autoscale_sim::FaultProfile::none(),
+        Some(name) => autoscale_sim::FaultProfile::parse(name).ok_or_else(|| {
+            format!(
+                "--faults must be one of {}, got `{name}`",
+                autoscale_sim::FaultProfile::NAMES.join(", ")
+            )
+        })?,
+    };
     let config = ServeConfig {
         sessions,
         decisions_per_session: decisions,
         shards,
         base_seed: parse_u64(flags, "seed", 0xf1ee7)?,
         record_latency: true,
+        faults,
         ..ServeConfig::fleet()
     };
     let start = Instant::now();
@@ -500,6 +514,14 @@ fn cmd_serve(flags: &BTreeMap<String, String>) -> Result<(), String> {
         report.qos_violation_ratio() * 100.0,
         report.digest()
     );
+    if !config.faults.is_none() {
+        println!(
+            "faults: {} faulted requests, {} retries, {} local fallbacks",
+            report.total_faulted(),
+            report.total_retries(),
+            report.total_fallbacks()
+        );
+    }
     if let (Some(p50), Some(p99)) = (
         report.latency_percentile_ns(50.0),
         report.latency_percentile_ns(99.0),

@@ -109,6 +109,7 @@ pub mod prelude {
     pub use autoscale_nn::{Network, Precision, Task, Workload};
     pub use autoscale_platform::{Device, DeviceId, ProcessorKind};
     pub use autoscale_sim::{
-        Environment, EnvironmentId, Outcome, Placement, Request, Scenario, Simulator, Snapshot,
+        Environment, EnvironmentId, FaultInjector, FaultProfile, Outcome, Placement, Request,
+        ResiliencePolicy, Scenario, Simulator, Snapshot,
     };
 }

@@ -31,7 +31,7 @@ pub use session::{DeviceSession, SessionReport, SessionSpec};
 
 use autoscale_rl::qtable::ShapeMismatchError;
 use autoscale_rl::QLearningAgent;
-use autoscale_sim::{ExecutionError, Simulator};
+use autoscale_sim::{ExecutionError, FaultProfile, Simulator};
 use serde::{Deserialize, Serialize};
 
 use crate::action::ActionSpace;
@@ -116,6 +116,11 @@ pub struct ServeConfig {
     pub base_seed: u64,
     /// Whether to measure the wall-clock latency of every decision.
     pub record_latency: bool,
+    /// Fault profile every session runs under. Each session draws its
+    /// own schedule from `cell_seed(session_seed, 2)`, so faulted runs
+    /// stay shard-count invariant; [`FaultProfile::none`] (the default)
+    /// skips injection entirely.
+    pub faults: FaultProfile,
 }
 
 impl ServeConfig {
@@ -129,6 +134,7 @@ impl ServeConfig {
             shards: None,
             base_seed: 0xf1ee7,
             record_latency: false,
+            faults: FaultProfile::none(),
         }
     }
 }
@@ -158,6 +164,24 @@ impl ServeReport {
         self.sessions.iter().fold(session::fnv1a_start(), |h, s| {
             session::fnv1a_fold(h, s.trace_digest)
         })
+    }
+
+    /// Total requests across the fleet whose offload path suffered at
+    /// least one injected fault.
+    pub fn total_faulted(&self) -> usize {
+        self.sessions.iter().map(|s| s.faulted_requests).sum()
+    }
+
+    /// Total backoff-then-retry cycles the fleet's resilience policies
+    /// took.
+    pub fn total_retries(&self) -> usize {
+        self.sessions.iter().map(|s| s.retries).sum()
+    }
+
+    /// Total requests that fell back to local execution after exhausting
+    /// their offload attempts.
+    pub fn total_fallbacks(&self) -> usize {
+        self.sessions.iter().map(|s| s.fallbacks).sum()
     }
 
     /// Fraction of decisions that violated their scenario's QoS.
@@ -249,8 +273,15 @@ pub fn serve(
     let specs = session_specs(mix, config);
     let shards = resolve_threads(config.shards);
     let results = run_cells(shards, config.base_seed, &specs, |cell| {
-        DeviceSession::new(sim, *cell.spec, config.engine, warm_start, cell.seed)?
-            .run(config.record_latency)
+        DeviceSession::with_faults(
+            sim,
+            *cell.spec,
+            config.engine,
+            warm_start,
+            cell.seed,
+            config.faults,
+        )?
+        .run(config.record_latency)
     });
     let mut sessions = Vec::with_capacity(results.len());
     let mut latencies_ns = Vec::new();
@@ -419,6 +450,75 @@ mod tests {
             assert_eq!((s.workload, s.environment), mix.assign(i));
             assert_eq!(s.decisions, 30);
         }
+    }
+
+    #[test]
+    fn faulted_fleets_are_shard_invariant_too() {
+        let sim = Simulator::new(DeviceId::Mi8Pro);
+        let mix = ScenarioMix::static_envs();
+        let faulted = |shards| ServeConfig {
+            faults: FaultProfile::flaky(),
+            ..small_config(shards)
+        };
+        let reference = serve(&sim, &mix, &faulted(Some(1)), None).unwrap();
+        assert!(
+            reference.total_faulted() > 0,
+            "a flaky fleet sees some faults"
+        );
+        for shards in [Some(2), Some(4), None] {
+            let sharded = serve(&sim, &mix, &faulted(shards), None).unwrap();
+            assert_eq!(sharded.sessions, reference.sessions, "shards {shards:?}");
+        }
+    }
+
+    #[test]
+    fn fault_free_config_matches_the_default_exactly() {
+        // The degenerate rate-0.0 policy: an explicit all-zero profile is
+        // the same as never mentioning faults at all.
+        let sim = Simulator::new(DeviceId::Mi8Pro);
+        let mix = ScenarioMix::static_envs();
+        let plain = serve(&sim, &mix, &small_config(Some(2)), None).unwrap();
+        let zeroed = serve(
+            &sim,
+            &mix,
+            &ServeConfig {
+                faults: FaultProfile::none(),
+                ..small_config(Some(2))
+            },
+            None,
+        )
+        .unwrap();
+        assert_eq!(plain.sessions, zeroed.sessions);
+        assert_eq!(plain.total_faulted(), 0);
+        assert_eq!(plain.total_retries(), 0);
+        assert_eq!(plain.total_fallbacks(), 0);
+    }
+
+    #[test]
+    fn fault_free_digests_match_the_pre_fault_injection_build() {
+        // Pinned from the serving stack before fault injection existed
+        // (autoscale-cli serve --device mi8pro --sessions 4 --decisions 60
+        // --seed 7): the fault-free path must keep producing these exact
+        // traces, or the zero-cost-default guarantee is broken.
+        let sim = Simulator::new(DeviceId::Mi8Pro);
+        let mix = ScenarioMix::static_envs();
+        let config = ServeConfig {
+            sessions: 4,
+            decisions_per_session: 60,
+            base_seed: 7,
+            ..ServeConfig::fleet()
+        };
+        let report = serve(&sim, &mix, &config, None).unwrap();
+        let digests: Vec<u64> = report.sessions.iter().map(|s| s.trace_digest).collect();
+        assert_eq!(
+            digests,
+            [
+                17847800452639538401,
+                1335274894445777040,
+                979505169217834271,
+                1096245207193002747,
+            ]
+        );
     }
 
     #[test]

@@ -13,7 +13,9 @@
 use autoscale_nn::Workload;
 use autoscale_rl::qtable::ShapeMismatchError;
 use autoscale_rl::QLearningAgent;
-use autoscale_sim::{Environment, EnvironmentId, Simulator};
+use autoscale_sim::{
+    Environment, EnvironmentId, FaultInjector, FaultProfile, ResiliencePolicy, Simulator,
+};
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
@@ -81,6 +83,15 @@ pub struct SessionReport {
     pub qos_violations: usize,
     /// Total measured energy over the session, in mJ.
     pub total_energy_mj: f64,
+    /// Requests whose offload path suffered at least one injected fault
+    /// (dropout or timeout). Always zero when fault injection is off.
+    pub faulted_requests: usize,
+    /// Backoff-then-retry cycles the resilience policy took across the
+    /// session.
+    pub retries: usize,
+    /// Requests that exhausted their offload attempts and fell back to
+    /// local execution.
+    pub fallbacks: usize,
     /// The decision index at which the reward converged, if it did.
     pub converged_at: Option<usize>,
 }
@@ -99,6 +110,12 @@ pub struct DeviceSession<'a> {
     rng: StdRng,
     qos_ms: f64,
     latencies_ns: Vec<u64>,
+    /// Seeded fault source, present only when the session runs under a
+    /// non-empty fault profile. `None` keeps the fault-free hot path
+    /// untouched — and its reports byte-identical to builds without
+    /// fault injection.
+    injector: Option<FaultInjector>,
+    resilience: ResiliencePolicy,
 }
 
 impl<'a> DeviceSession<'a> {
@@ -124,6 +141,31 @@ impl<'a> DeviceSession<'a> {
         warm_start: Option<&QLearningAgent>,
         seed: u64,
     ) -> Result<Self, ShapeMismatchError> {
+        Self::with_faults(sim, spec, config, warm_start, seed, FaultProfile::none())
+    }
+
+    /// [`Self::new`] under a fault profile.
+    ///
+    /// The injector gets its own RNG stream (`cell_seed(seed, 2)`,
+    /// disjoint from the engine's stream 0 and the
+    /// environment/exploration stream 1), so the fault schedule never
+    /// perturbs the decision stream: with an empty profile the session is
+    /// byte-identical to [`Self::new`], and with any profile the schedule
+    /// is a pure function of the session seed — shard-count invariant
+    /// like everything else.
+    ///
+    /// # Errors
+    ///
+    /// Returns the shape mismatch if `warm_start` has a Q-table shaped
+    /// for a different device.
+    pub fn with_faults(
+        sim: &'a Simulator,
+        spec: SessionSpec,
+        config: EngineConfig,
+        warm_start: Option<&QLearningAgent>,
+        seed: u64,
+        faults: FaultProfile,
+    ) -> Result<Self, ShapeMismatchError> {
         let engine_config = EngineConfig {
             seed: cell_seed(seed, 0),
             ..config
@@ -133,6 +175,7 @@ impl<'a> DeviceSession<'a> {
             None => AutoScaleEngine::new(sim, engine_config),
         };
         let qos_ms = config.scenario_for(spec.workload).qos_ms();
+        let injector = (!faults.is_none()).then(|| FaultInjector::new(faults, cell_seed(seed, 2)));
         Ok(DeviceSession {
             sim,
             spec,
@@ -141,6 +184,8 @@ impl<'a> DeviceSession<'a> {
             rng: seeded_rng(cell_seed(seed, 1)),
             qos_ms,
             latencies_ns: Vec::new(),
+            injector,
+            resilience: ResiliencePolicy::for_qos(qos_ms),
         })
     }
 
@@ -168,6 +213,9 @@ impl<'a> DeviceSession<'a> {
         let mut reward_sum = 0.0;
         let mut qos_violations = 0;
         let mut total_energy_mj = 0.0;
+        let mut faulted_requests = 0;
+        let mut retries = 0;
+        let mut fallbacks = 0;
         let mut frozen_at: Option<usize> = None;
         for i in 0..self.spec.decisions {
             let snapshot = self.env.sample(&mut self.rng);
@@ -192,13 +240,46 @@ impl<'a> DeviceSession<'a> {
             })?;
             digest = fnv1a_fold(digest, step.state_index as u64);
             digest = fnv1a_fold(digest, step.action_index as u64);
-            let outcome = self
-                .sim
-                .execute_measured(self.spec.workload, &step.request, &snapshot, &mut self.rng)
-                .map_err(|source| ServeError::Execution {
-                    session: self.spec.session,
-                    source,
-                })?;
+            // The fault-free path calls execute_measured directly — the
+            // exact pre-fault-injection code path, so an absent injector
+            // costs nothing and changes nothing. Under faults, the
+            // resilient path draws the same two noise values per request
+            // from the session stream; all fault draws come from the
+            // injector's private stream.
+            let outcome = match &mut self.injector {
+                None => self.sim.execute_measured(
+                    self.spec.workload,
+                    &step.request,
+                    &snapshot,
+                    &mut self.rng,
+                ),
+                Some(injector) => {
+                    let plan = injector.next_faults();
+                    self.sim
+                        .execute_resilient(
+                            self.spec.workload,
+                            &step.request,
+                            &snapshot,
+                            &plan,
+                            &self.resilience,
+                            &mut self.rng,
+                        )
+                        .map(|resilient| {
+                            if resilient.offload_faults > 0 {
+                                faulted_requests += 1;
+                            }
+                            retries += resilient.retries;
+                            if resilient.fell_back {
+                                fallbacks += 1;
+                            }
+                            resilient.outcome
+                        })
+                }
+            }
+            .map_err(|source| ServeError::Execution {
+                session: self.spec.session,
+                source,
+            })?;
             if outcome.latency_ms > self.qos_ms {
                 qos_violations += 1;
             }
@@ -224,6 +305,9 @@ impl<'a> DeviceSession<'a> {
             },
             qos_violations,
             total_energy_mj,
+            faulted_requests,
+            retries,
+            fallbacks,
             converged_at: frozen_at,
         };
         Ok((report, self.latencies_ns))
@@ -317,9 +401,60 @@ mod tests {
                 "mean_reward",
                 "qos_violations",
                 "total_energy_mj",
+                "faulted_requests",
+                "retries",
+                "fallbacks",
                 "converged_at",
             ]
         );
+    }
+
+    #[test]
+    fn empty_fault_profile_is_byte_identical_to_new() {
+        let sim = Simulator::new(DeviceId::Mi8Pro);
+        let plain = session(&sim, 100, 21).run(false).expect("session runs").0;
+        let with_none = DeviceSession::with_faults(
+            &sim,
+            spec(100),
+            EngineConfig::paper(),
+            None,
+            21,
+            autoscale_sim::FaultProfile::none(),
+        )
+        .expect("no warm start")
+        .run(false)
+        .expect("session runs")
+        .0;
+        assert_eq!(plain, with_none);
+        assert_eq!(plain.faulted_requests, 0);
+        assert_eq!(plain.retries, 0);
+        assert_eq!(plain.fallbacks, 0);
+    }
+
+    #[test]
+    fn faulted_sessions_reproduce_and_count_consistently() {
+        let sim = Simulator::new(DeviceId::Mi8Pro);
+        let run = |seed: u64| {
+            DeviceSession::with_faults(
+                &sim,
+                spec(150),
+                EngineConfig::paper(),
+                None,
+                seed,
+                autoscale_sim::FaultProfile::chaos(),
+            )
+            .expect("no warm start")
+            .run(false)
+            .expect("session survives chaos")
+            .0
+        };
+        let a = run(33);
+        assert_eq!(a, run(33), "same seed, same faults, same report");
+        assert!(
+            a.fallbacks <= a.faulted_requests,
+            "a fallback implies at least one fault on that request"
+        );
+        assert!(a.faulted_requests <= a.decisions);
     }
 
     #[test]

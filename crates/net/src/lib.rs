@@ -15,6 +15,9 @@
 //!   RSSI-dependent transmit/receive powers of the paper's eq. (4), and a
 //!   fixed round-trip time;
 //! * [`Transfer`] — the latency/energy cost of moving a payload;
+//! * [`FailedTransfer`] — the cost of an offload attempt that *fails*
+//!   (link dropout or stalled transfer), which resilience policies
+//!   charge back to the request;
 //! * [`SignalProcess`] — fixed or Gaussian-varying signal strength (the
 //!   paper emulates random signal with a Gaussian distribution, Section
 //!   V-B).
@@ -26,11 +29,13 @@
 #![warn(missing_docs)]
 
 pub mod link;
+pub mod outage;
 pub mod process;
 pub mod rssi;
 pub mod transfer;
 
 pub use link::{LinkKind, LinkModel};
+pub use outage::{FailedTransfer, OutageKind};
 pub use process::SignalProcess;
 pub use rssi::{Rssi, SignalBucket};
 pub use transfer::Transfer;

@@ -1,0 +1,139 @@
+//! Failed-transfer costs: what an offload attempt that never completes
+//! still costs the phone.
+//!
+//! [`Transfer`](crate::Transfer) prices the happy path of eq. (4). Real
+//! links also *fail*: the access point drops the association (a
+//! **dropout**, detected quickly at the protocol level) or the transfer
+//! stalls mid-flight and the phone only gives up at its deadline (a
+//! **timeout**). Either way the radio was up and burning power, and that
+//! latency and energy must be charged to the request — it is the penalty
+//! a resilience policy feeds back into the scheduler's reward.
+
+use serde::{Deserialize, Serialize};
+
+use crate::link::LinkModel;
+use crate::rssi::Rssi;
+
+/// How one offload attempt fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum OutageKind {
+    /// The link is down or the association fails: the radio wakes,
+    /// probes, and learns quickly (about one protocol round trip) that
+    /// nothing is listening.
+    Dropout,
+    /// The transfer starts but stalls: the phone transmits (some of) the
+    /// payload, then waits for a reply that never arrives until its
+    /// deadline expires.
+    Timeout,
+}
+
+impl std::fmt::Display for OutageKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OutageKind::Dropout => f.write_str("dropout"),
+            OutageKind::Timeout => f.write_str("timeout"),
+        }
+    }
+}
+
+/// The phone-side cost of one offload attempt that did not complete.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FailedTransfer {
+    /// Time from starting the attempt to declaring it failed, in
+    /// milliseconds.
+    pub detect_ms: f64,
+    /// Radio energy burned by the failed attempt (wake ramp plus probe
+    /// or partial transmit plus stalled wait), in millijoules.
+    pub radio_energy_mj: f64,
+    /// Extra radio power drawn while stalled-waiting, in watts — the
+    /// caller adds the device's base power over `detect_ms` itself, the
+    /// same split [`Transfer`](crate::Transfer) uses for the wait term.
+    pub wait_power_w: f64,
+}
+
+impl FailedTransfer {
+    /// Prices a failed offload attempt of `input_bytes` over `link` at
+    /// signal strength `rssi`.
+    ///
+    /// * A [`OutageKind::Dropout`] is detected after the radio wake ramp
+    ///   plus one protocol round trip of probing at transmit power.
+    /// * A [`OutageKind::Timeout`] transmits the uplink payload (or as
+    ///   much as fits before `timeout_ms`) and then stall-waits at the
+    ///   link's wait power until the deadline; detection is at
+    ///   `timeout_ms` past the wake ramp, never earlier than a dropout.
+    pub fn compute(
+        link: &LinkModel,
+        rssi: Rssi,
+        kind: OutageKind,
+        input_bytes: u64,
+        timeout_ms: f64,
+    ) -> Self {
+        let probe_ms = link.rtt_ms();
+        match kind {
+            OutageKind::Dropout => FailedTransfer {
+                detect_ms: link.wake_ms() + probe_ms,
+                radio_energy_mj: link.wake_energy_mj() + link.tx_power_w(rssi) * probe_ms,
+                wait_power_w: link.wait_power_w(),
+            },
+            OutageKind::Timeout => {
+                let budget_ms = timeout_ms.max(probe_ms);
+                let tx_ms = link.transfer_ms(input_bytes, rssi).min(budget_ms);
+                let stall_ms = budget_ms - tx_ms;
+                FailedTransfer {
+                    detect_ms: link.wake_ms() + budget_ms,
+                    radio_energy_mj: link.wake_energy_mj()
+                        + link.tx_power_w(rssi) * tx_ms
+                        + link.wait_power_w() * stall_ms,
+                    wait_power_w: link.wait_power_w(),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkKind;
+
+    #[test]
+    fn dropout_is_detected_fast_and_cheap() {
+        let link = LinkModel::for_kind(LinkKind::Wlan);
+        let f = FailedTransfer::compute(&link, Rssi::STRONG, OutageKind::Dropout, 64 * 1024, 200.0);
+        assert!((f.detect_ms - link.wake_ms() - link.rtt_ms()).abs() < 1e-9);
+        assert!(f.radio_energy_mj > link.wake_energy_mj());
+        // Never more than the timeout path for the same payload.
+        let t = FailedTransfer::compute(&link, Rssi::STRONG, OutageKind::Timeout, 64 * 1024, 200.0);
+        assert!(f.detect_ms < t.detect_ms);
+        assert!(f.radio_energy_mj < t.radio_energy_mj);
+    }
+
+    #[test]
+    fn timeout_burns_the_full_deadline() {
+        let link = LinkModel::for_kind(LinkKind::Wlan);
+        let f = FailedTransfer::compute(&link, Rssi::STRONG, OutageKind::Timeout, 64 * 1024, 150.0);
+        assert!((f.detect_ms - link.wake_ms() - 150.0).abs() < 1e-9);
+        // Energy covers wake + (partial) tx + stalled wait.
+        assert!(f.radio_energy_mj > link.wake_energy_mj());
+    }
+
+    #[test]
+    fn timeout_deadline_is_floored_at_a_probe_round_trip() {
+        let link = LinkModel::for_kind(LinkKind::Wlan);
+        let f = FailedTransfer::compute(&link, Rssi::STRONG, OutageKind::Timeout, 1024, 0.0);
+        assert!(f.detect_ms >= link.wake_ms() + link.rtt_ms() - 1e-9);
+    }
+
+    #[test]
+    fn weak_signal_makes_failures_costlier() {
+        // Probing and partial transmission at weak signal draw more
+        // transmit power, so a failed attempt hurts more — the same
+        // gradient the scheduler already learns for successful offloads.
+        let link = LinkModel::for_kind(LinkKind::Wlan);
+        for kind in [OutageKind::Dropout, OutageKind::Timeout] {
+            let strong = FailedTransfer::compute(&link, Rssi::STRONG, kind, 64 * 1024, 100.0);
+            let weak = FailedTransfer::compute(&link, Rssi::WEAK, kind, 64 * 1024, 100.0);
+            assert!(weak.radio_energy_mj > strong.radio_energy_mj, "{kind}");
+        }
+    }
+}

@@ -54,4 +54,4 @@ pub use device::{Device, DeviceClass, DeviceId};
 pub use dvfs::{DvfsLadder, FreqStep};
 pub use latency::{layer_breakdown, network_latency_ms, ExecutionConditions, KindLatency};
 pub use processor::{KindEfficiency, Processor, ProcessorConfig, ProcessorKind};
-pub use thermal::ThermalPolicy;
+pub use thermal::{ThermalHysteresis, ThermalPolicy, ThermalTracker};

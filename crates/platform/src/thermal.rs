@@ -56,6 +56,106 @@ impl Default for ThermalPolicy {
     }
 }
 
+/// Temperature-domain throttling with engage/recover hysteresis.
+///
+/// [`ThermalPolicy`] models the *steady-state* cap a co-runner induces;
+/// real governors additionally throttle on silicon temperature with a
+/// hysteresis band: the cap engages when the die crosses
+/// `engage_temp_c` and is only lifted once it has cooled below
+/// `recover_temp_c` (< engage). Inside the band the previous state
+/// persists, which is what makes a short thermal *burst* throttle a
+/// whole run of subsequent inferences — the straggler-spike behaviour
+/// the fault injector reproduces.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalHysteresis {
+    /// Die temperature at or above which throttling engages, in °C.
+    pub engage_temp_c: f64,
+    /// Die temperature at or below which throttling disengages, in °C.
+    /// Must be below `engage_temp_c` for a proper hysteresis band.
+    pub recover_temp_c: f64,
+    /// Cap on the CPU frequency ratio while throttled, in (0, 1].
+    pub cap_ratio: f64,
+}
+
+impl ThermalHysteresis {
+    /// The band used for all phone models: engage at 45 °C, recover at
+    /// 38 °C, cap at 60% of maximum frequency (matching
+    /// [`ThermalPolicy::phone_default`]).
+    pub fn phone_default() -> Self {
+        ThermalHysteresis {
+            engage_temp_c: 45.0,
+            recover_temp_c: 38.0,
+            cap_ratio: 0.6,
+        }
+    }
+
+    /// The throttle state after observing `temp_c`, given the previous
+    /// state `was_throttled`.
+    ///
+    /// Engage is inclusive (`temp_c >= engage_temp_c` throttles) and
+    /// recover is inclusive (`temp_c <= recover_temp_c` releases);
+    /// between the two thresholds the previous state persists.
+    pub fn throttled_after(&self, temp_c: f64, was_throttled: bool) -> bool {
+        if was_throttled {
+            temp_c > self.recover_temp_c
+        } else {
+            temp_c >= self.engage_temp_c
+        }
+    }
+
+    /// The frequency-ratio cap for a throttle state: `Some(cap_ratio)`
+    /// while throttled, `None` otherwise.
+    pub fn cap_for(&self, throttled: bool) -> Option<f64> {
+        if throttled {
+            Some(self.cap_ratio)
+        } else {
+            None
+        }
+    }
+}
+
+impl Default for ThermalHysteresis {
+    fn default() -> Self {
+        ThermalHysteresis::phone_default()
+    }
+}
+
+/// A stateful tracker over [`ThermalHysteresis`]: feed it a temperature
+/// trajectory one sample at a time and it answers "is the CPU throttled
+/// right now, and at what cap".
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalTracker {
+    hysteresis: ThermalHysteresis,
+    throttled: bool,
+}
+
+impl ThermalTracker {
+    /// A tracker that starts cool (not throttled).
+    pub fn new(hysteresis: ThermalHysteresis) -> Self {
+        ThermalTracker {
+            hysteresis,
+            throttled: false,
+        }
+    }
+
+    /// The hysteresis band this tracker applies.
+    pub fn hysteresis(&self) -> ThermalHysteresis {
+        self.hysteresis
+    }
+
+    /// Whether the last observed temperature left the CPU throttled.
+    pub fn is_throttled(&self) -> bool {
+        self.throttled
+    }
+
+    /// Observes one temperature sample and returns the frequency-ratio
+    /// cap now in force (`None` when unthrottled).
+    pub fn observe(&mut self, temp_c: f64) -> Option<f64> {
+        self.throttled = self.hysteresis.throttled_after(temp_c, self.throttled);
+        self.hysteresis.cap_for(self.throttled)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -77,5 +177,58 @@ mod tests {
     #[test]
     fn default_is_phone_default() {
         assert_eq!(ThermalPolicy::default(), ThermalPolicy::phone_default());
+    }
+
+    #[test]
+    fn hysteresis_engages_inclusively_at_the_boundary() {
+        let h = ThermalHysteresis::phone_default();
+        // Just below engage: stays cool.
+        assert!(!h.throttled_after(h.engage_temp_c - 1e-9, false));
+        // Exactly at engage: throttles (inclusive threshold).
+        assert!(h.throttled_after(h.engage_temp_c, false));
+        assert!(h.throttled_after(h.engage_temp_c + 1e-9, false));
+    }
+
+    #[test]
+    fn hysteresis_recovers_inclusively_at_the_boundary() {
+        let h = ThermalHysteresis::phone_default();
+        // Just above recover: stays throttled.
+        assert!(h.throttled_after(h.recover_temp_c + 1e-9, true));
+        // Exactly at recover: releases (inclusive threshold).
+        assert!(!h.throttled_after(h.recover_temp_c, true));
+        assert!(!h.throttled_after(h.recover_temp_c - 1e-9, true));
+    }
+
+    #[test]
+    fn hysteresis_band_preserves_the_previous_state() {
+        let h = ThermalHysteresis::phone_default();
+        let mid_c = (h.engage_temp_c + h.recover_temp_c) / 2.0;
+        assert!(h.throttled_after(mid_c, true), "hot history stays hot");
+        assert!(!h.throttled_after(mid_c, false), "cool history stays cool");
+    }
+
+    #[test]
+    fn tracker_walks_a_burst_and_decay_trajectory() {
+        // A burst to 48 °C followed by exponential cooling: the cap must
+        // persist through the hysteresis band and lift only below 38 °C.
+        let mut t = ThermalTracker::new(ThermalHysteresis::phone_default());
+        assert_eq!(t.observe(30.0), None, "ambient start");
+        assert_eq!(t.observe(48.0), Some(0.6), "burst engages");
+        assert_eq!(t.observe(42.6), Some(0.6), "in-band cooling stays capped");
+        assert_eq!(t.observe(38.8), Some(0.6), "still above recover");
+        assert_eq!(t.observe(36.2), None, "below recover releases");
+        assert!(!t.is_throttled());
+        // A second burst re-engages from the released state.
+        assert_eq!(t.observe(45.0), Some(0.6));
+    }
+
+    #[test]
+    fn tracker_cap_matches_steady_state_policy_cap() {
+        // The burst cap and the co-runner cap model the same governor:
+        // identical ratios keep the two throttle paths consistent.
+        let h = ThermalHysteresis::phone_default();
+        let p = ThermalPolicy::phone_default();
+        assert_eq!(h.cap_for(true), p.cap_for(0.85));
+        assert_eq!(h.cap_for(false), p.cap_for(0.0));
     }
 }

@@ -3,8 +3,8 @@
 
 use std::collections::BTreeMap;
 
-use autoscale_net::{LinkKind, LinkModel, Transfer};
-use autoscale_nn::{accuracy_for, Network, Workload};
+use autoscale_net::{FailedTransfer, LinkKind, LinkModel, Transfer};
+use autoscale_nn::{accuracy_for, Network, Precision, Workload};
 use autoscale_platform::{
     power, Device, DeviceId, ExecutionConditions, NetworkCostCache, Processor, ProcessorKind,
 };
@@ -12,6 +12,7 @@ use rand::rngs::StdRng;
 use rand_distr::{Distribution, Normal};
 use serde::{Deserialize, Serialize};
 
+use crate::faults::{RequestFaults, ResiliencePolicy};
 use crate::request::{Placement, Request};
 use crate::snapshot::Snapshot;
 
@@ -46,6 +47,11 @@ pub enum ExecutionError {
     /// The middleware cannot run recurrent models on this processor (e.g.
     /// MobileBERT on any mobile co-processor).
     RecurrentUnsupported(Placement),
+    /// An offload failed and no local processor can run the workload as a
+    /// fallback. Unreachable on the paper's testbeds (the host CPU runs
+    /// every workload at FP32), but custom device configurations could
+    /// hit it.
+    NoLocalFallback(Placement),
 }
 
 impl std::fmt::Display for ExecutionError {
@@ -60,6 +66,49 @@ impl std::fmt::Display for ExecutionError {
             ExecutionError::RecurrentUnsupported(p) => {
                 write!(f, "recurrent model unsupported at {p}")
             }
+            ExecutionError::NoLocalFallback(p) => {
+                write!(f, "no feasible local fallback after offload to {p} failed")
+            }
+        }
+    }
+}
+
+/// What one fault-aware execution produced: the (possibly penalized)
+/// outcome plus an account of what the resilience policy had to do.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResilientOutcome {
+    /// The measured outcome, with every failed attempt's detection
+    /// latency, backoff, and radio energy already charged in.
+    pub outcome: Outcome,
+    /// The request that actually ran — the original one, or the local
+    /// fallback the policy substituted after giving up on the offload.
+    pub executed: Request,
+    /// Offload attempts that failed (dropouts plus timeouts).
+    pub offload_faults: usize,
+    /// Backoff-then-retry cycles the policy took.
+    pub retries: usize,
+    /// Whether the request fell back to local execution.
+    pub fell_back: bool,
+    /// Fault latency charged on top of the executed request, in
+    /// milliseconds.
+    pub penalty_ms: f64,
+    /// Fault energy charged on top of the executed request, in
+    /// millijoules.
+    pub penalty_mj: f64,
+}
+
+impl ResilientOutcome {
+    /// A clean execution: no faults, no penalties, the request ran as
+    /// decided.
+    fn clean(outcome: Outcome, executed: Request) -> Self {
+        ResilientOutcome {
+            outcome,
+            executed,
+            offload_faults: 0,
+            retries: 0,
+            fell_back: false,
+            penalty_ms: 0.0,
+            penalty_mj: 0.0,
         }
     }
 }
@@ -75,6 +124,15 @@ const ENERGY_NOISE_STD: f64 = 0.055;
 
 /// Memoized per-(placement, workload) roofline cost tables.
 type CostTables = BTreeMap<(Placement, Workload), NetworkCostCache>;
+
+/// The tighter (lower) of two optional frequency-ratio caps.
+fn tighter_cap(a: Option<f64>, b: Option<f64>) -> Option<f64> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (cap, None) => cap,
+        (None, cap) => cap,
+    }
+}
 
 /// The edge-cloud testbed for one host phone: the phone itself, the
 /// Wi-Fi-Direct-connected tablet, and the cloud server behind the WLAN.
@@ -255,6 +313,21 @@ impl Simulator {
         request: &Request,
         snapshot: &Snapshot,
     ) -> Result<Outcome, ExecutionError> {
+        self.expected_with_faults(workload, request, snapshot, None, 1.0)
+    }
+
+    /// [`Self::execute_expected`] with fault-model overrides: an extra
+    /// thermal frequency cap on local execution (from a burst, combined
+    /// with the co-runner cap by taking the tighter of the two) and a
+    /// straggler stretch on remote compute time.
+    fn expected_with_faults(
+        &self,
+        workload: Workload,
+        request: &Request,
+        snapshot: &Snapshot,
+        burst_cap: Option<f64>,
+        compute_stretch: f64,
+    ) -> Result<Outcome, ExecutionError> {
         let processor = self.check(workload, request)?;
         let network = self.network(workload);
         let accuracy = accuracy_for(workload).at(request.precision);
@@ -266,7 +339,10 @@ impl Simulator {
                     precision: request.precision,
                     compute_availability: snapshot.cpu_availability(),
                     mem_availability: snapshot.mem_availability(),
-                    thermal_cap: self.host.thermal().cap_for(snapshot.co_cpu),
+                    thermal_cap: tighter_cap(
+                        self.host.thermal().cap_for(snapshot.co_cpu),
+                        burst_cap,
+                    ),
                 };
                 let latency_ms = self
                     .cost_cache(request.placement, workload)
@@ -294,6 +370,7 @@ impl Simulator {
                     snapshot.p2p,
                     request,
                     accuracy,
+                    compute_stretch,
                 )
             }
             Placement::Cloud(_) => {
@@ -307,6 +384,7 @@ impl Simulator {
                     snapshot.wlan,
                     request,
                     accuracy,
+                    compute_stretch,
                 )
             }
         };
@@ -327,15 +405,183 @@ impl Simulator {
         rng: &mut StdRng,
     ) -> Result<Outcome, ExecutionError> {
         let expected = self.execute_expected(workload, request, snapshot)?;
+        Ok(Self::apply_noise(expected, rng))
+    }
+
+    /// Applies measurement noise to an expected outcome. Always draws
+    /// exactly two values from `rng`, so callers consume the stream at a
+    /// fixed rate per execution.
+    fn apply_noise(expected: Outcome, rng: &mut StdRng) -> Outcome {
         // lint:allow(panic-in-lib): the noise std constants are valid Normal parameters
         let lat_noise = Normal::new(1.0, LATENCY_NOISE_STD).expect("valid normal");
         // lint:allow(panic-in-lib): the noise std constants are valid Normal parameters
         let en_noise = Normal::new(1.0, ENERGY_NOISE_STD).expect("valid normal");
-        Ok(Outcome {
+        Outcome {
             latency_ms: expected.latency_ms * lat_noise.sample(rng).max(0.7),
             energy_mj: expected.energy_mj * en_noise.sample(rng).max(0.7),
             accuracy: expected.accuracy,
+        }
+    }
+
+    /// Executes a request under a fault plan, applying a resilience
+    /// policy when the offload path fails.
+    ///
+    /// * Local requests run directly; if the plan carries a thermal burst
+    ///   cap, it is combined with the co-runner cap (tighter wins).
+    /// * Offloads walk the plan's per-attempt outcomes for their link:
+    ///   each failed attempt charges its detection latency and radio
+    ///   energy (see [`FailedTransfer`]), then the policy backs off
+    ///   exponentially and retries — unless the accumulated penalty would
+    ///   blow the give-up deadline, in which case it stops early.
+    /// * If every allowed attempt fails, the request **falls back** to
+    ///   the best feasible local target (minimum expected latency at
+    ///   maximum frequency), still carrying the accumulated penalty.
+    /// * A successful attempt runs the offload with the plan's straggler
+    ///   stretch applied to remote compute time.
+    ///
+    /// All penalties land in the returned outcome's latency and energy,
+    /// so rewards computed from it teach the scheduler to avoid flaky
+    /// targets. Exactly two noise values are drawn from `rng` per call,
+    /// whatever the fault path, keeping the session RNG stream aligned
+    /// with the fault-free path.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExecutionError`] if the request is infeasible, or
+    /// [`ExecutionError::NoLocalFallback`] if an exhausted offload has no
+    /// feasible local substitute.
+    pub fn execute_resilient(
+        &self,
+        workload: Workload,
+        request: &Request,
+        snapshot: &Snapshot,
+        faults: &RequestFaults,
+        policy: &ResiliencePolicy,
+        rng: &mut StdRng,
+    ) -> Result<ResilientOutcome, ExecutionError> {
+        self.check(workload, request)?;
+        let (link, rssi, plan) = match request.placement {
+            Placement::OnDevice(_) => {
+                let expected = self.expected_with_faults(
+                    workload,
+                    request,
+                    snapshot,
+                    faults.thermal_cap,
+                    1.0,
+                )?;
+                return Ok(ResilientOutcome::clean(
+                    Self::apply_noise(expected, rng),
+                    *request,
+                ));
+            }
+            Placement::ConnectedEdge(_) => (&self.p2p, snapshot.p2p, &faults.edge),
+            Placement::Cloud(_) => (&self.wlan, snapshot.wlan, &faults.cloud),
+        };
+
+        let input_bytes = self.network(workload).input_bytes();
+        let base_power_w = self.host.base_power_w();
+        let mut penalty_ms = 0.0;
+        let mut penalty_mj = 0.0;
+        let mut offload_faults = 0usize;
+        let mut retries = 0usize;
+        let mut connected = false;
+        for attempt in 0..policy.max_attempts() {
+            match plan.attempts[attempt] {
+                None => {
+                    connected = true;
+                    break;
+                }
+                Some(kind) => {
+                    offload_faults += 1;
+                    let failed = FailedTransfer::compute(
+                        link,
+                        rssi,
+                        kind,
+                        input_bytes,
+                        policy.attempt_timeout_ms,
+                    );
+                    // The phone burns its base power for the whole
+                    // detection window on top of the radio's share.
+                    penalty_ms += failed.detect_ms;
+                    penalty_mj += failed.radio_energy_mj + base_power_w * failed.detect_ms;
+                    if attempt + 1 < policy.max_attempts() {
+                        let backoff_ms = policy.backoff_ms(retries);
+                        if penalty_ms + backoff_ms > policy.give_up_ms {
+                            // Deadline-aware: another cycle cannot make
+                            // the QoS target, stop retrying.
+                            break;
+                        }
+                        penalty_ms += backoff_ms;
+                        penalty_mj += base_power_w * backoff_ms;
+                        retries += 1;
+                    }
+                }
+            }
+        }
+
+        let (expected, executed, fell_back) = if connected {
+            let expected = self.expected_with_faults(
+                workload,
+                request,
+                snapshot,
+                None,
+                faults.straggler_ratio,
+            )?;
+            (expected, *request, false)
+        } else {
+            let fallback = self
+                .best_local_fallback(workload, snapshot, faults.thermal_cap)
+                .ok_or(ExecutionError::NoLocalFallback(request.placement))?;
+            let expected =
+                self.expected_with_faults(workload, &fallback, snapshot, faults.thermal_cap, 1.0)?;
+            (expected, fallback, true)
+        };
+        let measured = Self::apply_noise(expected, rng);
+        Ok(ResilientOutcome {
+            outcome: Outcome {
+                latency_ms: measured.latency_ms + penalty_ms,
+                energy_mj: measured.energy_mj + penalty_mj,
+                accuracy: measured.accuracy,
+            },
+            executed,
+            offload_faults,
+            retries,
+            fell_back,
+            penalty_ms,
+            penalty_mj,
         })
+    }
+
+    /// The best local substitute for a failed offload: among the host's
+    /// feasible (processor, precision) pairs at maximum frequency, the
+    /// request with the lowest expected latency under the current
+    /// snapshot (and any thermal burst cap). Deterministic — iterates
+    /// fixed arrays in a fixed order.
+    pub fn best_local_fallback(
+        &self,
+        workload: Workload,
+        snapshot: &Snapshot,
+        burst_cap: Option<f64>,
+    ) -> Option<Request> {
+        let mut best: Option<(f64, Request)> = None;
+        for kind in ProcessorKind::ALL {
+            let placement = Placement::OnDevice(kind);
+            if self.processor_for(placement).is_none() {
+                continue;
+            }
+            for precision in Precision::ALL {
+                let req = Request::at_max_frequency(self, placement, precision);
+                let Ok(outcome) =
+                    self.expected_with_faults(workload, &req, snapshot, burst_cap, 1.0)
+                else {
+                    continue;
+                };
+                if best.is_none_or(|(best_ms, _)| outcome.latency_ms < best_ms) {
+                    best = Some((outcome.latency_ms, req));
+                }
+            }
+        }
+        best.map(|(_, req)| req)
     }
 
     /// Computes the outcome of an offloaded inference, per the paper's
@@ -352,12 +598,16 @@ impl Simulator {
         rssi: autoscale_net::Rssi,
         request: &Request,
         accuracy: f64,
+        compute_stretch: f64,
     ) -> Outcome {
         let transfer = Transfer::compute(link, network.input_bytes(), network.output_bytes(), rssi);
         // Remote systems are uncontended and run at maximum frequency: the
-        // phone can neither observe nor control their governors.
+        // phone can neither observe nor control their governors. A
+        // straggler spike stretches the remote compute time (the wire
+        // time is untouched — the link is fine, the server is slow).
         let cond = ExecutionConditions::max_frequency(processor, request.precision);
-        let remote_ms = cache.latency_ms(processor, &cond) + remote.serving_overhead_ms();
+        let remote_ms =
+            (cache.latency_ms(processor, &cond) + remote.serving_overhead_ms()) * compute_stretch;
         let latency_ms = transfer.wire_ms() + remote_ms;
         // Phone-side energy (eq. 4): TX + RX bursts, then base + radio-wait
         // power for the remainder of the round trip.
@@ -602,6 +852,197 @@ mod tests {
     #[should_panic(expected = "host must be a phone")]
     fn tablet_cannot_host() {
         let _ = Simulator::new(DeviceId::GalaxyTabS6);
+    }
+
+    #[test]
+    fn resilient_clean_plan_matches_measured_execution() {
+        // With an empty fault plan, execute_resilient must be
+        // draw-for-draw identical to execute_measured — the invariant the
+        // zero-cost default rests on.
+        let sim = sim();
+        let clean = crate::faults::RequestFaults::none(0);
+        let policy = crate::faults::ResiliencePolicy::for_qos(50.0);
+        for placement in [
+            Placement::OnDevice(ProcessorKind::Cpu),
+            Placement::ConnectedEdge(ProcessorKind::Gpu),
+            Placement::Cloud(ProcessorKind::Gpu),
+        ] {
+            let req = max_req(&sim, placement, Precision::Fp32);
+            let mut rng_a = StdRng::seed_from_u64(99);
+            let mut rng_b = StdRng::seed_from_u64(99);
+            let measured = sim
+                .execute_measured(Workload::ResNet50, &req, &Snapshot::calm(), &mut rng_a)
+                .unwrap();
+            let resilient = sim
+                .execute_resilient(
+                    Workload::ResNet50,
+                    &req,
+                    &Snapshot::calm(),
+                    &clean,
+                    &policy,
+                    &mut rng_b,
+                )
+                .unwrap();
+            assert_eq!(resilient.outcome, measured, "{placement}");
+            assert_eq!(resilient.executed, req);
+            assert_eq!(resilient.offload_faults, 0);
+            assert_eq!(resilient.retries, 0);
+            assert!(!resilient.fell_back);
+        }
+    }
+
+    #[test]
+    fn one_dropout_retries_and_charges_the_penalty() {
+        let sim = sim();
+        let req = max_req(&sim, Placement::Cloud(ProcessorKind::Gpu), Precision::Fp32);
+        let policy = crate::faults::ResiliencePolicy::for_qos(200.0);
+        let mut faults = crate::faults::RequestFaults::none(0);
+        faults.cloud.attempts[0] = Some(autoscale_net::OutageKind::Dropout);
+        let mut rng_a = StdRng::seed_from_u64(7);
+        let mut rng_b = StdRng::seed_from_u64(7);
+        let clean = sim
+            .execute_measured(Workload::ResNet50, &req, &Snapshot::calm(), &mut rng_a)
+            .unwrap();
+        let r = sim
+            .execute_resilient(
+                Workload::ResNet50,
+                &req,
+                &Snapshot::calm(),
+                &faults,
+                &policy,
+                &mut rng_b,
+            )
+            .unwrap();
+        assert_eq!(r.offload_faults, 1);
+        assert_eq!(r.retries, 1);
+        assert!(!r.fell_back);
+        assert!(r.penalty_ms > 0.0 && r.penalty_mj > 0.0);
+        assert!((r.outcome.latency_ms - clean.latency_ms - r.penalty_ms).abs() < 1e-9);
+        assert!((r.outcome.energy_mj - clean.energy_mj - r.penalty_mj).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exhausted_offload_falls_back_to_best_local_target() {
+        let sim = sim();
+        let req = max_req(&sim, Placement::Cloud(ProcessorKind::Gpu), Precision::Fp32);
+        let policy = crate::faults::ResiliencePolicy::for_qos(1_000.0);
+        let mut faults = crate::faults::RequestFaults::none(0);
+        faults.cloud = crate::faults::LinkFaults::disconnected();
+        let mut rng = StdRng::seed_from_u64(7);
+        let r = sim
+            .execute_resilient(
+                Workload::InceptionV1,
+                &req,
+                &Snapshot::calm(),
+                &faults,
+                &policy,
+                &mut rng,
+            )
+            .unwrap();
+        assert!(r.fell_back);
+        assert_eq!(r.offload_faults, policy.max_attempts());
+        assert!(matches!(r.executed.placement, Placement::OnDevice(_)));
+        // The fallback is the fastest feasible local target.
+        let best = sim
+            .best_local_fallback(Workload::InceptionV1, &Snapshot::calm(), None)
+            .unwrap();
+        assert_eq!(r.executed, best);
+        assert!(r.penalty_ms > 0.0);
+    }
+
+    #[test]
+    fn give_up_deadline_stops_retrying_early() {
+        let sim = sim();
+        let req = max_req(&sim, Placement::Cloud(ProcessorKind::Gpu), Precision::Fp32);
+        // A timeout burns ~attempt_timeout_ms per attempt; a give-up
+        // budget of one deadline leaves no room for a second attempt.
+        let policy = crate::faults::ResiliencePolicy {
+            max_retries: 3,
+            backoff_base_ms: 2.0,
+            backoff_factor: 2.0,
+            attempt_timeout_ms: 100.0,
+            give_up_ms: 100.0,
+        };
+        let mut faults = crate::faults::RequestFaults::none(0);
+        faults.cloud.attempts =
+            [Some(autoscale_net::OutageKind::Timeout); crate::faults::MAX_ATTEMPTS];
+        let mut rng = StdRng::seed_from_u64(7);
+        let r = sim
+            .execute_resilient(
+                Workload::InceptionV1,
+                &req,
+                &Snapshot::calm(),
+                &faults,
+                &policy,
+                &mut rng,
+            )
+            .unwrap();
+        assert!(r.fell_back);
+        assert_eq!(r.offload_faults, 1, "deadline blocked further retries");
+        assert_eq!(r.retries, 0);
+    }
+
+    #[test]
+    fn straggler_stretch_slows_remote_but_not_wire_or_local() {
+        let sim = sim();
+        let cloud = max_req(&sim, Placement::Cloud(ProcessorKind::Gpu), Precision::Fp32);
+        let local = max_req(
+            &sim,
+            Placement::OnDevice(ProcessorKind::Cpu),
+            Precision::Fp32,
+        );
+        let calm = Snapshot::calm();
+        let plain = sim
+            .expected_with_faults(Workload::ResNet50, &cloud, &calm, None, 1.0)
+            .unwrap();
+        let stretched = sim
+            .expected_with_faults(Workload::ResNet50, &cloud, &calm, None, 4.0)
+            .unwrap();
+        assert!(stretched.latency_ms > plain.latency_ms);
+        assert!(
+            stretched.latency_ms < 4.0 * plain.latency_ms,
+            "wire time is not stretched"
+        );
+        let local_plain = sim
+            .expected_with_faults(Workload::ResNet50, &local, &calm, None, 1.0)
+            .unwrap();
+        let local_stretched = sim
+            .expected_with_faults(Workload::ResNet50, &local, &calm, None, 4.0)
+            .unwrap();
+        assert_eq!(local_plain, local_stretched, "stretch is remote-only");
+    }
+
+    #[test]
+    fn burst_cap_slows_local_execution_and_combines_tighter() {
+        let sim = sim();
+        let req = max_req(
+            &sim,
+            Placement::OnDevice(ProcessorKind::Cpu),
+            Precision::Fp32,
+        );
+        let calm = Snapshot::calm();
+        let free = sim
+            .expected_with_faults(Workload::ResNet50, &req, &calm, None, 1.0)
+            .unwrap();
+        let capped = sim
+            .expected_with_faults(Workload::ResNet50, &req, &calm, Some(0.6), 1.0)
+            .unwrap();
+        assert!(capped.latency_ms > free.latency_ms);
+        assert_eq!(tighter_cap(Some(0.6), Some(0.8)), Some(0.6));
+        assert_eq!(tighter_cap(None, Some(0.8)), Some(0.8));
+        assert_eq!(tighter_cap(Some(0.5), None), Some(0.5));
+        assert_eq!(tighter_cap(None, None), None);
+    }
+
+    #[test]
+    fn fallback_skips_processors_that_cannot_run_the_workload() {
+        // MobileBERT is recurrent: no mobile co-processor runs it, so the
+        // fallback must land on the host CPU.
+        let sim = sim();
+        let best = sim
+            .best_local_fallback(Workload::MobileBert, &Snapshot::calm(), None)
+            .unwrap();
+        assert_eq!(best.placement, Placement::OnDevice(ProcessorKind::Cpu));
     }
 
     #[test]

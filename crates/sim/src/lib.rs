@@ -21,6 +21,10 @@
 //!   streaming, 100 ms translation);
 //! * [`Simulator`] — executes a [`Request`] and returns an [`Outcome`],
 //!   either as the model's expectation or with measurement noise;
+//! * [`FaultProfile`] / [`FaultInjector`] — seeded, deterministic fault
+//!   injection (link dropouts, disconnection windows, transfer timeouts,
+//!   stragglers, thermal bursts) with a [`ResiliencePolicy`] describing
+//!   retry/backoff/fallback behaviour on failed offloads;
 //! * [`Trace`] — a serializable, replayable log of executed inferences.
 //!
 //! # Example
@@ -47,6 +51,7 @@
 
 pub mod environment;
 pub mod executor;
+pub mod faults;
 pub mod interference;
 pub mod request;
 pub mod scenario;
@@ -54,7 +59,8 @@ pub mod snapshot;
 pub mod trace;
 
 pub use environment::{Environment, EnvironmentId};
-pub use executor::{ExecutionError, Outcome, Simulator};
+pub use executor::{ExecutionError, Outcome, ResilientOutcome, Simulator};
+pub use faults::{FaultInjector, FaultProfile, LinkFaults, RequestFaults, ResiliencePolicy};
 pub use interference::InterferenceProcess;
 pub use request::{Placement, Request};
 pub use scenario::Scenario;

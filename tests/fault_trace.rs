@@ -1,0 +1,100 @@
+//! Golden-file test for the deterministic fault schedule.
+//!
+//! The fault injector's schedule is a pure function of `(profile, seed,
+//! request index)` — it must never drift, because recorded chaos runs
+//! (and the debugging workflow of replaying a faulted session) depend on
+//! seeds reproducing the exact same faults forever. This test renders
+//! the first 48 request plans of the `chaos` profile at a fixed seed and
+//! compares them line-by-line against a committed fixture.
+//!
+//! If the schedule changes **intentionally** (a new fault class, a
+//! different draw order), regenerate the fixture with:
+//!
+//! ```sh
+//! UPDATE_FAULT_GOLDEN=1 cargo test --test fault_trace
+//! ```
+//!
+//! and review the diff like any other behavioural change.
+
+use autoscale_sim::{FaultInjector, FaultProfile};
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/fault_trace.golden"
+);
+const GOLDEN_SEED: u64 = 0xC4A05;
+const GOLDEN_REQUESTS: usize = 48;
+
+fn render_schedule() -> String {
+    let mut injector = FaultInjector::new(FaultProfile::chaos(), GOLDEN_SEED);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# chaos profile, seed {GOLDEN_SEED:#x}, {GOLDEN_REQUESTS} requests\n"
+    ));
+    out.push_str("# edge/cloud: per-attempt plan (- ok, D dropout, T timeout)\n");
+    for _ in 0..GOLDEN_REQUESTS {
+        out.push_str(&injector.next_faults().to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn fault_schedule_matches_the_committed_golden_trace() {
+    let rendered = render_schedule();
+    if std::env::var_os("UPDATE_FAULT_GOLDEN").is_some() {
+        std::fs::write(GOLDEN_PATH, &rendered).expect("write golden fixture");
+        eprintln!("regenerated {GOLDEN_PATH}");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH).expect(
+        "tests/fixtures/fault_trace.golden is committed; regenerate with UPDATE_FAULT_GOLDEN=1",
+    );
+    if rendered == golden {
+        return;
+    }
+    // Readable drift report: first divergent line with context, not a
+    // screenful of assert_eq! debris.
+    let mut diff = String::new();
+    let mut divergences = 0;
+    for (i, (want, got)) in golden.lines().zip(rendered.lines()).enumerate() {
+        if want != got {
+            divergences += 1;
+            if divergences <= 5 {
+                diff.push_str(&format!(
+                    "  line {:>3}:\n    golden  | {want}\n    current | {got}\n",
+                    i + 1
+                ));
+            }
+        }
+    }
+    let (want_n, got_n) = (golden.lines().count(), rendered.lines().count());
+    if want_n != got_n {
+        diff.push_str(&format!(
+            "  line count changed: golden {want_n}, current {got_n}\n"
+        ));
+    }
+    panic!(
+        "fault schedule drifted from the golden trace ({divergences} line(s) differ):\n{diff}\
+         The seeded fault schedule is a compatibility surface — recorded chaos runs\n\
+         replay by seed. If this change is intentional, regenerate the fixture with\n\
+         `UPDATE_FAULT_GOLDEN=1 cargo test --test fault_trace` and review the diff."
+    );
+}
+
+#[test]
+fn golden_trace_is_nonempty_and_faulted() {
+    // Guard against a hollow fixture: the chaos profile at the golden
+    // seed must actually exercise every fault class within the window.
+    let rendered = render_schedule();
+    assert!(rendered.contains('D'), "no dropouts in the golden window");
+    assert!(rendered.contains('T'), "no timeouts in the golden window");
+    assert!(
+        rendered.contains("straggle=x4.0"),
+        "no straggler spikes in the golden window"
+    );
+    assert!(
+        rendered.contains("thermal=0.60"),
+        "no thermal throttling in the golden window"
+    );
+}

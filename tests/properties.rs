@@ -170,6 +170,159 @@ proptest! {
     }
 }
 
+/// An arbitrary fault profile: every rate spans [0, 1] (including the
+/// degenerate all-fail and all-clear corners), windows up to 6 requests,
+/// stragglers up to 8x, bursts up to 50 °C.
+fn arb_fault_profile() -> impl Strategy<Value = FaultProfile> {
+    (
+        (0.0..=1.0f64, 0.0..=1.0f64, 0.0..=1.0f64, 0.0..=1.0f64),
+        (0.0..=1.0f64, 0.0..=1.0f64, 0usize..=6),
+        (0.0..=1.0f64, 0.5..=8.0f64),
+        (0.0..=1.0f64, 25.0..=50.0f64),
+    )
+        .prop_map(
+            |(
+                (edge_drop, cloud_drop, edge_to, cloud_to),
+                (edge_disc, cloud_disc, disconnect_len),
+                (straggler_rate, straggler_scale),
+                (thermal_burst_rate, thermal_burst_temp_c),
+            )| {
+                // Per-attempt dropout and timeout rates share one draw, so
+                // their sum must stay within [0, 1] for the bands to be
+                // disjoint; rescale the pair when it overflows.
+                let scale = |drop: f64, to: f64| {
+                    let sum = drop + to;
+                    if sum > 1.0 {
+                        (drop / sum, to / sum)
+                    } else {
+                        (drop, to)
+                    }
+                };
+                let (edge_dropout_rate, edge_timeout_rate) = scale(edge_drop, edge_to);
+                let (cloud_dropout_rate, cloud_timeout_rate) = scale(cloud_drop, cloud_to);
+                FaultProfile {
+                    edge_dropout_rate,
+                    cloud_dropout_rate,
+                    edge_timeout_rate,
+                    cloud_timeout_rate,
+                    edge_disconnect_rate: edge_disc,
+                    cloud_disconnect_rate: cloud_disc,
+                    disconnect_len,
+                    straggler_rate,
+                    straggler_scale,
+                    thermal_burst_rate,
+                    thermal_burst_temp_c,
+                }
+            },
+        )
+}
+
+/// A faulted serving run over a 4-session fleet.
+fn faulted_serve(profile: FaultProfile, seed: u64, shards: usize) -> ServeReport {
+    let sim = Simulator::new(DeviceId::Mi8Pro);
+    let mix = ScenarioMix::static_envs();
+    let config = ServeConfig {
+        sessions: 4,
+        decisions_per_session: 40,
+        shards: Some(shards),
+        base_seed: seed,
+        faults: profile,
+        ..ServeConfig::fleet()
+    };
+    serve(&sim, &mix, &config, None).expect("faulted fleets never error")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Chaos: under any fault profile and seed, serve() completes without
+    /// error, its counters are internally consistent, and its reports are
+    /// bit-identical across shard counts.
+    #[test]
+    fn serve_survives_arbitrary_fault_profiles(
+        profile in arb_fault_profile(),
+        seed in any::<u64>(),
+    ) {
+        let reference = faulted_serve(profile, seed, 1);
+        for s in &reference.sessions {
+            prop_assert!(s.fallbacks <= s.faulted_requests, "a fallback implies a fault");
+            prop_assert!(s.faulted_requests <= s.decisions);
+            // The policy takes at most max_retries backoff cycles per request.
+            let policy = ResiliencePolicy::for_qos(50.0);
+            prop_assert!(s.retries <= policy.max_retries * s.decisions);
+            prop_assert!(s.mean_reward.is_finite());
+            prop_assert!(s.total_energy_mj.is_finite() && s.total_energy_mj > 0.0);
+            prop_assert!(s.qos_violations <= s.decisions);
+        }
+        for shards in [4usize, 8] {
+            let sharded = faulted_serve(profile, seed, shards);
+            prop_assert_eq!(&sharded.sessions, &reference.sessions);
+        }
+    }
+
+    /// The injector draws a fixed number of values per request, so its
+    /// schedule for request i depends only on (profile, seed, i) — the
+    /// plans of a prefix never change when more requests are planned.
+    #[test]
+    fn fault_schedules_are_prefix_stable(
+        profile in arb_fault_profile(),
+        seed in any::<u64>(),
+    ) {
+        let mut short = FaultInjector::new(profile, seed);
+        let mut long = FaultInjector::new(profile, seed);
+        let a: Vec<String> = (0..10).map(|_| short.next_faults().to_string()).collect();
+        let b: Vec<String> = (0..40).map(|_| long.next_faults().to_string()).collect();
+        prop_assert_eq!(&a[..], &b[..10]);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Degenerate fault rates behave exactly as advertised: rate 1.0 on
+    /// both links makes every offload fall back locally, and the QoS /
+    /// counter accounting still adds up.
+    #[test]
+    fn total_disconnection_forces_local_fallback(seed in any::<u64>()) {
+        let blackout = FaultProfile {
+            edge_dropout_rate: 1.0,
+            cloud_dropout_rate: 1.0,
+            ..FaultProfile::none()
+        };
+        let report = faulted_serve(blackout, seed, 2);
+        for s in &report.sessions {
+            // Every faulted offload exhausts its retries and falls back.
+            prop_assert_eq!(s.fallbacks, s.faulted_requests);
+            prop_assert!(s.qos_violations <= s.decisions);
+        }
+        // Offload decisions exist in any 40-decision exploration phase, so
+        // somewhere in the fleet faults must have fired.
+        prop_assert!(report.total_faulted() > 0, "exploration always tries offloads");
+        prop_assert_eq!(report.total_fallbacks(), report.total_faulted());
+    }
+
+    /// Degenerate rate 0.0: an all-zero profile is bit-identical to the
+    /// fault-free default for any seed.
+    #[test]
+    fn zero_rates_are_bit_identical_to_fault_free(seed in any::<u64>()) {
+        let plain = faulted_serve(FaultProfile::none(), seed, 2);
+        let sim = Simulator::new(DeviceId::Mi8Pro);
+        let mix = ScenarioMix::static_envs();
+        let config = ServeConfig {
+            sessions: 4,
+            decisions_per_session: 40,
+            shards: Some(2),
+            base_seed: seed,
+            ..ServeConfig::fleet()
+        };
+        let default_run = serve(&sim, &mix, &config, None).expect("serves");
+        prop_assert_eq!(&plain.sessions, &default_run.sessions);
+        prop_assert_eq!(plain.total_faulted(), 0);
+        prop_assert_eq!(plain.total_retries(), 0);
+        prop_assert_eq!(plain.total_fallbacks(), 0);
+    }
+}
+
 /// Serialized results of a small experiment grid run on the parallel
 /// harness with the given worker count.
 fn harness_grid_bytes(threads: usize, base_seed: u64) -> Vec<u8> {
