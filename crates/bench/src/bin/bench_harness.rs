@@ -6,14 +6,36 @@
 //! with `--threads N` workers (default: all cores) — verifies the results
 //! are bit-identical, and writes the wall-clock numbers to
 //! `BENCH_harness.json` at the repository root.
+//!
+//! The thread request is clamped to `available_parallelism` before the
+//! parallel pass; when it clamps all the way down to 1 the parallel pass
+//! is skipped entirely (it would re-run the serial sweep and report a
+//! noise-sized "speedup"), and the recorded speedup is exactly 1.
 
 use std::time::Instant;
 
-use autoscale::parallel::{run_cells, threads_from_args};
+use autoscale::parallel::{resolve_threads, run_cells};
 use autoscale_bench::{fig9_cell, fig9_specs};
 
 fn main() {
-    let threads = threads_from_args(std::env::args().skip(1));
+    // Parse the raw request ourselves so the report can record what was
+    // asked for next to what actually ran — a 1-core host serving
+    // `--threads 8` must not claim an 8-way measurement.
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let requested: Option<usize> = args.iter().position(|a| a == "--threads").map(|i| {
+        args.get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("--threads requires a count");
+                std::process::exit(2);
+            })
+    });
+    let threads = resolve_threads(requested);
+    let cores = autoscale::parallel::default_threads();
+    let threads_requested = match requested {
+        None | Some(0) => cores,
+        Some(n) => n,
+    };
     let specs = fig9_specs();
     println!("fig9 sweep: {} cells, serial pass...", specs.len());
 
@@ -22,26 +44,31 @@ fn main() {
     let serial_s = start.elapsed().as_secs_f64();
     println!("serial:   {serial_s:.2} s");
 
-    println!("parallel pass ({threads} threads)...");
-    let start = Instant::now();
-    let parallel = run_cells(threads, 900, &specs, fig9_cell);
-    let parallel_s = start.elapsed().as_secs_f64();
-    println!("parallel: {parallel_s:.2} s");
+    let (parallel_s, speedup) = if threads <= 1 {
+        println!("parallel pass skipped: request of {threads_requested} threads clamps to 1 on this {cores}-core host");
+        (serial_s, 1.0)
+    } else {
+        println!("parallel pass ({threads} threads)...");
+        let start = Instant::now();
+        let parallel = run_cells(threads, 900, &specs, fig9_cell);
+        let parallel_s = start.elapsed().as_secs_f64();
+        println!("parallel: {parallel_s:.2} s");
 
-    let serial_bytes = serde_json::to_vec(&serial).expect("reports serialize");
-    let parallel_bytes = serde_json::to_vec(&parallel).expect("reports serialize");
-    assert_eq!(
-        serial_bytes, parallel_bytes,
-        "parallel results diverge from serial"
-    );
-    println!("results bit-identical across thread counts");
+        let serial_bytes = serde_json::to_vec(&serial).expect("reports serialize");
+        let parallel_bytes = serde_json::to_vec(&parallel).expect("reports serialize");
+        assert_eq!(
+            serial_bytes, parallel_bytes,
+            "parallel results diverge from serial"
+        );
+        println!("results bit-identical across thread counts");
+        (parallel_s, serial_s / parallel_s)
+    };
 
-    // Speedup tracks the machine: with C cores it approaches min(threads, C),
-    // so the recorded number is only meaningful next to `cores`.
-    let speedup = serial_s / parallel_s;
-    let cores = autoscale::parallel::default_threads();
+    // Speedup tracks the machine: with C cores it approaches
+    // min(threads_effective, C), so the recorded number is only
+    // meaningful next to `cores`.
     let json = format!(
-        "{{\n  \"serial_s\": {serial_s:.3},\n  \"parallel_s\": {parallel_s:.3},\n  \"threads\": {threads},\n  \"cores\": {cores},\n  \"speedup\": {speedup:.3}\n}}\n"
+        "{{\n  \"serial_s\": {serial_s:.3},\n  \"parallel_s\": {parallel_s:.3},\n  \"threads_requested\": {threads_requested},\n  \"threads_effective\": {threads},\n  \"cores\": {cores},\n  \"speedup\": {speedup:.3}\n}}\n"
     );
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_harness.json");
     std::fs::write(out, &json).expect("write BENCH_harness.json");

@@ -3,9 +3,22 @@
 //! Runs the same serving fleet (Mi8Pro, static-environment scenario mix)
 //! at 1 shard, 4 shards and all-cores, verifies the per-session reports
 //! are bit-identical across shard counts, and records decisions/second
-//! plus p50/p99 wall-clock decision latency for each run. The full run
-//! writes `BENCH_serve.json` at the repository root; `--smoke` runs a
-//! small fleet and skips the file (the CI-sized check).
+//! plus p50/p99 wall-clock decision latency for each run. Shard counts
+//! that clamp to an already-measured effective count are skipped (on a
+//! 1-core box only one pass runs; "8 threads" there would measure the
+//! same serial execution twice and report a meaningless speedup).
+//!
+//! It then races every [`KernelKind`] over a longer fleet with latency
+//! recording off — the serving-throughput configuration — asserts the
+//! fleet digests are identical across kernels, and records the winner.
+//! The full run writes `BENCH_serve.json` at the repository root;
+//! `--smoke` runs a small fleet and skips the file (the CI-sized check).
+//!
+//! `--gate PATH` is the CI perf-regression mode: it runs only the kernel
+//! race, compares the best throughput against the committed
+//! `best_decisions_per_sec` in PATH, and exits non-zero on a >20%
+//! regression. Regenerate the committed number with
+//! `cargo run --release -p autoscale-bench --bin bench_serve`.
 //!
 //! `--faults PROFILE` runs the fleet under a named fault profile
 //! (`lossy-edge`, `chaos`, ...): the shard-invariance assertion still
@@ -16,6 +29,7 @@ use std::time::Instant;
 
 use autoscale::parallel::{default_threads, resolve_threads};
 use autoscale::prelude::*;
+use autoscale_rl::KernelKind;
 use autoscale_sim::FaultProfile;
 
 struct Run {
@@ -27,9 +41,112 @@ struct Run {
     p99_ns: u64,
 }
 
+struct KernelRun {
+    kernel: KernelKind,
+    wall_s: f64,
+    decisions_per_sec: f64,
+}
+
+/// Races every decision kernel over the same fleet (latency recording
+/// off, all cores) and asserts their fleet digests are identical —
+/// the determinism contract, enforced on every benchmark run.
+///
+/// Each kernel runs `passes` times and keeps its fastest pass: the
+/// throughput of interest is what the kernel can sustain, not what a
+/// scheduler hiccup did to one run.
+fn race_kernels(
+    sim: &Simulator,
+    mix: &ScenarioMix,
+    sessions: usize,
+    decisions: usize,
+    faults: FaultProfile,
+    passes: usize,
+) -> Vec<KernelRun> {
+    let mut runs: Vec<KernelRun> = Vec::new();
+    let mut digest: Option<u64> = None;
+    for kernel in KernelKind::ALL {
+        let config = ServeConfig {
+            sessions,
+            decisions_per_session: decisions,
+            shards: None,
+            record_latency: false,
+            faults,
+            kernel,
+            ..ServeConfig::fleet()
+        };
+        let mut best: Option<KernelRun> = None;
+        for _ in 0..passes.max(1) {
+            let start = Instant::now();
+            let report = autoscale::serve::serve(sim, mix, &config, None).expect("no warm start");
+            let wall_s = start.elapsed().as_secs_f64();
+            match digest {
+                None => digest = Some(report.digest()),
+                Some(reference) => assert_eq!(
+                    report.digest(),
+                    reference,
+                    "kernel {kernel} changed the decision traces"
+                ),
+            }
+            let decisions_per_sec = report.total_decisions() as f64 / wall_s;
+            if best
+                .as_ref()
+                .is_none_or(|b| decisions_per_sec > b.decisions_per_sec)
+            {
+                best = Some(KernelRun {
+                    kernel,
+                    wall_s,
+                    decisions_per_sec,
+                });
+            }
+        }
+        runs.push(best.expect("at least one pass"));
+    }
+    runs
+}
+
+fn best_of(runs: &[KernelRun]) -> &KernelRun {
+    runs.iter()
+        .reduce(|best, r| {
+            if r.decisions_per_sec > best.decisions_per_sec {
+                r
+            } else {
+                best
+            }
+        })
+        .expect("at least one kernel raced")
+}
+
+/// Extracts the committed `best_decisions_per_sec` from a previously
+/// written `BENCH_serve.json` without a JSON parser dependency.
+fn committed_best(path: &str) -> f64 {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("--gate: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let key = "\"best_decisions_per_sec\":";
+    let Some(at) = text.find(key) else {
+        eprintln!("--gate: {path} has no best_decisions_per_sec (regenerate it with `cargo run --release -p autoscale-bench --bin bench_serve`)");
+        std::process::exit(2);
+    };
+    let rest = text[at + key.len()..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().unwrap_or_else(|e| {
+        eprintln!("--gate: malformed best_decisions_per_sec in {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let gate = args.iter().position(|a| a == "--gate").map(|i| {
+        args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("--gate needs the path of the committed BENCH_serve.json");
+            std::process::exit(2);
+        })
+    });
     let faults = match args.iter().position(|a| a == "--faults") {
         None => FaultProfile::none(),
         Some(i) => {
@@ -50,10 +167,50 @@ fn main() {
         }
     };
     let (sessions, decisions) = if smoke { (4, 50) } else { (32, 400) };
+    // The race measures serving throughput, so it runs longer sessions:
+    // most decisions happen after convergence freezes the policy, which
+    // is the regime a deployed fleet spends its life in.
+    let (race_sessions, race_decisions) = if smoke { (4, 200) } else { (16, 25_000) };
 
     let sim = Simulator::new(DeviceId::Mi8Pro);
     let mix = ScenarioMix::static_envs();
     let cores = default_threads();
+
+    if let Some(path) = gate {
+        let committed = committed_best(&path);
+        let runs = race_kernels(
+            &sim,
+            &mix,
+            race_sessions,
+            race_decisions,
+            faults,
+            if smoke { 1 } else { 2 },
+        );
+        let best = best_of(&runs);
+        for r in &runs {
+            println!(
+                "  kernel {:>6}: {:>9.0} decisions/s ({:.2} s)",
+                r.kernel, r.decisions_per_sec, r.wall_s
+            );
+        }
+        let floor = committed * 0.8;
+        if best.decisions_per_sec < floor {
+            eprintln!(
+                "perf gate FAILED: best kernel ({}) served {:.0} decisions/s, \
+                 below 80% of the committed {:.0} (floor {:.0}).\n\
+                 If this regression is intended, regenerate the baseline with\n\
+                 `cargo run --release -p autoscale-bench --bin bench_serve` and commit {path}.",
+                best.kernel, best.decisions_per_sec, committed, floor
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "perf gate passed: best kernel ({}) at {:.0} decisions/s vs committed {:.0} (floor {:.0})",
+            best.kernel, best.decisions_per_sec, committed, floor
+        );
+        return;
+    }
+
     println!(
         "serve benchmark: {sessions} sessions x {decisions} decisions on {} ({cores} cores{}{})",
         sim.host().id(),
@@ -65,12 +222,17 @@ fn main() {
         }
     );
 
-    // 1, 4 and all-cores shards, skipping duplicates once clamped (on a
-    // 4-core box "4" and "all" are the same run).
+    // 1, 4 and all-cores shards, skipping requests that clamp to an
+    // effective count already measured (on a 1-core box everything
+    // collapses to one serial pass; re-running it would only measure
+    // noise and suggest a fake speedup).
     let mut shard_counts: Vec<usize> = Vec::new();
+    let mut seen_effective: Vec<usize> = Vec::new();
     for requested in [1, 4, cores] {
-        if !shard_counts.contains(&requested) {
+        let effective = resolve_threads(Some(requested));
+        if !seen_effective.contains(&effective) {
             shard_counts.push(requested);
+            seen_effective.push(effective);
         }
     }
 
@@ -131,11 +293,33 @@ fn main() {
     println!("per-session reports bit-identical across shard counts");
 
     let base = runs[0].decisions_per_sec;
-    let best = runs
+    let best_shards = runs
         .iter()
         .map(|r| r.decisions_per_sec)
         .fold(f64::MIN, f64::max);
-    println!("speedup (best vs 1 shard): {:.2}x", best / base);
+    println!("speedup (best vs 1 shard): {:.2}x", best_shards / base);
+
+    println!("kernel race: {race_sessions} sessions x {race_decisions} decisions, all kernels");
+    let kernel_runs = race_kernels(
+        &sim,
+        &mix,
+        race_sessions,
+        race_decisions,
+        faults,
+        if smoke { 1 } else { 2 },
+    );
+    for r in &kernel_runs {
+        println!(
+            "  kernel {:>6}: {:>9.0} decisions/s ({:.2} s)",
+            r.kernel, r.decisions_per_sec, r.wall_s
+        );
+    }
+    println!("fleet digests bit-identical across kernels");
+    let best = best_of(&kernel_runs);
+    println!(
+        "best kernel: {} at {:.0} decisions/s",
+        best.kernel, best.decisions_per_sec
+    );
 
     if smoke {
         println!("smoke run: not writing BENCH_serve.json");
@@ -155,10 +339,22 @@ fn main() {
             if i + 1 < runs.len() { "," } else { "" }
         ));
     }
+    let mut kernel_entries = String::new();
+    for (i, r) in kernel_runs.iter().enumerate() {
+        kernel_entries.push_str(&format!(
+            "      {{\"kernel\": \"{}\", \"wall_s\": {:.3}, \"decisions_per_sec\": {:.1}}}{}\n",
+            r.kernel,
+            r.wall_s,
+            r.decisions_per_sec,
+            if i + 1 < kernel_runs.len() { "," } else { "" }
+        ));
+    }
     let json = format!(
-        "{{\n  \"sessions\": {sessions},\n  \"decisions_per_session\": {decisions},\n  \"cores\": {cores},\n  \"fleet_digest\": {},\n  \"speedup_best_vs_1\": {:.3},\n  \"runs\": [\n{entries}  ]\n}}\n",
+        "{{\n  \"sessions\": {sessions},\n  \"decisions_per_session\": {decisions},\n  \"cores\": {cores},\n  \"fleet_digest\": {},\n  \"speedup_best_vs_1\": {:.3},\n  \"runs\": [\n{entries}  ],\n  \"kernel_race\": {{\n    \"sessions\": {race_sessions},\n    \"decisions_per_session\": {race_decisions},\n    \"kernels\": [\n{kernel_entries}    ],\n    \"best_kernel\": \"{}\",\n    \"best_decisions_per_sec\": {:.1}\n  }}\n}}\n",
         digest.expect("at least one run"),
-        best / base
+        best_shards / base,
+        best.kernel,
+        best.decisions_per_sec
     );
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
     std::fs::write(out, &json).expect("write BENCH_serve.json");

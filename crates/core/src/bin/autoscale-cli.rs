@@ -8,7 +8,7 @@
 //! autoscale-cli decide   --device mi8pro --qtable qtable.json --workload resnet-50 [--env S4]
 //! autoscale-cli evaluate --device mi8pro --qtable qtable.json --workload resnet-50 --env S1|all [--runs 100] [--threads N] [--json]
 //! autoscale-cli trace    --device mi8pro --qtable qtable.json --workload resnet-50 --env D2 --runs 50 --out trace.json
-//! autoscale-cli serve    --device mi8pro [--sessions 8] [--decisions 200] [--shards N] [--mix static|all] [--qtable FILE] [--seed N] [--faults PROFILE] [--json]
+//! autoscale-cli serve    --device mi8pro [--sessions 8] [--decisions 200] [--shards N] [--mix static|all] [--qtable FILE] [--seed N] [--faults PROFILE] [--kernel KERNEL] [--json]
 //! ```
 //!
 //! Argument parsing is deliberately hand-rolled (`--key value` pairs) to
@@ -20,7 +20,7 @@ use std::process::ExitCode;
 use autoscale::experiment;
 use autoscale::prelude::*;
 use autoscale::scheduler::AutoScaleScheduler;
-use autoscale_rl::QLearningAgent;
+use autoscale_rl::{KernelKind, QLearningAgent};
 use autoscale_sim::Trace;
 
 fn main() -> ExitCode {
@@ -73,6 +73,7 @@ fn print_help() {
          \x20 serve    --device D [--sessions N] [--decisions N] [--shards N]\n\
          \x20          [--mix static|all] [--qtable FILE] [--seed N] [--json]\n\
          \x20          [--faults none|lossy-edge|lossy-cloud|flaky|stragglers|chaos]\n\
+         \x20          [--kernel scalar|packed|frozen]\n\
          \n\
          names: devices mi8pro|galaxy-s10e|moto-x-force (suffix +npu for the\n\
          NPU/TPU extension testbed); workloads as in `workloads` output;\n\
@@ -88,7 +89,9 @@ fn print_help() {
          table. Session reports are bit-identical for any --shards value.\n\
          --faults injects seeded link dropouts, timeouts, disconnection\n\
          windows, stragglers and thermal bursts; failed offloads retry with\n\
-         backoff and fall back locally, and reports stay deterministic."
+         backoff and fall back locally, and reports stay deterministic.\n\
+         --kernel picks the decision kernel — a pure speed choice; every\n\
+         kernel produces bit-identical reports and digests."
     );
 }
 
@@ -471,6 +474,15 @@ fn cmd_serve(flags: &BTreeMap<String, String>) -> Result<(), String> {
             )
         })?,
     };
+    let kernel = match flags.get("kernel") {
+        None => KernelKind::Scalar,
+        Some(name) => KernelKind::parse(name).ok_or_else(|| {
+            format!(
+                "--kernel must be one of {}, got `{name}`",
+                KernelKind::ALL.map(|k| k.name()).join(", ")
+            )
+        })?,
+    };
     let config = ServeConfig {
         sessions,
         decisions_per_session: decisions,
@@ -478,6 +490,7 @@ fn cmd_serve(flags: &BTreeMap<String, String>) -> Result<(), String> {
         base_seed: parse_u64(flags, "seed", 0xf1ee7)?,
         record_latency: true,
         faults,
+        kernel,
         ..ServeConfig::fleet()
     };
     let start = Instant::now();

@@ -7,7 +7,7 @@
 //! alternatives cannot match.
 
 use autoscale_nn::Workload;
-use autoscale_rl::{ConvergenceDetector, Hyperparameters, QLearningAgent};
+use autoscale_rl::{ConvergenceDetector, DecisionKernel, Hyperparameters, MaskSet, QLearningAgent};
 use autoscale_sim::{Outcome, Request, Scenario, Simulator, Snapshot};
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
@@ -132,17 +132,39 @@ pub struct AutoScaleEngine {
     agent: QLearningAgent,
     detector: ConvergenceDetector,
     config: EngineConfig,
-    /// Feasibility masks indexed by [`Workload::index`]. Masks depend
-    /// only on (device, workload), so precomputing them at construction
-    /// keeps the per-decision hot path allocation-free.
-    masks: Vec<Vec<bool>>,
+    /// Per-workload decision context indexed by [`Workload::index`].
+    /// Everything here depends only on (device, workload, config), so
+    /// precomputing it at construction keeps the per-decision hot path
+    /// allocation-free and skips the O(layers) network fold on every
+    /// state encoding.
+    contexts: Vec<WorkloadContext>,
 }
 
-/// Precomputes the feasibility mask of every Table III workload.
-fn masks_for(actions: &ActionSpace, sim: &Simulator) -> Vec<Vec<bool>> {
+/// The construction-time invariants of one workload on one device: its
+/// feasibility mask (as both `&[bool]` and packed words), the workload
+/// component of every state index it can observe, and its eq. (5)
+/// reward configuration.
+#[derive(Debug, Clone)]
+struct WorkloadContext {
+    mask: MaskSet,
+    state_base: usize,
+    reward: RewardConfig,
+}
+
+/// Precomputes the decision context of every Table III workload.
+fn contexts_for(
+    states: &StateSpace,
+    actions: &ActionSpace,
+    sim: &Simulator,
+    config: &EngineConfig,
+) -> Vec<WorkloadContext> {
     Workload::ALL
         .iter()
-        .map(|&w| actions.mask(sim, w))
+        .map(|&w| WorkloadContext {
+            mask: MaskSet::from_bools(&actions.mask(sim, w)),
+            state_base: states.network_base(sim.network(w)),
+            reward: config.reward_for(w),
+        })
         .collect()
 }
 
@@ -160,14 +182,14 @@ impl AutoScaleEngine {
         // Convergence cannot be meaningful before the epsilon-greedy sweep
         // has visited every action once (see ConvergenceDetector docs).
         let detector = ConvergenceDetector::paper().with_min_observations(actions.len());
-        let masks = masks_for(&actions, sim);
+        let contexts = contexts_for(&states, &actions, sim, &config);
         AutoScaleEngine {
             states,
             actions,
             agent,
             detector,
             config,
-            masks,
+            contexts,
         }
     }
 
@@ -192,14 +214,14 @@ impl AutoScaleEngine {
             });
         }
         let detector = ConvergenceDetector::paper().with_min_observations(actions.len());
-        let masks = masks_for(&actions, sim);
+        let contexts = contexts_for(&states, &actions, sim, &config);
         Ok(AutoScaleEngine {
             states,
             actions,
             agent,
             detector,
             config,
-            masks,
+            contexts,
         })
     }
 
@@ -207,7 +229,22 @@ impl AutoScaleEngine {
     /// device — the allocation-free equivalent of
     /// [`ActionSpace::mask`].
     pub fn mask_for(&self, workload: Workload) -> &[bool] {
-        &self.masks[workload.index()]
+        self.contexts[workload.index()].mask.bools()
+    }
+
+    /// The same feasibility mask in the packed [`MaskSet`] form the
+    /// decision kernels consume.
+    pub fn mask_set_for(&self, workload: Workload) -> &MaskSet {
+        &self.contexts[workload.index()].mask
+    }
+
+    /// Encodes the state a decision for `workload` under `snapshot` is
+    /// made in, using the factored form: the workload's precomputed
+    /// network base plus the snapshot's runtime index. Identical to
+    /// [`StateSpace::encode_observation`] on the construction-time
+    /// simulator's network, without the per-decision O(layers) fold.
+    pub fn state_for(&self, workload: Workload, snapshot: &Snapshot) -> usize {
+        self.contexts[workload.index()].state_base + self.states.runtime_index(snapshot)
     }
 
     /// The engine's state space.
@@ -250,12 +287,50 @@ impl AutoScaleEngine {
         snapshot: &Snapshot,
         rng: &mut StdRng,
     ) -> Result<DecisionStep, NoFeasibleActionError> {
-        let state_index = self
-            .states
-            .encode_observation(sim.network(workload), snapshot);
+        let state_index = self.state_for(workload, snapshot);
+        debug_assert_eq!(
+            state_index,
+            self.states
+                .encode_observation(sim.network(workload), snapshot),
+            "factored state must match the direct encoding"
+        );
         let action_index = self
             .agent
             .select_action(state_index, self.mask_for(workload), rng)
+            .ok_or(NoFeasibleActionError { workload })?;
+        Ok(DecisionStep {
+            state_index,
+            action_index,
+            request: self.actions.request(action_index),
+        })
+    }
+
+    /// Selects an action through an explicit [`DecisionKernel`] — the
+    /// serving hot path. Draw-for-draw and decision-for-decision
+    /// identical to [`AutoScaleEngine::decide`] for every kernel (the
+    /// kernels' shared epsilon-greedy protocol pins the RNG schedule).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NoFeasibleActionError`] when the workload's feasibility
+    /// mask is empty — see [`AutoScaleEngine::decide`].
+    pub fn decide_kernel<K: DecisionKernel + ?Sized>(
+        &self,
+        kernel: &K,
+        workload: Workload,
+        snapshot: &Snapshot,
+        rng: &mut StdRng,
+    ) -> Result<DecisionStep, NoFeasibleActionError> {
+        let ctx = &self.contexts[workload.index()];
+        let state_index = ctx.state_base + self.states.runtime_index(snapshot);
+        let action_index = kernel
+            .select(
+                self.agent.q_table(),
+                state_index,
+                &ctx.mask,
+                self.agent.epsilon(),
+                rng,
+            )
             .ok_or(NoFeasibleActionError { workload })?;
         Ok(DecisionStep {
             state_index,
@@ -277,9 +352,13 @@ impl AutoScaleEngine {
         workload: Workload,
         snapshot: &Snapshot,
     ) -> Result<DecisionStep, NoFeasibleActionError> {
-        let state_index = self
-            .states
-            .encode_observation(sim.network(workload), snapshot);
+        let state_index = self.state_for(workload, snapshot);
+        debug_assert_eq!(
+            state_index,
+            self.states
+                .encode_observation(sim.network(workload), snapshot),
+            "factored state must match the direct encoding"
+        );
         let action_index = self
             .agent
             .select_greedy(state_index, self.mask_for(workload))
@@ -321,16 +400,15 @@ impl AutoScaleEngine {
         } else {
             *outcome
         };
-        let r = reward(&self.config.reward_for(workload), &rewarded);
-        let next_state = self
-            .states
-            .encode_observation(sim.network(workload), next_snapshot);
+        let ctx = &self.contexts[workload.index()];
+        let r = reward(&ctx.reward, &rewarded);
+        let next_state = ctx.state_base + self.states.runtime_index(next_snapshot);
         self.agent.update(
             step.state_index,
             step.action_index,
             r,
             next_state,
-            &self.masks[workload.index()],
+            ctx.mask.bools(),
         );
         self.detector.observe(r);
         r
@@ -698,6 +776,62 @@ mod tests {
                 assert_eq!(h.join().expect("no panic"), reference.action_index);
             }
         });
+    }
+
+    #[test]
+    fn every_kernel_reproduces_the_classic_decide_path() {
+        // decide_kernel must be draw-for-draw identical to decide for
+        // every kernel, exploring or frozen, across busy and calm
+        // snapshots — the serving determinism contract starts here.
+        use autoscale_rl::{FrozenKernel, PackedKernel, ScalarKernel};
+        let sim = Simulator::new(DeviceId::Mi8Pro);
+        for frozen in [false, true] {
+            let mut engine = trained_engine(&sim, Workload::InceptionV1, 60);
+            if frozen {
+                engine.freeze();
+            }
+            let kernels: [&dyn autoscale_rl::DecisionKernel; 3] =
+                [&ScalarKernel, &PackedKernel, &FrozenKernel];
+            let mut env = Environment::for_id(EnvironmentId::D2);
+            let mut env_rng = seeded_rng(11);
+            for _ in 0..25 {
+                let snapshot = env.sample(&mut env_rng);
+                for w in [Workload::InceptionV1, Workload::MobileBert] {
+                    let mut reference_rng = seeded_rng(99);
+                    let reference = engine
+                        .decide(&sim, w, &snapshot, &mut reference_rng)
+                        .expect("feasible");
+                    for kernel in kernels {
+                        let mut rng = seeded_rng(99);
+                        let step = engine
+                            .decide_kernel(kernel, w, &snapshot, &mut rng)
+                            .expect("feasible");
+                        assert_eq!(step, reference, "kernel {:?}", kernel.kind());
+                        assert_eq!(rng, reference_rng, "kernel {:?} draws", kernel.kind());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn state_for_matches_encode_observation() {
+        let sim = Simulator::new(DeviceId::Mi8Pro);
+        let engine = AutoScaleEngine::new(&sim, EngineConfig::paper());
+        let mut env = Environment::for_id(EnvironmentId::S4);
+        let mut rng = seeded_rng(8);
+        for _ in 0..10 {
+            let snapshot = env.sample(&mut rng);
+            for w in Workload::ALL {
+                assert_eq!(
+                    engine.state_for(w, &snapshot),
+                    engine
+                        .states()
+                        .encode_observation(sim.network(w), &snapshot),
+                    "{w}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub use mix::ScenarioMix;
 pub use session::{DeviceSession, SessionReport, SessionSpec};
 
 use autoscale_rl::qtable::ShapeMismatchError;
-use autoscale_rl::QLearningAgent;
+use autoscale_rl::{KernelKind, QLearningAgent};
 use autoscale_sim::{ExecutionError, FaultProfile, Simulator};
 use serde::{Deserialize, Serialize};
 
@@ -121,6 +121,11 @@ pub struct ServeConfig {
     /// stay shard-count invariant; [`FaultProfile::none`] (the default)
     /// skips injection entirely.
     pub faults: FaultProfile,
+    /// The decision kernel every session's hot loop runs on. A pure
+    /// speed choice: all kernels produce bit-identical reports (the
+    /// cross-kernel digest tests pin this), so serving deployments can
+    /// pick the fastest without re-validating behaviour.
+    pub kernel: KernelKind,
 }
 
 impl ServeConfig {
@@ -135,6 +140,7 @@ impl ServeConfig {
             base_seed: 0xf1ee7,
             record_latency: false,
             faults: FaultProfile::none(),
+            kernel: KernelKind::Scalar,
         }
     }
 }
@@ -281,7 +287,7 @@ pub fn serve(
             cell.seed,
             config.faults,
         )?
-        .run(config.record_latency)
+        .run_with_kernel(config.record_latency, config.kernel)
     });
     let mut sessions = Vec::with_capacity(results.len());
     let mut latencies_ns = Vec::new();
@@ -519,6 +525,41 @@ mod tests {
                 1096245207193002747,
             ]
         );
+    }
+
+    #[test]
+    fn every_kernel_is_shard_invariant_and_digest_identical() {
+        // The tentpole contract: kernel choice × shard count × fault
+        // profile never changes a fleet's decision traces.
+        let sim = Simulator::new(DeviceId::Mi8Pro);
+        let mix = ScenarioMix::static_envs();
+        for faults in [FaultProfile::none(), FaultProfile::chaos()] {
+            let reference = serve(
+                &sim,
+                &mix,
+                &ServeConfig {
+                    faults,
+                    ..small_config(Some(1))
+                },
+                None,
+            )
+            .unwrap();
+            for kernel in KernelKind::ALL {
+                for shards in [Some(1), Some(4), Some(8)] {
+                    let config = ServeConfig {
+                        faults,
+                        kernel,
+                        ..small_config(shards)
+                    };
+                    let report = serve(&sim, &mix, &config, None).unwrap();
+                    assert_eq!(
+                        report.sessions, reference.sessions,
+                        "{kernel} × {shards:?} shards × {faults:?}"
+                    );
+                    assert_eq!(report.digest(), reference.digest());
+                }
+            }
+        }
     }
 
     #[test]

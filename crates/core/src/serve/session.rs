@@ -12,7 +12,9 @@
 
 use autoscale_nn::Workload;
 use autoscale_rl::qtable::ShapeMismatchError;
-use autoscale_rl::QLearningAgent;
+use autoscale_rl::{
+    DecisionKernel, FrozenKernel, KernelKind, PackedKernel, QLearningAgent, ScalarKernel,
+};
 use autoscale_sim::{
     Environment, EnvironmentId, FaultInjector, FaultProfile, ResiliencePolicy, Simulator,
 };
@@ -205,10 +207,48 @@ impl<'a> DeviceSession<'a> {
     /// simulator rejects the chosen request — unreachable on the paper's
     /// testbeds (the engine only proposes mask-feasible requests), but
     /// surfaced as typed errors so the serving hot path never aborts.
-    pub fn run(mut self, record_latency: bool) -> Result<(SessionReport, Vec<u64>), ServeError> {
+    pub fn run(self, record_latency: bool) -> Result<(SessionReport, Vec<u64>), ServeError> {
+        self.run_with_kernel(record_latency, KernelKind::Scalar)
+    }
+
+    /// [`Self::run`] through an explicit [`DecisionKernel`].
+    ///
+    /// Every kernel honours the shared epsilon-greedy draw protocol, so
+    /// the returned [`SessionReport`] is bit-identical across kernels —
+    /// only the wall-clock decision latencies differ. The kernel choice
+    /// is dispatched once here; the per-decision loop is monomorphized
+    /// over it.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::run`].
+    pub fn run_with_kernel(
+        self,
+        record_latency: bool,
+        kernel: KernelKind,
+    ) -> Result<(SessionReport, Vec<u64>), ServeError> {
+        match kernel {
+            KernelKind::Scalar => self.run_inner(record_latency, &ScalarKernel),
+            KernelKind::Packed => self.run_inner(record_latency, &PackedKernel),
+            KernelKind::Frozen => self.run_inner(record_latency, &FrozenKernel),
+        }
+    }
+
+    /// The monomorphized session loop: `spec.decisions` iterations of
+    /// decide → execute → learn over one kernel and one
+    /// [`PreparedExecutor`] (the simulator's per-workload batch
+    /// interface — placement dispatch, cost-cache lookup and noise
+    /// distributions are resolved once per session instead of once per
+    /// request).
+    fn run_inner<K: DecisionKernel>(
+        mut self,
+        record_latency: bool,
+        kernel: &K,
+    ) -> Result<(SessionReport, Vec<u64>), ServeError> {
         if record_latency {
             self.latencies_ns.reserve_exact(self.spec.decisions);
         }
+        let prepared = self.sim.prepare(self.spec.workload);
         let mut digest = fnv1a_start();
         let mut reward_sum = 0.0;
         let mut qos_violations = 0;
@@ -219,20 +259,21 @@ impl<'a> DeviceSession<'a> {
         let mut frozen_at: Option<usize> = None;
         for i in 0..self.spec.decisions {
             let snapshot = self.env.sample(&mut self.rng);
-            // A single decide() path keeps the RNG draw sequence a pure
+            // A single decide path keeps the RNG draw sequence a pure
             // function of the session's history: freezing sets ε = 0
             // inside the policy rather than switching to a different
-            // (differently-drawing) greedy call site.
+            // (differently-drawing) greedy call site, and every kernel
+            // draws by the same protocol.
             let decided = if record_latency {
                 let timer = DecisionTimer::start();
                 let step =
                     self.engine
-                        .decide(self.sim, self.spec.workload, &snapshot, &mut self.rng);
+                        .decide_kernel(kernel, self.spec.workload, &snapshot, &mut self.rng);
                 self.latencies_ns.push(timer.elapsed_ns());
                 step
             } else {
                 self.engine
-                    .decide(self.sim, self.spec.workload, &snapshot, &mut self.rng)
+                    .decide_kernel(kernel, self.spec.workload, &snapshot, &mut self.rng)
             };
             let step = decided.map_err(|source| ServeError::NoFeasibleAction {
                 session: self.spec.session,
@@ -240,24 +281,19 @@ impl<'a> DeviceSession<'a> {
             })?;
             digest = fnv1a_fold(digest, step.state_index as u64);
             digest = fnv1a_fold(digest, step.action_index as u64);
-            // The fault-free path calls execute_measured directly — the
-            // exact pre-fault-injection code path, so an absent injector
+            // The fault-free path calls the prepared execute_measured —
+            // the same math as Simulator::execute_measured with the
+            // per-request dispatch amortized — so an absent injector
             // costs nothing and changes nothing. Under faults, the
             // resilient path draws the same two noise values per request
             // from the session stream; all fault draws come from the
             // injector's private stream.
             let outcome = match &mut self.injector {
-                None => self.sim.execute_measured(
-                    self.spec.workload,
-                    &step.request,
-                    &snapshot,
-                    &mut self.rng,
-                ),
+                None => prepared.execute_measured(&step.request, &snapshot, &mut self.rng),
                 Some(injector) => {
                     let plan = injector.next_faults();
-                    self.sim
+                    prepared
                         .execute_resilient(
-                            self.spec.workload,
                             &step.request,
                             &snapshot,
                             &plan,
@@ -455,6 +491,34 @@ mod tests {
             "a fallback implies at least one fault on that request"
         );
         assert!(a.faulted_requests <= a.decisions);
+    }
+
+    #[test]
+    fn every_kernel_produces_the_same_session_report() {
+        // The serving determinism contract at session granularity: the
+        // kernel is a pure speed choice, never a behaviour choice —
+        // fault-free and under chaos alike.
+        let sim = Simulator::new(DeviceId::Mi8Pro);
+        for profile in [FaultProfile::none(), FaultProfile::chaos()] {
+            let run = |kernel: KernelKind| {
+                DeviceSession::with_faults(
+                    &sim,
+                    spec(120),
+                    EngineConfig::paper(),
+                    None,
+                    13,
+                    profile,
+                )
+                .expect("no warm start")
+                .run_with_kernel(false, kernel)
+                .expect("session runs")
+                .0
+            };
+            let reference = run(KernelKind::Scalar);
+            for kernel in [KernelKind::Packed, KernelKind::Frozen] {
+                assert_eq!(run(kernel), reference, "{kernel} under {profile:?}");
+            }
+        }
     }
 
     #[test]

@@ -147,6 +147,45 @@ impl StateSpace {
     pub fn encode_observation(&self, network: &Network, snapshot: &Snapshot) -> usize {
         self.encode(&self.observe(network, snapshot))
     }
+
+    /// Number of runtime-variance states per network: the product of the
+    /// snapshot-derived bucket counts (co-CPU × co-mem × RSSI × RSSI).
+    fn runtime_states(&self) -> usize {
+        self.utilization.buckets() * self.utilization.buckets() * 2 * 2
+    }
+
+    /// The encoded index of a network's first state — the constant part
+    /// of [`StateSpace::encode_observation`] for a fixed workload.
+    ///
+    /// [`StateSpace::encode`] folds the network features (conv, fc, rc,
+    /// mac) before any snapshot feature, so every state of one network
+    /// occupies the contiguous block `network_base(n) + runtime_index(s)`.
+    /// The serving hot path computes the base once per session and spends
+    /// only [`StateSpace::runtime_index`] per decision, instead of
+    /// re-counting the network's layers on every encode.
+    pub fn network_base(&self, network: &Network) -> usize {
+        let conv = self.conv.bucket(network.count(LayerKind::Conv) as f64);
+        let fc = self.fc.bucket(network.count(LayerKind::Fc) as f64);
+        let rc = self.rc.bucket(network.count(LayerKind::Rc) as f64);
+        let mac = self.mac.bucket(network.total_macs() as f64 / 1e6);
+        let mut index = conv;
+        index = index * self.fc.buckets() + fc;
+        index = index * self.rc.buckets() + rc;
+        index = index * self.mac.buckets() + mac;
+        index * self.runtime_states()
+    }
+
+    /// The snapshot-dependent offset within one network's state block.
+    /// `network_base(n) + runtime_index(s) == encode_observation(n, s)`,
+    /// an identity pinned by a unit test.
+    pub fn runtime_index(&self, snapshot: &Snapshot) -> usize {
+        let co_cpu = self.utilization.bucket(snapshot.co_cpu * 100.0);
+        let co_mem = self.utilization.bucket(snapshot.co_mem * 100.0);
+        let mut index = co_cpu;
+        index = index * self.utilization.buckets() + co_mem;
+        index = index * 2 + snapshot.wlan.bucket().index();
+        index * 2 + snapshot.p2p.bucket().index()
+    }
 }
 
 impl Default for StateSpace {
@@ -276,6 +315,30 @@ mod tests {
         assert_eq!(space.rc.buckets(), 2);
         assert_eq!(space.mac.buckets(), 3);
         assert_eq!(space.len(), 3_072);
+    }
+
+    #[test]
+    fn factored_encoding_matches_encode_observation() {
+        // The hot path's base + offset split must be the identity the
+        // doc promises, for every workload and a spread of snapshots.
+        let space = StateSpace::paper();
+        let snapshots = [
+            Snapshot::calm(),
+            Snapshot::new(0.1, 0.5, Rssi::WEAK, Rssi::STRONG),
+            Snapshot::new(0.9, 0.0, Rssi::STRONG, Rssi::WEAK),
+            Snapshot::new(1.0, 1.0, Rssi::WEAK, Rssi::WEAK),
+        ];
+        for &w in &Workload::ALL {
+            let net = Network::workload(w);
+            let base = space.network_base(&net);
+            for snapshot in &snapshots {
+                assert_eq!(
+                    base + space.runtime_index(snapshot),
+                    space.encode_observation(&net, snapshot),
+                    "factorization broke for {w} / {snapshot:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -127,6 +127,13 @@ impl QLearningAgent {
         self.updates
     }
 
+    /// The policy's current exploration probability — `params().epsilon`
+    /// until [`QLearningAgent::freeze`] pins it to zero. Decision kernels
+    /// feed this into their shared epsilon-greedy protocol.
+    pub fn epsilon(&self) -> f64 {
+        self.policy.epsilon()
+    }
+
     /// Selects an action for `state` with the epsilon-greedy policy.
     ///
     /// Returns `None` if `mask` allows no action.

@@ -19,6 +19,9 @@
 //!   uses to discretize continuous state features into the Table I buckets;
 //! * [`ConvergenceDetector`] — detects reward convergence (the paper's
 //!   Fig. 14 reports convergence within 40–50 inference runs);
+//! * [`DecisionKernel`] — swappable masked-argmax engines for the serving
+//!   hot path ([`ScalarKernel`] reference, [`PackedKernel`] lane-walker,
+//!   [`FrozenKernel`] greedy serving), all bit-identical by contract;
 //! * [`LinearQAgent`] — a linear function-approximation alternative, kept
 //!   as the measurable stand-in for the deep-RL family the paper rejects
 //!   on latency grounds.
@@ -43,6 +46,7 @@
 pub mod agent;
 pub mod convergence;
 pub mod dbscan;
+pub mod kernel;
 pub mod linear;
 pub mod policy;
 pub mod qtable;
@@ -50,6 +54,7 @@ pub mod qtable;
 pub use agent::{Hyperparameters, QLearningAgent};
 pub use convergence::ConvergenceDetector;
 pub use dbscan::{Dbscan, Discretizer};
+pub use kernel::{DecisionKernel, FrozenKernel, KernelKind, MaskSet, PackedKernel, ScalarKernel};
 pub use linear::LinearQAgent;
 pub use policy::EpsilonGreedy;
 pub use qtable::QTable;

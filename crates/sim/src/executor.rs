@@ -125,6 +125,19 @@ const ENERGY_NOISE_STD: f64 = 0.055;
 /// Memoized per-(placement, workload) roofline cost tables.
 type CostTables = BTreeMap<(Placement, Workload), NetworkCostCache>;
 
+/// Dense placement slots: three sites × every processor kind.
+const PLACEMENT_SLOTS: usize = 3 * ProcessorKind::ALL.len();
+
+/// Dense index of a placement into per-workload slot arrays.
+fn placement_slot(placement: Placement) -> usize {
+    let (site, kind) = match placement {
+        Placement::OnDevice(k) => (0, k),
+        Placement::ConnectedEdge(k) => (1, k),
+        Placement::Cloud(k) => (2, k),
+    };
+    site * ProcessorKind::ALL.len() + kind as usize
+}
+
 /// The tighter (lower) of two optional frequency-ratio caps.
 fn tighter_cap(a: Option<f64>, b: Option<f64>) -> Option<f64> {
     match (a, b) {
@@ -333,60 +346,39 @@ impl Simulator {
         let accuracy = accuracy_for(workload).at(request.precision);
 
         let outcome = match request.placement {
-            Placement::OnDevice(_) => {
-                let cond = ExecutionConditions {
-                    freq_index: request.freq_index.min(processor.dvfs().max_index()),
-                    precision: request.precision,
-                    compute_availability: snapshot.cpu_availability(),
-                    mem_availability: snapshot.mem_availability(),
-                    thermal_cap: tighter_cap(
-                        self.host.thermal().cap_for(snapshot.co_cpu),
-                        burst_cap,
-                    ),
-                };
-                let latency_ms = self
-                    .cost_cache(request.placement, workload)
-                    .latency_ms(processor, &cond);
-                let energy = power::on_device_energy_mj(
-                    processor,
-                    &cond,
-                    latency_ms,
-                    self.host.base_power_w(),
-                );
-                Outcome {
-                    latency_ms,
-                    energy_mj: energy.total_mj(),
-                    accuracy,
-                }
-            }
-            Placement::ConnectedEdge(_) => {
-                let cache = self.cost_cache(request.placement, workload);
-                self.remote_outcome(
-                    network,
-                    processor,
-                    cache,
-                    &self.tablet,
-                    &self.p2p,
-                    snapshot.p2p,
-                    request,
-                    accuracy,
-                    compute_stretch,
-                )
-            }
-            Placement::Cloud(_) => {
-                let cache = self.cost_cache(request.placement, workload);
-                self.remote_outcome(
-                    network,
-                    processor,
-                    cache,
-                    &self.cloud,
-                    &self.wlan,
-                    snapshot.wlan,
-                    request,
-                    accuracy,
-                    compute_stretch,
-                )
-            }
+            Placement::OnDevice(_) => on_device_outcome(
+                &self.host,
+                processor,
+                self.cost_cache(request.placement, workload),
+                request,
+                snapshot,
+                burst_cap,
+                accuracy,
+            ),
+            Placement::ConnectedEdge(_) => remote_outcome(
+                self.host.base_power_w(),
+                network,
+                processor,
+                self.cost_cache(request.placement, workload),
+                &self.tablet,
+                &self.p2p,
+                snapshot.p2p,
+                request,
+                accuracy,
+                compute_stretch,
+            ),
+            Placement::Cloud(_) => remote_outcome(
+                self.host.base_power_w(),
+                network,
+                processor,
+                self.cost_cache(request.placement, workload),
+                &self.cloud,
+                &self.wlan,
+                snapshot.wlan,
+                request,
+                accuracy,
+                compute_stretch,
+            ),
         };
         Ok(outcome)
     }
@@ -416,11 +408,7 @@ impl Simulator {
         let lat_noise = Normal::new(1.0, LATENCY_NOISE_STD).expect("valid normal");
         // lint:allow(panic-in-lib): the noise std constants are valid Normal parameters
         let en_noise = Normal::new(1.0, ENERGY_NOISE_STD).expect("valid normal");
-        Outcome {
-            latency_ms: expected.latency_ms * lat_noise.sample(rng).max(0.7),
-            energy_mj: expected.energy_mj * en_noise.sample(rng).max(0.7),
-            accuracy: expected.accuracy,
-        }
+        apply_noise_with(expected, &lat_noise, &en_noise, rng)
     }
 
     /// Executes a request under a fault plan, applying a resilience
@@ -584,41 +572,269 @@ impl Simulator {
         best.map(|(_, req)| req)
     }
 
-    /// Computes the outcome of an offloaded inference, per the paper's
-    /// eq. (4): radio energy for the transfers plus idle-wait energy while
-    /// the remote system computes.
-    #[allow(clippy::too_many_arguments)] // private helper mirroring eq. (4)'s terms
-    fn remote_outcome(
-        &self,
-        network: &Network,
-        processor: &Processor,
-        cache: &NetworkCostCache,
-        remote: &Device,
-        link: &LinkModel,
-        rssi: autoscale_net::Rssi,
-        request: &Request,
-        accuracy: f64,
-        compute_stretch: f64,
-    ) -> Outcome {
-        let transfer = Transfer::compute(link, network.input_bytes(), network.output_bytes(), rssi);
-        // Remote systems are uncontended and run at maximum frequency: the
-        // phone can neither observe nor control their governors. A
-        // straggler spike stretches the remote compute time (the wire
-        // time is untouched — the link is fine, the server is slow).
-        let cond = ExecutionConditions::max_frequency(processor, request.precision);
-        let remote_ms =
-            (cache.latency_ms(processor, &cond) + remote.serving_overhead_ms()) * compute_stretch;
-        let latency_ms = transfer.wire_ms() + remote_ms;
-        // Phone-side energy (eq. 4): TX + RX bursts, then base + radio-wait
-        // power for the remainder of the round trip.
-        let wait_ms = latency_ms - transfer.tx_ms - transfer.rx_ms;
-        let energy_mj = transfer.radio_energy_mj()
-            + (self.host.base_power_w() + transfer.wait_power_w) * wait_ms;
-        Outcome {
-            latency_ms,
-            energy_mj,
-            accuracy,
+    /// Prepares the executor's batch interface for one workload: every
+    /// per-workload lookup (network, recurrent-support flag, accuracy
+    /// table, per-placement processor and roofline cache, noise
+    /// distributions) resolved once, so a serving loop issuing thousands
+    /// of requests for the same workload pays none of them per request.
+    pub fn prepare(&self, workload: Workload) -> PreparedExecutor<'_> {
+        let network = self.network(workload);
+        let mut slots = [None; PLACEMENT_SLOTS];
+        type Slot<'a> = (&'a Device, fn(ProcessorKind) -> Placement);
+        let sites: [Slot<'_>; 3] = [
+            (&self.host, Placement::OnDevice),
+            (&self.tablet, Placement::ConnectedEdge),
+            (&self.cloud, Placement::Cloud),
+        ];
+        for (device, placement_for) in sites {
+            for kind in ProcessorKind::ALL {
+                if let Some(processor) = device.processor(kind) {
+                    let placement = placement_for(kind);
+                    slots[placement_slot(placement)] =
+                        Some((processor, self.cost_cache(placement, workload)));
+                }
+            }
         }
+        // lint:allow(panic-in-lib): the noise std constants are valid Normal parameters
+        let lat_noise = Normal::new(1.0, LATENCY_NOISE_STD).expect("valid normal");
+        // lint:allow(panic-in-lib): the noise std constants are valid Normal parameters
+        let en_noise = Normal::new(1.0, ENERGY_NOISE_STD).expect("valid normal");
+        PreparedExecutor {
+            sim: self,
+            workload,
+            network,
+            recurrent: network.has_recurrent_layers(),
+            accuracy: accuracy_for(workload),
+            slots,
+            lat_noise,
+            en_noise,
+        }
+    }
+}
+
+/// Computes the outcome of an on-device inference: roofline latency under
+/// the current execution conditions plus the phone's compute energy.
+fn on_device_outcome(
+    host: &Device,
+    processor: &Processor,
+    cache: &NetworkCostCache,
+    request: &Request,
+    snapshot: &Snapshot,
+    burst_cap: Option<f64>,
+    accuracy: f64,
+) -> Outcome {
+    let cond = ExecutionConditions {
+        freq_index: request.freq_index.min(processor.dvfs().max_index()),
+        precision: request.precision,
+        compute_availability: snapshot.cpu_availability(),
+        mem_availability: snapshot.mem_availability(),
+        thermal_cap: tighter_cap(host.thermal().cap_for(snapshot.co_cpu), burst_cap),
+    };
+    let latency_ms = cache.latency_ms(processor, &cond);
+    let energy = power::on_device_energy_mj(processor, &cond, latency_ms, host.base_power_w());
+    Outcome {
+        latency_ms,
+        energy_mj: energy.total_mj(),
+        accuracy,
+    }
+}
+
+/// Computes the outcome of an offloaded inference, per the paper's
+/// eq. (4): radio energy for the transfers plus idle-wait energy while
+/// the remote system computes.
+#[allow(clippy::too_many_arguments)] // private helper mirroring eq. (4)'s terms
+fn remote_outcome(
+    host_base_power_w: f64,
+    network: &Network,
+    processor: &Processor,
+    cache: &NetworkCostCache,
+    remote: &Device,
+    link: &LinkModel,
+    rssi: autoscale_net::Rssi,
+    request: &Request,
+    accuracy: f64,
+    compute_stretch: f64,
+) -> Outcome {
+    let transfer = Transfer::compute(link, network.input_bytes(), network.output_bytes(), rssi);
+    // Remote systems are uncontended and run at maximum frequency: the
+    // phone can neither observe nor control their governors. A
+    // straggler spike stretches the remote compute time (the wire
+    // time is untouched — the link is fine, the server is slow).
+    let cond = ExecutionConditions::max_frequency(processor, request.precision);
+    let remote_ms =
+        (cache.latency_ms(processor, &cond) + remote.serving_overhead_ms()) * compute_stretch;
+    let latency_ms = transfer.wire_ms() + remote_ms;
+    // Phone-side energy (eq. 4): TX + RX bursts, then base + radio-wait
+    // power for the remainder of the round trip.
+    let wait_ms = latency_ms - transfer.tx_ms - transfer.rx_ms;
+    let energy_mj =
+        transfer.radio_energy_mj() + (host_base_power_w + transfer.wait_power_w) * wait_ms;
+    Outcome {
+        latency_ms,
+        energy_mj,
+        accuracy,
+    }
+}
+
+/// Applies measurement noise with pre-built distributions. Always draws
+/// exactly two values from `rng` — the fixed per-execution stream rate
+/// every caller (and the determinism contract) relies on.
+fn apply_noise_with(
+    expected: Outcome,
+    lat_noise: &Normal,
+    en_noise: &Normal,
+    rng: &mut StdRng,
+) -> Outcome {
+    Outcome {
+        latency_ms: expected.latency_ms * lat_noise.sample(rng).max(0.7),
+        energy_mj: expected.energy_mj * en_noise.sample(rng).max(0.7),
+        accuracy: expected.accuracy,
+    }
+}
+
+/// The executor's batch interface: a per-workload view of the simulator
+/// with every workload-constant lookup hoisted out of the request path.
+///
+/// Built by [`Simulator::prepare`] once per (session, workload) and used
+/// for every request in the batch. Outcomes are bit-identical to the
+/// corresponding [`Simulator`] methods — both run the same private
+/// outcome helpers on the same memoized cost tables, and the noise
+/// distributions carry the same parameters — which
+/// `executor::tests::prepared_executor_matches_the_simulator` pins.
+#[derive(Debug, Clone)]
+pub struct PreparedExecutor<'a> {
+    sim: &'a Simulator,
+    workload: Workload,
+    network: &'a Network,
+    /// Whether the workload has recurrent layers (feasibility gating).
+    recurrent: bool,
+    accuracy: autoscale_nn::AccuracyTable,
+    /// `(processor, cost cache)` per placement slot; `None` where the
+    /// site has no processor of that kind.
+    slots: [Option<(&'a Processor, &'a NetworkCostCache)>; PLACEMENT_SLOTS],
+    lat_noise: Normal,
+    en_noise: Normal,
+}
+
+impl<'a> PreparedExecutor<'a> {
+    /// The workload this view serves.
+    pub fn workload(&self) -> Workload {
+        self.workload
+    }
+
+    /// The underlying simulator.
+    pub fn simulator(&self) -> &'a Simulator {
+        self.sim
+    }
+
+    /// The feasibility-checked (processor, cost cache) pair of a request.
+    fn checked_slot(
+        &self,
+        request: &Request,
+    ) -> Result<(&'a Processor, &'a NetworkCostCache), ExecutionError> {
+        let placement = request.placement;
+        let (processor, cache) = self.slots[placement_slot(placement)]
+            .ok_or(ExecutionError::NoSuchProcessor(placement))?;
+        if !processor.supports_precision(request.precision) {
+            return Err(ExecutionError::UnsupportedPrecision(placement));
+        }
+        if self.recurrent && !processor.runs_recurrent() {
+            return Err(ExecutionError::RecurrentUnsupported(placement));
+        }
+        Ok((processor, cache))
+    }
+
+    /// [`Simulator::execute_expected`] through the prepared view.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExecutionError`] if the request is infeasible.
+    pub fn execute_expected(
+        &self,
+        request: &Request,
+        snapshot: &Snapshot,
+    ) -> Result<Outcome, ExecutionError> {
+        let (processor, cache) = self.checked_slot(request)?;
+        let accuracy = self.accuracy.at(request.precision);
+        let outcome = match request.placement {
+            Placement::OnDevice(_) => on_device_outcome(
+                &self.sim.host,
+                processor,
+                cache,
+                request,
+                snapshot,
+                None,
+                accuracy,
+            ),
+            Placement::ConnectedEdge(_) => remote_outcome(
+                self.sim.host.base_power_w(),
+                self.network,
+                processor,
+                cache,
+                &self.sim.tablet,
+                &self.sim.p2p,
+                snapshot.p2p,
+                request,
+                accuracy,
+                1.0,
+            ),
+            Placement::Cloud(_) => remote_outcome(
+                self.sim.host.base_power_w(),
+                self.network,
+                processor,
+                cache,
+                &self.sim.cloud,
+                &self.sim.wlan,
+                snapshot.wlan,
+                request,
+                accuracy,
+                1.0,
+            ),
+        };
+        Ok(outcome)
+    }
+
+    /// [`Simulator::execute_measured`] through the prepared view: the
+    /// expected outcome with the same two noise draws applied.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExecutionError`] if the request is infeasible.
+    pub fn execute_measured(
+        &self,
+        request: &Request,
+        snapshot: &Snapshot,
+        rng: &mut StdRng,
+    ) -> Result<Outcome, ExecutionError> {
+        let expected = self.execute_expected(request, snapshot)?;
+        Ok(apply_noise_with(
+            expected,
+            &self.lat_noise,
+            &self.en_noise,
+            rng,
+        ))
+    }
+
+    /// [`Simulator::execute_resilient`] for this view's workload. Fault
+    /// handling is rare and branchy, so it delegates to the simulator's
+    /// full path rather than duplicating it — the clean-path speedup is
+    /// where batching pays.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExecutionError`] if the request is infeasible, or
+    /// [`ExecutionError::NoLocalFallback`] if an exhausted offload has no
+    /// feasible local substitute.
+    pub fn execute_resilient(
+        &self,
+        request: &Request,
+        snapshot: &Snapshot,
+        faults: &RequestFaults,
+        policy: &ResiliencePolicy,
+        rng: &mut StdRng,
+    ) -> Result<ResilientOutcome, ExecutionError> {
+        self.sim
+            .execute_resilient(self.workload, request, snapshot, faults, policy, rng)
     }
 }
 
@@ -1043,6 +1259,88 @@ mod tests {
             .best_local_fallback(Workload::MobileBert, &Snapshot::calm(), None)
             .unwrap();
         assert_eq!(best.placement, Placement::OnDevice(ProcessorKind::Cpu));
+    }
+
+    #[test]
+    fn prepared_executor_matches_the_simulator() {
+        // The batch interface must be bit-identical to the per-request
+        // API: same outcomes, same errors, same RNG draws.
+        let sim = sim();
+        let calm = Snapshot::calm();
+        let busy = Snapshot::new(0.6, 0.3, calm.wlan, calm.p2p);
+        for w in [
+            Workload::MobileNetV1,
+            Workload::ResNet50,
+            Workload::MobileBert,
+        ] {
+            let prepared = sim.prepare(w);
+            assert_eq!(prepared.workload(), w);
+            for site in [
+                Placement::OnDevice as fn(ProcessorKind) -> Placement,
+                Placement::ConnectedEdge,
+                Placement::Cloud,
+            ] {
+                for kind in ProcessorKind::ALL {
+                    for precision in Precision::ALL {
+                        let placement = site(kind);
+                        if sim.processor_for(placement).is_none() {
+                            let req = Request {
+                                placement,
+                                precision,
+                                freq_index: 0,
+                            };
+                            assert_eq!(
+                                prepared.execute_expected(&req, &calm),
+                                sim.execute_expected(w, &req, &calm)
+                            );
+                            continue;
+                        }
+                        let req = max_req(&sim, placement, precision);
+                        for snapshot in [&calm, &busy] {
+                            assert_eq!(
+                                prepared.execute_expected(&req, snapshot),
+                                sim.execute_expected(w, &req, snapshot),
+                                "{w} {placement} {precision:?}"
+                            );
+                            let mut rng_a = StdRng::seed_from_u64(31);
+                            let mut rng_b = StdRng::seed_from_u64(31);
+                            assert_eq!(
+                                prepared.execute_measured(&req, snapshot, &mut rng_a),
+                                sim.execute_measured(w, &req, snapshot, &mut rng_b),
+                            );
+                            assert_eq!(rng_a, rng_b, "draw counts diverged");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_resilient_matches_the_simulator() {
+        let sim = sim();
+        let prepared = sim.prepare(Workload::ResNet50);
+        let policy = crate::faults::ResiliencePolicy::for_qos(50.0);
+        let mut faults = crate::faults::RequestFaults::none(0);
+        faults.cloud.attempts[0] = Some(autoscale_net::OutageKind::Dropout);
+        let req = max_req(&sim, Placement::Cloud(ProcessorKind::Gpu), Precision::Fp32);
+        let mut rng_a = StdRng::seed_from_u64(8);
+        let mut rng_b = StdRng::seed_from_u64(8);
+        let a = prepared
+            .execute_resilient(&req, &Snapshot::calm(), &faults, &policy, &mut rng_a)
+            .unwrap();
+        let b = sim
+            .execute_resilient(
+                Workload::ResNet50,
+                &req,
+                &Snapshot::calm(),
+                &faults,
+                &policy,
+                &mut rng_b,
+            )
+            .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(rng_a, rng_b);
     }
 
     #[test]

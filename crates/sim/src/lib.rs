@@ -59,7 +59,7 @@ pub mod snapshot;
 pub mod trace;
 
 pub use environment::{Environment, EnvironmentId};
-pub use executor::{ExecutionError, Outcome, ResilientOutcome, Simulator};
+pub use executor::{ExecutionError, Outcome, PreparedExecutor, ResilientOutcome, Simulator};
 pub use faults::{FaultInjector, FaultProfile, LinkFaults, RequestFaults, ResiliencePolicy};
 pub use interference::InterferenceProcess;
 pub use request::{Placement, Request};

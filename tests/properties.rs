@@ -3,7 +3,10 @@
 use autoscale::prelude::*;
 use autoscale::state::State;
 use autoscale_net::Rssi;
-use autoscale_rl::{Hyperparameters, QLearningAgent, QTable};
+use autoscale_rl::{
+    DecisionKernel, FrozenKernel, Hyperparameters, KernelKind, MaskSet, PackedKernel,
+    QLearningAgent, QTable, ScalarKernel,
+};
 use proptest::prelude::*;
 
 fn arb_snapshot() -> impl Strategy<Value = Snapshot> {
@@ -170,6 +173,82 @@ proptest! {
     }
 }
 
+/// A Q-table with the given row-major logical values.
+fn table_from(states: usize, actions: usize, values: &[f64]) -> QTable {
+    let mut q = QTable::new_zeroed(states, actions);
+    for s in 0..states {
+        for a in 0..actions {
+            q.set(s, a, values[s * actions + a]);
+        }
+    }
+    q
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every decision kernel is decision-for-decision AND draw-for-draw
+    /// identical to the scalar reference, for arbitrary Q-values, masks
+    /// (including all-masked) and epsilon values. The RNG-state equality
+    /// is the stronger half: a kernel that picked the same action while
+    /// drawing differently would silently desynchronize every later
+    /// decision of a session.
+    #[test]
+    fn kernels_agree_with_the_scalar_reference(
+        values in prop::collection::vec(-100.0..100.0f64, 2 * 66),
+        mask in prop::collection::vec(any::<bool>(), 66),
+        epsilon in prop::sample::select(vec![0.0, 0.1, 0.5, 1.0]),
+        seed in any::<u64>(),
+        state in 0usize..2,
+    ) {
+        let q = table_from(2, 66, &values);
+        let mask_set = MaskSet::from_bools(&mask);
+        let mut reference_rng = autoscale::seeded_rng(seed);
+        let reference = ScalarKernel.select(&q, state, &mask_set, epsilon, &mut reference_rng);
+        match reference {
+            Some(a) => prop_assert!(mask[a], "scalar picked a masked action"),
+            None => prop_assert!(mask.iter().all(|&m| !m), "None only on an empty mask"),
+        }
+        let kernels: [&dyn DecisionKernel; 2] = [&PackedKernel, &FrozenKernel];
+        for kernel in kernels {
+            let mut rng = autoscale::seeded_rng(seed);
+            let picked = kernel.select(&q, state, &mask_set, epsilon, &mut rng);
+            prop_assert_eq!(picked, reference);
+            prop_assert!(
+                rng == reference_rng,
+                "kernel {:?} perturbed the draw stream",
+                kernel.kind()
+            );
+        }
+    }
+
+    /// Tie-heavy rows (three distinct values over 66 actions) resolve to
+    /// the lowest allowed index of the maximum in every kernel.
+    #[test]
+    fn kernels_resolve_ties_at_the_lowest_allowed_index(
+        values in prop::collection::vec(prop::sample::select(vec![-1.0f64, 0.0, 1.0]), 66),
+        mask in prop::collection::vec(any::<bool>(), 66),
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(mask.iter().any(|&m| m));
+        let q = table_from(1, 66, &values);
+        let mask_set = MaskSet::from_bools(&mask);
+        let mut expected: Option<(usize, f64)> = None;
+        for (a, &allow) in mask.iter().enumerate() {
+            if allow && expected.is_none_or(|(_, best)| values[a] > best) {
+                expected = Some((a, values[a]));
+            }
+        }
+        let expected = expected.map(|(a, _)| a);
+        let kernels: [&dyn DecisionKernel; 3] = [&ScalarKernel, &PackedKernel, &FrozenKernel];
+        for kernel in kernels {
+            let mut rng = autoscale::seeded_rng(seed);
+            let picked = kernel.select(&q, 0, &mask_set, 0.0, &mut rng);
+            prop_assert_eq!(picked, expected);
+        }
+    }
+}
+
 /// An arbitrary fault profile: every rate spans [0, 1] (including the
 /// degenerate all-fail and all-clear corners), windows up to 6 requests,
 /// stragglers up to 8x, bursts up to 50 °C.
@@ -219,6 +298,16 @@ fn arb_fault_profile() -> impl Strategy<Value = FaultProfile> {
 
 /// A faulted serving run over a 4-session fleet.
 fn faulted_serve(profile: FaultProfile, seed: u64, shards: usize) -> ServeReport {
+    faulted_serve_kernel(profile, seed, shards, KernelKind::Scalar)
+}
+
+/// [`faulted_serve`] through an explicit decision kernel.
+fn faulted_serve_kernel(
+    profile: FaultProfile,
+    seed: u64,
+    shards: usize,
+    kernel: KernelKind,
+) -> ServeReport {
     let sim = Simulator::new(DeviceId::Mi8Pro);
     let mix = ScenarioMix::static_envs();
     let config = ServeConfig {
@@ -227,6 +316,7 @@ fn faulted_serve(profile: FaultProfile, seed: u64, shards: usize) -> ServeReport
         shards: Some(shards),
         base_seed: seed,
         faults: profile,
+        kernel,
         ..ServeConfig::fleet()
     };
     serve(&sim, &mix, &config, None).expect("faulted fleets never error")
@@ -258,6 +348,12 @@ proptest! {
             let sharded = faulted_serve(profile, seed, shards);
             prop_assert_eq!(&sharded.sessions, &reference.sessions);
         }
+        // The kernel dimension of the same contract: under any fault
+        // profile, every decision kernel reproduces the scalar fleet.
+        for kernel in [KernelKind::Packed, KernelKind::Frozen] {
+            let keyed = faulted_serve_kernel(profile, seed, 2, kernel);
+            prop_assert_eq!(&keyed.sessions, &reference.sessions);
+        }
     }
 
     /// The injector draws a fixed number of values per request, so its
@@ -273,6 +369,44 @@ proptest! {
         let a: Vec<String> = (0..10).map(|_| short.next_faults().to_string()).collect();
         let b: Vec<String> = (0..40).map(|_| long.next_faults().to_string()).collect();
         prop_assert_eq!(&a[..], &b[..10]);
+    }
+
+    /// Prefix stability survives the batched execution path: driving the
+    /// per-workload [`autoscale_sim::PreparedExecutor`] with the plans of
+    /// a 10-request schedule produces the same outcomes — and consumes
+    /// the same session-RNG draws — as driving it with the first 10 plans
+    /// of a 40-request schedule. Batching amortizes dispatch; it must not
+    /// change when fault plans are drawn or how they are applied.
+    #[test]
+    fn batched_resilient_execution_is_prefix_stable(
+        profile in arb_fault_profile(),
+        seed in any::<u64>(),
+    ) {
+        let sim = Simulator::new(DeviceId::Mi8Pro);
+        let prepared = sim.prepare(Workload::MobileNetV1);
+        let request = Request::at_max_frequency(
+            &sim,
+            Placement::Cloud(ProcessorKind::Cpu),
+            Precision::Fp32,
+        );
+        let policy = ResiliencePolicy::for_qos(50.0);
+        let snapshot = Snapshot::calm();
+        let mut short = FaultInjector::new(profile, seed);
+        let mut long = FaultInjector::new(profile, seed);
+        let long_plans: Vec<_> = (0..40).map(|_| long.next_faults()).collect();
+        let mut short_rng = autoscale::seeded_rng(seed ^ 0x5e5510);
+        let mut long_rng = autoscale::seeded_rng(seed ^ 0x5e5510);
+        for plan_from_long in long_plans.iter().take(10) {
+            let plan_from_short = short.next_faults();
+            let a = prepared
+                .execute_resilient(&request, &snapshot, &plan_from_short, &policy, &mut short_rng)
+                .expect("cloud CPU FP32 always runs");
+            let b = prepared
+                .execute_resilient(&request, &snapshot, plan_from_long, &policy, &mut long_rng)
+                .expect("cloud CPU FP32 always runs");
+            prop_assert_eq!(a, b);
+            prop_assert!(short_rng == long_rng, "prefix draws diverged");
+        }
     }
 }
 
