@@ -116,24 +116,29 @@ fn best_of(runs: &[KernelRun]) -> &KernelRun {
         .expect("at least one kernel raced")
 }
 
-/// Extracts the committed `best_decisions_per_sec` from a previously
-/// written `BENCH_serve.json` without a JSON parser dependency.
-fn committed_best(path: &str) -> f64 {
-    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-        eprintln!("--gate: cannot read {path}: {e}");
-        std::process::exit(2);
-    });
-    let key = "\"best_decisions_per_sec\":";
-    let Some(at) = text.find(key) else {
-        eprintln!("--gate: {path} has no best_decisions_per_sec (regenerate it with `cargo run --release -p autoscale-bench --bin bench_serve`)");
-        std::process::exit(2);
-    };
-    let rest = text[at + key.len()..].trim_start();
+/// Extracts a committed numeric field from a previously written
+/// `BENCH_serve.json` without a JSON parser dependency.
+fn committed_number(text: &str, key: &str) -> Option<f64> {
+    let marker = format!("\"{key}\":");
+    let at = text.find(&marker)?;
+    let rest = text[at + marker.len()..].trim_start();
     let end = rest
         .find(|c: char| !(c.is_ascii_digit() || c == '.'))
         .unwrap_or(rest.len());
-    rest[..end].parse().unwrap_or_else(|e| {
-        eprintln!("--gate: malformed best_decisions_per_sec in {path}: {e}");
+    rest[..end].parse().ok()
+}
+
+/// Extracts a committed string field (`"key": "value"`) the same way.
+fn committed_string(text: &str, key: &str) -> Option<String> {
+    let marker = format!("\"{key}\":");
+    let at = text.find(&marker)?;
+    let rest = text[at + marker.len()..].trim_start().strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+fn committed_best(text: &str, path: &str) -> f64 {
+    committed_number(text, "best_decisions_per_sec").unwrap_or_else(|| {
+        eprintln!("--gate: {path} has no best_decisions_per_sec (regenerate it with `cargo run --release -p autoscale-bench --bin bench_serve`)");
         std::process::exit(2);
     })
 }
@@ -177,7 +182,14 @@ fn main() {
     let cores = default_threads();
 
     if let Some(path) = gate {
-        let committed = committed_best(&path);
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("--gate: cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        let committed = committed_best(&text, &path);
+        if let Some(committed_cores) = committed_number(&text, "cores") {
+            println!("cores: {cores} here vs {committed_cores:.0} when the baseline was committed");
+        }
         let runs = race_kernels(
             &sim,
             &mix,
@@ -203,6 +215,35 @@ fn main() {
                 best.kernel, best.decisions_per_sec, committed, floor
             );
             std::process::exit(1);
+        }
+        // The committed winner must still be competitive in a fresh race:
+        // if another kernel now beats it by more than the gate tolerance,
+        // the ranking regressed (e.g. a fast path was lost) even though
+        // absolute throughput may still clear the floor.
+        if let Some(name) = committed_string(&text, "best_kernel") {
+            match runs.iter().find(|r| r.kernel.to_string() == name) {
+                None => {
+                    eprintln!("--gate: committed best_kernel `{name}` is not a known kernel");
+                    std::process::exit(2);
+                }
+                Some(recorded) => {
+                    let kernel_floor = best.decisions_per_sec * 0.8;
+                    if recorded.decisions_per_sec < kernel_floor {
+                        eprintln!(
+                            "perf gate FAILED: committed best kernel ({name}) served {:.0} \
+                             decisions/s, below 80% of the fresh best ({} at {:.0}).\n\
+                             The kernel ranking regressed; if intended, regenerate {path}.",
+                            recorded.decisions_per_sec, best.kernel, best.decisions_per_sec
+                        );
+                        std::process::exit(1);
+                    }
+                    println!(
+                        "kernel ranking holds: committed winner {name} at {:.0} decisions/s \
+                         vs fresh best {} at {:.0}",
+                        recorded.decisions_per_sec, best.kernel, best.decisions_per_sec
+                    );
+                }
+            }
         }
         println!(
             "perf gate passed: best kernel ({}) at {:.0} decisions/s vs committed {:.0} (floor {:.0})",
@@ -292,12 +333,24 @@ fn main() {
     }
     println!("per-session reports bit-identical across shard counts");
 
-    let base = runs[0].decisions_per_sec;
-    let best_shards = runs
-        .iter()
-        .map(|r| r.decisions_per_sec)
-        .fold(f64::MIN, f64::max);
-    println!("speedup (best vs 1 shard): {:.2}x", best_shards / base);
+    // On a single-core box every requested shard count clamps to the
+    // same serial pass, so there is exactly one run and "speedup" has no
+    // measurement behind it — report null rather than a fake 1.00x.
+    let single_core = runs.len() == 1;
+    let speedup = if single_core {
+        None
+    } else {
+        let base = runs[0].decisions_per_sec;
+        let best_shards = runs
+            .iter()
+            .map(|r| r.decisions_per_sec)
+            .fold(f64::MIN, f64::max);
+        Some(best_shards / base)
+    };
+    match speedup {
+        Some(x) => println!("speedup (best vs 1 shard): {x:.2}x"),
+        None => println!("speedup (best vs 1 shard): n/a (single effective shard)"),
+    }
 
     println!("kernel race: {race_sessions} sessions x {race_decisions} decisions, all kernels");
     let kernel_runs = race_kernels(
@@ -349,10 +402,13 @@ fn main() {
             if i + 1 < kernel_runs.len() { "," } else { "" }
         ));
     }
+    let speedup_json = match speedup {
+        Some(x) => format!("{x:.3}"),
+        None => "null".to_string(),
+    };
     let json = format!(
-        "{{\n  \"sessions\": {sessions},\n  \"decisions_per_session\": {decisions},\n  \"cores\": {cores},\n  \"fleet_digest\": {},\n  \"speedup_best_vs_1\": {:.3},\n  \"runs\": [\n{entries}  ],\n  \"kernel_race\": {{\n    \"sessions\": {race_sessions},\n    \"decisions_per_session\": {race_decisions},\n    \"kernels\": [\n{kernel_entries}    ],\n    \"best_kernel\": \"{}\",\n    \"best_decisions_per_sec\": {:.1}\n  }}\n}}\n",
+        "{{\n  \"sessions\": {sessions},\n  \"decisions_per_session\": {decisions},\n  \"cores\": {cores},\n  \"fleet_digest\": {},\n  \"speedup_best_vs_1\": {speedup_json},\n  \"single_core\": {single_core},\n  \"runs\": [\n{entries}  ],\n  \"kernel_race\": {{\n    \"sessions\": {race_sessions},\n    \"decisions_per_session\": {race_decisions},\n    \"cores\": {cores},\n    \"kernels\": [\n{kernel_entries}    ],\n    \"best_kernel\": \"{}\",\n    \"best_decisions_per_sec\": {:.1}\n  }}\n}}\n",
         digest.expect("at least one run"),
-        best_shards / base,
         best.kernel,
         best.decisions_per_sec
     );

@@ -59,7 +59,7 @@ fn main() {
     }
     let train_us = t.elapsed().as_secs_f64() * 1e6 / N as f64;
 
-    let table_mb = engine.agent().q_table().memory_bytes() as f64 / (1024.0 * 1024.0);
+    let table_mb = engine.agent().store().memory_bytes() as f64 / (1024.0 * 1024.0);
     let dram_gb = sim.host().dram_gb();
 
     println!("Section VI-C overhead analysis (Mi8Pro, MobileNet v3):");

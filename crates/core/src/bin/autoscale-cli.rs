@@ -8,7 +8,7 @@
 //! autoscale-cli decide   --device mi8pro --qtable qtable.json --workload resnet-50 [--env S4]
 //! autoscale-cli evaluate --device mi8pro --qtable qtable.json --workload resnet-50 --env S1|all [--runs 100] [--threads N] [--json]
 //! autoscale-cli trace    --device mi8pro --qtable qtable.json --workload resnet-50 --env D2 --runs 50 --out trace.json
-//! autoscale-cli serve    --device mi8pro [--sessions 8] [--decisions 200] [--shards N] [--mix static|all] [--qtable FILE] [--seed N] [--faults PROFILE] [--kernel KERNEL] [--json]
+//! autoscale-cli serve    --device mi8pro [--sessions 8] [--decisions 200] [--shards N] [--mix static|all] [--qtable FILE] [--seed N] [--faults PROFILE] [--kernel KERNEL] [--qstore dense|cow] [--json]
 //! ```
 //!
 //! Argument parsing is deliberately hand-rolled (`--key value` pairs) to
@@ -20,7 +20,7 @@ use std::process::ExitCode;
 use autoscale::experiment;
 use autoscale::prelude::*;
 use autoscale::scheduler::AutoScaleScheduler;
-use autoscale_rl::{KernelKind, QLearningAgent};
+use autoscale_rl::{KernelKind, QLearningAgent, QStoreKind};
 use autoscale_sim::Trace;
 
 fn main() -> ExitCode {
@@ -73,7 +73,7 @@ fn print_help() {
          \x20 serve    --device D [--sessions N] [--decisions N] [--shards N]\n\
          \x20          [--mix static|all] [--qtable FILE] [--seed N] [--json]\n\
          \x20          [--faults none|lossy-edge|lossy-cloud|flaky|stragglers|chaos]\n\
-         \x20          [--kernel scalar|packed|frozen]\n\
+         \x20          [--kernel scalar|packed|frozen] [--qstore dense|cow]\n\
          \n\
          names: devices mi8pro|galaxy-s10e|moto-x-force (suffix +npu for the\n\
          NPU/TPU extension testbed); workloads as in `workloads` output;\n\
@@ -91,7 +91,12 @@ fn print_help() {
          windows, stragglers and thermal bursts; failed offloads retry with\n\
          backoff and fall back locally, and reports stay deterministic.\n\
          --kernel picks the decision kernel — a pure speed choice; every\n\
-         kernel produces bit-identical reports and digests."
+         kernel produces bit-identical reports and digests.\n\
+         --qstore picks the Q-table backend: `dense` gives every session\n\
+         a private table; `cow` shares one immutable base (the --qtable\n\
+         warm start, or a zero table) and gives each session a sparse\n\
+         copy-on-write overlay — same decisions, a fraction of the\n\
+         memory. With --qtable the two backends are bit-identical."
     );
 }
 
@@ -483,6 +488,15 @@ fn cmd_serve(flags: &BTreeMap<String, String>) -> Result<(), String> {
             )
         })?,
     };
+    let qstore = match flags.get("qstore") {
+        None => QStoreKind::Dense,
+        Some(name) => QStoreKind::parse(name).ok_or_else(|| {
+            format!(
+                "--qstore must be one of {}, got `{name}`",
+                QStoreKind::ALL.map(|k| k.name()).join(", ")
+            )
+        })?,
+    };
     let config = ServeConfig {
         sessions,
         decisions_per_session: decisions,
@@ -491,6 +505,7 @@ fn cmd_serve(flags: &BTreeMap<String, String>) -> Result<(), String> {
         record_latency: true,
         faults,
         kernel,
+        qstore,
         ..ServeConfig::fleet()
     };
     let start = Instant::now();
@@ -545,6 +560,19 @@ fn cmd_serve(flags: &BTreeMap<String, String>) -> Result<(), String> {
             p99 as f64 / 1e3
         );
     }
+    let store = &report.store;
+    println!(
+        "memory: {} store, {:.1} KiB/session ({:.1} KiB private + {:.1} KiB shared{})",
+        store.qstore,
+        store.bytes_per_session(report.sessions.len()) / 1024.0,
+        store.private_bytes as f64 / report.sessions.len().max(1) as f64 / 1024.0,
+        store.shared_bytes as f64 / 1024.0,
+        if store.qstore == QStoreKind::Cow {
+            format!(", {} overlay rows", store.overlay_rows)
+        } else {
+            String::new()
+        }
+    );
     Ok(())
 }
 

@@ -207,10 +207,10 @@ impl AutoScaleEngine {
     ) -> Result<Self, autoscale_rl::qtable::ShapeMismatchError> {
         let states = StateSpace::paper();
         let actions = ActionSpace::for_simulator(sim);
-        if agent.q_table().states() != states.len() || agent.q_table().actions() != actions.len() {
+        if agent.store().states() != states.len() || agent.store().actions() != actions.len() {
             return Err(autoscale_rl::qtable::ShapeMismatchError {
                 expected: (states.len(), actions.len()),
-                found: (agent.q_table().states(), agent.q_table().actions()),
+                found: (agent.store().states(), agent.store().actions()),
             });
         }
         let detector = ConvergenceDetector::paper().with_min_observations(actions.len());
@@ -325,7 +325,7 @@ impl AutoScaleEngine {
         let state_index = ctx.state_base + self.states.runtime_index(snapshot);
         let action_index = kernel
             .select(
-                self.agent.q_table(),
+                self.agent.store(),
                 state_index,
                 &ctx.mask,
                 self.agent.epsilon(),
@@ -452,7 +452,7 @@ impl AutoScaleEngine {
         // no clone of the (states × actions) value array. The recipient's
         // update counter and exploration policy are untouched: a transfer
         // injects knowledge, it does not reset the agent's history.
-        let donor_q = donor.agent.q_table();
+        let donor_q = donor.agent.store();
         for a in 0..self.actions.len() {
             let request = self.actions.request(a);
             let donor_a = match donor.match_action(&request, &self.actions) {
@@ -461,7 +461,7 @@ impl AutoScaleEngine {
             };
             for s in 0..self.states.len() {
                 let v = donor_q.get(s, donor_a);
-                self.agent.q_table_mut().set(s, a, v);
+                self.agent.store_mut().set(s, a, v);
             }
         }
     }
@@ -743,8 +743,8 @@ mod tests {
             };
             for s in (0..recipient.states.len()).step_by(97) {
                 assert_eq!(
-                    recipient.agent().q_table().get(s, a),
-                    donor.agent().q_table().get(s, donor_a),
+                    recipient.agent().store().get(s, a),
+                    donor.agent().store().get(s, donor_a),
                     "state {s} action {a}"
                 );
             }

@@ -29,8 +29,10 @@ mod timing;
 pub use mix::ScenarioMix;
 pub use session::{DeviceSession, SessionReport, SessionSpec};
 
+use std::sync::Arc;
+
 use autoscale_rl::qtable::ShapeMismatchError;
-use autoscale_rl::{KernelKind, QLearningAgent};
+use autoscale_rl::{KernelKind, QLearningAgent, QStore, QStoreKind, QTable};
 use autoscale_sim::{ExecutionError, FaultProfile, Simulator};
 use serde::{Deserialize, Serialize};
 
@@ -126,6 +128,16 @@ pub struct ServeConfig {
     /// cross-kernel digest tests pin this), so serving deployments can
     /// pick the fastest without re-validating behaviour.
     pub kernel: KernelKind,
+    /// The Q-value storage backend each session's agent learns in.
+    /// [`QStoreKind::Dense`] (the default) gives every session a private
+    /// dense table; [`QStoreKind::Cow`] shares one immutable base across
+    /// the fleet (the warm-start agent's values, or a zero table) and
+    /// gives each session a sparse copy-on-write overlay. Under a common
+    /// warm start the two backends are bit-identical; without one, a
+    /// dense fleet randomly initializes each session's table from its
+    /// private seed (irreproducible from a single shared base), so a
+    /// cold cow fleet starts from the shared zero base instead.
+    pub qstore: QStoreKind,
 }
 
 impl ServeConfig {
@@ -141,7 +153,38 @@ impl ServeConfig {
             record_latency: false,
             faults: FaultProfile::none(),
             kernel: KernelKind::Scalar,
+            qstore: QStoreKind::Dense,
         }
+    }
+}
+
+/// Aggregated Q-store memory accounting for a fleet, reported beside the
+/// deterministic per-session results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FleetStoreStats {
+    /// The backend every session ran on.
+    pub qstore: QStoreKind,
+    /// Sum of per-session private bytes (tables or overlays).
+    pub private_bytes: u64,
+    /// Bytes of the shared base table, counted once for the whole fleet
+    /// (zero for a dense fleet).
+    pub shared_bytes: u64,
+    /// Total materialized overlay rows across the fleet (zero for a
+    /// dense fleet).
+    pub overlay_rows: u64,
+    /// The largest single session's private bytes — the per-session
+    /// worst case capacity planning needs.
+    pub max_session_private_bytes: u64,
+}
+
+impl FleetStoreStats {
+    /// Resident Q-storage bytes per session: the shared base amortized
+    /// over the fleet plus the mean private overlay/table.
+    pub fn bytes_per_session(&self, sessions: usize) -> f64 {
+        if sessions == 0 {
+            return 0.0;
+        }
+        (self.private_bytes + self.shared_bytes) as f64 / sessions as f64
     }
 }
 
@@ -155,6 +198,10 @@ pub struct ServeReport {
     /// Decision latencies in nanoseconds, concatenated in session order;
     /// empty unless latency recording was on.
     pub latencies_ns: Vec<u64>,
+    /// Aggregated Q-store memory accounting for the fleet. Purely
+    /// observational — identical decision traces are produced whatever
+    /// the backend, so this lives beside the sessions, not inside them.
+    pub store: FleetStoreStats,
 }
 
 impl ServeReport {
@@ -228,10 +275,10 @@ pub fn validate_warm_start(
 ) -> Result<(), ShapeMismatchError> {
     let states = StateSpace::paper().len();
     let actions = ActionSpace::for_simulator(sim).len();
-    if agent.q_table().states() != states || agent.q_table().actions() != actions {
+    if agent.store().states() != states || agent.store().actions() != actions {
         return Err(ShapeMismatchError {
             expected: (states, actions),
-            found: (agent.q_table().states(), agent.q_table().actions()),
+            found: (agent.store().states(), agent.store().actions()),
         });
     }
     Ok(())
@@ -276,29 +323,77 @@ pub fn serve(
     if let Some(agent) = warm_start {
         validate_warm_start(sim, agent)?;
     }
+    // A copy-on-write fleet shares one immutable base table, built once:
+    // the warm-start agent's flattened values, or a zero table for a
+    // cold fleet. Sessions only pay for the rows they write.
+    let cow_base: Option<Arc<QTable>> = match config.qstore {
+        QStoreKind::Dense => None,
+        QStoreKind::Cow => Some(match warm_start {
+            Some(agent) => agent.shared_base(),
+            None => Arc::new(QTable::new_zeroed(
+                StateSpace::paper().len(),
+                ActionSpace::for_simulator(sim).len(),
+            )),
+        }),
+    };
     let specs = session_specs(mix, config);
     let shards = resolve_threads(config.shards);
     let results = run_cells(shards, config.base_seed, &specs, |cell| {
-        DeviceSession::with_faults(
-            sim,
-            *cell.spec,
-            config.engine,
-            warm_start,
-            cell.seed,
-            config.faults,
-        )?
-        .run_with_kernel(config.record_latency, config.kernel)
+        let session = match &cow_base {
+            None => DeviceSession::with_faults(
+                sim,
+                *cell.spec,
+                config.engine,
+                warm_start,
+                cell.seed,
+                config.faults,
+            )?,
+            Some(base) => {
+                let agent = match warm_start {
+                    // Same values, params, policy state and update count
+                    // as the dense clone — just overlay-backed.
+                    Some(warm) => warm.overlay_variant(base)?,
+                    None => QLearningAgent::with_store(
+                        QStore::cow(base.clone()),
+                        config.engine.hyperparameters,
+                    ),
+                };
+                DeviceSession::with_store(
+                    sim,
+                    *cell.spec,
+                    config.engine,
+                    agent,
+                    cell.seed,
+                    config.faults,
+                )?
+            }
+        };
+        session.run_with_kernel(config.record_latency, config.kernel)
     });
     let mut sessions = Vec::with_capacity(results.len());
     let mut latencies_ns = Vec::new();
+    let mut store = FleetStoreStats {
+        qstore: config.qstore,
+        private_bytes: 0,
+        shared_bytes: 0,
+        overlay_rows: 0,
+        max_session_private_bytes: 0,
+    };
     for result in results {
-        let (report, latencies) = result?;
+        let (report, latencies, stats) = result?;
+        store.private_bytes += stats.private_bytes;
+        store.overlay_rows += stats.overlay_rows;
+        store.max_session_private_bytes = store.max_session_private_bytes.max(stats.private_bytes);
+        // Every cow session shares the same base, so it is counted once
+        // for the fleet rather than summed per session.
+        store.shared_bytes = store.shared_bytes.max(stats.shared_bytes);
         sessions.push(report);
         latencies_ns.extend(latencies);
     }
     Ok(ServeReport {
         sessions,
         latencies_ns,
+        store,
     })
 }
 
@@ -560,6 +655,130 @@ mod tests {
                 }
             }
         }
+    }
+
+    fn paper_shaped_warm_agent(sim: &Simulator) -> QLearningAgent {
+        QLearningAgent::with_table(
+            QTable::new_random(
+                StateSpace::paper().len(),
+                ActionSpace::for_simulator(sim).len(),
+                0xba5e,
+            ),
+            EngineConfig::paper().hyperparameters,
+        )
+    }
+
+    #[test]
+    fn cow_fleets_are_bit_identical_to_dense_under_a_common_warm_start() {
+        // The fleet-memory contract: under a common warm start, the
+        // copy-on-write backend reproduces the dense fleet byte for byte
+        // across every kernel, shard count, and fault profile.
+        let sim = Simulator::new(DeviceId::Mi8Pro);
+        let mix = ScenarioMix::static_envs();
+        let warm = paper_shaped_warm_agent(&sim);
+        for faults in [FaultProfile::none(), FaultProfile::chaos()] {
+            let dense = serve(
+                &sim,
+                &mix,
+                &ServeConfig {
+                    faults,
+                    ..small_config(Some(1))
+                },
+                Some(&warm),
+            )
+            .unwrap();
+            for kernel in KernelKind::ALL {
+                for shards in [Some(1), Some(4), Some(8)] {
+                    let cow = serve(
+                        &sim,
+                        &mix,
+                        &ServeConfig {
+                            qstore: QStoreKind::Cow,
+                            faults,
+                            kernel,
+                            ..small_config(shards)
+                        },
+                        Some(&warm),
+                    )
+                    .unwrap();
+                    assert_eq!(
+                        cow.sessions, dense.sessions,
+                        "{kernel} × {shards:?} shards × {faults:?}"
+                    );
+                    assert_eq!(cow.digest(), dense.digest());
+                    assert_eq!(cow.store.qstore, QStoreKind::Cow);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cow_fleet_stats_account_for_the_shared_base() {
+        let sim = Simulator::new(DeviceId::Mi8Pro);
+        let mix = ScenarioMix::static_envs();
+        let warm = paper_shaped_warm_agent(&sim);
+        let dense = serve(&sim, &mix, &small_config(Some(2)), Some(&warm)).unwrap();
+        let cow = serve(
+            &sim,
+            &mix,
+            &ServeConfig {
+                qstore: QStoreKind::Cow,
+                ..small_config(Some(2))
+            },
+            Some(&warm),
+        )
+        .unwrap();
+        assert_eq!(dense.store.qstore, QStoreKind::Dense);
+        assert_eq!(dense.store.shared_bytes, 0);
+        assert_eq!(dense.store.overlay_rows, 0);
+        // Each session wrote rows, and the overlays stay tiny next to the
+        // full table every dense session carries privately.
+        assert!(cow.store.overlay_rows > 0, "sessions wrote overlay rows");
+        assert_eq!(
+            cow.store.shared_bytes,
+            dense.store.max_session_private_bytes
+        );
+        assert!(
+            cow.store.private_bytes * 10 < dense.store.private_bytes,
+            "cow private {} vs dense private {}",
+            cow.store.private_bytes,
+            dense.store.private_bytes
+        );
+        assert!(
+            cow.store.bytes_per_session(cow.sessions.len())
+                < dense.store.bytes_per_session(dense.sessions.len()),
+            "sharing the base must already pay off at 6 sessions"
+        );
+    }
+
+    #[test]
+    fn cold_cow_fleet_runs_from_a_zero_base() {
+        // Without a warm start there is no single table a dense fleet's
+        // random per-session init could be rebuilt from, so a cold cow
+        // fleet starts every overlay from the same zero base instead.
+        let sim = Simulator::new(DeviceId::Mi8Pro);
+        let mix = ScenarioMix::static_envs();
+        let config = ServeConfig {
+            qstore: QStoreKind::Cow,
+            ..small_config(Some(1))
+        };
+        let report = serve(&sim, &mix, &config, None).unwrap();
+        assert_eq!(report.sessions.len(), 6);
+        assert!(report.sessions.iter().all(|s| s.decisions == 60));
+        assert_eq!(report.store.qstore, QStoreKind::Cow);
+        assert!(report.store.overlay_rows > 0);
+        // Shard invariance holds on the cold path too.
+        let sharded = serve(
+            &sim,
+            &mix,
+            &ServeConfig {
+                shards: Some(4),
+                ..config
+            },
+            None,
+        )
+        .unwrap();
+        assert_eq!(sharded.sessions, report.sessions);
     }
 
     #[test]

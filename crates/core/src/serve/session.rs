@@ -13,7 +13,8 @@
 use autoscale_nn::Workload;
 use autoscale_rl::qtable::ShapeMismatchError;
 use autoscale_rl::{
-    DecisionKernel, FrozenKernel, KernelKind, PackedKernel, QLearningAgent, ScalarKernel,
+    DecisionKernel, FrozenKernel, KernelKind, PackedKernel, QLearningAgent, QStoreStats,
+    ScalarKernel,
 };
 use autoscale_sim::{
     Environment, EnvironmentId, FaultInjector, FaultProfile, ResiliencePolicy, Simulator,
@@ -191,6 +192,47 @@ impl<'a> DeviceSession<'a> {
         })
     }
 
+    /// [`Self::with_faults`] around a fully pre-built agent — the entry
+    /// point for tiered-storage fleets, where each session's agent is a
+    /// copy-on-write overlay over a shared base table instead of a
+    /// private dense clone. The agent is taken by value (it is this
+    /// session's private learner); everything else — seed streams, fault
+    /// injection, QoS — matches [`Self::with_faults`] exactly, so a
+    /// dense-backed agent passed here behaves identically to the
+    /// warm-start path.
+    ///
+    /// # Errors
+    ///
+    /// Returns the shape mismatch if the agent's store was built for a
+    /// different device.
+    pub fn with_store(
+        sim: &'a Simulator,
+        spec: SessionSpec,
+        config: EngineConfig,
+        agent: QLearningAgent,
+        seed: u64,
+        faults: FaultProfile,
+    ) -> Result<Self, ShapeMismatchError> {
+        let engine_config = EngineConfig {
+            seed: cell_seed(seed, 0),
+            ..config
+        };
+        let engine = AutoScaleEngine::with_agent(sim, engine_config, agent)?;
+        let qos_ms = config.scenario_for(spec.workload).qos_ms();
+        let injector = (!faults.is_none()).then(|| FaultInjector::new(faults, cell_seed(seed, 2)));
+        Ok(DeviceSession {
+            sim,
+            spec,
+            engine,
+            env: Environment::for_id(spec.environment),
+            rng: seeded_rng(cell_seed(seed, 1)),
+            qos_ms,
+            latencies_ns: Vec::new(),
+            injector,
+            resilience: ResiliencePolicy::for_qos(qos_ms),
+        })
+    }
+
     /// Runs the session to completion: `spec.decisions` iterations of
     /// decide → execute → learn, freezing to pure exploitation once the
     /// reward converges (the paper's serving-mode switch).
@@ -198,7 +240,10 @@ impl<'a> DeviceSession<'a> {
     /// With `record_latency` the wall-clock time of each *decision* (the
     /// Q-table lookup, not the simulated inference) is captured in
     /// nanoseconds; the measurements are returned beside the
-    /// deterministic report.
+    /// deterministic report, along with the final [`QStoreStats`] of the
+    /// session's Q-value store (its memory accounting after learning —
+    /// also kept outside the report, whose serialized field set is
+    /// pinned).
     ///
     /// # Errors
     ///
@@ -207,7 +252,10 @@ impl<'a> DeviceSession<'a> {
     /// simulator rejects the chosen request — unreachable on the paper's
     /// testbeds (the engine only proposes mask-feasible requests), but
     /// surfaced as typed errors so the serving hot path never aborts.
-    pub fn run(self, record_latency: bool) -> Result<(SessionReport, Vec<u64>), ServeError> {
+    pub fn run(
+        self,
+        record_latency: bool,
+    ) -> Result<(SessionReport, Vec<u64>, QStoreStats), ServeError> {
         self.run_with_kernel(record_latency, KernelKind::Scalar)
     }
 
@@ -226,7 +274,7 @@ impl<'a> DeviceSession<'a> {
         self,
         record_latency: bool,
         kernel: KernelKind,
-    ) -> Result<(SessionReport, Vec<u64>), ServeError> {
+    ) -> Result<(SessionReport, Vec<u64>, QStoreStats), ServeError> {
         match kernel {
             KernelKind::Scalar => self.run_inner(record_latency, &ScalarKernel),
             KernelKind::Packed => self.run_inner(record_latency, &PackedKernel),
@@ -244,7 +292,7 @@ impl<'a> DeviceSession<'a> {
         mut self,
         record_latency: bool,
         kernel: &K,
-    ) -> Result<(SessionReport, Vec<u64>), ServeError> {
+    ) -> Result<(SessionReport, Vec<u64>, QStoreStats), ServeError> {
         if record_latency {
             self.latencies_ns.reserve_exact(self.spec.decisions);
         }
@@ -346,7 +394,8 @@ impl<'a> DeviceSession<'a> {
             fallbacks,
             converged_at: frozen_at,
         };
-        Ok((report, self.latencies_ns))
+        let store_stats = self.engine.agent().store().stats();
+        Ok((report, self.latencies_ns, store_stats))
     }
 }
 
@@ -390,7 +439,7 @@ mod tests {
     #[test]
     fn long_sessions_converge_and_freeze() {
         let sim = Simulator::new(DeviceId::Mi8Pro);
-        let (report, _) = session(&sim, 200, 11).run(false).expect("session runs");
+        let (report, _, _) = session(&sim, 200, 11).run(false).expect("session runs");
         assert!(report.converged_at.is_some(), "200 calm runs converge");
         assert_eq!(report.decisions, 200);
         assert!(report.mean_reward.is_finite());
@@ -404,7 +453,7 @@ mod tests {
         // shard-invariance comparisons are built from — must not carry
         // any wall-clock field.
         let sim = Simulator::new(DeviceId::Mi8Pro);
-        let (report, latencies) = session(&sim, 30, 5).run(true).expect("session runs");
+        let (report, latencies, _) = session(&sim, 30, 5).run(true).expect("session runs");
         assert_eq!(
             latencies.len(),
             30,
@@ -519,6 +568,60 @@ mod tests {
                 assert_eq!(run(kernel), reference, "{kernel} under {profile:?}");
             }
         }
+    }
+
+    #[test]
+    fn cow_store_session_matches_a_dense_warm_start() {
+        use autoscale_rl::{Hyperparameters, QStoreKind, QTable};
+        let sim = Simulator::new(DeviceId::Mi8Pro);
+        let states = crate::state::StateSpace::paper().len();
+        let actions = crate::action::ActionSpace::for_simulator(&sim).len();
+        // One shared warm agent: the dense path clones it per session,
+        // the cow path overlays its flattened base — same logical values,
+        // so the sessions must be bit-identical.
+        let warm = QLearningAgent::with_table(
+            QTable::new_random(states, actions, 0xba5e),
+            Hyperparameters::paper(),
+        );
+        let dense = DeviceSession::with_faults(
+            &sim,
+            spec(100),
+            EngineConfig::paper(),
+            Some(&warm),
+            21,
+            FaultProfile::none(),
+        )
+        .expect("matching shape")
+        .run(false)
+        .expect("session runs");
+        let base = warm.shared_base();
+        let overlay_agent = warm.overlay_variant(&base).expect("same shape");
+        let cow = DeviceSession::with_store(
+            &sim,
+            spec(100),
+            EngineConfig::paper(),
+            overlay_agent,
+            21,
+            FaultProfile::none(),
+        )
+        .expect("matching shape")
+        .run(false)
+        .expect("session runs");
+        assert_eq!(cow.0, dense.0, "reports are backend-independent");
+        let (dense_stats, cow_stats) = (dense.2, cow.2);
+        assert_eq!(dense_stats.kind, QStoreKind::Dense);
+        assert_eq!(cow_stats.kind, QStoreKind::Cow);
+        assert!(cow_stats.overlay_rows > 0, "learning materialized rows");
+        assert_eq!(
+            cow_stats.shared_bytes, dense_stats.private_bytes,
+            "the shared base costs exactly one dense table"
+        );
+        assert!(
+            cow_stats.private_bytes * 10 < dense_stats.private_bytes,
+            "overlay ({} B) must undercut dense ({} B) by >10x",
+            cow_stats.private_bytes,
+            dense_stats.private_bytes
+        );
     }
 
     #[test]

@@ -20,11 +20,14 @@
 //! states have a weak relationship due to the stochastic nature") work
 //! best; those are [`Hyperparameters::paper`].
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
 use crate::policy::EpsilonGreedy;
-use crate::qtable::QTable;
+use crate::qstore::QStore;
+use crate::qtable::{QTable, ShapeMismatchError};
 
 /// Q-learning hyperparameters (Algorithm 1's γ, µ and ε).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -75,26 +78,29 @@ impl Default for Hyperparameters {
 /// A tabular Q-learning agent over opaque state/action indices.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct QLearningAgent {
-    q: QTable,
+    q: QStore,
     params: Hyperparameters,
     policy: EpsilonGreedy,
     updates: u64,
 }
 
 impl QLearningAgent {
-    /// Creates an agent with a randomly initialized Q-table.
+    /// Creates an agent with a randomly initialized dense Q-table.
     pub fn new(states: usize, actions: usize, params: Hyperparameters, seed: u64) -> Self {
-        params.validate();
-        QLearningAgent {
-            q: QTable::new_random(states, actions, seed),
-            policy: EpsilonGreedy::new(params.epsilon),
+        QLearningAgent::with_store(
+            QStore::Dense(QTable::new_random(states, actions, seed)),
             params,
-            updates: 0,
-        }
+        )
     }
 
     /// Creates an agent around an existing (e.g. transferred) Q-table.
     pub fn with_table(q: QTable, params: Hyperparameters) -> Self {
+        QLearningAgent::with_store(QStore::Dense(q), params)
+    }
+
+    /// Creates an agent around any Q-value store — dense, or a
+    /// copy-on-write overlay over a shared base.
+    pub fn with_store(q: QStore, params: Hyperparameters) -> Self {
         params.validate();
         QLearningAgent {
             policy: EpsilonGreedy::new(params.epsilon),
@@ -104,17 +110,49 @@ impl QLearningAgent {
         }
     }
 
-    /// The agent's Q-table.
-    pub fn q_table(&self) -> &QTable {
+    /// The agent's Q-value store.
+    pub fn store(&self) -> &QStore {
         &self.q
     }
 
-    /// Mutable access to the Q-table, for in-place warm-starts such as
+    /// Mutable access to the store, for in-place warm-starts such as
     /// the engine's cross-device action-matched transfer. Writing through
-    /// this reference keeps the table's argmax cache consistent (every
-    /// write goes through [`QTable::set`]/[`QTable::add`]).
-    pub fn q_table_mut(&mut self) -> &mut QTable {
+    /// this reference keeps the argmax cache consistent (every write goes
+    /// through [`QStore::set`]/[`QStore::add`]).
+    pub fn store_mut(&mut self) -> &mut QStore {
         &mut self.q
+    }
+
+    /// Flattens this agent's current Q values into an immutable shared
+    /// base table for copy-on-write fleet members ([`QStore::cow`]).
+    pub fn shared_base(&self) -> Arc<QTable> {
+        Arc::new(self.q.to_table())
+    }
+
+    /// A copy-on-write variant of this agent: same hyperparameters, same
+    /// policy state (including a frozen ε), same update count, but backed
+    /// by an empty overlay over `base` instead of a private dense table.
+    /// When `base` holds this agent's own values (see
+    /// [`QLearningAgent::shared_base`]), the variant is behaviourally
+    /// indistinguishable from a dense clone.
+    ///
+    /// # Errors
+    ///
+    /// Returns the shape mismatch if `base` differs in size from this
+    /// agent's table.
+    pub fn overlay_variant(&self, base: &Arc<QTable>) -> Result<Self, ShapeMismatchError> {
+        if base.states() != self.q.states() || base.actions() != self.q.actions() {
+            return Err(ShapeMismatchError {
+                expected: (self.q.states(), self.q.actions()),
+                found: (base.states(), base.actions()),
+            });
+        }
+        Ok(QLearningAgent {
+            q: QStore::cow(base.clone()),
+            params: self.params,
+            policy: self.policy,
+            updates: self.updates,
+        })
     }
 
     /// The agent's hyperparameters.
@@ -173,10 +211,7 @@ impl QLearningAgent {
     /// # Errors
     ///
     /// Returns the shape-mismatch error if the tables differ in size.
-    pub fn transfer_from(
-        &mut self,
-        donor: &QLearningAgent,
-    ) -> Result<(), crate::qtable::ShapeMismatchError> {
+    pub fn transfer_from(&mut self, donor: &QLearningAgent) -> Result<(), ShapeMismatchError> {
         self.q.transfer_from(&donor.q)
     }
 
@@ -212,7 +247,7 @@ mod tests {
         let agent = train_toy(Hyperparameters::paper(), 200);
         for s in 0..2 {
             assert_eq!(agent.select_greedy(s, &[true, true]), Some(1), "state {s}");
-            assert!(agent.q_table().get(s, 1) > agent.q_table().get(s, 0));
+            assert!(agent.store().get(s, 1) > agent.store().get(s, 0));
         }
     }
 
@@ -222,7 +257,7 @@ mod tests {
             QLearningAgent::with_table(QTable::new_zeroed(2, 2), Hyperparameters::paper());
         agent.update(0, 0, 10.0, 1, &[true, true]);
         // Q was 0, bootstrap 0, so new Q = 0 + 0.9 * (10 − 0) = 9.
-        assert!((agent.q_table().get(0, 0) - 9.0).abs() < 1e-12);
+        assert!((agent.store().get(0, 0) - 9.0).abs() < 1e-12);
         assert_eq!(agent.updates(), 1);
     }
 
@@ -238,7 +273,7 @@ mod tests {
         let mut agent = QLearningAgent::with_table(q, params);
         agent.update(0, 0, 0.0, 1, &[true]);
         // Full learning rate: Q(0,0) = R + 0.5 * Q(1,0) = 50.
-        assert!((agent.q_table().get(0, 0) - 50.0).abs() < 1e-12);
+        assert!((agent.store().get(0, 0) - 50.0).abs() < 1e-12);
     }
 
     #[test]
@@ -272,7 +307,44 @@ mod tests {
         };
         let mut agent = QLearningAgent::with_table(q, params);
         agent.update(0, 0, 2.0, 1, &[false]);
-        assert!((agent.q_table().get(0, 0) - 2.0).abs() < 1e-12);
+        assert!((agent.store().get(0, 0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlay_variant_matches_a_dense_clone() {
+        let mut donor = train_toy(Hyperparameters::paper(), 200);
+        donor.freeze();
+        let base = donor.shared_base();
+        let overlay = donor.overlay_variant(&base).unwrap();
+        assert_eq!(overlay.store().kind(), crate::qstore::QStoreKind::Cow);
+        assert_eq!(overlay.epsilon(), 0.0, "frozen policy state is copied");
+        assert_eq!(overlay.updates(), donor.updates());
+        // Drive both with the same RNG stream and updates: the overlay
+        // must be behaviourally indistinguishable from a dense clone.
+        let mut dense = donor.clone();
+        let mut cow = overlay;
+        let mut rng_a = StdRng::seed_from_u64(9);
+        let mut rng_b = StdRng::seed_from_u64(9);
+        let mask = [true, true];
+        let mut state = 0;
+        for _ in 0..50 {
+            let a = dense.select_action(state, &mask, &mut rng_a).unwrap();
+            let b = cow.select_action(state, &mask, &mut rng_b).unwrap();
+            assert_eq!(a, b);
+            dense.update(state, a, 0.5, 1 - state, &mask);
+            cow.update(state, b, 0.5, 1 - state, &mask);
+            state = 1 - state;
+        }
+        assert_eq!(dense.store(), cow.store());
+    }
+
+    #[test]
+    fn overlay_variant_rejects_a_mismatched_base() {
+        let agent = QLearningAgent::new(2, 2, Hyperparameters::paper(), 0);
+        let wrong = Arc::new(QTable::new_zeroed(3, 2));
+        let err = agent.overlay_variant(&wrong).unwrap_err();
+        assert_eq!(err.expected, (2, 2));
+        assert_eq!(err.found, (3, 2));
     }
 
     #[test]

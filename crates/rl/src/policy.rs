@@ -11,7 +11,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::qtable::QTable;
+use crate::qstore::QStore;
 
 /// An epsilon-greedy action-selection policy.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -59,7 +59,7 @@ impl EpsilonGreedy {
     /// Panics if `mask.len()` differs from the table's action count.
     pub fn choose(
         &self,
-        q: &QTable,
+        q: &QStore,
         state: usize,
         mask: &[bool],
         rng: &mut StdRng,
@@ -99,12 +99,13 @@ impl Default for EpsilonGreedy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::qtable::QTable;
     use rand::SeedableRng;
 
-    fn table() -> QTable {
+    fn table() -> QStore {
         let mut q = QTable::new_zeroed(1, 4);
         q.set(0, 2, 10.0);
-        q
+        QStore::Dense(q)
     }
 
     #[test]

@@ -1,0 +1,1073 @@
+//! Tiered Q-value storage: the dense [`QTable`] plus a copy-on-write
+//! overlay backend, behind one [`QStore`] front.
+//!
+//! ## Why
+//!
+//! A fleet of serving sessions is memory-bound long before it is
+//! CPU-bound: every session owning a dense paper-scale table
+//! (3,072 × 66 → ~1.69 MB of lanes) puts 10k sessions at ~17 GB. But a
+//! session only ever *writes* the states it visits — a few dozen rows
+//! before convergence freezes the policy — while every unvisited row
+//! still holds exactly the values it started from. [`CowQTable`] makes
+//! that observation structural: an immutable shared base table
+//! (`Arc`'d, lane-aligned, built from a zero table or a donor policy)
+//! plus a private sparse overlay of materialized rows. Reads fall
+//! through to the base until the first write to a state copies that
+//! row — lanes *and* its incremental argmax cache entry — into the
+//! overlay, after which the row behaves exactly like a dense row.
+//!
+//! ## The determinism contract
+//!
+//! Every read answered by a `CowQTable` is **bit-identical** to a dense
+//! [`QTable`] holding the same logical values: `get`, `best_action`,
+//! `max_value`, the per-row lane views the decision kernels walk, and
+//! the cached [`RowMax`] they shortcut through. This is not re-derived
+//! behaviour — both backends call the same `pub(crate)` row helpers in
+//! [`crate::qtable`] (`scan_lanes`, `note_row_write`, `best_allowed`),
+//! so the tie-breaking and cache-maintenance branches are shared code.
+//! Property tests in `crates/rl/tests/properties.rs` pin the contract
+//! over arbitrary write sequences, masks and kernels.
+//!
+//! ## Persistence
+//!
+//! [`QStore`] serializes as the flattened dense wire format (`{states,
+//! actions, values}`) — stateless deserialization cannot rebind an
+//! `Arc`'d base, so an agent snapshot always carries its full logical
+//! table and restores as `Dense`. The overlay-granular format is
+//! [`OverlaySnapshot`]: the sparse deltas plus the base's
+//! [`QTable::value_digest`], restored with [`CowQTable::from_snapshot`]
+//! against an explicitly supplied base (digest- and shape-checked, so a
+//! tampered or mismatched snapshot is rejected instead of silently
+//! producing wrong Q values).
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::qtable::{
+    best_allowed, lane_values, note_row_write, scan_lanes, QLane, QTable, RowMax,
+    ShapeMismatchError, LANES,
+};
+
+/// Which storage backend a [`QStore`] uses. Carried by serving configs
+/// and benchmark records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QStoreKind {
+    /// A private dense [`QTable`] per agent.
+    Dense,
+    /// A shared immutable base plus a private copy-on-write overlay.
+    Cow,
+}
+
+impl QStoreKind {
+    /// Every backend, dense (the historical default) first.
+    pub const ALL: [QStoreKind; 2] = [QStoreKind::Dense, QStoreKind::Cow];
+
+    /// The backend's lowercase name, as used on CLIs and in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            QStoreKind::Dense => "dense",
+            QStoreKind::Cow => "cow",
+        }
+    }
+
+    /// Resolves a backend from its lowercase name.
+    pub fn parse(name: &str) -> Option<QStoreKind> {
+        QStoreKind::ALL.iter().copied().find(|k| k.name() == name)
+    }
+}
+
+impl std::fmt::Display for QStoreKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Memory accounting of one store, in the shape fleet benchmarks
+/// aggregate: what this agent owns privately vs what it shares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QStoreStats {
+    /// The storage backend.
+    pub kind: QStoreKind,
+    /// Bytes owned exclusively by this store: the dense table (lanes +
+    /// argmax cache), or the overlay's index, lane arena and row caches.
+    pub private_bytes: u64,
+    /// Bytes of the shared base table (zero for a dense store). Counted
+    /// once per fleet, not once per session.
+    pub shared_bytes: u64,
+    /// Materialized overlay rows (zero for a dense store).
+    pub overlay_rows: u64,
+}
+
+/// Open-addressed overlay slots: `EMPTY_SLOT`, or `state << 32 | row`.
+const EMPTY_SLOT: u64 = u64::MAX;
+/// Fibonacci hashing multiplier (2^64 / φ).
+const HASH_MUL: u64 = 0x9E37_79B9_7F4A_7C15;
+/// Initial slot-table capacity (power of two).
+const MIN_SLOTS: usize = 16;
+
+/// A copy-on-write Q-table: an immutable shared base plus a private
+/// sparse overlay of rows materialized on first write.
+///
+/// The overlay is an open-addressed `state → row` index (Fibonacci
+/// hashing, linear probing, grown at 3/4 load) over a lane arena that
+/// keeps each materialized row cache-line-aligned exactly like dense
+/// storage, with one [`RowMax`] argmax-cache entry per row. Lookups are
+/// O(1) expected; a store that never writes costs ~200 bytes beyond its
+/// `Arc` on the base.
+#[derive(Debug, Clone)]
+pub struct CowQTable {
+    base: Arc<QTable>,
+    /// Lanes per row, cached from the base.
+    stride: usize,
+    /// Open-addressed `state → row` slots; always a power of two long.
+    slots: Vec<u64>,
+    /// Materialized rows, `stride` lanes each, in materialization order.
+    lanes: Vec<QLane>,
+    /// Per-materialized-row argmax cache, parallel to the arena rows.
+    maxes: Vec<RowMax>,
+    /// The state each arena row shadows, parallel to `maxes`.
+    row_states: Vec<u32>,
+}
+
+impl CowQTable {
+    /// Creates an empty overlay over a shared base table.
+    pub fn new(base: Arc<QTable>) -> Self {
+        assert!(
+            base.states() < u32::MAX as usize && base.actions() < u32::MAX as usize,
+            "base table dimensions exceed the overlay's u32 index range"
+        );
+        let stride = base.stride();
+        CowQTable {
+            base,
+            stride,
+            slots: vec![EMPTY_SLOT; MIN_SLOTS],
+            lanes: Vec::new(),
+            maxes: Vec::new(),
+            row_states: Vec::new(),
+        }
+    }
+
+    /// The shared base table this overlay shadows.
+    pub fn base(&self) -> &Arc<QTable> {
+        &self.base
+    }
+
+    /// Number of states.
+    pub fn states(&self) -> usize {
+        self.base.states()
+    }
+
+    /// Number of actions.
+    pub fn actions(&self) -> usize {
+        self.base.actions()
+    }
+
+    /// Number of materialized overlay rows.
+    pub fn overlay_rows(&self) -> usize {
+        self.maxes.len()
+    }
+
+    /// Fraction of the state space this overlay has materialized.
+    pub fn occupancy(&self) -> f64 {
+        self.overlay_rows() as f64 / self.states() as f64
+    }
+
+    /// The materialized states in ascending order — the deterministic
+    /// iteration order snapshots and digests are built from.
+    pub fn overlay_states(&self) -> Vec<usize> {
+        let mut states: Vec<usize> = self.row_states.iter().map(|&s| s as usize).collect();
+        states.sort_unstable();
+        states
+    }
+
+    /// Bytes owned exclusively by this overlay: slot index, lane arena
+    /// and per-row caches (allocated capacity, which is what the fleet
+    /// actually pays), plus the struct itself.
+    pub fn private_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.slots.capacity() * std::mem::size_of::<u64>()
+            + self.lanes.capacity() * std::mem::size_of::<QLane>()
+            + self.maxes.capacity() * std::mem::size_of::<RowMax>()
+            + self.row_states.capacity() * std::mem::size_of::<u32>()
+    }
+
+    fn slot_of(&self, state: usize) -> usize {
+        let shift = 64 - self.slots.len().trailing_zeros();
+        ((state as u64).wrapping_mul(HASH_MUL) >> shift) as usize
+    }
+
+    /// The overlay row shadowing `state`, if one was materialized.
+    fn find(&self, state: usize) -> Option<usize> {
+        let mask = self.slots.len() - 1;
+        let mut i = self.slot_of(state);
+        loop {
+            let slot = self.slots[i];
+            if slot == EMPTY_SLOT {
+                return None;
+            }
+            if (slot >> 32) as usize == state {
+                return Some((slot & 0xffff_ffff) as usize);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn insert_slot(&mut self, state: usize, row: usize) {
+        let mask = self.slots.len() - 1;
+        let mut i = self.slot_of(state);
+        while self.slots[i] != EMPTY_SLOT {
+            i = (i + 1) & mask;
+        }
+        self.slots[i] = (state as u64) << 32 | row as u64;
+    }
+
+    fn grow_if_needed(&mut self) {
+        if (self.maxes.len() + 1) * 4 <= self.slots.len() * 3 {
+            return;
+        }
+        let new_cap = self.slots.len() * 2;
+        self.slots.clear();
+        self.slots.resize(new_cap, EMPTY_SLOT);
+        for (row, &state) in self.row_states.clone().iter().enumerate() {
+            self.insert_slot(state as usize, row);
+        }
+    }
+
+    /// The overlay row for `state`, materializing it — base lanes and
+    /// base argmax-cache entry copied — on first write.
+    fn row_for_write(&mut self, state: usize) -> usize {
+        if let Some(row) = self.find(state) {
+            return row;
+        }
+        self.grow_if_needed();
+        let row = self.maxes.len();
+        self.lanes.extend_from_slice(self.base.row_lines(state));
+        self.maxes.push(self.base.row_max_entry(state));
+        self.row_states.push(state as u32);
+        self.insert_slot(state, row);
+        row
+    }
+
+    fn check_index(&self, state: usize, action: usize) {
+        assert!(
+            state < self.states(),
+            "state {state} out of range ({})",
+            self.states()
+        );
+        assert!(
+            action < self.actions(),
+            "action {action} out of range ({})",
+            self.actions()
+        );
+    }
+
+    /// The lanes a read of `state` resolves to: the materialized overlay
+    /// row, or the shared base row.
+    pub(crate) fn row_lines(&self, state: usize) -> &[QLane] {
+        match self.find(state) {
+            Some(row) => &self.lanes[row * self.stride..(row + 1) * self.stride],
+            None => self.base.row_lines(state),
+        }
+    }
+
+    /// The cached lowest-index maximizer of one row (overlay or base).
+    pub(crate) fn row_max_entry(&self, state: usize) -> RowMax {
+        assert!(state < self.states(), "state out of range");
+        match self.find(state) {
+            Some(row) => self.maxes[row],
+            None => self.base.row_max_entry(state),
+        }
+    }
+
+    /// Q(S, A).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn get(&self, state: usize, action: usize) -> f64 {
+        self.check_index(state, action);
+        self.row_lines(state)[action / LANES].0[action % LANES]
+    }
+
+    /// Sets Q(S, A), materializing the row on first write.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn set(&mut self, state: usize, action: usize, value: f64) {
+        self.check_index(state, action);
+        let actions = self.actions();
+        let row = self.row_for_write(state);
+        let lanes = &mut self.lanes[row * self.stride..(row + 1) * self.stride];
+        lanes[action / LANES].0[action % LANES] = value;
+        let lanes = &self.lanes[row * self.stride..(row + 1) * self.stride];
+        note_row_write(&mut self.maxes[row], lanes, actions, action, value);
+    }
+
+    /// Adds `delta` to Q(S, A) — the Algorithm 1 update's in-place form.
+    pub fn add(&mut self, state: usize, action: usize, delta: f64) {
+        self.check_index(state, action);
+        let current = self.get(state, action);
+        self.set(state, action, current + delta);
+    }
+
+    /// The action with the largest Q value among those `mask` allows —
+    /// same semantics, same tie-breaking and same cached fast path as
+    /// [`QTable::best_action`], via the shared row helpers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask.len() != actions` or `state` is out of range.
+    pub fn best_action(&self, state: usize, mask: &[bool]) -> Option<(usize, f64)> {
+        assert_eq!(
+            mask.len(),
+            self.actions(),
+            "mask length must equal action count"
+        );
+        assert!(state < self.states(), "state out of range");
+        match self.find(state) {
+            Some(row) => {
+                let lanes = &self.lanes[row * self.stride..(row + 1) * self.stride];
+                best_allowed(lanes, self.actions(), self.maxes[row], mask)
+            }
+            None => self.base.best_action(state, mask),
+        }
+    }
+
+    /// The largest allowed Q value of a row, or 0.0 when nothing is
+    /// allowed — the bootstrap term.
+    pub fn max_value(&self, state: usize, mask: &[bool]) -> f64 {
+        self.best_action(state, mask).map_or(0.0, |(_, v)| v)
+    }
+
+    /// Materializes the full logical table (base plus overlay) as a
+    /// dense [`QTable`].
+    pub fn to_table(&self) -> QTable {
+        let (states, actions) = (self.states(), self.actions());
+        let mut values = Vec::with_capacity(states * actions);
+        for state in 0..states {
+            values.extend(lane_values(self.row_lines(state), actions));
+        }
+        QTable::from_values(states, actions, &values)
+    }
+
+    /// Captures the overlay as a sparse, base-bound snapshot: every
+    /// materialized row's full logical values, sorted by state, plus the
+    /// base's value digest so restoration can verify it is replayed over
+    /// the same base.
+    pub fn snapshot(&self) -> OverlaySnapshot {
+        let deltas = self
+            .overlay_states()
+            .iter()
+            .map(|&state| OverlayDelta {
+                state,
+                values: lane_values(self.row_lines(state), self.actions()).collect(),
+            })
+            .collect();
+        OverlaySnapshot {
+            states: self.states(),
+            actions: self.actions(),
+            base_digest: self.base.value_digest(),
+            deltas,
+        }
+    }
+
+    /// Restores an overlay from a snapshot over an explicitly supplied
+    /// base table.
+    ///
+    /// # Errors
+    ///
+    /// Rejects the snapshot when the base's shape or value digest does
+    /// not match what the snapshot was taken over, or when a delta row
+    /// is malformed (out-of-range state, wrong row length, duplicate
+    /// state) — a tampered snapshot fails loudly instead of serving
+    /// wrong Q values.
+    pub fn from_snapshot(
+        base: Arc<QTable>,
+        snapshot: &OverlaySnapshot,
+    ) -> Result<Self, OverlayError> {
+        if base.states() != snapshot.states || base.actions() != snapshot.actions {
+            return Err(OverlayError::ShapeMismatch {
+                snapshot: (snapshot.states, snapshot.actions),
+                base: (base.states(), base.actions()),
+            });
+        }
+        let found = base.value_digest();
+        if found != snapshot.base_digest {
+            return Err(OverlayError::BaseDigestMismatch {
+                expected: snapshot.base_digest,
+                found,
+            });
+        }
+        let mut overlay = CowQTable::new(base);
+        for delta in &snapshot.deltas {
+            if delta.state >= snapshot.states {
+                return Err(OverlayError::StateOutOfRange {
+                    state: delta.state,
+                    states: snapshot.states,
+                });
+            }
+            if delta.values.len() != snapshot.actions {
+                return Err(OverlayError::RowLengthMismatch {
+                    state: delta.state,
+                    expected: snapshot.actions,
+                    found: delta.values.len(),
+                });
+            }
+            if overlay.find(delta.state).is_some() {
+                return Err(OverlayError::DuplicateState { state: delta.state });
+            }
+            let row = overlay.row_for_write(delta.state);
+            let lanes = &mut overlay.lanes[row * overlay.stride..(row + 1) * overlay.stride];
+            for (a, &v) in delta.values.iter().enumerate() {
+                lanes[a / LANES].0[a % LANES] = v;
+            }
+            let lanes = &overlay.lanes[row * overlay.stride..(row + 1) * overlay.stride];
+            overlay.maxes[row] = scan_lanes(lanes, snapshot.actions);
+        }
+        Ok(overlay)
+    }
+}
+
+/// One materialized overlay row: a state and its full logical values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OverlayDelta {
+    /// The state this row shadows.
+    pub state: usize,
+    /// The row's logical values, in action order (padding excluded).
+    pub values: Vec<f64>,
+}
+
+/// The persistent form of a [`CowQTable`]'s private overlay: sparse
+/// per-row deltas bound to a specific base table by shape and value
+/// digest. The base itself is *not* carried — it is shared fleet
+/// infrastructure, persisted once as a plain [`QTable`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OverlaySnapshot {
+    /// State count of the base the snapshot was taken over.
+    pub states: usize,
+    /// Action count of the base the snapshot was taken over.
+    pub actions: usize,
+    /// [`QTable::value_digest`] of that base.
+    pub base_digest: u64,
+    /// Materialized rows, sorted by state.
+    pub deltas: Vec<OverlayDelta>,
+}
+
+/// Why an [`OverlaySnapshot`] could not be restored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverlayError {
+    /// The supplied base has a different shape than the snapshot's.
+    ShapeMismatch {
+        /// The snapshot's (states, actions).
+        snapshot: (usize, usize),
+        /// The supplied base's (states, actions).
+        base: (usize, usize),
+    },
+    /// The supplied base holds different values than the snapshot's.
+    BaseDigestMismatch {
+        /// The digest recorded in the snapshot.
+        expected: u64,
+        /// The supplied base's digest.
+        found: u64,
+    },
+    /// A delta names a state past the table.
+    StateOutOfRange {
+        /// The offending state.
+        state: usize,
+        /// The table's state count.
+        states: usize,
+    },
+    /// A delta row has the wrong number of values.
+    RowLengthMismatch {
+        /// The offending state.
+        state: usize,
+        /// The action count every row must carry.
+        expected: usize,
+        /// What the delta carried.
+        found: usize,
+    },
+    /// Two deltas name the same state.
+    DuplicateState {
+        /// The duplicated state.
+        state: usize,
+    },
+}
+
+impl std::fmt::Display for OverlayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OverlayError::ShapeMismatch { snapshot, base } => write!(
+                f,
+                "overlay snapshot shape {}x{} does not match base {}x{}",
+                snapshot.0, snapshot.1, base.0, base.1
+            ),
+            OverlayError::BaseDigestMismatch { expected, found } => write!(
+                f,
+                "overlay snapshot was taken over a different base: digest {expected:016x} expected, base has {found:016x}"
+            ),
+            OverlayError::StateOutOfRange { state, states } => {
+                write!(f, "overlay delta state {state} out of range ({states})")
+            }
+            OverlayError::RowLengthMismatch {
+                state,
+                expected,
+                found,
+            } => write!(
+                f,
+                "overlay delta for state {state} carries {found} values, expected {expected}"
+            ),
+            OverlayError::DuplicateState { state } => {
+                write!(f, "overlay snapshot names state {state} twice")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OverlayError {}
+
+/// Q-value storage behind the agent: a private dense table, or a shared
+/// base with a copy-on-write overlay. Every read is bit-identical
+/// across backends holding the same logical values — backends are a
+/// memory choice, never a behaviour choice.
+#[derive(Debug, Clone)]
+pub enum QStore {
+    /// A private dense [`QTable`].
+    Dense(QTable),
+    /// A shared base plus private overlay.
+    Cow(CowQTable),
+}
+
+impl QStore {
+    /// Wraps a dense table.
+    pub fn dense(q: QTable) -> Self {
+        QStore::Dense(q)
+    }
+
+    /// An empty copy-on-write overlay over a shared base.
+    pub fn cow(base: Arc<QTable>) -> Self {
+        QStore::Cow(CowQTable::new(base))
+    }
+
+    /// Which backend this store uses.
+    pub fn kind(&self) -> QStoreKind {
+        match self {
+            QStore::Dense(_) => QStoreKind::Dense,
+            QStore::Cow(_) => QStoreKind::Cow,
+        }
+    }
+
+    /// The overlay backend, when this store is one.
+    pub fn as_cow(&self) -> Option<&CowQTable> {
+        match self {
+            QStore::Dense(_) => None,
+            QStore::Cow(c) => Some(c),
+        }
+    }
+
+    /// Number of states.
+    pub fn states(&self) -> usize {
+        match self {
+            QStore::Dense(q) => q.states(),
+            QStore::Cow(c) => c.states(),
+        }
+    }
+
+    /// Number of actions.
+    pub fn actions(&self) -> usize {
+        match self {
+            QStore::Dense(q) => q.actions(),
+            QStore::Cow(c) => c.actions(),
+        }
+    }
+
+    /// Q(S, A).
+    pub fn get(&self, state: usize, action: usize) -> f64 {
+        match self {
+            QStore::Dense(q) => q.get(state, action),
+            QStore::Cow(c) => c.get(state, action),
+        }
+    }
+
+    /// Sets Q(S, A).
+    pub fn set(&mut self, state: usize, action: usize, value: f64) {
+        match self {
+            QStore::Dense(q) => q.set(state, action, value),
+            QStore::Cow(c) => c.set(state, action, value),
+        }
+    }
+
+    /// Adds `delta` to Q(S, A).
+    pub fn add(&mut self, state: usize, action: usize, delta: f64) {
+        match self {
+            QStore::Dense(q) => q.add(state, action, delta),
+            QStore::Cow(c) => c.add(state, action, delta),
+        }
+    }
+
+    /// The lowest-index allowed maximizer of a row and its value — see
+    /// [`QTable::best_action`].
+    pub fn best_action(&self, state: usize, mask: &[bool]) -> Option<(usize, f64)> {
+        match self {
+            QStore::Dense(q) => q.best_action(state, mask),
+            QStore::Cow(c) => c.best_action(state, mask),
+        }
+    }
+
+    /// The largest allowed Q value of a row, or 0.0 when nothing is
+    /// allowed.
+    pub fn max_value(&self, state: usize, mask: &[bool]) -> f64 {
+        self.best_action(state, mask).map_or(0.0, |(_, v)| v)
+    }
+
+    /// Bytes this store owns privately (shared base excluded).
+    pub fn memory_bytes(&self) -> usize {
+        match self {
+            QStore::Dense(q) => q.memory_bytes() + q.states() * std::mem::size_of::<RowMax>(),
+            QStore::Cow(c) => c.private_bytes(),
+        }
+    }
+
+    /// Bytes of the shared base (zero for a dense store).
+    pub fn shared_bytes(&self) -> usize {
+        match self {
+            QStore::Dense(_) => 0,
+            QStore::Cow(c) => {
+                c.base().memory_bytes() + c.base().states() * std::mem::size_of::<RowMax>()
+            }
+        }
+    }
+
+    /// This store's memory accounting, for fleet aggregation.
+    pub fn stats(&self) -> QStoreStats {
+        QStoreStats {
+            kind: self.kind(),
+            private_bytes: self.memory_bytes() as u64,
+            shared_bytes: self.shared_bytes() as u64,
+            overlay_rows: self.as_cow().map_or(0, |c| c.overlay_rows()) as u64,
+        }
+    }
+
+    /// The full logical table, materialized dense — the dense↔cow
+    /// conversion path.
+    pub fn to_table(&self) -> QTable {
+        match self {
+            QStore::Dense(q) => q.clone(),
+            QStore::Cow(c) => c.to_table(),
+        }
+    }
+
+    /// FNV-1a digest of the logical values — equal across backends
+    /// holding the same values.
+    pub fn value_digest(&self) -> u64 {
+        match self {
+            QStore::Dense(q) => q.value_digest(),
+            // The overlay digest must walk rows through the overlay, so
+            // materializing is the straightforward correct path; digests
+            // are taken at snapshot boundaries, not per decision.
+            QStore::Cow(c) => c.to_table().value_digest(),
+        }
+    }
+
+    /// Copies every value from `source` — learning transfer across
+    /// stores of any backend pairing. Dense→dense is a flat memcpy; a
+    /// copy-on-write recipient materializes every row (a full-table
+    /// transfer defeats sparsity by definition).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error describing the shape mismatch if the dimensions
+    /// differ.
+    pub fn transfer_from(&mut self, source: &QStore) -> Result<(), ShapeMismatchError> {
+        let (states, actions) = (self.states(), self.actions());
+        if states != source.states() || actions != source.actions() {
+            return Err(ShapeMismatchError {
+                expected: (states, actions),
+                found: (source.states(), source.actions()),
+            });
+        }
+        match (&mut *self, source) {
+            (QStore::Dense(dst), QStore::Dense(src)) => dst.transfer_from(src),
+            (dst, src) => {
+                for state in 0..states {
+                    for action in 0..actions {
+                        dst.set(state, action, src.get(state, action));
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// The lanes of one row, as the decision kernels walk them.
+    pub(crate) fn row_lines(&self, state: usize) -> &[QLane] {
+        match self {
+            QStore::Dense(q) => q.row_lines(state),
+            QStore::Cow(c) => c.row_lines(state),
+        }
+    }
+
+    /// The cached lowest-index maximizer of one row — the kernels'
+    /// shared O(1) fast path.
+    pub(crate) fn row_max_entry(&self, state: usize) -> RowMax {
+        match self {
+            QStore::Dense(q) => q.row_max_entry(state),
+            QStore::Cow(c) => c.row_max_entry(state),
+        }
+    }
+}
+
+impl From<QTable> for QStore {
+    fn from(q: QTable) -> Self {
+        QStore::Dense(q)
+    }
+}
+
+impl PartialEq for QStore {
+    /// Logical-value equality: two stores are equal when they hold the
+    /// same `states × actions` values, regardless of backend or of how
+    /// the values are split between base and overlay. (Padding lanes are
+    /// `0.0` on both sides, so comparing lanes compares logical values.)
+    fn eq(&self, other: &Self) -> bool {
+        self.states() == other.states()
+            && self.actions() == other.actions()
+            && (0..self.states()).all(|s| self.row_lines(s) == other.row_lines(s))
+    }
+}
+
+// A store serializes as the flattened dense wire format — byte-for-byte
+// the [`QTable`] format, so agent snapshots written before tiered
+// storage existed keep loading, and snapshots of cow-backed agents load
+// anywhere. Restoring an *overlay* (sparse deltas over an out-of-band
+// base) goes through [`OverlaySnapshot`] instead: stateless
+// deserialization has no base table to bind an `Arc` to.
+impl Serialize for QStore {
+    fn to_value(&self) -> serde::Value {
+        match self {
+            QStore::Dense(q) => q.to_value(),
+            QStore::Cow(c) => c.to_table().to_value(),
+        }
+    }
+}
+
+impl Deserialize for QStore {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        QTable::from_value(value).map(QStore::Dense)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base(states: usize, actions: usize, seed: u64) -> Arc<QTable> {
+        Arc::new(QTable::new_random(states, actions, seed))
+    }
+
+    /// A dense table and a cow overlay fed the identical write sequence.
+    fn mirrored_writes(writes: &[(usize, usize, f64)]) -> (QTable, CowQTable) {
+        let b = base(8, 11, 42);
+        let mut dense = (*b).clone();
+        let mut cow = CowQTable::new(b);
+        for &(s, a, v) in writes {
+            dense.set(s, a, v);
+            cow.set(s, a, v);
+        }
+        (dense, cow)
+    }
+
+    #[test]
+    fn reads_fall_through_to_the_base_until_first_write() {
+        let b = base(4, 9, 7);
+        let mut cow = CowQTable::new(b.clone());
+        assert_eq!(cow.overlay_rows(), 0);
+        for s in 0..4 {
+            for a in 0..9 {
+                assert_eq!(cow.get(s, a), b.get(s, a));
+            }
+        }
+        cow.set(2, 3, 5.0);
+        assert_eq!(cow.overlay_rows(), 1);
+        assert_eq!(cow.get(2, 3), 5.0);
+        // The write shadows only its own row; the base is untouched.
+        assert_ne!(b.get(2, 3), 5.0);
+        assert_eq!(cow.get(1, 3), b.get(1, 3));
+    }
+
+    #[test]
+    fn writes_materialize_each_row_exactly_once() {
+        let mut cow = CowQTable::new(base(8, 5, 1));
+        for i in 0..50 {
+            cow.set(i % 3, i % 5, i as f64);
+        }
+        assert_eq!(cow.overlay_rows(), 3);
+        assert_eq!(cow.overlay_states(), vec![0, 1, 2]);
+        assert!((cow.occupancy() - 3.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlay_matches_dense_after_arbitrary_writes() {
+        let writes = [
+            (0, 0, 3.0),
+            (7, 10, -2.0),
+            (0, 5, 3.0), // tie with (0,0) at a higher index
+            (3, 1, 9.0),
+            (3, 1, -9.0), // lower the row maximum: rescan path
+            (0, 0, -1.0),
+        ];
+        let (dense, cow) = mirrored_writes(&writes);
+        let all = vec![true; 11];
+        let mut partial = vec![true; 11];
+        partial[0] = false;
+        partial[5] = false;
+        for s in 0..8 {
+            for a in 0..11 {
+                assert_eq!(dense.get(s, a), cow.get(s, a), "({s},{a})");
+            }
+            assert_eq!(dense.best_action(s, &all), cow.best_action(s, &all), "{s}");
+            assert_eq!(
+                dense.best_action(s, &partial),
+                cow.best_action(s, &partial),
+                "{s} masked"
+            );
+            assert_eq!(dense.max_value(s, &all), cow.max_value(s, &all));
+        }
+    }
+
+    #[test]
+    fn add_composes_with_base_values() {
+        let b = base(2, 3, 9);
+        let mut cow = CowQTable::new(b.clone());
+        cow.add(1, 2, 0.5);
+        assert_eq!(cow.get(1, 2), b.get(1, 2) + 0.5);
+    }
+
+    #[test]
+    fn index_grows_past_the_initial_capacity() {
+        // Materialize more rows than MIN_SLOTS * 3/4 to force rehashing.
+        let b = Arc::new(QTable::new_zeroed(1000, 4));
+        let mut cow = CowQTable::new(b);
+        for s in 0..800 {
+            cow.set(s, s % 4, s as f64);
+        }
+        assert_eq!(cow.overlay_rows(), 800);
+        for s in 0..800 {
+            assert_eq!(cow.get(s, s % 4), s as f64, "{s}");
+        }
+        assert_eq!(cow.get(900, 0), 0.0);
+    }
+
+    #[test]
+    fn to_table_round_trips_the_logical_values() {
+        let (dense, cow) = mirrored_writes(&[(1, 1, 4.0), (6, 9, -3.0)]);
+        assert_eq!(cow.to_table(), dense);
+        assert_eq!(cow.to_table().value_digest(), dense.value_digest());
+    }
+
+    #[test]
+    fn qstore_equality_is_logical_across_backends() {
+        let (dense, cow) = mirrored_writes(&[(2, 2, 8.0)]);
+        let a = QStore::Dense(dense);
+        let b = QStore::Cow(cow);
+        assert_eq!(a, b);
+        assert_eq!(a.value_digest(), b.value_digest());
+        let mut c = b.clone();
+        c.set(0, 0, 1234.0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn qstore_serde_flattens_to_the_dense_wire_format() {
+        let (dense, cow) = mirrored_writes(&[(4, 7, 2.5)]);
+        let store = QStore::Cow(cow);
+        let json = serde_json::to_string(&store).unwrap();
+        assert!(json.contains("\"values\":["), "dense wire format expected");
+        let back: QStore = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.kind(), QStoreKind::Dense, "restores as dense");
+        assert_eq!(back, store, "logical values survive");
+        assert_eq!(back.to_table(), dense);
+    }
+
+    #[test]
+    fn snapshot_round_trips_over_the_same_base() {
+        let b = base(8, 11, 42);
+        let mut cow = CowQTable::new(b.clone());
+        cow.set(5, 3, 7.0);
+        cow.set(1, 0, -2.0);
+        cow.add(5, 10, 0.25);
+        let snap = cow.snapshot();
+        assert_eq!(snap.deltas.len(), 2);
+        assert!(snap.deltas.windows(2).all(|w| w[0].state < w[1].state));
+        let json = serde_json::to_string(&snap).unwrap();
+        let parsed: OverlaySnapshot = serde_json::from_str(&json).unwrap();
+        let restored = CowQTable::from_snapshot(b, &parsed).unwrap();
+        assert_eq!(restored.overlay_rows(), 2);
+        assert_eq!(restored.to_table(), cow.to_table());
+        assert_eq!(
+            QStore::Cow(restored).value_digest(),
+            QStore::Cow(cow).value_digest()
+        );
+    }
+
+    #[test]
+    fn snapshot_rejects_a_different_base() {
+        let b = base(8, 11, 42);
+        let mut cow = CowQTable::new(b);
+        cow.set(0, 0, 1.0);
+        let snap = cow.snapshot();
+        // Same shape, different values: digest mismatch.
+        let other = base(8, 11, 43);
+        let err = CowQTable::from_snapshot(other, &snap).unwrap_err();
+        assert!(matches!(err, OverlayError::BaseDigestMismatch { .. }));
+        assert!(err.to_string().contains("different base"));
+        // Different shape: rejected before any digest work.
+        let wrong_shape = base(8, 12, 42);
+        let err = CowQTable::from_snapshot(wrong_shape, &snap).unwrap_err();
+        assert!(matches!(err, OverlayError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn snapshot_rejects_malformed_deltas() {
+        let b = base(4, 3, 5);
+        let good = OverlaySnapshot {
+            states: 4,
+            actions: 3,
+            base_digest: b.value_digest(),
+            deltas: vec![OverlayDelta {
+                state: 1,
+                values: vec![1.0, 2.0, 3.0],
+            }],
+        };
+        assert!(CowQTable::from_snapshot(b.clone(), &good).is_ok());
+        let out_of_range = OverlaySnapshot {
+            deltas: vec![OverlayDelta {
+                state: 4,
+                values: vec![1.0, 2.0, 3.0],
+            }],
+            ..good.clone()
+        };
+        assert!(matches!(
+            CowQTable::from_snapshot(b.clone(), &out_of_range).unwrap_err(),
+            OverlayError::StateOutOfRange {
+                state: 4,
+                states: 4
+            }
+        ));
+        let short_row = OverlaySnapshot {
+            deltas: vec![OverlayDelta {
+                state: 1,
+                values: vec![1.0],
+            }],
+            ..good.clone()
+        };
+        assert!(matches!(
+            CowQTable::from_snapshot(b.clone(), &short_row).unwrap_err(),
+            OverlayError::RowLengthMismatch {
+                state: 1,
+                expected: 3,
+                found: 1
+            }
+        ));
+        let duplicated = OverlaySnapshot {
+            deltas: vec![
+                OverlayDelta {
+                    state: 1,
+                    values: vec![1.0, 2.0, 3.0],
+                },
+                OverlayDelta {
+                    state: 1,
+                    values: vec![4.0, 5.0, 6.0],
+                },
+            ],
+            ..good
+        };
+        assert!(matches!(
+            CowQTable::from_snapshot(b, &duplicated).unwrap_err(),
+            OverlayError::DuplicateState { state: 1 }
+        ));
+    }
+
+    #[test]
+    fn restored_overlay_argmax_cache_is_consistent() {
+        let b = base(4, 9, 17);
+        let mut cow = CowQTable::new(b.clone());
+        cow.set(2, 4, 100.0);
+        cow.set(2, 7, 100.0); // higher-index tie: cache must stay at 4
+        let restored = CowQTable::from_snapshot(b, &cow.snapshot()).unwrap();
+        let all = vec![true; 9];
+        assert_eq!(restored.best_action(2, &all), Some((4, 100.0)));
+        assert_eq!(restored.best_action(2, &all), cow.best_action(2, &all));
+    }
+
+    #[test]
+    fn transfer_between_backends_copies_values() {
+        let donor_table = {
+            let mut q = QTable::new_zeroed(3, 4);
+            q.set(2, 3, 9.0);
+            q
+        };
+        let mut cow_store = QStore::cow(base(3, 4, 11));
+        cow_store
+            .transfer_from(&QStore::Dense(donor_table.clone()))
+            .unwrap();
+        assert_eq!(cow_store.to_table(), donor_table);
+        // And back: dense recipient from a cow donor.
+        let mut dense_store = QStore::Dense(QTable::new_random(3, 4, 77));
+        dense_store.transfer_from(&cow_store).unwrap();
+        assert_eq!(dense_store.to_table(), donor_table);
+        // Shape mismatch is typed, as for dense↔dense.
+        let mut small = QStore::Dense(QTable::new_zeroed(2, 4));
+        let err = small.transfer_from(&cow_store).unwrap_err();
+        assert_eq!(err.expected, (2, 4));
+        assert_eq!(err.found, (3, 4));
+    }
+
+    #[test]
+    fn stats_account_for_sharing() {
+        let b = base(3_072, 66, 0);
+        let dense = QStore::Dense((*b).clone());
+        let mut cow = QStore::cow(b);
+        let dense_stats = dense.stats();
+        assert_eq!(dense_stats.kind, QStoreKind::Dense);
+        assert_eq!(dense_stats.shared_bytes, 0);
+        assert_eq!(dense_stats.overlay_rows, 0);
+        assert_eq!(dense_stats.private_bytes, dense.memory_bytes() as u64);
+        for s in 0..40 {
+            cow.set(s, 0, 1.0);
+        }
+        let cow_stats = cow.stats();
+        assert_eq!(cow_stats.kind, QStoreKind::Cow);
+        assert_eq!(cow_stats.overlay_rows, 40);
+        assert_eq!(cow_stats.shared_bytes, dense_stats.private_bytes);
+        assert!(
+            cow_stats.private_bytes * 20 < dense_stats.private_bytes,
+            "a 40-row overlay ({} B) must undercut dense ({} B) by >20x",
+            cow_stats.private_bytes,
+            dense_stats.private_bytes
+        );
+    }
+
+    #[test]
+    fn store_kind_names_round_trip() {
+        for kind in QStoreKind::ALL {
+            assert_eq!(QStoreKind::parse(kind.name()), Some(kind));
+            assert_eq!(kind.to_string(), kind.name());
+        }
+        assert_eq!(QStoreKind::parse("sparse"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn cow_out_of_range_state_panics() {
+        let cow = CowQTable::new(base(2, 2, 0));
+        let _ = cow.get(2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mask length")]
+    fn cow_mask_length_mismatch_panics() {
+        let cow = CowQTable::new(base(2, 3, 0));
+        let _ = cow.best_action(0, &[true, true]);
+    }
+}

@@ -44,10 +44,96 @@ pub(crate) const LANES: usize = 8;
 pub(crate) struct QLane(pub(crate) [f64; LANES]);
 
 /// The cached lowest-index maximizer of one state's row.
+///
+/// Shared with the copy-on-write overlay backend ([`crate::qstore`]),
+/// which keeps one `RowMax` per materialized overlay row so its argmax
+/// semantics are the dense table's by construction.
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct RowMax {
-    action: u32,
+pub(crate) struct RowMax {
+    pub(crate) action: u32,
+    pub(crate) value: f64,
+}
+
+/// The logical values of one row's lane slice, in action order (padding
+/// excluded). Works on any `stride`-lane row slice — dense storage or an
+/// overlay arena row.
+pub(crate) fn lane_values(lanes: &[QLane], actions: usize) -> impl Iterator<Item = f64> + '_ {
+    lanes
+        .iter()
+        .flat_map(|line| line.0.iter().copied())
+        .take(actions)
+}
+
+/// Brute-force lowest-index maximizer of one row's lane slice.
+pub(crate) fn scan_lanes(lanes: &[QLane], actions: usize) -> RowMax {
+    let mut best = RowMax {
+        action: 0,
+        value: lanes[0].0[0],
+    };
+    for (a, v) in lane_values(lanes, actions).enumerate().skip(1) {
+        if v > best.value {
+            best = RowMax {
+                action: a as u32,
+                value: v,
+            };
+        }
+    }
+    best
+}
+
+/// Restores a row's cache invariant after `row[action] = value`.
+///
+/// O(1) unless the write lowered the current row maximum, which forces
+/// an O(actions) rescan of the row. The dense table and the overlay
+/// backend both route every write through this function, so their
+/// incremental argmax maintenance cannot drift apart.
+pub(crate) fn note_row_write(
+    cached: &mut RowMax,
+    lanes: &[QLane],
+    actions: usize,
+    action: usize,
     value: f64,
+) {
+    let a = action as u32;
+    if a == cached.action {
+        if value >= cached.value {
+            // The maximum grew in place: no other entry can now tie it
+            // (ties would have had to exceed the previous maximum).
+            cached.value = value;
+        } else {
+            *cached = scan_lanes(lanes, actions);
+        }
+    } else if value > cached.value || (value == cached.value && a < cached.action) {
+        *cached = RowMax { action: a, value };
+    }
+}
+
+/// The lowest-index allowed maximizer of one row's lane slice: the
+/// cached entry in O(1) when the mask allows it, otherwise a masked
+/// O(actions) scan. Returns `None` when the mask allows nothing.
+pub(crate) fn best_allowed(
+    lanes: &[QLane],
+    actions: usize,
+    cached: RowMax,
+    mask: &[bool],
+) -> Option<(usize, f64)> {
+    if mask[cached.action as usize] {
+        // The cached entry is the lowest-index maximizer over *all*
+        // actions; when the mask allows it, no allowed action can beat
+        // it, and a lower-index allowed tie would itself be a
+        // lower-index global maximizer — contradiction.
+        return Some((cached.action as usize, cached.value));
+    }
+    let mut best: Option<(usize, f64)> = None;
+    for (a, (&allowed, v)) in mask.iter().zip(lane_values(lanes, actions)).enumerate() {
+        if !allowed {
+            continue;
+        }
+        if best.is_none_or(|(_, bv)| v > bv) {
+            best = Some((a, v));
+        }
+    }
+    best
 }
 
 /// A dense table of Q(S, A) values.
@@ -131,7 +217,7 @@ impl QTable {
 
     /// Builds a table around existing row-major logical values, packing
     /// them into aligned lanes and computing the argmax cache.
-    fn from_values(states: usize, actions: usize, values: &[f64]) -> Self {
+    pub(crate) fn from_values(states: usize, actions: usize, values: &[f64]) -> Self {
         debug_assert_eq!(values.len(), states * actions);
         let stride = actions.div_ceil(LANES);
         let mut lines = vec![QLane([0.0; LANES]); states * stride];
@@ -152,10 +238,7 @@ impl QTable {
 
     /// The logical values of one row, in action order (padding excluded).
     fn row_values(&self, state: usize) -> impl Iterator<Item = f64> + '_ {
-        self.row_lines(state)
-            .iter()
-            .flat_map(|line| line.0.iter().copied())
-            .take(self.actions)
+        lane_values(self.row_lines(state), self.actions)
     }
 
     /// The aligned storage lanes of one row, padding included. The slots
@@ -164,21 +247,24 @@ impl QTable {
         &self.lines[state * self.stride..(state + 1) * self.stride]
     }
 
+    /// Lanes per row: `actions` rounded up to a multiple of [`LANES`].
+    pub(crate) fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// The cached lowest-index maximizer of one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    pub(crate) fn row_max_entry(&self, state: usize) -> RowMax {
+        assert!(state < self.states, "state out of range");
+        self.row_max[state]
+    }
+
     /// Brute-force lowest-index maximizer of a row.
     fn scan_row(&self, state: usize) -> RowMax {
-        let mut best = RowMax {
-            action: 0,
-            value: self.lines[state * self.stride].0[0],
-        };
-        for (a, v) in self.row_values(state).enumerate().skip(1) {
-            if v > best.value {
-                best = RowMax {
-                    action: a as u32,
-                    value: v,
-                };
-            }
-        }
-        best
+        scan_lanes(self.row_lines(state), self.actions)
     }
 
     /// Restores the cache invariant after `values[state, action] = value`.
@@ -186,19 +272,8 @@ impl QTable {
     /// O(1) unless the write lowered the current row maximum, which forces
     /// an O(actions) rescan of that row.
     fn note_write(&mut self, state: usize, action: usize, value: f64) {
-        let cached = self.row_max[state];
-        let a = action as u32;
-        if a == cached.action {
-            if value >= cached.value {
-                // The maximum grew in place: no other entry can now tie it
-                // (ties would have had to exceed the previous maximum).
-                self.row_max[state].value = value;
-            } else {
-                self.row_max[state] = self.scan_row(state);
-            }
-        } else if value > cached.value || (value == cached.value && a < cached.action) {
-            self.row_max[state] = RowMax { action: a, value };
-        }
+        let lanes = &self.lines[state * self.stride..(state + 1) * self.stride];
+        note_row_write(&mut self.row_max[state], lanes, self.actions, action, value);
     }
 
     /// Number of states.
@@ -263,24 +338,12 @@ impl QTable {
             "mask length must equal action count"
         );
         assert!(state < self.states, "state out of range");
-        let cached = self.row_max[state];
-        if mask[cached.action as usize] {
-            // The cached entry is the lowest-index maximizer over *all*
-            // actions; when the mask allows it, no allowed action can beat
-            // it, and a lower-index allowed tie would itself be a
-            // lower-index global maximizer — contradiction.
-            return Some((cached.action as usize, cached.value));
-        }
-        let mut best: Option<(usize, f64)> = None;
-        for (a, (&allowed, v)) in mask.iter().zip(self.row_values(state)).enumerate() {
-            if !allowed {
-                continue;
-            }
-            if best.is_none_or(|(_, bv)| v > bv) {
-                best = Some((a, v));
-            }
-        }
-        best
+        best_allowed(
+            self.row_lines(state),
+            self.actions,
+            self.row_max[state],
+            mask,
+        )
     }
 
     /// The largest Q value in a state over allowed actions (`max_a'
@@ -293,6 +356,26 @@ impl QTable {
     /// included — the Section VI-C overhead statistic.
     pub fn memory_bytes(&self) -> usize {
         self.lines.len() * std::mem::size_of::<QLane>()
+    }
+
+    /// FNV-1a digest over the logical values' IEEE 754 bits, state-major
+    /// and action-minor (padding excluded). Overlay snapshots record this
+    /// to bind their sparse deltas to the exact base table they were
+    /// taken over; two tables with equal logical values digest equally
+    /// regardless of storage backend.
+    pub fn value_digest(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        for state in 0..self.states {
+            for v in self.row_values(state) {
+                for byte in v.to_bits().to_le_bytes() {
+                    hash ^= byte as u64;
+                    hash = hash.wrapping_mul(FNV_PRIME);
+                }
+            }
+        }
+        hash
     }
 
     /// Copies every value from `source` — the paper's learning transfer
@@ -589,6 +672,19 @@ mod tests {
     fn deserialize_rejects_missing_fields() {
         let json = r#"{"states":2,"actions":2}"#;
         assert!(serde_json::from_str::<QTable>(json).is_err());
+    }
+
+    #[test]
+    fn value_digest_tracks_logical_values_only() {
+        let a = QTable::new_random(4, 11, 9);
+        let mut b = a.clone();
+        assert_eq!(a.value_digest(), b.value_digest());
+        b.set(2, 3, 42.0);
+        assert_ne!(a.value_digest(), b.value_digest());
+        // Serde rebuilds the lane packing from logical values: the digest
+        // must survive the round trip bit for bit.
+        let back: QTable = serde_json::from_str(&serde_json::to_string(&a).unwrap()).unwrap();
+        assert_eq!(a.value_digest(), back.value_digest());
     }
 
     #[test]

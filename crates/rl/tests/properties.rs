@@ -1,7 +1,10 @@
 //! Property tests for the RL primitives.
 
+use std::sync::Arc;
+
 use autoscale_rl::{
-    ConvergenceDetector, Dbscan, EpsilonGreedy, Hyperparameters, QLearningAgent, QTable,
+    ConvergenceDetector, CowQTable, Dbscan, DecisionKernel, EpsilonGreedy, FrozenKernel,
+    Hyperparameters, MaskSet, PackedKernel, QLearningAgent, QStore, QTable, ScalarKernel,
 };
 use proptest::prelude::*;
 use rand::SeedableRng;
@@ -60,7 +63,7 @@ proptest! {
         for _ in 0..200 {
             agent.update(0, 0, r, 0, &[false]);
         }
-        prop_assert!((agent.q_table().get(0, 0) - r).abs() < 1e-3_f64.max(r.abs() * 1e-3));
+        prop_assert!((agent.store().get(0, 0) - r).abs() < 1e-3_f64.max(r.abs() * 1e-3));
     }
 
     /// Greedy selection after training on distinguishable rewards picks
@@ -84,6 +87,7 @@ proptest! {
     fn epsilon_extremes(seed in any::<u64>(), n in 2usize..10) {
         let mut q = QTable::new_zeroed(1, n);
         q.set(0, n - 1, 1.0);
+        let q = QStore::Dense(q);
         let mask = vec![true; n];
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         // epsilon = 0: always the argmax.
@@ -167,7 +171,7 @@ proptest! {
         for (s, a, kind, v) in ops {
             let (s, a, v) = (s % states, a % actions, v as f64);
             if kind == 0 {
-                agent.q_table_mut().set(s, a, v);
+                agent.store_mut().set(s, a, v);
             } else {
                 let next = rng.gen_range(0..states);
                 agent.update(s, a, v, next, &full);
@@ -180,12 +184,12 @@ proptest! {
                 for m in [&mask, &full] {
                     let mut brute: Option<(usize, f64)> = None;
                     for a2 in (0..actions).filter(|&a2| m[a2]) {
-                        let v2 = agent.q_table().get(state, a2);
+                        let v2 = agent.store().get(state, a2);
                         if brute.is_none_or(|(_, bv)| v2 > bv) {
                             brute = Some((a2, v2));
                         }
                     }
-                    prop_assert_eq!(agent.q_table().best_action(state, m), brute);
+                    prop_assert_eq!(agent.store().best_action(state, m), brute);
                 }
             }
         }
@@ -208,5 +212,84 @@ proptest! {
         // Tamper: grow the values array past states*actions.
         let tampered = json.replacen("\"values\":[", &format!("\"values\":[{}", "0.5,".repeat(extra)), 1);
         prop_assert!(serde_json::from_str::<QLearningAgent>(&tampered).is_err());
+    }
+
+    /// A copy-on-write overlay fed the same write sequence as a dense
+    /// table is bit-identical to it: every Q value, every masked argmax,
+    /// every kernel's epsilon-greedy pick, and the post-decision RNG
+    /// state all agree. This is the determinism contract that lets
+    /// serving swap storage backends without perturbing trace digests.
+    #[test]
+    fn overlay_is_bit_identical_to_dense(
+        states in 1usize..6,
+        actions in 1usize..12,
+        base_seed in any::<u64>(),
+        ops in prop::collection::vec((0usize..6, 0usize..12, 0u8..2, -3i8..=3i8), 0..80),
+        eps_idx in 0usize..3,
+        rng_seed in any::<u64>(),
+    ) {
+        let base = Arc::new(QTable::new_random(states, actions, base_seed));
+        let mut dense = QStore::Dense((*base).clone());
+        let mut cow = QStore::Cow(CowQTable::new(base));
+        for &(s, a, kind, v) in &ops {
+            let (s, a, v) = (s % states, a % actions, v as f64);
+            if kind == 0 {
+                dense.set(s, a, v);
+                cow.set(s, a, v);
+            } else {
+                dense.add(s, a, v);
+                cow.add(s, a, v);
+            }
+        }
+        prop_assert_eq!(&dense, &cow);
+        prop_assert_eq!(dense.value_digest(), cow.value_digest());
+        let epsilon = [0.0, 0.5, 1.0][eps_idx];
+        let kernels: [&dyn DecisionKernel; 3] = [&ScalarKernel, &PackedKernel, &FrozenKernel];
+        let mut mask_rng = rand::rngs::StdRng::seed_from_u64(rng_seed);
+        use rand::Rng;
+        for state in 0..states {
+            let mask: Vec<bool> = (0..actions).map(|_| mask_rng.gen_bool(0.7)).collect();
+            prop_assert_eq!(dense.best_action(state, &mask), cow.best_action(state, &mask));
+            for a in 0..actions {
+                prop_assert_eq!(dense.get(state, a), cow.get(state, a));
+            }
+            let mask = MaskSet::from_bools(&mask);
+            for kernel in kernels {
+                let mut rng_d = rand::rngs::StdRng::seed_from_u64(rng_seed ^ state as u64);
+                let mut rng_c = rng_d.clone();
+                let pick_d = kernel.select(&dense, state, &mask, epsilon, &mut rng_d);
+                let pick_c = kernel.select(&cow, state, &mask, epsilon, &mut rng_c);
+                prop_assert_eq!(pick_d, pick_c);
+                prop_assert_eq!(rng_d, rng_c);
+            }
+        }
+    }
+
+    /// Overlay snapshots survive serde exactly and restore to the same
+    /// logical table over the same base; a snapshot bound to a tampered
+    /// base digest is rejected.
+    #[test]
+    fn overlay_snapshot_round_trip_and_tamper_rejection(
+        states in 1usize..8,
+        actions in 1usize..10,
+        seed in any::<u64>(),
+        writes in prop::collection::vec((0usize..8, 0usize..10, -3i8..=3i8), 0..40),
+    ) {
+        let base = Arc::new(QTable::new_random(states, actions, seed));
+        let mut cow = CowQTable::new(base.clone());
+        for &(s, a, v) in &writes {
+            cow.set(s % states, a % actions, v as f64);
+        }
+        let snap = cow.snapshot();
+        let json = serde_json::to_string(&snap).expect("serializes");
+        let parsed = serde_json::from_str(&json).expect("deserializes");
+        prop_assert_eq!(&snap, &parsed);
+        let restored = CowQTable::from_snapshot(base.clone(), &parsed).expect("restores");
+        prop_assert_eq!(restored.overlay_rows(), cow.overlay_rows());
+        prop_assert_eq!(restored.to_table(), cow.to_table());
+        // Tamper with the recorded base digest: restoration must refuse.
+        let mut tampered = snap;
+        tampered.base_digest ^= 1;
+        prop_assert!(CowQTable::from_snapshot(base, &tampered).is_err());
     }
 }

@@ -51,7 +51,7 @@ fn trained_agent_round_trips_through_serde() {
     let json = serde_json::to_string(engine.agent()).expect("agents serialize");
     let restored: autoscale_rl::QLearningAgent =
         serde_json::from_str(&json).expect("agents deserialize");
-    assert_eq!(restored.q_table(), engine.agent().q_table());
+    assert_eq!(restored.store(), engine.agent().store());
     // The restored table drives the same greedy decision.
     let fresh = AutoScaleEngine::new(&sim, config);
     let mut warm = fresh.clone();

@@ -5,7 +5,7 @@ use autoscale::state::State;
 use autoscale_net::Rssi;
 use autoscale_rl::{
     DecisionKernel, FrozenKernel, Hyperparameters, KernelKind, MaskSet, PackedKernel,
-    QLearningAgent, QTable, ScalarKernel,
+    QLearningAgent, QStore, QStoreKind, QTable, ScalarKernel,
 };
 use proptest::prelude::*;
 
@@ -123,7 +123,7 @@ proptest! {
         let mut agent = QLearningAgent::with_table(q, params);
         agent.update(0, 0, reward, 1, &[true]);
         let target = reward + discount * bootstrap;
-        let new = agent.q_table().get(0, 0);
+        let new = agent.store().get(0, 0);
         let lo = old.min(target) - 1e-9;
         let hi = old.max(target) + 1e-9;
         prop_assert!(new >= lo && new <= hi, "new={new} not between {old} and {target}");
@@ -152,7 +152,7 @@ proptest! {
     #[test]
     fn policy_respects_masks(mask in prop::collection::vec(any::<bool>(), 5), seed in any::<u64>()) {
         prop_assume!(mask.iter().any(|&m| m));
-        let q = QTable::new_random(1, 5, seed);
+        let q = QStore::Dense(QTable::new_random(1, 5, seed));
         let policy = autoscale_rl::EpsilonGreedy::new(0.5);
         let mut rng = autoscale::seeded_rng(seed);
         for _ in 0..20 {
@@ -173,15 +173,15 @@ proptest! {
     }
 }
 
-/// A Q-table with the given row-major logical values.
-fn table_from(states: usize, actions: usize, values: &[f64]) -> QTable {
+/// A dense Q-store with the given row-major logical values.
+fn table_from(states: usize, actions: usize, values: &[f64]) -> QStore {
     let mut q = QTable::new_zeroed(states, actions);
     for s in 0..states {
         for a in 0..actions {
             q.set(s, a, values[s * actions + a]);
         }
     }
-    q
+    QStore::Dense(q)
 }
 
 proptest! {
@@ -322,8 +322,77 @@ fn faulted_serve_kernel(
     serve(&sim, &mix, &config, None).expect("faulted fleets never error")
 }
 
+/// A paper-shaped agent with random Q-values, used as a common warm
+/// start so dense and copy-on-write fleets can be compared bit-for-bit.
+fn warm_paper_agent(table_seed: u64) -> QLearningAgent {
+    let sim = Simulator::new(DeviceId::Mi8Pro);
+    QLearningAgent::with_table(
+        QTable::new_random(
+            StateSpace::paper().len(),
+            ActionSpace::for_simulator(&sim).len(),
+            table_seed,
+        ),
+        Hyperparameters::paper(),
+    )
+}
+
+/// [`faulted_serve_kernel`] with an explicit Q-store backend and a
+/// common warm-start agent.
+fn warm_serve(
+    qstore: QStoreKind,
+    profile: FaultProfile,
+    seed: u64,
+    shards: usize,
+    kernel: KernelKind,
+    warm: &QLearningAgent,
+) -> ServeReport {
+    let sim = Simulator::new(DeviceId::Mi8Pro);
+    let mix = ScenarioMix::static_envs();
+    let config = ServeConfig {
+        sessions: 4,
+        decisions_per_session: 40,
+        shards: Some(shards),
+        base_seed: seed,
+        faults: profile,
+        kernel,
+        qstore,
+        ..ServeConfig::fleet()
+    };
+    serve(&sim, &mix, &config, Some(warm)).expect("warm fleets never error")
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Fleet memory: for any fault profile, warm start, and seed, a
+    /// copy-on-write fleet sharing one base table reproduces the dense
+    /// fleet byte for byte across every kernel and shard count.
+    #[test]
+    fn cow_fleets_reproduce_dense_fleets_exactly(
+        profile in (any::<bool>(), arb_fault_profile()).prop_map(|(calm, p)| {
+            if calm { FaultProfile::none() } else { p }
+        }),
+        seed in any::<u64>(),
+        table_seed in any::<u64>(),
+    ) {
+        let warm = warm_paper_agent(table_seed);
+        let dense = warm_serve(
+            QStoreKind::Dense,
+            profile,
+            seed,
+            1,
+            KernelKind::Scalar,
+            &warm,
+        );
+        for kernel in KernelKind::ALL {
+            for shards in [1usize, 4, 8] {
+                let cow = warm_serve(QStoreKind::Cow, profile, seed, shards, kernel, &warm);
+                prop_assert_eq!(&cow.sessions, &dense.sessions);
+                prop_assert_eq!(cow.digest(), dense.digest());
+                prop_assert!(cow.store.overlay_rows > 0);
+            }
+        }
+    }
 
     /// Chaos: under any fault profile and seed, serve() completes without
     /// error, its counters are internally consistent, and its reports are
