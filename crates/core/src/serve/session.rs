@@ -294,6 +294,7 @@ impl<'a> DeviceSession<'a> {
         kernel: &K,
     ) -> Result<(SessionReport, Vec<u64>, QStoreStats), ServeError> {
         if record_latency {
+            // lint:hot-exempt(the one-time preallocation the hot-path contract asks for, sized to the whole session)
             self.latencies_ns.reserve_exact(self.spec.decisions);
         }
         let prepared = self.sim.prepare(self.spec.workload);
@@ -311,18 +312,23 @@ impl<'a> DeviceSession<'a> {
             // function of the session's history: freezing sets ε = 0
             // inside the policy rather than switching to a different
             // (differently-drawing) greedy call site, and every kernel
-            // draws by the same protocol.
-            let decided = if record_latency {
-                let timer = DecisionTimer::start();
-                let step =
-                    self.engine
-                        .decide_kernel(kernel, self.spec.workload, &snapshot, &mut self.rng);
-                self.latencies_ns.push(timer.elapsed_ns());
-                step
+            // draws by the same protocol. The timer lives in statements
+            // of its own, never in the expression that produces the
+            // step — the taint pass tracks statement spans, so this
+            // shape keeps the measured wall clock visibly beside, not
+            // inside, the decision data.
+            let timer = if record_latency {
+                Some(DecisionTimer::start())
             } else {
-                self.engine
-                    .decide_kernel(kernel, self.spec.workload, &snapshot, &mut self.rng)
+                None
             };
+            let decided =
+                self.engine
+                    .decide_kernel(kernel, self.spec.workload, &snapshot, &mut self.rng);
+            if let Some(timer) = &timer {
+                // lint:hot-exempt(quarantined wall-clock read; the push lands in the buffer reserve_exact'd at session start)
+                self.latencies_ns.push(timer.elapsed_ns());
+            }
             let step = decided.map_err(|source| ServeError::NoFeasibleAction {
                 session: self.spec.session,
                 source,

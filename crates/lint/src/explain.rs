@@ -1,0 +1,201 @@
+//! Long-form rule documentation for `--explain <rule>`.
+//!
+//! `--list-rules` answers "what exists"; `--explain` answers "why does
+//! this rule exist, what exactly fires it, and how do I satisfy or
+//! waive it". CI runs `--explain all` as a smoke step so every rule
+//! keeps a non-empty explanation.
+
+use crate::rules::Rule;
+
+/// The full explanation for one rule: what fires, why it matters for
+/// the determinism/energy-accounting contract, and the sanctioned ways
+/// out.
+pub fn explain(rule: Rule) -> &'static str {
+    match rule {
+        Rule::NondeterministicTime => {
+            "nondeterministic-time — wall-clock reads in library code.\n\
+             \n\
+             Fires on `Instant::now()` and any `SystemTime` mention in a file\n\
+             classified as library code (outside `#[cfg(test)]`). Session\n\
+             reports and trace digests must be pure functions of\n\
+             (trace, seed, index); a wall-clock read anywhere near that path\n\
+             makes replays diverge and shard counts observable.\n\
+             \n\
+             Fix: thread simulated time (`tick`, `slot_ms`) through instead.\n\
+             Waive: quarantine the read behind a helper annotated\n\
+             `// lint:allow(nondeterministic-time): <why>` — the taint pass\n\
+             will still track its value into digests if it leaks."
+        }
+        Rule::NondeterministicRng => {
+            "nondeterministic-rng — entropy-seeded RNG construction.\n\
+             \n\
+             Fires on `thread_rng`, `from_entropy`, `from_os_rng`, `OsRng`,\n\
+             `getrandom`, and `rand::random` in every file class, including\n\
+             tests: one entropy-seeded stream anywhere breaks bit-identical\n\
+             replay, and digest assertions cannot localize which stream it\n\
+             was.\n\
+             \n\
+             Fix: derive every stream from an explicit seed (`seeded_rng`,\n\
+             `cell_seed`-style mixing)."
+        }
+        Rule::UnorderedIteration => {
+            "unordered-iteration — HashMap/HashSet iteration near digests.\n\
+             \n\
+             Fires on `.iter()`/`.keys()`/`.values()`/`.drain()`/… inside a\n\
+             function that both mentions HashMap/HashSet and touches digests,\n\
+             serialization, or SessionReport. Hash iteration order is\n\
+             randomized per process, so it leaks straight into supposedly\n\
+             deterministic output.\n\
+             \n\
+             Fix: use BTreeMap/BTreeSet, or collect and sort before folding."
+        }
+        Rule::PanicInLib => {
+            "panic-in-lib — aborts in non-test library code.\n\
+             \n\
+             Fires on `.unwrap()`, `.expect()`, `panic!`, `unreachable!`,\n\
+             `todo!`, `unimplemented!`. A panic in the serving stack takes\n\
+             down every session on the thread, not just the offending one.\n\
+             \n\
+             Fix: return a Result. Waive provably-infallible cases with\n\
+             `// lint:allow(panic-in-lib): <proof sketch>`."
+        }
+        Rule::PrintInLib => {
+            "print-in-lib — stdio writes from library code.\n\
+             \n\
+             Fires on `println!`/`eprintln!`/`print!`/`eprint!`/`dbg!`\n\
+             outside binaries, examples, and benches. Library code reports\n\
+             through return values; binaries own presentation.\n\
+             \n\
+             Fix: return the value, or move the print to the bin/example."
+        }
+        Rule::UnitMismatch => {
+            "unit-mismatch — arithmetic across incompatible suffix units.\n\
+             \n\
+             Fires when `+`/`-`/comparison/assignment combine expressions\n\
+             whose suffix-inferred units provably differ: ms vs mJ is a\n\
+             dimension clash, ms vs ns a scale clash. Multiplication and\n\
+             division combine dimensions, so `power_w * slot_ms` inferring\n\
+             mJ stays clean.\n\
+             \n\
+             Fix: convert explicitly (`* 1_000.0`, `/ 1e6`) or rename the\n\
+             binding to its true unit."
+        }
+        Rule::UnitArgMismatch => {
+            "unit-arg-mismatch — call argument contradicts parameter suffix.\n\
+             \n\
+             Fires when an argument's inferred unit contradicts the callee\n\
+             parameter's name suffix, resolved through the workspace-wide\n\
+             signature index. Only fires when every same-name, same-arity\n\
+             definition in the workspace agrees on the parameter's unit, so\n\
+             cross-crate homonyms cannot produce false positives.\n\
+             \n\
+             Fix: convert at the call site, or fix the parameter name."
+        }
+        Rule::UnitBindingMismatch => {
+            "unit-binding-mismatch — binding suffix contradicts initializer.\n\
+             \n\
+             Fires on `let x_ms = <mJ expr>` and `field_ms: <mJ expr>`: the\n\
+             declared suffix promises one unit, the initializer's inferred\n\
+             unit is another. Downstream code trusts names, so the lie\n\
+             propagates.\n\
+             \n\
+             Fix: rename the binding or convert the initializer."
+        }
+        Rule::TaintedDigest => {
+            "tainted-digest — nondeterminism reaches a digest update.\n\
+             \n\
+             The interprocedural taint pass seeds taint at wall-clock reads\n\
+             (`Instant::now`, `SystemTime`), env reads (`env::var`),\n\
+             entropy-seeded RNGs, and statements marked\n\
+             `// lint:taint-source(<why>)`. Taint propagates through\n\
+             let-bindings, assignments, and *across workspace call edges*\n\
+             via functions whose return value is tainted. The rule fires\n\
+             when a tainted value is passed to `fnv1a_fold` / any\n\
+             `*digest*` call or assigned into a `*digest*` binding — even\n\
+             if the source sits two helper functions away.\n\
+             \n\
+             This is the contract the per-file rules cannot see: a\n\
+             `lint:allow(nondeterministic-time)` quarantine is fine only\n\
+             while the quarantined value stays out of digested state; this\n\
+             rule checks exactly that.\n\
+             \n\
+             Fix: keep wall-clock values out of digest inputs entirely.\n\
+             There is deliberately no casual waiver — if a digest must fold\n\
+             a nondeterministic value, the design is wrong."
+        }
+        Rule::TaintedReportField => {
+            "tainted-report-field — nondeterminism reaches serialized state.\n\
+             \n\
+             Same taint engine as tainted-digest, different sinks: fields of\n\
+             struct literals whose type ends in `Report` or derives serde\n\
+             `Serialize`, and arguments to `serialize`/`to_value` calls.\n\
+             Reports are the replay contract's public surface — a tainted\n\
+             field makes two identical runs produce different artifacts.\n\
+             \n\
+             Fix: report simulated time/energy, not wall-clock; keep\n\
+             measured-wall-time diagnostics in bench binaries, outside\n\
+             serialized session state."
+        }
+        Rule::HotPathAlloc => {
+            "hot-path-alloc — allocation on the decision hot path.\n\
+             \n\
+             The call graph computes every function reachable from\n\
+             `DecisionKernel::*`, `*Engine::decide*`, or\n\
+             `DeviceSession::run*` (non-test library code only). Within that\n\
+             set the rule fires on heap-allocating constructors\n\
+             (`Vec::new`, `Box::new`, `String::from`, `with_capacity`, …),\n\
+             `vec!`/`format!`, `clone()`, `collect()`, `to_vec()`,\n\
+             `to_owned()`, `to_string()`.\n\
+             \n\
+             The serve hot path holds ~3M decisions/s because it is\n\
+             allocation-free; a single Vec in a kernel inner loop is the\n\
+             regression class the bench gate catches only after the fact.\n\
+             \n\
+             Fix: preallocate in setup code and reuse buffers. Waive\n\
+             deliberate setup-time allocation with\n\
+             `// lint:hot-exempt(<why>)` (also covers\n\
+             unresolved-hot-call on the same statement)."
+        }
+        Rule::UnresolvedHotCall => {
+            "unresolved-hot-call — unanalyzable call on the hot path.\n\
+             \n\
+             Fires when a function on the decision hot path makes a call the\n\
+             workspace call graph cannot resolve to a definition and that is\n\
+             not on the known allocation-free std whitelist (iterator\n\
+             adaptors, Option/Result combinators, slice reads, …). Growth-\n\
+             prone std methods (`push`, `insert`, `extend`, `reserve`) are\n\
+             deliberately off the whitelist: they allocate on resize, so\n\
+             they must be either resolved, exempted, or removed.\n\
+             \n\
+             Unresolved edges are where the hot-path-alloc guarantee would\n\
+             silently leak; this rule keeps the hot path analyzable.\n\
+             \n\
+             Fix: name the callee so the graph can resolve it (avoid\n\
+             trait-object indirection on the hot path), or waive with\n\
+             `// lint:hot-exempt(<why>)`."
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_rule_has_a_real_explanation() {
+        for rule in Rule::ALL {
+            let text = explain(rule);
+            assert!(
+                text.starts_with(rule.name()),
+                "{} explanation must lead with its name",
+                rule.name()
+            );
+            assert!(
+                text.contains("Fix:"),
+                "{} explanation must state a fix",
+                rule.name()
+            );
+            assert!(text.len() > 200, "{} explanation too thin", rule.name());
+        }
+    }
+}

@@ -247,6 +247,13 @@ impl<'a> Lexer<'a> {
                 self.push_token(TokenKind::Literal, "'…'".to_string(), line, start);
             }
             Some(c) if is_ident_start(c) => {
+                // `'r#async` is a raw lifetime: strip the `r#` so the
+                // token carries the escaped name and the stream stays
+                // in sync (naively it would desync into 'r + # + ident).
+                if c == 'r' && self.peek(1) == Some('#') && self.peek(2).is_some_and(is_ident_start)
+                {
+                    self.pos += 2;
+                }
                 let mut name = String::new();
                 while let Some(c) = self.peek(0) {
                     if !is_ident_continue(c) {
@@ -508,6 +515,31 @@ mod tests {
         let texts: Vec<_> = lexed.tokens.iter().map(|t| t.text.as_str()).collect();
         assert_eq!(texts, ["let", "type", "=", "fn", "+", "other", ";"]);
         assert!(lexed.tokens.iter().all(|t| t.kind != TokenKind::Literal));
+    }
+
+    #[test]
+    fn raw_lifetimes_lex_as_single_tokens() {
+        // `'r#async` must not desync into 'r + # + async — a stray `#`
+        // in the stream would shift every downstream token position.
+        let lexed = lex("fn f<'r#async>(x: &'r#async str) -> &'r#async str { x }");
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 3);
+        assert!(lifetimes.iter().all(|t| t.text == "async"));
+        assert!(!lexed.tokens.iter().any(|t| t.is_punct('#')));
+    }
+
+    #[test]
+    fn deeply_nested_block_comments_terminate_correctly() {
+        let src = "/* a /* b /* \" 'c' */ */ still comment */ after();";
+        assert_eq!(idents(src), vec!["after"]);
+        // An unbalanced inner opener swallows the rest of the file
+        // rather than resurfacing mid-comment.
+        let unterminated = "/* open /* never closed */ still_comment();";
+        assert!(idents(unterminated).is_empty());
     }
 
     #[test]

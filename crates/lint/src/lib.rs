@@ -23,13 +23,18 @@
 //!    example, test, bench) and marks `#[cfg(test)]` token regions and
 //!    function-body spans.
 //! 3. [`rules`] runs the token-pattern rules (see [`rules::Rule`]) and
-//!    filters findings through per-line `// lint:allow(<rule>)`
-//!    suppressions; [`parser`] adds the semantic units checker — a
-//!    recursive-descent expression parser whose dimensional algebra
-//!    ([`units`]) checks the workspace's suffix conventions
-//!    (`latency_ms`, `busy_power_w`, …) against a workspace-wide
-//!    signature index ([`sigindex`]).
-//! 4. [`report`] renders the findings as terminal lines or stable JSON
+//!    filters findings through `// lint:allow(<rule>)` suppressions;
+//!    [`parser`] adds the semantic units checker — a recursive-descent
+//!    expression parser whose dimensional algebra ([`units`]) checks
+//!    the workspace's suffix conventions (`latency_ms`,
+//!    `busy_power_w`, …) against a workspace-wide signature index
+//!    ([`sigindex`]).
+//! 4. [`callgraph`] builds a conservative workspace call graph on top
+//!    of the same token streams; [`taint`] runs forward determinism-
+//!    taint dataflow over it (wall-clock/env/entropy sources → digest
+//!    and report-field sinks) and [`hotpath`] flags allocation in
+//!    functions reachable from the decision hot path.
+//! 5. [`report`] renders the findings as terminal lines or stable JSON
 //!    (`results/lint_baseline.json` is one such document).
 //!
 //! The crate is std-only and dependency-free on purpose: the analyzer
@@ -41,44 +46,132 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod callgraph;
 pub mod context;
+pub mod explain;
+pub mod hotpath;
 pub mod lexer;
 pub mod parser;
 pub mod report;
 pub mod rules;
 pub mod sigindex;
+pub mod taint;
 pub mod units;
 pub mod walk;
 
-pub use report::Report;
+pub use report::{AnalysisStats, Report};
 pub use rules::{analyze_file, Finding, Rule};
 pub use sigindex::SigIndex;
 
+use crate::context::{classify, FileContext};
+
+/// A full workspace analysis: the report plus the artifacts behind it,
+/// so callers (the CLI's `--graph-out`, tests) can inspect the graph.
+#[derive(Debug)]
+pub struct Analysis {
+    /// Findings, suppressions, and coverage stats.
+    pub report: Report,
+    /// The workspace call graph the interprocedural passes ran on.
+    pub graph: callgraph::CallGraph,
+    /// Per-definition hot-path membership, indexed like `graph.defs`.
+    pub hot: Vec<bool>,
+    /// Workspace-relative paths, in the order the graph's `file`
+    /// indices reference them.
+    pub files: Vec<String>,
+}
+
+/// Runs the whole pipeline — per-file rules, signature index, call
+/// graph, taint, hot-path — over in-memory `(path, source)` pairs.
+///
+/// This is the substitution point the sabotage tests use: read the real
+/// workspace, swap one file's source for a doctored version, and assert
+/// the launder is caught.
+pub fn analyze_sources(sources: Vec<(String, String)>) -> Analysis {
+    let mut sigs = SigIndex::new();
+    let mut files = Vec::with_capacity(sources.len());
+    for (rel, source) in &sources {
+        let lexed = lexer::lex(source);
+        sigs.add_file(&lexed);
+        files.push((rel.clone(), lexed));
+    }
+    let contexts: Vec<FileContext> = files
+        .iter()
+        .map(|(rel, lexed)| FileContext::build(classify(rel), lexed))
+        .collect();
+
+    let graph = callgraph::CallGraph::build(&files, &contexts);
+    let tainted = taint::analyze(&files, &contexts, &graph);
+    let hot = hotpath::analyze(&files, &contexts, &graph);
+
+    // Global (interprocedural) findings, grouped by file so each file's
+    // suppressions can waive them alongside the per-file rules.
+    let mut global: Vec<Finding> = tainted.findings;
+    global.extend(hot.findings);
+
+    let mut findings = Vec::new();
+    let mut suppressed = Vec::new();
+    for (i, (rel, lexed)) in files.iter().enumerate() {
+        let sup = rules::Suppressions::parse(&lexed.comments, &lexed.tokens);
+        let mut raw = rules::per_file_findings(rel, lexed, &contexts[i], &sigs);
+        raw.extend(global.iter().filter(|f| &f.file == rel).cloned());
+        for f in raw {
+            if sup.allows(f.line, f.rule) {
+                suppressed.push(f);
+            } else {
+                findings.push(f);
+            }
+        }
+        rules::push_unknown_rule_findings(rel, &sup, &mut findings);
+    }
+
+    let analysis = AnalysisStats {
+        functions: graph.defs.len(),
+        call_edges: graph.edge_count(),
+        unresolved_calls: graph.unresolved_calls().count(),
+        hot_functions: hot.hot.iter().filter(|&&h| h).count(),
+        taint_returning: tainted.taint_returning.iter().filter(|&&t| t).count(),
+    };
+    let report = Report::with_details(findings, suppressed, files.len(), analysis);
+    Analysis {
+        report,
+        graph,
+        hot: hot.hot,
+        files: files.into_iter().map(|(rel, _)| rel).collect(),
+    }
+}
+
+/// Reads every workspace source file under `root` into memory as
+/// `(workspace-relative path, source)` pairs, in walk order.
+///
+/// # Errors
+///
+/// Returns the first I/O error hit while walking or reading sources.
+pub fn read_workspace_sources(root: &std::path::Path) -> std::io::Result<Vec<(String, String)>> {
+    let files = walk::workspace_sources(root)?;
+    let mut sources = Vec::with_capacity(files.len());
+    for rel in files {
+        let source = std::fs::read_to_string(root.join(&rel))?;
+        sources.push((rel.to_string_lossy().replace('\\', "/"), source));
+    }
+    Ok(sources)
+}
+
+/// Analyzes every workspace source file under `root` and returns the
+/// full [`Analysis`] (report + call graph).
+///
+/// # Errors
+///
+/// Returns the first I/O error hit while walking or reading sources.
+pub fn analyze_workspace_full(root: &std::path::Path) -> std::io::Result<Analysis> {
+    Ok(analyze_sources(read_workspace_sources(root)?))
+}
+
 /// Analyzes every workspace source file under `root` and returns the
 /// aggregated report.
-///
-/// Two passes: the first lexes every file and builds the workspace-wide
-/// [`SigIndex`] (so call-site unit checks see every `fn` in the tree),
-/// the second runs the rules per file against that index.
 ///
 /// # Errors
 ///
 /// Returns the first I/O error hit while walking or reading sources.
 pub fn analyze_workspace(root: &std::path::Path) -> std::io::Result<Report> {
-    let files = walk::workspace_sources(root)?;
-    let files_scanned = files.len();
-    let mut lexed_files = Vec::with_capacity(files.len());
-    let mut sigs = SigIndex::new();
-    for rel in files {
-        let source = std::fs::read_to_string(root.join(&rel))?;
-        let rel_str = rel.to_string_lossy().replace('\\', "/");
-        let lexed = lexer::lex(&source);
-        sigs.add_file(&lexed);
-        lexed_files.push((rel_str, lexed));
-    }
-    let mut findings = Vec::new();
-    for (rel_str, lexed) in &lexed_files {
-        findings.extend(rules::analyze_lexed(rel_str, lexed, &sigs));
-    }
-    Ok(Report::new(findings, files_scanned))
+    Ok(analyze_workspace_full(root)?.report)
 }

@@ -6,6 +6,8 @@
 //! cargo run -p autoscale-lint -- --list-rules    # what the rules check
 //! cargo run -p autoscale-lint -- --check-baseline results/lint_baseline.json
 //! cargo run -p autoscale-lint -- --write-baseline
+//! cargo run -p autoscale-lint -- --explain tainted-digest
+//! cargo run -p autoscale-lint -- --graph-out target/callgraph.dot
 //! ```
 
 use std::path::PathBuf;
@@ -33,6 +35,8 @@ struct Args {
     write_baseline: Option<PathBuf>,
     /// Always write the JSON report here too (CI artifact on failure).
     report_out: Option<PathBuf>,
+    /// Dump the workspace call graph as Graphviz DOT to this path.
+    graph_out: Option<PathBuf>,
 }
 
 const USAGE: &str = "\
@@ -40,13 +44,16 @@ autoscale-lint: determinism & robustness static analysis for this workspace
 
 USAGE:
     autoscale-lint [--format human|json] [--root PATH] [--list-rules]
-                   [--check-baseline [PATH]] [--write-baseline [PATH]]
-                   [--report-out PATH]
+                   [--explain RULE|all] [--check-baseline [PATH]]
+                   [--write-baseline [PATH]] [--report-out PATH]
+                   [--graph-out PATH]
 
 OPTIONS:
     --format human|json     Output format (default: human)
     --root PATH             Workspace root to analyze (default: .)
     --list-rules            Print every rule with its description and exit
+    --explain RULE|all      Print the long-form documentation for one rule
+                            (or every rule) and exit
     --check-baseline [PATH] Fail only on findings absent from the baseline
                             (default path: results/lint_baseline.json);
                             baseline entries no longer reported are listed
@@ -55,6 +62,8 @@ OPTIONS:
                             baseline (default path as above) and exit 0
     --report-out PATH       Additionally write the JSON report to PATH
                             (for CI artifacts)
+    --graph-out PATH        Dump the workspace call graph as Graphviz DOT
+                            (hot-path functions are highlighted)
     -h, --help              Show this help
 
 EXIT CODES:
@@ -63,7 +72,10 @@ EXIT CODES:
     2  usage or I/O error
 
 Suppress a single finding with `// lint:allow(<rule>): <justification>`
-on the offending line or on the line directly above it.";
+on the offending line or standing alone directly above it (a standalone
+annotation covers the full statement that starts on the next line).
+`// lint:hot-exempt(<why>)` waives both hot-path rules at once;
+`// lint:taint-source(<why>)` marks a statement as a taint source.";
 
 /// Consumes an optional path value for a flag: the next argument if it
 /// exists and is not itself a flag, the default otherwise.
@@ -84,6 +96,7 @@ fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
         check_baseline: None,
         write_baseline: None,
         report_out: None,
+        graph_out: None,
     };
     let mut i = 0;
     while i < argv.len() {
@@ -119,6 +132,31 @@ fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
                 }
                 return Ok(None);
             }
+            "--explain" => {
+                i += 1;
+                let value = argv
+                    .get(i)
+                    .ok_or("--explain requires a rule name or `all`")?;
+                if value == "all" {
+                    for (k, rule) in Rule::ALL.into_iter().enumerate() {
+                        if k > 0 {
+                            println!("\n---\n");
+                        }
+                        println!("{}", autoscale_lint::explain::explain(rule));
+                    }
+                } else {
+                    let rule = Rule::from_name(value)
+                        .ok_or_else(|| format!("unknown rule `{value}` (try --list-rules)"))?;
+                    println!("{}", autoscale_lint::explain::explain(rule));
+                }
+                return Ok(None);
+            }
+            "--graph-out" => {
+                i += 1;
+                args.graph_out = Some(PathBuf::from(
+                    argv.get(i).ok_or("--graph-out requires a path")?,
+                ));
+            }
             "-h" | "--help" => {
                 println!("{USAGE}");
                 return Ok(None);
@@ -143,13 +181,21 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let report = match autoscale_lint::analyze_workspace(&args.root) {
-        Ok(report) => report,
+    let analysis = match autoscale_lint::analyze_workspace_full(&args.root) {
+        Ok(analysis) => analysis,
         Err(err) => {
             eprintln!("autoscale-lint: I/O error: {err}");
             return ExitCode::from(2);
         }
     };
+    if let Some(path) = &args.graph_out {
+        let dot = analysis.graph.render_dot(&analysis.files, &analysis.hot);
+        if let Err(err) = write_report(path, &dot) {
+            eprintln!("autoscale-lint: cannot write {}: {err}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    let report = analysis.report;
     if let Some(path) = &args.report_out {
         if let Err(err) = write_report(path, &report.render_json()) {
             eprintln!("autoscale-lint: cannot write {}: {err}", path.display());

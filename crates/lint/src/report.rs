@@ -9,22 +9,70 @@ use std::collections::BTreeMap;
 
 use crate::rules::{Finding, Rule};
 
+/// Shape of the interprocedural analysis behind a report: how much of
+/// the workspace the call graph could see and resolve. Zero-valued when
+/// the report came from a per-file run without the workspace passes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AnalysisStats {
+    /// Function definitions in the call graph.
+    pub functions: usize,
+    /// Resolved fn-to-fn call edges.
+    pub call_edges: usize,
+    /// Call sites (non-test lib/bin code) the graph could not resolve.
+    pub unresolved_calls: usize,
+    /// Functions reachable from a decision hot-path entry.
+    pub hot_functions: usize,
+    /// Functions the taint pass marks as returning tainted values.
+    pub taint_returning: usize,
+}
+
 /// The outcome of analyzing a set of files.
 #[derive(Debug, Clone)]
 pub struct Report {
     /// Every unsuppressed finding, ordered by (file, line, rule).
     pub findings: Vec<Finding>,
+    /// Findings waived by `lint:allow`/`lint:hot-exempt`, same order.
+    /// Kept visible so waivers are auditable from the JSON report and
+    /// so the baseline diff can tell "fixed" from "silenced".
+    pub suppressed: Vec<Finding>,
     /// Number of files analyzed.
     pub files_scanned: usize,
+    /// Call-graph/taint coverage numbers for this run.
+    pub analysis: AnalysisStats,
 }
 
 impl Report {
     /// Builds a report, normalizing finding order.
-    pub fn new(mut findings: Vec<Finding>, files_scanned: usize) -> Self {
-        findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    pub fn new(findings: Vec<Finding>, files_scanned: usize) -> Self {
+        Report::with_details(
+            findings,
+            Vec::new(),
+            files_scanned,
+            AnalysisStats::default(),
+        )
+    }
+
+    /// Builds a report that also carries suppressed findings and the
+    /// interprocedural coverage stats.
+    pub fn with_details(
+        mut findings: Vec<Finding>,
+        mut suppressed: Vec<Finding>,
+        files_scanned: usize,
+        analysis: AnalysisStats,
+    ) -> Self {
+        let order = |list: &mut Vec<Finding>| {
+            list.sort_by(|a: &Finding, b: &Finding| {
+                (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule))
+            });
+            list.dedup();
+        };
+        order(&mut findings);
+        order(&mut suppressed);
         Report {
             findings,
+            suppressed,
             files_scanned,
+            analysis,
         }
     }
 
@@ -65,41 +113,46 @@ impl Report {
             .filter(|(_, &n)| n > 0)
             .map(|(name, n)| format!("{name}: {n}"))
             .collect();
+        let waived = if self.suppressed.is_empty() {
+            String::new()
+        } else {
+            format!(" ({} waived)", self.suppressed.len())
+        };
         if self.is_clean() {
             out.push_str(&format!(
-                "autoscale-lint: clean — 0 findings across {} files\n",
+                "autoscale-lint: clean — 0 findings{waived} across {} files\n",
                 self.files_scanned
             ));
         } else {
             out.push_str(&format!(
-                "autoscale-lint: {} finding{} ({}) across {} files\n",
+                "autoscale-lint: {} finding{} ({}){waived} across {} files\n",
                 self.findings.len(),
                 if self.findings.len() == 1 { "" } else { "s" },
                 per_rule.join(", "),
                 self.files_scanned
             ));
         }
+        if self.analysis.functions > 0 {
+            let a = &self.analysis;
+            out.push_str(&format!(
+                "call graph: {} functions, {} edges ({} unresolved), \
+                 {} hot, {} taint-returning\n",
+                a.functions, a.call_edges, a.unresolved_calls, a.hot_functions, a.taint_returning
+            ));
+        }
         out
     }
 
     /// JSON rendering with stable field and entry order.
+    ///
+    /// `findings` comes first and `suppressed` second — baseline
+    /// parsing relies on that order to take entries only from the
+    /// former (see [`parse_baseline`]).
     pub fn render_json(&self) -> String {
         let mut out = String::from("{\n  \"findings\": [");
-        for (i, f) in self.findings.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str(&format!(
-                "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
-                json_escape(&f.file),
-                f.line,
-                f.rule.name(),
-                json_escape(&f.message)
-            ));
-        }
-        if !self.findings.is_empty() {
-            out.push_str("\n  ");
-        }
+        render_finding_array(&mut out, &self.findings);
+        out.push_str("],\n  \"suppressed\": [");
+        render_finding_array(&mut out, &self.suppressed);
         out.push_str("],\n  \"counts\": {");
         for (i, (name, n)) in self.counts().iter().enumerate() {
             if i > 0 {
@@ -107,12 +160,36 @@ impl Report {
             }
             out.push_str(&format!("\n    \"{name}\": {n}"));
         }
+        let a = &self.analysis;
         out.push_str(&format!(
-            "\n  }},\n  \"total\": {},\n  \"files_scanned\": {}\n}}\n",
+            "\n  }},\n  \"analysis\": {{\"functions\": {}, \"call_edges\": {}, \
+             \"unresolved_calls\": {}, \"hot_functions\": {}, \"taint_returning\": {}}},",
+            a.functions, a.call_edges, a.unresolved_calls, a.hot_functions, a.taint_returning
+        ));
+        out.push_str(&format!(
+            "\n  \"total\": {},\n  \"files_scanned\": {}\n}}\n",
             self.findings.len(),
             self.files_scanned
         ));
         out
+    }
+}
+
+fn render_finding_array(out: &mut String, findings: &[Finding]) {
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            json_escape(&f.file),
+            f.line,
+            f.rule.name(),
+            json_escape(&f.message)
+        ));
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
     }
 }
 
@@ -166,6 +243,11 @@ pub fn parse_baseline(text: &str) -> Result<Vec<BaselineEntry>, String> {
     let mut entries = Vec::new();
     for line in text.lines() {
         let line = line.trim();
+        // Entry lines after the `"suppressed"` key describe waived
+        // findings; those never belong in a baseline.
+        if line.starts_with("\"suppressed\"") {
+            break;
+        }
         let Some(rest) = line.strip_prefix('{') else {
             continue;
         };
@@ -233,15 +315,19 @@ impl Report {
     /// reports (fixed).
     pub fn against_baseline(&self, baseline: &[BaselineEntry]) -> BaselineDiff {
         let current: Vec<BaselineEntry> = self.findings.iter().map(BaselineEntry::of).collect();
+        let waived: Vec<BaselineEntry> = self.suppressed.iter().map(BaselineEntry::of).collect();
         let new = self
             .findings
             .iter()
             .filter(|f| !baseline.contains(&BaselineEntry::of(f)))
             .cloned()
             .collect();
+        // A baseline entry that is now *suppressed* was silenced, not
+        // fixed — claiming it fixed would invite a baseline regen that
+        // hides the waiver.
         let fixed = baseline
             .iter()
-            .filter(|e| !current.contains(e))
+            .filter(|e| !current.contains(e) && !waived.contains(e))
             .cloned()
             .collect();
         BaselineDiff { new, fixed }
@@ -365,6 +451,56 @@ mod tests {
             parse_baseline(&clean.render_json()).expect("parses"),
             vec![]
         );
+    }
+
+    #[test]
+    fn suppressed_findings_stay_out_of_the_baseline() {
+        let report = Report::with_details(
+            vec![finding("a.rs", 2, Rule::UnitMismatch)],
+            vec![finding("waived.rs", 9, Rule::HotPathAlloc)],
+            3,
+            AnalysisStats::default(),
+        );
+        let entries = parse_baseline(&report.render_json()).expect("parses");
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].file, "a.rs");
+    }
+
+    #[test]
+    fn suppressed_findings_do_not_count_as_fixed() {
+        // Yesterday the finding was live and baselined; today it is
+        // suppressed. That is "silenced", not "fixed".
+        let old = Report::new(vec![finding("a.rs", 2, Rule::PanicInLib)], 1);
+        let baseline = parse_baseline(&old.render_json()).expect("parses");
+        let now = Report::with_details(
+            Vec::new(),
+            vec![finding("a.rs", 2, Rule::PanicInLib)],
+            1,
+            AnalysisStats::default(),
+        );
+        let diff = now.against_baseline(&baseline);
+        assert!(diff.new.is_empty());
+        assert!(diff.fixed.is_empty());
+        // A genuinely removed finding still reports as fixed.
+        let removed = Report::new(Vec::new(), 1);
+        assert_eq!(removed.against_baseline(&baseline).fixed.len(), 1);
+    }
+
+    #[test]
+    fn analysis_stats_render_in_json_and_human() {
+        let stats = AnalysisStats {
+            functions: 10,
+            call_edges: 20,
+            unresolved_calls: 3,
+            hot_functions: 4,
+            taint_returning: 2,
+        };
+        let report = Report::with_details(Vec::new(), Vec::new(), 5, stats);
+        let json = report.render_json();
+        assert!(json.contains("\"analysis\": {\"functions\": 10, \"call_edges\": 20"));
+        assert!(json.contains("\"unresolved_calls\": 3"));
+        let human = report.render_human();
+        assert!(human.contains("call graph: 10 functions, 20 edges (3 unresolved)"));
     }
 
     #[test]

@@ -1,5 +1,5 @@
-//! The rule engine: five determinism & robustness rules over the token
-//! stream, with per-line suppression.
+//! The rule engine: determinism & robustness rules over the token
+//! stream, with per-statement suppression.
 //!
 //! ## Suppression
 //!
@@ -10,15 +10,25 @@
 //! ```
 //!
 //! The annotation may trail the offending line or stand alone on the
-//! line directly above it. Everything after an optional `:` is a free-
-//! form justification; several rules may be listed, comma-separated.
+//! line directly above it. A standalone annotation covers the **full
+//! statement** that starts on the next line — a multi-line initializer
+//! is covered to its `;`; an item (`fn`, `impl`, `match`, …) is covered
+//! only to its opening `{`, so a single annotation can never blanket a
+//! whole body. Everything after an optional `:` is a free-form
+//! justification; several rules may be listed, comma-separated.
 //! Suppressions are deliberate, reviewable diffs — the goal is that a
 //! waiver is visible in the same hunk as the code it excuses.
+//!
+//! Two sibling directives share the same coverage geometry:
+//! `// lint:hot-exempt(<why>)` waives the hot-path rules
+//! ([`Rule::HotPathAlloc`] + [`Rule::UnresolvedHotCall`]) and
+//! `// lint:taint-source(<why>)` *marks* (not waives) the covered
+//! statement as a nondeterminism source for the taint pass.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::context::{classify, FileClass, FileContext};
-use crate::lexer::{lex, Comment, LexedFile, Token, TokenKind};
+use crate::lexer::{Comment, LexedFile, Token, TokenKind};
 
 /// The analyzer's rules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -46,11 +56,23 @@ pub enum Rule {
     /// `let x_ms = <mJ expr>` / `field_ms: <mJ expr>` — a binding whose
     /// declared suffix contradicts its initializer's unit.
     UnitBindingMismatch,
+    /// A wall-clock/env/entropy-derived value flows (possibly through
+    /// helper functions) into a digest update.
+    TaintedDigest,
+    /// A wall-clock/env/entropy-derived value flows into a field of a
+    /// `*Report` struct or a serde-serialized struct literal.
+    TaintedReportField,
+    /// Heap allocation, `clone()`, `format!`, or `collect()` in a
+    /// function reachable from the decision hot path.
+    HotPathAlloc,
+    /// A call on the decision hot path that the workspace call graph
+    /// cannot resolve — the allocation contract stops being checkable.
+    UnresolvedHotCall,
 }
 
 impl Rule {
     /// Every rule, in reporting order.
-    pub const ALL: [Rule; 8] = [
+    pub const ALL: [Rule; 12] = [
         Rule::NondeterministicTime,
         Rule::NondeterministicRng,
         Rule::UnorderedIteration,
@@ -59,6 +81,10 @@ impl Rule {
         Rule::UnitMismatch,
         Rule::UnitArgMismatch,
         Rule::UnitBindingMismatch,
+        Rule::TaintedDigest,
+        Rule::TaintedReportField,
+        Rule::HotPathAlloc,
+        Rule::UnresolvedHotCall,
     ];
 
     /// The rule's kebab-case name — what `lint:allow(…)` takes.
@@ -72,6 +98,10 @@ impl Rule {
             Rule::UnitMismatch => "unit-mismatch",
             Rule::UnitArgMismatch => "unit-arg-mismatch",
             Rule::UnitBindingMismatch => "unit-binding-mismatch",
+            Rule::TaintedDigest => "tainted-digest",
+            Rule::TaintedReportField => "tainted-report-field",
+            Rule::HotPathAlloc => "hot-path-alloc",
+            Rule::UnresolvedHotCall => "unresolved-hot-call",
         }
     }
 
@@ -117,6 +147,29 @@ impl Rule {
                  contradicts the initializer's inferred unit \
                  (`let x_ms = <mJ expr>`)"
             }
+            Rule::TaintedDigest => {
+                "a wall-clock / env / entropy-derived value reaches a digest \
+                 update (fnv1a_fold or any *digest* call/assignment), possibly \
+                 laundered through helper functions — the interprocedural taint \
+                 pass tracks values across workspace call edges"
+            }
+            Rule::TaintedReportField => {
+                "a wall-clock / env / entropy-derived value reaches a field of \
+                 a *Report struct or a serde-Serialize struct literal; reports \
+                 must stay pure functions of (trace, seed, index)"
+            }
+            Rule::HotPathAlloc => {
+                "heap allocation (Vec/Box/String/… ctors, vec!/format!), \
+                 clone(), or collect() in a function reachable from \
+                 DecisionKernel::*, *Engine::decide*, or DeviceSession::run*; \
+                 waive deliberate ones with lint:hot-exempt(<why>)"
+            }
+            Rule::UnresolvedHotCall => {
+                "a call on the decision hot path that the workspace call graph \
+                 cannot resolve to a definition and that is not a known \
+                 allocation-free std method — unresolved edges make the \
+                 hot-path-alloc contract unverifiable"
+            }
         }
     }
 }
@@ -134,9 +187,10 @@ pub struct Finding {
     pub message: String,
 }
 
-/// Per-line suppressions parsed from `lint:allow(…)` comments.
+/// Per-line suppressions parsed from `lint:allow(…)` and
+/// `lint:hot-exempt(…)` comments.
 #[derive(Debug, Default)]
-struct Suppressions {
+pub(crate) struct Suppressions {
     /// line → rules allowed on that line.
     by_line: BTreeMap<u32, Vec<Rule>>,
     /// Rule names that did not resolve, with the line of the annotation
@@ -145,12 +199,12 @@ struct Suppressions {
 }
 
 impl Suppressions {
-    fn parse(comments: &[Comment]) -> Self {
+    pub(crate) fn parse(comments: &[Comment], tokens: &[Token]) -> Self {
         let mut out = Suppressions::default();
         for comment in comments {
             // Doc comments talk *about* the annotation syntax; only
             // regular comments carry live directives.
-            if Suppressions::is_doc_comment(&comment.text) {
+            if is_doc_comment(&comment.text) {
                 continue;
             }
             let mut rest = comment.text.as_str();
@@ -163,74 +217,194 @@ impl Suppressions {
                         continue;
                     }
                     match Rule::from_name(name) {
-                        Some(rule) => {
-                            // A trailing annotation covers its own line(s);
-                            // a standalone one covers the line below it.
-                            for line in comment.line..=comment.end_line {
-                                out.by_line.entry(line).or_default().push(rule);
-                            }
-                            if comment.owns_line {
-                                out.by_line
-                                    .entry(comment.end_line + 1)
-                                    .or_default()
-                                    .push(rule);
-                            }
-                        }
+                        Some(rule) => out.cover(comment, tokens, rule),
                         None => out.unknown.push((comment.line, name.to_string())),
                     }
                 }
                 rest = &rest[close..];
             }
+            // `lint:hot-exempt(<why>)` is sugar for waiving both
+            // hot-path rules: an exempted allocation site must not
+            // re-surface as an unresolved call.
+            if comment.text.contains("lint:hot-exempt(") {
+                out.cover(comment, tokens, Rule::HotPathAlloc);
+                out.cover(comment, tokens, Rule::UnresolvedHotCall);
+            }
         }
         out
     }
 
-    fn is_doc_comment(text: &str) -> bool {
-        text.starts_with("///")
-            || text.starts_with("//!")
-            || text.starts_with("/**")
-            || text.starts_with("/*!")
+    fn cover(&mut self, comment: &Comment, tokens: &[Token], rule: Rule) {
+        for line in coverage_span(comment, tokens) {
+            self.by_line.entry(line).or_default().push(rule);
+        }
     }
 
-    fn allows(&self, line: u32, rule: Rule) -> bool {
+    pub(crate) fn allows(&self, line: u32, rule: Rule) -> bool {
         self.by_line
             .get(&line)
             .is_some_and(|rules| rules.contains(&rule))
     }
+
+    pub(crate) fn unknown(&self) -> &[(u32, String)] {
+        &self.unknown
+    }
 }
 
-/// Analyzes one file in isolation: the signature index is built from
-/// the file itself, so call-site unit checks see only its own `fn`s.
+fn is_doc_comment(text: &str) -> bool {
+    text.starts_with("///")
+        || text.starts_with("//!")
+        || text.starts_with("/**")
+        || text.starts_with("/*!")
+}
+
+/// The lines a directive comment covers: its own line(s), plus — for a
+/// standalone comment — the full span of the statement that starts on
+/// the very next line.
+pub(crate) fn coverage_span(comment: &Comment, tokens: &[Token]) -> std::ops::RangeInclusive<u32> {
+    if !comment.owns_line {
+        return comment.line..=comment.end_line;
+    }
+    let next = comment.end_line + 1;
+    let Some(start) = tokens.iter().position(|t| t.line >= next) else {
+        return comment.line..=comment.end_line;
+    };
+    if tokens[start].line != next {
+        // The comment does not directly precede code (blank line or end
+        // of file): it covers nothing beyond itself.
+        return comment.line..=comment.end_line;
+    }
+    comment.line..=statement_end_line(tokens, start)
+}
+
+/// Keywords that open an item or block statement: coverage stops at
+/// their `{` so one annotation can never waive a whole body.
+const STATEMENT_HEADS: [&str; 17] = [
+    "fn",
+    "impl",
+    "mod",
+    "struct",
+    "enum",
+    "trait",
+    "union",
+    "pub",
+    "if",
+    "match",
+    "for",
+    "while",
+    "loop",
+    "unsafe",
+    "else",
+    "macro_rules",
+    "extern",
+];
+
+/// The line on which the statement starting at `tokens[start]` ends:
+/// the first `;` at delimiter depth 0 for expression statements, the
+/// opening `{` for item/block heads, or the enclosing close brace for
+/// tail expressions.
+fn statement_end_line(tokens: &[Token], start: usize) -> u32 {
+    let head = &tokens[start];
+    let item_like = head.is_punct('#')
+        || (head.kind == TokenKind::Ident && STATEMENT_HEADS.contains(&head.text.as_str()));
+    let mut depth = 0i32;
+    let mut last = head.line;
+    for t in &tokens[start..] {
+        last = t.line;
+        if let TokenKind::Punct(c) = t.kind {
+            match c {
+                '{' if item_like && depth == 0 => return t.line,
+                '(' | '[' | '{' => depth += 1,
+                ')' | ']' | '}' => {
+                    if depth == 0 {
+                        // Fell out of the enclosing block: the covered
+                        // statement was a tail expression.
+                        return last;
+                    }
+                    depth -= 1;
+                }
+                ';' if depth == 0 => return t.line,
+                _ => {}
+            }
+        }
+    }
+    last
+}
+
+/// Lines covered by a `<marker>…)` directive (e.g. `lint:taint-source(`),
+/// using the same statement-span geometry as suppressions.
+pub(crate) fn marker_lines(comments: &[Comment], tokens: &[Token], marker: &str) -> BTreeSet<u32> {
+    let mut out = BTreeSet::new();
+    for comment in comments {
+        if is_doc_comment(&comment.text) || !comment.text.contains(marker) {
+            continue;
+        }
+        out.extend(coverage_span(comment, tokens));
+    }
+    out
+}
+
+/// Analyzes one file in isolation. The whole interprocedural pipeline
+/// runs on the single file: the signature index, call graph, taint,
+/// and hot-path passes all see only its own `fn`s.
 ///
 /// `rel_path` must be workspace-relative: rule applicability is decided
 /// from it (see [`classify`]).
 pub fn analyze_file(rel_path: &str, source: &str) -> Vec<Finding> {
-    let lexed = lex(source);
-    let mut sigs = crate::sigindex::SigIndex::new();
-    sigs.add_file(&lexed);
-    analyze_lexed(rel_path, &lexed, &sigs)
+    crate::analyze_sources(vec![(rel_path.to_string(), source.to_string())])
+        .report
+        .findings
 }
 
 /// Analyzes one already-lexed file against a (typically
 /// workspace-wide) signature index and returns its unsuppressed
-/// findings, in source order.
+/// per-file findings, in source order. Interprocedural rules
+/// (taint/hot-path) need the whole workspace — see
+/// [`crate::analyze_sources`].
 pub fn analyze_lexed(
     rel_path: &str,
     lexed: &LexedFile,
     sigs: &crate::sigindex::SigIndex,
 ) -> Vec<Finding> {
     let ctx = FileContext::build(classify(rel_path), lexed);
-    let suppressions = Suppressions::parse(&lexed.comments);
+    let suppressions = Suppressions::parse(&lexed.comments, &lexed.tokens);
+    let mut findings = per_file_findings(rel_path, lexed, &ctx, sigs);
+    push_unknown_rule_findings(rel_path, &suppressions, &mut findings);
+    findings.retain(|f| !suppressions.allows(f.line, f.rule));
+    findings.sort_by_key(|f| (f.line, f.rule));
+    // Nested fn items produce overlapping spans; identical findings
+    // collapse to one.
+    findings.dedup();
+    findings
+}
+
+/// Runs the intraprocedural (single-file) rules and returns their raw,
+/// unsuppressed findings. The caller owns suppression filtering, so the
+/// workspace pipeline can report waived findings separately.
+pub(crate) fn per_file_findings(
+    rel_path: &str,
+    lexed: &LexedFile,
+    ctx: &FileContext,
+    sigs: &crate::sigindex::SigIndex,
+) -> Vec<Finding> {
     let mut findings = Vec::new();
-
-    check_time(rel_path, lexed, &ctx, &mut findings);
+    check_time(rel_path, lexed, ctx, &mut findings);
     check_rng(rel_path, lexed, &mut findings);
-    check_unordered_iteration(rel_path, lexed, &ctx, &mut findings);
-    check_panic(rel_path, lexed, &ctx, &mut findings);
-    check_print(rel_path, lexed, &ctx, &mut findings);
-    findings.extend(crate::parser::check_units(rel_path, lexed, &ctx, sigs));
+    check_unordered_iteration(rel_path, lexed, ctx, &mut findings);
+    check_panic(rel_path, lexed, ctx, &mut findings);
+    check_print(rel_path, lexed, ctx, &mut findings);
+    findings.extend(crate::parser::check_units(rel_path, lexed, ctx, sigs));
+    findings
+}
 
-    for (line, name) in &suppressions.unknown {
+/// An unresolvable rule name inside `lint:allow(…)` is itself a
+/// finding: a typo there would silently waive nothing.
+pub(crate) fn push_unknown_rule_findings(
+    rel_path: &str,
+    suppressions: &Suppressions,
+    findings: &mut Vec<Finding>,
+) {
+    for (line, name) in suppressions.unknown() {
         findings.push(Finding {
             file: rel_path.to_string(),
             line: *line,
@@ -240,13 +414,6 @@ pub fn analyze_lexed(
             ),
         });
     }
-
-    findings.retain(|f| !suppressions.allows(f.line, f.rule));
-    findings.sort_by_key(|f| (f.line, f.rule));
-    // Nested fn items produce overlapping spans; identical findings
-    // collapse to one.
-    findings.dedup();
-    findings
 }
 
 /// `tokens[i..]` starts the ident path `a :: b`.
@@ -461,6 +628,7 @@ fn check_print(path: &str, lexed: &LexedFile, ctx: &FileContext, out: &mut Vec<F
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lexer::lex;
 
     const LIB: &str = "crates/demo/src/lib.rs";
 
@@ -563,5 +731,65 @@ mod tests {
             assert_eq!(Rule::from_name(rule.name()), Some(rule));
         }
         assert_eq!(Rule::from_name("no-such-rule"), None);
+    }
+
+    #[test]
+    fn standalone_suppression_covers_the_whole_statement() {
+        // The annotated statement wraps over three lines; the waiver
+        // must reach the `.unwrap()` on the last of them.
+        let src = "fn f(x: Option<u8>) -> u8 {\n\
+                   // lint:allow(panic-in-lib): checked by caller\n\
+                   let v = x\n\
+                       .map(|v| v + 1)\n\
+                       .unwrap();\n\
+                   v }\n";
+        assert!(rules_hit(LIB, src).is_empty());
+    }
+
+    #[test]
+    fn standalone_suppression_stops_at_an_item_brace() {
+        // An annotation above `fn` covers the signature, not the body:
+        // blanket whole-function waivers stay impossible.
+        let src = "// lint:allow(panic-in-lib)\n\
+                   fn f(x: Option<u8>) -> u8 {\n\
+                       x.unwrap()\n\
+                   }\n";
+        assert_eq!(rules_hit(LIB, src), vec![(3, "panic-in-lib")]);
+    }
+
+    #[test]
+    fn suppression_after_blank_line_covers_nothing_below() {
+        let src = "// lint:allow(panic-in-lib)\n\nfn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        assert_eq!(rules_hit(LIB, src), vec![(3, "panic-in-lib")]);
+    }
+
+    #[test]
+    fn standalone_suppression_covers_a_tail_expression() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n\
+                   // lint:allow(panic-in-lib): caller guarantees Some\n\
+                   x.unwrap()\n\
+                   }\n";
+        assert!(rules_hit(LIB, src).is_empty());
+    }
+
+    #[test]
+    fn hot_exempt_waives_both_hot_rules() {
+        let lexed = lex("fn f() {\n let v = Vec::new(); // lint:hot-exempt(tiny, bounded)\n}\n");
+        let sup = Suppressions::parse(&lexed.comments, &lexed.tokens);
+        assert!(sup.allows(2, Rule::HotPathAlloc));
+        assert!(sup.allows(2, Rule::UnresolvedHotCall));
+        assert!(!sup.allows(2, Rule::PanicInLib));
+    }
+
+    #[test]
+    fn marker_lines_use_statement_spans() {
+        let lexed = lex("fn f(seed: u64) -> u64 {\n\
+             // lint:taint-source(fixture)\n\
+             let x = seed\n\
+                 .wrapping_mul(3);\n\
+             x\n}\n");
+        let marked = marker_lines(&lexed.comments, &lexed.tokens, "lint:taint-source(");
+        assert!(marked.contains(&2) && marked.contains(&3) && marked.contains(&4));
+        assert!(!marked.contains(&5));
     }
 }

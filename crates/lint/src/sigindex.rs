@@ -178,4 +178,82 @@ mod tests {
         let idx = index("trait T { fn wait(&self, pause_ms: f64); }");
         assert!(idx.expected_param("wait", 1, 0).is_some());
     }
+
+    // The tests below pin the *cross-crate* resolution contract the
+    // call graph builds on: the index is bare-name-based, one namespace
+    // for the whole workspace, fed by one `add_file` call per file.
+
+    fn index_files(files: &[&str]) -> SigIndex {
+        let mut idx = SigIndex::new();
+        for src in files {
+            idx.add_file(&lex(src));
+        }
+        idx
+    }
+
+    #[test]
+    fn same_name_across_crates_must_agree_to_check() {
+        // Two crates defining `budget` with different param names but
+        // agreeing units keep the expectation; a disagreeing crate
+        // kills it for the *whole* workspace — conservative by design.
+        let agree = index_files(&[
+            "pub fn budget(window_ms: f64) -> f64 { window_ms }",
+            "pub fn budget(span_ms: f64) -> f64 { span_ms * 2.0 }",
+        ]);
+        assert_eq!(agree.len(), 2);
+        assert!(agree.expected_param("budget", 1, 0).is_some());
+
+        let disagree = index_files(&[
+            "pub fn budget(window_ms: f64) -> f64 { window_ms }",
+            "pub fn budget(window_mj: f64) -> f64 { window_mj }",
+        ]);
+        assert!(disagree.expected_param("budget", 1, 0).is_none());
+    }
+
+    #[test]
+    fn identical_signatures_across_crates_dedupe() {
+        // Workspace-wide pass sees the same textual signature twice
+        // (e.g. a trait and its impl): one entry, expectation intact.
+        let idx = index_files(&[
+            "trait K { fn pick(&self, slack_ms: f64) -> usize; }",
+            "impl K for G { fn pick(&self, slack_ms: f64) -> usize { 0 } }",
+        ]);
+        assert_eq!(idx.len(), 1);
+        assert!(idx.expected_param("pick", 1, 0).is_some());
+    }
+
+    #[test]
+    fn impl_methods_and_free_functions_share_one_namespace() {
+        // A method `Device::drain(power_w)` and a free `drain(power_w)`
+        // in another crate collide under the bare name. Agreement keeps
+        // checking; a unit conflict degrades to no expectation rather
+        // than a cross-namespace false positive.
+        let agree = index_files(&[
+            "impl Device { fn drain(&mut self, power_w: f64) {} }",
+            "pub fn drain(power_w: f64) {}",
+        ]);
+        assert!(agree.expected_param("drain", 1, 0).is_some());
+
+        let clash = index_files(&[
+            "impl Device { fn drain(&mut self, power_w: f64) {} }",
+            "pub fn drain(budget_ms: f64) {}",
+        ]);
+        assert!(clash.expected_param("drain", 1, 0).is_none());
+    }
+
+    #[test]
+    fn re_exports_are_invisible_to_the_index() {
+        // `pub use` carries no signature: the definition is indexed
+        // once, under its bare name, no matter how many re-export paths
+        // exist — and the re-export line itself must not be mistaken
+        // for a definition.
+        let idx = index_files(&[
+            "pub fn step(dt_ms: f64) {}",
+            "pub use crate::engine::step;\npub use crate::engine::step as advance;",
+        ]);
+        assert_eq!(idx.len(), 1);
+        assert!(idx.expected_param("step", 1, 0).is_some());
+        // The alias has no entry of its own.
+        assert!(idx.expected_param("advance", 1, 0).is_none());
+    }
 }

@@ -1,0 +1,935 @@
+//! Interprocedural determinism taint: forward dataflow from
+//! nondeterministic sources to digest/serialization sinks.
+//!
+//! ## Sources
+//!
+//! * wall-clock reads: `Instant::now`, `SystemTime`;
+//! * environment reads: `env::var`, `env::var_os`, `env::vars`;
+//! * entropy-seeded RNG construction: `thread_rng`, `from_entropy`,
+//!   `from_os_rng`, `OsRng`, `getrandom`, `rand::random`;
+//! * any token on a line covered by an explicit
+//!   `// lint:taint-source(<why>)` marker.
+//!
+//! ## Sinks
+//!
+//! * **digest updates** ([`crate::rules::Rule::TaintedDigest`]): a
+//!   tainted argument to `fnv1a_fold` or to any call whose name
+//!   contains `digest`, or an assignment of a tainted value to a
+//!   binding/field whose name contains `digest`;
+//! * **report/serialized fields**
+//!   ([`crate::rules::Rule::TaintedReportField`]): a tainted
+//!   initializer in a struct literal of a `…Report` type or of any
+//!   `#[derive(… Serialize …)]` struct, or a tainted argument to
+//!   `serialize`/`to_value`. Sink checks run in every non-test
+//!   library/binary function — a conservative superset of `serve()`'s
+//!   report path.
+//!
+//! ## Propagation and soundness caveats
+//!
+//! Taint flows through `let` bindings and assignments (an
+//! intraprocedural fixpoint over the statement list) and through call
+//! returns: a function **taints its return value** when a tainted
+//! expression occurs in one of its `return` statements or in its tail
+//! region (everything after the last top-level `;`), computed as a
+//! workspace-wide fixpoint over the call graph. Deliberate
+//! approximations, chosen to keep the quarantined wall-clock timer
+//! (`DecisionTimer`) from poisoning every session result:
+//!
+//! * receiver mutation does **not** taint the receiver
+//!   (`v.push(tainted)` leaves `v` clean);
+//! * functions with no `->` return type never taint-return;
+//! * locals bound inside closures passed as call arguments are not
+//!   tracked (the closure body still participates in sink checks);
+//! * unresolved calls (std / external) do not propagate taint — sources
+//!   are an explicit, local list.
+
+use std::collections::BTreeSet;
+
+use crate::callgraph::CallGraph;
+use crate::context::{FileClass, FileContext};
+use crate::lexer::{LexedFile, Token, TokenKind};
+use crate::rules::{marker_lines, Finding, Rule};
+
+/// What the taint pass produced.
+#[derive(Debug, Clone, Default)]
+pub struct TaintOutcome {
+    /// Findings, unfiltered by suppressions (the caller filters).
+    pub findings: Vec<Finding>,
+    /// Per-def: whether the function taints its return value.
+    pub taint_returning: Vec<bool>,
+}
+
+/// Entropy-seeded RNG constructors (mirrors the per-file RNG rule).
+const ENTROPY_RNG_IDENTS: [&str; 5] = [
+    "thread_rng",
+    "from_entropy",
+    "from_os_rng",
+    "OsRng",
+    "getrandom",
+];
+
+/// One statement-ish token run inside a function body.
+#[derive(Debug, Clone)]
+struct Stmt {
+    /// Global token index of the first token.
+    start: usize,
+    /// Global token index one past the last token.
+    end: usize,
+    /// Index just past the assignment's `=` (the RHS start), when the
+    /// statement binds or assigns.
+    rhs: Option<usize>,
+    /// The bound/assigned names (pattern idents for `let`, the root or
+    /// `self.field` name for assignments).
+    lhs: Vec<String>,
+    /// Whether the statement starts with `return`.
+    is_return: bool,
+}
+
+/// Per-function precomputation shared by every fixpoint round.
+struct FnFacts {
+    file: usize,
+    stmts: Vec<Stmt>,
+    /// The implicit-return tail: tokens after the last top-level `;` of
+    /// the body. Empty for bodies that end on a `;`.
+    tail: (usize, usize),
+    /// Whether the signature declares a `->` return type.
+    has_return_type: bool,
+    /// Call sites in this body: (name token index, args `(` index,
+    /// resolved def ids, callee name, is_method).
+    calls: Vec<(usize, usize, Vec<usize>, String, bool)>,
+}
+
+/// Per-file source facts.
+struct FileFacts {
+    /// Token starts a source pattern.
+    is_source: Vec<bool>,
+    /// Lines covered by `lint:taint-source(…)` markers.
+    marked_lines: BTreeSet<u32>,
+}
+
+/// Runs the determinism-taint analysis over the whole workspace.
+pub fn analyze(
+    files: &[(String, LexedFile)],
+    _contexts: &[FileContext],
+    graph: &CallGraph,
+) -> TaintOutcome {
+    let file_facts: Vec<FileFacts> = files
+        .iter()
+        .map(|(_, lexed)| FileFacts {
+            is_source: mark_sources(&lexed.tokens),
+            marked_lines: marker_lines(&lexed.comments, &lexed.tokens, "lint:taint-source("),
+        })
+        .collect();
+    let fn_facts: Vec<FnFacts> = graph
+        .defs
+        .iter()
+        .enumerate()
+        .map(|(id, def)| {
+            let tokens = &files[def.file].1.tokens;
+            let mut stmts = Vec::new();
+            collect_stmts(tokens, def.open + 1, def.close, &mut stmts);
+            FnFacts {
+                file: def.file,
+                stmts,
+                tail: tail_region(tokens, def.open, def.close),
+                has_return_type: has_return_type(tokens, def.start, def.open),
+                calls: graph
+                    .calls_of(id)
+                    .map(|c| {
+                        (
+                            c.at,
+                            c.args_open,
+                            c.resolved.clone(),
+                            c.name.clone(),
+                            c.is_method,
+                        )
+                    })
+                    .collect(),
+            }
+        })
+        .collect();
+
+    // Workspace fixpoint: does each fn taint its return value?
+    let mut returning = vec![false; graph.defs.len()];
+    loop {
+        let mut changed = false;
+        for id in 0..graph.defs.len() {
+            if returning[id] || !fn_facts[id].has_return_type {
+                continue;
+            }
+            let facts = &fn_facts[id];
+            let tokens = &files[facts.file].1.tokens;
+            let ff = &file_facts[facts.file];
+            let locals = tainted_locals(facts, tokens, ff, &returning);
+            if returns_taint(facts, tokens, ff, &locals, &returning) {
+                returning[id] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Sink pass over non-test library/binary functions.
+    let mut findings = Vec::new();
+    for (id, def) in graph.defs.iter().enumerate() {
+        if def.in_test || !matches!(def.class, FileClass::Lib | FileClass::Bin) {
+            continue;
+        }
+        let facts = &fn_facts[id];
+        let tokens = &files[def.file].1.tokens;
+        let ff = &file_facts[def.file];
+        let path = files[def.file].0.as_str();
+        let locals = tainted_locals(facts, tokens, ff, &returning);
+        check_call_sinks(facts, tokens, ff, &locals, &returning, path, &mut findings);
+        check_assignment_sinks(facts, tokens, ff, &locals, &returning, path, &mut findings);
+        check_struct_literal_sinks(
+            def.open + 1,
+            def.close,
+            facts,
+            tokens,
+            ff,
+            &locals,
+            &returning,
+            graph,
+            path,
+            &mut findings,
+        );
+    }
+    TaintOutcome {
+        findings,
+        taint_returning: returning,
+    }
+}
+
+/// Marks tokens that begin a nondeterministic-source pattern.
+fn mark_sources(tokens: &[Token]) -> Vec<bool> {
+    let mut out = vec![false; tokens.len()];
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let hit = ident_path2(tokens, i, "Instant", "now")
+            || t.is_ident("SystemTime")
+            || ident_path2(tokens, i, "env", "var")
+            || ident_path2(tokens, i, "env", "var_os")
+            || ident_path2(tokens, i, "env", "vars")
+            || ident_path2(tokens, i, "rand", "random")
+            || ENTROPY_RNG_IDENTS.contains(&t.text.as_str());
+        if hit {
+            out[i] = true;
+        }
+    }
+    out
+}
+
+/// `tokens[i..]` starts the ident path `a :: b`.
+fn ident_path2(tokens: &[Token], i: usize, a: &str, b: &str) -> bool {
+    tokens[i].is_ident(a)
+        && tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+        && tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        && tokens.get(i + 3).is_some_and(|t| t.is_ident(b))
+}
+
+/// Whether the signature tokens (between the `fn` keyword and the body
+/// `{`) declare a return type.
+fn has_return_type(tokens: &[Token], start: usize, open: usize) -> bool {
+    let mut depth = 0usize;
+    for k in start..open {
+        let t = &tokens[k];
+        match t.kind {
+            TokenKind::Punct('(') | TokenKind::Punct('[') => depth += 1,
+            TokenKind::Punct(')') | TokenKind::Punct(']') => depth = depth.saturating_sub(1),
+            TokenKind::Punct('-')
+                if depth == 0
+                    && tokens
+                        .get(k + 1)
+                        .is_some_and(|n| n.is_punct('>') && t.is_joint(n)) =>
+            {
+                return true;
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+/// The body's implicit-return tail: tokens after the last `;` at brace
+/// depth 0. `(x, x)` when the body ends on a `;` (no tail expression).
+fn tail_region(tokens: &[Token], open: usize, close: usize) -> (usize, usize) {
+    let mut depth = 0usize;
+    let mut last_semi = open; // the `{` acts as a virtual leading `;`
+    for (k, t) in tokens.iter().enumerate().take(close).skip(open + 1) {
+        match t.kind {
+            TokenKind::Punct('{') | TokenKind::Punct('(') | TokenKind::Punct('[') => depth += 1,
+            TokenKind::Punct('}') | TokenKind::Punct(')') | TokenKind::Punct(']') => {
+                depth = depth.saturating_sub(1)
+            }
+            TokenKind::Punct(';') if depth == 0 => last_semi = k,
+            _ => {}
+        }
+    }
+    (last_semi + 1, close)
+}
+
+/// Statement heads whose `{ … }` block ends the statement (rather than
+/// being an initializer sub-expression).
+const BLOCK_HEADS: [&str; 7] = ["if", "for", "while", "loop", "match", "unsafe", "else"];
+
+/// Keywords that never name a binding.
+const PATTERN_KEYWORDS: [&str; 4] = ["let", "mut", "ref", "box"];
+
+/// Segments `tokens[lo..hi]` into flat statements, recursing into brace
+/// groups so statements inside `if`/`for`/`match` bodies are seen too.
+fn collect_stmts(tokens: &[Token], lo: usize, hi: usize, out: &mut Vec<Stmt>) {
+    let mut i = lo;
+    while i < hi {
+        let t = &tokens[i];
+        if t.is_punct(';')
+            || t.is_punct(',')
+            || t.is_punct('}')
+            || t.is_punct(')')
+            || t.is_punct(']')
+        {
+            i += 1;
+            continue;
+        }
+        if t.is_punct('{') {
+            let close = close_brace_within(tokens, i, hi);
+            collect_stmts(tokens, i + 1, close, out);
+            i = close + 1;
+            continue;
+        }
+        let head_is_block = t.kind == TokenKind::Ident && BLOCK_HEADS.contains(&t.text.as_str());
+        let is_return = t.is_ident("return");
+        let mut depth = 0usize;
+        let mut j = i;
+        let mut groups: Vec<(usize, usize)> = Vec::new();
+        let end = loop {
+            if j >= hi {
+                break hi;
+            }
+            let tok = &tokens[j];
+            match tok.kind {
+                TokenKind::Punct('(') | TokenKind::Punct('[') => depth += 1,
+                TokenKind::Punct(')') | TokenKind::Punct(']') => {
+                    if depth == 0 {
+                        break j;
+                    }
+                    depth -= 1;
+                }
+                TokenKind::Punct('{') if depth == 0 => {
+                    let close = close_brace_within(tokens, j, hi);
+                    groups.push((j, close));
+                    j = close;
+                    if head_is_block && !tokens.get(j + 1).is_some_and(|n| n.is_ident("else")) {
+                        break j + 1;
+                    }
+                }
+                TokenKind::Punct('{') => depth += 1,
+                TokenKind::Punct('}') => {
+                    if depth == 0 {
+                        break j;
+                    }
+                    depth -= 1;
+                }
+                TokenKind::Punct(';') | TokenKind::Punct(',') if depth == 0 => break j,
+                _ => {}
+            }
+            j += 1;
+        };
+        let (rhs, lhs) = split_assignment(tokens, i, end);
+        out.push(Stmt {
+            start: i,
+            end,
+            rhs,
+            lhs,
+            is_return,
+        });
+        for (open, close) in groups {
+            collect_stmts(tokens, open + 1, close, out);
+        }
+        i = end.max(i + 1);
+    }
+}
+
+/// Index of the `}` matching the `{` at `open`, clamped to `hi`.
+fn close_brace_within(tokens: &[Token], open: usize, hi: usize) -> usize {
+    let mut depth = 0usize;
+    for (k, t) in tokens.iter().enumerate().take(hi).skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return k;
+            }
+        }
+    }
+    hi
+}
+
+/// Finds a plain (or compound) top-level assignment in the statement
+/// and extracts the bound names. For `let` statements the names come
+/// from the pattern (stopping at a type annotation `:`); for
+/// assignments, the lhs path idents (`self.field = …` yields `field`).
+fn split_assignment(tokens: &[Token], start: usize, end: usize) -> (Option<usize>, Vec<String>) {
+    let mut depth = 0usize;
+    let mut eq = None;
+    for k in start..end {
+        let t = &tokens[k];
+        match t.kind {
+            TokenKind::Punct('(') | TokenKind::Punct('[') | TokenKind::Punct('{') => depth += 1,
+            TokenKind::Punct(')') | TokenKind::Punct(']') | TokenKind::Punct('}') => {
+                depth = depth.saturating_sub(1)
+            }
+            TokenKind::Punct('=') if depth == 0 => {
+                let next_joint = tokens
+                    .get(k + 1)
+                    .is_some_and(|n| (n.is_punct('=') || n.is_punct('>')) && t.is_joint(n));
+                let prev_cmp = k > start
+                    && matches!(
+                        tokens[k - 1].kind,
+                        TokenKind::Punct('=')
+                            | TokenKind::Punct('<')
+                            | TokenKind::Punct('>')
+                            | TokenKind::Punct('!')
+                            | TokenKind::Punct('.')
+                    )
+                    && tokens[k - 1].is_joint(t);
+                if !next_joint && !prev_cmp {
+                    eq = Some(k);
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let Some(eq) = eq else {
+        return (None, Vec::new());
+    };
+    let is_let = tokens[start].is_ident("let");
+    let mut lhs_end = eq;
+    if is_let {
+        // Stop the pattern at a top-level type annotation so type names
+        // (`let x: Vec<u64> = …`) never become tracked "locals".
+        let mut depth = 0usize;
+        for k in start..eq {
+            let t = &tokens[k];
+            match t.kind {
+                TokenKind::Punct('(') | TokenKind::Punct('[') | TokenKind::Punct('<') => depth += 1,
+                TokenKind::Punct(')') | TokenKind::Punct(']') | TokenKind::Punct('>') => {
+                    depth = depth.saturating_sub(1)
+                }
+                TokenKind::Punct(':') if depth == 0 => {
+                    let double = tokens
+                        .get(k + 1)
+                        .is_some_and(|n| n.is_punct(':') && t.is_joint(n));
+                    if !double {
+                        lhs_end = k;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    // Keep only names a pattern can actually bind: `if let Some(v) = …`
+    // binds `v`, not the `if` keyword or the `Some` constructor (locals
+    // are lowercase; uppercase idents in patterns are variant paths).
+    let mut names: Vec<String> = tokens[start..lhs_end]
+        .iter()
+        .filter(|t| {
+            t.kind == TokenKind::Ident
+                && !PATTERN_KEYWORDS.contains(&t.text.as_str())
+                && !BLOCK_HEADS.contains(&t.text.as_str())
+                && !t.text.starts_with(|c: char| c.is_ascii_uppercase())
+        })
+        .map(|t| t.text.clone())
+        .collect();
+    if !is_let {
+        // `self.field += …` — track the field name, not `self`.
+        names.retain(|n| n != "self");
+    }
+    (Some(eq + 1), names)
+}
+
+/// Intraprocedural fixpoint: which local names hold tainted values.
+fn tainted_locals(
+    facts: &FnFacts,
+    tokens: &[Token],
+    ff: &FileFacts,
+    returning: &[bool],
+) -> BTreeSet<String> {
+    let mut tainted = BTreeSet::new();
+    loop {
+        let mut changed = false;
+        for stmt in &facts.stmts {
+            let Some(rhs) = stmt.rhs else { continue };
+            if stmt.lhs.iter().all(|n| tainted.contains(n)) && !stmt.lhs.is_empty() {
+                continue;
+            }
+            if expr_tainted(facts, tokens, ff, &tainted, returning, rhs, stmt.end) {
+                for name in &stmt.lhs {
+                    if tainted.insert(name.clone()) {
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    tainted
+}
+
+/// Whether any token in `[lo, hi)` carries taint: a source pattern, a
+/// marked line, a tainted local, or a call to a taint-returning fn.
+fn expr_tainted(
+    facts: &FnFacts,
+    tokens: &[Token],
+    ff: &FileFacts,
+    tainted: &BTreeSet<String>,
+    returning: &[bool],
+    lo: usize,
+    hi: usize,
+) -> bool {
+    for (k, t) in tokens.iter().enumerate().take(hi).skip(lo) {
+        if ff.is_source[k] || ff.marked_lines.contains(&t.line) {
+            return true;
+        }
+        if t.kind == TokenKind::Ident && tainted.contains(&t.text) {
+            return true;
+        }
+    }
+    facts.calls.iter().any(|(at, _, resolved, _, _)| {
+        lo <= *at && *at < hi && resolved.iter().any(|&id| returning[id])
+    })
+}
+
+/// Whether the function's return positions carry taint.
+fn returns_taint(
+    facts: &FnFacts,
+    tokens: &[Token],
+    ff: &FileFacts,
+    tainted: &BTreeSet<String>,
+    returning: &[bool],
+) -> bool {
+    if expr_tainted(
+        facts,
+        tokens,
+        ff,
+        tainted,
+        returning,
+        facts.tail.0,
+        facts.tail.1,
+    ) {
+        return true;
+    }
+    facts.stmts.iter().any(|s| {
+        s.is_return && expr_tainted(facts, tokens, ff, tainted, returning, s.start + 1, s.end)
+    })
+}
+
+/// Digest-update call names (beyond any name containing `digest`).
+fn is_digest_sink(name: &str) -> bool {
+    name == "fnv1a_fold" || name.contains("digest")
+}
+
+/// Serialization sink call names.
+fn is_serial_sink(name: &str) -> bool {
+    name == "serialize" || name == "to_value"
+}
+
+/// Flags tainted arguments to digest/serialization calls.
+#[allow(clippy::too_many_arguments)]
+fn check_call_sinks(
+    facts: &FnFacts,
+    tokens: &[Token],
+    ff: &FileFacts,
+    locals: &BTreeSet<String>,
+    returning: &[bool],
+    path: &str,
+    out: &mut Vec<Finding>,
+) {
+    for (at, args_open, _, name, _) in &facts.calls {
+        let digest = is_digest_sink(name);
+        let serial = is_serial_sink(name);
+        if !digest && !serial {
+            continue;
+        }
+        let args_close = close_paren(tokens, *args_open);
+        if args_close <= args_open + 1 {
+            continue; // no arguments (e.g. `fnv1a_start()`)
+        }
+        if expr_tainted(
+            facts,
+            tokens,
+            ff,
+            locals,
+            returning,
+            *args_open + 1,
+            args_close,
+        ) {
+            let (rule, what) = if digest {
+                (Rule::TaintedDigest, "digest update")
+            } else {
+                (Rule::TaintedReportField, "serialization")
+            };
+            out.push(Finding {
+                file: path.to_string(),
+                line: tokens[*at].line,
+                rule,
+                message: format!(
+                    "value derived from a nondeterministic source reaches {what} `{name}(…)`; \
+                     digested/serialized state must be a pure function of (trace, seed, index)"
+                ),
+            });
+        }
+    }
+}
+
+/// Flags tainted assignments into names containing `digest`.
+#[allow(clippy::too_many_arguments)]
+fn check_assignment_sinks(
+    facts: &FnFacts,
+    tokens: &[Token],
+    ff: &FileFacts,
+    locals: &BTreeSet<String>,
+    returning: &[bool],
+    path: &str,
+    out: &mut Vec<Finding>,
+) {
+    for stmt in &facts.stmts {
+        let Some(rhs) = stmt.rhs else { continue };
+        if !stmt.lhs.iter().any(|n| n.contains("digest")) {
+            continue;
+        }
+        // A digest-sink call in the RHS already reports via
+        // `check_call_sinks`; don't double up on the same line.
+        let rhs_has_digest_call = facts
+            .calls
+            .iter()
+            .any(|(at, _, _, name, _)| rhs <= *at && *at < stmt.end && is_digest_sink(name));
+        if rhs_has_digest_call {
+            continue;
+        }
+        if expr_tainted(facts, tokens, ff, locals, returning, rhs, stmt.end) {
+            out.push(Finding {
+                file: path.to_string(),
+                line: tokens[stmt.start].line,
+                rule: Rule::TaintedDigest,
+                message: format!(
+                    "nondeterminism-tainted value assigned into `{}`; digests must be \
+                     pure functions of (trace, seed, index)",
+                    stmt.lhs.join(", ")
+                ),
+            });
+        }
+    }
+}
+
+/// Flags tainted initializers in `…Report` / serde-serialized struct
+/// literals.
+#[allow(clippy::too_many_arguments)]
+fn check_struct_literal_sinks(
+    lo: usize,
+    hi: usize,
+    facts: &FnFacts,
+    tokens: &[Token],
+    ff: &FileFacts,
+    locals: &BTreeSet<String>,
+    returning: &[bool],
+    graph: &CallGraph,
+    path: &str,
+    out: &mut Vec<Finding>,
+) {
+    let mut k = lo;
+    while k < hi {
+        let t = &tokens[k];
+        let is_sink_struct = t.kind == TokenKind::Ident
+            && t.text != "Self"
+            && t.text.starts_with(|c: char| c.is_ascii_uppercase())
+            && (t.text.ends_with("Report") || graph.serialized_structs.contains(&t.text))
+            && tokens.get(k + 1).is_some_and(|n| n.is_punct('{'));
+        if !is_sink_struct {
+            k += 1;
+            continue;
+        }
+        let open = k + 1;
+        let close = close_brace_within(tokens, open, hi);
+        let mut f = open + 1;
+        while f < close {
+            // A field starts as `name :` at group depth 0 (the walk
+            // skips over each field's value expression below).
+            let is_field = tokens[f].kind == TokenKind::Ident
+                && tokens.get(f + 1).is_some_and(|n| n.is_punct(':'))
+                && !tokens
+                    .get(f + 2)
+                    .is_some_and(|n| n.is_punct(':') && tokens[f + 1].is_joint(n));
+            // Shorthand field: `Wire { seed, … }` — the ident is both
+            // the field name and the value.
+            let is_shorthand = tokens[f].kind == TokenKind::Ident
+                && tokens
+                    .get(f + 1)
+                    .is_some_and(|n| n.is_punct(',') || n.is_punct('}'));
+            if is_shorthand {
+                if locals.contains(&tokens[f].text)
+                    || ff.is_source[f]
+                    || ff.marked_lines.contains(&tokens[f].line)
+                {
+                    out.push(Finding {
+                        file: path.to_string(),
+                        line: tokens[f].line,
+                        rule: Rule::TaintedReportField,
+                        message: format!(
+                            "field `{}` of `{}` is initialized from a nondeterministic source; \
+                             report/serialized fields must be pure functions of (trace, seed, index)",
+                            tokens[f].text, t.text
+                        ),
+                    });
+                }
+                f += 2;
+                continue;
+            }
+            if !is_field {
+                f += 1;
+                continue;
+            }
+            let value_start = f + 2;
+            let value_end = field_value_end(tokens, value_start, close);
+            if expr_tainted(facts, tokens, ff, locals, returning, value_start, value_end) {
+                out.push(Finding {
+                    file: path.to_string(),
+                    line: tokens[f].line,
+                    rule: Rule::TaintedReportField,
+                    message: format!(
+                        "field `{}` of `{}` is initialized from a nondeterministic source; \
+                         report/serialized fields must be pure functions of (trace, seed, index)",
+                        tokens[f].text, t.text
+                    ),
+                });
+            }
+            f = value_end + 1;
+        }
+        k = close + 1;
+    }
+}
+
+/// End of a struct-literal field value: the `,` at depth 0 or the
+/// closing `}` of the literal.
+fn field_value_end(tokens: &[Token], start: usize, close: usize) -> usize {
+    let mut depth = 0usize;
+    for (k, t) in tokens.iter().enumerate().take(close).skip(start) {
+        match t.kind {
+            TokenKind::Punct('(') | TokenKind::Punct('[') | TokenKind::Punct('{') => depth += 1,
+            TokenKind::Punct(')') | TokenKind::Punct(']') | TokenKind::Punct('}') => {
+                depth = depth.saturating_sub(1)
+            }
+            TokenKind::Punct(',') if depth == 0 => return k,
+            _ => {}
+        }
+    }
+    close
+}
+
+/// Index of the `)` matching the `(` at `open` (or `open` itself when
+/// unmatched).
+fn close_paren(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return k;
+            }
+        }
+    }
+    open
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::classify;
+
+    fn run(path: &str, src: &str) -> TaintOutcome {
+        let files = vec![(path.to_string(), crate::lexer::lex(src))];
+        let contexts: Vec<FileContext> = files
+            .iter()
+            .map(|(p, l)| FileContext::build(classify(p), l))
+            .collect();
+        let graph = CallGraph::build(&files, &contexts);
+        analyze(&files, &contexts, &graph)
+    }
+
+    const LIB: &str = "crates/demo/src/lib.rs";
+
+    fn rules_hit(out: &TaintOutcome) -> Vec<(u32, &'static str)> {
+        out.findings
+            .iter()
+            .map(|f| (f.line, f.rule.name()))
+            .collect()
+    }
+
+    #[test]
+    fn direct_source_into_digest_call_is_flagged() {
+        let src = "fn f(mut digest: u64) -> u64 {\n\
+                   let t = Instant::now().elapsed().as_nanos() as u64;\n\
+                   digest = fnv1a_fold(digest, t);\n\
+                   digest }\n\
+                   fn fnv1a_fold(h: u64, x: u64) -> u64 { h ^ x }\n";
+        let out = run(LIB, src);
+        assert!(rules_hit(&out).contains(&(3, "tainted-digest")));
+    }
+
+    #[test]
+    fn two_hop_launder_is_flagged() {
+        let src = "fn read_clock() -> u64 { Instant::now().elapsed().as_nanos() as u64 }\n\
+                   fn hop() -> u64 { read_clock() }\n\
+                   fn fold(mut digest: u64) -> u64 {\n\
+                   let v = hop();\n\
+                   digest = fnv1a_fold(digest, v);\n\
+                   digest }\n\
+                   fn fnv1a_fold(h: u64, x: u64) -> u64 { h ^ x }\n";
+        let out = run(LIB, src);
+        assert!(out.taint_returning.iter().filter(|&&b| b).count() >= 2);
+        assert!(rules_hit(&out).contains(&(5, "tainted-digest")));
+    }
+
+    #[test]
+    fn clean_digest_code_is_not_flagged() {
+        let src = "fn fold(mut digest: u64, action: u64) -> u64 {\n\
+                   digest = fnv1a_fold(digest, action);\n\
+                   digest }\n\
+                   fn fnv1a_fold(h: u64, x: u64) -> u64 { h ^ x }\n";
+        let out = run(LIB, src);
+        assert!(out.findings.is_empty());
+    }
+
+    #[test]
+    fn timer_value_kept_out_of_digests_is_clean() {
+        // The quarantine pattern: wall-clock read inside an annotated
+        // helper, its value returned beside — never inside — the digest.
+        let src = "struct Timer { t0: u64 }\n\
+                   impl Timer { fn now() -> Timer { Timer { t0: Instant::now().elapsed().as_nanos() as u64 } } }\n\
+                   fn run(mut digest: u64) -> (u64, u64) {\n\
+                   let timer = Timer::now();\n\
+                   digest = fnv1a_fold(digest, 7);\n\
+                   (digest, timer.t0) }\n\
+                   fn fnv1a_fold(h: u64, x: u64) -> u64 { h ^ x }\n";
+        let out = run(LIB, src);
+        assert!(
+            rules_hit(&out).is_empty(),
+            "quarantined timer must not poison clean digest folds: {:?}",
+            out.findings
+        );
+    }
+
+    #[test]
+    fn tainted_report_field_is_flagged() {
+        let src = "#[derive(Serialize)]\nstruct Wire { elapsed_ns: u64 }\n\
+                   fn build() -> Wire {\n\
+                   let e = Instant::now().elapsed().as_nanos() as u64;\n\
+                   Wire { elapsed_ns: e }\n\
+                   }\n";
+        let out = run(LIB, src);
+        assert!(rules_hit(&out).contains(&(5, "tainted-report-field")));
+    }
+
+    #[test]
+    fn report_suffix_structs_are_sinks_without_derive() {
+        let src = "fn build(x: u64) -> SessionReport {\n\
+                   let seed = thread_rng().gen::<u64>();\n\
+                   SessionReport { seed: seed, decisions: x }\n\
+                   }\n";
+        let out = run(LIB, src);
+        assert!(rules_hit(&out).contains(&(3, "tainted-report-field")));
+    }
+
+    #[test]
+    fn explicit_marker_is_a_source() {
+        let src = "fn f(mut digest: u64) -> u64 {\n\
+                   // lint:taint-source(operator-injected chaos knob)\n\
+                   let knob = read_knob();\n\
+                   digest = fnv1a_fold(digest, knob);\n\
+                   digest }\n\
+                   fn fnv1a_fold(h: u64, x: u64) -> u64 { h ^ x }\n\
+                   fn read_knob() -> u64 { 7 }\n";
+        let out = run(LIB, src);
+        assert!(rules_hit(&out).contains(&(4, "tainted-digest")));
+    }
+
+    #[test]
+    fn receiver_mutation_does_not_taint() {
+        let src = "fn f(mut digest: u64) -> u64 {\n\
+                   let mut lat = make_vec();\n\
+                   let t = Instant::now().elapsed().as_nanos() as u64;\n\
+                   lat.push(t);\n\
+                   digest = fnv1a_fold(digest, lat.len() as u64);\n\
+                   digest }\n\
+                   fn make_vec() -> Vec<u64> { Vec::new() }\n\
+                   fn fnv1a_fold(h: u64, x: u64) -> u64 { h ^ x }\n";
+        // `lat.len()` is order-dependent on pushes but not on the pushed
+        // *values*; the deliberate receiver-mutation blind spot keeps
+        // the latency-buffer pattern clean.
+        let out = run(LIB, src);
+        assert!(rules_hit(&out).is_empty(), "{:?}", out.findings);
+    }
+
+    #[test]
+    fn unit_returning_functions_never_taint_return() {
+        let src = "fn log_time(buf: &mut Vec<u64>) { buf.push(Instant::now().elapsed().as_nanos() as u64); }\n\
+                   fn f(mut digest: u64, buf: &mut Vec<u64>) -> u64 {\n\
+                   log_time(buf);\n\
+                   digest = fnv1a_fold(digest, 3);\n\
+                   digest }\n\
+                   fn fnv1a_fold(h: u64, x: u64) -> u64 { h ^ x }\n";
+        let out = run(LIB, src);
+        assert!(rules_hit(&out).is_empty(), "{:?}", out.findings);
+    }
+
+    #[test]
+    fn if_let_bindings_do_not_taint_the_if_keyword() {
+        // `if let Some(v) = tainted` binds `v` alone; treating `if` or
+        // `Some` as tainted locals would poison every later statement
+        // that merely contains an `if` expression.
+        let src = "fn f(mut digest: u64, flag: bool) -> u64 {\n\
+                   let t = Instant::now().elapsed().as_nanos() as u64;\n\
+                   if let Some(v) = checked(t) { log(v); }\n\
+                   digest = fnv1a_fold(digest, if flag { 1 } else { 2 });\n\
+                   digest }\n\
+                   fn checked(x: u64) -> Option<u64> { Some(x) }\n\
+                   fn log(_v: u64) {}\n\
+                   fn fnv1a_fold(h: u64, x: u64) -> u64 { h ^ x }\n";
+        let out = run(LIB, src);
+        assert!(rules_hit(&out).is_empty(), "{:?}", out.findings);
+        // The bound name itself still carries the taint.
+        let poisoned = src.replace(
+            "fnv1a_fold(digest, if flag { 1 } else { 2 })",
+            "fnv1a_fold(digest, v)",
+        );
+        let out = run(LIB, &poisoned);
+        assert!(
+            rules_hit(&out).contains(&(4, "tainted-digest")),
+            "{:?}",
+            out.findings
+        );
+    }
+
+    #[test]
+    fn test_code_is_exempt_from_sinks() {
+        let src = "#[cfg(test)]\nmod tests {\n\
+                   fn f(mut digest: u64) -> u64 {\n\
+                   let t = Instant::now().elapsed().as_nanos() as u64;\n\
+                   digest = fnv1a_fold(digest, t);\n\
+                   digest }\n\
+                   }\nfn fnv1a_fold(h: u64, x: u64) -> u64 { h ^ x }\n";
+        let out = run(LIB, src);
+        assert!(out.findings.is_empty());
+    }
+}

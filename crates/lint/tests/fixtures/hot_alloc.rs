@@ -1,0 +1,45 @@
+// lint-fixture-path: crates/demo/src/hot_alloc.rs
+//! Fixture: hot-path allocation analysis. A local `DecisionKernel`
+//! pulls three helpers into the hot set; allocation-prone constructs
+//! and an unresolvable call inside them are flagged, an exempted site
+//! is waived, and the cold twin at the bottom stays silent.
+
+pub trait DecisionKernel {
+    fn select(&self, scores: &[f64]) -> usize {
+        ranked(scores)
+    }
+}
+
+/// Hot, one hop below the kernel: pulls the helpers below in.
+fn ranked(scores: &[f64]) -> usize {
+    let order = indices(scores.len());
+    let scratch_len = scratch(scores.len()).len();
+    let warm = warmup(scores.len());
+    let cap = scratch_len + warm.len();
+    order.first().copied().unwrap_or(0).min(cap)
+}
+
+/// Hot, two hops below the kernel: the collect is flagged.
+fn indices(n: usize) -> Vec<usize> {
+    (0..n).collect()
+}
+
+/// Hot: the heap constructor, the macro and the unresolvable
+/// growth-prone `.extend(…)` are all flagged.
+fn scratch(n: usize) -> Vec<f64> {
+    let mut buf = Vec::with_capacity(n);
+    buf.extend(vec![0.0; n]);
+    buf
+}
+
+/// Hot but waived: the justification travels with the code.
+fn warmup(n: usize) -> Vec<u64> {
+    // lint:hot-exempt(one-time warmup buffer sized for the whole session)
+    let seeds = vec![0; n];
+    seeds
+}
+
+/// Cold: the same constructs off the hot path are fine.
+pub fn cold_scratch(n: usize) -> Vec<f64> {
+    vec![0.0; n]
+}

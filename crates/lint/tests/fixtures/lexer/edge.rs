@@ -10,3 +10,9 @@ fn r#match<'a>(r#type: &'a str) -> u64 {
     let nl = '\n';
     shifted
 }
+
+/* nested /* twice /* thrice, with '"' bait */ */ comments close here */
+fn r#await<'r#try>(x: &'r#try str) -> (&'r#try str, char) {
+    let pair = ('z', '\n');
+    (x, pair.0)
+}

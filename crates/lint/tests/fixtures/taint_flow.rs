@@ -1,0 +1,62 @@
+// lint-fixture-path: crates/demo/src/taint_flow.rs
+//! Fixture: interprocedural determinism taint. A wall-clock read is
+//! laundered through two helper hops into a digest fold and a
+//! serialized report field; an operator knob is declared a source with
+//! the marker. The clean fold at the bottom must stay clean.
+
+/// Hop 0: the measurement itself.
+fn read_clock_ns() -> u64 {
+    // lint:allow(nondeterministic-time): fixture source under test
+    std::time::Instant::now().elapsed().as_nanos() as u64
+}
+
+/// Hop 1: an innocent-looking forwarding helper.
+fn sampled() -> u64 {
+    read_clock_ns()
+}
+
+/// Hop 2: arithmetic does not wash taint out.
+fn jittered(base: u64) -> u64 {
+    base ^ sampled()
+}
+
+/// The laundered value lands in a digest fold.
+pub fn poisoned_digest(mut digest: u64) -> u64 {
+    let stamp = jittered(17);
+    digest = fnv1a_fold(digest, stamp);
+    digest
+}
+
+#[derive(Serialize)]
+pub struct ProbeReport {
+    pub stamp: u64,
+    pub decisions: u64,
+}
+
+/// The laundered value lands in a serialized report field.
+pub fn poisoned_report(decisions: u64) -> ProbeReport {
+    let stamp = sampled();
+    ProbeReport { stamp, decisions }
+}
+
+/// A marker turns an otherwise-pure helper into a declared source.
+pub fn marked_source_digest(mut digest: u64) -> u64 {
+    // lint:taint-source(operator-injected chaos knob)
+    let knob = knob_value();
+    digest = fnv1a_fold(digest, knob);
+    digest
+}
+
+/// Control: folding deterministic data is fine.
+pub fn clean_digest(mut digest: u64, action: u64) -> u64 {
+    digest = fnv1a_fold(digest, action);
+    digest
+}
+
+fn knob_value() -> u64 {
+    7
+}
+
+fn fnv1a_fold(hash: u64, word: u64) -> u64 {
+    hash.wrapping_mul(0x0000_0100_0000_01b3) ^ word
+}

@@ -67,10 +67,12 @@ fn every_fixture_matches_its_expected_findings() {
 
 #[test]
 fn the_lexer_token_stream_matches_its_golden_dump() {
-    // Edge cases the rules depend on: raw identifiers lex as their
-    // escaped name, float shapes keep exact text, `>>` is two adjacent
-    // `>` tokens (context decides shift vs generic), and `'a` vs `'a'`
-    // resolve to lifetime vs literal.
+    // Edge cases the rules depend on: raw identifiers and raw lifetimes
+    // lex as their escaped name, float shapes keep exact text, `>>` is
+    // two adjacent `>` tokens (context decides shift vs generic),
+    // `'a` vs `'a'` resolve to lifetime vs literal, and doubly-nested
+    // block comments close where they should.
+    // Regenerate the dump with LEX_GOLDEN_REGEN=1.
     use autoscale_lint::lexer::{lex, TokenKind};
     let dir = fixtures_dir().join("lexer");
     let source = fs::read_to_string(dir.join("edge.rs")).expect("lexer fixture is readable");
@@ -87,6 +89,10 @@ fn the_lexer_token_stream_matches_its_golden_dump() {
             format!("{}:{}:{}", t.line, kind, t.text)
         })
         .collect();
+    if std::env::var_os("LEX_GOLDEN_REGEN").is_some() {
+        fs::write(dir.join("edge.tokens"), got.join("\n") + "\n").expect("dump is writable");
+        return;
+    }
     let want: Vec<String> = fs::read_to_string(dir.join("edge.tokens"))
         .expect("golden token dump exists")
         .lines()
@@ -144,6 +150,79 @@ fn a_swapped_time_suffix_in_the_power_model_is_caught() {
     assert!(
         findings.iter().any(|f| f.rule == Rule::UnitArgMismatch),
         "nanoseconds into `latency_ms` must be flagged; got {findings:?}"
+    );
+}
+
+#[test]
+fn a_laundered_wall_clock_read_into_the_digest_is_caught() {
+    // The interprocedural acceptance check from issue 8: read the wall
+    // clock in one helper, forward it through a second, and fold the
+    // result into the session digest two files' worth of calls away
+    // from the `Instant::now()` — the taint pass must still connect
+    // source to sink across the whole workspace.
+    let root = workspace_root();
+    let mut sources = autoscale_lint::read_workspace_sources(&root).expect("workspace is readable");
+    let target = "crates/core/src/serve/session.rs";
+    let idx = sources
+        .iter()
+        .position(|(p, _)| p == target)
+        .expect("session source present");
+    sources[idx].1.push_str(
+        "\nfn wall_probe_ns() -> u64 {\n\
+         \x20   // lint:allow(nondeterministic-time): sabotage under test\n\
+         \x20   std::time::Instant::now().elapsed().as_nanos() as u64\n\
+         }\n\
+         fn wall_relay_ns() -> u64 { wall_probe_ns() }\n\
+         pub fn sabotaged_digest(mut digest: u64) -> u64 {\n\
+         \x20   digest = fnv1a_fold(digest, wall_relay_ns());\n\
+         \x20   digest\n\
+         }\n",
+    );
+    let analysis = autoscale_lint::analyze_sources(sources);
+    assert!(
+        analysis
+            .report
+            .findings
+            .iter()
+            .any(|f| f.rule == Rule::TaintedDigest && f.file == target),
+        "a two-hop laundered Instant::now must reach the digest sink; findings:\n{}",
+        analysis.report.render_human()
+    );
+}
+
+#[test]
+fn an_allocation_three_calls_below_the_decision_kernel_is_caught() {
+    // The hot-path acceptance check from issue 8: a fresh `decide_*`
+    // entry point on the engine reaches a Vec allocation through two
+    // intermediate hops; reachability must pull the allocation into
+    // the hot set and flag it.
+    let root = workspace_root();
+    let mut sources = autoscale_lint::read_workspace_sources(&root).expect("workspace is readable");
+    let target = "crates/core/src/engine.rs";
+    let idx = sources
+        .iter()
+        .position(|(p, _)| p == target)
+        .expect("engine source present");
+    sources[idx].1.push_str(
+        "\nimpl AutoScaleEngine {\n\
+         \x20   pub fn decide_probe(&self) -> usize { sab_hop1() }\n\
+         }\n\
+         fn sab_hop1() -> usize { sab_hop2() }\n\
+         fn sab_hop2() -> usize { sab_alloc() }\n\
+         fn sab_alloc() -> usize {\n\
+         \x20   let v: Vec<u64> = Vec::with_capacity(64);\n\
+         \x20   v.len()\n\
+         }\n",
+    );
+    let analysis = autoscale_lint::analyze_sources(sources);
+    let hit = analysis.report.findings.iter().any(|f| {
+        f.rule == Rule::HotPathAlloc && f.file == target && f.message.contains("decide_probe")
+    });
+    assert!(
+        hit,
+        "Vec::with_capacity three calls below decide_probe must be flagged with its \
+         entry-point witness; findings:\n{}",
+        analysis.report.render_human()
     );
 }
 
