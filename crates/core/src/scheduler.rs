@@ -199,6 +199,7 @@ impl Scheduler for AutoScaleScheduler {
         snapshot: &Snapshot,
         rng: &mut StdRng,
     ) -> Decision {
+        // lint:draws-exempt(eval mode draws nothing by design; training/eval streams are never digest-compared)
         let decided = if self.training {
             self.engine.decide(sim, workload, snapshot, rng)
         } else {
@@ -301,6 +302,7 @@ impl Scheduler for LinearFaScheduler {
     ) -> Decision {
         let phi = Self::phi(sim, workload, snapshot);
         let mask = self.space.mask(sim, workload);
+        // lint:draws-exempt(eval mode draws nothing by design; training/eval streams are never digest-compared)
         let action = if self.training {
             self.agent.select_action(&phi, &mask, rng)
         } else {
@@ -450,6 +452,7 @@ impl Scheduler for HybridScheduler {
             .engine_states
             .encode_observation(sim.network(workload), snapshot);
         let mask = self.mask(sim, workload);
+        // lint:draws-exempt(eval mode draws nothing by design; training/eval streams are never digest-compared)
         let action = if self.training {
             self.agent.select_action(state, &mask, rng)
         } else {

@@ -174,6 +174,94 @@ pub fn explain(rule: Rule) -> &'static str {
              trait-object indirection on the hot path), or waive with\n\
              `// lint:hot-exempt(<why>)`."
         }
+        Rule::UnderivedRngStream => {
+            "underived-rng-stream — RNG seeded outside the derivation scheme.\n\
+             \n\
+             Fires on `seed_from_u64(…)` / `from_seed(…)` whose argument\n\
+             span mentions no seed-derived identifier (`cell_seed`,\n\
+             `seeded_rng`, anything containing `seed`), in non-test lib and\n\
+             bin code. The determinism contract says every stream is a pure\n\
+             function of (base_seed, cell index, stream index); an RNG\n\
+             seeded from a literal or ad-hoc expression is a stream nobody\n\
+             can re-derive, and collides with real streams silently.\n\
+             \n\
+             Fix: derive the seed through `cell_seed`/`seeded_rng`. Waive a\n\
+             deliberate fixed stream with\n\
+             `// lint:draws-exempt(<why>)` or\n\
+             `// lint:allow(underived-rng-stream): <why>`."
+        }
+        Rule::DivergentRngDraws => {
+            "divergent-rng-draws — branch arms draw unequal RNG counts.\n\
+             \n\
+             The stream pass computes a draw-count interval for every\n\
+             function (summing callee intervals through the call graph) and\n\
+             walks branchy control flow in every function reachable from\n\
+             per-request entry points: FaultInjector request methods,\n\
+             DecisionKernel impls, `decide_*`. It fires when the arms of an\n\
+             `if`/`match` consume provably different counts — the next\n\
+             request's draws then shift depending on data, so fault\n\
+             schedules stop being prefix-stable (see\n\
+             FAULT_DRAWS_PER_REQUEST in crates/sim/src/faults.rs).\n\
+             \n\
+             Fix: equalize arms with a burn draw, or hoist draws above the\n\
+             branch. Waive a deliberately divergent protocol with\n\
+             `// lint:draws-exempt(<why>)`."
+        }
+        Rule::PolicyDependentDraws => {
+            "policy-dependent-draws — draw count branches on policy state.\n\
+             \n\
+             A divergent-draws finding upgrades to this rule when the\n\
+             branch condition mentions policy/Q-state identifiers (epsilon,\n\
+             greedy, argmax, q_table, agent, action, …). Unequal arms that\n\
+             depend on *data* shift schedules between runs; arms that\n\
+             depend on the *policy* make the environment's fault schedule a\n\
+             function of the agent under test — traces stop being\n\
+             comparable across agents, which is the property every A/B\n\
+             energy comparison in the paper rests on.\n\
+             \n\
+             Fix: draw unconditionally and discard on the cheap arm, or\n\
+             move the policy branch below all draws. Waive a pinned,\n\
+             digest-protected protocol (e.g. epsilon-greedy's\n\
+             exploration-only bounded draw) with\n\
+             `// lint:draws-exempt(<why>)`."
+        }
+        Rule::SharedMutableHotState => {
+            "shared-mutable-hot-state — shared mutable state on the serve path.\n\
+             \n\
+             Fires on (1) `static mut` and interior-mutable `static`s\n\
+             (Mutex/RwLock/RefCell/Cell/OnceLock/Atomic*) in non-test\n\
+             lib/bin/bench code; (2) interior-mutability types or uses of\n\
+             those statics inside functions reachable from serve shard\n\
+             entry points (`serve*`, `DeviceSession::run*`, DecisionKernel\n\
+             impls, `decide_*`), reported with the caller witness chain;\n\
+             (3) non-SeqCst atomic orderings (Relaxed/Acquire/Release/\n\
+             AcqRel) in functions that also touch digested or serialized\n\
+             state. Shard-parallel serving is deterministic because shards\n\
+             share nothing mutable; each exception makes interleaving\n\
+             observable.\n\
+             \n\
+             Fix: scope state per shard (the `run_cells` pattern: disjoint\n\
+             indices, merge at the barrier). Waive deliberate diagnostics\n\
+             with `// lint:allow(shared-mutable-hot-state): <why>`."
+        }
+        Rule::LockOrderCycle => {
+            "lock-order-cycle — inconsistent lock acquisition order.\n\
+             \n\
+             The shared-state pass records every `.lock()` (and\n\
+             `.read()`/`.write()` on receivers declared as RwLocks), builds\n\
+             a lock-order graph — within a function, every earlier\n\
+             acquisition precedes every later one; a call made while a lock\n\
+             is held orders that lock before everything the callee\n\
+             transitively acquires — and reports every cycle. A cycle means\n\
+             two shards can interleave opposite orders and deadlock; the\n\
+             fleet barrier then never completes, which in CI looks like a\n\
+             hang, not a failure.\n\
+             \n\
+             Fix: impose one global acquisition order (sort by lock\n\
+             identity) or collapse to a single lock. Waive a provably\n\
+             single-threaded cycle with\n\
+             `// lint:allow(lock-order-cycle): <why>`."
+        }
     }
 }
 

@@ -33,7 +33,11 @@
 //!    of the same token streams; [`taint`] runs forward determinism-
 //!    taint dataflow over it (wall-clock/env/entropy sources → digest
 //!    and report-field sinks) and [`hotpath`] flags allocation in
-//!    functions reachable from the decision hot path.
+//!    functions reachable from the decision hot path. [`streams`]
+//!    checks RNG stream discipline (seed derivation, draw-count
+//!    interval analysis over per-request paths) and [`shared`] checks
+//!    shared-state hygiene (global mutable state, serve-path interior
+//!    mutability, lock-order cycles, relaxed atomics near digests).
 //! 5. [`report`] renders the findings as terminal lines or stable JSON
 //!    (`results/lint_baseline.json` is one such document).
 //!
@@ -54,12 +58,14 @@ pub mod lexer;
 pub mod parser;
 pub mod report;
 pub mod rules;
+pub mod shared;
 pub mod sigindex;
+pub mod streams;
 pub mod taint;
 pub mod units;
 pub mod walk;
 
-pub use report::{AnalysisStats, Report};
+pub use report::{AnalysisStats, PassTimings, Report};
 pub use rules::{analyze_file, Finding, Rule};
 pub use sigindex::SigIndex;
 
@@ -87,6 +93,8 @@ pub struct Analysis {
 /// workspace, swap one file's source for a doctored version, and assert
 /// the launder is caught.
 pub fn analyze_sources(sources: Vec<(String, String)>) -> Analysis {
+    let mut timings = PassTimings::default();
+    let t = pass_clock();
     let mut sigs = SigIndex::new();
     let mut files = Vec::with_capacity(sources.len());
     for (rel, source) in &sources {
@@ -98,16 +106,32 @@ pub fn analyze_sources(sources: Vec<(String, String)>) -> Analysis {
         .iter()
         .map(|(rel, lexed)| FileContext::build(classify(rel), lexed))
         .collect();
+    timings.lex_ms = millis_between(t, pass_clock());
 
+    let t = pass_clock();
     let graph = callgraph::CallGraph::build(&files, &contexts);
+    timings.callgraph_ms = millis_between(t, pass_clock());
+    let t = pass_clock();
     let tainted = taint::analyze(&files, &contexts, &graph);
+    timings.taint_ms = millis_between(t, pass_clock());
+    let t = pass_clock();
     let hot = hotpath::analyze(&files, &contexts, &graph);
+    timings.hotpath_ms = millis_between(t, pass_clock());
+    let t = pass_clock();
+    let streamed = streams::analyze(&files, &contexts, &graph);
+    timings.streams_ms = millis_between(t, pass_clock());
+    let t = pass_clock();
+    let shared_state = shared::analyze(&files, &contexts, &graph);
+    timings.shared_ms = millis_between(t, pass_clock());
 
     // Global (interprocedural) findings, grouped by file so each file's
     // suppressions can waive them alongside the per-file rules.
     let mut global: Vec<Finding> = tainted.findings;
     global.extend(hot.findings);
+    global.extend(streamed.findings);
+    global.extend(shared_state.findings);
 
+    let t = pass_clock();
     let mut findings = Vec::new();
     let mut suppressed = Vec::new();
     for (i, (rel, lexed)) in files.iter().enumerate() {
@@ -123,6 +147,7 @@ pub fn analyze_sources(sources: Vec<(String, String)>) -> Analysis {
         }
         rules::push_unknown_rule_findings(rel, &sup, &mut findings);
     }
+    timings.parse_ms = millis_between(t, pass_clock());
 
     let analysis = AnalysisStats {
         functions: graph.defs.len(),
@@ -130,14 +155,30 @@ pub fn analyze_sources(sources: Vec<(String, String)>) -> Analysis {
         unresolved_calls: graph.unresolved_calls().count(),
         hot_functions: hot.hot.iter().filter(|&&h| h).count(),
         taint_returning: tainted.taint_returning.iter().filter(|&&t| t).count(),
+        stream_checked: streamed.checked.iter().filter(|&&c| c).count(),
+        lock_sites: shared_state.lock_sites,
     };
-    let report = Report::with_details(findings, suppressed, files.len(), analysis);
+    let mut report = Report::with_details(findings, suppressed, files.len(), analysis);
+    report.timings = Some(timings);
     Analysis {
         report,
         graph,
         hot: hot.hot,
         files: files.into_iter().map(|(rel, _)| rel).collect(),
     }
+}
+
+/// Reads the pass timer. Quarantines the analyzer's one wall-clock
+/// read: timings are diagnostics for the CI budget, never folded into
+/// findings, digests, or baselines.
+fn pass_clock() -> std::time::Instant {
+    // lint:allow(nondeterministic-time): pass timings are diagnostics, stripped from baselines
+    std::time::Instant::now()
+}
+
+/// Elapsed milliseconds between two pass-clock reads.
+fn millis_between(start: std::time::Instant, end: std::time::Instant) -> f64 {
+    end.duration_since(start).as_secs_f64() * 1e3
 }
 
 /// Reads every workspace source file under `root` into memory as

@@ -37,6 +37,8 @@ struct Args {
     report_out: Option<PathBuf>,
     /// Dump the workspace call graph as Graphviz DOT to this path.
     graph_out: Option<PathBuf>,
+    /// Keep per-pass wall-clock timings in the report output.
+    timings: bool,
 }
 
 const USAGE: &str = "\
@@ -46,7 +48,7 @@ USAGE:
     autoscale-lint [--format human|json] [--root PATH] [--list-rules]
                    [--explain RULE|all] [--check-baseline [PATH]]
                    [--write-baseline [PATH]] [--report-out PATH]
-                   [--graph-out PATH]
+                   [--graph-out PATH] [--timings]
 
 OPTIONS:
     --format human|json     Output format (default: human)
@@ -64,6 +66,10 @@ OPTIONS:
                             (for CI artifacts)
     --graph-out PATH        Dump the workspace call graph as Graphviz DOT
                             (hot-path functions are highlighted)
+    --timings               Keep per-pass wall-clock timings (lex, parse,
+                            callgraph, taint, hotpath, streams, shared; ms)
+                            in the report, so a blown CI budget names the
+                            slow pass; always stripped from baselines
     -h, --help              Show this help
 
 EXIT CODES:
@@ -75,6 +81,7 @@ Suppress a single finding with `// lint:allow(<rule>): <justification>`
 on the offending line or standing alone directly above it (a standalone
 annotation covers the full statement that starts on the next line).
 `// lint:hot-exempt(<why>)` waives both hot-path rules at once;
+`// lint:draws-exempt(<why>)` waives the three RNG stream rules at once;
 `// lint:taint-source(<why>)` marks a statement as a taint source.";
 
 /// Consumes an optional path value for a flag: the next argument if it
@@ -97,6 +104,7 @@ fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
         write_baseline: None,
         report_out: None,
         graph_out: None,
+        timings: false,
     };
     let mut i = 0;
     while i < argv.len() {
@@ -157,6 +165,9 @@ fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
                     argv.get(i).ok_or("--graph-out requires a path")?,
                 ));
             }
+            "--timings" => {
+                args.timings = true;
+            }
             "-h" | "--help" => {
                 println!("{USAGE}");
                 return Ok(None);
@@ -195,7 +206,10 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     }
-    let report = analysis.report;
+    let mut report = analysis.report;
+    if !args.timings {
+        report.timings = None;
+    }
     if let Some(path) = &args.report_out {
         if let Err(err) = write_report(path, &report.render_json()) {
             eprintln!("autoscale-lint: cannot write {}: {err}", path.display());
@@ -203,8 +217,12 @@ fn main() -> ExitCode {
         }
     }
     if let Some(path) = &args.write_baseline {
+        // Baselines must stay byte-stable run to run: timings never
+        // belong in one, even under --timings.
+        let mut baseline = report.clone();
+        baseline.timings = None;
         let target = args.root.join(path);
-        if let Err(err) = write_report(&target, &report.render_json()) {
+        if let Err(err) = write_report(&target, &baseline.render_json()) {
             eprintln!("autoscale-lint: cannot write {}: {err}", target.display());
             return ExitCode::from(2);
         }

@@ -24,6 +24,45 @@ pub struct AnalysisStats {
     pub hot_functions: usize,
     /// Functions the taint pass marks as returning tainted values.
     pub taint_returning: usize,
+    /// Functions whose draw intervals the stream pass checked (reachable
+    /// from per-request entry points).
+    pub stream_checked: usize,
+    /// Lock acquisition sites the shared-state pass recorded.
+    pub lock_sites: usize,
+}
+
+/// Wall-clock cost of each analyzer pass, in milliseconds. Carried on
+/// the report only when `--timings` asks for it, and always stripped
+/// before a baseline is written — baselines must stay byte-stable.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PassTimings {
+    /// Lexing every file.
+    pub lex_ms: f64,
+    /// Units parsing + signature index + per-file token rules.
+    pub parse_ms: f64,
+    /// Building the workspace call graph.
+    pub callgraph_ms: f64,
+    /// The interprocedural taint pass.
+    pub taint_ms: f64,
+    /// Hot-path reachability + allocation checks.
+    pub hotpath_ms: f64,
+    /// The RNG stream-discipline pass.
+    pub streams_ms: f64,
+    /// The shared-state / lock-order pass.
+    pub shared_ms: f64,
+}
+
+impl PassTimings {
+    /// Total across all passes.
+    pub fn total_ms(&self) -> f64 {
+        self.lex_ms
+            + self.parse_ms
+            + self.callgraph_ms
+            + self.taint_ms
+            + self.hotpath_ms
+            + self.streams_ms
+            + self.shared_ms
+    }
 }
 
 /// The outcome of analyzing a set of files.
@@ -39,6 +78,9 @@ pub struct Report {
     pub files_scanned: usize,
     /// Call-graph/taint coverage numbers for this run.
     pub analysis: AnalysisStats,
+    /// Per-pass wall-clock timings; `None` unless `--timings` asked for
+    /// them (and always `None` in baselines).
+    pub timings: Option<PassTimings>,
 }
 
 impl Report {
@@ -73,6 +115,7 @@ impl Report {
             suppressed,
             files_scanned,
             analysis,
+            timings: None,
         }
     }
 
@@ -136,8 +179,29 @@ impl Report {
             let a = &self.analysis;
             out.push_str(&format!(
                 "call graph: {} functions, {} edges ({} unresolved), \
-                 {} hot, {} taint-returning\n",
-                a.functions, a.call_edges, a.unresolved_calls, a.hot_functions, a.taint_returning
+                 {} hot, {} taint-returning, {} stream-checked, {} lock sites\n",
+                a.functions,
+                a.call_edges,
+                a.unresolved_calls,
+                a.hot_functions,
+                a.taint_returning,
+                a.stream_checked,
+                a.lock_sites
+            ));
+        }
+        if let Some(t) = &self.timings {
+            out.push_str(&format!(
+                "timings: lex {:.1} ms, parse {:.1} ms, callgraph {:.1} ms, \
+                 taint {:.1} ms, hotpath {:.1} ms, streams {:.1} ms, \
+                 shared {:.1} ms (total {:.1} ms)\n",
+                t.lex_ms,
+                t.parse_ms,
+                t.callgraph_ms,
+                t.taint_ms,
+                t.hotpath_ms,
+                t.streams_ms,
+                t.shared_ms,
+                t.total_ms()
             ));
         }
         out
@@ -163,9 +227,31 @@ impl Report {
         let a = &self.analysis;
         out.push_str(&format!(
             "\n  }},\n  \"analysis\": {{\"functions\": {}, \"call_edges\": {}, \
-             \"unresolved_calls\": {}, \"hot_functions\": {}, \"taint_returning\": {}}},",
-            a.functions, a.call_edges, a.unresolved_calls, a.hot_functions, a.taint_returning
+             \"unresolved_calls\": {}, \"hot_functions\": {}, \"taint_returning\": {}, \
+             \"stream_checked\": {}, \"lock_sites\": {}}},",
+            a.functions,
+            a.call_edges,
+            a.unresolved_calls,
+            a.hot_functions,
+            a.taint_returning,
+            a.stream_checked,
+            a.lock_sites
         ));
+        if let Some(t) = &self.timings {
+            out.push_str(&format!(
+                "\n  \"timings\": {{\"lex_ms\": {:.2}, \"parse_ms\": {:.2}, \
+                 \"callgraph_ms\": {:.2}, \"taint_ms\": {:.2}, \"hotpath_ms\": {:.2}, \
+                 \"streams_ms\": {:.2}, \"shared_ms\": {:.2}, \"total_ms\": {:.2}}},",
+                t.lex_ms,
+                t.parse_ms,
+                t.callgraph_ms,
+                t.taint_ms,
+                t.hotpath_ms,
+                t.streams_ms,
+                t.shared_ms,
+                t.total_ms()
+            ));
+        }
         out.push_str(&format!(
             "\n  \"total\": {},\n  \"files_scanned\": {}\n}}\n",
             self.findings.len(),
@@ -494,13 +580,40 @@ mod tests {
             unresolved_calls: 3,
             hot_functions: 4,
             taint_returning: 2,
+            stream_checked: 6,
+            lock_sites: 1,
         };
         let report = Report::with_details(Vec::new(), Vec::new(), 5, stats);
         let json = report.render_json();
         assert!(json.contains("\"analysis\": {\"functions\": 10, \"call_edges\": 20"));
         assert!(json.contains("\"unresolved_calls\": 3"));
+        assert!(json.contains("\"stream_checked\": 6, \"lock_sites\": 1"));
         let human = report.render_human();
         assert!(human.contains("call graph: 10 functions, 20 edges (3 unresolved)"));
+        assert!(human.contains("6 stream-checked, 1 lock sites"));
+    }
+
+    #[test]
+    fn timings_render_only_when_requested_and_parse_cleanly() {
+        let mut report = Report::new(vec![finding("a.rs", 2, Rule::UnitMismatch)], 3);
+        assert!(!report.render_json().contains("\"timings\""));
+        report.timings = Some(PassTimings {
+            lex_ms: 1.5,
+            parse_ms: 2.0,
+            callgraph_ms: 3.0,
+            taint_ms: 4.0,
+            hotpath_ms: 0.5,
+            streams_ms: 1.0,
+            shared_ms: 0.25,
+        });
+        let json = report.render_json();
+        assert!(json.contains("\"timings\": {\"lex_ms\": 1.50"));
+        assert!(json.contains("\"total_ms\": 12.25"));
+        assert!(report.render_human().contains("total 12.2 ms"));
+        // A timings section must not confuse the baseline parser.
+        let entries = parse_baseline(&json).expect("parses with timings present");
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].file, "a.rs");
     }
 
     #[test]

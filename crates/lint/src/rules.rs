@@ -68,11 +68,26 @@ pub enum Rule {
     /// A call on the decision hot path that the workspace call graph
     /// cannot resolve — the allocation contract stops being checkable.
     UnresolvedHotCall,
+    /// An RNG constructed from a literal or ad-hoc value instead of the
+    /// `cell_seed`/`seeded_rng` derivation discipline.
+    UnderivedRngStream,
+    /// Branch arms on a per-request path consume unequal RNG draw
+    /// counts, so downstream draws shift between runs.
+    DivergentRngDraws,
+    /// The RNG draw count on a per-request path depends on policy or
+    /// Q-state — schedules stop being policy-independent.
+    PolicyDependentDraws,
+    /// Process-global or interior-mutable state reachable from serve
+    /// shard entry points, or a relaxed atomic feeding digested state.
+    SharedMutableHotState,
+    /// A cycle in the lock-acquisition-order graph — opposite orders on
+    /// two shards can deadlock.
+    LockOrderCycle,
 }
 
 impl Rule {
     /// Every rule, in reporting order.
-    pub const ALL: [Rule; 12] = [
+    pub const ALL: [Rule; 17] = [
         Rule::NondeterministicTime,
         Rule::NondeterministicRng,
         Rule::UnorderedIteration,
@@ -85,6 +100,11 @@ impl Rule {
         Rule::TaintedReportField,
         Rule::HotPathAlloc,
         Rule::UnresolvedHotCall,
+        Rule::UnderivedRngStream,
+        Rule::DivergentRngDraws,
+        Rule::PolicyDependentDraws,
+        Rule::SharedMutableHotState,
+        Rule::LockOrderCycle,
     ];
 
     /// The rule's kebab-case name — what `lint:allow(…)` takes.
@@ -102,6 +122,11 @@ impl Rule {
             Rule::TaintedReportField => "tainted-report-field",
             Rule::HotPathAlloc => "hot-path-alloc",
             Rule::UnresolvedHotCall => "unresolved-hot-call",
+            Rule::UnderivedRngStream => "underived-rng-stream",
+            Rule::DivergentRngDraws => "divergent-rng-draws",
+            Rule::PolicyDependentDraws => "policy-dependent-draws",
+            Rule::SharedMutableHotState => "shared-mutable-hot-state",
+            Rule::LockOrderCycle => "lock-order-cycle",
         }
     }
 
@@ -170,6 +195,33 @@ impl Rule {
                  allocation-free std method — unresolved edges make the \
                  hot-path-alloc contract unverifiable"
             }
+            Rule::UnderivedRngStream => {
+                "RNG seeded from a literal or ad-hoc expression instead of the \
+                 cell_seed/seeded_rng derivation discipline — every stream must \
+                 trace back to (base_seed, cell index, stream index)"
+            }
+            Rule::DivergentRngDraws => {
+                "branch arms in a function reachable from per-request entry \
+                 points (FaultInjector methods, DecisionKernel impls, decide_*) \
+                 consume unequal RNG draw counts, shifting every later draw; \
+                 equalize with a burn draw or waive with lint:draws-exempt(<why>)"
+            }
+            Rule::PolicyDependentDraws => {
+                "the RNG draw count on a per-request path branches on policy or \
+                 Q-state (epsilon, argmax, q_table, …) — fault schedules must \
+                 stay policy-independent so traces are comparable across agents"
+            }
+            Rule::SharedMutableHotState => {
+                "static mut / interior-mutable statics, Mutex/RwLock/RefCell/\
+                 atomics reachable from serve shard entry points, or a \
+                 non-SeqCst atomic ordering in a function touching digested \
+                 state — shard determinism requires per-shard isolation"
+            }
+            Rule::LockOrderCycle => {
+                "a cycle in the workspace lock-acquisition-order graph (built \
+                 from .lock()/.read()/.write() order within and across calls); \
+                 two shards interleaving opposite orders can deadlock"
+            }
         }
     }
 }
@@ -229,6 +281,15 @@ impl Suppressions {
             if comment.text.contains("lint:hot-exempt(") {
                 out.cover(comment, tokens, Rule::HotPathAlloc);
                 out.cover(comment, tokens, Rule::UnresolvedHotCall);
+            }
+            // `lint:draws-exempt(<why>)` is sugar for waiving the three
+            // stream-discipline rules at once: a deliberately divergent
+            // draw protocol (e.g. epsilon-greedy's exploration-only
+            // bounded draw) is one decision, not three waivers.
+            if comment.text.contains("lint:draws-exempt(") {
+                out.cover(comment, tokens, Rule::UnderivedRngStream);
+                out.cover(comment, tokens, Rule::DivergentRngDraws);
+                out.cover(comment, tokens, Rule::PolicyDependentDraws);
             }
         }
         out
@@ -487,7 +548,7 @@ fn check_rng(path: &str, lexed: &LexedFile, out: &mut Vec<Finding>) {
 
 /// Identifiers that mark a function as feeding deterministic output:
 /// digest arithmetic, serde serialization, or the session report.
-const SENSITIVE_IDENTS: [&str; 7] = [
+pub(crate) const SENSITIVE_IDENTS: [&str; 7] = [
     "digest",
     "trace_digest",
     "fnv1a_fold",

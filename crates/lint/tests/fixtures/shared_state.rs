@@ -1,0 +1,44 @@
+// lint-fixture-path: crates/demo/src/shared_state.rs
+//! Fixture: shared-state hygiene. Mutable statics are flagged at their
+//! declarations and again where serve-reachable code touches them; a
+//! Mutex materialized on the serve path is flagged with its witness;
+//! opposite lock orders form a reported cycle; a relaxed atomic inside
+//! a digest-touching function is flagged; a waived static is silent.
+
+static mut DRIFT_COUNTER: u64 = 0;
+
+static HITS: AtomicU64 = AtomicU64::new(0);
+
+// lint:allow(shared-mutable-hot-state): fixture: diagnostics-only counter, never digested
+static WAIVED: AtomicU64 = AtomicU64::new(0);
+
+/// Serve entry: materializes a Mutex and bumps a mutable static.
+pub fn serve_probe() -> u64 {
+    let _scratch = Mutex::new(0u64);
+    HITS.fetch_add(1, Ordering::SeqCst)
+}
+
+/// Serve entry acquiring a then b.
+pub fn serve_ab(a: &Mutex<u64>, b: &Mutex<u64>) -> u64 {
+    let x = a.lock();
+    let y = b.lock();
+    0
+}
+
+/// Serve entry acquiring b then a — closes the cycle.
+pub fn serve_ba(a: &Mutex<u64>, b: &Mutex<u64>) -> u64 {
+    let y = b.lock();
+    let x = a.lock();
+    0
+}
+
+/// A relaxed ordering in a function that folds into a digest.
+pub fn serve_digest(digest: u64) -> u64 {
+    digest ^ HITS.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Off the serve path: interior mutability here is not reported.
+pub fn setup_scratch() -> u64 {
+    let _cold = Mutex::new(0u64);
+    0
+}

@@ -1,0 +1,54 @@
+// lint-fixture-path: crates/demo/src/stream_drift.rs
+//! Fixture: RNG stream discipline. Entry points (`decide_*`) whose
+//! branch arms draw unequal counts are flagged; a policy-conditioned
+//! divergence upgrades to policy-dependent-draws; a literal-seeded RNG
+//! is underived; a waived protocol and an equal-arm twin stay silent.
+
+/// Entry: the `hard` arm draws one extra value — flagged.
+pub fn decide_probe(rng: &mut StdRng, hard: bool) -> f64 {
+    let base: f64 = rng.gen();
+    if hard {
+        base + rng.gen::<f64>()
+    } else {
+        base
+    }
+}
+
+/// Entry: the divergent draw is gated on epsilon — upgraded to
+/// policy-dependent-draws.
+pub fn decide_policy(rng: &mut StdRng, epsilon: f64) -> f64 {
+    if rng.gen::<f64>() < epsilon {
+        rng.gen::<f64>()
+    } else {
+        0.5
+    }
+}
+
+/// A stream seeded from a bare literal — underived.
+pub fn underived_stream() -> StdRng {
+    StdRng::seed_from_u64(42)
+}
+
+/// A stream derived from the seed discipline — clean.
+pub fn derived_stream(cell_seed_value: u64) -> StdRng {
+    StdRng::seed_from_u64(cell_seed_value)
+}
+
+/// Entry with a deliberately divergent protocol, waived — silent.
+pub fn decide_waived(rng: &mut StdRng, explore: bool) -> f64 {
+    // lint:draws-exempt(fixture: deliberately divergent protocol, pinned elsewhere)
+    if explore {
+        rng.gen::<f64>()
+    } else {
+        0.0
+    }
+}
+
+/// Entry whose arms draw the same count — clean.
+pub fn decide_equal(rng: &mut StdRng, hard: bool) -> f64 {
+    if hard {
+        rng.gen::<f64>() * 2.0
+    } else {
+        rng.gen::<f64>()
+    }
+}

@@ -60,8 +60,8 @@ fn every_fixture_matches_its_expected_findings() {
         checked += 1;
     }
     assert!(
-        checked >= 7,
-        "expected at least 7 fixtures, found {checked}"
+        checked >= 9,
+        "expected at least 9 fixtures, found {checked}"
     );
 }
 
@@ -222,6 +222,82 @@ fn an_allocation_three_calls_below_the_decision_kernel_is_caught() {
         hit,
         "Vec::with_capacity three calls below decide_probe must be flagged with its \
          entry-point witness; findings:\n{}",
+        analysis.report.render_human()
+    );
+}
+
+#[test]
+fn a_conditional_extra_fault_draw_is_caught() {
+    // The stream-discipline acceptance check from issue 9: give a copy
+    // of the fault injector a request method whose branch arms consume
+    // unequal draw counts. FaultInjector methods are per-request entry
+    // points, so the interval analysis must flag the divergence — this
+    // is exactly the drift that would break FAULT_DRAWS_PER_REQUEST.
+    let root = workspace_root();
+    let mut sources = autoscale_lint::read_workspace_sources(&root).expect("workspace is readable");
+    let target = "crates/sim/src/faults.rs";
+    let idx = sources
+        .iter()
+        .position(|(p, _)| p == target)
+        .expect("faults source present");
+    sources[idx].1.push_str(
+        "\nimpl FaultInjector {\n\
+         \x20   pub fn sabotaged_faults(&mut self, hard: bool) -> f64 {\n\
+         \x20       if hard {\n\
+         \x20           self.rng.next_f64()\n\
+         \x20       } else {\n\
+         \x20           0.0\n\
+         \x20       }\n\
+         \x20   }\n\
+         }\n",
+    );
+    let analysis = autoscale_lint::analyze_sources(sources);
+    let hit = analysis.report.findings.iter().any(|f| {
+        f.rule == Rule::DivergentRngDraws
+            && f.file == target
+            && f.message.contains("sabotaged_faults")
+    });
+    assert!(
+        hit,
+        "a conditional extra fault draw must be flagged as divergent-rng-draws; findings:\n{}",
+        analysis.report.render_human()
+    );
+}
+
+#[test]
+fn a_static_mut_counter_under_a_decide_path_is_caught() {
+    // The shared-state acceptance check from issue 9: hang a `static
+    // mut` counter one call below a fresh `decide_*` entry point in the
+    // kernel source. The serve-path reachability pass must flag the
+    // counter's use and name the entry point in the witness chain.
+    let root = workspace_root();
+    let mut sources = autoscale_lint::read_workspace_sources(&root).expect("workspace is readable");
+    let target = "crates/rl/src/kernel.rs";
+    let idx = sources
+        .iter()
+        .position(|(p, _)| p == target)
+        .expect("kernel source present");
+    sources[idx].1.push_str(
+        "\nstatic mut SAB_DECIDES: u64 = 0;\n\
+         fn sab_counter_bump() -> u64 {\n\
+         \x20   unsafe {\n\
+         \x20       SAB_DECIDES += 1;\n\
+         \x20       SAB_DECIDES\n\
+         \x20   }\n\
+         }\n\
+         pub fn decide_sabotaged() -> u64 {\n\
+         \x20   sab_counter_bump()\n\
+         }\n",
+    );
+    let analysis = autoscale_lint::analyze_sources(sources);
+    let hit = analysis.report.findings.iter().any(|f| {
+        f.rule == Rule::SharedMutableHotState
+            && f.file == target
+            && f.message.contains("decide_sabotaged")
+    });
+    assert!(
+        hit,
+        "a static mut counter under a decide path must be flagged with its witness; findings:\n{}",
         analysis.report.render_human()
     );
 }

@@ -198,6 +198,7 @@ fn select_epsilon_greedy<K: DecisionKernel + ?Sized>(
     if allowed == 0 {
         return None;
     }
+    // lint:draws-exempt(the pinned epsilon-greedy protocol: one uniform draw per decision, one bounded draw on the exploration arm only; digest tests freeze it)
     if rng.gen::<f64>() < epsilon {
         let k = rng.gen_range(0..allowed);
         Some(mask.nth_allowed(k))
@@ -400,6 +401,7 @@ impl DecisionKernel for FrozenKernel {
         epsilon: f64,
         rng: &mut StdRng,
     ) -> Option<usize> {
+        // lint:draws-exempt(frozen serving burns the protocol's one uniform draw below, so both arms leave the stream aligned; digest tests freeze it)
         if epsilon != 0.0 {
             // Pre-freeze traffic (exploration still on) takes the shared
             // protocol; the specialization below is for serving only.

@@ -78,6 +78,7 @@ impl EpsilonGreedy {
         if allowed == 0 {
             return None;
         }
+        // lint:draws-exempt(the pinned epsilon-greedy protocol: one uniform draw per decision, one bounded draw on the exploration arm only; digest tests freeze it)
         if rng.gen::<f64>() < self.epsilon {
             let k = rng.gen_range(0..allowed);
             mask.iter()

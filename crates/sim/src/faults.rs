@@ -39,6 +39,15 @@ use serde::{Deserialize, Serialize};
 /// values above this are clamped.
 pub const MAX_ATTEMPTS: usize = 4;
 
+/// Exactly how many RNG values [`FaultInjector::next_faults`] consumes
+/// per request, one per possible fault site: two disconnection-window
+/// draws, [`MAX_ATTEMPTS`] per-attempt draws for each of the two links,
+/// one straggler draw, one thermal draw. The stream-discipline lint
+/// pass (`autoscale-lint`, rule `divergent-rng-draws`) exists to keep
+/// this count branch-independent; change it only together with the
+/// pinned `draws_exactly_the_documented_count_per_request` test.
+pub const FAULT_DRAWS_PER_REQUEST: usize = 2 + 2 * MAX_ATTEMPTS + 2;
+
 /// Ambient die temperature the burst model decays toward, in °C.
 const AMBIENT_TEMP_C: f64 = 30.0;
 /// Per-request exponential cooling ratio of the excess die temperature.
@@ -365,11 +374,12 @@ impl Default for ResiliencePolicy {
 /// The seeded per-session fault source.
 ///
 /// Owns a private RNG stream (never shared with the session's
-/// environment/exploration stream) and draws a **fixed 13 values per
-/// request** — one per possible fault site — so the schedule for
-/// request `i` depends only on `(profile, seed, i)`. Disconnection
-/// windows and the thermal burst/decay trajectory are the only state,
-/// and both advance once per request.
+/// environment/exploration stream) and draws a fixed
+/// [`FAULT_DRAWS_PER_REQUEST`] values per request — one per possible
+/// fault site — so the schedule for request `i` depends only on
+/// `(profile, seed, i)`. Disconnection windows and the thermal
+/// burst/decay trajectory are the only state, and both advance once
+/// per request.
 #[derive(Debug, Clone)]
 pub struct FaultInjector {
     profile: FaultProfile,
@@ -634,6 +644,27 @@ mod tests {
             (0..64).map(|_| inj.next_faults().edge).collect()
         };
         assert_eq!(edges(with_thermal), edges(without));
+    }
+
+    #[test]
+    fn draws_exactly_the_documented_count_per_request() {
+        // Pin FAULT_DRAWS_PER_REQUEST against the implementation with a
+        // shadow RNG: advancing a fresh stream by exactly that many
+        // values per request must keep it bit-identical to the
+        // injector's own stream (StdRng implements PartialEq).
+        assert_eq!(FAULT_DRAWS_PER_REQUEST, 2 + 2 * MAX_ATTEMPTS + 2);
+        let mut inj = FaultInjector::new(FaultProfile::chaos(), 37);
+        let mut shadow = StdRng::seed_from_u64(37);
+        for request in 0..16 {
+            inj.next_faults();
+            for _ in 0..FAULT_DRAWS_PER_REQUEST {
+                let _: f64 = shadow.gen();
+            }
+            assert_eq!(
+                inj.rng, shadow,
+                "draw count drifted from FAULT_DRAWS_PER_REQUEST at request {request}"
+            );
+        }
     }
 
     #[test]
