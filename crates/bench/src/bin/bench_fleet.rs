@@ -32,6 +32,13 @@
 //! allocator-level cross-check of the store accounting (it tracks the
 //! *live* fleet, so with sequential shards it bounds one resident
 //! session, not the sum).
+//!
+//! `--openloop` switches the fleet to the open-loop discrete-event core
+//! under sustained overload (Poisson arrivals far above the service
+//! rate, bounded queues): both backends serve the identical arrival
+//! schedules, the reports and traffic accounting are asserted
+//! bit-identical, and the summary records the sustained goodput and
+//! drop rate the fleet held beside the usual memory numbers.
 
 use std::time::Instant;
 
@@ -121,6 +128,19 @@ struct BackendRun {
     overlay_rows_per_session: f64,
     digest: u64,
     peak_alloc_bytes: Option<u64>,
+    /// Open-loop traffic accounting; `None` for closed-loop runs.
+    traffic: Option<FleetTraffic>,
+}
+
+/// The open-loop fleet configuration `--openloop` serves: deliberate
+/// overload, so the recorded goodput is what the devices sustain, not
+/// what the arrival rate happens to be.
+fn openloop_overload() -> OpenLoopConfig {
+    OpenLoopConfig {
+        queue_capacity: 8,
+        admission: AdmissionPolicy::Degrade,
+        ..OpenLoopConfig::poisson(1_000.0, 250.0)
+    }
 }
 
 fn run_fleet(
@@ -129,6 +149,7 @@ fn run_fleet(
     warm: &autoscale_rl::QLearningAgent,
     sessions: usize,
     qstore: QStoreKind,
+    openloop: Option<OpenLoopConfig>,
 ) -> BackendRun {
     let config = ServeConfig {
         sessions,
@@ -136,6 +157,7 @@ fn run_fleet(
         shards: None,
         base_seed: 0xf1ee7,
         qstore,
+        openloop,
         ..ServeConfig::fleet()
     };
     #[cfg(feature = "alloc-count")]
@@ -155,6 +177,7 @@ fn run_fleet(
         overlay_rows_per_session: report.store.overlay_rows as f64 / sessions as f64,
         digest: report.digest(),
         peak_alloc_bytes,
+        traffic: report.traffic,
     }
 }
 
@@ -192,6 +215,10 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let huge = args.iter().any(|a| a == "--huge");
+    let openloop = args
+        .iter()
+        .any(|a| a == "--openloop")
+        .then(openloop_overload);
     let gate = args.iter().position(|a| a == "--gate").map(|i| {
         args.get(i + 1).cloned().unwrap_or_else(|| {
             eprintln!("--gate needs the path of the committed BENCH_fleet.json");
@@ -229,8 +256,10 @@ fn main() {
             eprintln!("--gate: {path} has no gate_cow_decisions_per_sec / gate_reduction_x (regenerate it with `cargo run --release -p autoscale-bench --bin bench_fleet`)");
             std::process::exit(2);
         };
-        let dense = run_fleet(&sim, &mix, warm, GATE_SESSIONS, QStoreKind::Dense);
-        let cow = run_fleet(&sim, &mix, warm, GATE_SESSIONS, QStoreKind::Cow);
+        // The gate measures the committed closed-loop numbers; --openloop
+        // does not apply to it.
+        let dense = run_fleet(&sim, &mix, warm, GATE_SESSIONS, QStoreKind::Dense, None);
+        let cow = run_fleet(&sim, &mix, warm, GATE_SESSIONS, QStoreKind::Cow, None);
         assert_eq!(
             cow.digest, dense.digest,
             "cow fleet diverged from the dense fleet"
@@ -293,14 +322,28 @@ fn main() {
     let mut results: Vec<SizeResult> = Vec::new();
     for &sessions in &sizes {
         println!("  {sessions} sessions:");
-        let dense = run_fleet(&sim, &mix, warm, sessions, QStoreKind::Dense);
-        let cow = run_fleet(&sim, &mix, warm, sessions, QStoreKind::Cow);
+        let dense = run_fleet(&sim, &mix, warm, sessions, QStoreKind::Dense, openloop);
+        let cow = run_fleet(&sim, &mix, warm, sessions, QStoreKind::Cow, openloop);
         assert_eq!(
             cow.digest, dense.digest,
             "cow fleet diverged from the dense fleet at {sessions} sessions"
         );
+        assert_eq!(
+            cow.traffic, dense.traffic,
+            "cow fleet's open-loop traffic diverged at {sessions} sessions"
+        );
         print_run(&dense, states);
         print_run(&cow, states);
+        if let Some(traffic) = &dense.traffic {
+            println!(
+                "    open-loop: offered {:.0} req/s/session, sustained goodput {:.1} req/s/session, \
+                 {:.1}% dropped, queue depth p99 {}",
+                traffic.offered_load_hz(),
+                traffic.goodput_hz(),
+                traffic.drop_rate() * 100.0,
+                traffic.queue_depth_percentile(99.0)
+            );
+        }
         let reduction_x = dense.bytes_per_session / cow.bytes_per_session;
         let cow_throughput_ratio = cow.decisions_per_sec / dense.decisions_per_sec;
         println!(
@@ -328,6 +371,14 @@ fn main() {
             cow.bytes_per_session
         );
         println!("smoke run: not writing BENCH_fleet.json");
+        return;
+    }
+
+    if openloop.is_some() {
+        // Open-loop runs serve a different (overload-shaped) workload than
+        // the committed closed-loop numbers, so the headline targets and
+        // the committed JSON don't apply to them.
+        println!("open-loop run: not writing BENCH_fleet.json");
         return;
     }
 

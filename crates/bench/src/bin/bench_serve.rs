@@ -24,13 +24,23 @@
 //! (`lossy-edge`, `chaos`, ...): the shard-invariance assertion still
 //! holds — fault schedules are seeded per session — and the summary adds
 //! the fleet's fault/retry/fallback counts.
+//!
+//! `--openloop` benchmarks the discrete-event serving core instead: an
+//! overloaded open-loop fleet (bursty arrivals far above the service
+//! rate, bounded queues, degrade admission) run at 1/4/all-cores shards
+//! with the per-session reports *and* traffic accounting asserted
+//! bit-identical, reporting sustained goodput vs offered load,
+//! drop/late rates and queue-depth percentiles, plus a per-phase
+//! `--timings`-style breakdown (schedule / serve / aggregate). The full
+//! run writes `BENCH_openloop.json`; `--smoke` prints only.
 
 use std::time::Instant;
 
-use autoscale::parallel::{default_threads, resolve_threads};
+use autoscale::parallel::{cell_seed, default_threads, resolve_threads};
 use autoscale::prelude::*;
+use autoscale::serve::session_seed;
 use autoscale_rl::KernelKind;
-use autoscale_sim::FaultProfile;
+use autoscale_sim::{ArrivalSampler, FaultProfile};
 
 struct Run {
     shards_requested: usize,
@@ -143,6 +153,174 @@ fn committed_best(text: &str, path: &str) -> f64 {
     })
 }
 
+/// The open-loop serving benchmark: overload a fleet, verify the
+/// discrete-event core is shard-invariant, and record what it sustains.
+///
+/// Three phases, each timed for the `--timings`-style breakdown:
+/// *schedule* generates every session's arrival schedule standalone
+/// (the pure traffic-generation cost), *serve* runs the fleet at each
+/// shard count, *aggregate* folds the traffic metrics.
+fn openloop_bench(sim: &Simulator, mix: &ScenarioMix, smoke: bool, faults: FaultProfile) {
+    let sessions = if smoke { 4 } else { 16 };
+    let horizon_ms = if smoke { 500.0 } else { 4_000.0 };
+    // λ far above any edge device's service rate — the overload regime
+    // this core exists to measure. Degrade admission keeps serving (no
+    // deadline drops), so goodput reflects the device, not the policy.
+    let open = OpenLoopConfig {
+        arrivals: ArrivalProcess::bursty(2_000.0),
+        churn: ChurnConfig::none(),
+        horizon_ms,
+        queue_capacity: 16,
+        admission: AdmissionPolicy::Degrade,
+    };
+    let cores = default_threads();
+    println!(
+        "open-loop benchmark: {sessions} sessions, bursty {:.0} req/s over {horizon_ms:.0} ms, \
+         queue {}, {} admission ({cores} cores{}{})",
+        open.arrivals.rate_hz,
+        open.queue_capacity,
+        open.admission,
+        if smoke { ", smoke" } else { "" },
+        if faults.is_none() { "" } else { ", faults on" },
+    );
+
+    // Phase 1: schedule — arrival generation alone, no serving.
+    let schedule_start = Instant::now();
+    let mut scheduled = 0u64;
+    for i in 0..sessions {
+        let mut sampler =
+            ArrivalSampler::new(open.arrivals, cell_seed(session_seed(0xf1ee7, i), 3));
+        loop {
+            let arrival = sampler.next_arrival();
+            // The driver's exact `!(<)` window check (NaN/∞-safe).
+            #[allow(clippy::neg_cmp_op_on_partial_ord)]
+            if !(arrival.at_ms < horizon_ms) {
+                break;
+            }
+            scheduled += 1;
+        }
+    }
+    let schedule_s = schedule_start.elapsed().as_secs_f64();
+
+    // Phase 2: serve — the fleet at 1, 4 and all-cores shards, with the
+    // deterministic outputs asserted identical across shard counts.
+    let serve_start = Instant::now();
+    let mut shard_counts: Vec<usize> = Vec::new();
+    let mut seen_effective: Vec<usize> = Vec::new();
+    for requested in [1, 4, cores] {
+        let effective = resolve_threads(Some(requested));
+        if !seen_effective.contains(&effective) {
+            shard_counts.push(requested);
+            seen_effective.push(effective);
+        }
+    }
+    let mut reference: Option<ServeReport> = None;
+    let mut best_decisions_per_sec = 0.0f64;
+    for &shards in &shard_counts {
+        let config = ServeConfig {
+            sessions,
+            shards: Some(shards),
+            faults,
+            openloop: Some(open),
+            ..ServeConfig::fleet()
+        };
+        let start = Instant::now();
+        let report = autoscale::serve::serve(sim, mix, &config, None).expect("no warm start");
+        let wall_s = start.elapsed().as_secs_f64();
+        let decisions_per_sec = report.total_decisions() as f64 / wall_s;
+        best_decisions_per_sec = best_decisions_per_sec.max(decisions_per_sec);
+        println!(
+            "  shards {:>2} (effective {:>2}): {:>8.0} decisions/s ({:.2} s)",
+            shards,
+            resolve_threads(Some(shards)),
+            decisions_per_sec,
+            wall_s
+        );
+        match &reference {
+            None => reference = Some(report),
+            Some(reference) => {
+                assert_eq!(
+                    report.sessions, reference.sessions,
+                    "shard count {shards} changed the open-loop session reports"
+                );
+                assert_eq!(
+                    report.traffic, reference.traffic,
+                    "shard count {shards} changed the open-loop traffic accounting"
+                );
+            }
+        }
+    }
+    let serve_s = serve_start.elapsed().as_secs_f64();
+    println!("open-loop reports and traffic bit-identical across shard counts");
+
+    // Phase 3: aggregate — fold the headline traffic metrics.
+    let aggregate_start = Instant::now();
+    let report = reference.expect("at least one shard count ran");
+    let traffic = report.traffic.as_ref().expect("open-loop sets traffic");
+    assert_eq!(
+        traffic.offered as u64, scheduled,
+        "the serve phase must see exactly the schedule phase's arrivals"
+    );
+    assert_eq!(
+        traffic.offered,
+        traffic.served + traffic.dropped,
+        "offered == served + dropped"
+    );
+    assert!(
+        traffic.dropped > 0,
+        "an overloaded fleet must shed load (offered {}, served {})",
+        traffic.offered,
+        traffic.served
+    );
+    let offered_hz = traffic.offered_load_hz();
+    let goodput_hz = traffic.goodput_hz();
+    let p50_depth = traffic.queue_depth_percentile(50.0);
+    let p99_depth = traffic.queue_depth_percentile(99.0);
+    let aggregate_s = aggregate_start.elapsed().as_secs_f64();
+
+    println!(
+        "  offered {offered_hz:.0} req/s/session, sustained goodput {goodput_hz:.1} req/s/session \
+         ({:.1}% dropped, {:.1}% late, utilization {:.0}%)",
+        traffic.drop_rate() * 100.0,
+        traffic.violation_rate() * 100.0,
+        traffic.utilization() * 100.0
+    );
+    println!(
+        "  queue depth p50 {p50_depth} / p99 {p99_depth} (peak {}, bound {})",
+        traffic.peak_queue_depth, open.queue_capacity
+    );
+    println!(
+        "timings: schedule {:.1} ms ({:.0} arrivals/s), serve {:.1} ms, aggregate {:.1} ms",
+        schedule_s * 1e3,
+        scheduled as f64 / schedule_s.max(1e-9),
+        serve_s * 1e3,
+        aggregate_s * 1e3
+    );
+
+    if smoke {
+        println!("smoke run: not writing BENCH_openloop.json");
+        return;
+    }
+    let json = format!(
+        "{{\n  \"sessions\": {sessions},\n  \"horizon_ms\": {horizon_ms:.1},\n  \"rate_hz\": {:.1},\n  \"queue_capacity\": {},\n  \"cores\": {cores},\n  \"offered\": {},\n  \"served\": {},\n  \"dropped\": {},\n  \"offered_load_hz\": {offered_hz:.1},\n  \"goodput_hz\": {goodput_hz:.1},\n  \"drop_rate\": {:.4},\n  \"violation_rate\": {:.4},\n  \"utilization\": {:.4},\n  \"queue_depth_p50\": {p50_depth},\n  \"queue_depth_p99\": {p99_depth},\n  \"peak_queue_depth\": {},\n  \"best_decisions_per_sec\": {best_decisions_per_sec:.1},\n  \"timings_ms\": {{\"schedule\": {:.3}, \"serve\": {:.3}, \"aggregate\": {:.3}}}\n}}\n",
+        open.arrivals.rate_hz,
+        open.queue_capacity,
+        traffic.offered,
+        traffic.served,
+        traffic.dropped,
+        traffic.drop_rate(),
+        traffic.violation_rate(),
+        traffic.utilization(),
+        traffic.peak_queue_depth,
+        schedule_s * 1e3,
+        serve_s * 1e3,
+        aggregate_s * 1e3,
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_openloop.json");
+    std::fs::write(out, &json).expect("write BENCH_openloop.json");
+    println!("wrote {out}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -180,6 +358,11 @@ fn main() {
     let sim = Simulator::new(DeviceId::Mi8Pro);
     let mix = ScenarioMix::static_envs();
     let cores = default_threads();
+
+    if args.iter().any(|a| a == "--openloop") {
+        openloop_bench(&sim, &mix, smoke, faults);
+        return;
+    }
 
     if let Some(path) = gate {
         let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {

@@ -8,7 +8,7 @@
 //! autoscale-cli decide   --device mi8pro --qtable qtable.json --workload resnet-50 [--env S4]
 //! autoscale-cli evaluate --device mi8pro --qtable qtable.json --workload resnet-50 --env S1|all [--runs 100] [--threads N] [--json]
 //! autoscale-cli trace    --device mi8pro --qtable qtable.json --workload resnet-50 --env D2 --runs 50 --out trace.json
-//! autoscale-cli serve    --device mi8pro [--sessions 8] [--decisions 200] [--shards N] [--mix static|all] [--qtable FILE] [--seed N] [--faults PROFILE] [--kernel KERNEL] [--qstore dense|cow] [--json]
+//! autoscale-cli serve    --device mi8pro [--sessions 8] [--decisions 200] [--shards N] [--mix static|all] [--qtable FILE] [--seed N] [--faults PROFILE] [--kernel KERNEL] [--qstore dense|cow] [--arrivals poisson|bursty|diurnal --rate HZ --horizon-ms MS --queue N --admission drop|deadline|degrade --churn none|gentle|heavy] [--json]
 //! ```
 //!
 //! Argument parsing is deliberately hand-rolled (`--key value` pairs) to
@@ -74,6 +74,10 @@ fn print_help() {
          \x20          [--mix static|all] [--qtable FILE] [--seed N] [--json]\n\
          \x20          [--faults none|lossy-edge|lossy-cloud|flaky|stragglers|chaos]\n\
          \x20          [--kernel scalar|packed|frozen] [--qstore dense|cow]\n\
+         \x20          [--arrivals poisson|bursty|diurnal] [--rate HZ]\n\
+         \x20          [--horizon-ms MS] [--queue N]\n\
+         \x20          [--admission drop|deadline|degrade]\n\
+         \x20          [--churn none|gentle|heavy]\n\
          \n\
          names: devices mi8pro|galaxy-s10e|moto-x-force (suffix +npu for the\n\
          NPU/TPU extension testbed); workloads as in `workloads` output;\n\
@@ -96,7 +100,17 @@ fn print_help() {
          a private table; `cow` shares one immutable base (the --qtable\n\
          warm start, or a zero table) and gives each session a sparse\n\
          copy-on-write overlay — same decisions, a fraction of the\n\
-         memory. With --qtable the two backends are bit-identical."
+         memory. With --qtable the two backends are bit-identical.\n\
+         --arrivals switches serving open-loop: requests arrive on a\n\
+         seeded per-session schedule (--rate req/s over --horizon-ms of\n\
+         virtual time) instead of back-to-back; --queue bounds each\n\
+         session's request queue, --admission decides what happens to\n\
+         predicted-late requests (drop-tail, deadline drop, or degraded\n\
+         exploration-off service), and --churn makes sessions join and\n\
+         leave mid-run. The summary then reports offered load vs.\n\
+         goodput, drop/late rates and queue-depth percentiles; the\n\
+         schedule is a pure function of the seed, so open-loop fleets\n\
+         stay bit-identical for any --shards value."
     );
 }
 
@@ -195,6 +209,15 @@ fn parse_usize(
 }
 
 fn parse_u64(flags: &BTreeMap<String, String>, key: &str, default: u64) -> Result<u64, String> {
+    match flags.get(key) {
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{key} must be a number, got `{v}`")),
+        None => Ok(default),
+    }
+}
+
+fn parse_f64(flags: &BTreeMap<String, String>, key: &str, default: f64) -> Result<f64, String> {
     match flags.get(key) {
         Some(v) => v
             .parse()
@@ -449,6 +472,61 @@ fn cmd_trace(flags: &BTreeMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Builds the open-loop half of a `serve` invocation from its flags:
+/// `--arrivals` switches open-loop on; `--rate`, `--horizon-ms`,
+/// `--queue`, `--admission` and `--churn` refine it and are rejected
+/// without it (they would silently do nothing).
+fn parse_openloop(
+    flags: &BTreeMap<String, String>,
+) -> Result<Option<autoscale::serve::OpenLoopConfig>, String> {
+    use autoscale::serve::{AdmissionPolicy, OpenLoopConfig};
+    use autoscale_sim::{ArrivalProcess, ChurnConfig};
+    let Some(arrivals_name) = flags.get("arrivals") else {
+        for dependent in ["rate", "horizon-ms", "queue", "admission", "churn"] {
+            if flags.contains_key(dependent) {
+                return Err(format!(
+                    "--{dependent} is an open-loop flag; pass --arrivals {} with it",
+                    ArrivalProcess::NAMES.join("|")
+                ));
+            }
+        }
+        return Ok(None);
+    };
+    let rate_hz = parse_f64(flags, "rate", 100.0)?;
+    let horizon_ms = parse_f64(flags, "horizon-ms", 2_000.0)?;
+    let arrivals = ArrivalProcess::parse(arrivals_name, rate_hz).ok_or_else(|| {
+        format!(
+            "--arrivals must be one of {}, got `{arrivals_name}`",
+            ArrivalProcess::NAMES.join(", ")
+        )
+    })?;
+    let churn = match flags.get("churn") {
+        None => ChurnConfig::none(),
+        Some(name) => ChurnConfig::parse(name, horizon_ms).ok_or_else(|| {
+            format!(
+                "--churn must be one of {}, got `{name}`",
+                ChurnConfig::NAMES.join(", ")
+            )
+        })?,
+    };
+    let admission = match flags.get("admission") {
+        None => AdmissionPolicy::DropTail,
+        Some(name) => AdmissionPolicy::parse(name).ok_or_else(|| {
+            format!(
+                "--admission must be one of {}, got `{name}`",
+                AdmissionPolicy::NAMES.join(", ")
+            )
+        })?,
+    };
+    Ok(Some(OpenLoopConfig {
+        arrivals,
+        churn,
+        horizon_ms,
+        queue_capacity: parse_usize(flags, "queue", 32)?,
+        admission,
+    }))
+}
+
 fn cmd_serve(flags: &BTreeMap<String, String>) -> Result<(), String> {
     use std::time::Instant;
     let sim = parse_device(required(flags, "device")?)?;
@@ -497,6 +575,7 @@ fn cmd_serve(flags: &BTreeMap<String, String>) -> Result<(), String> {
             )
         })?,
     };
+    let openloop = parse_openloop(flags)?;
     let config = ServeConfig {
         sessions,
         decisions_per_session: decisions,
@@ -506,6 +585,7 @@ fn cmd_serve(flags: &BTreeMap<String, String>) -> Result<(), String> {
         faults,
         kernel,
         qstore,
+        openloop,
         ..ServeConfig::fleet()
     };
     let start = Instant::now();
@@ -548,6 +628,24 @@ fn cmd_serve(flags: &BTreeMap<String, String>) -> Result<(), String> {
             report.total_faulted(),
             report.total_retries(),
             report.total_fallbacks()
+        );
+    }
+    if let Some(traffic) = &report.traffic {
+        println!(
+            "traffic: offered {:.1} req/s/session, goodput {:.1} req/s/session, \
+             {:.1}% dropped, {:.1}% late, {} degraded",
+            traffic.offered_load_hz(),
+            traffic.goodput_hz(),
+            traffic.drop_rate() * 100.0,
+            traffic.violation_rate() * 100.0,
+            traffic.degraded
+        );
+        println!(
+            "queues: depth p50 {} / p99 {} (peak {}), utilization {:.0}%",
+            traffic.queue_depth_percentile(50.0),
+            traffic.queue_depth_percentile(99.0),
+            traffic.peak_queue_depth,
+            traffic.utilization() * 100.0
         );
     }
     if let (Some(p50), Some(p99)) = (

@@ -339,6 +339,38 @@ impl AutoScaleEngine {
         })
     }
 
+    /// [`AutoScaleEngine::decide_kernel`] with exploration forced off —
+    /// the open-loop *degrade* admission path, which serves an
+    /// already-late request greedily instead of spending it on
+    /// exploration. Draws by the exact same protocol as
+    /// [`AutoScaleEngine::decide_kernel`] (the epsilon gate draw always
+    /// happens; ε = 0 just never takes the exploration arm), so
+    /// degrading a request never re-times the session's decision
+    /// stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NoFeasibleActionError`] when the workload's feasibility
+    /// mask is empty — see [`AutoScaleEngine::decide`].
+    pub fn decide_kernel_frozen<K: DecisionKernel + ?Sized>(
+        &self,
+        kernel: &K,
+        workload: Workload,
+        snapshot: &Snapshot,
+        rng: &mut StdRng,
+    ) -> Result<DecisionStep, NoFeasibleActionError> {
+        let ctx = &self.contexts[workload.index()];
+        let state_index = ctx.state_base + self.states.runtime_index(snapshot);
+        let action_index = kernel
+            .select(self.agent.store(), state_index, &ctx.mask, 0.0, rng)
+            .ok_or(NoFeasibleActionError { workload })?;
+        Ok(DecisionStep {
+            state_index,
+            action_index,
+            request: self.actions.request(action_index),
+        })
+    }
+
     /// Selects the greedy (exploitation-only) action — serving mode, once
     /// training has converged.
     ///

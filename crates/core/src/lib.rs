@@ -85,7 +85,10 @@ pub use action::ActionSpace;
 pub use engine::{AutoScaleEngine, DecisionStep, EngineConfig};
 pub use eval::{EpisodeReport, Evaluator};
 pub use reward::{reward, RewardConfig};
-pub use serve::{ScenarioMix, ServeConfig, ServeReport, SessionReport, SessionSpec};
+pub use serve::{
+    AdmissionPolicy, FleetTraffic, OpenLoopConfig, ScenarioMix, ServeConfig, ServeReport,
+    SessionReport, SessionSpec, SessionTraffic,
+};
 pub use state::{State, StateSpace};
 
 /// A deterministic RNG for experiments; thin wrapper over the `rand`
@@ -103,13 +106,14 @@ pub mod prelude {
     pub use crate::reward::RewardConfig;
     pub use crate::scheduler::{Decision, Scheduler, SchedulerKind};
     pub use crate::serve::{
-        serve, DeviceSession, ScenarioMix, ServeConfig, ServeReport, SessionReport, SessionSpec,
+        serve, AdmissionPolicy, DeviceSession, FleetTraffic, OpenLoopConfig, ScenarioMix,
+        ServeConfig, ServeReport, SessionReport, SessionSpec, SessionTraffic,
     };
     pub use crate::state::{State, StateSpace};
     pub use autoscale_nn::{Network, Precision, Task, Workload};
     pub use autoscale_platform::{Device, DeviceId, ProcessorKind};
     pub use autoscale_sim::{
-        Environment, EnvironmentId, FaultInjector, FaultProfile, Outcome, Placement, Request,
-        ResiliencePolicy, Scenario, Simulator, Snapshot,
+        ArrivalProcess, ChurnConfig, Environment, EnvironmentId, FaultInjector, FaultProfile,
+        Outcome, Placement, Request, ResiliencePolicy, Scenario, Simulator, Snapshot,
     };
 }

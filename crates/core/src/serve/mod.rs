@@ -23,10 +23,12 @@
 //! same run.
 
 mod mix;
+pub mod openloop;
 mod session;
 mod timing;
 
 pub use mix::ScenarioMix;
+pub use openloop::{AdmissionPolicy, FleetTraffic, OpenLoopConfig, SessionTraffic};
 pub use session::{DeviceSession, SessionReport, SessionSpec};
 
 use std::sync::Arc;
@@ -138,6 +140,16 @@ pub struct ServeConfig {
     /// private seed (irreproducible from a single shared base), so a
     /// cold cow fleet starts from the shared zero base instead.
     pub qstore: QStoreKind,
+    /// Open-loop traffic, or `None` (the default) for the classic
+    /// closed-loop run. When set, `decisions_per_session` is ignored:
+    /// each session serves whatever its private arrival schedule offers
+    /// inside its churn window, under the configured queue bound and
+    /// admission policy. The arrival and churn streams are
+    /// `cell_seed(session_seed, 3)` and `cell_seed(session_seed, 4)` —
+    /// disjoint from every existing stream, so `None` keeps the
+    /// closed-loop output byte-identical to builds without open-loop
+    /// support.
+    pub openloop: Option<OpenLoopConfig>,
 }
 
 impl ServeConfig {
@@ -154,6 +166,7 @@ impl ServeConfig {
             faults: FaultProfile::none(),
             kernel: KernelKind::Scalar,
             qstore: QStoreKind::Dense,
+            openloop: None,
         }
     }
 }
@@ -202,6 +215,9 @@ pub struct ServeReport {
     /// observational — identical decision traces are produced whatever
     /// the backend, so this lives beside the sessions, not inside them.
     pub store: FleetStoreStats,
+    /// Fleet-level open-loop traffic accounting (offered load, goodput,
+    /// drops, queue-depth histogram); `None` for closed-loop runs.
+    pub traffic: Option<FleetTraffic>,
 }
 
 impl ServeReport {
@@ -368,10 +384,20 @@ pub fn serve(
                 )?
             }
         };
-        session.run_with_kernel(config.record_latency, config.kernel)
+        match &config.openloop {
+            None => session
+                .run_with_kernel(config.record_latency, config.kernel)
+                .map(|(report, latencies, stats)| (report, latencies, stats, None)),
+            Some(open) => session
+                .run_openloop(config.record_latency, config.kernel, open, cell.seed)
+                .map(|(report, latencies, stats, traffic)| {
+                    (report, latencies, stats, Some(traffic))
+                }),
+        }
     });
     let mut sessions = Vec::with_capacity(results.len());
     let mut latencies_ns = Vec::new();
+    let mut traffics = Vec::new();
     let mut store = FleetStoreStats {
         qstore: config.qstore,
         private_bytes: 0,
@@ -380,7 +406,7 @@ pub fn serve(
         max_session_private_bytes: 0,
     };
     for result in results {
-        let (report, latencies, stats) = result?;
+        let (report, latencies, stats, session_traffic) = result?;
         store.private_bytes += stats.private_bytes;
         store.overlay_rows += stats.overlay_rows;
         store.max_session_private_bytes = store.max_session_private_bytes.max(stats.private_bytes);
@@ -389,11 +415,16 @@ pub fn serve(
         store.shared_bytes = store.shared_bytes.max(stats.shared_bytes);
         sessions.push(report);
         latencies_ns.extend(latencies);
+        traffics.extend(session_traffic);
     }
+    let traffic = config
+        .openloop
+        .map(|open| FleetTraffic::aggregate(&traffics, open.horizon_ms));
     Ok(ServeReport {
         sessions,
         latencies_ns,
         store,
+        traffic,
     })
 }
 
@@ -779,6 +810,72 @@ mod tests {
         )
         .unwrap();
         assert_eq!(sharded.sessions, report.sessions);
+    }
+
+    fn open_config(shards: Option<usize>, open: OpenLoopConfig) -> ServeConfig {
+        ServeConfig {
+            openloop: Some(open),
+            ..small_config(shards)
+        }
+    }
+
+    #[test]
+    fn open_loop_fleets_are_bit_identical_for_any_shard_count() {
+        let sim = Simulator::new(DeviceId::Mi8Pro);
+        let mix = ScenarioMix::static_envs();
+        let open = OpenLoopConfig {
+            queue_capacity: 8,
+            ..OpenLoopConfig::poisson(300.0, 1_000.0)
+        };
+        let reference = serve(&sim, &mix, &open_config(Some(1), open), None).unwrap();
+        let traffic = reference.traffic.as_ref().expect("open-loop sets traffic");
+        assert!(traffic.offered > 0);
+        for shards in [Some(4), Some(8), None] {
+            let sharded = serve(&sim, &mix, &open_config(shards, open), None).unwrap();
+            assert_eq!(sharded.sessions, reference.sessions, "shards {shards:?}");
+            assert_eq!(sharded.traffic, reference.traffic, "shards {shards:?}");
+            assert_eq!(sharded.digest(), reference.digest());
+        }
+    }
+
+    #[test]
+    fn open_loop_off_leaves_traffic_unset_and_reports_unchanged() {
+        // The zero-cost default: `openloop: None` must be byte-identical
+        // to a build that has no open-loop support at all — the pinned
+        // `fault_free_digests_match_the_pre_fault_injection_build` test
+        // pins the digests; this pins the new fields and the traffic
+        // aggregate.
+        let sim = Simulator::new(DeviceId::Mi8Pro);
+        let mix = ScenarioMix::static_envs();
+        let report = serve(&sim, &mix, &small_config(Some(2)), None).unwrap();
+        assert_eq!(report.traffic, None);
+        for s in &report.sessions {
+            assert_eq!(s.offered_requests, 0);
+            assert_eq!(s.dropped_requests, 0);
+            assert_eq!(s.degraded_requests, 0);
+            assert_eq!(s.deadline_violations, 0);
+            assert_eq!(s.peak_queue_depth, 0);
+            assert_eq!(s.arrival_digest, 0);
+        }
+    }
+
+    #[test]
+    fn open_loop_fleets_churn_and_stay_conservative() {
+        let sim = Simulator::new(DeviceId::Mi8Pro);
+        let mix = ScenarioMix::static_envs();
+        let open = OpenLoopConfig {
+            arrivals: autoscale_sim::ArrivalProcess::bursty(400.0),
+            churn: autoscale_sim::ChurnConfig::heavy(1_500.0),
+            horizon_ms: 1_500.0,
+            queue_capacity: 8,
+            admission: openloop::AdmissionPolicy::Degrade,
+        };
+        let report = serve(&sim, &mix, &open_config(Some(2), open), None).unwrap();
+        let traffic = report.traffic.as_ref().expect("open-loop sets traffic");
+        assert_eq!(traffic.offered, traffic.served + traffic.dropped);
+        let per_session: usize = report.sessions.iter().map(|s| s.offered_requests).sum();
+        assert_eq!(per_session, traffic.offered, "fleet view sums the sessions");
+        assert!(traffic.peak_queue_depth <= 8);
     }
 
     #[test]

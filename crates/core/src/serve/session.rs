@@ -95,6 +95,31 @@ pub struct SessionReport {
     /// Requests that exhausted their offload attempts and fell back to
     /// local execution.
     pub fallbacks: usize,
+    /// Requests the session's arrival process offered, whether or not
+    /// they were served. Zero in closed-loop runs, where nothing is
+    /// "offered" — the session just executes its fixed decision count.
+    pub offered_requests: usize,
+    /// Offered requests dropped at admission (queue full, predicted
+    /// deadline miss) or abandoned when the session churned out. Always
+    /// zero in closed-loop runs.
+    pub dropped_requests: usize,
+    /// Requests admitted past their predicted deadline and served
+    /// greedily (exploration off) under the degrade admission policy.
+    /// Always zero in closed-loop runs.
+    pub degraded_requests: usize,
+    /// Served requests whose *sojourn* (queue wait plus service)
+    /// exceeded the scenario QoS — the open-loop counterpart of
+    /// `qos_violations`, which only measures service latency. Always
+    /// zero in closed-loop runs.
+    pub deadline_violations: usize,
+    /// The deepest the session's request queue ever got. Always zero in
+    /// closed-loop runs.
+    pub peak_queue_depth: usize,
+    /// FNV-1a digest over the arrival schedule the session actually saw
+    /// (arrival index and time bits) — fingerprint of the open-loop
+    /// traffic, independent of what the scheduler decided. Zero in
+    /// closed-loop runs.
+    pub arrival_digest: u64,
     /// The decision index at which the reward converged, if it did.
     pub converged_at: Option<usize>,
 }
@@ -106,19 +131,19 @@ pub struct SessionReport {
 /// masks are precomputed per workload, the epsilon-greedy policy scans
 /// the mask in place, and the latency buffer is sized once up front.
 pub struct DeviceSession<'a> {
-    sim: &'a Simulator,
-    spec: SessionSpec,
-    engine: AutoScaleEngine,
-    env: Environment,
-    rng: StdRng,
-    qos_ms: f64,
-    latencies_ns: Vec<u64>,
+    pub(super) sim: &'a Simulator,
+    pub(super) spec: SessionSpec,
+    pub(super) engine: AutoScaleEngine,
+    pub(super) env: Environment,
+    pub(super) rng: StdRng,
+    pub(super) qos_ms: f64,
+    pub(super) latencies_ns: Vec<u64>,
     /// Seeded fault source, present only when the session runs under a
     /// non-empty fault profile. `None` keeps the fault-free hot path
     /// untouched — and its reports byte-identical to builds without
     /// fault injection.
-    injector: Option<FaultInjector>,
-    resilience: ResiliencePolicy,
+    pub(super) injector: Option<FaultInjector>,
+    pub(super) resilience: ResiliencePolicy,
 }
 
 impl<'a> DeviceSession<'a> {
@@ -282,6 +307,51 @@ impl<'a> DeviceSession<'a> {
         }
     }
 
+    /// Runs the session open-loop: requests arrive on the session's
+    /// private arrival schedule instead of back-to-back, queue in a
+    /// bounded buffer under the configured admission policy, and the
+    /// session only exists inside its churn window. The discrete-event
+    /// loop lives in [`super::openloop`]; this is the kernel-dispatch
+    /// wrapper mirroring [`Self::run_with_kernel`].
+    ///
+    /// `seed` must be the same session seed the constructors received:
+    /// the arrival and churn streams are split from it
+    /// (`cell_seed(seed, 3)` and `cell_seed(seed, 4)`), disjoint from
+    /// the engine (0), environment/exploration (1) and fault (2)
+    /// streams, so open-loop traffic never perturbs — and is never
+    /// perturbed by — any other stream.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::run`].
+    pub fn run_openloop(
+        self,
+        record_latency: bool,
+        kernel: KernelKind,
+        open: &super::openloop::OpenLoopConfig,
+        seed: u64,
+    ) -> Result<
+        (
+            SessionReport,
+            Vec<u64>,
+            QStoreStats,
+            super::openloop::SessionTraffic,
+        ),
+        ServeError,
+    > {
+        match kernel {
+            KernelKind::Scalar => {
+                super::openloop::drive(self, record_latency, &ScalarKernel, open, seed)
+            }
+            KernelKind::Packed => {
+                super::openloop::drive(self, record_latency, &PackedKernel, open, seed)
+            }
+            KernelKind::Frozen => {
+                super::openloop::drive(self, record_latency, &FrozenKernel, open, seed)
+            }
+        }
+    }
+
     /// The monomorphized session loop: `spec.decisions` iterations of
     /// decide → execute → learn over one kernel and one
     /// [`PreparedExecutor`] (the simulator's per-workload batch
@@ -398,6 +468,15 @@ impl<'a> DeviceSession<'a> {
             faulted_requests,
             retries,
             fallbacks,
+            // Closed-loop runs offer nothing, queue nothing, drop
+            // nothing: the open-loop fields stay identically zero, so a
+            // pre-open-loop report is this report minus six zeros.
+            offered_requests: 0,
+            dropped_requests: 0,
+            degraded_requests: 0,
+            deadline_violations: 0,
+            peak_queue_depth: 0,
+            arrival_digest: 0,
             converged_at: frozen_at,
         };
         let store_stats = self.engine.agent().store().stats();
@@ -495,6 +574,12 @@ mod tests {
                 "faulted_requests",
                 "retries",
                 "fallbacks",
+                "offered_requests",
+                "dropped_requests",
+                "degraded_requests",
+                "deadline_violations",
+                "peak_queue_depth",
+                "arrival_digest",
                 "converged_at",
             ]
         );

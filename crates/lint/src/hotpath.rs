@@ -64,7 +64,7 @@ const ALLOC_MACROS: [&str; 2] = ["vec", "format"];
 /// accessors, numeric ops, seeded-RNG draws). Anything *not* here —
 /// `push`, `insert`, `extend`, `sort`, `reserve` — stays a finding so
 /// the growth-prone std surface needs an explicit exemption.
-pub(crate) const STD_ALLOC_FREE: [&str; 153] = [
+pub(crate) const STD_ALLOC_FREE: [&str; 157] = [
     // iterator adaptors and consumers (lazy or O(1)-state)
     "iter",
     "iter_mut",
@@ -161,6 +161,9 @@ pub(crate) const STD_ALLOC_FREE: [&str; 153] = [
     "truncate",
     "clear",
     "pop",
+    // VecDeque's O(1) front removal: shrinks, never grows (push_back
+    // and push_front stay findings — ring growth reallocates)
+    "pop_front",
     // numeric / bit ops
     "abs",
     "signum",
@@ -170,6 +173,8 @@ pub(crate) const STD_ALLOC_FREE: [&str; 153] = [
     "sqrt",
     "exp",
     "ln",
+    "sin",
+    "cos",
     "log2",
     "log10",
     "floor",
@@ -225,10 +230,12 @@ pub(crate) const STD_ALLOC_FREE: [&str; 153] = [
     "from",
     "try_from",
     "try_into",
-    // seeded-RNG draws (deterministic, allocation-free)
+    // seeded-RNG draws and construction (deterministic, stack-only:
+    // seed_from_u64 expands via SplitMix64 into a fixed [u8; 32])
     "gen",
     "gen_range",
     "gen_bool",
+    "seed_from_u64",
 ];
 
 /// Runs the hot-path analysis over the whole workspace.

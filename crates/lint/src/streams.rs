@@ -28,6 +28,9 @@
 //!
 //! * every method of `FaultInjector` (the per-request fault stream);
 //! * every method of the `DecisionKernel` trait and its impls;
+//! * every method of `ArrivalSampler` and `ChurnWindow` (the
+//!   per-session traffic streams: fixed draws per arrival / per
+//!   session keep open-loop schedules prefix-stable);
 //! * any function whose name starts with `decide`.
 //!
 //! Reachability is restricted to non-test library code, like the
@@ -270,6 +273,8 @@ fn is_entry(d: &FnDef) -> bool {
     let owner = d.owner.as_deref().unwrap_or("");
     let trait_name = d.trait_name.as_deref().unwrap_or("");
     owner == "FaultInjector"
+        || owner == "ArrivalSampler"
+        || owner == "ChurnWindow"
         || owner == "DecisionKernel"
         || trait_name == "DecisionKernel"
         || d.name.starts_with("decide")

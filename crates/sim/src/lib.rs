@@ -25,6 +25,10 @@
 //!   injection (link dropouts, disconnection windows, transfer timeouts,
 //!   stragglers, thermal bursts) with a [`ResiliencePolicy`] describing
 //!   retry/backoff/fallback behaviour on failed offloads;
+//! * [`ArrivalProcess`] / [`ChurnConfig`] — seeded open-loop traffic:
+//!   Poisson/bursty/diurnal request-arrival schedules and session
+//!   join/leave windows, each a pure function of `(process, seed, index)`
+//!   for the discrete-event serving core;
 //! * [`Trace`] — a serializable, replayable log of executed inferences.
 //!
 //! # Example
@@ -49,6 +53,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arrivals;
 pub mod environment;
 pub mod executor;
 pub mod faults;
@@ -58,6 +63,10 @@ pub mod scenario;
 pub mod snapshot;
 pub mod trace;
 
+pub use arrivals::{
+    Arrival, ArrivalKind, ArrivalProcess, ArrivalSampler, ChurnConfig, ChurnWindow,
+    ARRIVAL_DRAWS_PER_EVENT, CHURN_DRAWS_PER_SESSION,
+};
 pub use environment::{Environment, EnvironmentId};
 pub use executor::{ExecutionError, Outcome, PreparedExecutor, ResilientOutcome, Simulator};
 pub use faults::{FaultInjector, FaultProfile, LinkFaults, RequestFaults, ResiliencePolicy};

@@ -1,0 +1,175 @@
+//! Golden-file test for the deterministic open-loop traffic schedule.
+//!
+//! A session's arrival schedule and churn window are pure functions of
+//! `(process, churn, seed, index)`, drawn from the session's private
+//! arrival (sub-stream 3) and churn (sub-stream 4) RNG streams — the
+//! same derivation `serve()` uses. They must never drift: open-loop
+//! digests are a compatibility surface, and recorded overload runs
+//! replay by seed. This test renders the churn windows and the first
+//! arrivals of a 4-session bursty fleet and compares them line-by-line
+//! against a committed fixture.
+//!
+//! If the schedule changes **intentionally** (a new arrival kind, a
+//! different draw order), regenerate the fixture with:
+//!
+//! ```sh
+//! UPDATE_OPENLOOP_GOLDEN=1 cargo test --test openloop_trace
+//! ```
+//!
+//! and review the diff like any other behavioural change.
+
+use autoscale::parallel::cell_seed;
+use autoscale::serve::session_seed;
+use autoscale_sim::{ArrivalProcess, ArrivalSampler, ChurnConfig, ChurnWindow};
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/openloop_trace.golden"
+);
+const GOLDEN_SEED: u64 = 0x0431;
+const GOLDEN_SESSIONS: usize = 4;
+const GOLDEN_ARRIVALS: usize = 12;
+const GOLDEN_HORIZON_MS: f64 = 2_000.0;
+
+/// The RNG sub-stream indices `serve()` derives the traffic streams
+/// from; see the stream table in `autoscale::serve::openloop`.
+const ARRIVAL_STREAM: usize = 3;
+const CHURN_STREAM: usize = 4;
+
+fn render_schedule() -> String {
+    let process = ArrivalProcess::bursty(800.0);
+    let churn = ChurnConfig::heavy(GOLDEN_HORIZON_MS);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# bursty 800 Hz x heavy churn over {GOLDEN_HORIZON_MS} ms, base seed \
+         {GOLDEN_SEED:#x}, {GOLDEN_SESSIONS} sessions x {GOLDEN_ARRIVALS} arrivals\n"
+    ));
+    out.push_str("# churn: session join/leave window; arrivals: index, time, gap, burst flag\n");
+    for session in 0..GOLDEN_SESSIONS {
+        let seed = session_seed(GOLDEN_SEED, session);
+        let window = ChurnWindow::draw(churn, cell_seed(seed, CHURN_STREAM));
+        out.push_str(&format!("session {session}: {window}\n"));
+        let mut sampler = ArrivalSampler::new(process, cell_seed(seed, ARRIVAL_STREAM));
+        for _ in 0..GOLDEN_ARRIVALS {
+            out.push_str(&format!("  {}\n", sampler.next_arrival()));
+        }
+    }
+    out
+}
+
+#[test]
+fn openloop_schedule_matches_the_committed_golden_trace() {
+    let rendered = render_schedule();
+    if std::env::var_os("UPDATE_OPENLOOP_GOLDEN").is_some() {
+        std::fs::write(GOLDEN_PATH, &rendered).expect("write golden fixture");
+        eprintln!("regenerated {GOLDEN_PATH}");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH).expect(
+        "tests/fixtures/openloop_trace.golden is committed; regenerate with \
+         UPDATE_OPENLOOP_GOLDEN=1",
+    );
+    if rendered == golden {
+        return;
+    }
+    // Readable drift report: the divergent lines with context, not a
+    // screenful of assert_eq! debris.
+    let mut diff = String::new();
+    let mut divergences = 0;
+    for (i, (want, got)) in golden.lines().zip(rendered.lines()).enumerate() {
+        if want != got {
+            divergences += 1;
+            if divergences <= 5 {
+                diff.push_str(&format!(
+                    "  line {:>3}:\n    golden  | {want}\n    current | {got}\n",
+                    i + 1
+                ));
+            }
+        }
+    }
+    let (want_n, got_n) = (golden.lines().count(), rendered.lines().count());
+    if want_n != got_n {
+        diff.push_str(&format!(
+            "  line count changed: golden {want_n}, current {got_n}\n"
+        ));
+    }
+    panic!(
+        "open-loop schedule drifted from the golden trace ({divergences} line(s) differ):\n{diff}\
+         The seeded traffic schedule is a compatibility surface — open-loop fleet\n\
+         digests replay by seed. If this change is intentional, regenerate the fixture\n\
+         with `UPDATE_OPENLOOP_GOLDEN=1 cargo test --test openloop_trace` and review\n\
+         the diff."
+    );
+}
+
+#[test]
+fn golden_trace_is_nonempty_and_churned() {
+    // Guard against a hollow fixture: the bursty process and the heavy
+    // churn schedule must actually fire within the rendered window.
+    let rendered = render_schedule();
+    assert!(
+        rendered.contains("burst=B"),
+        "no burst arrivals in the golden window"
+    );
+    assert!(
+        rendered.contains("burst=-"),
+        "no baseline arrivals in the golden window"
+    );
+    let finite_leaves = rendered
+        .lines()
+        .filter(|l| l.starts_with("session") && !l.contains("inf"))
+        .count();
+    assert!(
+        finite_leaves > 0,
+        "heavy churn produced no finite leave times"
+    );
+}
+
+#[test]
+fn golden_trace_matches_the_serving_fleet() {
+    // The fixture pins the standalone sampler; this pins the bridge to
+    // the real fleet. The offered count a served session reports must
+    // equal what the standalone schedule predicts for its window, so
+    // the fixture provably describes the streams `serve()` consumes.
+    use autoscale::prelude::*;
+
+    let process = ArrivalProcess::bursty(800.0);
+    let churn = ChurnConfig::heavy(GOLDEN_HORIZON_MS);
+    let open = OpenLoopConfig {
+        arrivals: process,
+        churn,
+        horizon_ms: GOLDEN_HORIZON_MS,
+        queue_capacity: 8,
+        admission: AdmissionPolicy::DropTail,
+    };
+    let sim = Simulator::new(DeviceId::Mi8Pro);
+    let mix = ScenarioMix::static_envs();
+    let config = ServeConfig {
+        sessions: GOLDEN_SESSIONS,
+        base_seed: GOLDEN_SEED,
+        openloop: Some(open),
+        ..ServeConfig::fleet()
+    };
+    let report = serve(&sim, &mix, &config, None).expect("open-loop fleets never error");
+    for (session, s) in report.sessions.iter().enumerate() {
+        let seed = session_seed(GOLDEN_SEED, session);
+        let window = ChurnWindow::draw(churn, cell_seed(seed, CHURN_STREAM));
+        let mut sampler = ArrivalSampler::new(process, cell_seed(seed, ARRIVAL_STREAM));
+        let end = window.end_ms(GOLDEN_HORIZON_MS);
+        let mut expected = 0usize;
+        loop {
+            let arrival = sampler.next_arrival();
+            let at = window.join_ms + arrival.at_ms;
+            // The driver's exact `!(<)` window check (NaN/∞-safe).
+            #[allow(clippy::neg_cmp_op_on_partial_ord)]
+            if !(at < end) {
+                break;
+            }
+            expected += 1;
+        }
+        assert_eq!(
+            s.offered_requests, expected,
+            "session {session}: the fleet offered a different schedule than the fixture"
+        );
+    }
+}

@@ -7,6 +7,7 @@ use autoscale_rl::{
     DecisionKernel, FrozenKernel, Hyperparameters, KernelKind, MaskSet, PackedKernel,
     QLearningAgent, QStore, QStoreKind, QTable, ScalarKernel,
 };
+use autoscale_sim::{ArrivalSampler, ChurnWindow};
 use proptest::prelude::*;
 
 fn arb_snapshot() -> impl Strategy<Value = Snapshot> {
@@ -559,5 +560,237 @@ proptest! {
         let serial = harness_grid_bytes(1, base_seed);
         prop_assert_eq!(&serial, &harness_grid_bytes(2, base_seed));
         prop_assert_eq!(&serial, &harness_grid_bytes(8, base_seed));
+    }
+}
+
+/// An arbitrary open-loop traffic shape: every named arrival process at
+/// rates spanning "well under" to "well over" the device's service rate,
+/// every named churn schedule, every admission policy, and queue bounds
+/// down to a single slot.
+fn arb_openloop() -> impl Strategy<Value = OpenLoopConfig> {
+    (
+        prop::sample::select(ArrivalProcess::NAMES.to_vec()),
+        20.0..=1500.0f64,
+        prop::sample::select(ChurnConfig::NAMES.to_vec()),
+        prop::sample::select(AdmissionPolicy::NAMES.to_vec()),
+        1usize..=16,
+    )
+        .prop_map(|(arrivals, rate_hz, churn, admission, queue_capacity)| {
+            let horizon_ms = 250.0;
+            OpenLoopConfig {
+                arrivals: ArrivalProcess::parse(arrivals, rate_hz).expect("named process"),
+                churn: ChurnConfig::parse(churn, horizon_ms).expect("named schedule"),
+                horizon_ms,
+                queue_capacity,
+                admission: AdmissionPolicy::parse(admission).expect("named policy"),
+            }
+        })
+}
+
+/// An open-loop serving run over a 4-session fleet.
+fn openloop_serve(
+    open: OpenLoopConfig,
+    profile: FaultProfile,
+    seed: u64,
+    shards: usize,
+    kernel: KernelKind,
+) -> ServeReport {
+    let sim = Simulator::new(DeviceId::Mi8Pro);
+    let mix = ScenarioMix::static_envs();
+    let config = ServeConfig {
+        sessions: 4,
+        decisions_per_session: 40,
+        shards: Some(shards),
+        base_seed: seed,
+        faults: profile,
+        kernel,
+        openloop: Some(open),
+        ..ServeConfig::fleet()
+    };
+    serve(&sim, &mix, &config, None).expect("open-loop fleets never error")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The open-loop determinism contract: for any traffic shape, fault
+    /// profile and seed, the fleet report — sessions, aggregate traffic
+    /// and digest — is bit-identical across 1, 4 and 8 shards.
+    #[test]
+    fn open_loop_fleets_are_shard_invariant(
+        open in arb_openloop(),
+        profile in arb_fault_profile(),
+        seed in any::<u64>(),
+    ) {
+        let reference = openloop_serve(open, profile, seed, 1, KernelKind::Scalar);
+        for shards in [4usize, 8] {
+            let sharded = openloop_serve(open, profile, seed, shards, KernelKind::Scalar);
+            prop_assert_eq!(&sharded.sessions, &reference.sessions);
+            prop_assert_eq!(&sharded.traffic, &reference.traffic);
+            prop_assert_eq!(sharded.digest(), reference.digest());
+        }
+    }
+
+    /// Chaos, open-loop edition: any fault profile crossed with any
+    /// arrival process, churn schedule and admission policy completes,
+    /// conserves its counters (offered == served + dropped), and keeps
+    /// every queue within its configured bound.
+    #[test]
+    fn open_loop_chaos_conserves_counters(
+        open in arb_openloop(),
+        profile in arb_fault_profile(),
+        seed in any::<u64>(),
+    ) {
+        let report = openloop_serve(open, profile, seed, 2, KernelKind::Packed);
+        for s in &report.sessions {
+            // Offered must split exactly into served + dropped.
+            prop_assert_eq!(s.offered_requests, s.decisions + s.dropped_requests);
+            prop_assert!(s.peak_queue_depth <= open.capacity());
+            prop_assert!(s.degraded_requests <= s.decisions);
+            prop_assert!(s.deadline_violations <= s.decisions);
+            prop_assert!(s.qos_violations <= s.decisions);
+        }
+        let traffic = report.traffic.as_ref().expect("open-loop runs report traffic");
+        let offered: usize = report.sessions.iter().map(|s| s.offered_requests).sum();
+        let served: usize = report.sessions.iter().map(|s| s.decisions).sum();
+        let dropped: usize = report.sessions.iter().map(|s| s.dropped_requests).sum();
+        prop_assert_eq!(traffic.offered, offered);
+        prop_assert_eq!(traffic.served, served);
+        prop_assert_eq!(traffic.dropped, dropped);
+        prop_assert_eq!(traffic.offered, traffic.served + traffic.dropped);
+        prop_assert_eq!(traffic.queue_histogram.len(), open.capacity() + 1);
+        prop_assert!(traffic.utilization() >= 0.0 && traffic.utilization() <= 1.0);
+        prop_assert!(traffic.queue_depth_percentile(100.0) <= open.capacity());
+        prop_assert!(traffic.span_ms >= traffic.window_ms - 1e-9);
+    }
+
+    /// The arrival and churn schedules are pure functions of
+    /// `(spec, seed, index)`: swapping the admission policy, the decision
+    /// kernel AND the fault profile changes what happens to each request
+    /// but never which requests are offered or when.
+    #[test]
+    fn arrival_schedules_ignore_policy_kernel_and_faults(
+        open in arb_openloop(),
+        profile in arb_fault_profile(),
+        admission in prop::sample::select(AdmissionPolicy::NAMES.to_vec()),
+        seed in any::<u64>(),
+    ) {
+        let reference = openloop_serve(open, FaultProfile::none(), seed, 1, KernelKind::Scalar);
+        let variant_open = OpenLoopConfig {
+            admission: AdmissionPolicy::parse(admission).expect("named policy"),
+            ..open
+        };
+        let variant = openloop_serve(variant_open, profile, seed, 2, KernelKind::Packed);
+        for (a, b) in reference.sessions.iter().zip(&variant.sessions) {
+            prop_assert_eq!(a.offered_requests, b.offered_requests);
+            // The arrival schedule must not depend on policy, kernel or
+            // faults.
+            prop_assert_eq!(a.arrival_digest, b.arrival_digest);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The arrival sampler draws a fixed number of values per event, so
+    /// the schedule for arrival i depends only on (process, seed, i) —
+    /// generating more arrivals never rewrites an earlier prefix.
+    #[test]
+    fn arrival_schedules_are_prefix_stable(
+        name in prop::sample::select(ArrivalProcess::NAMES.to_vec()),
+        rate_hz in 0.0..=2000.0f64,
+        seed in any::<u64>(),
+    ) {
+        let process = ArrivalProcess::parse(name, rate_hz).expect("named process");
+        let mut short = ArrivalSampler::new(process, seed);
+        let mut long = ArrivalSampler::new(process, seed);
+        let a: Vec<_> = (0..10).map(|_| short.next_arrival()).collect();
+        let b: Vec<_> = (0..40).map(|_| long.next_arrival()).collect();
+        prop_assert_eq!(&a[..], &b[..10]);
+    }
+
+    /// Churn windows are deterministic in (config, seed) and ordered:
+    /// the join never happens after the leave, and a no-churn window
+    /// spans every finite horizon.
+    #[test]
+    fn churn_windows_are_seed_deterministic(
+        name in prop::sample::select(ChurnConfig::NAMES.to_vec()),
+        horizon_ms in 50.0..=5000.0f64,
+        seed in any::<u64>(),
+    ) {
+        let config = ChurnConfig::parse(name, horizon_ms).expect("named schedule");
+        let w = ChurnWindow::draw(config, seed);
+        prop_assert_eq!(w, ChurnWindow::draw(config, seed));
+        prop_assert!(w.join_ms >= 0.0);
+        prop_assert!(w.leave_ms >= w.join_ms);
+        if config.is_none() {
+            prop_assert!(!w.churns_out(horizon_ms));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// With open-loop traffic off, the fleet is the closed fixed-count
+    /// loop it always was: no traffic aggregate, and every session's
+    /// open-loop counters pinned at zero — under any fault profile.
+    /// (The byte-level half of this contract is the pinned digest test
+    /// in `serve`: closed-loop digests equal their pre-open-loop
+    /// values.)
+    #[test]
+    fn closed_loop_fleets_carry_no_open_loop_traffic(
+        profile in arb_fault_profile(),
+        seed in any::<u64>(),
+    ) {
+        let report = faulted_serve(profile, seed, 2);
+        prop_assert!(report.traffic.is_none());
+        for s in &report.sessions {
+            prop_assert_eq!(s.offered_requests, 0);
+            prop_assert_eq!(s.dropped_requests, 0);
+            prop_assert_eq!(s.degraded_requests, 0);
+            prop_assert_eq!(s.deadline_violations, 0);
+            prop_assert_eq!(s.peak_queue_depth, 0);
+            prop_assert_eq!(s.arrival_digest, 0);
+        }
+    }
+
+    /// A silent arrival process (rate 0) yields empty but fully valid
+    /// reports: zero offered, zero served, empty histograms tail, and
+    /// finite normalized rates.
+    #[test]
+    fn silent_open_loop_fleets_are_empty_but_valid(seed in any::<u64>()) {
+        let open = OpenLoopConfig::poisson(0.0, 500.0);
+        let report = openloop_serve(open, FaultProfile::none(), seed, 2, KernelKind::Scalar);
+        let traffic = report.traffic.as_ref().expect("traffic present even when silent");
+        prop_assert_eq!(traffic.offered, 0);
+        prop_assert_eq!(traffic.served, 0);
+        prop_assert_eq!(traffic.dropped, 0);
+        prop_assert_eq!(traffic.peak_queue_depth, 0);
+        prop_assert!(traffic.goodput_hz() == 0.0);
+        prop_assert!(traffic.drop_rate() == 0.0);
+        prop_assert_eq!(traffic.queue_depth_percentile(99.0), 0);
+        for s in &report.sessions {
+            prop_assert_eq!(s.decisions, 0);
+            prop_assert_eq!(s.offered_requests, 0);
+        }
+    }
+
+    /// Overload: an offered load far beyond the device's service rate
+    /// keeps every queue at its bound and sheds the excess as drops —
+    /// the fleet never falls over and never buffers unboundedly.
+    #[test]
+    fn overloaded_open_loop_fleets_shed_load(seed in any::<u64>()) {
+        let open = OpenLoopConfig {
+            queue_capacity: 4,
+            ..OpenLoopConfig::poisson(2_000.0, 250.0)
+        };
+        let report = openloop_serve(open, FaultProfile::none(), seed, 2, KernelKind::Scalar);
+        let traffic = report.traffic.as_ref().expect("open-loop runs report traffic");
+        prop_assert!(traffic.dropped > 0, "2 kHz against a ~50 Hz device must drop");
+        prop_assert!(traffic.served > 0, "overload still serves at the service rate");
+        prop_assert!(traffic.peak_queue_depth <= open.capacity());
+        prop_assert!(traffic.drop_rate() > 0.5, "most of a 40x overload is shed");
     }
 }
